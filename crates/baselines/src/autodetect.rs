@@ -1,0 +1,306 @@
+//! Auto-Detect-like baseline: corpus-driven co-occurrence error detection
+//! \[7\].
+//!
+//! Auto-Detect learns, from a large clean corpus, which *generalized
+//! patterns* co-occur within one column. At detection time a value whose
+//! pattern has low normalized PMI with the column's dominant pattern is an
+//! error. We train on a generated clean corpus (the harness supplies it)
+//! and keep Auto-Detect's two generalization levels: a coarse class-run
+//! signature and a fine signature with run lengths. Detection-only.
+
+use std::collections::{HashMap, HashSet};
+
+use datavinci_core::{CleaningSystem, Detection, RepairSuggestion};
+use datavinci_table::Table;
+
+/// Co-occurrence statistics at one generalization level.
+#[derive(Debug, Default)]
+struct Level {
+    /// Column-count per pattern.
+    single: HashMap<String, usize>,
+    /// Column-count per unordered pattern pair.
+    pair: HashMap<(String, String), usize>,
+    /// Total columns seen.
+    n_columns: usize,
+}
+
+impl Level {
+    fn observe(&mut self, patterns: &HashSet<String>) {
+        self.n_columns += 1;
+        let mut sorted: Vec<&String> = patterns.iter().collect();
+        sorted.sort();
+        for p in &sorted {
+            *self.single.entry((*p).clone()).or_insert(0) += 1;
+        }
+        for i in 0..sorted.len() {
+            for j in (i + 1)..sorted.len() {
+                *self
+                    .pair
+                    .entry((sorted[i].clone(), sorted[j].clone()))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Normalized PMI of two patterns co-occurring in one column; ranges
+    /// in [-1, 1], −1 = never together.
+    fn npmi(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let n = self.n_columns.max(1) as f64;
+        let pa = *self.single.get(a).unwrap_or(&0) as f64 / n;
+        let pb = *self.single.get(b).unwrap_or(&0) as f64 / n;
+        let key = if a < b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        let pab = *self.pair.get(&key).unwrap_or(&0) as f64 / n;
+        if pa == 0.0 || pb == 0.0 {
+            // A pattern never seen in the clean corpus is itself evidence
+            // of incompatibility.
+            return -1.0;
+        }
+        if pab == 0.0 {
+            return -1.0;
+        }
+        (pab / (pa * pb)).ln() / -pab.ln()
+    }
+}
+
+/// Coarse signature: class runs collapse (`Q1-22` → `ud-d`).
+fn coarse(v: &str) -> String {
+    let mut out = String::new();
+    let mut last = '\0';
+    for c in v.chars() {
+        let k = if c.is_ascii_digit() {
+            'd'
+        } else if c.is_ascii_alphabetic() {
+            'a'
+        } else {
+            c
+        };
+        if k != last || !"da".contains(k) {
+            out.push(k);
+        }
+        last = k;
+    }
+    out
+}
+
+/// Fine signature: runs keep their length (`Q1-22` → `a1d1-d2`).
+fn fine(v: &str) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = v.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let kind = if c.is_ascii_digit() {
+            Some('d')
+        } else if c.is_ascii_alphabetic() {
+            Some('a')
+        } else {
+            None
+        };
+        match kind {
+            Some(k) => {
+                let start = i;
+                while i < chars.len()
+                    && ((k == 'd' && chars[i].is_ascii_digit())
+                        || (k == 'a' && chars[i].is_ascii_alphabetic()))
+                {
+                    i += 1;
+                }
+                out.push(k);
+                out.push_str(&(i - start).to_string());
+            }
+            None => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The trained Auto-Detect-like detector.
+#[derive(Debug, Default)]
+pub struct AutoDetectLike {
+    coarse_stats: Level,
+    fine_stats: Level,
+    /// npmi below this flags an incompatible pattern pair.
+    threshold: f64,
+}
+
+impl AutoDetectLike {
+    /// Trains co-occurrence statistics over a clean corpus.
+    pub fn train<'a>(corpus: impl IntoIterator<Item = &'a Table>) -> AutoDetectLike {
+        let mut me = AutoDetectLike {
+            threshold: -0.2,
+            ..Default::default()
+        };
+        for table in corpus {
+            for col in table.columns() {
+                let values = col.rendered();
+                let coarse_set: HashSet<String> = values.iter().map(|v| coarse(v)).collect();
+                let fine_set: HashSet<String> = values.iter().map(|v| fine(v)).collect();
+                me.coarse_stats.observe(&coarse_set);
+                me.fine_stats.observe(&fine_set);
+            }
+        }
+        me
+    }
+
+    /// Number of corpus columns used for training.
+    pub fn trained_columns(&self) -> usize {
+        self.coarse_stats.n_columns
+    }
+
+    /// Approximate persistent model footprint in bytes.
+    pub fn model_bytes(&self) -> usize {
+        let entries = self.coarse_stats.single.len()
+            + self.coarse_stats.pair.len()
+            + self.fine_stats.single.len()
+            + self.fine_stats.pair.len();
+        entries * 48
+    }
+}
+
+impl CleaningSystem for AutoDetectLike {
+    fn name(&self) -> &'static str {
+        "Auto-Detect"
+    }
+
+    fn detect(&self, table: &Table, col: usize) -> Vec<Detection> {
+        let values: Vec<String> = table.column(col).expect("in range").rendered();
+        if values.is_empty() || self.coarse_stats.n_columns == 0 {
+            return Vec::new();
+        }
+        // Dominant pattern per level.
+        let mut coarse_freq: HashMap<String, usize> = HashMap::new();
+        let mut fine_freq: HashMap<String, usize> = HashMap::new();
+        for v in &values {
+            *coarse_freq.entry(coarse(v)).or_insert(0) += 1;
+            *fine_freq.entry(fine(v)).or_insert(0) += 1;
+        }
+        let dom_coarse = coarse_freq
+            .iter()
+            .max_by_key(|&(p, c)| (*c, std::cmp::Reverse(p.clone())))
+            .map(|(p, _)| p.clone())
+            .unwrap_or_default();
+        let dom_fine = fine_freq
+            .iter()
+            .max_by_key(|&(p, c)| (*c, std::cmp::Reverse(p.clone())))
+            .map(|(p, _)| p.clone())
+            .unwrap_or_default();
+
+        let n = values.len() as f64;
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                let vc = coarse(v);
+                let vf = fine(v);
+                if vc == dom_coarse && vf == dom_fine {
+                    return false;
+                }
+                // Majority values are never errors.
+                if coarse_freq[&vc] as f64 / n > 0.5 {
+                    return false;
+                }
+                // Incompatible at the coarse level, or coarse-same but
+                // incompatible at the fine level.
+                let c_npmi = self.coarse_stats.npmi(&vc, &dom_coarse);
+                let f_npmi = self.fine_stats.npmi(&vf, &dom_fine);
+                c_npmi < self.threshold || (vc == dom_coarse && f_npmi < self.threshold)
+            })
+            .map(|(row, v)| Detection {
+                row,
+                value: v.clone(),
+            })
+            .collect()
+    }
+
+    fn repair(&self, table: &Table, col: usize) -> Vec<RepairSuggestion> {
+        self.detect(table, col)
+            .into_iter()
+            .map(|d| RepairSuggestion {
+                row: d.row,
+                original: d.value.clone(),
+                repaired: d.value,
+                candidates: vec![],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    /// A tiny clean corpus where quarter-like columns are uniform.
+    fn corpus() -> Vec<Table> {
+        let mut tables = Vec::new();
+        for i in 0..40 {
+            tables.push(Table::new(vec![Column::from_texts(
+                "q",
+                [
+                    format!("Q1-{:02}", i),
+                    format!("Q2-{:02}", i),
+                    format!("Q3-{:02}", i),
+                    format!("Q4-{:02}", i),
+                ]
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .as_slice(),
+            )]));
+            // Mixed-width numeric columns are normal.
+            tables.push(Table::new(vec![Column::from_texts(
+                "n",
+                &["1", "22", "333", "4444"],
+            )]));
+        }
+        tables
+    }
+
+    #[test]
+    fn signatures() {
+        assert_eq!(coarse("Q1-22"), "ad-d");
+        assert_eq!(fine("Q1-22"), "a1d1-d2");
+        assert_eq!(coarse("hello world"), "a a");
+    }
+
+    #[test]
+    fn detects_unseen_pattern_combination() {
+        let corpus = corpus();
+        let ad = AutoDetectLike::train(&corpus);
+        assert!(ad.trained_columns() > 0);
+        let table = Table::new(vec![Column::from_texts(
+            "q",
+            &["Q1-22", "Q2-22", "Q3-22", "Q4/22"],
+        )]);
+        let det = ad.detect(&table, 0);
+        assert_eq!(det.len(), 1, "{det:?}");
+        assert_eq!(det[0].value, "Q4/22");
+    }
+
+    #[test]
+    fn compatible_variation_not_flagged() {
+        // Varying digit-widths co-occur in the training corpus's numeric
+        // columns — coarse patterns identical, fine patterns compatible.
+        let corpus = corpus();
+        let ad = AutoDetectLike::train(&corpus);
+        let table = Table::new(vec![Column::from_texts("n", &["1", "22", "333", "4444"])]);
+        assert!(ad.detect(&table, 0).is_empty());
+    }
+
+    #[test]
+    fn untrained_detector_is_silent() {
+        let ad = AutoDetectLike::default();
+        let table = Table::new(vec![Column::from_texts("q", &["a", "b!"])]);
+        assert!(ad.detect(&table, 0).is_empty());
+    }
+}

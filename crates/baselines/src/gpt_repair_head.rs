@@ -1,0 +1,273 @@
+//! The "+GPT-3.5" repair head pairing detection-only systems with an LLM
+//! repair call (paper §4.3: "we add a call to GPT-3.5 where we include the
+//! outlier value and its column header along with 10 sample values selected
+//! based on spatial proximity … and make individual repair calls for each
+//! outlier detected").
+//!
+//! The stand-in works from the same inputs — outlier, header, and the
+//! neighbouring sample values — using the knowledge base, frequency
+//! statistics, and a punctuation-skeleton heuristic (GPT's few-shot knack
+//! for "make it look like the neighbours").
+
+use datavinci_core::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
+use datavinci_regex::levenshtein_within;
+use datavinci_semantic::{spans::candidate_spans, Gazetteer};
+use datavinci_table::Table;
+
+/// How many neighbouring rows are sampled (5 above + 5 below).
+pub const NEIGHBOR_ROWS: usize = 5;
+
+/// The repair head.
+#[derive(Debug)]
+pub struct GptRepairHead {
+    gaz: Gazetteer,
+}
+
+impl Default for GptRepairHead {
+    fn default() -> Self {
+        GptRepairHead::new()
+    }
+}
+
+impl GptRepairHead {
+    /// A fresh head.
+    pub fn new() -> GptRepairHead {
+        GptRepairHead {
+            gaz: Gazetteer::new(),
+        }
+    }
+
+    /// Repairs one outlier given its neighbourhood sample.
+    pub fn repair_value(&self, _header: &str, outlier: &str, neighbors: &[String]) -> String {
+        // (1) Nearest neighbour within small edit distance.
+        let mut best: Option<(&str, usize)> = None;
+        for nb in neighbors {
+            if nb == outlier || nb.is_empty() {
+                continue;
+            }
+            if let Some(d) = levenshtein_within(outlier, nb, 2) {
+                if d > 0 && best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((nb, d));
+                }
+            }
+        }
+        if let Some((nb, _)) = best {
+            return nb.to_string();
+        }
+
+        // (2) Gazetteer canonicalization of misspelled semantic spans.
+        for span in candidate_spans(outlier) {
+            let hits = self.gaz.lookup_fuzzy(&span.lookup);
+            if let Some(hit) = hits.first() {
+                if hit.distance > 0 {
+                    let chars: Vec<char> = outlier.chars().collect();
+                    let mut fixed: String = chars[..span.start].iter().collect();
+                    fixed.push_str(hit.form_text());
+                    fixed.extend(&chars[span.start + span.len..]);
+                    return fixed;
+                }
+            }
+        }
+
+        // (3) Punctuation-skeleton alignment: if the neighbours agree on a
+        // separator skeleton and the outlier has the right number of
+        // alphanumeric runs, re-assemble with the majority separators.
+        if let Some(skeleton) = majority_skeleton(neighbors) {
+            if let Some(fixed) = reskeleton(outlier, &skeleton) {
+                return fixed;
+            }
+        }
+
+        outlier.to_string()
+    }
+}
+
+/// The separator skeleton of a value: the sequence of non-alphanumeric
+/// characters between/around alphanumeric runs, e.g. `US-837-PRO` → `["-",
+/// "-"]` (no leading/trailing separators).
+fn skeleton(v: &str) -> Option<Vec<String>> {
+    let mut seps: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut seen_alnum = false;
+    let mut trailing = false;
+    for c in v.chars() {
+        if c.is_ascii_alphanumeric() {
+            if !cur.is_empty() {
+                if !seen_alnum {
+                    return None; // leading separators unsupported
+                }
+                seps.push(std::mem::take(&mut cur));
+            }
+            seen_alnum = true;
+            trailing = false;
+        } else {
+            cur.push(c);
+            trailing = true;
+        }
+    }
+    if trailing || !seen_alnum {
+        return None;
+    }
+    Some(seps)
+}
+
+fn majority_skeleton(neighbors: &[String]) -> Option<Vec<String>> {
+    let mut counts: std::collections::HashMap<Vec<String>, usize> =
+        std::collections::HashMap::new();
+    let mut n = 0usize;
+    for nb in neighbors {
+        if let Some(sk) = skeleton(nb) {
+            if !sk.is_empty() {
+                *counts.entry(sk).or_insert(0) += 1;
+                n += 1;
+            }
+        }
+    }
+    let (sk, c) = counts
+        .into_iter()
+        .max_by_key(|(sk, c)| (*c, std::cmp::Reverse(sk.clone())))?;
+    (n >= 3 && c * 2 > n).then_some(sk)
+}
+
+/// Reassembles the outlier's alphanumeric runs with the target skeleton,
+/// provided the run count fits exactly.
+fn reskeleton(outlier: &str, seps: &[String]) -> Option<String> {
+    let runs: Vec<String> = outlier
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if runs.len() != seps.len() + 1 {
+        return None;
+    }
+    let mut out = String::new();
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str(run);
+        if let Some(sep) = seps.get(i) {
+            out.push_str(sep);
+        }
+    }
+    (out != outlier).then_some(out)
+}
+
+/// A detection-only system paired with the repair head.
+pub struct WithRepairHead<S: CleaningSystem> {
+    inner: S,
+    head: GptRepairHead,
+    name: &'static str,
+}
+
+impl<S: CleaningSystem> WithRepairHead<S> {
+    /// Wraps `inner`; `name` should read like the paper's "X + GPT-3.5".
+    pub fn new(inner: S, name: &'static str) -> WithRepairHead<S> {
+        WithRepairHead {
+            inner,
+            head: GptRepairHead::new(),
+            name,
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: CleaningSystem> CleaningSystem for WithRepairHead<S> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn detect(&self, table: &Table, col: usize) -> Vec<Detection> {
+        self.inner.detect(table, col)
+    }
+
+    fn repair(&self, table: &Table, col: usize) -> Vec<RepairSuggestion> {
+        let column = table.column(col).expect("in range");
+        let values: Vec<String> = column.rendered();
+        self.inner
+            .detect(table, col)
+            .into_iter()
+            .map(|d| {
+                let lo = d.row.saturating_sub(NEIGHBOR_ROWS);
+                let hi = (d.row + NEIGHBOR_ROWS + 1).min(values.len());
+                let neighbors: Vec<String> = (lo..hi)
+                    .filter(|&r| r != d.row)
+                    .map(|r| values[r].clone())
+                    .collect();
+                let repaired = self.head.repair_value(column.name(), &d.value, &neighbors);
+                RepairSuggestion {
+                    row: d.row,
+                    original: d.value.clone(),
+                    repaired: repaired.clone(),
+                    candidates: vec![RepairCandidate {
+                        repaired,
+                        cost: 0,
+                        score: 0.0,
+                        provenance: "gpt repair head".to_string(),
+                    }],
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(values: &[&str]) -> Vec<String> {
+        values.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn nearest_neighbor_repair() {
+        let head = GptRepairHead::new();
+        let fixed = head.repair_value(
+            "status",
+            "Actve",
+            &nb(&["Active", "Inactive", "Active", "Active"]),
+        );
+        assert_eq!(fixed, "Active");
+    }
+
+    #[test]
+    fn gazetteer_canonicalization() {
+        let head = GptRepairHead::new();
+        let fixed = head.repair_value(
+            "city",
+            "Birminxham_7",
+            &nb(&["London_1", "Manchester_2", "Liverpool_3"]),
+        );
+        assert_eq!(fixed, "Birmingham_7");
+    }
+
+    #[test]
+    fn skeleton_realignment() {
+        let head = GptRepairHead::new();
+        let fixed = head.repair_value(
+            "id",
+            "AB_12",
+            &nb(&["CD-34", "EF-56", "GH-78", "IJ-90"]),
+        );
+        assert_eq!(fixed, "AB-12");
+    }
+
+    #[test]
+    fn identity_when_clueless() {
+        let head = GptRepairHead::new();
+        let fixed = head.repair_value("x", "???", &nb(&["totally", "unrelated"]));
+        assert_eq!(fixed, "???");
+    }
+
+    #[test]
+    fn skeleton_extraction() {
+        assert_eq!(
+            skeleton("US-837-PRO"),
+            Some(vec!["-".to_string(), "-".to_string()])
+        );
+        assert_eq!(skeleton("plain"), Some(vec![]));
+        assert_eq!(skeleton("-lead"), None);
+        assert_eq!(skeleton("trail-"), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! The seven baseline systems DataVinci is evaluated against (paper §4.3,
+//! Table 4), all implementing [`datavinci_core::CleaningSystem`]:
+//!
+//! * [`Wmrr`] — weighted matching rectifying rules (reimplemented from the
+//!   paper's description, as the original tool is unavailable — exactly what
+//!   the DataVinci authors did),
+//! * [`HoloCleanLike`] — probabilistic co-occurrence inference, run with the
+//!   vacuous denial constraint of the paper's unsupervised protocol,
+//! * [`RahaLike`] — ensemble detection + clustering + label propagation from
+//!   the first five ground-truth errors per column,
+//! * [`AutoDetectLike`] — corpus-trained generalized-pattern co-occurrence,
+//! * [`PottersWheelLike`] — MDL structure inference (detection side),
+//! * [`T5Sim`] — a trained noisy-channel stand-in for the fine-tuned T5,
+//! * [`GptSim`] — a deterministic stand-in for few-shot GPT-3.5 cleaning,
+//! * [`GptRepairHead`]/[`WithRepairHead`] — the "+GPT-3.5" repair module
+//!   attached to detection-only systems.
+//!
+//! The LLM/transformer stand-ins are *simulations* with the same interfaces
+//! and characteristic strengths/weaknesses; see DESIGN.md §2 for the
+//! substitution rationale.
+
+pub mod autodetect;
+pub mod gpt_repair_head;
+pub mod gpt_sim;
+pub mod holoclean;
+pub mod potters_wheel;
+pub mod raha;
+pub mod registry;
+pub mod t5_sim;
+pub mod wmrr;
+
+pub use autodetect::AutoDetectLike;
+pub use gpt_repair_head::{GptRepairHead, WithRepairHead, NEIGHBOR_ROWS};
+pub use gpt_sim::GptSim;
+pub use holoclean::HoloCleanLike;
+pub use potters_wheel::PottersWheelLike;
+pub use raha::{RahaLike, LABEL_BUDGET};
+pub use registry::{table4, Category, SystemInfo};
+pub use t5_sim::T5Sim;
+pub use wmrr::Wmrr;

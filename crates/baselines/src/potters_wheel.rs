@@ -1,0 +1,204 @@
+//! Potter's-Wheel-like baseline: MDL structure inference \[18\].
+//!
+//! Potter's Wheel infers the most suitable *structure* (domain) for a
+//! column by minimum description length and flags values that do not parse
+//! under it. We reproduce the detection side (the original's repairs are
+//! interactive): candidate structures are the distinct coarse shape
+//! signatures; the chosen structure set minimizes
+//! `DL = Σ len(structure) + Σ_values cost(value | structures)`, where a
+//! value covered by a chosen structure costs its parameter bits (run
+//! lengths) and an uncovered value costs its verbatim length. Values left
+//! uncovered by the MDL-optimal structure set are the detected errors.
+
+use std::collections::HashMap;
+
+use datavinci_core::{CleaningSystem, Detection, RepairSuggestion};
+use datavinci_table::Table;
+
+/// Shape structure: class runs with symbol literals (`Q1-22` → `a d - d`).
+fn structure_of(v: &str) -> String {
+    let mut out = String::new();
+    let mut last = '\0';
+    for c in v.chars() {
+        let k = if c.is_ascii_digit() {
+            'd'
+        } else if c.is_ascii_alphabetic() {
+            'a'
+        } else {
+            c
+        };
+        if k != last || !"da".contains(k) {
+            out.push(k);
+        }
+        last = k;
+    }
+    out
+}
+
+/// Per-value parameter cost under a matching structure: one unit per run
+/// (its length) plus one per literal.
+fn param_cost(v: &str) -> f64 {
+    (structure_of(v).chars().count() as f64) * 1.0
+}
+
+/// The Potter's-Wheel-like detector.
+#[derive(Debug, Default)]
+pub struct PottersWheelLike;
+
+impl PottersWheelLike {
+    /// A new detector.
+    pub fn new() -> PottersWheelLike {
+        PottersWheelLike
+    }
+
+    /// Chooses the MDL-optimal structure set and returns uncovered rows.
+    fn uncovered_rows(values: &[String]) -> Vec<usize> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        let structures: Vec<String> = values.iter().map(|v| structure_of(v)).collect();
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for s in &structures {
+            *freq.entry(s.as_str()).or_insert(0) += 1;
+        }
+        // Candidate structures ordered by coverage (desc). Singleton
+        // structures never amortize their model bits and are excluded.
+        let mut candidates: Vec<(&str, usize)> = freq
+            .iter()
+            .filter(|&(_, &c)| c >= 2)
+            .map(|(&s, &c)| (s, c))
+            .collect();
+        candidates.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s));
+
+        // Greedy MDL: add structures while total description length drops.
+        let verbatim: f64 = values.iter().map(|v| v.chars().count().max(1) as f64 * 3.0).sum();
+        let mut chosen: Vec<&str> = Vec::new();
+        let mut best_dl = verbatim;
+        loop {
+            let mut improved = false;
+            for &(cand, _) in &candidates {
+                if chosen.contains(&cand) {
+                    continue;
+                }
+                let mut trial = chosen.clone();
+                trial.push(cand);
+                let dl = description_length(values, &structures, &trial);
+                if dl + 1e-9 < best_dl {
+                    best_dl = dl;
+                    chosen = trial;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        if chosen.is_empty() {
+            // No structure pays for itself: the column is irregular and
+            // nothing can be singled out (cf. DataVinci's Figure 6 ②).
+            return Vec::new();
+        }
+        structures
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !chosen.contains(&s.as_str()))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn description_length(values: &[String], structures: &[String], chosen: &[&str]) -> f64 {
+    let model: f64 = chosen.iter().map(|s| s.chars().count() as f64 * 2.0 + 6.0).sum();
+    let data: f64 = values
+        .iter()
+        .zip(structures)
+        .map(|(v, s)| {
+            if chosen.contains(&s.as_str()) {
+                param_cost(v)
+            } else {
+                v.chars().count().max(1) as f64 * 3.0
+            }
+        })
+        .sum();
+    model + data
+}
+
+impl CleaningSystem for PottersWheelLike {
+    fn name(&self) -> &'static str {
+        "Potters-Wheel"
+    }
+
+    fn detect(&self, table: &Table, col: usize) -> Vec<Detection> {
+        let values: Vec<String> = table.column(col).expect("in range").rendered();
+        Self::uncovered_rows(&values)
+            .into_iter()
+            .map(|row| Detection {
+                row,
+                value: values[row].clone(),
+            })
+            .collect()
+    }
+
+    fn repair(&self, table: &Table, col: usize) -> Vec<RepairSuggestion> {
+        self.detect(table, col)
+            .into_iter()
+            .map(|d| RepairSuggestion {
+                row: d.row,
+                original: d.value.clone(),
+                repaired: d.value,
+                candidates: vec![],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    #[test]
+    fn dominant_structure_chosen_outlier_flagged() {
+        let table = Table::new(vec![Column::from_texts(
+            "q",
+            &["Q1-22", "Q2-21", "Q3-20", "Q4-19", "Q1-18", "Q2-17", "%%broken%%value%%",
+            ],
+        )]);
+        let pw = PottersWheelLike::new();
+        let det = pw.detect(&table, 0);
+        assert_eq!(det.len(), 1, "{det:?}");
+        assert_eq!(det[0].row, 6);
+    }
+
+    #[test]
+    fn two_legitimate_structures_both_kept() {
+        // Half dashed, half plain — both structures pay for themselves.
+        let table = Table::new(vec![Column::from_texts(
+            "c",
+            &["c-1", "c-2", "c-3", "c-4", "c5", "c6", "c7", "c8"],
+        )]);
+        let pw = PottersWheelLike::new();
+        assert!(pw.detect(&table, 0).is_empty());
+    }
+
+    #[test]
+    fn singleton_weird_structure_not_worth_model_bits() {
+        let table = Table::new(vec![Column::from_texts(
+            "c",
+            &["aaa", "bbb", "ccc", "d!d?d!d?d!", "eee", "fff"],
+        )]);
+        let pw = PottersWheelLike::new();
+        let det = pw.detect(&table, 0);
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].value, "d!d?d!d?d!");
+    }
+
+    #[test]
+    fn empty_column() {
+        let table = Table::new(vec![Column::from_texts("c", &[] as &[&str])]);
+        let pw = PottersWheelLike::new();
+        assert!(pw.detect(&table, 0).is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Raha-like baseline: configuration-free, semi-supervised error detection
+//! \[11, 12\].
+//!
+//! Raha runs an ensemble of detection strategies, clusters cells by their
+//! strategy-vote vectors, and propagates a handful of user labels through
+//! the clusters. Per the paper's protocol (§4.3), we provide the first five
+//! ground-truth errors per column as labels. Without labels the system
+//! falls back to majority voting over the ensemble. Detection-only — the
+//! harness pairs it with the GPT-sim repair head.
+
+use std::collections::{HashMap, HashSet};
+
+use datavinci_core::{CleaningSystem, Detection, RepairSuggestion};
+use datavinci_table::Table;
+
+/// Number of seed labels per column, per the evaluation protocol.
+pub const LABEL_BUDGET: usize = 5;
+
+/// The Raha-like detector.
+#[derive(Debug, Default)]
+pub struct RahaLike {
+    /// Ground-truth error rows per column index (the "user annotations").
+    labels: HashMap<usize, Vec<usize>>,
+}
+
+impl RahaLike {
+    /// Unlabeled instance (ensemble majority vote only).
+    pub fn new() -> RahaLike {
+        RahaLike::default()
+    }
+
+    /// Provides the first-k ground-truth error labels for a column
+    /// (top-to-bottom, as in the paper's protocol).
+    pub fn with_labels(labels: HashMap<usize, Vec<usize>>) -> RahaLike {
+        let labels = labels
+            .into_iter()
+            .map(|(c, mut rows)| {
+                rows.sort_unstable();
+                rows.truncate(LABEL_BUDGET);
+                (c, rows)
+            })
+            .collect();
+        RahaLike { labels }
+    }
+
+    /// The strategy-vote feature vector for every cell of the column.
+    fn feature_vectors(values: &[String]) -> Vec<Vec<bool>> {
+        let n = values.len().max(1);
+
+        // Strategy 1: shape-signature rarity.
+        let shapes: Vec<String> = values.iter().map(|v| shape_of(v)).collect();
+        let mut shape_freq: HashMap<&str, usize> = HashMap::new();
+        for s in &shapes {
+            *shape_freq.entry(s.as_str()).or_insert(0) += 1;
+        }
+
+        // Strategy 2: value-frequency outlier.
+        let mut value_freq: HashMap<&str, usize> = HashMap::new();
+        for v in values {
+            *value_freq.entry(v.as_str()).or_insert(0) += 1;
+        }
+        let max_freq = value_freq.values().copied().max().unwrap_or(0);
+
+        // Strategy 3: characters rare in the column.
+        let mut char_support: HashMap<char, usize> = HashMap::new();
+        for v in values {
+            let mut seen: HashSet<char> = HashSet::new();
+            for c in v.chars() {
+                if seen.insert(c) {
+                    *char_support.entry(c).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Strategy 4: length outlier (median absolute deviation).
+        let mut lens: Vec<usize> = values.iter().map(|v| v.chars().count()).collect();
+        lens.sort_unstable();
+        let median = lens.get(lens.len() / 2).copied().unwrap_or(0) as f64;
+        let mut devs: Vec<f64> = values
+            .iter()
+            .map(|v| (v.chars().count() as f64 - median).abs())
+            .collect();
+        devs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mad = devs.get(devs.len() / 2).copied().unwrap_or(0.0).max(0.5);
+
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let rare_shape = (shape_freq[shapes[i].as_str()] as f64 / n as f64) < 0.15;
+                let rare_value = value_freq[v.as_str()] == 1 && max_freq >= 3;
+                let rare_char = v
+                    .chars()
+                    .any(|c| (char_support[&c] as f64 / n as f64) < 0.15);
+                let len_outlier =
+                    (v.chars().count() as f64 - median).abs() > 2.5 * mad;
+                let whitespace_issue =
+                    v != v.trim() || v.contains("  ") || v.is_empty();
+                let non_ascii = !v.is_ascii();
+                vec![
+                    rare_shape,
+                    rare_value,
+                    rare_char,
+                    len_outlier,
+                    whitespace_issue,
+                    non_ascii,
+                ]
+            })
+            .collect()
+    }
+}
+
+/// Coarse shape signature: runs of d/u/l/space collapse, symbols verbatim.
+fn shape_of(v: &str) -> String {
+    let mut out = String::new();
+    let mut last = '\0';
+    for c in v.chars() {
+        let k = if c.is_ascii_digit() {
+            'd'
+        } else if c.is_ascii_uppercase() {
+            'u'
+        } else if c.is_ascii_lowercase() {
+            'l'
+        } else {
+            c
+        };
+        if k != last || !"dul".contains(k) {
+            out.push(k);
+        }
+        last = k;
+    }
+    out
+}
+
+impl CleaningSystem for RahaLike {
+    fn name(&self) -> &'static str {
+        "Raha"
+    }
+
+    fn detect(&self, table: &Table, col: usize) -> Vec<Detection> {
+        let values: Vec<String> = table.column(col).expect("in range").rendered();
+        let vectors = Self::feature_vectors(&values);
+
+        // Cluster cells by identical vote vectors.
+        let mut clusters: HashMap<&[bool], Vec<usize>> = HashMap::new();
+        for (row, v) in vectors.iter().enumerate() {
+            clusters.entry(v.as_slice()).or_default().push(row);
+        }
+
+        let labeled = self.labels.get(&col);
+        let mut flagged: HashSet<usize> = HashSet::new();
+        match labeled {
+            Some(label_rows) if !label_rows.is_empty() => {
+                // Label propagation: clusters whose vote vector matches a
+                // labeled error are errors — but only informative clusters
+                // (at least one positive strategy vote) propagate; an
+                // all-quiet vector would flood the column.
+                for &lr in label_rows {
+                    if lr >= vectors.len() {
+                        continue;
+                    }
+                    flagged.insert(lr);
+                    if vectors[lr].iter().any(|b| *b) {
+                        for (_, members) in clusters.iter().filter(|(k, _)| **k == vectors[lr]) {
+                            flagged.extend(members.iter().copied());
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Unsupervised fallback: majority of strategies agree.
+                for (row, v) in vectors.iter().enumerate() {
+                    if v.iter().filter(|b| **b).count() >= 3 {
+                        flagged.insert(row);
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<usize> = flagged.into_iter().collect();
+        rows.sort_unstable();
+        rows.into_iter()
+            .map(|row| Detection {
+                row,
+                value: values[row].clone(),
+            })
+            .collect()
+    }
+
+    fn repair(&self, table: &Table, col: usize) -> Vec<RepairSuggestion> {
+        // Detection-only: identity repairs (the harness attaches a head).
+        self.detect(table, col)
+            .into_iter()
+            .map(|d| RepairSuggestion {
+                row: d.row,
+                original: d.value.clone(),
+                repaired: d.value,
+                candidates: vec![],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    fn table() -> Table {
+        Table::new(vec![Column::from_texts(
+            "c",
+            &[
+                "A-01", "A-02", "A-03", "A-04", "A-05", "A-06", "A-07", "Zq#9x~",
+            ],
+        )])
+    }
+
+    #[test]
+    fn label_propagation_flags_cluster() {
+        let mut labels = HashMap::new();
+        labels.insert(0usize, vec![7usize]);
+        let raha = RahaLike::with_labels(labels);
+        let det = raha.detect(&table(), 0);
+        assert!(det.iter().any(|d| d.row == 7), "{det:?}");
+    }
+
+    #[test]
+    fn unlabeled_majority_vote() {
+        let raha = RahaLike::new();
+        let det = raha.detect(&table(), 0);
+        // The glaring outlier earns ≥3 votes even without labels.
+        assert!(det.iter().any(|d| d.row == 7), "{det:?}");
+        // The regular values do not.
+        assert!(det.iter().all(|d| d.row == 7), "{det:?}");
+    }
+
+    #[test]
+    fn label_budget_truncated() {
+        let mut labels = HashMap::new();
+        labels.insert(0usize, (0..20).collect::<Vec<usize>>());
+        let raha = RahaLike::with_labels(labels);
+        assert_eq!(raha.labels[&0].len(), LABEL_BUDGET);
+    }
+
+    #[test]
+    fn shape_signatures() {
+        assert_eq!(shape_of("A-01"), "u-d");
+        assert_eq!(shape_of("abc12XY"), "ldu");
+        assert_eq!(shape_of(""), "");
+    }
+
+    #[test]
+    fn repair_is_identity() {
+        let raha = RahaLike::new();
+        let repairs = raha.repair(&table(), 0);
+        for r in repairs {
+            assert_eq!(r.original, r.repaired);
+        }
+    }
+}

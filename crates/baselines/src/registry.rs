@@ -1,0 +1,93 @@
+//! System registry: the paper's Table 4 overview.
+
+/// The task category a system was designed for (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Detects and repairs.
+    DetectionAndRepair,
+    /// Semi-supervised detection.
+    SemiSupervisedDetection,
+    /// Detection only.
+    Detection,
+    /// Interactive detection + repair.
+    InteractiveDetectionRepair,
+}
+
+impl Category {
+    /// Table-4 rendering.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Category::DetectionAndRepair => "Detection + Repair",
+            Category::SemiSupervisedDetection => "Semi-supervised Detection",
+            Category::Detection => "Detection",
+            Category::InteractiveDetectionRepair => "Interactive Detection+Repair",
+        }
+    }
+}
+
+/// One Table-4 row.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemInfo {
+    /// System name.
+    pub name: &'static str,
+    /// Design category.
+    pub category: Category,
+}
+
+/// The eight evaluated systems, in Table-4 order.
+pub fn table4() -> Vec<SystemInfo> {
+    vec![
+        SystemInfo {
+            name: "WMRR",
+            category: Category::DetectionAndRepair,
+        },
+        SystemInfo {
+            name: "HoloClean",
+            category: Category::DetectionAndRepair,
+        },
+        SystemInfo {
+            name: "Raha",
+            category: Category::SemiSupervisedDetection,
+        },
+        SystemInfo {
+            name: "Auto-Detect",
+            category: Category::Detection,
+        },
+        SystemInfo {
+            name: "Potters-Wheel",
+            category: Category::InteractiveDetectionRepair,
+        },
+        SystemInfo {
+            name: "T5",
+            category: Category::DetectionAndRepair,
+        },
+        SystemInfo {
+            name: "GPT-3.5",
+            category: Category::DetectionAndRepair,
+        },
+        SystemInfo {
+            name: "DataVinci",
+            category: Category::DetectionAndRepair,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_systems_datavinci_last() {
+        let t = table4();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.last().unwrap().name, "DataVinci");
+    }
+
+    #[test]
+    fn categories_render() {
+        assert_eq!(
+            Category::SemiSupervisedDetection.as_str(),
+            "Semi-supervised Detection"
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! WMRR-like baseline: unsupervised weighted matching rectifying rules \[2\].
+//!
+//! The paper reimplements WMRR from its description (the tool is not
+//! public); we do the same. Rules come from two sources: approximate
+//! functional dependencies between a determinant column and the target
+//! column (a determinant value whose target values are dominated by one
+//! rectified value yields a weighted rule), and intra-column frequency
+//! rectification (rare values within small edit distance of frequent ones).
+//! Rules are weighted by support × confidence and the heaviest applicable
+//! rule wins — capturing WMRR's strength on inter-/intra-column
+//! dependencies and its blindness to semantic substrings (§5.2).
+
+use std::collections::HashMap;
+
+use datavinci_core::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
+use datavinci_regex::levenshtein_within;
+use datavinci_table::Table;
+
+/// Configuration for rule mining.
+#[derive(Debug, Clone, Copy)]
+pub struct WmrrConfig {
+    /// Minimum confidence for an FD-derived rule.
+    pub min_confidence: f64,
+    /// Minimum support (rows) behind a rule.
+    pub min_support: usize,
+    /// Maximum edit distance for intra-column rectification.
+    pub max_rectify_distance: usize,
+    /// Minimum frequency of a "canonical" intra-column value.
+    pub min_canonical_freq: usize,
+}
+
+impl Default for WmrrConfig {
+    fn default() -> Self {
+        WmrrConfig {
+            min_confidence: 0.8,
+            min_support: 3,
+            max_rectify_distance: 1,
+            min_canonical_freq: 3,
+        }
+    }
+}
+
+/// One mined rectifying rule.
+#[derive(Debug, Clone)]
+struct Rule {
+    /// Rows the rule fires on (violations).
+    violations: Vec<(usize, String)>, // (row, rectified value)
+    /// Rule weight = support × confidence.
+    weight: f64,
+    /// Provenance for reports.
+    description: String,
+}
+
+/// The WMRR-like system.
+#[derive(Debug, Default)]
+pub struct Wmrr {
+    cfg: WmrrConfig,
+}
+
+impl Wmrr {
+    /// With default mining parameters.
+    pub fn new() -> Wmrr {
+        Wmrr::default()
+    }
+
+    fn mine_rules(&self, table: &Table, col: usize) -> Vec<Rule> {
+        let target = table.column(col).expect("column in range");
+        let values: Vec<String> = target.rendered();
+        let mut rules = Vec::new();
+
+        // Inter-column approximate FDs: determinant → target.
+        for (d, det) in table.columns().iter().enumerate() {
+            if d == col {
+                continue;
+            }
+            let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+            for (row, v) in det.rendered().iter().enumerate() {
+                groups.entry(v.clone()).or_default().push(row);
+            }
+            for (det_value, rows) in groups {
+                if rows.len() < self.cfg.min_support || det_value.is_empty() {
+                    continue;
+                }
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for &r in &rows {
+                    *counts.entry(values[r].as_str()).or_insert(0) += 1;
+                }
+                let Some((&dominant, &freq)) =
+                    counts.iter().max_by_key(|&(v, c)| (*c, std::cmp::Reverse(v)))
+                else {
+                    continue;
+                };
+                let confidence = freq as f64 / rows.len() as f64;
+                if confidence < self.cfg.min_confidence || confidence >= 1.0 {
+                    continue;
+                }
+                let dominant = dominant.to_string();
+                let violations: Vec<(usize, String)> = rows
+                    .iter()
+                    .filter(|&&r| values[r] != dominant)
+                    .map(|&r| (r, dominant.clone()))
+                    .collect();
+                rules.push(Rule {
+                    weight: freq as f64 * confidence,
+                    description: format!(
+                        "{}={det_value:?} → {}={dominant:?}",
+                        det.name(),
+                        target.name()
+                    ),
+                    violations,
+                });
+            }
+        }
+
+        // Intra-column frequency rectification.
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for v in &values {
+            *freq.entry(v.as_str()).or_insert(0) += 1;
+        }
+        // A canonical must not merely be frequent: in dense value spaces
+        // (quarters, dates, counters) every value has close neighbours, so
+        // rectification additionally requires the canonical to hold a
+        // substantial share of the column.
+        let min_freq = self.cfg.min_canonical_freq.max(values.len() / 8);
+        let mut canonicals: Vec<(&str, usize)> = freq
+            .iter()
+            .filter(|&(v, &c)| c >= min_freq && !v.is_empty())
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        canonicals.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
+        for (row, v) in values.iter().enumerate() {
+            if freq[v.as_str()] > 1 || v.is_empty() {
+                continue;
+            }
+            let mut best: Option<(&str, usize, usize)> = None; // (canon, dist, count)
+            for &(canon, count) in &canonicals {
+                if let Some(d) = levenshtein_within(v, canon, self.cfg.max_rectify_distance) {
+                    if d > 0 && best.is_none_or(|(_, bd, bc)| d < bd || (d == bd && count > bc)) {
+                        best = Some((canon, d, count));
+                    }
+                }
+            }
+            if let Some((canon, _, count)) = best {
+                rules.push(Rule {
+                    weight: count as f64 * 0.9,
+                    description: format!("rectify {v:?} → {canon:?}"),
+                    violations: vec![(row, canon.to_string())],
+                });
+            }
+        }
+
+        rules.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rules
+    }
+}
+
+impl CleaningSystem for Wmrr {
+    fn name(&self) -> &'static str {
+        "WMRR"
+    }
+
+    fn detect(&self, table: &Table, col: usize) -> Vec<Detection> {
+        self.repair(table, col)
+            .into_iter()
+            .map(|r| Detection {
+                row: r.row,
+                value: r.original,
+            })
+            .collect()
+    }
+
+    fn repair(&self, table: &Table, col: usize) -> Vec<RepairSuggestion> {
+        let values: Vec<String> = table.column(col).expect("in range").rendered();
+        let mut best: HashMap<usize, (f64, String, String)> = HashMap::new();
+        for rule in self.mine_rules(table, col) {
+            for (row, rectified) in &rule.violations {
+                let entry = best.entry(*row);
+                match entry {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        if rule.weight > o.get().0 {
+                            o.insert((rule.weight, rectified.clone(), rule.description.clone()));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert((rule.weight, rectified.clone(), rule.description.clone()));
+                    }
+                }
+            }
+        }
+        let mut out: Vec<RepairSuggestion> = best
+            .into_iter()
+            .map(|(row, (weight, repaired, description))| RepairSuggestion {
+                row,
+                original: values[row].clone(),
+                repaired: repaired.clone(),
+                candidates: vec![RepairCandidate {
+                    repaired,
+                    cost: 0,
+                    score: -weight,
+                    provenance: description,
+                }],
+            })
+            .collect();
+        out.sort_by_key(|r| r.row);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    #[test]
+    fn fd_violation_detected_and_rectified() {
+        // city → zip FD with one violation.
+        let table = Table::new(vec![
+            Column::from_texts(
+                "city",
+                &["Boston", "Boston", "Boston", "Boston", "Boston", "Miami", "Miami", "Miami"],
+            ),
+            Column::from_texts(
+                "zip",
+                &["02101", "02101", "02101", "02101", "99999", "33101", "33101", "33101"],
+            ),
+        ]);
+        let w = Wmrr::new();
+        let repairs = w.repair(&table, 1);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].row, 4);
+        assert_eq!(repairs[0].repaired, "02101");
+    }
+
+    #[test]
+    fn intra_column_rectification() {
+        let table = Table::new(vec![Column::from_texts(
+            "status",
+            &["Active", "Active", "Active", "Actve", "Inactive", "Inactive", "Inactive"],
+        )]);
+        let w = Wmrr::new();
+        let repairs = w.repair(&table, 0);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].original, "Actve");
+        assert_eq!(repairs[0].repaired, "Active");
+    }
+
+    #[test]
+    fn no_rules_no_detections() {
+        let table = Table::new(vec![Column::from_texts("x", &["a", "b", "c", "d"])]);
+        let w = Wmrr::new();
+        assert!(w.detect(&table, 0).is_empty());
+    }
+
+    #[test]
+    fn misses_pattern_only_errors() {
+        // WMRR's characteristic blindness: a syntactic outlier with no FD
+        // or frequency signal is invisible.
+        let table = Table::new(vec![Column::from_texts(
+            "q",
+            &["Q1-21", "Q2-21", "Q3-21", "Q32001x"],
+        )]);
+        let w = Wmrr::new();
+        assert!(w.detect(&table, 0).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks over the hot paths backing Table 10:
+//! pattern profiling, NFA matching, the repair DP, semantic abstraction,
+//! formula execution, and the end-to-end column clean.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use datavinci_core::{minimal_edit_program, DataVinci};
+use datavinci_corpus::{Flavor, NoiseModel, TableSpec};
+use datavinci_formula::ColumnProgram;
+use datavinci_profile::{profile_plain, ProfilerConfig};
+use datavinci_regex::{CharClass, CompiledPattern, MaskedString, Pattern};
+use datavinci_semantic::{GazetteerLlm, SemanticAbstractor};
+use datavinci_table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_table(rows: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = TableSpec {
+        n_rows: rows,
+        flavors: vec![Flavor::PlayerWithCategory, Flavor::Quarter],
+    };
+    let clean = spec.generate(&mut rng);
+    let noise = NoiseModel { cell_prob: 0.1 };
+    let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
+    dirty
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let table = sample_table(200);
+    let values: Vec<String> = table.column(2).unwrap().rendered();
+    c.bench_function("profile_200_row_column", |b| {
+        b.iter(|| profile_plain(black_box(&values), &ProfilerConfig::default()))
+    });
+}
+
+fn bench_nfa_matching(c: &mut Criterion) {
+    let pattern = CompiledPattern::compile(Pattern::plus(Pattern::concat([
+        Pattern::lit("A"),
+        Pattern::Class(CharClass::Digit),
+        Pattern::lit("."),
+    ])));
+    let values: Vec<MaskedString> = (0..64)
+        .map(|i| MaskedString::from_plain(&"A1.".repeat(i % 8 + 1)))
+        .collect();
+    c.bench_function("nfa_match_64_values", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .filter(|v| pattern.matches(black_box(v)))
+                .count()
+        })
+    });
+}
+
+fn bench_repair_dp(c: &mut Criterion) {
+    let pattern = CompiledPattern::compile(Pattern::concat([
+        Pattern::Class(CharClass::Upper),
+        Pattern::class_n(CharClass::Upper, 1),
+        Pattern::lit("-"),
+        Pattern::class_n(CharClass::Digit, 3),
+        Pattern::lit("-"),
+        Pattern::disj(["PRO", "QUA", "JUN"]),
+    ]));
+    let value = MaskedString::from_plain("usa_837");
+    c.bench_function("repair_dp_mixed_pattern", |b| {
+        b.iter(|| {
+            let dag = pattern.dag_for_len(value.len());
+            minimal_edit_program(black_box(&dag), black_box(&value))
+        })
+    });
+}
+
+fn bench_semantic_abstraction(c: &mut Criterion) {
+    let abstractor = SemanticAbstractor::new(GazetteerLlm::new());
+    let values: Vec<String> = ["US-837-PRO", "usa_201", "FR-475-QUA", "DE-204-PRO"]
+        .iter()
+        .cycle()
+        .take(100)
+        .map(|s| s.to_string())
+        .collect();
+    c.bench_function("semantic_abstract_100_values", |b| {
+        b.iter(|| abstractor.abstract_column("Player ID", black_box(&values)))
+    });
+}
+
+fn bench_formula_execution(c: &mut Criterion) {
+    let table = sample_table(400);
+    let program = ColumnProgram::parse("=SEARCH(\"-\", [@[Player ID]]) * 2").expect("parses");
+    c.bench_function("formula_execute_400_rows", |b| {
+        b.iter(|| program.execution_groups(black_box(&table)))
+    });
+}
+
+fn bench_end_to_end_clean(c: &mut Criterion) {
+    let dv = DataVinci::new();
+    c.bench_function("clean_column_end_to_end_120_rows", |b| {
+        b.iter_batched(
+            || sample_table(120),
+            |table| dv.clean_column(black_box(&table), 2),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_profiler,
+        bench_nfa_matching,
+        bench_repair_dp,
+        bench_semantic_abstraction,
+        bench_formula_execution,
+        bench_end_to_end_clean
+);
+criterion_main!(micro);

@@ -1,0 +1,54 @@
+//! Regenerates paper Table 10: time / disk / memory per system on the
+//! Wikipedia-like benchmark.
+//!
+//! Substitutions (documented in DESIGN.md): "disk" is the persistent-model
+//! footprint estimate; "memory" is peak live heap measured by a metering
+//! allocator. Absolute values differ from the paper's hardware; the *shape*
+//! (HoloClean and T5 heaviest, DataVinci light) is the reproduced claim.
+
+use datavinci_bench::alloc_meter::{peak_bytes, reset_peak, MeteredAlloc};
+use datavinci_bench::report::{print_table, PAPER_TABLE10};
+use datavinci_bench::{Cli, Harness, SystemKind};
+use datavinci_corpus::wikipedia_like;
+
+#[global_allocator]
+static ALLOC: MeteredAlloc = MeteredAlloc;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("building harness…");
+    let harness = Harness::new(cli.seed ^ 0xBEEF);
+    let wiki = wikipedia_like(cli.seed, cli.scale);
+
+    let mut rows = Vec::new();
+    for kind in SystemKind::main_lineup() {
+        eprintln!("  running {} …", kind.name());
+        reset_peak();
+        let ms = harness.time_per_table(kind, &wiki);
+        let mem_mb = peak_bytes() as f64 / (1024.0 * 1024.0);
+        let disk_mb = harness.model_bytes(kind) as f64 / (1024.0 * 1024.0);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{ms:.1}"),
+            format!("{disk_mb:.2}"),
+            format!("{mem_mb:.1}"),
+        ]);
+    }
+    print_table(
+        "Table 10 — Runtime resources per table (measured)",
+        &["System", "Time(ms)", "Disk(MB)", "Memory(MB)"],
+        &rows,
+    );
+    let paper_rows: Vec<Vec<String>> = PAPER_TABLE10
+        .iter()
+        .map(|r| {
+            let f = |v: Option<f64>| v.map_or("–".to_string(), |x| format!("{x:.1}"));
+            vec![r.0.to_string(), format!("{:.1}", r.1), f(r.2), f(r.3)]
+        })
+        .collect();
+    print_table(
+        "Table 10 — Runtime resources (paper)",
+        &["System", "Time(ms)", "Disk(MB)", "Memory(MB)"],
+        &paper_rows,
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Table 4: system comparison overview.
+
+use datavinci_baselines::table4;
+use datavinci_bench::report::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table4()
+        .into_iter()
+        .map(|s| vec![s.name.to_string(), s.category.as_str().to_string()])
+        .collect();
+    print_table("Table 4 — System comparison overview", &["System", "Category"], &rows);
+}

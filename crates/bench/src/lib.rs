@@ -1,0 +1,57 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§4–§5).
+//!
+//! * [`metrics`] — detection precision/recall/F1, fire rate, certain/
+//!   possible repair precision, repair-given-detection.
+//! * [`runner`] — builds all systems with their training context and runs
+//!   them over the four benchmarks; the Table-8 execution protocol.
+//!
+//! One binary per paper artifact: `table3` … `table10`, `fig7`. Each prints
+//! the measured values next to the paper's, and accepts `--smoke`
+//! (tiny), default (medium), or `--full` (paper-scale) sizing plus
+//! `--seed N`. EXPERIMENTS.md records a reference run.
+
+pub mod alloc_meter;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{truth_rows, DetectionCounts, RepairCounts};
+pub use runner::{ExecMode, ExecOutcome, Harness, SystemKind};
+
+/// Shared CLI parsing for the table binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Benchmark scale.
+    pub scale: datavinci_corpus::Scale,
+    /// Evaluation seed.
+    pub seed: u64,
+    /// Paper-scale run?
+    pub full: bool,
+}
+
+impl Cli {
+    /// Parses `--smoke`, `--full`, `--seed N` from `std::env::args`.
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = datavinci_corpus::Scale {
+            n_tables: 60,
+            row_divisor: 2,
+        };
+        let mut full = false;
+        if args.iter().any(|a| a == "--smoke") {
+            scale = datavinci_corpus::Scale::smoke();
+        }
+        if args.iter().any(|a| a == "--full") {
+            scale = datavinci_corpus::Scale::paper();
+            full = true;
+        }
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2024);
+        Cli { scale, seed, full }
+    }
+}

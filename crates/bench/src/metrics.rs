@@ -1,0 +1,299 @@
+//! Evaluation metrics (paper §5): detection precision/recall/F1, fire rate,
+//! repair precision (certain / possible), and repair-given-detection.
+//!
+//! Generation-time ground truth replaces the paper's manual annotation:
+//! a detection is a true positive when the cell was corrupted; a repair is
+//! **certain-correct** when it reproduces the latent clean value exactly,
+//! and **possible-correct** when it at least strictly reduces the distance
+//! to the clean value (the mechanical analogue of "reasonable but not
+//! uniquely determined").
+
+use datavinci_core::{Detection, RepairSuggestion};
+use datavinci_regex::levenshtein;
+use datavinci_table::{CellRef, Table};
+use serde::Serialize;
+
+/// Confusion counts for detection on one column.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DetectionCounts {
+    /// Detected and truly corrupted.
+    pub tp: usize,
+    /// Detected but clean.
+    pub fp: usize,
+    /// Corrupted but missed.
+    pub fn_: usize,
+    /// Cells in the column.
+    pub cells: usize,
+}
+
+impl DetectionCounts {
+    /// Scores one column's detections against the corrupted ground truth.
+    pub fn score(detections: &[Detection], truth_rows: &[usize], n_rows: usize) -> Self {
+        let tp = detections
+            .iter()
+            .filter(|d| truth_rows.contains(&d.row))
+            .count();
+        DetectionCounts {
+            tp,
+            fp: detections.len() - tp,
+            fn_: truth_rows.len() - tp,
+            cells: n_rows,
+        }
+    }
+
+    /// Merges counts (micro-averaging).
+    pub fn add(&mut self, other: &DetectionCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.cells += other.cells;
+    }
+
+    /// Precision in percent (100 when nothing was detected).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            100.0
+        } else {
+            100.0 * self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall in percent.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            100.0
+        } else {
+            100.0 * self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 in percent.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Average fraction of cells flagged, in percent (the paper's fire rate).
+    pub fn fire_rate(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            100.0 * (self.tp + self.fp) as f64 / self.cells as f64
+        }
+    }
+}
+
+/// Repair outcome counts for one column.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RepairCounts {
+    /// Suggestions made.
+    pub suggested: usize,
+    /// Exactly reproduced the clean value.
+    pub certain_correct: usize,
+    /// Strictly closer to the clean value (includes exact).
+    pub possible_correct: usize,
+    /// Suggestions on truly corrupted cells (correct detections).
+    pub on_true_errors: usize,
+    /// Exact repairs among `on_true_errors`.
+    pub correct_on_true_errors: usize,
+    /// Ground-truth errors in the column.
+    pub truth: usize,
+}
+
+impl RepairCounts {
+    /// Scores one column's repairs.
+    pub fn score(
+        repairs: &[RepairSuggestion],
+        truth_rows: &[usize],
+        clean: &Table,
+        col: usize,
+    ) -> Self {
+        let mut out = RepairCounts {
+            suggested: repairs.len(),
+            truth: truth_rows.len(),
+            ..Default::default()
+        };
+        for r in repairs {
+            let clean_value = clean
+                .cell(CellRef::new(col, r.row))
+                .map(|v| v.render())
+                .unwrap_or_default();
+            let exact = r.repaired == clean_value;
+            let improved = exact
+                || levenshtein(&r.repaired, &clean_value) < levenshtein(&r.original, &clean_value);
+            if exact {
+                out.certain_correct += 1;
+            }
+            if improved {
+                out.possible_correct += 1;
+            }
+            if truth_rows.contains(&r.row) {
+                out.on_true_errors += 1;
+                if exact {
+                    out.correct_on_true_errors += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Merges counts.
+    pub fn add(&mut self, other: &RepairCounts) {
+        self.suggested += other.suggested;
+        self.certain_correct += other.certain_correct;
+        self.possible_correct += other.possible_correct;
+        self.on_true_errors += other.on_true_errors;
+        self.correct_on_true_errors += other.correct_on_true_errors;
+        self.truth += other.truth;
+    }
+
+    /// Certain repair precision in percent.
+    pub fn precision_certain(&self) -> f64 {
+        if self.suggested == 0 {
+            100.0
+        } else {
+            100.0 * self.certain_correct as f64 / self.suggested as f64
+        }
+    }
+
+    /// Possible repair precision in percent.
+    pub fn precision_possible(&self) -> f64 {
+        if self.suggested == 0 {
+            100.0
+        } else {
+            100.0 * self.possible_correct as f64 / self.suggested as f64
+        }
+    }
+
+    /// Repair recall vs injected errors, in percent (Table 6 Synthetic).
+    pub fn recall(&self) -> f64 {
+        if self.truth == 0 {
+            100.0
+        } else {
+            100.0 * self.correct_on_true_errors as f64 / self.truth as f64
+        }
+    }
+
+    /// F1 of certain precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision_certain();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Table 7: repair precision restricted to correctly detected errors.
+    pub fn precision_given_detection(&self) -> f64 {
+        if self.on_true_errors == 0 {
+            100.0
+        } else {
+            100.0 * self.correct_on_true_errors as f64 / self.on_true_errors as f64
+        }
+    }
+}
+
+/// Truth rows (corrupted cells) for one column of a benchmark table.
+pub fn truth_rows(corrupted: &[CellRef], col: usize) -> Vec<usize> {
+    corrupted
+        .iter()
+        .filter(|c| c.col == col)
+        .map(|c| c.row)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    fn det(rows: &[usize]) -> Vec<Detection> {
+        rows.iter()
+            .map(|&row| Detection {
+                row,
+                value: String::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detection_counts() {
+        let c = DetectionCounts::score(&det(&[1, 2, 3]), &[2, 3, 4], 10);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.fn_, 1);
+        assert!((c.precision() - 200.0 / 3.0).abs() < 1e-9);
+        assert!((c.recall() - 200.0 / 3.0).abs() < 1e-9);
+        assert!((c.fire_rate() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_detection_is_perfect_precision_zero_fire() {
+        let c = DetectionCounts::score(&[], &[1], 10);
+        assert_eq!(c.precision(), 100.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.fire_rate(), 0.0);
+    }
+
+    #[test]
+    fn repair_scoring_certain_vs_possible() {
+        let clean = Table::new(vec![Column::from_texts("c", &["Q1-22", "Q2-22", "Q3-22"])]);
+        let repairs = vec![
+            RepairSuggestion {
+                row: 0,
+                original: "Q122".into(),
+                repaired: "Q1-22".into(), // exact
+                candidates: vec![],
+            },
+            RepairSuggestion {
+                row: 1,
+                original: "Qx2-2x2".into(),
+                repaired: "Q2-2x2".into(), // improved, not exact
+                candidates: vec![],
+            },
+            RepairSuggestion {
+                row: 2,
+                original: "Q3-22".into(),
+                repaired: "zzz".into(), // worse
+                candidates: vec![],
+            },
+        ];
+        let c = RepairCounts::score(&repairs, &[0, 1], &clean, 0);
+        assert_eq!(c.certain_correct, 1);
+        assert_eq!(c.possible_correct, 2);
+        assert_eq!(c.on_true_errors, 2);
+        assert_eq!(c.correct_on_true_errors, 1);
+        assert!((c.precision_certain() - 100.0 / 3.0).abs() < 1e-9);
+        assert!((c.precision_possible() - 200.0 / 3.0).abs() < 1e-9);
+        assert!((c.precision_given_detection() - 50.0).abs() < 1e-9);
+        assert!((c.recall() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truth_row_extraction() {
+        let corrupted = vec![CellRef::new(0, 3), CellRef::new(1, 5), CellRef::new(0, 9)];
+        assert_eq!(truth_rows(&corrupted, 0), vec![3, 9]);
+        assert_eq!(truth_rows(&corrupted, 1), vec![5]);
+        assert!(truth_rows(&corrupted, 2).is_empty());
+    }
+
+    #[test]
+    fn merging_is_additive() {
+        let mut a = DetectionCounts::score(&det(&[1]), &[1], 5);
+        let b = DetectionCounts::score(&det(&[0]), &[1], 5);
+        a.add(&b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fp, 1);
+        assert_eq!(a.fn_, 1);
+        assert_eq!(a.cells, 10);
+    }
+}

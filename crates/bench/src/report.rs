@@ -1,0 +1,149 @@
+//! Plain-text table rendering for the experiment binaries, plus the paper's
+//! published numbers for side-by-side comparison.
+
+/// Renders an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<String>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// The paper's Table 5 (detection) reference values:
+/// (system, wiki precision, wiki fire, excel precision, excel fire,
+/// synth precision*, synth recall, synth F1*). `None` = not reported.
+pub type T5Row = (
+    &'static str,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+);
+
+/// Paper Table 5.
+#[allow(clippy::type_complexity)]
+pub const PAPER_TABLE5: &[T5Row] = &[
+    ("WMRR", Some(70.0), Some(2.93), Some(65.8), Some(2.76), Some(55.3), Some(66.8), Some(60.5)),
+    ("HoloClean", Some(67.0), Some(3.87), Some(65.2), Some(2.50), Some(52.1), Some(64.1), Some(57.5)),
+    ("Raha", Some(68.9), Some(4.03), Some(66.4), Some(3.74), Some(59.5), Some(68.2), Some(63.6)),
+    ("Potters-Wheel", Some(66.2), None, None, None, None, None, None),
+    ("Auto-Detect", Some(78.5), None, None, None, None, None, None),
+    ("T5", Some(60.8), Some(27.47), Some(53.8), Some(19.02), Some(40.5), Some(56.3), Some(47.1)),
+    ("GPT-3.5", Some(73.9), Some(10.99), Some(60.4), Some(11.71), Some(50.1), Some(69.8), Some(58.3)),
+    ("DataVinci", Some(80.1), Some(16.85), Some(75.1), Some(14.39), Some(67.4), Some(73.4), Some(70.3)),
+];
+
+/// Paper Table 6 (repair): (system, wiki certain, wiki possible,
+/// excel certain, excel possible, synth precision*, recall, F1*).
+pub const PAPER_TABLE6: &[T5Row] = &[
+    ("WMRR", Some(61.1), Some(57.8), Some(59.2), Some(55.6), Some(43.2), Some(61.1), Some(50.6)),
+    ("HoloClean", Some(58.4), Some(55.6), Some(59.0), Some(54.9), Some(41.3), Some(58.6), Some(48.5)),
+    ("Raha + GPT-3.5", Some(58.6), Some(54.8), Some(56.4), Some(53.5), Some(45.2), Some(62.0), Some(52.3)),
+    ("Potters-Wheel + GPT-3.5", Some(56.2), Some(52.0), None, None, None, None, None),
+    ("Auto-Detect + GPT-3.5", Some(66.9), Some(63.3), None, None, None, None, None),
+    ("T5", Some(41.0), Some(37.8), Some(37.7), Some(35.2), Some(27.9), Some(47.0), Some(35.0)),
+    ("GPT-3.5", Some(63.9), Some(55.5), Some(52.1), Some(48.9), Some(38.2), Some(63.8), Some(47.8)),
+    ("DataVinci", Some(71.3), Some(64.9), Some(71.2), Some(64.6), Some(54.1), Some(68.9), Some(60.6)),
+];
+
+/// Paper Table 7: repair precision on correctly detected errors.
+#[allow(clippy::type_complexity)]
+pub const PAPER_TABLE7: &[(&str, Option<f64>, Option<f64>, Option<f64>)] = &[
+    ("WMRR", Some(87.3), Some(89.9), Some(78.2)),
+    ("HoloClean", Some(87.1), Some(90.5), Some(79.3)),
+    ("Raha + GPT-3.5", Some(85.0), Some(85.0), Some(76.0)),
+    ("Potters-Wheel + GPT-3.5", Some(84.9), None, None),
+    ("Auto-Detect + GPT-3.5", Some(85.2), None, None),
+    ("T5", Some(67.4), Some(70.1), Some(68.8)),
+    ("GPT-3.5", Some(86.5), Some(86.3), Some(76.3)),
+    ("DataVinci", Some(89.0), Some(91.2), Some(80.3)),
+];
+
+/// Paper Table 8: (row, single formula %, single cell %, multi formula %,
+/// multi cell %).
+pub const PAPER_TABLE8: &[(&str, f64, f64, f64, f64)] = &[
+    ("No Repair", 0.0, 85.8, 0.0, 81.4),
+    ("WMRR", 32.6, 94.4, 29.6, 90.1),
+    ("Raha + GPT-3.5", 34.5, 92.6, 31.4, 88.3),
+    ("T5", 11.2, 89.4, 6.4, 86.2),
+    ("DataVinci Unsupervised", 43.2, 94.3, 35.7, 90.9),
+    ("DataVinci + Execution", 54.0, 96.5, 47.8, 94.0),
+];
+
+/// Paper Table 9 ablations on the synthetic benchmark: (model, precision,
+/// recall, F1).
+pub const PAPER_TABLE9: &[(&str, f64, f64, f64)] = &[
+    ("No semantic abstraction", 50.3, 62.9, 55.9),
+    ("Limited semantic concretization", 52.0, 65.6, 58.0),
+    ("No learned concretization", 46.3, 51.0, 48.5),
+    ("Edit distance ranking", 53.2, 67.1, 69.3),
+    ("DataVinci", 54.1, 68.9, 60.6),
+];
+
+/// Paper Table 10: (system, time ms, disk MB, memory MB).
+pub const PAPER_TABLE10: &[(&str, f64, Option<f64>, Option<f64>)] = &[
+    ("WMRR", 247.4, Some(4.6), Some(914.5)),
+    ("HoloClean", 1049.3, Some(996.3), Some(1647.2)),
+    ("Raha", 321.8, Some(65.3), Some(645.4)),
+    ("Potters-Wheel*", 110.0, None, None),
+    ("Auto-Detect*", 290.0, None, None),
+    ("T5", 858.3, Some(886.2), Some(1534.2)),
+    ("GPT-3.5", 1325.6, None, None),
+    ("DataVinci", 261.5, Some(5.6), Some(10.5)),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_have_expected_shapes() {
+        assert_eq!(PAPER_TABLE5.len(), 8);
+        assert_eq!(PAPER_TABLE6.len(), 8);
+        assert_eq!(PAPER_TABLE7.len(), 8);
+        assert_eq!(PAPER_TABLE8.len(), 6);
+        assert_eq!(PAPER_TABLE9.len(), 5);
+        assert_eq!(PAPER_TABLE10.len(), 8);
+        // DataVinci leads precision in the paper's Table 5.
+        let dv = PAPER_TABLE5.last().unwrap();
+        assert!(PAPER_TABLE5[..7]
+            .iter()
+            .all(|r| r.1.unwrap_or(0.0) < dv.1.unwrap()));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(80.123), "80.1");
+        assert_eq!(pct(0.0), "0.0");
+    }
+}

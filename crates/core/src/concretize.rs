@@ -1,0 +1,444 @@
+//! Concretizing abstract edit actions with learned value constraints
+//! (paper §3.4).
+//!
+//! For every character class / string disjunction the abstract repair must
+//! emit, we learn a decision tree from rows whose value matches the
+//! significant pattern: features are Table-2 predicates over all columns,
+//! labels are the concrete character/alternative the matching path consumed
+//! on that atom occurrence (Example 5). At repair time the tree predicts
+//! the filler from the *error row's* features (Figure 2's `{CAT1}` ↔
+//! Category-column constraint). Fallbacks: pooled-occurrence majority, then
+//! the class representative / first alternative.
+
+use std::collections::HashMap;
+
+use crate::config::DataVinciConfig;
+use crate::dtree::{learn, DecisionTree};
+use crate::edit::{AbstractRepair, Emit};
+use crate::features::FeatureSet;
+use datavinci_profile::LearnedPattern;
+use datavinci_regex::{AtomId, AtomKey, MaskedString};
+use datavinci_table::Table;
+
+/// Training data and learned trees for one significant pattern.
+#[derive(Debug, Default)]
+struct PatternTraining {
+    /// (atom occurrence) → (row, consumed text) examples.
+    examples: HashMap<AtomKey, Vec<(usize, String)>>,
+    /// Pooled per-atom examples (all occurrences).
+    pooled: HashMap<AtomId, Vec<(usize, String)>>,
+    /// Learned trees (lazily), keyed by atom occurrence; `None` caches a
+    /// failed learn.
+    trees: HashMap<AtomKey, Option<(DecisionTree, Vec<String>)>>,
+}
+
+/// The concretization engine for one table.
+pub struct Concretizer<'a> {
+    table: &'a Table,
+    features: FeatureSet,
+    cfg: &'a DataVinciConfig,
+    /// Cached row features.
+    row_cache: HashMap<usize, Vec<bool>>,
+    /// Per-pattern training state, keyed by caller-provided pattern index.
+    training: HashMap<usize, PatternTraining>,
+}
+
+impl<'a> Concretizer<'a> {
+    /// Builds the engine (generates the table's feature set once).
+    pub fn new(table: &'a Table, cfg: &'a DataVinciConfig) -> Concretizer<'a> {
+        Concretizer {
+            table,
+            features: FeatureSet::generate(table),
+            cfg,
+            row_cache: HashMap::new(),
+            training: HashMap::new(),
+        }
+    }
+
+    /// The generated feature set (for reports/tests).
+    pub fn features(&self) -> &FeatureSet {
+        &self.features
+    }
+
+    fn row_features(&mut self, row: usize) -> Vec<bool> {
+        if let Some(f) = self.row_cache.get(&row) {
+            return f.clone();
+        }
+        let f = self.features.row_features(self.table, row);
+        self.row_cache.insert(row, f.clone());
+        f
+    }
+
+    /// Registers training data for a pattern: bindings of every matching
+    /// (non-error) row. `rows` are table-row indices; `masked` is the full
+    /// masked column.
+    pub fn train_pattern(
+        &mut self,
+        pattern_idx: usize,
+        pattern: &LearnedPattern,
+        rows: &[usize],
+        masked: &[MaskedString],
+    ) {
+        if self.training.contains_key(&pattern_idx) {
+            return;
+        }
+        let mut t = PatternTraining::default();
+        for &row in rows {
+            let Some(value) = masked.get(row) else { continue };
+            let Some(bindings) = pattern.compiled.bindings(value) else {
+                continue;
+            };
+            for b in bindings.items {
+                t.examples
+                    .entry(b.key)
+                    .or_default()
+                    .push((row, b.text.clone()));
+                t.pooled
+                    .entry(b.key.atom)
+                    .or_default()
+                    .push((row, b.text));
+            }
+        }
+        self.training.insert(pattern_idx, t);
+    }
+
+    /// Produces filler tuples for the repair's fillable holes.
+    ///
+    /// With learned concretization: one tuple (tree/majority predictions).
+    /// Without (§5.4.2 ablation): the capped cross-product of observed
+    /// candidate values per hole, for the ranker to sort.
+    pub fn fillers(
+        &mut self,
+        pattern_idx: usize,
+        error_row: usize,
+        repair: &AbstractRepair,
+    ) -> Vec<Vec<String>> {
+        let holes: Vec<Emit> = repair.fillable_holes().into_iter().cloned().collect();
+        if holes.is_empty() {
+            return vec![Vec::new()];
+        }
+        if self.cfg.learned_concretization {
+            let tuple: Vec<String> = holes
+                .iter()
+                .map(|h| self.predict_hole(pattern_idx, error_row, h))
+                .collect();
+            vec![tuple]
+        } else {
+            let per_hole: Vec<Vec<String>> = holes
+                .iter()
+                .map(|h| self.enumerate_hole(pattern_idx, h))
+                .collect();
+            cross_product(&per_hole, self.cfg.max_enumerated_candidates)
+        }
+    }
+
+    /// Predicts one hole's filler via tree → pooled majority → default.
+    fn predict_hole(&mut self, pattern_idx: usize, error_row: usize, hole: &Emit) -> String {
+        let key = hole_key(hole);
+        if let Some(prediction) = self.tree_prediction(pattern_idx, error_row, key) {
+            if filler_valid(hole, &prediction) {
+                return prediction;
+            }
+        }
+        if let Some(majority) = self.pooled_majority(pattern_idx, key.atom) {
+            if filler_valid(hole, &majority) {
+                return majority;
+            }
+        }
+        default_filler(hole)
+    }
+
+    fn tree_prediction(
+        &mut self,
+        pattern_idx: usize,
+        error_row: usize,
+        key: AtomKey,
+    ) -> Option<String> {
+        // Learn (or fetch) the tree for this atom occurrence.
+        let needs_learning = !self
+            .training
+            .get(&pattern_idx)?
+            .trees
+            .contains_key(&key);
+        if needs_learning {
+            let examples = self
+                .training
+                .get(&pattern_idx)?
+                .examples
+                .get(&key)
+                .cloned()
+                .unwrap_or_default();
+            let learned = self.learn_tree(&examples);
+            self.training
+                .get_mut(&pattern_idx)
+                .expect("trained above")
+                .trees
+                .insert(key, learned);
+        }
+        let (tree, labels) = self
+            .training
+            .get(&pattern_idx)?
+            .trees
+            .get(&key)?
+            .clone()?;
+        let f = self.row_features(error_row);
+        let label = tree.predict(&f) as usize;
+        labels.get(label).cloned()
+    }
+
+    fn learn_tree(&mut self, examples: &[(usize, String)]) -> Option<(DecisionTree, Vec<String>)> {
+        if examples.len() < 2 {
+            return None;
+        }
+        let mut label_names: Vec<String> = examples.iter().map(|(_, t)| t.clone()).collect();
+        label_names.sort();
+        label_names.dedup();
+        if label_names.len() < 2 {
+            // Constant label: a leaf is exact, and cheap to represent.
+            return Some((DecisionTree::Leaf(0), label_names));
+        }
+        let rows: Vec<Vec<bool>> = examples
+            .iter()
+            .map(|(row, _)| self.row_features(*row))
+            .collect();
+        let labels: Vec<u32> = examples
+            .iter()
+            .map(|(_, t)| label_names.iter().position(|l| l == t).expect("deduped") as u32)
+            .collect();
+        learn(&rows, &labels, &self.cfg.dtree).map(|t| (t, label_names))
+    }
+
+    fn pooled_majority(&self, pattern_idx: usize, atom: AtomId) -> Option<String> {
+        let pooled = self.training.get(&pattern_idx)?.pooled.get(&atom)?;
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for (_, t) in pooled {
+            *counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(t, c)| (c, std::cmp::Reverse(t)))
+            .map(|(t, _)| t.to_string())
+    }
+
+    /// Candidate fillers for the enumeration ablation: distinct observed
+    /// values for the occurrence, else pooled, else the default.
+    fn enumerate_hole(&self, pattern_idx: usize, hole: &Emit) -> Vec<String> {
+        let key = hole_key(hole);
+        let observed: Vec<String> = self
+            .training
+            .get(&pattern_idx)
+            .map(|t| {
+                let source = t
+                    .examples
+                    .get(&key)
+                    .or_else(|| t.pooled.get(&key.atom).map(|_| t.examples.get(&key).unwrap_or(&EMPTY)))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]);
+                let mut texts: Vec<String> = source.iter().map(|(_, t)| t.clone()).collect();
+                if texts.is_empty() {
+                    if let Some(pooled) = t.pooled.get(&key.atom) {
+                        texts = pooled.iter().map(|(_, t)| t.clone()).collect();
+                    }
+                }
+                texts.sort();
+                texts.dedup();
+                texts.retain(|t| filler_valid(hole, t));
+                texts
+            })
+            .unwrap_or_default();
+        if observed.is_empty() {
+            vec![default_filler(hole)]
+        } else {
+            observed
+        }
+    }
+}
+
+static EMPTY: Vec<(usize, String)> = Vec::new();
+
+fn hole_key(hole: &Emit) -> AtomKey {
+    match hole {
+        Emit::Class(_, key) | Emit::Disj(_, key) | Emit::Mask(_, key) => *key,
+        Emit::Char(_) => unreachable!("concrete emissions are not holes"),
+    }
+}
+
+/// A filler is valid when it lies in the hole's domain.
+fn filler_valid(hole: &Emit, text: &str) -> bool {
+    match hole {
+        Emit::Class(cc, _) => {
+            let mut chars = text.chars();
+            matches!((chars.next(), chars.next()), (Some(c), None) if cc.contains(c))
+        }
+        Emit::Disj(alts, _) => alts.iter().any(|a| a == text),
+        _ => false,
+    }
+}
+
+/// The last-resort filler.
+fn default_filler(hole: &Emit) -> String {
+    match hole {
+        Emit::Class(cc, _) => cc.representative().to_string(),
+        Emit::Disj(alts, _) => alts.first().cloned().unwrap_or_default(),
+        Emit::Mask(..) | Emit::Char(_) => String::new(),
+    }
+}
+
+/// Bounded cross-product of per-hole candidate lists.
+fn cross_product(per_hole: &[Vec<String>], cap: usize) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = vec![Vec::new()];
+    for candidates in per_hole {
+        let mut next = Vec::new();
+        'outer: for prefix in &out {
+            for c in candidates {
+                let mut tuple = prefix.clone();
+                tuple.push(c.clone());
+                next.push(tuple);
+                if next.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+        out = next;
+        if out.len() >= cap {
+            out.truncate(cap);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_profile::{profile_plain, ProfilerConfig};
+    use datavinci_table::Column;
+
+    /// Figure-2-shaped table: suffix determined by the Category column.
+    fn figure2_table() -> Table {
+        Table::new(vec![
+            Column::from_texts(
+                "Category",
+                &[
+                    "Professional",
+                    "Qualifier",
+                    "Professional",
+                    "Qualifier",
+                    "Professional",
+                ],
+            ),
+            Column::from_texts(
+                "Player ID",
+                &["AA-PRO", "BB-QUA", "CC-PRO", "DD-QUA", "EE"],
+            ),
+        ])
+    }
+
+    #[test]
+    fn figure2_constraint_learned_from_category_column() {
+        let table = figure2_table();
+        let cfg = DataVinciConfig::default();
+        // Profile the Player ID column (plain; no semantics needed here).
+        let values: Vec<String> = table.column(1).unwrap().rendered();
+        let profile = profile_plain(&values, &ProfilerConfig::default());
+        let lp = profile
+            .patterns
+            .iter()
+            .find(|p| p.pattern.to_string().contains("(PRO|QUA)"))
+            .expect("disjunction pattern learned");
+
+        let mut cz = Concretizer::new(&table, &cfg);
+        cz.train_pattern(0, lp, &lp.rows, &masked(&values));
+
+        // Repair "EE" (row 4): DP would need I(-), I(PRO|QUA); simulate the
+        // hole directly.
+        let compiled = &lp.compiled;
+        let dag = compiled.dag_for_len(2);
+        let program = crate::repair_dp::minimal_edit_program(&dag, &"EE".into()).unwrap();
+        let repair = program.apply(&"EE".into());
+        let fillers = cz.fillers(0, 4, &repair);
+        assert_eq!(fillers.len(), 1);
+        // Row 4's Category is Professional → the tree must pick PRO.
+        let repaired = repair.fill(&fillers[0]);
+        assert_eq!(repaired.to_plain().as_deref(), Some("EE-PRO"));
+    }
+
+    fn masked(values: &[String]) -> Vec<MaskedString> {
+        values
+            .iter()
+            .map(|v| MaskedString::from_plain(v))
+            .collect()
+    }
+
+    #[test]
+    fn enumeration_mode_produces_multiple_candidates() {
+        let table = figure2_table();
+        let cfg = DataVinciConfig::ablation_no_learned_concretization();
+        let values: Vec<String> = table.column(1).unwrap().rendered();
+        let profile = profile_plain(&values, &ProfilerConfig::default());
+        let lp = profile
+            .patterns
+            .iter()
+            .find(|p| p.pattern.to_string().contains("(PRO|QUA)"))
+            .expect("disjunction pattern");
+        let mut cz = Concretizer::new(&table, &cfg);
+        cz.train_pattern(0, lp, &lp.rows, &masked(&values));
+        let dag = lp.compiled.dag_for_len(2);
+        let program = crate::repair_dp::minimal_edit_program(&dag, &"EE".into()).unwrap();
+        let repair = program.apply(&"EE".into());
+        let fillers = cz.fillers(0, 4, &repair);
+        assert!(fillers.len() >= 2, "expected enumeration, got {fillers:?}");
+    }
+
+    #[test]
+    fn fallback_to_majority_without_features() {
+        // Single-column table: no cross-column features survive, trees
+        // cannot split usefully → pooled majority.
+        let table = Table::new(vec![Column::from_texts(
+            "c",
+            &["A1", "A1", "A1", "A2", "B9"],
+        )]);
+        let cfg = DataVinciConfig::default();
+        let values: Vec<String> = table.column(0).unwrap().rendered();
+        let profile = profile_plain(&values, &ProfilerConfig::default());
+        let lp = &profile.patterns[0];
+        let mut cz = Concretizer::new(&table, &cfg);
+        cz.train_pattern(0, lp, &lp.rows, &masked(&values));
+        let dag = lp.compiled.dag_for_len(0);
+        let program = crate::repair_dp::minimal_edit_program(&dag, &"".into()).unwrap();
+        let repair = program.apply(&"".into());
+        let fillers = cz.fillers(0, 0, &repair);
+        assert_eq!(fillers.len(), 1);
+        // All fillers drawn from observed characters.
+        for f in &fillers[0] {
+            assert!(!f.is_empty());
+        }
+    }
+
+    #[test]
+    fn cross_product_is_capped() {
+        let per_hole = vec![
+            vec!["a".to_string(), "b".to_string(), "c".to_string()],
+            vec!["1".to_string(), "2".to_string(), "3".to_string()],
+            vec!["x".to_string(), "y".to_string(), "z".to_string()],
+        ];
+        let tuples = cross_product(&per_hole, 10);
+        assert!(tuples.len() <= 10);
+        assert!(tuples.iter().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn filler_validity() {
+        use datavinci_regex::{AtomId, CharClass};
+        let key = AtomKey {
+            atom: AtomId(0),
+            occ: 0,
+        };
+        let class_hole = Emit::Class(CharClass::Digit, key);
+        assert!(filler_valid(&class_hole, "7"));
+        assert!(!filler_valid(&class_hole, "x"));
+        assert!(!filler_valid(&class_hole, "77"));
+        let disj_hole = Emit::Disj(vec!["CAT".into(), "PRO".into()], key);
+        assert!(filler_valid(&disj_hole, "PRO"));
+        assert!(!filler_valid(&disj_hole, "DOG"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Edit actions and edit programs (paper Table 1 / §3.3).
+//!
+//! An edit action optionally deletes the current token and optionally emits
+//! something; an edit program is a sequence of actions applied left to right.
+//! Emissions may be *abstract* — a character class, a string disjunction, or
+//! a semantic mask — producing an [`AbstractRepair`] whose holes are filled
+//! by concretization (§3.4).
+
+use datavinci_regex::{AtomKey, CharClass, MaskId, MaskedString, Tok};
+
+/// What an insert/substitute action emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Emit {
+    /// A concrete character.
+    Char(char),
+    /// Some character of a class (abstract; concretized later).
+    Class(CharClass, AtomKey),
+    /// Some alternative of a string disjunction (abstract).
+    Disj(Vec<String>, AtomKey),
+    /// A semantic mask token (re-concretized by the semantic layer).
+    Mask(MaskId, AtomKey),
+}
+
+impl Emit {
+    /// Is the emission abstract (needs concretization)?
+    pub fn is_abstract(&self) -> bool {
+        !matches!(self, Emit::Char(_))
+    }
+}
+
+/// One edit action (paper Table 1, plus the zero-cost disjunction match).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditAction {
+    /// `M` — keep the current token and advance. Cost 0.
+    Match,
+    /// Zero-cost traversal of a whole disjunction alternative (`k` tokens).
+    MatchDisj {
+        /// The matched alternative.
+        alt: String,
+        /// Which disjunction atom.
+        key: AtomKey,
+    },
+    /// `I(e)` — emit before the current token, do not advance. Cost 1.
+    Insert(Emit),
+    /// `D` — delete the current token. Cost 1.
+    Delete,
+    /// `S(e)` — delete the current token and emit. Cost 1.
+    Substitute(Emit),
+}
+
+impl EditAction {
+    /// The action's cost (Table 1).
+    pub fn cost(&self) -> usize {
+        match self {
+            EditAction::Match | EditAction::MatchDisj { .. } => 0,
+            _ => 1,
+        }
+    }
+
+    /// Compact shorthand rendering (`M`, `I(.)`, `S(0-9)`, `D`).
+    pub fn shorthand(&self) -> String {
+        fn emit_str(e: &Emit) -> String {
+            match e {
+                Emit::Char(c) => c.to_string(),
+                Emit::Class(cc, _) => cc.regex_str().trim_matches(['[', ']']).to_string(),
+                Emit::Disj(alts, _) => alts.join("|"),
+                Emit::Mask(m, _) => format!("m{}", m.0),
+            }
+        }
+        match self {
+            EditAction::Match => "M".to_string(),
+            EditAction::MatchDisj { alt, .. } => format!("M({alt})"),
+            EditAction::Insert(e) => format!("I({})", emit_str(e)),
+            EditAction::Delete => "D".to_string(),
+            EditAction::Substitute(e) => format!("S({})", emit_str(e)),
+        }
+    }
+}
+
+/// A slot of an abstract repaired value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Slot {
+    /// A concrete output token.
+    Concrete(Tok),
+    /// A hole to be filled by concretization.
+    Hole(Emit),
+}
+
+/// The result of applying an edit program: the abstract repaired value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AbstractRepair {
+    /// Output slots in order.
+    pub slots: Vec<Slot>,
+}
+
+impl AbstractRepair {
+    /// The holes, in output order.
+    pub fn holes(&self) -> Vec<&Emit> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Hole(e) => Some(e),
+                Slot::Concrete(_) => None,
+            })
+            .collect()
+    }
+
+    /// Fills holes with the provided texts (one per hole, in order),
+    /// yielding the repaired masked string. Texts for class holes should be
+    /// single characters; disjunction texts may be whole alternatives.
+    pub fn fill(&self, fillers: &[String]) -> MaskedString {
+        let mut out = MaskedString::default();
+        let mut it = fillers.iter();
+        for slot in &self.slots {
+            match slot {
+                Slot::Concrete(t) => out.push(*t),
+                Slot::Hole(emit) => match emit {
+                    Emit::Mask(m, _) => out.push(Tok::Mask(*m)),
+                    _ => {
+                        let text = it.next().map(String::as_str).unwrap_or("");
+                        for c in text.chars() {
+                            out.push(Tok::Char(c));
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Non-mask holes (the ones concretization must fill), in order.
+    pub fn fillable_holes(&self) -> Vec<&Emit> {
+        self.holes()
+            .into_iter()
+            .filter(|e| !matches!(e, Emit::Mask(..)))
+            .collect()
+    }
+}
+
+/// A minimal edit program for one (value, pattern) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditProgram {
+    /// Actions in application order.
+    pub actions: Vec<EditAction>,
+    /// Total cost (sum of action costs).
+    pub cost: usize,
+}
+
+impl EditProgram {
+    /// Applies the program to `value`, producing the abstract repair.
+    ///
+    /// The program must be consistent with the value (it was derived for
+    /// it): match/delete/substitute actions consume tokens in order.
+    pub fn apply(&self, value: &MaskedString) -> AbstractRepair {
+        let toks = value.toks();
+        let mut i = 0usize;
+        let mut slots = Vec::new();
+        for action in &self.actions {
+            match action {
+                EditAction::Match => {
+                    slots.push(Slot::Concrete(toks[i]));
+                    i += 1;
+                }
+                EditAction::MatchDisj { alt, .. } => {
+                    for _ in alt.chars() {
+                        slots.push(Slot::Concrete(toks[i]));
+                        i += 1;
+                    }
+                }
+                EditAction::Insert(e) => match e {
+                    Emit::Char(c) => slots.push(Slot::Concrete(Tok::Char(*c))),
+                    other => slots.push(Slot::Hole(other.clone())),
+                },
+                EditAction::Delete => {
+                    i += 1;
+                }
+                EditAction::Substitute(e) => {
+                    i += 1;
+                    match e {
+                        Emit::Char(c) => slots.push(Slot::Concrete(Tok::Char(*c))),
+                        other => slots.push(Slot::Hole(other.clone())),
+                    }
+                }
+            }
+        }
+        // Any unconsumed trailing tokens were implicitly matched? No — a
+        // complete program consumes the whole value; guard in debug builds.
+        debug_assert_eq!(i, toks.len(), "edit program must consume the value");
+        AbstractRepair { slots }
+    }
+
+    /// Number of edit operations touching alphanumeric characters — the
+    /// ranker's second property (§3.5).
+    pub fn alnum_edits(&self, value: &MaskedString) -> usize {
+        let toks = value.toks();
+        let mut i = 0usize;
+        let mut count = 0usize;
+        let alnum_tok = |t: Tok| matches!(t, Tok::Char(c) if c.is_ascii_alphanumeric());
+        let alnum_emit = |e: &Emit| match e {
+            Emit::Char(c) => c.is_ascii_alphanumeric(),
+            Emit::Class(..) | Emit::Disj(..) | Emit::Mask(..) => true,
+        };
+        for action in &self.actions {
+            match action {
+                EditAction::Match => i += 1,
+                EditAction::MatchDisj { alt, .. } => i += alt.chars().count(),
+                EditAction::Insert(e) => {
+                    if alnum_emit(e) {
+                        count += 1;
+                    }
+                }
+                EditAction::Delete => {
+                    if alnum_tok(toks[i]) {
+                        count += 1;
+                    }
+                    i += 1;
+                }
+                EditAction::Substitute(e) => {
+                    if alnum_tok(toks[i]) || alnum_emit(e) {
+                        count += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Shorthand rendering: `[M, S(2), I(.)]`.
+    pub fn shorthand(&self) -> String {
+        let parts: Vec<String> = self.actions.iter().map(EditAction::shorthand).collect();
+        format!("[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_regex::AtomId;
+
+    fn key() -> AtomKey {
+        AtomKey {
+            atom: AtomId(0),
+            occ: 0,
+        }
+    }
+
+    #[test]
+    fn example2_application() {
+        // Paper Example 2: [M, S(2), I(.)] on "AAA3" (with two trailing
+        // matches to consume the rest) yields A2.A3 …
+        // Exactly as printed, the program in the paper is a prefix; we
+        // complete it so the program consumes the value: A2.A3 → plus final M.
+        let program = EditProgram {
+            actions: vec![
+                EditAction::Match,
+                EditAction::Substitute(Emit::Char('2')),
+                EditAction::Insert(Emit::Char('.')),
+                EditAction::Match,
+                EditAction::Match,
+            ],
+            cost: 2,
+        };
+        let out = program.apply(&"AAA3".into());
+        let filled = out.fill(&[]);
+        assert_eq!(filled.to_plain().as_deref(), Some("A2.A3"));
+    }
+
+    #[test]
+    fn costs_match_table1() {
+        assert_eq!(EditAction::Match.cost(), 0);
+        assert_eq!(EditAction::Delete.cost(), 1);
+        assert_eq!(EditAction::Insert(Emit::Char('x')).cost(), 1);
+        assert_eq!(EditAction::Substitute(Emit::Char('x')).cost(), 1);
+        assert_eq!(
+            EditAction::MatchDisj {
+                alt: "CAT".into(),
+                key: key()
+            }
+            .cost(),
+            0
+        );
+    }
+
+    #[test]
+    fn abstract_holes_and_fill() {
+        let program = EditProgram {
+            actions: vec![
+                EditAction::Match,
+                EditAction::Substitute(Emit::Class(CharClass::Digit, key())),
+                EditAction::Insert(Emit::Disj(vec!["CAT".into(), "PRO".into()], key())),
+            ],
+            cost: 2,
+        };
+        let repair = program.apply(&"AX".into());
+        assert_eq!(repair.holes().len(), 2);
+        assert_eq!(repair.fillable_holes().len(), 2);
+        let filled = repair.fill(&["7".into(), "PRO".into()]);
+        assert_eq!(filled.to_plain().as_deref(), Some("A7PRO"));
+    }
+
+    #[test]
+    fn mask_holes_fill_as_mask_tokens() {
+        let program = EditProgram {
+            actions: vec![EditAction::Insert(Emit::Mask(MaskId(3), key()))],
+            cost: 1,
+        };
+        let repair = program.apply(&"".into());
+        assert!(repair.fillable_holes().is_empty());
+        let filled = repair.fill(&[]);
+        assert_eq!(filled.toks(), &[Tok::Mask(MaskId(3))]);
+    }
+
+    #[test]
+    fn alnum_edit_counting() {
+        let program = EditProgram {
+            actions: vec![
+                EditAction::Match,                          // not an edit
+                EditAction::Substitute(Emit::Char('-')),    // deletes 'b' (alnum)
+                EditAction::Insert(Emit::Char('.')),        // punctuation insert
+                EditAction::Insert(Emit::Char('7')),        // alnum insert
+                EditAction::Delete,                         // deletes '-' (not alnum)
+            ],
+            cost: 4,
+        };
+        let v: MaskedString = "ab-".into();
+        assert_eq!(program.alnum_edits(&v), 2);
+    }
+
+    #[test]
+    fn shorthand_rendering() {
+        let program = EditProgram {
+            actions: vec![
+                EditAction::Match,
+                EditAction::Substitute(Emit::Char('2')),
+                EditAction::Insert(Emit::Char('.')),
+            ],
+            cost: 2,
+        };
+        assert_eq!(program.shorthand(), "[M, S(2), I(.)]");
+        let abs = EditProgram {
+            actions: vec![
+                EditAction::Substitute(Emit::Class(CharClass::Digit, key())),
+                EditAction::Insert(Emit::Disj(vec!["CAT".into(), "PRO".into()], key())),
+            ],
+            cost: 2,
+        };
+        assert_eq!(abs.shorthand(), "[S(0-9), I(CAT|PRO)]");
+    }
+}

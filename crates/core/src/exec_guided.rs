@@ -1,0 +1,242 @@
+//! Execution-guided repair (paper §3.6).
+//!
+//! Given a column-transformation program that reads the table, DataVinci:
+//! 1. executes it and partitions rows into successes and failures;
+//! 2. learns patterns over the *success* inputs only and treats **all** of
+//!    them as significant (bypassing the δ threshold);
+//! 3. flags the failing rows' inputs as data errors and repairs them with
+//!    the ordinary engine;
+//! 4. (ours, configurable) validates candidates by re-executing the program
+//!    on the repaired row and prefers the first that succeeds.
+//!
+//! This recovers repairs the unsupervised mode cannot see — e.g. Figure 8,
+//! where the erroneous shape `C[0-9]{2}` is frequent enough to be a
+//! significant pattern on its own.
+
+use crate::config::SemanticMode;
+use crate::pipeline::{ColumnAnalysis, ColumnReport, DataVinci};
+use datavinci_formula::{ColumnProgram, ExecutionGroups};
+use datavinci_profile::profile_column;
+use datavinci_semantic::AbstractedColumn;
+use datavinci_table::{CellRef, CellValue, Table};
+
+/// The result of one execution-guided cleaning run.
+#[derive(Debug, Clone)]
+pub struct ExecGuidedReport {
+    /// Per-input-column reports.
+    pub columns: Vec<ColumnReport>,
+    /// Execution outcome before any repair.
+    pub before: ExecutionGroups,
+    /// Execution outcome after applying the chosen repairs.
+    pub after: ExecutionGroups,
+    /// The table with repairs applied.
+    pub repaired_table: Table,
+}
+
+impl ExecGuidedReport {
+    /// Did repairs make the whole formula column execute cleanly?
+    pub fn fully_repaired(&self) -> bool {
+        self.after.fully_successful()
+    }
+}
+
+impl DataVinci {
+    /// Cleans every input column of `program`, guided by its execution.
+    pub fn clean_with_program(
+        &self,
+        table: &Table,
+        program: &ColumnProgram,
+    ) -> ExecGuidedReport {
+        let before = program.execution_groups(table);
+        let mut repaired_table = table.clone();
+        let mut columns = Vec::new();
+
+        if !before.failures.is_empty() {
+            for name in program.input_columns() {
+                let Some(col) = table.column_index(name) else {
+                    continue;
+                };
+                let analysis = self.analyze_with_execution(table, col, &before);
+                let mut report = self.repair_analysis(table, &analysis);
+
+                // Validate-by-execution: for each suggestion, walk candidates
+                // best-first and keep the first whose repaired row executes.
+                if self.config().validate_execution {
+                    for suggestion in &mut report.repairs {
+                        let row = suggestion.row;
+                        let mut chosen: Option<String> = None;
+                        for cand in &suggestion.candidates {
+                            let mut probe = repaired_table.clone();
+                            probe.set_cell(
+                                CellRef::new(col, row),
+                                CellValue::text(cand.repaired.clone()),
+                            );
+                            let out = program.execute(&probe);
+                            if !out[row].is_error() {
+                                chosen = Some(cand.repaired.clone());
+                                break;
+                            }
+                        }
+                        if let Some(best) = chosen {
+                            suggestion.repaired = best;
+                        }
+                    }
+                }
+
+                // Apply suggestions.
+                for suggestion in &report.repairs {
+                    repaired_table.set_cell(
+                        CellRef::new(col, suggestion.row),
+                        CellValue::text(suggestion.repaired.clone()),
+                    );
+                }
+                columns.push(report);
+            }
+        }
+
+        let after = program.execution_groups(&repaired_table);
+        ExecGuidedReport {
+            columns,
+            before,
+            after,
+            repaired_table,
+        }
+    }
+
+    /// Builds a column analysis whose patterns come from the execution's
+    /// success group only, all treated as significant.
+    fn analyze_with_execution(
+        &self,
+        table: &Table,
+        col: usize,
+        groups: &ExecutionGroups,
+    ) -> ColumnAnalysis {
+        let column = table.column(col).expect("column in range");
+        let values: Vec<String> = column.rendered();
+
+        let abstraction = match self.config().semantics {
+            SemanticMode::None => AbstractedColumn::plain(&values),
+            _ => self
+                .abstractor_ref()
+                .abstract_column(column.name(), &values),
+        };
+        let masked = abstraction.masked_strings();
+
+        // Learn patterns over success inputs only.
+        let success_masked: Vec<datavinci_regex::MaskedString> = groups
+            .successes
+            .iter()
+            .map(|&r| masked[r].clone())
+            .collect();
+        let mut profile = profile_column(&success_masked, &self.config().profiler);
+        // Re-evaluate each pattern's rows against the FULL column so row
+        // indices and coverage line up with the table.
+        let n = masked.len();
+        for lp in &mut profile.patterns {
+            lp.rows = (0..n).filter(|&r| lp.compiled.matches(&masked[r])).collect();
+            lp.coverage = if n == 0 {
+                0.0
+            } else {
+                lp.rows.len() as f64 / n as f64
+            };
+        }
+        profile.n_values = n;
+
+        // All learned patterns are significant (paper §3.6).
+        let significant: Vec<usize> = (0..profile.patterns.len()).collect();
+        let error_rows = groups.failures.clone();
+
+        ColumnAnalysis {
+            col,
+            abstraction,
+            masked,
+            profile,
+            significant,
+            error_rows,
+            semantic_only_rows: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    #[test]
+    fn intro_example_c_dash() {
+        // §1: col1 = [c-1, c-2, c3, c4] with =SEARCH("-", [@col1]).
+        // Unsupervised DataVinci sees two significant patterns and fixes
+        // nothing; execution guidance repairs c3 → c-3, c4 → c-4.
+        let table = Table::new(vec![Column::from_texts(
+            "col1",
+            &["c-1", "c-2", "c3", "c4"],
+        )]);
+        let program = ColumnProgram::parse("=SEARCH(\"-\", [@col1])").unwrap();
+        let dv = DataVinci::new();
+
+        // Unsupervised: no errors.
+        let unsup = dv.clean_column(&table, 0);
+        assert!(unsup.detections.is_empty(), "{unsup:#?}");
+
+        // Execution-guided: both failures repaired.
+        let report = dv.clean_with_program(&table, &program);
+        assert_eq!(report.before.failures, vec![2, 3]);
+        assert!(report.fully_repaired(), "{report:#?}");
+        let repaired: Vec<String> = report.repaired_table.column(0).unwrap().rendered();
+        assert_eq!(repaired, vec!["c-1", "c-2", "c-3", "c-4"]);
+    }
+
+    #[test]
+    fn figure8_exec_guided_beats_unsupervised() {
+        // Figure 8: the outlier shape C[0-9]{2} is frequent enough to be
+        // significant, so only execution guidance can see it. The formula
+        // extracts the digits after "C-".
+        let table = Table::new(vec![Column::from_texts(
+            "ID",
+            &["C-19", "C-21", "C-33", "C-48", "C-55", "C51", "C52", "C53"],
+        )]);
+        let program =
+            ColumnProgram::parse("=MID([@ID], SEARCH(\"-\", [@ID])+1, 2)*1").unwrap();
+        let dv = DataVinci::new();
+
+        let unsup = dv.clean_column(&table, 0);
+        assert!(unsup.detections.is_empty(), "unsupervised must miss these");
+
+        let report = dv.clean_with_program(&table, &program);
+        assert_eq!(report.before.failures.len(), 3);
+        assert!(report.fully_repaired(), "{report:#?}");
+        let repaired: Vec<String> = report.repaired_table.column(0).unwrap().rendered();
+        assert_eq!(&repaired[5..], &["C-51", "C-52", "C-53"]);
+    }
+
+    #[test]
+    fn no_failures_no_changes() {
+        let table = Table::new(vec![Column::from_texts("x", &["a-1", "b-2"])]);
+        let program = ColumnProgram::parse("=SEARCH(\"-\", [@x])").unwrap();
+        let dv = DataVinci::new();
+        let report = dv.clean_with_program(&table, &program);
+        assert!(report.before.fully_successful());
+        assert!(report.columns.is_empty());
+        assert_eq!(report.repaired_table, table);
+    }
+
+    #[test]
+    fn multi_column_formula_repairs_both_inputs() {
+        let table = Table::new(vec![
+            Column::from_texts("a", &["x-1", "x-2", "x3", "x-4"]),
+            Column::from_texts("b", &["10", "20", "30", "4o"]),
+        ]);
+        // Needs '-' in a and a numeric b.
+        let program =
+            ColumnProgram::parse("=SEARCH(\"-\", [@a]) + VALUE([@b])").unwrap();
+        let dv = DataVinci::new();
+        let report = dv.clean_with_program(&table, &program);
+        assert_eq!(report.before.failures, vec![2, 3]);
+        assert!(report.fully_repaired(), "{report:#?}");
+        let a: Vec<String> = report.repaired_table.column(0).unwrap().rendered();
+        let b: Vec<String> = report.repaired_table.column(1).unwrap().rendered();
+        assert_eq!(a[2], "x-3");
+        assert_eq!(b[3], "40");
+    }
+}

@@ -1,0 +1,324 @@
+//! Predicate-template features over table rows (paper Table 2 / §3.4).
+//!
+//! Concretization decision trees split on boolean features generated from
+//! twelve predicate templates, instantiated over *every* column. String
+//! constants come from cell values and from tokens after splitting on
+//! non-alphanumeric characters, case changes, and alpha/digit boundaries;
+//! `length` uses the top-5 most frequent cell lengths per column.
+//! Predicates that are constant across the table (all-true / all-false) are
+//! dropped, mirroring paper Example 6.
+
+use std::collections::HashMap;
+
+use datavinci_table::{CellValue, Table};
+
+/// A fully instantiated predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `equals(col, s)`
+    Equals(usize, String),
+    /// `contains(col, s)`
+    Contains(usize, String),
+    /// `startsWith(col, s)`
+    StartsWith(usize, String),
+    /// `endsWith(col, s)`
+    EndsWith(usize, String),
+    /// `length(col, n)`
+    Length(usize, usize),
+    /// `hasDigits(col)`
+    HasDigits(usize),
+    /// `isNum(col)`
+    IsNum(usize),
+    /// `isError(col)`
+    IsError(usize),
+    /// `isFormula(col)` — always false in our model (cells store values).
+    IsFormula(usize),
+    /// `isLogical(col)`
+    IsLogical(usize),
+    /// `isNA(col)`
+    IsNA(usize),
+    /// `isText(col)`
+    IsText(usize),
+}
+
+impl Predicate {
+    /// Evaluates the predicate for one row.
+    pub fn eval(&self, table: &Table, row: usize) -> bool {
+        let cell = |c: usize| table.column(c).and_then(|col| col.get(row));
+        match self {
+            Predicate::Equals(c, s) => {
+                cell(*c).is_some_and(|v| v.render().eq_ignore_ascii_case(s))
+            }
+            Predicate::Contains(c, s) => cell(*c).is_some_and(|v| {
+                v.render().to_lowercase().contains(&s.to_lowercase())
+            }),
+            Predicate::StartsWith(c, s) => cell(*c).is_some_and(|v| {
+                v.render().to_lowercase().starts_with(&s.to_lowercase())
+            }),
+            Predicate::EndsWith(c, s) => cell(*c).is_some_and(|v| {
+                v.render().to_lowercase().ends_with(&s.to_lowercase())
+            }),
+            Predicate::Length(c, n) => {
+                cell(*c).is_some_and(|v| v.render().chars().count() == *n)
+            }
+            Predicate::HasDigits(c) => {
+                cell(*c).is_some_and(|v| v.render().chars().any(|ch| ch.is_ascii_digit()))
+            }
+            Predicate::IsNum(c) => cell(*c).is_some_and(CellValue::is_number),
+            Predicate::IsError(c) => cell(*c).is_some_and(CellValue::is_error),
+            Predicate::IsFormula(_) => false,
+            Predicate::IsLogical(c) => cell(*c).is_some_and(CellValue::is_bool),
+            Predicate::IsNA(c) => cell(*c).is_some_and(CellValue::is_na),
+            Predicate::IsText(c) => cell(*c).is_some_and(CellValue::is_text),
+        }
+    }
+
+    /// Human-readable rendering, e.g. `contains(col1, "AR")`.
+    pub fn render(&self, table: &Table) -> String {
+        let name = |c: &usize| {
+            table
+                .column(*c)
+                .map(|col| col.name().to_string())
+                .unwrap_or_else(|| format!("col{c}"))
+        };
+        match self {
+            Predicate::Equals(c, s) => format!("equals({}, {s:?})", name(c)),
+            Predicate::Contains(c, s) => format!("contains({}, {s:?})", name(c)),
+            Predicate::StartsWith(c, s) => format!("startsWith({}, {s:?})", name(c)),
+            Predicate::EndsWith(c, s) => format!("endsWith({}, {s:?})", name(c)),
+            Predicate::Length(c, n) => format!("length({}, {n})", name(c)),
+            Predicate::HasDigits(c) => format!("hasDigits({})", name(c)),
+            Predicate::IsNum(c) => format!("isNum({})", name(c)),
+            Predicate::IsError(c) => format!("isError({})", name(c)),
+            Predicate::IsFormula(c) => format!("isFormula({})", name(c)),
+            Predicate::IsLogical(c) => format!("isLogical({})", name(c)),
+            Predicate::IsNA(c) => format!("isNA({})", name(c)),
+            Predicate::IsText(c) => format!("isText({})", name(c)),
+        }
+    }
+}
+
+/// Splits a cell text into constant-candidate tokens: (a) non-alphanumeric
+/// boundaries, (b) case changes, (c) alpha/digit switches (paper §3.4).
+pub fn split_tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    // (a) split on non-alphanumeric characters.
+    for tok in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if !tok.is_empty() {
+            out.push(tok.to_string());
+        }
+    }
+    // (b) case changes and (c) alpha/digit switches inside each (a)-token.
+    let base: Vec<String> = out.clone();
+    for tok in base {
+        let chars: Vec<char> = tok.chars().collect();
+        let mut start = 0;
+        for i in 1..chars.len() {
+            let prev = chars[i - 1];
+            let cur = chars[i];
+            let case_change = prev.is_ascii_lowercase() && cur.is_ascii_uppercase();
+            let kind_change = prev.is_ascii_digit() != cur.is_ascii_digit();
+            if case_change || kind_change {
+                let piece: String = chars[start..i].iter().collect();
+                if piece.chars().count() < tok.chars().count() {
+                    out.push(piece);
+                }
+                start = i;
+            }
+        }
+        if start > 0 {
+            out.push(chars[start..].iter().collect());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Per-column caps keeping the feature space tractable.
+const MAX_CONSTANTS_PER_COLUMN: usize = 24;
+const TOP_LENGTHS: usize = 5;
+
+/// The generated feature set for one table.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureSet {
+    /// Instantiated, non-constant predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+impl FeatureSet {
+    /// Generates features over every column of the table.
+    pub fn generate(table: &Table) -> FeatureSet {
+        let n_rows = table.n_rows();
+        let mut predicates = Vec::new();
+        for (c, col) in table.columns().iter().enumerate() {
+            // Constant candidates: frequent cell values + split tokens.
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            let mut len_counts: HashMap<usize, usize> = HashMap::new();
+            for v in col.values() {
+                let text = v.render();
+                *len_counts.entry(text.chars().count()).or_insert(0) += 1;
+                if !text.is_empty() {
+                    *counts.entry(text.clone()).or_insert(0) += 1;
+                }
+                for tok in split_tokens(&text) {
+                    *counts.entry(tok).or_insert(0) += 1;
+                }
+            }
+            let mut constants: Vec<(String, usize)> = counts.into_iter().collect();
+            constants.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            constants.truncate(MAX_CONSTANTS_PER_COLUMN);
+
+            for (s, _) in &constants {
+                predicates.push(Predicate::Equals(c, s.clone()));
+                predicates.push(Predicate::Contains(c, s.clone()));
+                predicates.push(Predicate::StartsWith(c, s.clone()));
+                predicates.push(Predicate::EndsWith(c, s.clone()));
+            }
+            let mut lens: Vec<(usize, usize)> = len_counts.into_iter().collect();
+            lens.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (len, _) in lens.into_iter().take(TOP_LENGTHS) {
+                predicates.push(Predicate::Length(c, len));
+            }
+            predicates.push(Predicate::HasDigits(c));
+            predicates.push(Predicate::IsNum(c));
+            predicates.push(Predicate::IsError(c));
+            predicates.push(Predicate::IsLogical(c));
+            predicates.push(Predicate::IsNA(c));
+            predicates.push(Predicate::IsText(c));
+        }
+
+        // Drop constant predicates (true everywhere or nowhere).
+        let predicates = predicates
+            .into_iter()
+            .filter(|p| {
+                let mut any_true = false;
+                let mut any_false = false;
+                for row in 0..n_rows {
+                    if p.eval(table, row) {
+                        any_true = true;
+                    } else {
+                        any_false = true;
+                    }
+                    if any_true && any_false {
+                        return true;
+                    }
+                }
+                false
+            })
+            .collect();
+        FeatureSet { predicates }
+    }
+
+    /// Evaluates all predicates for one row.
+    pub fn row_features(&self, table: &Table, row: usize) -> Vec<bool> {
+        self.predicates.iter().map(|p| p.eval(table, row)).collect()
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Whether the feature set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    fn figure2_table() -> Table {
+        Table::new(vec![
+            Column::from_texts(
+                "Category",
+                &["Professional", "Qualifier", "Professional", "Qualifier"],
+            ),
+            Column::from_texts("Player ID", &["Ind-674-PRO", "US-201-QUA", "FR-475-PRO", "Chn-924-QUA"]),
+        ])
+    }
+
+    #[test]
+    fn split_tokens_all_three_ways() {
+        // Example 6: "Ind-674-PRO" → {Ind, 674, PRO} (plus the full value
+        // handled separately).
+        let toks = split_tokens("Ind-674-PRO");
+        assert!(toks.contains(&"Ind".to_string()));
+        assert!(toks.contains(&"674".to_string()));
+        assert!(toks.contains(&"PRO".to_string()));
+        // Case change split.
+        let toks = split_tokens("fooBar");
+        assert!(toks.contains(&"foo".to_string()));
+        assert!(toks.contains(&"Bar".to_string()));
+        // Alpha/digit switch.
+        let toks = split_tokens("Q32001");
+        assert!(toks.contains(&"Q".to_string()));
+        assert!(toks.contains(&"32001".to_string()));
+    }
+
+    #[test]
+    fn constant_predicates_dropped() {
+        let t = figure2_table();
+        let fs = FeatureSet::generate(&t);
+        // contains(Player ID, "-") would be true for every row → dropped.
+        assert!(!fs
+            .predicates
+            .iter()
+            .any(|p| matches!(p, Predicate::Contains(1, s) if s == "-")));
+        // contains(Player ID, "PRO") splits rows → kept.
+        assert!(fs
+            .predicates
+            .iter()
+            .any(|p| matches!(p, Predicate::Contains(1, s) if s == "PRO")));
+    }
+
+    #[test]
+    fn category_equality_feature_exists_and_predicts() {
+        let t = figure2_table();
+        let fs = FeatureSet::generate(&t);
+        let idx = fs
+            .predicates
+            .iter()
+            .position(|p| matches!(p, Predicate::Equals(0, s) if s == "Professional"))
+            .expect("equals(Category, Professional) kept");
+        let f0 = fs.row_features(&t, 0);
+        let f1 = fs.row_features(&t, 1);
+        assert!(f0[idx]);
+        assert!(!f1[idx]);
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let p = Predicate::Contains(0, "pro".into());
+        let t = Table::new(vec![Column::from_texts("c", &["X-PRO"])]);
+        assert!(p.eval(&t, 0));
+    }
+
+    #[test]
+    fn render_forms() {
+        let t = figure2_table();
+        assert_eq!(
+            Predicate::Equals(0, "AR".into()).render(&t),
+            "equals(Category, \"AR\")"
+        );
+        assert_eq!(Predicate::Length(1, 10).render(&t), "length(Player ID, 10)");
+    }
+
+    #[test]
+    fn length_predicate() {
+        let t = Table::new(vec![Column::from_texts("c", &["ab", "abc"])]);
+        let p = Predicate::Length(0, 2);
+        assert!(p.eval(&t, 0));
+        assert!(!p.eval(&t, 1));
+    }
+
+    #[test]
+    fn out_of_bounds_rows_are_false() {
+        let t = figure2_table();
+        assert!(!Predicate::HasDigits(0).eval(&t, 99));
+        assert!(!Predicate::Equals(9, "x".into()).eval(&t, 0));
+    }
+}

@@ -1,0 +1,152 @@
+//! The heuristic repair-candidate ranker (paper §3.5).
+//!
+//! "A weighted linear combination of edit script properties. The weights are
+//! manually set based on qualitative analysis on a small held-out set …
+//! The four properties are (1) string edit distance between erroneous value
+//! and the repaired value, (2) count of alphanumeric edit operations,
+//! (3) string edit distance of repaired value to closest value in column,
+//! and (4) fraction of column matching the significant pattern used to
+//! generate the repair." Lower scores rank first.
+
+use datavinci_regex::levenshtein;
+
+/// The manually tuned weights.
+#[derive(Debug, Clone, Copy)]
+pub struct RankerWeights {
+    /// Weight on edit distance (property 1).
+    pub edit_distance: f64,
+    /// Weight on alphanumeric edit-operation count (property 2).
+    pub alnum_edits: f64,
+    /// Weight on distance of the repair to the closest column value (3).
+    pub closest_value: f64,
+    /// Weight on (1 − pattern coverage) (property 4; higher coverage is
+    /// better, so the complement is penalized).
+    pub coverage: f64,
+}
+
+impl Default for RankerWeights {
+    fn default() -> Self {
+        RankerWeights {
+            edit_distance: 1.0,
+            alnum_edits: 0.5,
+            closest_value: 0.75,
+            coverage: 2.0,
+        }
+    }
+}
+
+/// The measured properties of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateProperties {
+    /// Levenshtein distance from the erroneous value to the repair.
+    pub edit_distance: usize,
+    /// Number of alphanumeric edit operations in the edit program.
+    pub alnum_edits: usize,
+    /// Distance of the repair to the nearest non-error column value.
+    pub closest_value_distance: usize,
+    /// Coverage of the significant pattern that produced the repair.
+    pub pattern_coverage: f64,
+}
+
+impl CandidateProperties {
+    /// Measures a candidate against its column context.
+    pub fn measure(
+        original: &str,
+        repaired: &str,
+        alnum_edits: usize,
+        pattern_coverage: f64,
+        column_values: &[String],
+    ) -> CandidateProperties {
+        let closest = column_values
+            .iter()
+            .filter(|v| v.as_str() != original)
+            .map(|v| levenshtein(repaired, v))
+            .min()
+            .unwrap_or(0);
+        CandidateProperties {
+            edit_distance: levenshtein(original, repaired),
+            alnum_edits,
+            closest_value_distance: closest,
+            pattern_coverage,
+        }
+    }
+
+    /// The weighted heuristic score (lower ranks first).
+    pub fn heuristic_score(&self, w: &RankerWeights) -> f64 {
+        w.edit_distance * self.edit_distance as f64
+            + w.alnum_edits * self.alnum_edits as f64
+            + w.closest_value * self.closest_value_distance as f64
+            + w.coverage * (1.0 - self.pattern_coverage)
+    }
+
+    /// The ablated edit-distance-only score (§5.4.2).
+    pub fn edit_distance_score(&self) -> f64 {
+        self.edit_distance as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column() -> Vec<String> {
+        ["Ind-674-PRO", "US-201-QUA", "FR-475-PRO"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn measure_computes_all_properties() {
+        let p = CandidateProperties::measure("usa_837", "US-837-PRO", 2, 0.5, &column());
+        assert_eq!(p.edit_distance, 8);
+        assert_eq!(p.alnum_edits, 2);
+        // closest column value to US-837-PRO is US-201-QUA (distance 5)
+        // or FR-475-PRO (distance 5).
+        assert_eq!(p.closest_value_distance, 5);
+    }
+
+    #[test]
+    fn higher_coverage_scores_better() {
+        let lo = CandidateProperties {
+            edit_distance: 2,
+            alnum_edits: 1,
+            closest_value_distance: 3,
+            pattern_coverage: 0.3,
+        };
+        let hi = CandidateProperties {
+            pattern_coverage: 0.9,
+            ..lo
+        };
+        let w = RankerWeights::default();
+        assert!(hi.heuristic_score(&w) < lo.heuristic_score(&w));
+    }
+
+    #[test]
+    fn edit_distance_mode_ignores_everything_else() {
+        let a = CandidateProperties {
+            edit_distance: 1,
+            alnum_edits: 99,
+            closest_value_distance: 99,
+            pattern_coverage: 0.0,
+        };
+        let b = CandidateProperties {
+            edit_distance: 2,
+            alnum_edits: 0,
+            closest_value_distance: 0,
+            pattern_coverage: 1.0,
+        };
+        assert!(a.edit_distance_score() < b.edit_distance_score());
+        let w = RankerWeights::default();
+        assert!(a.heuristic_score(&w) > b.heuristic_score(&w));
+    }
+
+    #[test]
+    fn original_value_excluded_from_closest() {
+        // The erroneous value itself sits in the column; nearest-neighbour
+        // distance must not use it (it would always be lev(orig, repaired)).
+        let column = vec!["xx".to_string(), "ab".to_string()];
+        let p = CandidateProperties::measure("xx", "xy", 1, 1.0, &column);
+        assert_eq!(p.closest_value_distance, 2); // vs "ab", not vs "xx"
+    }
+}

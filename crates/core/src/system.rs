@@ -1,0 +1,88 @@
+//! Common interfaces shared by DataVinci and the baseline systems.
+
+use datavinci_table::Table;
+
+/// A detected data error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// Row index within the target column.
+    pub row: usize,
+    /// The erroneous value as rendered text.
+    pub value: String,
+}
+
+/// One scored repair candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairCandidate {
+    /// The repaired value.
+    pub repaired: String,
+    /// Edit-program cost (when applicable; heuristic systems report 0).
+    pub cost: usize,
+    /// Ranker score (lower is better).
+    pub score: f64,
+    /// The pattern (or rule) that produced the candidate, rendered.
+    pub provenance: String,
+}
+
+/// A repair suggestion for one detected error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairSuggestion {
+    /// Row index.
+    pub row: usize,
+    /// The original erroneous value.
+    pub original: String,
+    /// The top-ranked repaired value.
+    pub repaired: String,
+    /// All scored candidates, best first (possibly truncated).
+    pub candidates: Vec<RepairCandidate>,
+}
+
+/// A detection-and-repair system, the interface every evaluated system
+/// implements (Table 4).
+pub trait CleaningSystem {
+    /// System name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Detects data errors in one column.
+    fn detect(&self, table: &Table, col: usize) -> Vec<Detection>;
+
+    /// Detects and repairs: returns one suggestion per detected error.
+    /// Detection-only systems return suggestions equal to the original
+    /// value (the harness pairs them with a repair head instead).
+    fn repair(&self, table: &Table, col: usize) -> Vec<RepairSuggestion>;
+}
+
+impl<S: CleaningSystem + ?Sized> CleaningSystem for &S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn detect(&self, table: &Table, col: usize) -> Vec<Detection> {
+        (**self).detect(table, col)
+    }
+
+    fn repair(&self, table: &Table, col: usize) -> Vec<RepairSuggestion> {
+        (**self).repair(table, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let d = Detection {
+            row: 3,
+            value: "usa_837".into(),
+        };
+        assert_eq!(d.row, 3);
+        let s = RepairSuggestion {
+            row: 3,
+            original: "usa_837".into(),
+            repaired: "US-837-PRO".into(),
+            candidates: vec![],
+        };
+        assert_ne!(s.original, s.repaired);
+    }
+}

@@ -1,0 +1,546 @@
+//! Column flavors: generators for realistic clean string columns.
+//!
+//! The paper's benchmarks come from proprietary Wikipedia/Excel corpora we
+//! cannot ship, so the workload substrate generates columns spanning the
+//! same regimes the paper's examples exercise: majority-syntactic patterns
+//! (ids, quarters, dates, currency), pure semantic columns (cities,
+//! colors), *mixed* syntactic+semantic columns (Figure 2's
+//! `{Country}-[0-9]+-(CAT|PRO)` ids, `(Boston)`-style parenthesized
+//! cities), and cross-column dependencies for concretization constraints.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use datavinci_semantic::{data::entries, SemanticType};
+use datavinci_table::Column;
+
+/// A column flavor. Most flavors generate one column; a few generate a
+/// correlated *group* of columns (e.g. Category + Player-ID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// `c-1`, `c-2`, … (prefix, separator, counter).
+    PrefixedId,
+    /// `Q3-2021` quarters.
+    Quarter,
+    /// ISO dates `2021-07-14`.
+    DateIso,
+    /// US dates `7/14/2021`.
+    DateUs,
+    /// Times `13:45`.
+    Time,
+    /// `$1,234.56` amounts.
+    CurrencyAmount,
+    /// `42.5%` percentages.
+    Percent,
+    /// US phone numbers `555-123-4567`.
+    PhoneUs,
+    /// Emails `jane.doe@example.com`.
+    Email,
+    /// City names.
+    City,
+    /// Country ISO-2 codes.
+    CountryCode,
+    /// Colors.
+    Color,
+    /// Month abbreviations.
+    MonthAbbrev,
+    /// Statuses.
+    Status,
+    /// First names.
+    FirstName,
+    /// Parenthesized cities `(Boston)` — Figure 1's mixed example.
+    SemanticParen,
+    /// County + id `Alpine_231` — §5.1's example.
+    CountyId,
+    /// Product codes `AB-1234`.
+    ProductCode,
+    /// Ratings `4.5/5`.
+    Rating,
+    /// Plain numbers rendered as text.
+    NumericText,
+    /// Versions `v1.2.3`.
+    Version,
+    /// The Figure-2 pair: a Category column plus a correlated
+    /// `{Country}-[0-9]+-(CAT-CODE)` Player-ID column.
+    PlayerWithCategory,
+    /// Correlated City + State pair (a real functional dependency).
+    CityWithState,
+    /// Correlated Country + Continent pair.
+    CountryWithContinent,
+    /// Correlated Status + 3-letter status code pair.
+    StatusWithCode,
+}
+
+impl Flavor {
+    /// Every flavor, for random table specs.
+    pub const ALL: [Flavor; 25] = [
+        Flavor::PrefixedId,
+        Flavor::Quarter,
+        Flavor::DateIso,
+        Flavor::DateUs,
+        Flavor::Time,
+        Flavor::CurrencyAmount,
+        Flavor::Percent,
+        Flavor::PhoneUs,
+        Flavor::Email,
+        Flavor::City,
+        Flavor::CountryCode,
+        Flavor::Color,
+        Flavor::MonthAbbrev,
+        Flavor::Status,
+        Flavor::FirstName,
+        Flavor::SemanticParen,
+        Flavor::CountyId,
+        Flavor::ProductCode,
+        Flavor::Rating,
+        Flavor::NumericText,
+        Flavor::Version,
+        Flavor::PlayerWithCategory,
+        Flavor::CityWithState,
+        Flavor::CountryWithContinent,
+        Flavor::StatusWithCode,
+    ];
+
+    /// Sampling weight for random table specs: low-cardinality categorical
+    /// columns dominate real spreadsheets, so they are drawn more often
+    /// than high-entropy identifier columns.
+    pub fn weight(&self) -> usize {
+        match self {
+            Flavor::City
+            | Flavor::CountryCode
+            | Flavor::Color
+            | Flavor::MonthAbbrev
+            | Flavor::Status
+            | Flavor::FirstName
+            | Flavor::SemanticParen
+            | Flavor::Rating
+            | Flavor::CityWithState
+            | Flavor::CountryWithContinent
+            | Flavor::StatusWithCode
+            | Flavor::PlayerWithCategory => 3,
+            _ => 1,
+        }
+    }
+
+    /// How many columns the flavor generates.
+    pub fn n_columns(&self) -> usize {
+        match self {
+            Flavor::PlayerWithCategory
+            | Flavor::CityWithState
+            | Flavor::CountryWithContinent
+            | Flavor::StatusWithCode => 2,
+            _ => 1,
+        }
+    }
+
+    /// Generates the flavor's clean column group.
+    pub fn generate(&self, rng: &mut StdRng, n_rows: usize) -> Vec<Column> {
+        match self {
+            Flavor::PlayerWithCategory => player_with_category(rng, n_rows),
+            Flavor::CityWithState => {
+                fd_pair(rng, n_rows, SemanticType::City, SemanticType::State, "City", "State")
+            }
+            Flavor::CountryWithContinent => fd_pair(
+                rng,
+                n_rows,
+                SemanticType::Country,
+                SemanticType::Continent,
+                "Country",
+                "Continent",
+            ),
+            Flavor::StatusWithCode => status_with_code(rng, n_rows),
+            single => vec![single.generate_single(rng, n_rows)],
+        }
+    }
+
+    fn generate_single(&self, rng: &mut StdRng, n: usize) -> Column {
+        let mut values: Vec<String> = Vec::with_capacity(n);
+        match self {
+            Flavor::PrefixedId => {
+                let prefix = *["c", "id", "X", "row", "P"].choose(rng).expect("non-empty");
+                let sep = *['-', '_', '.'].choose(rng).expect("non-empty");
+                let start: usize = rng.gen_range(1..400);
+                for i in 0..n {
+                    values.push(format!("{prefix}{sep}{}", start + i));
+                }
+            }
+            Flavor::Quarter => {
+                let four_digit_year = rng.gen_bool(0.5);
+                for _ in 0..n {
+                    let q = rng.gen_range(1..=4);
+                    let y = rng.gen_range(1998..=2023);
+                    if four_digit_year {
+                        values.push(format!("Q{q}-{y}"));
+                    } else {
+                        values.push(format!("Q{q}-{}", y % 100));
+                    }
+                }
+            }
+            Flavor::DateIso => {
+                for _ in 0..n {
+                    values.push(format!(
+                        "{:04}-{:02}-{:02}",
+                        rng.gen_range(1990..=2024),
+                        rng.gen_range(1..=12),
+                        rng.gen_range(1..=28)
+                    ));
+                }
+            }
+            Flavor::DateUs => {
+                for _ in 0..n {
+                    values.push(format!(
+                        "{}/{}/{}",
+                        rng.gen_range(1..=12),
+                        rng.gen_range(1..=28),
+                        rng.gen_range(1990..=2024)
+                    ));
+                }
+            }
+            Flavor::Time => {
+                for _ in 0..n {
+                    values.push(format!(
+                        "{:02}:{:02}",
+                        rng.gen_range(0..24),
+                        rng.gen_range(0..60)
+                    ));
+                }
+            }
+            Flavor::CurrencyAmount => {
+                // One format per column: either all grouped thousands or all
+                // sub-1000 amounts (mixing the two is exactly the kind of
+                // legitimate diversity that would look like errors).
+                let grouped = rng.gen_bool(0.5);
+                for _ in 0..n {
+                    let whole = if grouped {
+                        rng.gen_range(1_000..1_000_000)
+                    } else {
+                        rng.gen_range(1..1_000)
+                    };
+                    let cents = rng.gen_range(0..100);
+                    values.push(format!("${}.{cents:02}", group(whole)));
+                }
+            }
+            Flavor::Percent => {
+                for _ in 0..n {
+                    values.push(format!("{:.1}%", rng.gen_range(0.0..100.0)));
+                }
+            }
+            Flavor::PhoneUs => {
+                for _ in 0..n {
+                    values.push(format!(
+                        "{}-{}-{:04}",
+                        rng.gen_range(200..1000),
+                        rng.gen_range(100..1000),
+                        rng.gen_range(0..10_000)
+                    ));
+                }
+            }
+            Flavor::Email => {
+                let domain = *["example.com", "mail.org", "corp.net"]
+                    .choose(rng)
+                    .expect("non-empty");
+                for _ in 0..n {
+                    let first = pick(rng, SemanticType::FirstName).to_lowercase();
+                    let last = pick(rng, SemanticType::LastName).to_lowercase();
+                    values.push(format!("{first}.{last}@{domain}"));
+                }
+            }
+            Flavor::City => {
+                let pool = pool_indices(rng, entries(SemanticType::City).len());
+                for _ in 0..n {
+                    let i = pool[rng.gen_range(0..pool.len())];
+                    values.push(entries(SemanticType::City)[i].forms[0].to_string());
+                }
+            }
+            Flavor::CountryCode => {
+                let pool = pool_indices(rng, entries(SemanticType::Country).len());
+                for _ in 0..n {
+                    let i = pool[rng.gen_range(0..pool.len())];
+                    values.push(entries(SemanticType::Country)[i].forms[1].to_string());
+                }
+            }
+            Flavor::Color => {
+                let pool = pool_indices(rng, entries(SemanticType::Color).len());
+                for _ in 0..n {
+                    let i = pool[rng.gen_range(0..pool.len())];
+                    values.push(entries(SemanticType::Color)[i].forms[0].to_string());
+                }
+            }
+            Flavor::MonthAbbrev => {
+                for _ in 0..n {
+                    values.push(pick_form(rng, SemanticType::Month, 1).to_string());
+                }
+            }
+            Flavor::Status => {
+                // Low-cardinality categorical.
+                let choices: Vec<&str> = entries(SemanticType::Status)
+                    .iter()
+                    .take(4)
+                    .map(|e| e.forms[0])
+                    .collect();
+                for _ in 0..n {
+                    values.push((*choices.choose(rng).expect("non-empty")).to_string());
+                }
+            }
+            Flavor::FirstName => {
+                let pool = pool_indices(rng, entries(SemanticType::FirstName).len());
+                for _ in 0..n {
+                    let i = pool[rng.gen_range(0..pool.len())];
+                    values.push(entries(SemanticType::FirstName)[i].forms[0].to_string());
+                }
+            }
+            Flavor::SemanticParen => {
+                let pool = pool_indices(rng, entries(SemanticType::City).len());
+                for _ in 0..n {
+                    let i = pool[rng.gen_range(0..pool.len())];
+                    values.push(format!("({})", entries(SemanticType::City)[i].forms[0]));
+                }
+            }
+            Flavor::CountyId => {
+                for _ in 0..n {
+                    values.push(format!(
+                        "{}_{}",
+                        pick(rng, SemanticType::State),
+                        rng.gen_range(100..1000)
+                    ));
+                }
+            }
+            Flavor::ProductCode => {
+                for _ in 0..n {
+                    let a = rng.gen_range(b'A'..=b'Z') as char;
+                    let b = rng.gen_range(b'A'..=b'Z') as char;
+                    values.push(format!("{a}{b}-{:04}", rng.gen_range(0..10_000)));
+                }
+            }
+            Flavor::Rating => {
+                for _ in 0..n {
+                    values.push(format!("{}.{}/5", rng.gen_range(0..5), rng.gen_range(0..10)));
+                }
+            }
+            Flavor::NumericText => {
+                for _ in 0..n {
+                    values.push(format!("{}", rng.gen_range(0..100_000)));
+                }
+            }
+            Flavor::Version => {
+                for _ in 0..n {
+                    values.push(format!(
+                        "v{}.{}.{}",
+                        rng.gen_range(0..10),
+                        rng.gen_range(0..20),
+                        rng.gen_range(0..50)
+                    ));
+                }
+            }
+            Flavor::PlayerWithCategory
+            | Flavor::CityWithState
+            | Flavor::CountryWithContinent
+            | Flavor::StatusWithCode => unreachable!("handled by generate()"),
+        }
+        Column::from_texts(self.column_name(), &values)
+    }
+
+    /// A plausible header for the flavor.
+    pub fn column_name(&self) -> &'static str {
+        match self {
+            Flavor::PrefixedId => "col1",
+            Flavor::Quarter => "Quarter",
+            Flavor::DateIso | Flavor::DateUs => "Date",
+            Flavor::Time => "Time",
+            Flavor::CurrencyAmount => "Amount",
+            Flavor::Percent => "Share",
+            Flavor::PhoneUs => "Phone",
+            Flavor::Email => "Email",
+            Flavor::City => "City",
+            Flavor::CountryCode => "Country",
+            Flavor::Color => "Color",
+            Flavor::MonthAbbrev => "Month",
+            Flavor::Status => "Status",
+            Flavor::FirstName => "Name",
+            Flavor::SemanticParen => "Venue",
+            Flavor::CountyId => "County ID",
+            Flavor::ProductCode => "SKU",
+            Flavor::Rating => "Rating",
+            Flavor::NumericText => "Count",
+            Flavor::Version => "Version",
+            Flavor::PlayerWithCategory => "Player ID",
+            Flavor::CityWithState => "City",
+            Flavor::CountryWithContinent => "Country",
+            Flavor::StatusWithCode => "Status",
+        }
+    }
+}
+
+/// The Figure-2 pair: Category + correlated Player-ID.
+fn player_with_category(rng: &mut StdRng, n: usize) -> Vec<Column> {
+    let cats = entries(SemanticType::Category);
+    let chosen: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..cats.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(2);
+        idx
+    };
+    let mut category = Vec::with_capacity(n);
+    let mut player = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ci = *chosen.choose(rng).expect("non-empty");
+        let full = cats[ci].forms[0];
+        let code = cats[ci].forms[1];
+        let country = pick_form(rng, SemanticType::Country, 1);
+        category.push(full.to_string());
+        player.push(format!("{country}-{}-{code}", rng.gen_range(100..1000)));
+    }
+    vec![
+        Column::from_texts("Category", &category),
+        Column::from_texts("Player ID", &player),
+    ]
+}
+
+/// A deterministic FD pair: the right-hand entry is a fixed function of the
+/// left-hand entry index (consistent across all generated tables, as a real
+/// functional dependency would be).
+fn fd_pair(
+    rng: &mut StdRng,
+    n: usize,
+    left: SemanticType,
+    right: SemanticType,
+    lname: &str,
+    rname: &str,
+) -> Vec<Column> {
+    let ls = entries(left);
+    let rs = entries(right);
+    let pool = pool_indices(rng, ls.len());
+    let mut lvals = Vec::with_capacity(n);
+    let mut rvals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let li = pool[rng.gen_range(0..pool.len())];
+        lvals.push(ls[li].forms[0].to_string());
+        rvals.push(rs[li * 7 % rs.len()].forms[0].to_string());
+    }
+    vec![
+        Column::from_texts(lname, &lvals),
+        Column::from_texts(rname, &rvals),
+    ]
+}
+
+/// Status plus its 3-letter uppercase code.
+fn status_with_code(rng: &mut StdRng, n: usize) -> Vec<Column> {
+    let ss = entries(SemanticType::Status);
+    let mut svals = Vec::with_capacity(n);
+    let mut cvals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let si = rng.gen_range(0..ss.len().min(5));
+        let full = ss[si].forms[0];
+        svals.push(full.to_string());
+        cvals.push(full.chars().take(3).collect::<String>().to_uppercase());
+    }
+    vec![
+        Column::from_texts("Status", &svals),
+        Column::from_texts("Code", &cvals),
+    ]
+}
+
+/// Real-world categorical columns repeat a small vocabulary: draw a
+/// per-column pool of 3–10 entries and sample rows from it.
+fn pool_indices(rng: &mut StdRng, n_entries: usize) -> Vec<usize> {
+    let k = rng.gen_range(3..=10usize).min(n_entries);
+    let mut idx: Vec<usize> = (0..n_entries).collect();
+    idx.shuffle(rng);
+    idx.truncate(k);
+    idx
+}
+
+#[allow(dead_code)]
+fn pick(rng: &mut StdRng, t: SemanticType) -> &'static str {
+    pick_form(rng, t, 0)
+}
+
+fn pick_form(rng: &mut StdRng, t: SemanticType, form: usize) -> &'static str {
+    let es = entries(t);
+    let e = &es[rng.gen_range(0..es.len())];
+    e.forms.get(form).copied().unwrap_or(e.forms[0])
+}
+
+/// Thousands grouping for currency.
+fn group(n: u32) -> String {
+    let s = n.to_string();
+    let bytes: Vec<char> = s.chars().collect();
+    let mut out = String::new();
+    for (i, c) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn every_flavor_generates_requested_rows() {
+        let mut rng = rng();
+        for flavor in Flavor::ALL {
+            let cols = flavor.generate(&mut rng, 25);
+            assert_eq!(cols.len(), flavor.n_columns(), "{flavor:?}");
+            for c in &cols {
+                assert_eq!(c.len(), 25, "{flavor:?}");
+                assert!(c.values().iter().all(|v| v.is_text()), "{flavor:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Flavor::Quarter.generate(&mut rng(), 10);
+        let b = Flavor::Quarter.generate(&mut rng(), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn player_pair_is_correlated() {
+        let mut rng = rng();
+        let cols = Flavor::PlayerWithCategory.generate(&mut rng, 40);
+        let cat = &cols[0];
+        let id = &cols[1];
+        for row in 0..40 {
+            let category = cat.get(row).unwrap().render();
+            let player = id.get(row).unwrap().render();
+            let code = player.rsplit('-').next().unwrap();
+            // The id suffix is the category's 3-letter code.
+            let expected = entries(SemanticType::Category)
+                .iter()
+                .find(|e| e.forms[0] == category)
+                .map(|e| e.forms[1])
+                .unwrap();
+            assert_eq!(code, expected, "row {row}: {category} vs {player}");
+        }
+    }
+
+    #[test]
+    fn currency_grouping() {
+        assert_eq!(group(1234567), "1,234,567");
+        assert_eq!(group(999), "999");
+        assert_eq!(group(1000), "1,000");
+    }
+
+    #[test]
+    fn quarters_well_formed() {
+        let mut rng = rng();
+        let col = &Flavor::Quarter.generate(&mut rng, 50)[0];
+        for v in col.values() {
+            let s = v.render();
+            assert!(s.starts_with('Q'), "{s}");
+            let q: u32 = s[1..2].parse().unwrap();
+            assert!((1..=4).contains(&q), "{s}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Workload substrate: benchmark corpus generation for the DataVinci
+//! reproduction.
+//!
+//! The paper evaluates on proprietary Wikipedia/Excel corpora and releases
+//! only preparation scripts; this crate is the equivalent release for the
+//! reproduction — seeded, deterministic generators for
+//!
+//! * realistic clean columns across 22 [`Flavor`]s (syntactic, semantic,
+//!   and mixed, incl. the Figure-2 correlated Category/Player-ID pair),
+//! * the §4.2 seven-operation [`NoiseModel`] (20% cell corruption, 1–4 ops
+//!   without replacement),
+//! * the four benchmarks of Table 3 ([`wikipedia_like`], [`excel_like`],
+//!   [`synthetic_errors`], [`formula_benchmark`]) with generation-time
+//!   ground truth standing in for manual annotation.
+
+pub mod benchmarks;
+pub mod flavor;
+pub mod formula_gen;
+pub mod noise;
+pub mod tablegen;
+
+pub use benchmarks::{excel_like, synthetic_errors, wikipedia_like, BenchStats, BenchTable, Benchmark, Scale};
+pub use flavor::Flavor;
+pub use formula_gen::{avg_inputs, formula_benchmark, FormulaCase};
+pub use noise::{NoiseModel, NoiseOp};
+pub use tablegen::{random_spec, TableSpec};

@@ -1,0 +1,302 @@
+//! The synthetic noise model (paper §4.2, Synthetic Errors benchmark).
+//!
+//! "To introduce errors, we apply the following noise operations:
+//! (1) random character insertion, deletion and change, (2) random delimiter
+//! insertion, deletion and change, (3) random digit swap, (4) random shuffle
+//! of characters, (5) random capitalization, (6) random decimal, comma swap
+//! in numerics, (7) visually-inspired typos {o→0, l→1, e→3, a→4, t→7, s→5}.
+//! We randomly corrupt cells with 20% probability. For each of the cells to
+//! be corrupted, there is a 25% probability of applying 1, 2, 3 or 4 noise
+//! operations, sampled without replacement."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use datavinci_table::{CellRef, CellValue, Table};
+
+/// The seven noise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseOp {
+    /// (1) insert/delete/change a random character.
+    CharEdit,
+    /// (2) insert/delete/change a random delimiter.
+    DelimEdit,
+    /// (3) swap two adjacent digits.
+    DigitSwap,
+    /// (4) shuffle all characters.
+    Shuffle,
+    /// (5) flip capitalization of random letters.
+    Capitalization,
+    /// (6) swap `.` and `,` in numeric-looking values.
+    DecimalCommaSwap,
+    /// (7) visually-inspired typos.
+    VisualTypo,
+}
+
+impl NoiseOp {
+    /// All seven operations.
+    pub const ALL: [NoiseOp; 7] = [
+        NoiseOp::CharEdit,
+        NoiseOp::DelimEdit,
+        NoiseOp::DigitSwap,
+        NoiseOp::Shuffle,
+        NoiseOp::Capitalization,
+        NoiseOp::DecimalCommaSwap,
+        NoiseOp::VisualTypo,
+    ];
+
+    /// Applies the operation. May be a no-op when inapplicable (e.g. digit
+    /// swap on a digit-free value).
+    pub fn apply(&self, rng: &mut StdRng, value: &str) -> String {
+        let chars: Vec<char> = value.chars().collect();
+        match self {
+            NoiseOp::CharEdit => char_edit(rng, chars, random_char),
+            NoiseOp::DelimEdit => char_edit(rng, chars, random_delim),
+            NoiseOp::DigitSwap => {
+                let digit_pairs: Vec<usize> = (0..chars.len().saturating_sub(1))
+                    .filter(|&i| {
+                        chars[i].is_ascii_digit()
+                            && chars[i + 1].is_ascii_digit()
+                            && chars[i] != chars[i + 1]
+                    })
+                    .collect();
+                let mut chars = chars;
+                if let Some(&i) = digit_pairs.choose(rng) {
+                    chars.swap(i, i + 1);
+                }
+                chars.into_iter().collect()
+            }
+            NoiseOp::Shuffle => {
+                let mut chars = chars;
+                chars.shuffle(rng);
+                chars.into_iter().collect()
+            }
+            NoiseOp::Capitalization => {
+                let mut chars = chars;
+                let letters: Vec<usize> = (0..chars.len())
+                    .filter(|&i| chars[i].is_ascii_alphabetic())
+                    .collect();
+                for &i in letters.iter().filter(|_| rng.gen_bool(0.5)) {
+                    chars[i] = if chars[i].is_ascii_uppercase() {
+                        chars[i].to_ascii_lowercase()
+                    } else {
+                        chars[i].to_ascii_uppercase()
+                    };
+                }
+                chars.into_iter().collect()
+            }
+            NoiseOp::DecimalCommaSwap => chars
+                .into_iter()
+                .map(|c| match c {
+                    '.' => ',',
+                    ',' => '.',
+                    other => other,
+                })
+                .collect(),
+            NoiseOp::VisualTypo => {
+                let mut chars = chars;
+                let swappable: Vec<usize> = (0..chars.len())
+                    .filter(|&i| visual_typo(chars[i]).is_some())
+                    .collect();
+                if let Some(&i) = swappable.choose(rng) {
+                    chars[i] = visual_typo(chars[i]).expect("filtered");
+                }
+                chars.into_iter().collect()
+            }
+        }
+    }
+}
+
+fn visual_typo(c: char) -> Option<char> {
+    match c {
+        'o' => Some('0'),
+        'l' => Some('1'),
+        'e' => Some('3'),
+        'a' => Some('4'),
+        't' => Some('7'),
+        's' => Some('5'),
+        _ => None,
+    }
+}
+
+fn random_char(rng: &mut StdRng) -> char {
+    const POOL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    POOL[rng.gen_range(0..POOL.len())] as char
+}
+
+fn random_delim(rng: &mut StdRng) -> char {
+    const POOL: &[char] = &['-', '_', '.', '/', ',', ':', ' '];
+    POOL[rng.gen_range(0..POOL.len())]
+}
+
+/// Insert/delete/change with a character drawn from `pool`.
+fn char_edit(rng: &mut StdRng, mut chars: Vec<char>, pool: fn(&mut StdRng) -> char) -> String {
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // insert
+            let pos = rng.gen_range(0..=chars.len());
+            chars.insert(pos, pool(rng));
+        }
+        1 if !chars.is_empty() => {
+            // delete
+            let pos = rng.gen_range(0..chars.len());
+            chars.remove(pos);
+        }
+        _ if !chars.is_empty() => {
+            // change
+            let pos = rng.gen_range(0..chars.len());
+            chars[pos] = pool(rng);
+        }
+        _ => {
+            chars.push(pool(rng));
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Noise-model configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// Per-cell corruption probability (paper: 20%).
+    pub cell_prob: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { cell_prob: 0.2 }
+    }
+}
+
+impl NoiseModel {
+    /// Corrupts one value, guaranteeing the output differs. Returns the
+    /// corrupted value and the operations applied.
+    pub fn corrupt_value(&self, rng: &mut StdRng, value: &str) -> (String, Vec<NoiseOp>) {
+        for _attempt in 0..8 {
+            // 1–4 ops, uniform, sampled without replacement.
+            let k = rng.gen_range(1..=4usize);
+            let mut ops: Vec<NoiseOp> = NoiseOp::ALL.to_vec();
+            ops.shuffle(rng);
+            ops.truncate(k);
+            let mut out = value.to_string();
+            for op in &ops {
+                out = op.apply(rng, &out);
+            }
+            if out != value {
+                return (out, ops);
+            }
+        }
+        // Last resort: a forced character change.
+        let forced = NoiseOp::CharEdit;
+        let mut out = forced.apply(rng, value);
+        while out == value {
+            out = forced.apply(rng, &format!("{value}x"));
+        }
+        (out, vec![forced])
+    }
+
+    /// Corrupts a table's text cells. Returns the dirty table and the
+    /// corrupted cell addresses (the recall ground truth).
+    pub fn corrupt_table(&self, rng: &mut StdRng, clean: &Table) -> (Table, Vec<CellRef>) {
+        let mut dirty = clean.clone();
+        let mut corrupted = Vec::new();
+        for col in 0..clean.n_cols() {
+            for row in 0..clean.n_rows() {
+                let cell = CellRef::new(col, row);
+                let Some(CellValue::Text(text)) = clean.cell(cell) else {
+                    continue;
+                };
+                if !rng.gen_bool(self.cell_prob) {
+                    continue;
+                }
+                let (noisy, _) = self.corrupt_value(rng, text);
+                dirty.set_cell(cell, CellValue::Text(noisy));
+                corrupted.push(cell);
+            }
+        }
+        (dirty, corrupted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn corrupt_value_always_changes() {
+        let model = NoiseModel::default();
+        let mut rng = rng();
+        for v in ["Q1-2021", "abc", "x", "12,5", "Boston"] {
+            for _ in 0..20 {
+                let (out, ops) = model.corrupt_value(&mut rng, v);
+                assert_ne!(out, v);
+                assert!(!ops.is_empty() && ops.len() <= 4, "{ops:?}");
+                // Without replacement: no duplicate ops.
+                let mut dedup = ops.clone();
+                dedup.dedup();
+                let mut sorted = ops.clone();
+                sorted.sort_by_key(|o| format!("{o:?}"));
+                sorted.dedup();
+                assert_eq!(sorted.len(), ops.len(), "{ops:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn visual_typos_match_paper_map() {
+        assert_eq!(visual_typo('o'), Some('0'));
+        assert_eq!(visual_typo('l'), Some('1'));
+        assert_eq!(visual_typo('e'), Some('3'));
+        assert_eq!(visual_typo('a'), Some('4'));
+        assert_eq!(visual_typo('t'), Some('7'));
+        assert_eq!(visual_typo('s'), Some('5'));
+        assert_eq!(visual_typo('x'), None);
+    }
+
+    #[test]
+    fn decimal_comma_swap() {
+        let mut r = rng();
+        assert_eq!(NoiseOp::DecimalCommaSwap.apply(&mut r, "1,234.5"), "1.234,5");
+    }
+
+    #[test]
+    fn digit_swap_swaps_adjacent_digits() {
+        let mut r = rng();
+        let out = NoiseOp::DigitSwap.apply(&mut r, "ab12cd");
+        assert_eq!(out, "ab21cd");
+        // No digits → no-op.
+        assert_eq!(NoiseOp::DigitSwap.apply(&mut r, "abcd"), "abcd");
+    }
+
+    #[test]
+    fn corrupt_table_rate_is_plausible() {
+        let model = NoiseModel::default();
+        let mut r = rng();
+        let values: Vec<String> = (0..2000).map(|i| format!("v-{i}")).collect();
+        let clean = Table::new(vec![Column::from_texts("c", &values)]);
+        let (dirty, corrupted) = model.corrupt_table(&mut r, &clean);
+        let rate = corrupted.len() as f64 / 2000.0;
+        assert!((0.15..0.25).contains(&rate), "rate {rate}");
+        // Every corrupted cell actually differs; untouched cells are equal.
+        for cell in clean.cell_refs() {
+            let changed = clean.cell(cell) != dirty.cell(cell);
+            assert_eq!(changed, corrupted.contains(&cell), "{cell}");
+        }
+    }
+
+    #[test]
+    fn non_text_cells_never_corrupted() {
+        let model = NoiseModel { cell_prob: 1.0 };
+        let mut r = rng();
+        let clean = Table::new(vec![Column::parse("n", &["1", "2", "3"])]);
+        let (dirty, corrupted) = model.corrupt_table(&mut r, &clean);
+        assert!(corrupted.is_empty());
+        assert_eq!(dirty, clean);
+    }
+}

@@ -1,0 +1,128 @@
+//! Whole-table generation from flavor specs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::flavor::Flavor;
+use datavinci_table::{Column, Table};
+
+/// A table specification: row count plus the flavor of each column group.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Column-group flavors (a flavor may expand to several columns).
+    pub flavors: Vec<Flavor>,
+}
+
+impl TableSpec {
+    /// Total columns the spec expands to.
+    pub fn n_columns(&self) -> usize {
+        self.flavors.iter().map(Flavor::n_columns).sum()
+    }
+
+    /// Generates the clean table.
+    pub fn generate(&self, rng: &mut StdRng) -> Table {
+        let mut columns: Vec<Column> = Vec::with_capacity(self.n_columns());
+        let mut used_names: Vec<String> = Vec::new();
+        for flavor in &self.flavors {
+            for mut col in flavor.generate(rng, self.n_rows) {
+                // De-duplicate headers (two City columns → City, City2).
+                let mut name = col.name().to_string();
+                let mut k = 2;
+                while used_names.contains(&name) {
+                    name = format!("{}{k}", col.name());
+                    k += 1;
+                }
+                used_names.push(name.clone());
+                col = Column::new(name, col.values().to_vec());
+                columns.push(col);
+            }
+        }
+        Table::new(columns)
+    }
+}
+
+/// Draws a random spec: column count around `mean_cols`, row count around
+/// `mean_rows` (geometric-ish spread, min 1 column / 4 rows).
+pub fn random_spec(rng: &mut StdRng, mean_cols: f64, mean_rows: f64) -> TableSpec {
+    let n_cols = sample_around(rng, mean_cols, 1.0).round().max(1.0) as usize;
+    let n_rows = sample_around(rng, mean_rows, mean_rows * 0.5)
+        .round()
+        .max(4.0) as usize;
+    let weighted: Vec<Flavor> = Flavor::ALL
+        .into_iter()
+        .flat_map(|f| std::iter::repeat_n(f, f.weight()))
+        .collect();
+    let mut flavors = Vec::new();
+    let mut cols = 0usize;
+    while cols < n_cols {
+        let f = *weighted.choose(rng).expect("non-empty");
+        if cols + f.n_columns() > n_cols && cols > 0 {
+            break;
+        }
+        cols += f.n_columns();
+        flavors.push(f);
+    }
+    TableSpec { n_rows, flavors }
+}
+
+/// A crude positive-skew sampler around a mean.
+fn sample_around(rng: &mut StdRng, mean: f64, spread: f64) -> f64 {
+    let u: f64 = rng.gen_range(-1.0..1.0);
+    (mean + u * spread).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spec_generates_rectangular_table() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = TableSpec {
+            n_rows: 30,
+            flavors: vec![Flavor::Quarter, Flavor::PlayerWithCategory],
+        };
+        let t = spec.generate(&mut rng);
+        assert_eq!(t.n_rows(), 30);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.headers(), vec!["Quarter", "Category", "Player ID"]);
+    }
+
+    #[test]
+    fn duplicate_headers_deduplicated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = TableSpec {
+            n_rows: 5,
+            flavors: vec![Flavor::City, Flavor::City],
+        };
+        let t = spec.generate(&mut rng);
+        assert_eq!(t.headers(), vec!["City", "City2"]);
+    }
+
+    #[test]
+    fn random_specs_have_sane_dimensions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let spec = random_spec(&mut rng, 4.3, 100.0);
+            assert!(spec.n_rows >= 4);
+            assert!(!spec.flavors.is_empty());
+            let t = spec.generate(&mut rng);
+            assert_eq!(t.n_rows(), spec.n_rows);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = TableSpec {
+            n_rows: 10,
+            flavors: vec![Flavor::ProductCode],
+        };
+        let a = spec.generate(&mut StdRng::seed_from_u64(9));
+        let b = spec.generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

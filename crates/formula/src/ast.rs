@@ -1,0 +1,109 @@
+//! Formula AST.
+
+use datavinci_table::ErrorValue;
+
+/// Binary operators, in Excel notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^`
+    Pow,
+    /// `&` — text concatenation.
+    Concat,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Pos,
+}
+
+/// A formula expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Logical literal (`TRUE`/`FALSE`).
+    Bool(bool),
+    /// Error literal (`#VALUE!` …).
+    Err(ErrorValue),
+    /// Structured column reference `[@Name]`.
+    ColRef(String),
+    /// Function call `NAME(args…)`.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Collects the distinct column names referenced, in first-use order.
+    pub fn input_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::ColRef(name)
+                if !out.iter().any(|n| n == name) => {
+                    out.push(name.clone());
+                }
+            Expr::Call(_, args) => args.iter().for_each(|a| a.collect_columns(out)),
+            Expr::Unary(_, a) => a.collect_columns(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_columns_deduplicated_in_order() {
+        let e = Expr::Binary(
+            BinOp::Concat,
+            Box::new(Expr::ColRef("b".into())),
+            Box::new(Expr::Call(
+                "LEN".into(),
+                vec![Expr::Binary(
+                    BinOp::Concat,
+                    Box::new(Expr::ColRef("a".into())),
+                    Box::new(Expr::ColRef("b".into())),
+                )],
+            )),
+        );
+        assert_eq!(e.input_columns(), vec!["b".to_string(), "a".to_string()]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Row-wise formula evaluation.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::functions;
+use crate::value::{compare, to_number, to_text};
+use datavinci_table::{CellValue, ErrorValue, Table};
+
+/// Evaluation context: one row of a table.
+#[derive(Debug, Clone, Copy)]
+pub struct RowCtx<'a> {
+    /// The table the formula reads.
+    pub table: &'a Table,
+    /// Row index.
+    pub row: usize,
+}
+
+/// Evaluates an expression for one row; errors surface as error *values*
+/// (the formula engine is total — it never panics on data).
+pub fn eval(expr: &Expr, ctx: &RowCtx<'_>) -> CellValue {
+    match eval_r(expr, ctx) {
+        Ok(v) => v,
+        Err(e) => CellValue::Error(e),
+    }
+}
+
+fn eval_r(expr: &Expr, ctx: &RowCtx<'_>) -> Result<CellValue, ErrorValue> {
+    match expr {
+        Expr::Num(n) => Ok(CellValue::Number(*n)),
+        Expr::Str(s) => Ok(CellValue::Text(s.clone())),
+        Expr::Bool(b) => Ok(CellValue::Bool(*b)),
+        Expr::Err(e) => Err(*e),
+        Expr::ColRef(name) => {
+            let col = ctx.table.column_by_name(name).ok_or(ErrorValue::Ref)?;
+            let v = col.get(ctx.row).ok_or(ErrorValue::Ref)?;
+            match v {
+                CellValue::Error(e) => Err(*e),
+                other => Ok(other.clone()),
+            }
+        }
+        Expr::Unary(op, inner) => {
+            let v = to_number(&eval_r(inner, ctx)?)?;
+            Ok(CellValue::Number(match op {
+                UnOp::Neg => -v,
+                UnOp::Pos => v,
+            }))
+        }
+        Expr::Binary(op, a, b) => {
+            let va = eval_r(a, ctx)?;
+            let vb = eval_r(b, ctx)?;
+            eval_binop(*op, &va, &vb)
+        }
+        Expr::Call(name, args) => match name.as_str() {
+            // Lazy / error-capturing control-flow forms.
+            "IF" => {
+                if args.len() < 2 || args.len() > 3 {
+                    return Err(ErrorValue::Value);
+                }
+                let cond = crate::value::to_bool(&eval_r(&args[0], ctx)?)?;
+                if cond {
+                    eval_r(&args[1], ctx)
+                } else {
+                    match args.get(2) {
+                        Some(e) => eval_r(e, ctx),
+                        None => Ok(CellValue::Bool(false)),
+                    }
+                }
+            }
+            "IFERROR" => {
+                if args.len() != 2 {
+                    return Err(ErrorValue::Value);
+                }
+                match eval_r(&args[0], ctx) {
+                    Err(_) => eval_r(&args[1], ctx),
+                    ok => ok,
+                }
+            }
+            "IFNA" => {
+                if args.len() != 2 {
+                    return Err(ErrorValue::Value);
+                }
+                match eval_r(&args[0], ctx) {
+                    Err(ErrorValue::NA) => eval_r(&args[1], ctx),
+                    other => other,
+                }
+            }
+            // Type predicates must *see* errors, not propagate them.
+            "ISERROR" | "ISNA" => {
+                if args.len() != 1 {
+                    return Err(ErrorValue::Value);
+                }
+                let v = match eval_r(&args[0], ctx) {
+                    Ok(v) => v,
+                    Err(e) => CellValue::Error(e),
+                };
+                functions::call(name, &[v])
+            }
+            _ => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(eval_r(a, ctx)?);
+                }
+                functions::call(name, &vals)
+            }
+        },
+    }
+}
+
+fn eval_binop(op: BinOp, a: &CellValue, b: &CellValue) -> Result<CellValue, ErrorValue> {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow => {
+            let x = to_number(a)?;
+            let y = to_number(b)?;
+            let v = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return Err(ErrorValue::Div0);
+                    }
+                    x / y
+                }
+                _ => x.powf(y),
+            };
+            if v.is_finite() {
+                Ok(CellValue::Number(v))
+            } else {
+                Err(ErrorValue::Num)
+            }
+        }
+        BinOp::Concat => {
+            let mut s = to_text(a)?;
+            s.push_str(&to_text(b)?);
+            Ok(CellValue::Text(s))
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = compare(a, b)?;
+            let result = match op {
+                BinOp::Eq => ord.is_eq(),
+                BinOp::Ne => ord.is_ne(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                _ => ord.is_ge(),
+            };
+            Ok(CellValue::Bool(result))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use datavinci_table::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::from_texts("col1", &["c-1", "c-2", "c3", "c4"]),
+            Column::parse("n", &["10", "20", "30", "x"]),
+        ])
+    }
+
+    fn run(src: &str, row: usize) -> CellValue {
+        let t = table();
+        eval(&parse(src).unwrap(), &RowCtx { table: &t, row })
+    }
+
+    #[test]
+    fn intro_search_example() {
+        // =SEARCH("-", [@col1]) succeeds on c-1/c-2, errors on c3/c4.
+        assert_eq!(run("=SEARCH(\"-\", [@col1])", 0), CellValue::Number(2.0));
+        assert_eq!(run("=SEARCH(\"-\", [@col1])", 1), CellValue::Number(2.0));
+        assert_eq!(
+            run("=SEARCH(\"-\", [@col1])", 2),
+            CellValue::Error(ErrorValue::Value)
+        );
+        assert_eq!(
+            run("=SEARCH(\"-\", [@col1])", 3),
+            CellValue::Error(ErrorValue::Value)
+        );
+    }
+
+    #[test]
+    fn arithmetic_with_coercion() {
+        assert_eq!(run("[@n]*2", 0), CellValue::Number(20.0));
+        assert_eq!(run("[@n]*2", 3), CellValue::Error(ErrorValue::Value));
+        assert_eq!(run("1/0", 0), CellValue::Error(ErrorValue::Div0));
+    }
+
+    #[test]
+    fn concat_operator() {
+        assert_eq!(run("[@col1]&\"!\"", 0), CellValue::text("c-1!"));
+        assert_eq!(run("1&2", 0), CellValue::text("12"));
+    }
+
+    #[test]
+    fn if_is_lazy() {
+        // The error branch is not taken, so no error.
+        assert_eq!(run("IF(TRUE, 1, 1/0)", 0), CellValue::Number(1.0));
+        assert_eq!(run("IF(FALSE, 1, 2)", 0), CellValue::Number(2.0));
+        assert_eq!(run("IF(FALSE, 1)", 0), CellValue::Bool(false));
+    }
+
+    #[test]
+    fn iferror_captures() {
+        assert_eq!(run("IFERROR(1/0, -1)", 0), CellValue::Number(-1.0));
+        assert_eq!(run("IFERROR(5, -1)", 0), CellValue::Number(5.0));
+        assert_eq!(
+            run("ISERROR(SEARCH(\"-\", [@col1]))", 2),
+            CellValue::Bool(true)
+        );
+    }
+
+    #[test]
+    fn missing_column_is_ref_error() {
+        assert_eq!(run("[@missing]", 0), CellValue::Error(ErrorValue::Ref));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(run("[@n]>=10", 0), CellValue::Bool(true));
+        assert_eq!(run("\"abc\"=\"ABC\"", 0), CellValue::Bool(true));
+        assert_eq!(run("1<>2", 0), CellValue::Bool(true));
+    }
+
+    #[test]
+    fn error_cells_propagate_from_table() {
+        let t = Table::new(vec![Column::parse("e", &["#N/A"])]);
+        let v = eval(&parse("[@e]&\"x\"").unwrap(), &RowCtx { table: &t, row: 0 });
+        assert_eq!(v, CellValue::Error(ErrorValue::NA));
+    }
+}

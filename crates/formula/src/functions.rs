@@ -1,0 +1,580 @@
+//! The built-in function library (~40 Excel functions).
+//!
+//! All functions receive eagerly evaluated scalar arguments; control-flow
+//! forms with lazy/error-capturing semantics (`IF`, `IFERROR`, `IFNA`) are
+//! special-cased in the evaluator.
+
+use crate::value::{to_bool, to_number, to_text};
+use datavinci_table::{CellValue, ErrorValue};
+
+type R = Result<CellValue, ErrorValue>;
+
+fn num(n: f64) -> R {
+    if n.is_finite() {
+        Ok(CellValue::Number(n))
+    } else {
+        Err(ErrorValue::Num)
+    }
+}
+
+fn text(s: String) -> R {
+    Ok(CellValue::Text(s))
+}
+
+fn arg(args: &[CellValue], i: usize) -> Result<&CellValue, ErrorValue> {
+    args.get(i).ok_or(ErrorValue::Value)
+}
+
+fn opt_number(args: &[CellValue], i: usize, default: f64) -> Result<f64, ErrorValue> {
+    match args.get(i) {
+        Some(v) => to_number(v),
+        None => Ok(default),
+    }
+}
+
+/// Is `name` a known function?
+pub fn is_known(name: &str) -> bool {
+    KNOWN.contains(&name)
+}
+
+/// All dispatchable function names (the lazy forms included for docs).
+pub const KNOWN: &[&str] = &[
+    "LEN", "LEFT", "RIGHT", "MID", "UPPER", "LOWER", "TRIM", "PROPER", "CONCAT", "CONCATENATE",
+    "SUBSTITUTE", "REPLACE", "REPT", "EXACT", "SEARCH", "FIND", "VALUE", "NUMBERVALUE", "TEXT",
+    "CHAR", "CODE", "T", "ABS", "ROUND", "ROUNDUP", "ROUNDDOWN", "INT", "MOD", "SQRT", "POWER",
+    "SIGN", "MIN", "MAX", "SUM", "AVERAGE", "PRODUCT", "AND", "OR", "NOT", "ISNUMBER", "ISTEXT",
+    "ISBLANK", "ISERROR", "ISNA", "ISLOGICAL", "DATEVALUE", "YEAR", "MONTH", "DAY", "DATE",
+    "IF", "IFERROR", "IFNA",
+];
+
+/// Dispatches a function call over evaluated arguments.
+pub fn call(name: &str, args: &[CellValue]) -> R {
+    match name {
+        // ---- text ----
+        "LEN" => num(to_text(arg(args, 0)?)?.chars().count() as f64),
+        "UPPER" => text(to_text(arg(args, 0)?)?.to_uppercase()),
+        "LOWER" => text(to_text(arg(args, 0)?)?.to_lowercase()),
+        "TRIM" => {
+            // Excel TRIM also collapses internal runs of spaces.
+            let s = to_text(arg(args, 0)?)?;
+            let words: Vec<&str> = s.split(' ').filter(|w| !w.is_empty()).collect();
+            text(words.join(" "))
+        }
+        "PROPER" => {
+            let s = to_text(arg(args, 0)?)?;
+            let mut out = String::with_capacity(s.len());
+            let mut start_of_word = true;
+            for c in s.chars() {
+                if c.is_ascii_alphabetic() {
+                    if start_of_word {
+                        out.extend(c.to_uppercase());
+                    } else {
+                        out.extend(c.to_lowercase());
+                    }
+                    start_of_word = false;
+                } else {
+                    out.push(c);
+                    start_of_word = true;
+                }
+            }
+            text(out)
+        }
+        "CONCAT" | "CONCATENATE" => {
+            let mut out = String::new();
+            for a in args {
+                out.push_str(&to_text(a)?);
+            }
+            text(out)
+        }
+        "LEFT" => {
+            let s = to_text(arg(args, 0)?)?;
+            let n = opt_number(args, 1, 1.0)?;
+            if n < 0.0 {
+                return Err(ErrorValue::Value);
+            }
+            text(s.chars().take(n as usize).collect())
+        }
+        "RIGHT" => {
+            let s = to_text(arg(args, 0)?)?;
+            let n = opt_number(args, 1, 1.0)?;
+            if n < 0.0 {
+                return Err(ErrorValue::Value);
+            }
+            let chars: Vec<char> = s.chars().collect();
+            let k = (n as usize).min(chars.len());
+            text(chars[chars.len() - k..].iter().collect())
+        }
+        "MID" => {
+            let s = to_text(arg(args, 0)?)?;
+            let start = to_number(arg(args, 1)?)?;
+            let len = to_number(arg(args, 2)?)?;
+            if start < 1.0 || len < 0.0 {
+                return Err(ErrorValue::Value);
+            }
+            text(
+                s.chars()
+                    .skip(start as usize - 1)
+                    .take(len as usize)
+                    .collect(),
+            )
+        }
+        "SUBSTITUTE" => {
+            let s = to_text(arg(args, 0)?)?;
+            let old = to_text(arg(args, 1)?)?;
+            let new = to_text(arg(args, 2)?)?;
+            if old.is_empty() {
+                return text(s);
+            }
+            match args.get(3) {
+                None => text(s.replace(&old, &new)),
+                Some(v) => {
+                    let nth = to_number(v)?;
+                    if nth < 1.0 {
+                        return Err(ErrorValue::Value);
+                    }
+                    let nth = nth as usize;
+                    let mut out = String::new();
+                    let mut rest = s.as_str();
+                    let mut count = 0usize;
+                    while let Some(pos) = rest.find(&old) {
+                        count += 1;
+                        out.push_str(&rest[..pos]);
+                        if count == nth {
+                            out.push_str(&new);
+                        } else {
+                            out.push_str(&old);
+                        }
+                        rest = &rest[pos + old.len()..];
+                    }
+                    out.push_str(rest);
+                    text(out)
+                }
+            }
+        }
+        "REPLACE" => {
+            let s: Vec<char> = to_text(arg(args, 0)?)?.chars().collect();
+            let start = to_number(arg(args, 1)?)?;
+            let len = to_number(arg(args, 2)?)?;
+            let new = to_text(arg(args, 3)?)?;
+            if start < 1.0 || len < 0.0 {
+                return Err(ErrorValue::Value);
+            }
+            let start = (start as usize - 1).min(s.len());
+            let end = (start + len as usize).min(s.len());
+            let mut out: String = s[..start].iter().collect();
+            out.push_str(&new);
+            out.extend(&s[end..]);
+            text(out)
+        }
+        "REPT" => {
+            let s = to_text(arg(args, 0)?)?;
+            let n = to_number(arg(args, 1)?)?;
+            if n < 0.0 || (n as usize) * s.len() > 32_767 {
+                return Err(ErrorValue::Value);
+            }
+            text(s.repeat(n as usize))
+        }
+        "EXACT" => {
+            let a = to_text(arg(args, 0)?)?;
+            let b = to_text(arg(args, 1)?)?;
+            Ok(CellValue::Bool(a == b))
+        }
+        "SEARCH" | "FIND" => {
+            let needle = to_text(arg(args, 0)?)?;
+            let hay = to_text(arg(args, 1)?)?;
+            let start = opt_number(args, 2, 1.0)?;
+            if start < 1.0 {
+                return Err(ErrorValue::Value);
+            }
+            let hay_chars: Vec<char> = hay.chars().collect();
+            let skip = start as usize - 1;
+            if skip > hay_chars.len() {
+                return Err(ErrorValue::Value);
+            }
+            let (h, n) = if name == "SEARCH" {
+                (
+                    hay_chars[skip..].iter().collect::<String>().to_lowercase(),
+                    needle.to_lowercase(),
+                )
+            } else {
+                (hay_chars[skip..].iter().collect::<String>(), needle)
+            };
+            match h.find(&n) {
+                Some(byte_pos) => {
+                    let char_pos = h[..byte_pos].chars().count();
+                    num((skip + char_pos + 1) as f64)
+                }
+                None => Err(ErrorValue::Value),
+            }
+        }
+        "VALUE" | "NUMBERVALUE" => {
+            let raw = to_text(arg(args, 0)?)?;
+            let mut s = raw.trim().to_string();
+            let mut scale = 1.0;
+            if s.ends_with('%') {
+                s.pop();
+                scale = 0.01;
+            }
+            if s.starts_with('$') {
+                s.remove(0);
+            }
+            let s = s.replace(',', "");
+            if s.is_empty() {
+                return Err(ErrorValue::Value);
+            }
+            match s.parse::<f64>() {
+                Ok(n) if n.is_finite() => num(n * scale),
+                _ => Err(ErrorValue::Value),
+            }
+        }
+        "TEXT" => {
+            let v = to_number(arg(args, 0)?)?;
+            let fmt = to_text(arg(args, 1)?)?;
+            text(format_number(v, &fmt))
+        }
+        "CHAR" => {
+            let n = to_number(arg(args, 0)?)?;
+            if !(1.0..=255.0).contains(&n) {
+                return Err(ErrorValue::Value);
+            }
+            text(char::from_u32(n as u32).unwrap_or('?').to_string())
+        }
+        "CODE" => {
+            let s = to_text(arg(args, 0)?)?;
+            match s.chars().next() {
+                Some(c) => num(c as u32 as f64),
+                None => Err(ErrorValue::Value),
+            }
+        }
+        "T" => match arg(args, 0)? {
+            CellValue::Text(s) => text(s.clone()),
+            CellValue::Error(e) => Err(*e),
+            _ => text(String::new()),
+        },
+
+        // ---- math ----
+        "ABS" => num(to_number(arg(args, 0)?)?.abs()),
+        "ROUND" | "ROUNDUP" | "ROUNDDOWN" => {
+            let v = to_number(arg(args, 0)?)?;
+            let digits = opt_number(args, 1, 0.0)?;
+            let f = 10f64.powi(digits as i32);
+            let scaled = v * f;
+            let rounded = match name {
+                "ROUND" => scaled.round(),
+                "ROUNDUP" => scaled.abs().ceil() * scaled.signum(),
+                _ => scaled.abs().floor() * scaled.signum(),
+            };
+            num(rounded / f)
+        }
+        "INT" => num(to_number(arg(args, 0)?)?.floor()),
+        "MOD" => {
+            let a = to_number(arg(args, 0)?)?;
+            let b = to_number(arg(args, 1)?)?;
+            if b == 0.0 {
+                return Err(ErrorValue::Div0);
+            }
+            num(a - b * (a / b).floor())
+        }
+        "SQRT" => {
+            let v = to_number(arg(args, 0)?)?;
+            if v < 0.0 {
+                return Err(ErrorValue::Num);
+            }
+            num(v.sqrt())
+        }
+        "POWER" => num(to_number(arg(args, 0)?)?.powf(to_number(arg(args, 1)?)?)),
+        "SIGN" => num(to_number(arg(args, 0)?)?.signum() * f64::from(to_number(arg(args, 0)?)? != 0.0)),
+        "MIN" | "MAX" | "SUM" | "AVERAGE" | "PRODUCT" => {
+            if args.is_empty() {
+                return Err(ErrorValue::Value);
+            }
+            let nums: Result<Vec<f64>, ErrorValue> = args.iter().map(to_number).collect();
+            let nums = nums?;
+            let v = match name {
+                "MIN" => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                "MAX" => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                "SUM" => nums.iter().sum(),
+                "AVERAGE" => nums.iter().sum::<f64>() / nums.len() as f64,
+                _ => nums.iter().product(),
+            };
+            num(v)
+        }
+
+        // ---- logic / type predicates ----
+        "AND" | "OR" => {
+            if args.is_empty() {
+                return Err(ErrorValue::Value);
+            }
+            let bools: Result<Vec<bool>, ErrorValue> = args.iter().map(to_bool).collect();
+            let bools = bools?;
+            Ok(CellValue::Bool(if name == "AND" {
+                bools.iter().all(|b| *b)
+            } else {
+                bools.iter().any(|b| *b)
+            }))
+        }
+        "NOT" => Ok(CellValue::Bool(!to_bool(arg(args, 0)?)?)),
+        "ISNUMBER" => Ok(CellValue::Bool(arg(args, 0)?.is_number())),
+        "ISTEXT" => Ok(CellValue::Bool(arg(args, 0)?.is_text())),
+        "ISBLANK" => Ok(CellValue::Bool(arg(args, 0)?.is_blank())),
+        "ISERROR" => Ok(CellValue::Bool(arg(args, 0)?.is_error())),
+        "ISNA" => Ok(CellValue::Bool(arg(args, 0)?.is_na())),
+        "ISLOGICAL" => Ok(CellValue::Bool(arg(args, 0)?.is_bool())),
+
+        // ---- dates ----
+        "DATEVALUE" => {
+            let s = to_text(arg(args, 0)?)?;
+            parse_date(&s).map(CellValue::Number).ok_or(ErrorValue::Value)
+        }
+        "DATE" => {
+            let y = to_number(arg(args, 0)?)? as i64;
+            let m = to_number(arg(args, 1)?)? as i64;
+            let d = to_number(arg(args, 2)?)? as i64;
+            if !(1..=12).contains(&m) || !(1..=31).contains(&d) || !(1900..=9999).contains(&y) {
+                return Err(ErrorValue::Num);
+            }
+            num(serial_from_ymd(y, m as u32, d as u32))
+        }
+        "YEAR" | "MONTH" | "DAY" => {
+            let serial = to_number(arg(args, 0)?)?;
+            if serial < 1.0 {
+                return Err(ErrorValue::Num);
+            }
+            let (y, m, d) = ymd_from_serial(serial);
+            num(match name {
+                "YEAR" => y as f64,
+                "MONTH" => m as f64,
+                _ => d as f64,
+            })
+        }
+
+        // Lazy forms reaching here mean the evaluator missed them.
+        "IF" | "IFERROR" | "IFNA" => Err(ErrorValue::Value),
+        _ => Err(ErrorValue::Name),
+    }
+}
+
+/// Minimal `TEXT` number formats.
+fn format_number(v: f64, fmt: &str) -> String {
+    let decimals = fmt
+        .rsplit_once('.')
+        .map(|(_, frac)| frac.chars().filter(|c| *c == '0').count())
+        .unwrap_or(0);
+    let grouped = fmt.contains(',');
+    let percent = fmt.contains('%');
+    let v = if percent { v * 100.0 } else { v };
+    let body = format!("{v:.decimals$}");
+    let body = if grouped { group_thousands(&body) } else { body };
+    if percent {
+        format!("{body}%")
+    } else {
+        body
+    }
+}
+
+fn group_thousands(s: &str) -> String {
+    let (sign, rest) = s.strip_prefix('-').map_or(("", s), |r| ("-", r));
+    let (int, frac) = rest.split_once('.').map_or((rest, None), |(i, f)| (i, Some(f)));
+    let mut grouped = String::new();
+    let digits: Vec<char> = int.chars().collect();
+    for (i, c) in digits.iter().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            grouped.push(',');
+        }
+        grouped.push(*c);
+    }
+    match frac {
+        Some(f) => format!("{sign}{grouped}.{f}"),
+        None => format!("{sign}{grouped}"),
+    }
+}
+
+/// Days-from-civil (Howard Hinnant's algorithm), anchored to Excel's
+/// serial 1 = 1900-01-01 (the 1900 leap-year bug is deliberately not
+/// reproduced).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mp = ((m + 9) % 12) as u64;
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn serial_from_ymd(y: i64, m: u32, d: u32) -> f64 {
+    (days_from_civil(y, m, d) - days_from_civil(1899, 12, 31)) as f64
+}
+
+fn ymd_from_serial(serial: f64) -> (i64, u32, u32) {
+    civil_from_days(serial as i64 + days_from_civil(1899, 12, 31))
+}
+
+/// Parses `YYYY-MM-DD` or `M/D/YYYY` into an Excel serial.
+fn parse_date(s: &str) -> Option<f64> {
+    let s = s.trim();
+    let (y, m, d) = if let Some((y, rest)) = s.split_once('-') {
+        let (m, d) = rest.split_once('-')?;
+        (y.parse().ok()?, m.parse().ok()?, d.parse().ok()?)
+    } else if let Some((m, rest)) = s.split_once('/') {
+        let (d, y) = rest.split_once('/')?;
+        (y.parse().ok()?, m.parse().ok()?, d.parse().ok()?)
+    } else {
+        return None;
+    };
+    if !(1900..=9999).contains(&y) || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    // Reject dates the calendar round-trip disagrees with (e.g. Feb 30).
+    let serial = serial_from_ymd(y, m, d);
+    let (ry, rm, rd) = ymd_from_serial(serial);
+    (ry == y && rm == m && rd == d).then_some(serial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> CellValue {
+        CellValue::text(s)
+    }
+
+    fn n(v: f64) -> CellValue {
+        CellValue::Number(v)
+    }
+
+    #[test]
+    fn text_functions() {
+        assert_eq!(call("LEN", &[t("abc")]), Ok(n(3.0)));
+        assert_eq!(call("UPPER", &[t("aB")]), Ok(t("AB")));
+        assert_eq!(call("TRIM", &[t("  a   b ")]), Ok(t("a b")));
+        assert_eq!(call("PROPER", &[t("new york")]), Ok(t("New York")));
+        assert_eq!(call("LEFT", &[t("abcd"), n(2.0)]), Ok(t("ab")));
+        assert_eq!(call("RIGHT", &[t("abcd"), n(3.0)]), Ok(t("bcd")));
+        assert_eq!(call("MID", &[t("abcdef"), n(2.0), n(3.0)]), Ok(t("bcd")));
+        assert_eq!(call("REPT", &[t("ab"), n(3.0)]), Ok(t("ababab")));
+        assert_eq!(call("CONCAT", &[t("a"), n(1.0), t("b")]), Ok(t("a1b")));
+    }
+
+    #[test]
+    fn search_vs_find() {
+        assert_eq!(call("SEARCH", &[t("b"), t("ABC")]), Ok(n(2.0)));
+        assert_eq!(call("FIND", &[t("b"), t("ABC")]), Err(ErrorValue::Value));
+        assert_eq!(call("FIND", &[t("B"), t("ABC")]), Ok(n(2.0)));
+        assert_eq!(
+            call("SEARCH", &[t("-"), t("c3")]),
+            Err(ErrorValue::Value),
+            "the paper's motivating example: SEARCH on c3 errors"
+        );
+        assert_eq!(call("SEARCH", &[t("-"), t("c-3")]), Ok(n(2.0)));
+        // start offset
+        assert_eq!(call("SEARCH", &[t("a"), t("banana"), n(3.0)]), Ok(n(4.0)));
+    }
+
+    #[test]
+    fn substitute_and_replace() {
+        assert_eq!(
+            call("SUBSTITUTE", &[t("a-b-c"), t("-"), t("_")]),
+            Ok(t("a_b_c"))
+        );
+        assert_eq!(
+            call("SUBSTITUTE", &[t("a-b-c"), t("-"), t("_"), n(2.0)]),
+            Ok(t("a-b_c"))
+        );
+        assert_eq!(
+            call("REPLACE", &[t("abcdef"), n(2.0), n(3.0), t("XY")]),
+            Ok(t("aXYef"))
+        );
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(call("VALUE", &[t("1,234.5")]), Ok(n(1234.5)));
+        assert_eq!(call("VALUE", &[t("$42")]), Ok(n(42.0)));
+        assert_eq!(call("VALUE", &[t("50%")]), Ok(n(0.5)));
+        assert_eq!(call("VALUE", &[t("12a")]), Err(ErrorValue::Value));
+        assert_eq!(call("NUMBERVALUE", &[t("03.45")]), Ok(n(3.45)));
+    }
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(call("ROUND", &[n(2.567), n(1.0)]), Ok(n(2.6)));
+        assert_eq!(call("ROUNDDOWN", &[n(2.567), n(1.0)]), Ok(n(2.5)));
+        assert_eq!(call("ROUNDUP", &[n(-2.51), n(0.0)]), Ok(n(-3.0)));
+        assert_eq!(call("INT", &[n(-1.5)]), Ok(n(-2.0)));
+        assert_eq!(call("MOD", &[n(-3.0), n(2.0)]), Ok(n(1.0)));
+        assert_eq!(call("MOD", &[n(3.0), n(0.0)]), Err(ErrorValue::Div0));
+        assert_eq!(call("SQRT", &[n(-1.0)]), Err(ErrorValue::Num));
+        assert_eq!(call("SUM", &[n(1.0), t("2"), n(3.0)]), Ok(n(6.0)));
+        assert_eq!(call("MAX", &[n(1.0), n(9.0), n(4.0)]), Ok(n(9.0)));
+        assert_eq!(call("AVERAGE", &[n(2.0), n(4.0)]), Ok(n(3.0)));
+    }
+
+    #[test]
+    fn logic_and_predicates() {
+        assert_eq!(
+            call("AND", &[CellValue::Bool(true), n(1.0)]),
+            Ok(CellValue::Bool(true))
+        );
+        assert_eq!(
+            call("OR", &[CellValue::Bool(false), n(0.0)]),
+            Ok(CellValue::Bool(false))
+        );
+        assert_eq!(call("NOT", &[CellValue::Bool(false)]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("ISNUMBER", &[t("3")]), Ok(CellValue::Bool(false)));
+        assert_eq!(call("ISNUMBER", &[n(3.0)]), Ok(CellValue::Bool(true)));
+        assert_eq!(
+            call("ISERROR", &[CellValue::Error(ErrorValue::NA)]),
+            Ok(CellValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn dates_round_trip() {
+        let serial = call("DATEVALUE", &[t("2020-03-15")]).unwrap();
+        let s = serial.as_number().unwrap();
+        assert_eq!(call("YEAR", &[n(s)]), Ok(n(2020.0)));
+        assert_eq!(call("MONTH", &[n(s)]), Ok(n(3.0)));
+        assert_eq!(call("DAY", &[n(s)]), Ok(n(15.0)));
+        // US format.
+        assert_eq!(call("DATEVALUE", &[t("3/15/2020")]), Ok(n(s)));
+        // serial 1 = 1900-01-01.
+        assert_eq!(call("YEAR", &[n(1.0)]), Ok(n(1900.0)));
+        assert_eq!(call("DAY", &[n(1.0)]), Ok(n(1.0)));
+        // Invalid dates rejected.
+        assert_eq!(call("DATEVALUE", &[t("2020-02-30")]), Err(ErrorValue::Value));
+        assert_eq!(call("DATEVALUE", &[t("Q1-22")]), Err(ErrorValue::Value));
+    }
+
+    #[test]
+    fn text_formatting() {
+        assert_eq!(call("TEXT", &[n(1234.5), t("#,##0.00")]), Ok(t("1,234.50")));
+        assert_eq!(call("TEXT", &[n(0.25), t("0%")]), Ok(t("25%")));
+        assert_eq!(call("TEXT", &[n(7.0), t("0")]), Ok(t("7")));
+    }
+
+    #[test]
+    fn unknown_function_is_name_error() {
+        assert_eq!(call("FROBNICATE", &[]), Err(ErrorValue::Name));
+    }
+
+    #[test]
+    fn exact_and_compare_helpers() {
+        use crate::value::compare;
+        assert_eq!(call("EXACT", &[t("a"), t("A")]), Ok(CellValue::Bool(false)));
+        assert!(compare(&t("a"), &t("A")).unwrap().is_eq());
+    }
+}

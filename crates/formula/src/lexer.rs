@@ -1,0 +1,354 @@
+//! Formula lexer.
+
+use datavinci_table::ErrorValue;
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Numeric literal.
+    Num(f64),
+    /// Quoted string literal (quotes removed, `""` unescaped).
+    Str(String),
+    /// Identifier (function name, TRUE/FALSE).
+    Ident(String),
+    /// Structured column reference `[@Name]` / `[@[Name]]`.
+    ColRef(String),
+    /// Error literal.
+    Err(ErrorValue),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `&`
+    Amp,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Character offset.
+    pub at: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a formula (a leading `=` is permitted and skipped).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    if chars.first() == Some(&'=') {
+        i = 1;
+    }
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '^' => {
+                out.push(Token::Caret);
+                i += 1;
+            }
+            '&' => {
+                out.push(Token::Amp);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let (s, next) = lex_string(&chars, i)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            '[' => {
+                let (name, next) = lex_colref(&chars, i)?;
+                out.push(Token::ColRef(name));
+                i = next;
+            }
+            '#' => {
+                let (e, next) = lex_error(&chars, i)?;
+                out.push(Token::Err(e));
+                i = next;
+            }
+            _ if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                // Scientific notation.
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                        j += 1;
+                    }
+                    if j < chars.len() && chars[j].is_ascii_digit() {
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n = text.parse::<f64>().map_err(|_| LexError {
+                    message: format!("bad number literal {text:?}"),
+                    at: start,
+                })?;
+                out.push(Token::Num(n));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character {c:?}"),
+                    at: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(chars: &[char], start: usize) -> Result<(String, usize), LexError> {
+    let mut s = String::new();
+    let mut i = start + 1;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            if chars.get(i + 1) == Some(&'"') {
+                s.push('"');
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            s.push(chars[i]);
+            i += 1;
+        }
+    }
+    Err(LexError {
+        message: "unterminated string literal".into(),
+        at: start,
+    })
+}
+
+fn lex_colref(chars: &[char], start: usize) -> Result<(String, usize), LexError> {
+    // `[@Name]` or `[@[Name with specials]]`.
+    if chars.get(start + 1) != Some(&'@') {
+        return Err(LexError {
+            message: "expected '@' after '[' in column reference".into(),
+            at: start,
+        });
+    }
+    let mut i = start + 2;
+    if chars.get(i) == Some(&'[') {
+        i += 1;
+        let name_start = i;
+        while i < chars.len() && chars[i] != ']' {
+            i += 1;
+        }
+        if chars.get(i) != Some(&']') || chars.get(i + 1) != Some(&']') {
+            return Err(LexError {
+                message: "unterminated bracketed column reference".into(),
+                at: start,
+            });
+        }
+        Ok((chars[name_start..i].iter().collect(), i + 2))
+    } else {
+        let name_start = i;
+        while i < chars.len() && chars[i] != ']' {
+            i += 1;
+        }
+        if chars.get(i) != Some(&']') {
+            return Err(LexError {
+                message: "unterminated column reference".into(),
+                at: start,
+            });
+        }
+        Ok((chars[name_start..i].iter().collect(), i + 1))
+    }
+}
+
+fn lex_error(chars: &[char], start: usize) -> Result<(ErrorValue, usize), LexError> {
+    for e in [
+        ErrorValue::Value,
+        ErrorValue::Div0,
+        ErrorValue::NA,
+        ErrorValue::Num,
+        ErrorValue::Name,
+        ErrorValue::Ref,
+    ] {
+        let lit: Vec<char> = e.as_str().chars().collect();
+        if chars[start..].starts_with(&lit) {
+            return Ok((e, start + lit.len()));
+        }
+    }
+    Err(LexError {
+        message: "unknown error literal".into(),
+        at: start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_search_formula() {
+        let toks = lex("=SEARCH(\"-\", [@col1])").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SEARCH".into()),
+                Token::LParen,
+                Token::Str("-".into()),
+                Token::Comma,
+                Token::ColRef("col1".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(lex("1.5").unwrap(), vec![Token::Num(1.5)]);
+        assert_eq!(lex("2e3").unwrap(), vec![Token::Num(2000.0)]);
+        assert_eq!(lex(".5").unwrap(), vec![Token::Num(0.5)]);
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = lex("1<>2<=3>=4&5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Num(1.0),
+                Token::Ne,
+                Token::Num(2.0),
+                Token::Le,
+                Token::Num(3.0),
+                Token::Ge,
+                Token::Num(4.0),
+                Token::Amp,
+                Token::Num(5.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_escaped_quotes() {
+        assert_eq!(
+            lex("\"he said \"\"hi\"\"\"").unwrap(),
+            vec![Token::Str("he said \"hi\"".into())]
+        );
+    }
+
+    #[test]
+    fn lex_bracketed_column_name() {
+        assert_eq!(
+            lex("[@[Player ID]]").unwrap(),
+            vec![Token::ColRef("Player ID".into())]
+        );
+    }
+
+    #[test]
+    fn lex_error_literals() {
+        assert_eq!(lex("#N/A").unwrap(), vec![Token::Err(ErrorValue::NA)]);
+        assert_eq!(lex("#DIV/0!").unwrap(), vec![Token::Err(ErrorValue::Div0)]);
+    }
+
+    #[test]
+    fn lex_rejects_garbage() {
+        assert!(lex("~").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("[@oops").is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! An Excel-like formula engine: the execution substrate for DataVinci's
+//! execution-guided repair (paper §3.6) and the Excel-Formulas benchmark.
+//!
+//! The engine is deliberately spreadsheet-faithful where it matters to the
+//! paper: structured column references (`[@col1]`), ~40 common functions
+//! (`SEARCH`, `LEFT`, `VALUE`, `DATEVALUE`, …), Excel coercion rules, and
+//! error *values* (`#VALUE!`, `#DIV/0!`, …) rather than exceptions — a
+//! failing execution is data, and execution-guided repair groups rows by
+//! exactly that signal.
+//!
+//! Entry points: [`ColumnProgram::parse`] → [`ColumnProgram::execute`] /
+//! [`ColumnProgram::execution_groups`].
+
+pub mod ast;
+pub mod eval;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+pub mod program;
+pub mod value;
+
+pub use ast::{BinOp, Expr, UnOp};
+pub use eval::{eval, RowCtx};
+pub use parser::{parse, ParseError};
+pub use program::{ColumnProgram, ExecutionGroups};

@@ -1,0 +1,261 @@
+//! Pratt parser for formulas.
+//!
+//! Precedence (loosest → tightest): comparison, `&`, `+ -`, `* /`, `^`,
+//! unary. `^` is right-associative like Excel's.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::lexer::{lex, LexError, Token};
+use std::fmt;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses a formula string into an expression.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr(0)?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError {
+            message: format!("unexpected trailing tokens at {}", p.pos),
+        });
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+fn bin_op(tok: &Token) -> Option<(BinOp, u8)> {
+    Some(match tok {
+        Token::Eq => (BinOp::Eq, 1),
+        Token::Ne => (BinOp::Ne, 1),
+        Token::Lt => (BinOp::Lt, 1),
+        Token::Le => (BinOp::Le, 1),
+        Token::Gt => (BinOp::Gt, 1),
+        Token::Ge => (BinOp::Ge, 1),
+        Token::Amp => (BinOp::Concat, 2),
+        Token::Plus => (BinOp::Add, 3),
+        Token::Minus => (BinOp::Sub, 3),
+        Token::Star => (BinOp::Mul, 4),
+        Token::Slash => (BinOp::Div, 4),
+        Token::Caret => (BinOp::Pow, 5),
+        _ => return None,
+    })
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == *tok => Ok(()),
+            other => Err(ParseError {
+                message: format!("expected {tok:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expr(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.prefix()?;
+        while let Some((op, bp)) = self.peek().and_then(bin_op) {
+            if bp < min_bp {
+                break;
+            }
+            self.next();
+            // `^` is right-associative; everything else left-associative.
+            let next_bp = if op == BinOp::Pow { bp } else { bp + 1 };
+            let rhs = self.expr(next_bp)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Num(n)) => Ok(Expr::Num(n)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Err(e)) => Ok(Expr::Err(e)),
+            Some(Token::ColRef(name)) => Ok(Expr::ColRef(name)),
+            Some(Token::Minus) => Ok(Expr::Unary(UnOp::Neg, Box::new(self.expr(6)?))),
+            Some(Token::Plus) => Ok(Expr::Unary(UnOp::Pos, Box::new(self.expr(6)?))),
+            Some(Token::LParen) => {
+                let inner = self.expr(0)?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                if self.peek() == Some(&Token::LParen) {
+                    self.next();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            match self.next() {
+                                Some(Token::Comma) => continue,
+                                Some(Token::RParen) => break,
+                                other => {
+                                    return Err(ParseError {
+                                        message: format!(
+                                            "expected ',' or ')' in argument list, found {other:?}"
+                                        ),
+                                    })
+                                }
+                            }
+                        }
+                    } else {
+                        self.next();
+                    }
+                    Ok(Expr::Call(upper, args))
+                } else {
+                    match upper.as_str() {
+                        "TRUE" => Ok(Expr::Bool(true)),
+                        "FALSE" => Ok(Expr::Bool(false)),
+                        _ => Err(ParseError {
+                            message: format!("bare identifier {name:?} (missing parentheses?)"),
+                        }),
+                    }
+                }
+            }
+            other => Err(ParseError {
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_search_formula() {
+        let e = parse("=SEARCH(\"-\", [@col1])").unwrap();
+        assert_eq!(
+            e,
+            Expr::Call(
+                "SEARCH".into(),
+                vec![Expr::Str("-".into()), Expr::ColRef("col1".into())]
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        // 1+2*3 = 1+(2*3)
+        let e = parse("1+2*3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Num(1.0)),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Num(2.0)),
+                    Box::new(Expr::Num(3.0))
+                ))
+            )
+        );
+        // 2^3^2 is right-assoc: 2^(3^2)
+        let e = parse("2^3^2").unwrap();
+        match e {
+            Expr::Binary(BinOp::Pow, lhs, _) => assert_eq!(*lhs, Expr::Num(2.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Concat binds looser than +: "a" & 1+2
+        let e = parse("\"a\"&1+2").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Concat, _, _)));
+    }
+
+    #[test]
+    fn comparison_is_loosest() {
+        let e = parse("[@a]&\"x\"=\"yx\"").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse("-[@n]+1").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Add, _, _)));
+        // Excel quirk: unary minus binds tighter than `^`, so -2^2 = (-2)^2.
+        let e = parse("-2^2").unwrap();
+        match e {
+            Expr::Binary(BinOp::Pow, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Unary(UnOp::Neg, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_calls() {
+        let e = parse("IF(ISNUMBER(VALUE([@x])), LEN([@x]), 0)").unwrap();
+        match e {
+            Expr::Call(name, args) => {
+                assert_eq!(name, "IF");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn true_false_literals() {
+        assert_eq!(parse("TRUE").unwrap(), Expr::Bool(true));
+        assert_eq!(parse("false").unwrap(), Expr::Bool(false));
+    }
+
+    #[test]
+    fn zero_arg_call() {
+        assert_eq!(parse("NOW()").unwrap(), Expr::Call("NOW".into(), vec![]));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_and_bad_args() {
+        assert!(parse("1 2").is_err());
+        assert!(parse("LEN(1 2)").is_err());
+        assert!(parse("foo").is_err());
+        assert!(parse("(1").is_err());
+    }
+
+    #[test]
+    fn function_names_case_normalized() {
+        assert_eq!(
+            parse("len([@a])").unwrap(),
+            Expr::Call("LEN".into(), vec![Expr::ColRef("a".into())])
+        );
+    }
+}

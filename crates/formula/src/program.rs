@@ -1,0 +1,149 @@
+//! Column-transformation programs (paper §3.6, Definition via Example 7).
+//!
+//! A column-transformation program executes over each row tuple
+//! independently and produces one output value per row. Executing one over a
+//! table partitions rows into *successes* and *failures* (error values) —
+//! the signal execution-guided repair learns from.
+
+use crate::ast::Expr;
+use crate::eval::{eval, RowCtx};
+use crate::parser::{parse, ParseError};
+use datavinci_table::{CellValue, Table};
+
+/// A parsed, executable column-transformation program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProgram {
+    source: String,
+    expr: Expr,
+    inputs: Vec<String>,
+}
+
+/// The success/failure partition of one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionGroups {
+    /// Rows whose output is a non-error value.
+    pub successes: Vec<usize>,
+    /// Rows whose output is an error value.
+    pub failures: Vec<usize>,
+}
+
+impl ExecutionGroups {
+    /// Fraction of rows that executed successfully.
+    pub fn success_rate(&self) -> f64 {
+        let n = self.successes.len() + self.failures.len();
+        if n == 0 {
+            1.0
+        } else {
+            self.successes.len() as f64 / n as f64
+        }
+    }
+
+    /// Did every row execute successfully?
+    pub fn fully_successful(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl ColumnProgram {
+    /// Parses a formula into a program.
+    pub fn parse(source: &str) -> Result<ColumnProgram, ParseError> {
+        let expr = parse(source)?;
+        let inputs = expr.input_columns();
+        Ok(ColumnProgram {
+            source: source.to_string(),
+            expr,
+            inputs,
+        })
+    }
+
+    /// The original formula text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Distinct input column names, in first-use order.
+    pub fn input_columns(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Executes over every row, producing the output column.
+    pub fn execute(&self, table: &Table) -> Vec<CellValue> {
+        (0..table.n_rows())
+            .map(|row| eval(&self.expr, &RowCtx { table, row }))
+            .collect()
+    }
+
+    /// Executes and partitions rows by outcome.
+    pub fn execution_groups(&self, table: &Table) -> ExecutionGroups {
+        let mut groups = ExecutionGroups::default();
+        for (row, out) in self.execute(table).iter().enumerate() {
+            if out.is_error() {
+                groups.failures.push(row);
+            } else {
+                groups.successes.push(row);
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    fn intro_table() -> Table {
+        Table::new(vec![Column::from_texts("col1", &["c-1", "c-2", "c3", "c4"])])
+    }
+
+    #[test]
+    fn intro_example_partition() {
+        // Paper §1: =SEARCH("-", [@col1]) splits [c-1, c-2 | c3, c4].
+        let p = ColumnProgram::parse("=SEARCH(\"-\", [@col1])").unwrap();
+        let g = p.execution_groups(&intro_table());
+        assert_eq!(g.successes, vec![0, 1]);
+        assert_eq!(g.failures, vec![2, 3]);
+        assert!((g.success_rate() - 0.5).abs() < 1e-12);
+        assert!(!g.fully_successful());
+    }
+
+    #[test]
+    fn input_columns_extracted() {
+        let p = ColumnProgram::parse("=CONCAT([@a], \"-\", [@b])").unwrap();
+        assert_eq!(p.input_columns(), ["a", "b"]);
+    }
+
+    #[test]
+    fn execute_produces_one_output_per_row() {
+        let p = ColumnProgram::parse("=LEN([@col1])").unwrap();
+        let out = p.execute(&intro_table());
+        assert_eq!(
+            out,
+            vec![
+                CellValue::Number(3.0),
+                CellValue::Number(3.0),
+                CellValue::Number(2.0),
+                CellValue::Number(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(ColumnProgram::parse("=SEARCH(").is_err());
+    }
+
+    #[test]
+    fn empty_table_fully_successful() {
+        let p = ColumnProgram::parse("=LEN([@x])").unwrap();
+        let t = Table::new(vec![Column::from_texts("x", &[] as &[&str])]);
+        let g = p.execution_groups(&t);
+        assert!(g.fully_successful());
+        assert_eq!(g.success_rate(), 1.0);
+    }
+}

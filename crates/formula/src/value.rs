@@ -1,0 +1,125 @@
+//! Excel-style value coercions with error propagation.
+
+use datavinci_table::{CellValue, ErrorValue};
+
+/// Coerces to a number: numbers pass, booleans map to 1/0, numeric text
+/// parses, blanks are 0; anything else is `#VALUE!`.
+pub fn to_number(v: &CellValue) -> Result<f64, ErrorValue> {
+    match v {
+        CellValue::Number(n) => Ok(*n),
+        CellValue::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+        CellValue::Blank => Ok(0.0),
+        CellValue::Text(s) => {
+            let t = s.trim();
+            t.parse::<f64>()
+                .ok()
+                .filter(|n| n.is_finite())
+                .ok_or(ErrorValue::Value)
+        }
+        CellValue::Error(e) => Err(*e),
+    }
+}
+
+/// Coerces to text: the rendering concatenation sees. Errors propagate.
+pub fn to_text(v: &CellValue) -> Result<String, ErrorValue> {
+    match v {
+        CellValue::Error(e) => Err(*e),
+        other => Ok(other.coerce_text().unwrap_or_default()),
+    }
+}
+
+/// Coerces to a logical: booleans pass, numbers are `≠ 0`, TRUE/FALSE text
+/// parses (case-insensitive), blanks are false.
+pub fn to_bool(v: &CellValue) -> Result<bool, ErrorValue> {
+    match v {
+        CellValue::Bool(b) => Ok(*b),
+        CellValue::Number(n) => Ok(*n != 0.0),
+        CellValue::Blank => Ok(false),
+        CellValue::Text(s) => match s.trim().to_ascii_uppercase().as_str() {
+            "TRUE" => Ok(true),
+            "FALSE" => Ok(false),
+            _ => Err(ErrorValue::Value),
+        },
+        CellValue::Error(e) => Err(*e),
+    }
+}
+
+/// Excel-style ordering for comparison operators: numbers < text < booleans;
+/// text compares case-insensitively.
+pub fn compare(a: &CellValue, b: &CellValue) -> Result<std::cmp::Ordering, ErrorValue> {
+    use std::cmp::Ordering;
+    fn rank(v: &CellValue) -> u8 {
+        match v {
+            CellValue::Number(_) | CellValue::Blank => 0,
+            CellValue::Text(_) => 1,
+            CellValue::Bool(_) => 2,
+            CellValue::Error(_) => 3,
+        }
+    }
+    if let CellValue::Error(e) = a {
+        return Err(*e);
+    }
+    if let CellValue::Error(e) = b {
+        return Err(*e);
+    }
+    let (ra, rb) = (rank(a), rank(b));
+    if ra != rb {
+        return Ok(ra.cmp(&rb));
+    }
+    Ok(match (a, b) {
+        (CellValue::Text(x), CellValue::Text(y)) => {
+            x.to_lowercase().cmp(&y.to_lowercase())
+        }
+        (CellValue::Bool(x), CellValue::Bool(y)) => x.cmp(y),
+        _ => {
+            let x = to_number(a)?;
+            let y = to_number(b)?;
+            x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_coercions() {
+        assert_eq!(to_number(&CellValue::text("42")), Ok(42.0));
+        assert_eq!(to_number(&CellValue::text(" 4.5 ")), Ok(4.5));
+        assert_eq!(to_number(&CellValue::text("x")), Err(ErrorValue::Value));
+        assert_eq!(to_number(&CellValue::Blank), Ok(0.0));
+        assert_eq!(to_number(&CellValue::Bool(true)), Ok(1.0));
+        assert_eq!(
+            to_number(&CellValue::Error(ErrorValue::NA)),
+            Err(ErrorValue::NA)
+        );
+    }
+
+    #[test]
+    fn bool_coercions() {
+        assert_eq!(to_bool(&CellValue::text("true")), Ok(true));
+        assert_eq!(to_bool(&CellValue::Number(0.0)), Ok(false));
+        assert_eq!(to_bool(&CellValue::Number(-2.0)), Ok(true));
+        assert_eq!(to_bool(&CellValue::text("yes")), Err(ErrorValue::Value));
+    }
+
+    #[test]
+    fn comparisons() {
+        use std::cmp::Ordering::*;
+        assert_eq!(
+            compare(&CellValue::text("ABC"), &CellValue::text("abc")),
+            Ok(Equal)
+        );
+        assert_eq!(
+            compare(&CellValue::Number(5.0), &CellValue::text("1")),
+            Ok(Less),
+            "numbers sort before text in Excel"
+        );
+        assert_eq!(
+            compare(&CellValue::Number(2.0), &CellValue::Number(1.0)),
+            Ok(Greater)
+        );
+        assert!(compare(&CellValue::Error(ErrorValue::NA), &CellValue::Number(1.0)).is_err());
+    }
+}

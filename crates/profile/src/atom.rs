@@ -1,0 +1,205 @@
+//! Atomic tokenization: splitting a (masked) string into runs.
+//!
+//! The profiler's first step decomposes each value into a sequence of atoms:
+//! maximal runs of digits / uppercase / lowercase / spaces, single symbol
+//! characters, and semantic mask tokens. Atom *kind sequences* are the
+//! shape signatures that seed clustering.
+
+use datavinci_regex::{MaskId, MaskedString, Tok};
+
+/// The family of an atom — the clustering signature element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomKind {
+    /// A maximal run of ASCII digits.
+    Digits,
+    /// A maximal run of ASCII uppercase letters.
+    Uppers,
+    /// A maximal run of ASCII lowercase letters.
+    Lowers,
+    /// A maximal run of spaces.
+    Spaces,
+    /// A single symbol (punctuation / non-ASCII) character.
+    Symbol(char),
+    /// A semantic mask token.
+    Mask(MaskId),
+}
+
+/// One atom: its kind plus the original text it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Shape family.
+    pub kind: AtomKind,
+    /// Original covered text (empty for masks).
+    pub text: String,
+}
+
+impl Atom {
+    fn run(kind: AtomKind, text: String) -> Atom {
+        Atom { kind, text }
+    }
+}
+
+/// Which run family does a character extend, if any?
+fn family(c: char) -> Option<AtomKind> {
+    if c.is_ascii_digit() {
+        Some(AtomKind::Digits)
+    } else if c.is_ascii_uppercase() {
+        Some(AtomKind::Uppers)
+    } else if c.is_ascii_lowercase() {
+        Some(AtomKind::Lowers)
+    } else if c == ' ' {
+        Some(AtomKind::Spaces)
+    } else {
+        None
+    }
+}
+
+/// Tokenizes a masked string into atoms.
+pub fn tokenize(value: &MaskedString) -> Vec<Atom> {
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut run: Option<(AtomKind, String)> = None;
+    for tok in value.toks() {
+        match tok {
+            Tok::Mask(id) => {
+                if let Some((kind, text)) = run.take() {
+                    atoms.push(Atom::run(kind, text));
+                }
+                atoms.push(Atom::run(AtomKind::Mask(*id), String::new()));
+            }
+            Tok::Char(c) => match family(*c) {
+                Some(kind) => match &mut run {
+                    Some((k, text)) if *k == kind => text.push(*c),
+                    _ => {
+                        if let Some((k, text)) = run.take() {
+                            atoms.push(Atom::run(k, text));
+                        }
+                        run = Some((kind, c.to_string()));
+                    }
+                },
+                None => {
+                    if let Some((k, text)) = run.take() {
+                        atoms.push(Atom::run(k, text));
+                    }
+                    atoms.push(Atom::run(AtomKind::Symbol(*c), c.to_string()));
+                }
+            },
+        }
+    }
+    if let Some((k, text)) = run.take() {
+        atoms.push(Atom::run(k, text));
+    }
+    atoms
+}
+
+/// The kind sequence (shape signature) of an atom list.
+pub fn signature(atoms: &[Atom]) -> Vec<AtomKind> {
+    atoms.iter().map(|a| a.kind).collect()
+}
+
+/// Finds the smallest period `p` such that the signature is `p`-periodic
+/// (`sig = unit^k` with `k = len/p ≥ 1`). Returns `(p, k)`.
+pub fn smallest_period(sig: &[AtomKind]) -> (usize, usize) {
+    let n = sig.len();
+    if n == 0 {
+        return (0, 1);
+    }
+    for p in 1..n {
+        if n.is_multiple_of(p) && (p..n).all(|i| sig[i] == sig[i - p]) {
+            return (p, n / p);
+        }
+    }
+    (n, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_regex::MaskId;
+
+    fn toks(s: &str) -> MaskedString {
+        MaskedString::from_plain(s)
+    }
+
+    #[test]
+    fn tokenize_mixed_value() {
+        let atoms = tokenize(&toks("Ind-674-PRO"));
+        let kinds = signature(&atoms);
+        assert_eq!(
+            kinds,
+            vec![
+                AtomKind::Uppers,
+                AtomKind::Lowers,
+                AtomKind::Symbol('-'),
+                AtomKind::Digits,
+                AtomKind::Symbol('-'),
+                AtomKind::Uppers,
+            ]
+        );
+        assert_eq!(atoms[0].text, "I");
+        assert_eq!(atoms[1].text, "nd");
+        assert_eq!(atoms[3].text, "674");
+        assert_eq!(atoms[5].text, "PRO");
+    }
+
+    #[test]
+    fn tokenize_with_masks() {
+        let m = MaskId(2);
+        let v = MaskedString::from_toks(vec![
+            Tok::Mask(m),
+            Tok::Char('-'),
+            Tok::Char('8'),
+            Tok::Char('3'),
+        ]);
+        let atoms = tokenize(&v);
+        assert_eq!(
+            signature(&atoms),
+            vec![AtomKind::Mask(m), AtomKind::Symbol('-'), AtomKind::Digits]
+        );
+        assert_eq!(atoms[2].text, "83");
+    }
+
+    #[test]
+    fn spaces_form_runs() {
+        let atoms = tokenize(&toks("New  York"));
+        assert_eq!(
+            signature(&atoms),
+            vec![
+                AtomKind::Uppers,
+                AtomKind::Lowers,
+                AtomKind::Spaces,
+                AtomKind::Uppers,
+                AtomKind::Lowers,
+            ]
+        );
+        assert_eq!(atoms[2].text, "  ");
+    }
+
+    #[test]
+    fn symbols_are_singletons() {
+        let atoms = tokenize(&toks("--"));
+        assert_eq!(
+            signature(&atoms),
+            vec![AtomKind::Symbol('-'), AtomKind::Symbol('-')]
+        );
+    }
+
+    #[test]
+    fn empty_value() {
+        assert!(tokenize(&toks("")).is_empty());
+    }
+
+    #[test]
+    fn period_detection() {
+        use AtomKind::*;
+        // A2.A3. → [U, D, ., U, D, .] has period 3, 2 reps.
+        let sig = vec![Uppers, Digits, Symbol('.'), Uppers, Digits, Symbol('.')];
+        assert_eq!(smallest_period(&sig), (3, 2));
+        // Aperiodic.
+        let sig2 = vec![Uppers, Digits, Symbol('-')];
+        assert_eq!(smallest_period(&sig2), (3, 1));
+        // Single atom repeated.
+        let sig3 = vec![Symbol('-'), Symbol('-'), Symbol('-')];
+        assert_eq!(smallest_period(&sig3), (1, 3));
+        assert_eq!(smallest_period(&[]), (0, 1));
+    }
+}

@@ -1,0 +1,273 @@
+//! Anti-unification of group profiles: alignment-based merging.
+//!
+//! FlashProfile balances the number of patterns against their generality.
+//! We approximate this with greedy agglomerative merging: two clusters merge
+//! when their unit signatures align cheaply — aligned class runs widen to
+//! their class join, unalignable positions become optional — and the
+//! normalized alignment cost stays under a threshold. Symbol and mask
+//! positions never unify across different symbols/masks (a `-`/`_` delimiter
+//! difference must *stay* two patterns, otherwise outliers like `usa_837`
+//! from Figure 2 would be silently absorbed).
+
+use crate::stats::{GroupProfile, PosKind, PosStat};
+
+/// Cost model for pairwise merges.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeConfig {
+    /// Cost of widening one class into a super-class.
+    pub class_widen_cost: f64,
+    /// Cost of joining two incomparable classes (e.g. digits vs lowercase).
+    pub class_mismatch_cost: f64,
+    /// Gap cost for a class-run position (becomes optional).
+    pub gap_class_cost: f64,
+    /// Gap cost for a symbol position (structure-bearing, expensive).
+    pub gap_sym_cost: f64,
+    /// Gap cost for a mask position.
+    pub gap_mask_cost: f64,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            class_widen_cost: 0.2,
+            class_mismatch_cost: 0.4,
+            gap_class_cost: 0.65,
+            gap_sym_cost: 1.0,
+            gap_mask_cost: 1.0,
+        }
+    }
+}
+
+fn gap_cost(stat: &PosStat, cfg: &MergeConfig) -> f64 {
+    match stat.kind {
+        PosKind::Class(_) => cfg.gap_class_cost,
+        PosKind::Sym(_) => cfg.gap_sym_cost,
+        PosKind::Mask(_) => cfg.gap_mask_cost,
+    }
+}
+
+/// Match cost of aligning two positions, or `None` if they cannot unify.
+fn match_cost(a: &PosStat, b: &PosStat, cfg: &MergeConfig) -> Option<f64> {
+    match (a.kind, b.kind) {
+        (PosKind::Sym(x), PosKind::Sym(y)) => (x == y).then_some(0.0),
+        (PosKind::Mask(x), PosKind::Mask(y)) => (x == y).then_some(0.0),
+        (PosKind::Class(x), PosKind::Class(y)) => {
+            if x == y {
+                Some(0.0)
+            } else if x.is_subclass_of(&y) || y.is_subclass_of(&x) {
+                Some(cfg.class_widen_cost)
+            } else {
+                Some(cfg.class_mismatch_cost)
+            }
+        }
+        _ => None,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Step {
+    Match,
+    GapA, // consume from a only
+    GapB, // consume from b only
+}
+
+/// Attempts to merge two groups. Returns the *normalized* alignment cost and
+/// the merged profile; `None` when alignment is impossible.
+pub fn try_merge(
+    a: &GroupProfile,
+    b: &GroupProfile,
+    cfg: &MergeConfig,
+) -> Option<(f64, GroupProfile)> {
+    let (ua, ub) = (&a.unit, &b.unit);
+    let (n, m) = (ua.len(), ub.len());
+    if n == 0 || m == 0 {
+        return None; // the empty-string group never merges
+    }
+    const INF: f64 = f64::INFINITY;
+    let mut dp = vec![vec![INF; m + 1]; n + 1];
+    let mut step = vec![vec![Step::Match; m + 1]; n + 1];
+    dp[0][0] = 0.0;
+    for i in 0..=n {
+        for j in 0..=m {
+            if dp[i][j].is_infinite() {
+                continue;
+            }
+            if i < n && j < m {
+                if let Some(c) = match_cost(&ua[i], &ub[j], cfg) {
+                    if dp[i][j] + c < dp[i + 1][j + 1] {
+                        dp[i + 1][j + 1] = dp[i][j] + c;
+                        step[i + 1][j + 1] = Step::Match;
+                    }
+                }
+            }
+            if i < n {
+                let c = gap_cost(&ua[i], cfg);
+                if dp[i][j] + c < dp[i + 1][j] {
+                    dp[i + 1][j] = dp[i][j] + c;
+                    step[i + 1][j] = Step::GapA;
+                }
+            }
+            if j < m {
+                let c = gap_cost(&ub[j], cfg);
+                if dp[i][j] + c < dp[i][j + 1] {
+                    dp[i][j + 1] = dp[i][j] + c;
+                    step[i][j + 1] = Step::GapB;
+                }
+            }
+        }
+    }
+    let total = dp[n][m];
+    if total.is_infinite() {
+        return None;
+    }
+    let normalized = total / n.max(m) as f64;
+
+    // Reconstruct the merged unit.
+    let mut merged_rev: Vec<PosStat> = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        match step[i][j] {
+            Step::Match if i > 0 && j > 0 => {
+                let mut s = ua[i - 1].clone();
+                s.absorb(&ub[j - 1]);
+                merged_rev.push(s);
+                i -= 1;
+                j -= 1;
+            }
+            Step::GapA | Step::Match if i > 0 => {
+                let mut s = ua[i - 1].clone();
+                s.optional = true;
+                merged_rev.push(s);
+                i -= 1;
+            }
+            _ => {
+                let mut s = ub[j - 1].clone();
+                s.optional = true;
+                merged_rev.push(s);
+                j -= 1;
+            }
+        }
+    }
+    merged_rev.reverse();
+
+    let mut rows = a.rows.clone();
+    rows.extend_from_slice(&b.rows);
+    rows.sort_unstable();
+    rows.dedup();
+    Some((
+        normalized,
+        GroupProfile {
+            unit: merged_rev,
+            min_reps: a.min_reps.min(b.min_reps),
+            max_reps: a.max_reps.max(b.max_reps),
+            rows,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{signature, smallest_period, tokenize};
+    use crate::stats::BuildConfig;
+    use datavinci_regex::{CompiledPattern, MaskedString};
+
+    fn group_at(values: &[&str], base: usize) -> GroupProfile {
+        let mut g: Option<GroupProfile> = None;
+        for (i, v) in values.iter().enumerate() {
+            let atoms = tokenize(&MaskedString::from_plain(v));
+            let sig = signature(&atoms);
+            let (p, k) = smallest_period(&sig);
+            match &mut g {
+                None => g = Some(GroupProfile::seed(&atoms, p, k, base + i)),
+                Some(g) => g.absorb_value(&atoms, p, k, base + i),
+            }
+        }
+        g.unwrap()
+    }
+
+    fn group(values: &[&str]) -> GroupProfile {
+        group_at(values, 0)
+    }
+
+    #[test]
+    fn same_shape_different_classes_widen() {
+        // Same digit suffix keeps both digit runs in the Binary class, so
+        // the only cost is the Lower/Upper mismatch: 0.4 / 2 = 0.2.
+        let a = group(&["abc1"]);
+        let b = group_at(&["XYZ1"], 10);
+        let cfg = MergeConfig::default();
+        let (cost, merged) = try_merge(&a, &b, &cfg).unwrap();
+        assert!(cost > 0.0 && cost <= 0.2, "cost {cost}");
+        let p = merged.build_pattern(&BuildConfig::default());
+        let c = CompiledPattern::compile(p);
+        assert!(c.matches(&"abc1".into()));
+        assert!(c.matches(&"XYZ1".into()));
+        assert!(c.matches(&"AbC1".into()));
+    }
+
+    #[test]
+    fn class_widening_steps_accumulate() {
+        // Different trailing digits widen Binary→Digit (0.2) on top of the
+        // Lower/Upper mismatch (0.4): total 0.6 / 2 = 0.3 — above threshold.
+        let a = group(&["abc1"]);
+        let b = group_at(&["XYZ2"], 10);
+        let (cost, _) = try_merge(&a, &b, &MergeConfig::default()).unwrap();
+        assert!((cost - 0.3).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn delimiter_difference_is_expensive() {
+        // c-1 shape vs c1 shape: dropping the '-' costs gap_sym (0.9)/3 = 0.3.
+        let a = group(&["c-1", "c-2"]);
+        let b = group(&["c3", "c4"]);
+        let cfg = MergeConfig::default();
+        let (cost, _) = try_merge(&a, &b, &cfg).unwrap();
+        assert!(cost > 0.2, "delimiter gaps must exceed threshold: {cost}");
+    }
+
+    #[test]
+    fn symbol_mismatch_never_matches_directly() {
+        // '_' vs '-' positions can only gap, never merge into one symbol.
+        let a = group(&["a-1"]);
+        let b = group(&["a_1"]);
+        let cfg = MergeConfig::default();
+        let (cost, merged) = try_merge(&a, &b, &cfg).unwrap();
+        // Both symbols became optional gaps: cost = 2 * 1.0 / 3.
+        assert!((cost - 2.0 / 3.0).abs() < 1e-9, "cost {cost}");
+        let p = merged.build_pattern(&BuildConfig::default());
+        assert!(
+            p.to_string().contains("-?") && p.to_string().contains("_?"),
+            "pattern {p}"
+        );
+    }
+
+    #[test]
+    fn optional_tail_from_length_difference() {
+        let a = group(&["12.5"]);
+        let b = group(&["13"]);
+        let cfg = MergeConfig::default();
+        let (cost, merged) = try_merge(&a, &b, &cfg).unwrap();
+        let p = merged.build_pattern(&BuildConfig::default());
+        let c = CompiledPattern::compile(p);
+        assert!(c.matches(&"12.5".into()));
+        assert!(c.matches(&"13".into()));
+        // One symbol gap + one class gap.
+        assert!((cost - (1.0 + 0.65) / 3.0).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn merged_rows_are_union() {
+        let a = group(&["abc"]);
+        let b = group_at(&["XY"], 1);
+        let (_, merged) = try_merge(&a, &b, &MergeConfig::default()).unwrap();
+        assert_eq!(merged.rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_groups_never_merge() {
+        let a = group(&[""]);
+        let b = group(&["x"]);
+        assert!(try_merge(&a, &b, &MergeConfig::default()).is_none());
+    }
+}

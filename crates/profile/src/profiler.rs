@@ -1,0 +1,307 @@
+//! The column profiler: FlashProfile-style pattern learning.
+//!
+//! Paper §3.1: "Given a column c, DataVinci uses FlashProfile to learn up to
+//! k patterns R = {r₁,…,r_k} such that all values v in c are in the language
+//! jointly defined by these patterns. … FlashProfile balances the number of
+//! individual patterns with the generality (number of cells covered) of each
+//! pattern."
+//!
+//! Pipeline: tokenize → period-collapse → group by unit signature →
+//! greedy agglomerative merging under a normalized-cost threshold →
+//! build patterns from pooled statistics → re-evaluate true coverage.
+
+use std::collections::HashMap;
+
+use crate::atom::{signature, smallest_period, tokenize, AtomKind};
+use crate::generalize::{try_merge, MergeConfig};
+use crate::stats::{BuildConfig, GroupProfile};
+use datavinci_regex::{CompiledPattern, MaskedString, Pattern};
+
+/// Profiler configuration (FlashProfile's "default parameters" stand-in).
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// Learn up to this many patterns (k).
+    pub max_patterns: usize,
+    /// Merge two clusters when normalized alignment cost ≤ this threshold.
+    pub merge_threshold: f64,
+    /// Pattern-construction tunables.
+    pub build: BuildConfig,
+    /// Merge cost model.
+    pub merge: MergeConfig,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            max_patterns: 8,
+            merge_threshold: 0.2,
+            build: BuildConfig::default(),
+            merge: MergeConfig::default(),
+        }
+    }
+}
+
+/// One learned pattern with its (true, re-evaluated) coverage.
+#[derive(Debug, Clone)]
+pub struct LearnedPattern {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Compiled form, ready for matching and repair.
+    pub compiled: CompiledPattern,
+    /// Row indices whose values the pattern accepts.
+    pub rows: Vec<usize>,
+    /// Fraction of column values accepted.
+    pub coverage: f64,
+}
+
+/// The result of profiling one column.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnProfile {
+    /// Learned patterns, sorted by coverage (descending).
+    pub patterns: Vec<LearnedPattern>,
+    /// Number of profiled values.
+    pub n_values: usize,
+}
+
+impl ColumnProfile {
+    /// The significant patterns: individual coverage ≥ δ (paper §3.1).
+    pub fn significant(&self, delta: f64) -> Vec<&LearnedPattern> {
+        self.patterns
+            .iter()
+            .filter(|p| p.coverage >= delta)
+            .collect()
+    }
+
+    /// Is row `i` covered by any pattern with coverage ≥ δ?
+    pub fn covered_by_significant(&self, row: usize, delta: f64) -> bool {
+        self.patterns
+            .iter()
+            .any(|p| p.coverage >= delta && p.rows.binary_search(&row).is_ok())
+    }
+}
+
+/// Learns up to `cfg.max_patterns` patterns over the column values.
+pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnProfile {
+    let n = values.len();
+    if n == 0 {
+        return ColumnProfile::default();
+    }
+
+    // 0. Whole-value categorical disjunction: a column drawing on a small
+    // repeated vocabulary is best described by one disjunction over its
+    // values — this is what lets concretization pick the right alternative
+    // from row features (paper Figure 2's (CAT|PRO) at column scale).
+    let mut categorical: Option<Pattern> = None;
+    {
+        let plain: Vec<Option<String>> = values.iter().map(|v| v.to_plain()).collect();
+        if plain.iter().all(|p| p.as_ref().is_some_and(|s| !s.is_empty())) {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for p in plain.iter().flatten() {
+                *counts.entry(p.as_str()).or_insert(0) += 1;
+            }
+            let distinct = counts.len();
+            if (2..=cfg.build.disj_max_alts).contains(&distinct)
+                && n >= 2 * distinct
+                && counts.values().filter(|&&c| c >= 2).count() * 10 >= distinct * 8
+            {
+                categorical = Some(Pattern::disj(counts.keys().map(|s| s.to_string())));
+            }
+        }
+    }
+
+    // 1. Tokenize + period-collapse + group by unit signature.
+    let mut groups: HashMap<Vec<AtomKind>, GroupProfile> = HashMap::new();
+    for (row, value) in values.iter().enumerate() {
+        let atoms = tokenize(value);
+        let sig = signature(&atoms);
+        let (p, k) = smallest_period(&sig);
+        let key: Vec<AtomKind> = sig[..p].to_vec();
+        match groups.get_mut(&key) {
+            Some(g) => g.absorb_value(&atoms, p, k, row),
+            None => {
+                groups.insert(key, GroupProfile::seed(&atoms, p, k, row));
+            }
+        }
+    }
+    let mut groups: Vec<GroupProfile> = groups.into_values().collect();
+    // Deterministic order: biggest groups first, ties by first row.
+    groups.sort_by_key(|g| (std::cmp::Reverse(g.rows.len()), g.rows.first().copied()));
+
+    // 2. Greedy agglomerative merging under the threshold.
+    loop {
+        let mut best: Option<(f64, usize, usize, GroupProfile)> = None;
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                if let Some((cost, merged)) = try_merge(&groups[i], &groups[j], &cfg.merge) {
+                    if cost <= cfg.merge_threshold
+                        && best.as_ref().is_none_or(|(c, ..)| cost < *c)
+                    {
+                        best = Some((cost, i, j, merged));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, i, j, merged)) => {
+                groups.remove(j);
+                groups[i] = merged;
+            }
+            None => break,
+        }
+    }
+
+    // 3. Build patterns and re-evaluate true coverage over the whole column.
+    let mut learned: Vec<LearnedPattern> = Vec::with_capacity(groups.len() + 1);
+    let mut seen: Vec<Pattern> = Vec::new();
+    let built: Vec<Pattern> = categorical
+        .into_iter()
+        .chain(groups.iter().map(|g| g.build_pattern(&cfg.build)))
+        .collect();
+    for pattern in built {
+        if seen.contains(&pattern) {
+            continue;
+        }
+        seen.push(pattern.clone());
+        let compiled = CompiledPattern::compile(pattern.clone());
+        let rows: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| compiled.matches(v))
+            .map(|(i, _)| i)
+            .collect();
+        let coverage = rows.len() as f64 / n as f64;
+        learned.push(LearnedPattern {
+            pattern,
+            compiled,
+            rows,
+            coverage,
+        });
+    }
+    learned.sort_by(|a, b| {
+        b.coverage
+            .partial_cmp(&a.coverage)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.pattern.to_string().cmp(&b.pattern.to_string()))
+    });
+    learned.truncate(cfg.max_patterns);
+
+    ColumnProfile {
+        patterns: learned,
+        n_values: n,
+    }
+}
+
+/// Convenience: profiles plain (unmasked) string values.
+pub fn profile_plain<S: AsRef<str>>(values: &[S], cfg: &ProfilerConfig) -> ColumnProfile {
+    let masked: Vec<MaskedString> = values
+        .iter()
+        .map(|s| MaskedString::from_plain(s.as_ref()))
+        .collect();
+    profile_column(&masked, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(values: &[&str]) -> ColumnProfile {
+        profile_plain(values, &ProfilerConfig::default())
+    }
+
+    #[test]
+    fn single_shape_column_yields_one_pattern() {
+        let p = profile(&["Q1-22", "Q4-21", "Q2-20", "Q1-21"]);
+        assert_eq!(p.patterns.len(), 1);
+        assert_eq!(p.patterns[0].pattern.to_string(), "Q[0-9]-[0-9]{2}");
+        assert_eq!(p.patterns[0].coverage, 1.0);
+    }
+
+    #[test]
+    fn intro_example_two_patterns_half_coverage() {
+        // Paper §1: [c-1, c-2, c3, c4] → two patterns, neither an outlier.
+        let p = profile(&["c-1", "c-2", "c3", "c4"]);
+        assert_eq!(p.patterns.len(), 2);
+        assert!((p.patterns[0].coverage - 0.5).abs() < 1e-9);
+        assert!((p.patterns[1].coverage - 0.5).abs() < 1e-9);
+        let sig = p.significant(0.25);
+        assert_eq!(sig.len(), 2);
+    }
+
+    #[test]
+    fn outlier_is_uncovered_by_significant_patterns() {
+        let values = vec![
+            "A2.", "A2.A3.", "A5.A7.", "A1.A2.A3.", "A9.", "A4.A5.", "AAA3",
+        ];
+        let p = profile(&values);
+        let delta = 0.3;
+        // AAA3 is row 6; it must not be covered by any significant pattern.
+        assert!(!p.covered_by_significant(6, delta));
+        for row in 0..6 {
+            assert!(p.covered_by_significant(row, delta), "row {row}");
+        }
+    }
+
+    #[test]
+    fn figure8_pattern_absorbs_frequent_outliers() {
+        // Fig 8: C[0-9]{2} repeats often enough to be significant — the
+        // *unsupervised* profiler cannot treat C51/C52 as errors.
+        let values = vec![
+            "C-19", "C-21", "C-33", "C-48", "C51", "C52", "C53", "C54",
+        ];
+        let p = profile(&values);
+        assert!(p.covered_by_significant(4, 0.3));
+        assert!(p.covered_by_significant(0, 0.3));
+    }
+
+    #[test]
+    fn truncates_to_max_patterns() {
+        let values = vec![
+            "a", "1", "B-", "c.d", "9!9", "zz zz", "Q#1", "x_y", "[w]", "p|q",
+        ];
+        let cfg = ProfilerConfig {
+            max_patterns: 3,
+            ..ProfilerConfig::default()
+        };
+        let p = profile_plain(&values, &cfg);
+        assert!(p.patterns.len() <= 3);
+    }
+
+    #[test]
+    fn every_member_row_matches_its_pattern() {
+        let values = vec!["Ind-674-PRO", "US-837-QUA", "Alg-173-PRO", "Chn-924-QUA"];
+        let p = profile(&values);
+        for lp in &p.patterns {
+            for &row in &lp.rows {
+                assert!(lp
+                    .compiled
+                    .matches(&MaskedString::from_plain(values[row])));
+            }
+        }
+        // All rows covered jointly.
+        for row in 0..values.len() {
+            assert!(
+                p.patterns.iter().any(|lp| lp.rows.contains(&row)),
+                "row {row} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_column() {
+        let p = profile(&[]);
+        assert!(p.patterns.is_empty());
+        assert_eq!(p.n_values, 0);
+    }
+
+    #[test]
+    fn blank_values_group_together() {
+        let p = profile(&["", "", "x1"]);
+        assert_eq!(p.patterns.len(), 2);
+        let empty = p
+            .patterns
+            .iter()
+            .find(|lp| lp.pattern == Pattern::Empty)
+            .expect("empty pattern learned");
+        assert_eq!(empty.rows, vec![0, 1]);
+    }
+}

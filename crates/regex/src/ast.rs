@@ -1,0 +1,346 @@
+//! The pattern AST: regular expressions over characters, character classes,
+//! string disjunctions, and semantic mask tokens.
+//!
+//! Patterns are what the profiler learns (paper §3.1) and what the repair
+//! engine edits values towards (§3.3). Three leaf kinds require later
+//! *concretization* and therefore carry stable atom identities once tagged:
+//! character classes, string disjunctions, and masks (Example 5 keys its
+//! decision-tree training data on "an edge in the unrolled DAG that has the
+//! target character class or string disjunction").
+
+use crate::class::CharClass;
+use crate::token::MaskId;
+
+/// Identity of a concretizable atom (class / disjunction / mask leaf) within
+/// one pattern, assigned in pre-order by [`Pattern::tag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+/// A concretizable atom occurrence: the `occ`-th instantiation of `atom` in
+/// an unrolled pattern (loop copies share the atom, distinguish by `occ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomKey {
+    /// Which atom of the original pattern.
+    pub atom: AtomId,
+    /// Which unrolled occurrence of that atom (0-based, left to right).
+    pub occ: u32,
+}
+
+/// A DataVinci pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// The empty string.
+    Empty,
+    /// A literal string (one or more concrete characters).
+    Str(String),
+    /// One character drawn from a class.
+    Class(CharClass),
+    /// One semantic mask token.
+    Mask(MaskId),
+    /// A disjunction over literal strings, e.g. `(CAT|PRO)`.
+    Disj(Vec<String>),
+    /// Concatenation.
+    Concat(Vec<Pattern>),
+    /// Alternation over sub-patterns.
+    Alt(Vec<Pattern>),
+    /// Quantified group: between `min` and `max` (None = unbounded) copies.
+    Repeat {
+        /// Repeated body.
+        body: Box<Pattern>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` means unbounded (`+`/`*`).
+        max: Option<u32>,
+    },
+}
+
+impl Pattern {
+    /// Literal string pattern. Empty input becomes [`Pattern::Empty`].
+    pub fn lit(s: impl Into<String>) -> Pattern {
+        let s = s.into();
+        if s.is_empty() {
+            Pattern::Empty
+        } else {
+            Pattern::Str(s)
+        }
+    }
+
+    /// `class{n}` — exactly `n` characters of the class (single atom).
+    pub fn class_n(class: CharClass, n: u32) -> Pattern {
+        match n {
+            1 => Pattern::Class(class),
+            _ => Pattern::Repeat {
+                body: Box::new(Pattern::Class(class)),
+                min: n,
+                max: Some(n),
+            },
+        }
+    }
+
+    /// `class+` — one or more characters of the class.
+    pub fn class_plus(class: CharClass) -> Pattern {
+        Pattern::Repeat {
+            body: Box::new(Pattern::Class(class)),
+            min: 1,
+            max: None,
+        }
+    }
+
+    /// `p+`
+    pub fn plus(body: Pattern) -> Pattern {
+        Pattern::Repeat {
+            body: Box::new(body),
+            min: 1,
+            max: None,
+        }
+    }
+
+    /// `p*`
+    pub fn star(body: Pattern) -> Pattern {
+        Pattern::Repeat {
+            body: Box::new(body),
+            min: 0,
+            max: None,
+        }
+    }
+
+    /// `p?`
+    pub fn opt(body: Pattern) -> Pattern {
+        Pattern::Repeat {
+            body: Box::new(body),
+            min: 0,
+            max: Some(1),
+        }
+    }
+
+    /// Concatenation, flattening nested concats and dropping `Empty`.
+    pub fn concat(parts: impl IntoIterator<Item = Pattern>) -> Pattern {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Pattern::Empty => {}
+                Pattern::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Pattern::Empty,
+            1 => flat.pop().expect("len checked"),
+            _ => Pattern::Concat(flat),
+        }
+    }
+
+    /// String disjunction; deduplicates and sorts alternatives for stable
+    /// identity. Panics on empty alternative lists or empty strings (the
+    /// engine requires disjunction alternatives to consume ≥ 1 character).
+    pub fn disj<S: Into<String>>(alts: impl IntoIterator<Item = S>) -> Pattern {
+        let mut v: Vec<String> = alts.into_iter().map(Into::into).collect();
+        assert!(!v.is_empty(), "disjunction needs at least one alternative");
+        assert!(
+            v.iter().all(|s| !s.is_empty()),
+            "disjunction alternatives must be non-empty"
+        );
+        v.sort();
+        v.dedup();
+        if v.len() == 1 {
+            Pattern::Str(v.pop().expect("len checked"))
+        } else {
+            Pattern::Disj(v)
+        }
+    }
+
+    /// Minimum number of tokens a match consumes.
+    pub fn min_len(&self) -> usize {
+        match self {
+            Pattern::Empty => 0,
+            Pattern::Str(s) => s.chars().count(),
+            Pattern::Class(_) | Pattern::Mask(_) => 1,
+            Pattern::Disj(alts) => alts.iter().map(|a| a.chars().count()).min().unwrap_or(0),
+            Pattern::Concat(parts) => parts.iter().map(Pattern::min_len).sum(),
+            Pattern::Alt(parts) => parts.iter().map(Pattern::min_len).min().unwrap_or(0),
+            Pattern::Repeat { body, min, .. } => body.min_len() * (*min as usize),
+        }
+    }
+
+    /// Does the pattern accept the empty string?
+    pub fn nullable(&self) -> bool {
+        self.min_len() == 0
+    }
+
+    /// Tags concretizable atoms with pre-order [`AtomId`]s.
+    pub fn tag(&self) -> TaggedPattern {
+        let mut next = 0u32;
+        let tagged = tag_rec(self, &mut next);
+        TaggedPattern {
+            root: tagged,
+            n_atoms: next,
+        }
+    }
+
+    /// A crude size measure (number of AST leaves), used by profiler costs.
+    pub fn size(&self) -> usize {
+        match self {
+            Pattern::Empty => 1,
+            Pattern::Str(s) => s.chars().count().max(1),
+            Pattern::Class(_) | Pattern::Mask(_) | Pattern::Disj(_) => 1,
+            Pattern::Concat(ps) | Pattern::Alt(ps) => ps.iter().map(Pattern::size).sum(),
+            Pattern::Repeat { body, .. } => body.size() + 1,
+        }
+    }
+}
+
+/// A pattern whose concretizable leaves carry [`AtomId`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedPattern {
+    pub(crate) root: TNode,
+    pub(crate) n_atoms: u32,
+}
+
+impl TaggedPattern {
+    /// Number of distinct atoms in the pattern.
+    pub fn n_atoms(&self) -> u32 {
+        self.n_atoms
+    }
+
+    /// The root node (crate-internal consumers: unroll / NFA / DAG builders).
+    pub(crate) fn root(&self) -> &TNode {
+        &self.root
+    }
+}
+
+/// Internal tagged AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TNode {
+    Empty,
+    Str(String),
+    Class(CharClass, AtomId),
+    Mask(MaskId, AtomId),
+    Disj(Vec<String>, AtomId),
+    Concat(Vec<TNode>),
+    Alt(Vec<TNode>),
+    Repeat {
+        body: Box<TNode>,
+        min: u32,
+        max: Option<u32>,
+    },
+}
+
+impl TNode {
+    /// Minimum tokens consumed — mirrors [`Pattern::min_len`].
+    pub(crate) fn min_len(&self) -> usize {
+        match self {
+            TNode::Empty => 0,
+            TNode::Str(s) => s.chars().count(),
+            TNode::Class(..) | TNode::Mask(..) => 1,
+            TNode::Disj(alts, _) => alts.iter().map(|a| a.chars().count()).min().unwrap_or(0),
+            TNode::Concat(parts) => parts.iter().map(TNode::min_len).sum(),
+            TNode::Alt(parts) => parts.iter().map(TNode::min_len).min().unwrap_or(0),
+            TNode::Repeat { body, min, .. } => body.min_len() * (*min as usize),
+        }
+    }
+}
+
+fn tag_rec(p: &Pattern, next: &mut u32) -> TNode {
+    let mut fresh = || {
+        let id = AtomId(*next);
+        *next += 1;
+        id
+    };
+    match p {
+        Pattern::Empty => TNode::Empty,
+        Pattern::Str(s) => TNode::Str(s.clone()),
+        Pattern::Class(c) => TNode::Class(*c, fresh()),
+        Pattern::Mask(m) => TNode::Mask(*m, fresh()),
+        Pattern::Disj(alts) => TNode::Disj(alts.clone(), fresh()),
+        Pattern::Concat(parts) => TNode::Concat(parts.iter().map(|q| tag_rec(q, next)).collect()),
+        Pattern::Alt(parts) => TNode::Alt(parts.iter().map(|q| tag_rec(q, next)).collect()),
+        Pattern::Repeat { body, min, max } => TNode::Repeat {
+            body: Box::new(tag_rec(body, next)),
+            min: *min,
+            max: *max,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_len_examples() {
+        // (A[0-9].)+ from paper Figure 4.
+        let p = Pattern::plus(Pattern::concat([
+            Pattern::lit("A"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("."),
+        ]));
+        assert_eq!(p.min_len(), 3);
+        assert!(!p.nullable());
+        assert!(Pattern::star(Pattern::lit("ab")).nullable());
+    }
+
+    #[test]
+    fn concat_flattens_and_drops_empty() {
+        let p = Pattern::concat([
+            Pattern::Empty,
+            Pattern::concat([Pattern::lit("a"), Pattern::lit("b")]),
+            Pattern::Empty,
+        ]);
+        assert_eq!(
+            p,
+            Pattern::Concat(vec![Pattern::lit("a"), Pattern::lit("b")])
+        );
+        assert_eq!(Pattern::concat([]), Pattern::Empty);
+        assert_eq!(Pattern::concat([Pattern::lit("x")]), Pattern::lit("x"));
+    }
+
+    #[test]
+    fn disj_normalizes() {
+        assert_eq!(
+            Pattern::disj(["PRO", "CAT", "PRO"]),
+            Pattern::Disj(vec!["CAT".into(), "PRO".into()])
+        );
+        assert_eq!(Pattern::disj(["only"]), Pattern::lit("only"));
+    }
+
+    #[test]
+    fn tagging_assigns_preorder_ids() {
+        let p = Pattern::concat([
+            Pattern::Class(CharClass::Upper),
+            Pattern::lit("-"),
+            Pattern::class_plus(CharClass::Digit),
+            Pattern::disj(["CAT", "PRO"]),
+        ]);
+        let t = p.tag();
+        assert_eq!(t.n_atoms(), 3);
+        // Upper = atom 0, Digit inside repeat = atom 1, Disj = atom 2.
+        match t.root() {
+            TNode::Concat(parts) => {
+                assert!(matches!(parts[0], TNode::Class(CharClass::Upper, AtomId(0))));
+                match &parts[2] {
+                    TNode::Repeat { body, .. } => {
+                        assert!(matches!(**body, TNode::Class(CharClass::Digit, AtomId(1))));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                assert!(matches!(parts[3], TNode::Disj(_, AtomId(2))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_n_one_is_plain_class() {
+        assert_eq!(
+            Pattern::class_n(CharClass::Digit, 1),
+            Pattern::Class(CharClass::Digit)
+        );
+        assert_eq!(Pattern::class_n(CharClass::Digit, 3).min_len(), 3);
+    }
+
+    #[test]
+    fn size_counts_leaves() {
+        let p = Pattern::concat([Pattern::lit("ab"), Pattern::Class(CharClass::Digit)]);
+        assert_eq!(p.size(), 3);
+    }
+}

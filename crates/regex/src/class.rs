@@ -1,0 +1,209 @@
+//! Character classes used by DataVinci patterns.
+//!
+//! Paper §3.1: "we use the following character classes for simplicity of
+//! notation: digits, cased and uncased letters, alphanumeric, spaces,
+//! alphanumeric with spaces, and the common recurring character class of
+//! `[0,1]`". The classes form a small join-semilattice used by the profiler's
+//! anti-unification: generalizing two runs picks the least class containing
+//! both.
+
+/// The eight character classes of the paper's pattern language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CharClass {
+    /// `[01]` — the recurring binary-digit class.
+    Binary,
+    /// `[0-9]`
+    Digit,
+    /// `[A-Z]`
+    Upper,
+    /// `[a-z]`
+    Lower,
+    /// `[A-Za-z]`
+    Letter,
+    /// `[A-Za-z0-9]`
+    AlphaNum,
+    /// `[ ]` — the space character.
+    Space,
+    /// `[A-Za-z0-9 ]`
+    AlphaNumSpace,
+}
+
+impl CharClass {
+    /// All classes, narrowest-first.
+    pub const ALL: [CharClass; 8] = [
+        CharClass::Binary,
+        CharClass::Digit,
+        CharClass::Upper,
+        CharClass::Lower,
+        CharClass::Letter,
+        CharClass::AlphaNum,
+        CharClass::Space,
+        CharClass::AlphaNumSpace,
+    ];
+
+    /// Does this class contain `c`?
+    pub fn contains(&self, c: char) -> bool {
+        match self {
+            CharClass::Binary => c == '0' || c == '1',
+            CharClass::Digit => c.is_ascii_digit(),
+            CharClass::Upper => c.is_ascii_uppercase(),
+            CharClass::Lower => c.is_ascii_lowercase(),
+            CharClass::Letter => c.is_ascii_alphabetic(),
+            CharClass::AlphaNum => c.is_ascii_alphanumeric(),
+            CharClass::Space => c == ' ',
+            CharClass::AlphaNumSpace => c.is_ascii_alphanumeric() || c == ' ',
+        }
+    }
+
+    /// The narrowest class containing `c`, if any. Punctuation and non-ASCII
+    /// characters belong to no class and stay literal in patterns.
+    pub fn narrowest_for(c: char) -> Option<CharClass> {
+        if c == '0' || c == '1' {
+            Some(CharClass::Binary)
+        } else if c.is_ascii_digit() {
+            Some(CharClass::Digit)
+        } else if c.is_ascii_uppercase() {
+            Some(CharClass::Upper)
+        } else if c.is_ascii_lowercase() {
+            Some(CharClass::Lower)
+        } else if c == ' ' {
+            Some(CharClass::Space)
+        } else {
+            None
+        }
+    }
+
+    /// Least upper bound in the class lattice: the narrowest class containing
+    /// both operands. Always defined (`AlphaNumSpace` is the top).
+    pub fn join(self, other: CharClass) -> CharClass {
+        if self.is_subclass_of(&other) {
+            return other;
+        }
+        if other.is_subclass_of(&self) {
+            return self;
+        }
+        // The narrowest class that is a superset of both. ALL is sorted so
+        // that scanning by cardinality yields the least upper bound.
+        let mut candidates: Vec<CharClass> = CharClass::ALL
+            .into_iter()
+            .filter(|c| self.is_subclass_of(c) && other.is_subclass_of(c))
+            .collect();
+        candidates.sort_by_key(CharClass::cardinality);
+        candidates
+            .first()
+            .copied()
+            .unwrap_or(CharClass::AlphaNumSpace)
+    }
+
+    /// Is every member of `self` also a member of `other`?
+    pub fn is_subclass_of(&self, other: &CharClass) -> bool {
+        // Classes are small ASCII sets; check membership exhaustively.
+        self == other
+            || (0u8..=127)
+                .map(char::from)
+                .all(|c| !self.contains(c) || other.contains(c))
+    }
+
+    /// A canonical member, used when a repair must emit *some* concrete
+    /// character and no concretization constraint applies.
+    pub fn representative(&self) -> char {
+        match self {
+            CharClass::Binary | CharClass::Digit => '0',
+            CharClass::Upper => 'A',
+            CharClass::Lower | CharClass::Letter | CharClass::AlphaNum => 'a',
+            CharClass::Space | CharClass::AlphaNumSpace => ' ',
+        }
+    }
+
+    /// The regex rendering, e.g. `[0-9]`.
+    pub fn regex_str(&self) -> &'static str {
+        match self {
+            CharClass::Binary => "[01]",
+            CharClass::Digit => "[0-9]",
+            CharClass::Upper => "[A-Z]",
+            CharClass::Lower => "[a-z]",
+            CharClass::Letter => "[A-Za-z]",
+            CharClass::AlphaNum => "[A-Za-z0-9]",
+            CharClass::Space => "[ ]",
+            CharClass::AlphaNumSpace => "[A-Za-z0-9 ]",
+        }
+    }
+
+    /// How many characters the class admits — the specificity signal used by
+    /// the profiler's cost function (narrow classes are preferred).
+    pub fn cardinality(&self) -> u32 {
+        match self {
+            CharClass::Binary => 2,
+            CharClass::Digit => 10,
+            CharClass::Upper | CharClass::Lower => 26,
+            CharClass::Letter => 52,
+            CharClass::AlphaNum => 62,
+            CharClass::Space => 1,
+            CharClass::AlphaNumSpace => 63,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrowest_is_minimal() {
+        assert_eq!(CharClass::narrowest_for('0'), Some(CharClass::Binary));
+        assert_eq!(CharClass::narrowest_for('7'), Some(CharClass::Digit));
+        assert_eq!(CharClass::narrowest_for('Q'), Some(CharClass::Upper));
+        assert_eq!(CharClass::narrowest_for('q'), Some(CharClass::Lower));
+        assert_eq!(CharClass::narrowest_for(' '), Some(CharClass::Space));
+        assert_eq!(CharClass::narrowest_for('-'), None);
+        assert_eq!(CharClass::narrowest_for('é'), None);
+    }
+
+    #[test]
+    fn join_is_commutative_and_contains_both() {
+        for &a in &CharClass::ALL {
+            for &b in &CharClass::ALL {
+                let j = a.join(b);
+                assert_eq!(j, b.join(a), "{a:?} vs {b:?}");
+                assert!(a.is_subclass_of(&j), "{a:?} ⊄ {j:?}");
+                assert!(b.is_subclass_of(&j), "{b:?} ⊄ {j:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_examples() {
+        assert_eq!(CharClass::Upper.join(CharClass::Lower), CharClass::Letter);
+        assert_eq!(CharClass::Binary.join(CharClass::Digit), CharClass::Digit);
+        assert_eq!(
+            CharClass::Letter.join(CharClass::Digit),
+            CharClass::AlphaNum
+        );
+        assert_eq!(
+            CharClass::Space.join(CharClass::Digit),
+            CharClass::AlphaNumSpace
+        );
+    }
+
+    #[test]
+    fn representative_is_member() {
+        for &c in &CharClass::ALL {
+            assert!(c.contains(c.representative()), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn subclass_chain() {
+        assert!(CharClass::Binary.is_subclass_of(&CharClass::Digit));
+        assert!(CharClass::Digit.is_subclass_of(&CharClass::AlphaNum));
+        assert!(CharClass::AlphaNum.is_subclass_of(&CharClass::AlphaNumSpace));
+        assert!(!CharClass::Digit.is_subclass_of(&CharClass::Letter));
+    }
+
+    #[test]
+    fn membership_matches_rendering_intent() {
+        assert!(CharClass::AlphaNumSpace.contains(' '));
+        assert!(!CharClass::AlphaNum.contains(' '));
+        assert!(!CharClass::Letter.contains('3'));
+    }
+}

@@ -1,0 +1,191 @@
+//! Human-readable rendering of patterns, in the paper's notation:
+//! `{Country}-[0-9]+-(CAT|PRO)`, `(A[0-9].)+`, `Q[01][0-9]-20[0-9]{2}`.
+
+use crate::ast::Pattern;
+use crate::token::MaskAlphabet;
+use std::fmt;
+
+/// Characters that must be escaped when rendered literally.
+const SPECIAL: &[char] = &['(', ')', '[', ']', '{', '}', '|', '+', '*', '?', '\\'];
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        if SPECIAL.contains(&c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+}
+
+/// Does this pattern need parentheses when directly quantified?
+fn needs_group(p: &Pattern) -> bool {
+    match p {
+        Pattern::Class(_) | Pattern::Mask(_) | Pattern::Empty => false,
+        Pattern::Str(s) => s.chars().count() > 1,
+        Pattern::Disj(_) => false, // rendered with its own parens
+        _ => true,
+    }
+}
+
+fn render_rec(p: &Pattern, alphabet: Option<&MaskAlphabet>, out: &mut String) {
+    match p {
+        Pattern::Empty => out.push('ε'),
+        Pattern::Str(s) => push_escaped(out, s),
+        Pattern::Class(c) => out.push_str(c.regex_str()),
+        Pattern::Mask(m) => {
+            out.push('{');
+            match alphabet.and_then(|a| a.name(*m)) {
+                Some(name) => out.push_str(name),
+                None => {
+                    out.push('m');
+                    out.push_str(&m.0.to_string());
+                }
+            }
+            out.push('}');
+        }
+        Pattern::Disj(alts) => {
+            out.push('(');
+            for (i, a) in alts.iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                push_escaped(out, a);
+            }
+            out.push(')');
+        }
+        Pattern::Concat(parts) => {
+            for part in parts {
+                if matches!(part, Pattern::Alt(_)) {
+                    out.push('(');
+                    render_rec(part, alphabet, out);
+                    out.push(')');
+                } else {
+                    render_rec(part, alphabet, out);
+                }
+            }
+        }
+        Pattern::Alt(parts) => {
+            for (i, part) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                render_rec(part, alphabet, out);
+            }
+        }
+        Pattern::Repeat { body, min, max } => {
+            if needs_group(body) {
+                out.push('(');
+                render_rec(body, alphabet, out);
+                out.push(')');
+            } else {
+                render_rec(body, alphabet, out);
+            }
+            match (min, max) {
+                (1, None) => out.push('+'),
+                (0, None) => out.push('*'),
+                (0, Some(1)) => out.push('?'),
+                (n, Some(m)) if n == m => {
+                    out.push('{');
+                    out.push_str(&n.to_string());
+                    out.push('}');
+                }
+                (n, None) => {
+                    out.push('{');
+                    out.push_str(&n.to_string());
+                    out.push_str(",}");
+                }
+                (n, Some(m)) => {
+                    out.push('{');
+                    out.push_str(&n.to_string());
+                    out.push(',');
+                    out.push_str(&m.to_string());
+                    out.push('}');
+                }
+            }
+        }
+    }
+}
+
+/// Renders a pattern with mask names resolved through `alphabet`.
+pub fn render(p: &Pattern, alphabet: &MaskAlphabet) -> String {
+    let mut out = String::new();
+    render_rec(p, Some(alphabet), &mut out);
+    out
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        render_rec(self, None, &mut out);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::CharClass;
+
+    #[test]
+    fn figure4_pattern_renders() {
+        let p = Pattern::plus(Pattern::concat([
+            Pattern::lit("A"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("."),
+        ]));
+        assert_eq!(p.to_string(), "(A[0-9].)+");
+    }
+
+    #[test]
+    fn figure2_pattern_renders_with_mask_names() {
+        let mut alpha = MaskAlphabet::new();
+        let country = alpha.intern("Country");
+        let p = Pattern::concat([
+            Pattern::Mask(country),
+            Pattern::lit("-"),
+            Pattern::class_plus(CharClass::Digit),
+            Pattern::lit("-"),
+            Pattern::disj(["CAT", "PRO"]),
+        ]);
+        assert_eq!(render(&p, &alpha), "{Country}-[0-9]+-(CAT|PRO)");
+        assert_eq!(p.to_string(), "{m0}-[0-9]+-(CAT|PRO)");
+    }
+
+    #[test]
+    fn quantifier_forms() {
+        let d = || Pattern::Class(CharClass::Digit);
+        assert_eq!(Pattern::star(d()).to_string(), "[0-9]*");
+        assert_eq!(Pattern::opt(d()).to_string(), "[0-9]?");
+        assert_eq!(Pattern::class_n(CharClass::Digit, 3).to_string(), "[0-9]{3}");
+        assert_eq!(
+            Pattern::Repeat {
+                body: Box::new(d()),
+                min: 2,
+                max: Some(4)
+            }
+            .to_string(),
+            "[0-9]{2,4}"
+        );
+        assert_eq!(
+            Pattern::Repeat {
+                body: Box::new(d()),
+                min: 2,
+                max: None
+            }
+            .to_string(),
+            "[0-9]{2,}"
+        );
+    }
+
+    #[test]
+    fn specials_escaped() {
+        assert_eq!(Pattern::lit("a(b)").to_string(), "a\\(b\\)");
+        assert_eq!(Pattern::disj(["a|b", "c"]).to_string(), "(a\\|b|c)");
+    }
+
+    #[test]
+    fn multichar_literal_groups_under_quantifier() {
+        assert_eq!(Pattern::plus(Pattern::lit("ab")).to_string(), "(ab)+");
+        assert_eq!(Pattern::plus(Pattern::lit("a")).to_string(), "a+");
+    }
+}

@@ -1,0 +1,143 @@
+//! Levenshtein edit distance over plain strings and masked strings.
+//!
+//! Used by (1) the minimality definition of edit programs (paper §3.3),
+//! (2) the heuristic ranker's distance properties (§3.5), and (3) the
+//! semantic layer's fuzzy gazetteer lookup (bounded variant).
+
+use crate::token::MaskedString;
+
+/// Classic Levenshtein distance between two `&str`s (unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    lev_slices(&a, &b)
+}
+
+/// Levenshtein distance over masked-string tokens (masks are single symbols).
+pub fn levenshtein_toks(a: &MaskedString, b: &MaskedString) -> usize {
+    lev_slices(a.toks(), b.toks())
+}
+
+fn lev_slices<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Banded Levenshtein: returns `Some(d)` iff `d <= bound`, `None` otherwise.
+/// Runs in O(bound · max(|a|,|b|)) — the fuzzy-lookup hot path.
+pub fn levenshtein_within(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > bound {
+        return None;
+    }
+    if a.is_empty() {
+        return (b.len() <= bound).then_some(b.len());
+    }
+    if b.is_empty() {
+        return (a.len() <= bound).then_some(a.len());
+    }
+    const INF: usize = usize::MAX / 2;
+    let mut prev = vec![INF; b.len() + 1];
+    let mut cur = vec![INF; b.len() + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(bound.min(b.len()) + 1) {
+        *p = j;
+    }
+    for i in 1..=a.len() {
+        let lo = i.saturating_sub(bound).max(1);
+        let hi = (i + bound).min(b.len());
+        if lo > hi {
+            return None;
+        }
+        cur.fill(INF);
+        if lo == 1 {
+            cur[0] = if i <= bound { i } else { INF };
+        }
+        let mut row_min = INF;
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            let del = prev[j] + 1;
+            let ins = cur[j - 1] + 1;
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        if lo == 1 {
+            row_min = row_min.min(cur[0]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[b.len()];
+    (d <= bound).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{MaskId, Tok};
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("usa", "US"), 3);
+        assert_eq!(levenshtein("bleu", "blue"), 2);
+        assert_eq!(levenshtein("Birminxham", "Birmingham"), 1);
+    }
+
+    #[test]
+    fn tok_distance_counts_masks_as_symbols() {
+        let m = |id| Tok::Mask(MaskId(id));
+        let a = MaskedString::from_toks(vec![m(0), Tok::Char('-'), Tok::Char('1')]);
+        let b = MaskedString::from_toks(vec![m(0), Tok::Char('_'), Tok::Char('1')]);
+        assert_eq!(levenshtein_toks(&a, &b), 1);
+        let c = MaskedString::from_toks(vec![m(1), Tok::Char('-'), Tok::Char('1')]);
+        assert_eq!(levenshtein_toks(&a, &c), 1);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact_within_bound() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("abc", "abc"),
+            ("ab", "ba"),
+            ("Nevad210", "Nevada_210"),
+            ("", "xy"),
+        ];
+        for (a, b) in pairs {
+            let exact = levenshtein(a, b);
+            for bound in 0..6 {
+                let got = levenshtein_within(a, b, bound);
+                if exact <= bound {
+                    assert_eq!(got, Some(exact), "{a} {b} bound {bound}");
+                } else {
+                    assert_eq!(got, None, "{a} {b} bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_early_exit_on_length_gap() {
+        assert_eq!(levenshtein_within("a", "abcdefgh", 3), None);
+    }
+}

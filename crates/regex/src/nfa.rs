@@ -1,0 +1,378 @@
+//! Thompson NFA construction and set-of-states simulation.
+//!
+//! Paper §3.3: "The pattern r_k is interpreted as a non-deterministic finite
+//! state automaton (NFA) where edges correspond to matching (and consuming) a
+//! single character." We keep the (possibly cyclic) NFA for fast boolean
+//! matching during error detection; the repair engine uses the unrolled
+//! acyclic form from [`crate::dag`] instead.
+//!
+//! One deliberate extension: a *string disjunction* `(CAT|PRO)` is a single
+//! edge consuming one whole alternative. This is what lets minimal edit
+//! programs contain abstract actions like `I(CAT|PRO)` (paper Example / §3.3)
+//! instead of per-character edits that would pre-empt concretization.
+
+use crate::ast::{TNode, TaggedPattern};
+use crate::class::CharClass;
+use crate::token::{MaskId, Tok};
+
+/// Consuming-edge label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum NfaLabel {
+    /// Consume exactly the character.
+    Lit(char),
+    /// Consume one character of the class.
+    Class(CharClass),
+    /// Consume one mask token.
+    Mask(MaskId),
+    /// Consume one alternative of the disjunction (index into `Nfa::disjs`).
+    Disj(u32),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct NfaEdge {
+    pub to: usize,
+    pub label: NfaLabel,
+}
+
+/// A Thompson NFA over the masked-string alphabet.
+#[derive(Debug, Clone)]
+pub(crate) struct Nfa {
+    pub n_states: usize,
+    pub start: usize,
+    pub accept: usize,
+    /// ε-adjacency per state.
+    pub eps: Vec<Vec<usize>>,
+    /// Consuming edges per state.
+    pub edges: Vec<Vec<NfaEdge>>,
+    /// Disjunction alternatives, as char vectors for cheap slice matching.
+    pub disjs: Vec<Vec<Vec<char>>>,
+}
+
+impl Nfa {
+    /// Compiles a tagged pattern (loops allowed) into an NFA.
+    pub fn compile(pattern: &TaggedPattern) -> Nfa {
+        let mut b = Builder::default();
+        let (entry, exit) = b.fragment(pattern.root());
+        Nfa {
+            n_states: b.eps.len(),
+            start: entry,
+            accept: exit,
+            eps: b.eps,
+            edges: b.edges,
+            disjs: b.disjs,
+        }
+    }
+
+    /// Does the NFA accept the token string?
+    pub fn matches(&self, toks: &[Tok]) -> bool {
+        let n = toks.len();
+        // reach[i] = states reachable having consumed exactly i tokens.
+        let mut reach: Vec<Vec<bool>> = vec![vec![false; self.n_states]; n + 1];
+        reach[0][self.start] = true;
+        for i in 0..=n {
+            self.close(&mut reach[i]);
+            if i == n {
+                break;
+            }
+            // Split off the current frontier so we can write to later rows.
+            let (cur, rest) = reach.split_at_mut(i + 1);
+            let cur = &cur[i];
+            #[allow(clippy::needless_range_loop)]
+            for state in 0..self.n_states {
+                if !cur[state] {
+                    continue;
+                }
+                for edge in &self.edges[state] {
+                    match &edge.label {
+                        NfaLabel::Lit(c) => {
+                            if toks[i] == Tok::Char(*c) {
+                                rest[0][edge.to] = true;
+                            }
+                        }
+                        NfaLabel::Class(cc) => {
+                            if matches!(toks[i], Tok::Char(ch) if cc.contains(ch)) {
+                                rest[0][edge.to] = true;
+                            }
+                        }
+                        NfaLabel::Mask(m) => {
+                            if toks[i] == Tok::Mask(*m) {
+                                rest[0][edge.to] = true;
+                            }
+                        }
+                        NfaLabel::Disj(d) => {
+                            for alt in &self.disjs[*d as usize] {
+                                let k = alt.len();
+                                if i + k <= n && alt_matches(alt, &toks[i..i + k]) {
+                                    rest[k - 1][edge.to] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        reach[n][self.accept]
+    }
+
+    /// In-place ε-closure of a state set.
+    fn close(&self, set: &mut [bool]) {
+        let mut stack: Vec<usize> = (0..self.n_states).filter(|&s| set[s]).collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s] {
+                if !set[t] {
+                    set[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+}
+
+fn alt_matches(alt: &[char], toks: &[Tok]) -> bool {
+    alt.len() == toks.len()
+        && alt
+            .iter()
+            .zip(toks)
+            .all(|(c, t)| matches!(t, Tok::Char(ch) if ch == c))
+}
+
+#[derive(Default)]
+struct Builder {
+    eps: Vec<Vec<usize>>,
+    edges: Vec<Vec<NfaEdge>>,
+    disjs: Vec<Vec<Vec<char>>>,
+}
+
+impl Builder {
+    fn node(&mut self) -> usize {
+        self.eps.push(Vec::new());
+        self.edges.push(Vec::new());
+        self.eps.len() - 1
+    }
+
+    fn eps_edge(&mut self, from: usize, to: usize) {
+        self.eps[from].push(to);
+    }
+
+    fn cons_edge(&mut self, from: usize, to: usize, label: NfaLabel) {
+        self.edges[from].push(NfaEdge { to, label });
+    }
+
+    fn intern_disj(&mut self, alts: &[String]) -> u32 {
+        let chars: Vec<Vec<char>> = alts.iter().map(|a| a.chars().collect()).collect();
+        if let Some(i) = self.disjs.iter().position(|d| *d == chars) {
+            return i as u32;
+        }
+        self.disjs.push(chars);
+        (self.disjs.len() - 1) as u32
+    }
+
+    /// Builds the fragment for `node`, returning `(entry, exit)` states.
+    fn fragment(&mut self, node: &TNode) -> (usize, usize) {
+        match node {
+            TNode::Empty => {
+                let s = self.node();
+                (s, s)
+            }
+            TNode::Str(text) => {
+                let entry = self.node();
+                let mut cur = entry;
+                for c in text.chars() {
+                    let next = self.node();
+                    self.cons_edge(cur, next, NfaLabel::Lit(c));
+                    cur = next;
+                }
+                (entry, cur)
+            }
+            TNode::Class(c, _) => {
+                let s = self.node();
+                let e = self.node();
+                self.cons_edge(s, e, NfaLabel::Class(*c));
+                (s, e)
+            }
+            TNode::Mask(m, _) => {
+                let s = self.node();
+                let e = self.node();
+                self.cons_edge(s, e, NfaLabel::Mask(*m));
+                (s, e)
+            }
+            TNode::Disj(alts, _) => {
+                let d = self.intern_disj(alts);
+                let s = self.node();
+                let e = self.node();
+                self.cons_edge(s, e, NfaLabel::Disj(d));
+                (s, e)
+            }
+            TNode::Concat(parts) => {
+                let entry = self.node();
+                let mut cur = entry;
+                for part in parts {
+                    let (ps, pe) = self.fragment(part);
+                    self.eps_edge(cur, ps);
+                    cur = pe;
+                }
+                (entry, cur)
+            }
+            TNode::Alt(parts) => {
+                let s = self.node();
+                let e = self.node();
+                for part in parts {
+                    let (ps, pe) = self.fragment(part);
+                    self.eps_edge(s, ps);
+                    self.eps_edge(pe, e);
+                }
+                (s, e)
+            }
+            TNode::Repeat { body, min, max } => {
+                let entry = self.node();
+                let mut cur = entry;
+                for _ in 0..*min {
+                    let (ps, pe) = self.fragment(body);
+                    self.eps_edge(cur, ps);
+                    cur = pe;
+                }
+                match max {
+                    None => {
+                        // Kleene closure over one more body copy.
+                        let hub = self.node();
+                        self.eps_edge(cur, hub);
+                        let (ps, pe) = self.fragment(body);
+                        self.eps_edge(hub, ps);
+                        self.eps_edge(pe, hub);
+                        (entry, hub)
+                    }
+                    Some(mx) => {
+                        for _ in *min..*mx {
+                            let (ps, pe) = self.fragment(body);
+                            let next = self.node();
+                            self.eps_edge(cur, ps);
+                            self.eps_edge(pe, next);
+                            self.eps_edge(cur, next); // skip the optional copy
+                            cur = next;
+                        }
+                        (entry, cur)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Pattern;
+    use crate::token::{MaskAlphabet, MaskedString};
+
+    fn accepts(p: &Pattern, s: &str) -> bool {
+        let nfa = Nfa::compile(&p.tag());
+        nfa.matches(MaskedString::from_plain(s).toks())
+    }
+
+    #[test]
+    fn literal_matching() {
+        let p = Pattern::lit("abc");
+        assert!(accepts(&p, "abc"));
+        assert!(!accepts(&p, "ab"));
+        assert!(!accepts(&p, "abcd"));
+        assert!(!accepts(&p, "abd"));
+    }
+
+    #[test]
+    fn figure4_pattern_language() {
+        // (A[0-9].)+
+        let p = Pattern::plus(Pattern::concat([
+            Pattern::lit("A"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("."),
+        ]));
+        assert!(accepts(&p, "A2."));
+        assert!(accepts(&p, "A2.A3."));
+        assert!(accepts(&p, "A5.A7.A8."));
+        assert!(!accepts(&p, "AAA3"));
+        assert!(!accepts(&p, ""));
+        assert!(!accepts(&p, "A2"));
+    }
+
+    #[test]
+    fn star_and_opt() {
+        let p = Pattern::star(Pattern::lit("ab"));
+        assert!(accepts(&p, ""));
+        assert!(accepts(&p, "abab"));
+        assert!(!accepts(&p, "aba"));
+        let q = Pattern::concat([Pattern::opt(Pattern::lit("x")), Pattern::lit("y")]);
+        assert!(accepts(&q, "y"));
+        assert!(accepts(&q, "xy"));
+        assert!(!accepts(&q, "xxy"));
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        let p = Pattern::Repeat {
+            body: Box::new(Pattern::Class(CharClass::Digit)),
+            min: 2,
+            max: Some(4),
+        };
+        assert!(!accepts(&p, "1"));
+        assert!(accepts(&p, "12"));
+        assert!(accepts(&p, "1234"));
+        assert!(!accepts(&p, "12345"));
+    }
+
+    #[test]
+    fn disjunction_consumes_whole_alternative() {
+        let p = Pattern::concat([Pattern::lit("-"), Pattern::disj(["CAT", "PRO"])]);
+        assert!(accepts(&p, "-CAT"));
+        assert!(accepts(&p, "-PRO"));
+        assert!(!accepts(&p, "-CA"));
+        assert!(!accepts(&p, "-CATX"));
+    }
+
+    #[test]
+    fn masks_match_only_same_mask() {
+        let mut alpha = MaskAlphabet::new();
+        let country = alpha.intern("Country");
+        let city = alpha.intern("City");
+        let p = Pattern::concat([Pattern::Mask(country), Pattern::lit("-1")]);
+        let nfa = Nfa::compile(&p.tag());
+        let ok = MaskedString::from_toks(vec![
+            Tok::Mask(country),
+            Tok::Char('-'),
+            Tok::Char('1'),
+        ]);
+        let wrong = MaskedString::from_toks(vec![Tok::Mask(city), Tok::Char('-'), Tok::Char('1')]);
+        assert!(nfa.matches(ok.toks()));
+        assert!(!nfa.matches(wrong.toks()));
+        assert!(!nfa.matches(MaskedString::from_plain("X-1").toks()));
+    }
+
+    #[test]
+    fn alternation_of_patterns() {
+        let p = Pattern::Alt(vec![
+            Pattern::class_plus(CharClass::Digit),
+            Pattern::class_plus(CharClass::Lower),
+        ]);
+        assert!(accepts(&p, "123"));
+        assert!(accepts(&p, "abc"));
+        assert!(!accepts(&p, "a1"));
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        // ((ab)+,)+  — nested unbounded loops.
+        let p = Pattern::plus(Pattern::concat([
+            Pattern::plus(Pattern::lit("ab")),
+            Pattern::lit(","),
+        ]));
+        assert!(accepts(&p, "ab,"));
+        assert!(accepts(&p, "abab,ab,"));
+        assert!(!accepts(&p, "ab"));
+        assert!(!accepts(&p, ",ab"));
+    }
+
+    #[test]
+    fn empty_pattern() {
+        assert!(accepts(&Pattern::Empty, ""));
+        assert!(!accepts(&Pattern::Empty, "a"));
+    }
+}

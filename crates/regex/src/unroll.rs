@@ -1,0 +1,161 @@
+//! Loop unrolling: approximating a pattern's NFA by a value-specific DAG.
+//!
+//! Paper §3.3: "we approximate the NFA for a given value v with a directed
+//! acyclic graph D_v by unrolling loops up to depth ⌈len(v)/len(cycle)⌉ with
+//! the length of a cycle defined as the number of edges in it. We support
+//! nested cycles and follow the same unrolling procedure recursively."
+//!
+//! We unroll at the AST level: `Repeat(body, min, max)` becomes `min`
+//! mandatory copies followed by optional copies, which yields a loop-free
+//! pattern whose ε-eliminated NFA (see [`crate::dag`]) is acyclic by
+//! construction. The unroll depth uses the body's minimum consumed length as
+//! the cycle length, matching Figure 4 (value `AAA3`, cycle `A[0-9].` of
+//! length 3 → ⌈4/3⌉ = 2 copies).
+
+use crate::ast::TNode;
+
+/// Hard cap on copies per loop, a safety valve against degenerate patterns
+/// (e.g. a nullable body). Benchmarks never get near this.
+const MAX_COPIES: u32 = 256;
+
+/// Unrolls every `Repeat` for a value of length `value_len` tokens,
+/// producing a loop-free tagged AST. Atom ids are preserved, so all copies
+/// of a loop body share atoms (they are distinguished by occurrence index
+/// when the DAG is built).
+pub(crate) fn unroll(node: &TNode, value_len: usize) -> TNode {
+    match node {
+        TNode::Empty | TNode::Str(_) | TNode::Class(..) | TNode::Mask(..) | TNode::Disj(..) => {
+            node.clone()
+        }
+        TNode::Concat(parts) => {
+            TNode::Concat(parts.iter().map(|p| unroll(p, value_len)).collect())
+        }
+        TNode::Alt(parts) => TNode::Alt(parts.iter().map(|p| unroll(p, value_len)).collect()),
+        TNode::Repeat { body, min, max } => {
+            let body_un = unroll(body, value_len);
+            let cycle = body.min_len().max(1);
+            let needed = value_len.div_ceil(cycle) as u32;
+            let mut copies = needed.max(*min);
+            if let Some(mx) = max {
+                copies = copies.min(*mx).max(*min);
+            }
+            copies = copies.min(MAX_COPIES.max(*min));
+            if copies == 0 {
+                return TNode::Empty;
+            }
+            let mut parts = Vec::with_capacity(copies as usize);
+            for _ in 0..*min {
+                parts.push(body_un.clone());
+            }
+            for _ in *min..copies {
+                parts.push(TNode::Alt(vec![TNode::Empty, body_un.clone()]));
+            }
+            if parts.len() == 1 {
+                parts.pop().expect("len checked")
+            } else {
+                TNode::Concat(parts)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Pattern;
+    use crate::class::CharClass;
+
+    fn count_loops(n: &TNode) -> usize {
+        match n {
+            TNode::Repeat { body, .. } => 1 + count_loops(body),
+            TNode::Concat(ps) | TNode::Alt(ps) => ps.iter().map(count_loops).sum(),
+            _ => 0,
+        }
+    }
+
+    fn count_alts(n: &TNode) -> usize {
+        match n {
+            TNode::Alt(ps) => 1 + ps.iter().map(count_alts).sum::<usize>(),
+            TNode::Concat(ps) => ps.iter().map(count_alts).sum(),
+            TNode::Repeat { body, .. } => count_alts(body),
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn figure4_unrolls_twice() {
+        // (A[0-9].)+ for |v| = 4 → cycle length 3 → ⌈4/3⌉ = 2 copies:
+        // one mandatory, one optional.
+        let p = Pattern::plus(Pattern::concat([
+            Pattern::lit("A"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("."),
+        ]));
+        let un = unroll(p.tag().root(), 4);
+        assert_eq!(count_loops(&un), 0);
+        assert_eq!(count_alts(&un), 1); // exactly one optional copy
+    }
+
+    #[test]
+    fn unroll_is_loop_free_for_nested_repeats() {
+        // ((a+)b)+
+        let p = Pattern::plus(Pattern::concat([
+            Pattern::plus(Pattern::lit("a")),
+            Pattern::lit("b"),
+        ]));
+        let un = unroll(p.tag().root(), 6);
+        assert_eq!(count_loops(&un), 0);
+    }
+
+    #[test]
+    fn min_copies_respected_for_empty_value() {
+        let p = Pattern::Repeat {
+            body: Box::new(Pattern::lit("ab")),
+            min: 2,
+            max: None,
+        };
+        let un = unroll(p.tag().root(), 0);
+        // Two mandatory copies, zero optional.
+        assert_eq!(un.min_len(), 4);
+        assert_eq!(count_alts(&un), 0);
+    }
+
+    #[test]
+    fn bounded_max_caps_copies() {
+        let p = Pattern::Repeat {
+            body: Box::new(Pattern::lit("a")),
+            min: 0,
+            max: Some(2),
+        };
+        let un = unroll(p.tag().root(), 10);
+        assert_eq!(count_alts(&un), 2);
+    }
+
+    #[test]
+    fn star_of_nullable_body_is_bounded() {
+        // (a?)* is degenerate: cycle length clamps to 1.
+        let p = Pattern::star(Pattern::opt(Pattern::lit("a")));
+        let un = unroll(p.tag().root(), 5);
+        assert_eq!(count_loops(&un), 0);
+    }
+
+    #[test]
+    fn atom_ids_shared_across_copies() {
+        let p = Pattern::class_plus(CharClass::Digit);
+        let tagged = p.tag();
+        let un = unroll(tagged.root(), 3);
+        // Collect all atom ids in the unrolled tree: they must all be AtomId(0).
+        fn atoms(n: &TNode, out: &mut Vec<u32>) {
+            match n {
+                TNode::Class(_, id) => out.push(id.0),
+                TNode::Concat(ps) | TNode::Alt(ps) => ps.iter().for_each(|p| atoms(p, out)),
+                TNode::Repeat { body, .. } => atoms(body, out),
+                _ => {}
+            }
+        }
+        let mut ids = Vec::new();
+        atoms(&un, &mut ids);
+        assert_eq!(ids.len(), 3);
+        assert!(ids.iter().all(|&i| i == 0));
+    }
+}

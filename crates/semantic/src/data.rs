@@ -1,0 +1,313 @@
+//! Static gazetteer data for the twenty semantic types.
+//!
+//! Each entry lists *forms*: parallel renderings of the same concept. Form
+//! positions are aligned within a type (e.g. countries: `[full, ISO-2,
+//! ISO-3]`), which is how the mock LLM reproduces GPT's in-context behaviour
+//! of normalizing to the form the rest of the column uses (`usa → US` when
+//! the column writes ISO-2 codes).
+
+use crate::types::SemanticType;
+
+/// One concept with its aligned surface forms. `forms[0]` is the full name.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    /// Parallel surface forms; position is meaningful within a type.
+    pub forms: &'static [&'static str],
+}
+
+macro_rules! entries {
+    ($( [$($form:literal),+ $(,)?] ),+ $(,)?) => {
+        &[ $( Entry { forms: &[$($form),+] } ),+ ]
+    };
+}
+
+/// Gazetteer entries for `t`.
+pub fn entries(t: SemanticType) -> &'static [Entry] {
+    match t {
+        SemanticType::Country => COUNTRIES,
+        SemanticType::City => CITIES,
+        SemanticType::State => STATES,
+        SemanticType::FirstName => FIRST_NAMES,
+        SemanticType::LastName => LAST_NAMES,
+        SemanticType::Month => MONTHS,
+        SemanticType::Weekday => WEEKDAYS,
+        SemanticType::Color => COLORS,
+        SemanticType::Currency => CURRENCIES,
+        SemanticType::Language => LANGUAGES,
+        SemanticType::Continent => CONTINENTS,
+        SemanticType::Nationality => NATIONALITIES,
+        SemanticType::Company => COMPANIES,
+        SemanticType::Team => TEAMS,
+        SemanticType::Gender => GENDERS,
+        SemanticType::Category => CATEGORIES,
+        SemanticType::Sport => SPORTS,
+        SemanticType::Status => STATUSES,
+        SemanticType::Religion => RELIGIONS,
+        SemanticType::Region => REGIONS,
+    }
+}
+
+/// Countries: `[full, ISO-2, ISO-3]`.
+static COUNTRIES: &[Entry] = entries![
+    ["United States", "US", "USA"],
+    ["United Kingdom", "GB", "GBR"],
+    ["Germany", "DE", "DEU"],
+    ["France", "FR", "FRA"],
+    ["Spain", "ES", "ESP"],
+    ["Italy", "IT", "ITA"],
+    ["Portugal", "PT", "PRT"],
+    ["Netherlands", "NL", "NLD"],
+    ["Belgium", "BE", "BEL"],
+    ["Switzerland", "CH", "CHE"],
+    ["Austria", "AT", "AUT"],
+    ["Sweden", "SE", "SWE"],
+    ["Norway", "NO", "NOR"],
+    ["Denmark", "DK", "DNK"],
+    ["Finland", "FI", "FIN"],
+    ["Poland", "PL", "POL"],
+    ["Ireland", "IE", "IRL"],
+    ["Greece", "GR", "GRC"],
+    ["Turkey", "TR", "TUR"],
+    ["Russia", "RU", "RUS"],
+    ["Ukraine", "UA", "UKR"],
+    ["China", "CN", "CHN"],
+    ["Japan", "JP", "JPN"],
+    ["India", "IN", "IND"],
+    ["Indonesia", "ID", "IDN"],
+    ["Thailand", "TH", "THA"],
+    ["Vietnam", "VN", "VNM"],
+    ["Singapore", "SG", "SGP"],
+    ["Australia", "AU", "AUS"],
+    ["New Zealand", "NZ", "NZL"],
+    ["Canada", "CA", "CAN"],
+    ["Mexico", "MX", "MEX"],
+    ["Brazil", "BR", "BRA"],
+    ["Argentina", "AR", "ARG"],
+    ["Chile", "CL", "CHL"],
+    ["Colombia", "CO", "COL"],
+    ["Peru", "PE", "PER"],
+    ["Egypt", "EG", "EGY"],
+    ["Nigeria", "NG", "NGA"],
+    ["Kenya", "KE", "KEN"],
+    ["Morocco", "MA", "MAR"],
+    ["Algeria", "DZ", "DZA"],
+    ["South Africa", "ZA", "ZAF"],
+    ["South Korea", "KR", "KOR"],
+    ["Saudi Arabia", "SA", "SAU"],
+    ["Israel", "IL", "ISR"],
+];
+
+static CITIES: &[Entry] = entries![
+    ["New York"], ["Los Angeles"], ["Chicago"], ["Houston"], ["Phoenix"],
+    ["Philadelphia"], ["San Antonio"], ["San Diego"], ["Dallas"], ["Austin"],
+    ["Boston"], ["Seattle"], ["Denver"], ["Miami"], ["Atlanta"],
+    ["London"], ["Paris"], ["Berlin"], ["Madrid"], ["Rome"],
+    ["Amsterdam"], ["Vienna"], ["Prague"], ["Dublin"], ["Lisbon"],
+    ["Stockholm"], ["Oslo"], ["Copenhagen"], ["Helsinki"], ["Warsaw"],
+    ["Tokyo"], ["Osaka"], ["Seoul"], ["Beijing"], ["Shanghai"],
+    ["Mumbai"], ["Delhi"], ["Bangkok"], ["Jakarta"], ["Sydney"],
+    ["Melbourne"], ["Toronto"], ["Vancouver"], ["Montreal"], ["Birmingham"],
+    ["Manchester"], ["Liverpool"], ["Glasgow"], ["Edinburgh"], ["Cairo"],
+];
+
+/// US states: `[full, USPS code]`.
+static STATES: &[Entry] = entries![
+    ["Alabama", "AL"], ["Alaska", "AK"], ["Arizona", "AZ"], ["Arkansas", "AR"],
+    ["California", "CA"], ["Colorado", "CO"], ["Connecticut", "CT"],
+    ["Delaware", "DE"], ["Florida", "FL"], ["Georgia", "GA"], ["Hawaii", "HI"],
+    ["Idaho", "ID"], ["Illinois", "IL"], ["Indiana", "IN"], ["Iowa", "IA"],
+    ["Kansas", "KS"], ["Kentucky", "KY"], ["Louisiana", "LA"], ["Maine", "ME"],
+    ["Maryland", "MD"], ["Massachusetts", "MA"], ["Michigan", "MI"],
+    ["Minnesota", "MN"], ["Mississippi", "MS"], ["Missouri", "MO"],
+    ["Montana", "MT"], ["Nebraska", "NE"], ["Nevada", "NV"],
+    ["New Hampshire", "NH"], ["New Jersey", "NJ"], ["New Mexico", "NM"],
+    ["New York", "NY"], ["North Carolina", "NC"], ["North Dakota", "ND"],
+    ["Ohio", "OH"], ["Oklahoma", "OK"], ["Oregon", "OR"],
+    ["Pennsylvania", "PA"], ["Rhode Island", "RI"], ["South Carolina", "SC"],
+    ["South Dakota", "SD"], ["Tennessee", "TN"], ["Texas", "TX"],
+    ["Utah", "UT"], ["Vermont", "VT"], ["Virginia", "VA"],
+    ["Washington", "WA"], ["West Virginia", "WV"], ["Wisconsin", "WI"],
+    ["Wyoming", "WY"],
+];
+
+static FIRST_NAMES: &[Entry] = entries![
+    ["James"], ["Mary"], ["Robert"], ["Patricia"], ["John"], ["Jennifer"],
+    ["Michael"], ["Linda"], ["David"], ["Elizabeth"], ["William"], ["Barbara"],
+    ["Richard"], ["Susan"], ["Joseph"], ["Jessica"], ["Thomas"], ["Sarah"],
+    ["Charles"], ["Karen"], ["Christopher"], ["Lisa"], ["Daniel"], ["Nancy"],
+    ["Matthew"], ["Betty"], ["Anthony"], ["Margaret"], ["Mark"], ["Sandra"],
+    ["Donald"], ["Ashley"], ["Steven"], ["Kimberly"], ["Paul"], ["Emily"],
+    ["Andrew"], ["Donna"], ["Joshua"], ["Michelle"], ["Kenneth"], ["Carol"],
+    ["Kevin"], ["Amanda"], ["Brian"], ["Dorothy"], ["George"], ["Melissa"],
+];
+
+static LAST_NAMES: &[Entry] = entries![
+    ["Smith"], ["Johnson"], ["Williams"], ["Brown"], ["Jones"], ["Garcia"],
+    ["Miller"], ["Davis"], ["Rodriguez"], ["Martinez"], ["Hernandez"],
+    ["Lopez"], ["Gonzalez"], ["Wilson"], ["Anderson"], ["Taylor"],
+    ["Moore"], ["Jackson"], ["Martin"], ["Lee"], ["Perez"], ["Thompson"],
+    ["White"], ["Harris"], ["Sanchez"], ["Clark"], ["Ramirez"], ["Lewis"],
+    ["Robinson"], ["Walker"], ["Young"], ["Allen"], ["King"], ["Wright"],
+];
+
+/// Months: `[full, 3-letter]`.
+static MONTHS: &[Entry] = entries![
+    ["January", "Jan"], ["February", "Feb"], ["March", "Mar"],
+    ["April", "Apr"], ["May", "May"], ["June", "Jun"], ["July", "Jul"],
+    ["August", "Aug"], ["September", "Sep"], ["October", "Oct"],
+    ["November", "Nov"], ["December", "Dec"],
+];
+
+/// Weekdays: `[full, 3-letter]`.
+static WEEKDAYS: &[Entry] = entries![
+    ["Monday", "Mon"], ["Tuesday", "Tue"], ["Wednesday", "Wed"],
+    ["Thursday", "Thu"], ["Friday", "Fri"], ["Saturday", "Sat"],
+    ["Sunday", "Sun"],
+];
+
+static COLORS: &[Entry] = entries![
+    ["red"], ["green"], ["blue"], ["yellow"], ["orange"], ["purple"],
+    ["pink"], ["brown"], ["black"], ["white"], ["gray"], ["cyan"],
+    ["magenta"], ["violet"], ["indigo"], ["teal"], ["maroon"], ["navy"],
+    ["olive"], ["silver"], ["gold"], ["beige"], ["turquoise"], ["crimson"],
+    ["dark green"], ["dark blue"], ["dark red"], ["light green"],
+    ["light blue"], ["light gray"],
+];
+
+/// Currencies: `[full, ISO code]`.
+static CURRENCIES: &[Entry] = entries![
+    ["US Dollar", "USD"], ["Euro", "EUR"], ["British Pound", "GBP"],
+    ["Japanese Yen", "JPY"], ["Swiss Franc", "CHF"],
+    ["Canadian Dollar", "CAD"], ["Australian Dollar", "AUD"],
+    ["Chinese Yuan", "CNY"], ["Indian Rupee", "INR"],
+    ["Brazilian Real", "BRL"], ["Mexican Peso", "MXN"],
+    ["South Korean Won", "KRW"], ["Swedish Krona", "SEK"],
+    ["Norwegian Krone", "NOK"], ["Danish Krone", "DKK"],
+    ["Polish Zloty", "PLN"], ["Turkish Lira", "TRY"],
+    ["Russian Ruble", "RUB"], ["Singapore Dollar", "SGD"],
+    ["Hong Kong Dollar", "HKD"],
+];
+
+static LANGUAGES: &[Entry] = entries![
+    ["English"], ["Spanish"], ["French"], ["German"], ["Italian"],
+    ["Portuguese"], ["Dutch"], ["Russian"], ["Mandarin"], ["Japanese"],
+    ["Korean"], ["Arabic"], ["Hindi"], ["Bengali"], ["Turkish"],
+    ["Polish"], ["Swedish"], ["Greek"], ["Hebrew"], ["Vietnamese"],
+];
+
+static CONTINENTS: &[Entry] = entries![
+    ["Africa"], ["Antarctica"], ["Asia"], ["Europe"],
+    ["North America"], ["Oceania"], ["South America"],
+];
+
+static NATIONALITIES: &[Entry] = entries![
+    ["American"], ["British"], ["German"], ["French"], ["Spanish"],
+    ["Italian"], ["Portuguese"], ["Dutch"], ["Swiss"], ["Austrian"],
+    ["Swedish"], ["Norwegian"], ["Danish"], ["Finnish"], ["Polish"],
+    ["Irish"], ["Greek"], ["Turkish"], ["Russian"], ["Chinese"],
+    ["Japanese"], ["Indian"], ["Australian"], ["Canadian"], ["Mexican"],
+    ["Brazilian"], ["Argentine"], ["Egyptian"], ["Nigerian"], ["Kenyan"],
+];
+
+static COMPANIES: &[Entry] = entries![
+    ["Acme Corp"], ["Globex"], ["Initech"], ["Umbrella"], ["Stark Industries"],
+    ["Wayne Enterprises"], ["Wonka Industries"], ["Tyrell Corp"], ["Cyberdyne"],
+    ["Soylent Corp"], ["Massive Dynamic"], ["Hooli"], ["Pied Piper"],
+    ["Aperture Science"], ["Black Mesa"], ["Oscorp"], ["LexCorp"],
+    ["Weyland-Yutani"], ["Nakatomi Trading"], ["Gringotts"],
+];
+
+static TEAMS: &[Entry] = entries![
+    ["Eagles"], ["Tigers"], ["Lions"], ["Bears"], ["Sharks"], ["Wolves"],
+    ["Hawks"], ["Falcons"], ["Panthers"], ["Raptors"], ["Bulls"], ["Rams"],
+    ["Cougars"], ["Stallions"], ["Titans"], ["Giants"], ["Pirates"],
+    ["Vikings"], ["Spartans"], ["Warriors"],
+];
+
+/// Genders: `[full, 1-letter]`.
+static GENDERS: &[Entry] = entries![
+    ["Male", "M"], ["Female", "F"], ["Nonbinary", "X"],
+];
+
+/// Competition categories: `[full, 3-letter]` — Figure 2's PRO/QUA domain.
+static CATEGORIES: &[Entry] = entries![
+    ["Junior", "JUN"], ["Senior", "SEN"], ["Professional", "PRO"],
+    ["Amateur", "AMA"], ["Qualifier", "QUA"], ["Expert", "EXP"],
+    ["Beginner", "BEG"], ["Intermediate", "INT"],
+];
+
+static SPORTS: &[Entry] = entries![
+    ["Soccer"], ["Basketball"], ["Baseball"], ["Tennis"], ["Cricket"],
+    ["Hockey"], ["Golf"], ["Rugby"], ["Swimming"], ["Athletics"],
+    ["Volleyball"], ["Badminton"], ["Cycling"], ["Boxing"], ["Skiing"],
+];
+
+static STATUSES: &[Entry] = entries![
+    ["Active"], ["Inactive"], ["Pending"], ["Completed"], ["Cancelled"],
+    ["Open"], ["Closed"], ["Draft"], ["Approved"], ["Rejected"],
+    ["Shipped"], ["Delivered"],
+];
+
+static RELIGIONS: &[Entry] = entries![
+    ["Christianity"], ["Islam"], ["Hinduism"], ["Buddhism"], ["Judaism"],
+    ["Sikhism"], ["Taoism"], ["Shinto"],
+];
+
+static REGIONS: &[Entry] = entries![
+    ["North"], ["South"], ["East"], ["West"], ["Northeast"], ["Northwest"],
+    ["Southeast"], ["Southwest"], ["Central"], ["Midwest"],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_type_has_entries() {
+        for t in SemanticType::ALL {
+            assert!(!entries(t).is_empty(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn forms_are_nonempty_strings() {
+        for t in SemanticType::ALL {
+            for e in entries(t) {
+                assert!(!e.forms.is_empty());
+                for f in e.forms {
+                    assert!(!f.is_empty(), "{t:?} has empty form");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_form_counts_within_type() {
+        // Types with coded forms keep a uniform arity so form positions align.
+        for t in [
+            SemanticType::Country,
+            SemanticType::State,
+            SemanticType::Month,
+            SemanticType::Weekday,
+            SemanticType::Currency,
+            SemanticType::Gender,
+            SemanticType::Category,
+        ] {
+            let n = entries(t)[0].forms.len();
+            assert!(n >= 2, "{t:?}");
+            assert!(entries(t).iter().all(|e| e.forms.len() == n), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn figure2_vocabulary_present() {
+        let cats = entries(SemanticType::Category);
+        assert!(cats
+            .iter()
+            .any(|e| e.forms[0] == "Professional" && e.forms[1] == "PRO"));
+        let countries = entries(SemanticType::Country);
+        assert!(countries
+            .iter()
+            .any(|e| e.forms[1] == "US" && e.forms[2] == "USA"));
+    }
+}

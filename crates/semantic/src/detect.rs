@@ -1,0 +1,108 @@
+//! Sherlock-style semantic column-type detection (stand-in).
+//!
+//! The paper uses Sherlock \[8\] to pick the 20 most frequent semantic types.
+//! At runtime we only need a lightweight column classifier — for deciding
+//! whether a column is semantic at all (GPT-sim baseline) and for reports.
+//! This stand-in scores each type by the fraction of values containing a
+//! gazetteer hit and returns the best-supported type above a threshold.
+
+use crate::gazetteer::Gazetteer;
+use crate::spans::candidate_spans;
+use crate::types::SemanticType;
+
+/// A detected column type with its support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeDetection {
+    /// The detected semantic type.
+    pub semantic_type: SemanticType,
+    /// Fraction of (non-blank) values supporting the type.
+    pub confidence: f64,
+}
+
+/// Detects the dominant semantic type of a column, if any type reaches
+/// `min_confidence` support.
+pub fn detect_column_type(
+    values: &[String],
+    gaz: &Gazetteer,
+    min_confidence: f64,
+) -> Option<TypeDetection> {
+    let mut counts = [0usize; SemanticType::ALL.len()];
+    let mut n = 0usize;
+    for v in values {
+        if v.trim().is_empty() {
+            continue;
+        }
+        n += 1;
+        let mut seen = [false; SemanticType::ALL.len()];
+        for span in candidate_spans(v) {
+            for hit in gaz.lookup_fuzzy(&span.lookup) {
+                let i = SemanticType::ALL
+                    .iter()
+                    .position(|t| *t == hit.semantic_type)
+                    .expect("type in ALL");
+                if !seen[i] {
+                    seen[i] = true;
+                    counts[i] += 1;
+                }
+            }
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    let (best, &count) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, c)| (*c, std::cmp::Reverse(i)))?;
+    let confidence = count as f64 / n as f64;
+    (confidence >= min_confidence).then_some(TypeDetection {
+        semantic_type: SemanticType::ALL[best],
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detect(values: &[&str]) -> Option<TypeDetection> {
+        let gaz = Gazetteer::new();
+        detect_column_type(
+            &values.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &gaz,
+            0.5,
+        )
+    }
+
+    #[test]
+    fn detects_city_column() {
+        let d = detect(&["Boston", "Miami", "Chicago", "Seattle"]).unwrap();
+        assert_eq!(d.semantic_type, SemanticType::City);
+        assert_eq!(d.confidence, 1.0);
+    }
+
+    #[test]
+    fn detects_embedded_semantics() {
+        let d = detect(&["(Boston)", "(Miami)", "(NY"]).unwrap();
+        assert_eq!(d.semantic_type, SemanticType::City);
+    }
+
+    #[test]
+    fn no_detection_for_syntactic_columns() {
+        assert!(detect(&["Q1-22", "Q4-21", "Q2-20"]).is_none());
+        assert!(detect(&["123", "456", "789"]).is_none());
+    }
+
+    #[test]
+    fn tolerates_typos() {
+        let d = detect(&["Birmingham", "Birminxham", "Manchester", "Liverpool"]).unwrap();
+        assert_eq!(d.semantic_type, SemanticType::City);
+        assert_eq!(d.confidence, 1.0);
+    }
+
+    #[test]
+    fn empty_column_none() {
+        assert!(detect(&[]).is_none());
+        assert!(detect(&["", " "]).is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! The gazetteer knowledge base: indexed, fuzzy-matchable semantic forms.
+//!
+//! This is the knowledge the mock LLM draws on. Lookups support
+//! case-insensitive exact matching and bounded-edit-distance fuzzy matching
+//! (the mechanism by which the abstraction step can *repair* semantic
+//! substrings: `bleu → blue`, `Birminxham → Birmingham`; paper §3.2).
+
+use std::collections::HashMap;
+
+use crate::data::{entries, Entry};
+use crate::types::SemanticType;
+use datavinci_regex::levenshtein_within;
+
+/// A resolved gazetteer hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Which semantic type matched.
+    pub semantic_type: SemanticType,
+    /// Entry index within the type.
+    pub entry: usize,
+    /// Which surface form of the entry matched.
+    pub form: usize,
+    /// Edit distance of the query to the matched form (0 = exact, case-
+    /// insensitively).
+    pub distance: usize,
+}
+
+impl Hit {
+    /// The matched form's canonical spelling.
+    pub fn form_text(&self) -> &'static str {
+        entries(self.semantic_type)[self.entry].forms[self.form]
+    }
+
+    /// A specific form of the hit entry, if the entry has that position.
+    pub fn entry_form(&self, form: usize) -> Option<&'static str> {
+        entries(self.semantic_type)[self.entry].forms.get(form).copied()
+    }
+}
+
+/// The indexed knowledge base.
+#[derive(Debug)]
+pub struct Gazetteer {
+    /// lowercase form → hits sharing that surface.
+    exact: HashMap<String, Vec<Hit>>,
+    /// All (lowercase form, hit) pairs for fuzzy scans, grouped by length.
+    by_len: Vec<Vec<(String, Hit)>>,
+}
+
+/// Fuzzy budget for a query of `len` characters. Short tokens (codes like
+/// `US`, `PRO`) only match exactly; longer words tolerate 1–2 edits.
+pub fn fuzzy_budget(len: usize) -> usize {
+    match len {
+        0..=3 => 0,
+        4..=7 => 1,
+        _ => 2,
+    }
+}
+
+/// Common alternate surfaces that are not canonical forms: `(alias, type,
+/// full name of the target entry)`. Alias hits resolve to the entry's form 0
+/// and are then normalized by the column-majority logic (`u.k.` → `GB` in an
+/// ISO-2 column, paper Figure 3's second example modulo canonical code).
+const ALIASES: &[(&str, SemanticType, &str)] = &[
+    ("uk", SemanticType::Country, "United Kingdom"),
+    ("america", SemanticType::Country, "United States"),
+    ("holland", SemanticType::Country, "Netherlands"),
+    ("nyc", SemanticType::City, "New York"),
+    ("ny", SemanticType::City, "New York"),
+    ("grey", SemanticType::Color, "gray"),
+];
+
+impl Gazetteer {
+    /// Builds the default gazetteer over all twenty types.
+    pub fn new() -> Gazetteer {
+        let mut exact: HashMap<String, Vec<Hit>> = HashMap::new();
+        let mut by_len: Vec<Vec<(String, Hit)>> = Vec::new();
+        for t in SemanticType::ALL {
+            for (ei, Entry { forms }) in entries(t).iter().enumerate() {
+                for (fi, form) in forms.iter().enumerate() {
+                    let lower = form.to_lowercase();
+                    let hit = Hit {
+                        semantic_type: t,
+                        entry: ei,
+                        form: fi,
+                        distance: 0,
+                    };
+                    exact.entry(lower.clone()).or_default().push(hit);
+                    let len = lower.chars().count();
+                    if by_len.len() <= len {
+                        by_len.resize(len + 1, Vec::new());
+                    }
+                    by_len[len].push((lower, hit));
+                }
+            }
+        }
+        for (alias, t, full) in ALIASES {
+            if let Some(ei) = entries(*t).iter().position(|e| e.forms[0] == *full) {
+                exact.entry(alias.to_string()).or_default().push(Hit {
+                    semantic_type: *t,
+                    entry: ei,
+                    form: 0,
+                    distance: 0,
+                });
+            }
+        }
+        Gazetteer { exact, by_len }
+    }
+
+    /// Case-insensitive exact lookup. Multiple hits are possible (e.g.
+    /// `New York` is both a city and a state; `May` a month and a name).
+    pub fn lookup_exact(&self, query: &str) -> &[Hit] {
+        self.exact
+            .get(&query.to_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Fuzzy lookup with the length-scaled budget: returns the closest hits
+    /// (all tied at minimal distance), or the exact hits at distance 0.
+    pub fn lookup_fuzzy(&self, query: &str) -> Vec<Hit> {
+        let exact = self.lookup_exact(query);
+        if !exact.is_empty() {
+            return exact.to_vec();
+        }
+        let lower = query.to_lowercase();
+        let qlen = lower.chars().count();
+        let budget = fuzzy_budget(qlen);
+        if budget == 0 {
+            return Vec::new();
+        }
+        let mut best = usize::MAX;
+        let mut hits: Vec<Hit> = Vec::new();
+        let lo = qlen.saturating_sub(budget);
+        let hi = qlen + budget;
+        for len in lo..=hi.min(self.by_len.len().saturating_sub(1)) {
+            for (form, hit) in &self.by_len[len] {
+                // Never fuzzy-match against short code forms: an edit on a
+                // 2–3 char code is a different code, not a typo.
+                if len <= 3 {
+                    continue;
+                }
+                if let Some(d) = levenshtein_within(&lower, form, budget) {
+                    if d > 0 && d < best {
+                        best = d;
+                        hits.clear();
+                    }
+                    if d > 0 && d == best {
+                        hits.push(Hit {
+                            distance: d,
+                            ..*hit
+                        });
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Fuzzy lookup restricted to one semantic type.
+    pub fn lookup_fuzzy_typed(&self, query: &str, t: SemanticType) -> Vec<Hit> {
+        self.lookup_fuzzy(query)
+            .into_iter()
+            .filter(|h| h.semantic_type == t)
+            .collect()
+    }
+
+    /// All entries for a type (passthrough to the static data).
+    pub fn entries(&self, t: SemanticType) -> &'static [Entry] {
+        entries(t)
+    }
+}
+
+impl Default for Gazetteer {
+    fn default() -> Self {
+        Gazetteer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_lookup_is_case_insensitive() {
+        let g = Gazetteer::new();
+        let hits = g.lookup_exact("usa");
+        assert!(hits
+            .iter()
+            .any(|h| h.semantic_type == SemanticType::Country && h.form_text() == "USA"));
+        let hits = g.lookup_exact("BOSTON");
+        assert!(hits.iter().any(|h| h.semantic_type == SemanticType::City));
+    }
+
+    #[test]
+    fn fuzzy_repairs_typos() {
+        let g = Gazetteer::new();
+        // bleu → blue (distance 2 ≤ budget 1? "bleu" has 4 chars → budget 1).
+        // Transposition costs 2 under plain Levenshtein, so use a clearer
+        // case first:
+        let hits = g.lookup_fuzzy("Birminxham");
+        assert!(hits
+            .iter()
+            .any(|h| h.form_text() == "Birmingham" && h.distance == 1));
+        let hits = g.lookup_fuzzy("Nevad");
+        assert!(hits
+            .iter()
+            .any(|h| h.semantic_type == SemanticType::State && h.form_text() == "Nevada"));
+    }
+
+    #[test]
+    fn short_codes_never_fuzzy_match() {
+        let g = Gazetteer::new();
+        assert!(g.lookup_fuzzy("XQ").is_empty());
+        // "PR0" (digit zero) must not fuzz onto 3-letter code "PRO".
+        assert!(g.lookup_fuzzy("PR0").is_empty());
+    }
+
+    #[test]
+    fn fuzzy_returns_minimal_distance_ties() {
+        let g = Gazetteer::new();
+        let hits = g.lookup_fuzzy("Pariss");
+        assert!(!hits.is_empty());
+        let d = hits[0].distance;
+        assert!(hits.iter().all(|h| h.distance == d));
+        assert!(hits.iter().any(|h| h.form_text() == "Paris"));
+    }
+
+    #[test]
+    fn typed_filter() {
+        let g = Gazetteer::new();
+        // "May" is a month; restrict to FirstName → no hit expected since
+        // May is not in our first-name list.
+        let hits = g.lookup_fuzzy_typed("May", SemanticType::Month);
+        assert!(!hits.is_empty());
+        let hits = g.lookup_fuzzy_typed("May", SemanticType::Color);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn entry_form_access() {
+        let g = Gazetteer::new();
+        let hit = g.lookup_exact("usa")[0];
+        assert_eq!(hit.entry_form(0), Some("United States"));
+        assert_eq!(hit.entry_form(1), Some("US"));
+        assert_eq!(hit.entry_form(9), None);
+    }
+
+    #[test]
+    fn ambiguous_surfaces_return_all_types() {
+        let g = Gazetteer::new();
+        let hits = g.lookup_exact("new york");
+        let types: Vec<SemanticType> = hits.iter().map(|h| h.semantic_type).collect();
+        assert!(types.contains(&SemanticType::City));
+        assert!(types.contains(&SemanticType::State));
+    }
+}

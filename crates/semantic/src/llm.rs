@@ -1,0 +1,444 @@
+//! The language-model interface and its deterministic gazetteer-backed
+//! implementation.
+//!
+//! The paper drives semantic abstraction with GPT-3.5 (§3.2). We cannot ship
+//! a hosted LLM, so [`GazetteerLlm`] reproduces the *contract*: it receives
+//! the actual Figure-3 prompt, reads the column back out, and produces one
+//! masked value per line — masking substrings of the twenty types,
+//! repairing misspellings via bounded-edit-distance lookup, and normalizing
+//! to the surface form the majority of the column uses (the in-context
+//! behaviour that turns `usa` into `US` when the column writes ISO-2 codes).
+//! Any other model can be plugged in through [`LanguageModel`].
+
+use std::collections::HashMap;
+
+use crate::gazetteer::{Gazetteer, Hit};
+use crate::prompt::{parse_prompt_values, OUTPUT_MARKER};
+use crate::spans::{candidate_spans, Span};
+use crate::types::SemanticType;
+
+/// A completion-style language model.
+pub trait LanguageModel {
+    /// Completes a prompt, returning the generated text.
+    fn complete(&self, prompt: &str) -> String;
+
+    /// Model identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Configuration for the gazetteer-backed mock LLM.
+#[derive(Debug, Clone)]
+pub struct GazetteerLlmConfig {
+    /// Mask a semantic type only when at least this fraction of batch values
+    /// contains a hit of that type (the whole-column-context effect).
+    pub min_type_support: f64,
+    /// …and at least this many values.
+    pub min_type_count: usize,
+    /// Types the model is allowed to mask. Defaults to the Sherlock-style
+    /// set: every type except [`SemanticType::Category`] and
+    /// [`SemanticType::Gender`] (short-code domains the paper's Figure 2
+    /// shows being handled *syntactically* via disjunctions).
+    pub mask_types: Vec<SemanticType>,
+    /// When false, masked substrings are reproduced verbatim instead of
+    /// being repaired/normalized — the "Limited semantic concretization"
+    /// ablation of paper §5.4.1.
+    pub repair_in_mask: bool,
+}
+
+impl Default for GazetteerLlmConfig {
+    fn default() -> Self {
+        GazetteerLlmConfig {
+            min_type_support: 0.5,
+            min_type_count: 2,
+            mask_types: SemanticType::ALL
+                .into_iter()
+                .filter(|t| !matches!(t, SemanticType::Category | SemanticType::Gender))
+                .collect(),
+            repair_in_mask: true,
+        }
+    }
+}
+
+/// Deterministic mock LLM over the gazetteer knowledge base.
+#[derive(Debug, Default)]
+pub struct GazetteerLlm {
+    gaz: Gazetteer,
+    cfg: GazetteerLlmConfig,
+}
+
+impl GazetteerLlm {
+    /// Builds the model with default configuration.
+    pub fn new() -> GazetteerLlm {
+        GazetteerLlm {
+            gaz: Gazetteer::new(),
+            cfg: GazetteerLlmConfig::default(),
+        }
+    }
+
+    /// Builds the model with explicit configuration.
+    pub fn with_config(cfg: GazetteerLlmConfig) -> GazetteerLlm {
+        GazetteerLlm {
+            gaz: Gazetteer::new(),
+            cfg,
+        }
+    }
+
+    /// Access to the underlying knowledge base.
+    pub fn gazetteer(&self) -> &Gazetteer {
+        &self.gaz
+    }
+
+    /// Masks a whole column (the semantics behind `complete`).
+    pub fn mask_column(&self, values: &[String]) -> Vec<String> {
+        // Pass 1: per-value span hits, filtered to maskable types.
+        let all_hits: Vec<Vec<(Span, Hit)>> = values
+            .iter()
+            .map(|v| self.value_hits(v))
+            .collect();
+
+        // Type support across the batch: in how many values does each type
+        // appear at all?
+        let mut support: HashMap<SemanticType, usize> = HashMap::new();
+        for hits in &all_hits {
+            let mut seen: Vec<SemanticType> = Vec::new();
+            for (_, h) in hits {
+                if !seen.contains(&h.semantic_type) {
+                    seen.push(h.semantic_type);
+                    *support.entry(h.semantic_type).or_insert(0) += 1;
+                }
+            }
+        }
+        let n = values.iter().filter(|v| !v.trim().is_empty()).count().max(1);
+        let kept: Vec<SemanticType> = SemanticType::ALL
+            .into_iter()
+            .filter(|t| {
+                support.get(t).is_some_and(|&c| {
+                    c >= self.cfg.min_type_count && c as f64 / n as f64 >= self.cfg.min_type_support
+                })
+            })
+            .collect();
+
+        // Majority surface form per kept type (among exact hits).
+        let mut form_votes: HashMap<SemanticType, HashMap<usize, usize>> = HashMap::new();
+        for hits in &all_hits {
+            for (_, h) in hits {
+                if h.distance == 0 && kept.contains(&h.semantic_type) {
+                    *form_votes
+                        .entry(h.semantic_type)
+                        .or_default()
+                        .entry(h.form)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        let majority_form: HashMap<SemanticType, usize> = form_votes
+            .into_iter()
+            .map(|(t, votes)| {
+                let best = votes
+                    .into_iter()
+                    .max_by_key(|&(form, count)| (count, std::cmp::Reverse(form)))
+                    .map(|(form, _)| form)
+                    .unwrap_or(0);
+                (t, best)
+            })
+            .collect();
+
+        // Pass 2: greedy non-overlapping masking per value.
+        values
+            .iter()
+            .zip(&all_hits)
+            .map(|(v, hits)| self.mask_value(v, hits, &kept, &majority_form))
+            .collect()
+    }
+
+    fn value_hits(&self, value: &str) -> Vec<(Span, Hit)> {
+        let chars: Vec<char> = value.chars().collect();
+        let mut out = Vec::new();
+        for span in candidate_spans(value) {
+            // A short code form (`DE`, `PRO`) adjacent to an alphanumeric
+            // character is a word fragment, not a code: `de` inside `Rh0de`
+            // must not match Delaware.
+            if span.lookup.chars().count() <= 3 {
+                let before = span.start.checked_sub(1).map(|i| chars[i]);
+                let after = chars.get(span.start + span.len).copied();
+                if before.is_some_and(|c| c.is_ascii_alphanumeric())
+                    || after.is_some_and(|c| c.is_ascii_alphanumeric())
+                {
+                    continue;
+                }
+            }
+            let mut hits = self.gaz.lookup_fuzzy(&span.lookup);
+            if hits.is_empty() {
+                // Visual-typo inversion inside the span (Rh0de → Rhode).
+                let inverted = invert_visual_typos(&span.lookup);
+                if inverted != span.lookup {
+                    hits = self
+                        .gaz
+                        .lookup_fuzzy(&inverted)
+                        .into_iter()
+                        .map(|h| Hit { distance: h.distance.max(1), ..h })
+                        .collect();
+                }
+            }
+            for h in hits {
+                if self.cfg.mask_types.contains(&h.semantic_type) {
+                    out.push((span.clone(), h));
+                }
+            }
+        }
+        // Whole-value strategies for values a spurious delimiter or typo
+        // broke apart (Flo_rida → Florida): strip non-alphanumerics, invert
+        // visual typos, and look the collapsed surface up as one span.
+        let n_chars = value.chars().count();
+        let alpha: usize = value.chars().filter(|c| c.is_ascii_alphabetic()).count();
+        // Only reach for whole-value repair when no ordinary span already
+        // accounts for the value's alphabetic content — `(Liverpool)` is a
+        // wrapped entity, not a broken one.
+        let best_covered = out.iter().map(|(s, _)| s.len).max().unwrap_or(0);
+        if alpha >= 4 && best_covered < alpha {
+            let stripped: String = value
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric() || *c == ' ')
+                .collect();
+            for candidate in [stripped.clone(), invert_visual_typos(&stripped)] {
+                let trimmed = candidate.trim();
+                if trimmed.chars().count() < 4 {
+                    continue;
+                }
+                // Granularity guard (§3.2): a whole-value mask must not
+                // swallow residual digits — `dark green 2` is a color plus
+                // a number, not one concept.
+                if trimmed.chars().any(|c| c.is_ascii_digit()) {
+                    continue;
+                }
+                let hits = self.gaz.lookup_fuzzy(trimmed);
+                if !hits.is_empty() {
+                    let span = Span {
+                        start: 0,
+                        len: n_chars,
+                        lookup: trimmed.to_string(),
+                    };
+                    for h in hits {
+                        if self.cfg.mask_types.contains(&h.semantic_type) {
+                            out.push((span.clone(), Hit { distance: h.distance.max(1), ..h }));
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        // Greedy masking prefers longer spans; keep the list sorted that
+        // way even after the whole-value strategies appended entries.
+        out.sort_by_key(|(s, h)| (std::cmp::Reverse(s.len), s.start, h.distance));
+        out
+    }
+
+    fn mask_value(
+        &self,
+        value: &str,
+        hits: &[(Span, Hit)],
+        kept: &[SemanticType],
+        majority_form: &HashMap<SemanticType, usize>,
+    ) -> String {
+        // Choose non-overlapping spans greedily (hits are already in
+        // longest-first span order); prefer the kept type listed earliest in
+        // SemanticType::ALL when a span is ambiguous.
+        let mut chosen: Vec<(Span, Hit)> = Vec::new();
+        for (span, hit) in hits {
+            if !kept.contains(&hit.semantic_type) {
+                continue;
+            }
+            if chosen.iter().any(|(s, _)| s.overlaps(span)) {
+                // Same span may carry several typed hits; keep the first
+                // (ALL-ordered via kept iteration below). Overlap with a
+                // *different* span blocks outright.
+                continue;
+            }
+            // Ambiguity resolution: among all hits on this same span, pick
+            // the kept type with the smallest ALL-index.
+            let mut best = *hit;
+            for (s2, h2) in hits {
+                if s2 == span
+                    && kept.contains(&h2.semantic_type)
+                    && type_rank(h2.semantic_type) < type_rank(best.semantic_type)
+                {
+                    best = *h2;
+                }
+            }
+            chosen.push((span.clone(), best));
+        }
+        chosen.sort_by_key(|(s, _)| s.start);
+
+        // Render: copy chars, replacing chosen spans with {type(suggestion)}.
+        let chars: Vec<char> = value.chars().collect();
+        let mut out = String::with_capacity(value.len() + 16);
+        let mut pos = 0usize;
+        for (span, hit) in &chosen {
+            while pos < span.start {
+                out.push(chars[pos]);
+                pos += 1;
+            }
+            let original: String = chars[span.start..span.start + span.len].iter().collect();
+            let suggestion: String = if self.cfg.repair_in_mask {
+                let form = majority_form
+                    .get(&hit.semantic_type)
+                    .copied()
+                    .unwrap_or(hit.form);
+                let form_text = hit.entry_form(form).unwrap_or_else(|| hit.form_text());
+                if hit.distance == 0
+                    && form == hit.form
+                    && original.eq_ignore_ascii_case(form_text)
+                {
+                    // Exact hit already in the column-majority form: keep
+                    // the user's spelling (case included). Only genuine
+                    // repairs (fuzzy hits, aliases) and form switches
+                    // rewrite.
+                    original
+                } else {
+                    hit.entry_form(form).unwrap_or_else(|| hit.form_text()).to_string()
+                }
+            } else {
+                // Limited mode: re-use the original substring verbatim.
+                original
+            };
+            out.push('{');
+            out.push_str(hit.semantic_type.name());
+            out.push('(');
+            out.push_str(&suggestion);
+            out.push_str(")}");
+            pos = span.start + span.len;
+        }
+        while pos < chars.len() {
+            out.push(chars[pos]);
+            pos += 1;
+        }
+        out
+    }
+}
+
+/// The §4.2 visually-inspired typo map, inverted (digits back to letters).
+fn invert_visual_typos(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            '0' => 'o',
+            '1' => 'l',
+            '3' => 'e',
+            '4' => 'a',
+            '7' => 't',
+            '5' => 's',
+            other => other,
+        })
+        .collect()
+}
+
+fn type_rank(t: SemanticType) -> usize {
+    SemanticType::ALL
+        .iter()
+        .position(|x| *x == t)
+        .unwrap_or(usize::MAX)
+}
+
+impl LanguageModel for GazetteerLlm {
+    fn complete(&self, prompt: &str) -> String {
+        debug_assert!(
+            prompt.contains(OUTPUT_MARKER),
+            "prompt must end with the output marker"
+        );
+        let values = parse_prompt_values(prompt);
+        let masked = self.mask_column(&values);
+        masked.join("\n")
+    }
+
+    fn name(&self) -> &'static str {
+        "gazetteer-llm-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(values: &[&str]) -> Vec<String> {
+        let llm = GazetteerLlm::new();
+        llm.mask_column(&values.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn figure2_column_masks_countries_not_categories() {
+        let out = mask(&[
+            "Ind-674-PRO",
+            "usa_837",
+            "Alg-173-PRO",
+            "US-201-QUA",
+            "Chn-924-QUA",
+            "FR-475-PRO",
+        ]);
+        // Countries are masked; the PRO/QUA suffixes stay syntactic.
+        assert!(out[0].starts_with("{country("));
+        assert!(out[0].ends_with("-674-PRO"), "{}", out[0]);
+        assert!(out[1].starts_with("{country("), "{}", out[1]);
+        assert!(out[1].ends_with("_837"));
+        assert!(!out[0].contains("category"));
+    }
+
+    #[test]
+    fn majority_form_normalizes_suggestions() {
+        // Column predominantly ISO-2 (form index 1): usa normalizes to US.
+        let out = mask(&["US-1", "FR-2", "DE-3", "usa-4", "IT-5"]);
+        assert_eq!(out[3], "{country(US)}-4", "{out:?}");
+        assert_eq!(out[0], "{country(US)}-1");
+    }
+
+    #[test]
+    fn example1_colors_with_spelling_repair() {
+        let out = mask(&["red 1", "dark green 2", "blue phone 3", "bluee 4"]);
+        assert_eq!(out[0], "{color(red)} 1");
+        assert_eq!(out[1], "{color(dark green)} 2");
+        assert_eq!(out[2], "{color(blue)} phone 3");
+        // "bluee" (5 chars, budget 1) repairs to blue.
+        assert_eq!(out[3], "{color(blue)} 4");
+    }
+
+    #[test]
+    fn unsupported_types_stay_unmasked() {
+        // One stray city name in a non-semantic column: support too low.
+        let out = mask(&["x-1", "y-2", "Boston", "z-4", "w-5"]);
+        assert_eq!(out[2], "Boston");
+    }
+
+    #[test]
+    fn quarters_stay_syntactic() {
+        // §3.2 granularity: Q4-2002 must not be masked wholesale.
+        let out = mask(&["Q4-2002", "Q3-2002", "Q32001"]);
+        assert_eq!(out, vec!["Q4-2002", "Q3-2002", "Q32001"]);
+    }
+
+    #[test]
+    fn dotted_abbreviations_repair() {
+        let out = mask(&["US-1", "u.k.-392", "DE-7", "FR-9"]);
+        assert_eq!(out[1], "{country(GB)}-392");
+    }
+
+    #[test]
+    fn complete_round_trip_through_prompt() {
+        use crate::prompt::build_prompts;
+        let llm = GazetteerLlm::new();
+        let values: Vec<String> = ["US-1", "FR-2", "usa-3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let batches = build_prompts("Code", &values, &llm.cfg.mask_types);
+        let response = llm.complete(&batches[0].prompt);
+        let lines: Vec<&str> = response.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2], "{country(US)}-3");
+    }
+
+    #[test]
+    fn ambiguous_span_prefers_earlier_type() {
+        // "New York" is city and state; with both supported, city (earlier
+        // in ALL) wins.
+        let out = mask(&["New York", "Boston", "Chicago", "New York"]);
+        assert!(out[0].starts_with("{city("), "{}", out[0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! The twenty semantic types DataVinci masks.
+//!
+//! Paper §3.2: "Sherlock, a prior work on semantic type detection, introduced
+//! a method to classify a column as one of 78 popular semantic types … We
+//! take the 20 most frequently occurring semantic types, which cover 99.2% of
+//! values with a detected semantic type." We fix a comparable top-20 set;
+//! the exact membership matters less than having a closed, typed vocabulary
+//! the mask/concretize machinery operates over.
+
+/// A maskable semantic type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SemanticType {
+    /// Countries (forms: full name, ISO-2, ISO-3).
+    Country,
+    /// Cities.
+    City,
+    /// US states (forms: full name, USPS code).
+    State,
+    /// Given names.
+    FirstName,
+    /// Family names.
+    LastName,
+    /// Calendar months (forms: full, 3-letter).
+    Month,
+    /// Weekdays (forms: full, 3-letter).
+    Weekday,
+    /// Colors.
+    Color,
+    /// Currencies (forms: full name, ISO code).
+    Currency,
+    /// Languages.
+    Language,
+    /// Continents.
+    Continent,
+    /// Nationalities.
+    Nationality,
+    /// Companies.
+    Company,
+    /// Sports teams.
+    Team,
+    /// Genders (forms: full, 1-letter code).
+    Gender,
+    /// Competition categories (forms: full, 3-letter code) — e.g.
+    /// Professional/PRO, the Figure-2 suffix domain.
+    Category,
+    /// Sports.
+    Sport,
+    /// Workflow statuses.
+    Status,
+    /// Religions.
+    Religion,
+    /// Compass/market regions.
+    Region,
+}
+
+impl SemanticType {
+    /// All twenty types.
+    pub const ALL: [SemanticType; 20] = [
+        SemanticType::Country,
+        SemanticType::City,
+        SemanticType::State,
+        SemanticType::FirstName,
+        SemanticType::LastName,
+        SemanticType::Month,
+        SemanticType::Weekday,
+        SemanticType::Color,
+        SemanticType::Currency,
+        SemanticType::Language,
+        SemanticType::Continent,
+        SemanticType::Nationality,
+        SemanticType::Company,
+        SemanticType::Team,
+        SemanticType::Gender,
+        SemanticType::Category,
+        SemanticType::Sport,
+        SemanticType::Status,
+        SemanticType::Religion,
+        SemanticType::Region,
+    ];
+
+    /// Stable lowercase name, used in prompt/mask syntax: `{country(US)}`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SemanticType::Country => "country",
+            SemanticType::City => "city",
+            SemanticType::State => "state",
+            SemanticType::FirstName => "firstname",
+            SemanticType::LastName => "lastname",
+            SemanticType::Month => "month",
+            SemanticType::Weekday => "weekday",
+            SemanticType::Color => "color",
+            SemanticType::Currency => "currency",
+            SemanticType::Language => "language",
+            SemanticType::Continent => "continent",
+            SemanticType::Nationality => "nationality",
+            SemanticType::Company => "company",
+            SemanticType::Team => "team",
+            SemanticType::Gender => "gender",
+            SemanticType::Category => "category",
+            SemanticType::Sport => "sport",
+            SemanticType::Status => "status",
+            SemanticType::Religion => "religion",
+            SemanticType::Region => "region",
+        }
+    }
+
+    /// Parses the lowercase name back into a type.
+    pub fn parse(name: &str) -> Option<SemanticType> {
+        SemanticType::ALL.into_iter().find(|t| t.name() == name)
+    }
+
+    /// Capitalized display name used when rendering patterns (`{Country}`).
+    pub fn display_name(&self) -> String {
+        let name = self.name();
+        let mut out = String::with_capacity(name.len());
+        let mut chars = name.chars();
+        if let Some(c) = chars.next() {
+            out.extend(c.to_uppercase());
+        }
+        out.extend(chars);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_types() {
+        assert_eq!(SemanticType::ALL.len(), 20);
+    }
+
+    #[test]
+    fn names_parse_round_trip() {
+        for t in SemanticType::ALL {
+            assert_eq!(SemanticType::parse(t.name()), Some(t));
+        }
+        assert_eq!(SemanticType::parse("quarter"), None);
+    }
+
+    #[test]
+    fn display_names_capitalized() {
+        assert_eq!(SemanticType::Country.display_name(), "Country");
+        assert_eq!(SemanticType::FirstName.display_name(), "Firstname");
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = SemanticType::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+}

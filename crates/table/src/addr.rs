@@ -1,0 +1,56 @@
+//! Stable cell and column addressing.
+
+use std::fmt;
+
+/// A column index within a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef(pub usize);
+
+/// A (column, row) cell address within a table.
+///
+/// Detection and repair results are reported against cell addresses so they
+/// can be scored against benchmark ground truth regardless of value content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellRef {
+    /// Column index.
+    pub col: usize,
+    /// Row index (0-based, excluding the header).
+    pub row: usize,
+}
+
+impl CellRef {
+    /// Builds a cell reference.
+    pub fn new(col: usize, row: usize) -> Self {
+        CellRef { col, row }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "col{}", self.0)
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}r{}", self.col, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ColRef(3).to_string(), "col3");
+        assert_eq!(CellRef::new(1, 9).to_string(), "c1r9");
+    }
+
+    #[test]
+    fn ordering_is_column_major() {
+        let a = CellRef::new(0, 5);
+        let b = CellRef::new(1, 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,136 @@
+//! Named columns of cell values.
+
+use crate::value::CellValue;
+
+/// A named column: the unit DataVinci cleans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    values: Vec<CellValue>,
+}
+
+impl Column {
+    /// Builds a column from a name and values.
+    pub fn new(name: impl Into<String>, values: Vec<CellValue>) -> Self {
+        Column {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Builds a text column from raw strings (each parsed spreadsheet-style).
+    pub fn parse(name: impl Into<String>, raw: &[&str]) -> Self {
+        Column::new(name, raw.iter().map(|s| CellValue::parse(s)).collect())
+    }
+
+    /// Builds a column whose every cell is text, verbatim (no parsing).
+    pub fn from_texts<S: AsRef<str>>(name: impl Into<String>, raw: &[S]) -> Self {
+        Column::new(
+            name,
+            raw.iter().map(|s| CellValue::text(s.as_ref())).collect(),
+        )
+    }
+
+    /// Column name (header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All cell values.
+    pub fn values(&self) -> &[CellValue] {
+        &self.values
+    }
+
+    /// Mutable access to all cell values.
+    pub fn values_mut(&mut self) -> &mut Vec<CellValue> {
+        &mut self.values
+    }
+
+    /// The value at `row`, if in bounds.
+    pub fn get(&self, row: usize) -> Option<&CellValue> {
+        self.values.get(row)
+    }
+
+    /// Overwrites the value at `row`. Panics if out of bounds.
+    pub fn set(&mut self, row: usize, value: CellValue) {
+        self.values[row] = value;
+    }
+
+    /// Iterates over `(row, text)` for every *text* cell.
+    ///
+    /// DataVinci learns patterns over the string values of a column; numeric
+    /// or blank cells are not part of the string language.
+    pub fn text_rows(&self) -> impl Iterator<Item = (usize, &str)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_text().map(|s| (i, s)))
+    }
+
+    /// All string contents rendered for display, one per row (non-text cells
+    /// use their spreadsheet rendering). Useful for profiling whole columns.
+    pub fn rendered(&self) -> Vec<String> {
+        self.values.iter().map(|v| v.render()).collect()
+    }
+
+    /// Fraction of cells that are text.
+    pub fn text_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let n = self.values.iter().filter(|v| v.is_text()).count();
+        n as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_mixed_cells() {
+        let c = Column::parse("x", &["a", "1", "", "TRUE"]);
+        assert_eq!(c.len(), 4);
+        assert!(c.get(0).unwrap().is_text());
+        assert!(c.get(1).unwrap().is_number());
+        assert!(c.get(2).unwrap().is_blank());
+        assert!(c.get(3).unwrap().is_bool());
+    }
+
+    #[test]
+    fn from_texts_never_parses() {
+        let c = Column::from_texts("x", &["1", "TRUE"]);
+        assert!(c.get(0).unwrap().is_text());
+        assert!(c.get(1).unwrap().is_text());
+    }
+
+    #[test]
+    fn text_rows_skips_non_text() {
+        let c = Column::parse("x", &["a", "1", "b"]);
+        let rows: Vec<_> = c.text_rows().collect();
+        assert_eq!(rows, vec![(0, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn text_fraction() {
+        let c = Column::parse("x", &["a", "1", "b", "c"]);
+        assert!((c.text_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut c = Column::from_texts("x", &["a"]);
+        c.set(0, CellValue::text("b"));
+        assert_eq!(c.get(0).unwrap().as_text(), Some("b"));
+    }
+}

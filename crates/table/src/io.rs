@@ -1,0 +1,173 @@
+//! Minimal CSV reader/writer for examples and fixtures.
+//!
+//! Supports RFC-4180-style quoting (`"a,b"`, doubled quotes). This is not a
+//! general CSV library — it exists so examples and tests can round-trip small
+//! tables without external dependencies.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::CellValue;
+
+/// Parses CSV text with a header row into a [`Table`].
+///
+/// All cells are parsed spreadsheet-style (see [`CellValue::parse`]).
+/// Returns `None` for ragged input (rows with differing field counts).
+pub fn parse_csv(text: &str) -> Option<Table> {
+    let mut rows = Vec::new();
+    for line in split_records(text) {
+        rows.push(split_fields(&line));
+    }
+    let header = rows.first()?;
+    let n = header.len();
+    if rows.iter().any(|r| r.len() != n) {
+        return None;
+    }
+    let mut cols: Vec<Vec<CellValue>> = vec![Vec::with_capacity(rows.len() - 1); n];
+    for row in &rows[1..] {
+        for (c, field) in row.iter().enumerate() {
+            cols[c].push(CellValue::parse(field));
+        }
+    }
+    Some(Table::new(
+        header
+            .iter()
+            .zip(cols)
+            .map(|(name, values)| Column::new(name.clone(), values))
+            .collect(),
+    ))
+}
+
+/// Renders a table to CSV text with a header row.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let headers: Vec<String> = table.headers().iter().map(|h| quote(h)).collect();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for r in 0..table.n_rows() {
+        let fields: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| quote(&c.get(r).map(CellValue::render).unwrap_or_default()))
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits CSV text into logical records, respecting quoted newlines.
+fn split_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for ch in text.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(ch);
+            }
+            '\n' if !in_quotes => {
+                if !cur.is_empty() || !records.is_empty() {
+                    records.push(std::mem::take(&mut cur));
+                }
+            }
+            '\r' if !in_quotes => {}
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.is_empty() {
+        records.push(cur);
+    }
+    // Drop a trailing fully-empty record produced by a final newline.
+    while records.last().is_some_and(|r| r.is_empty()) {
+        records.pop();
+    }
+    records
+}
+
+/// Splits one record into unquoted field strings.
+fn split_fields(record: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = record.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(ch),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let csv = "a,b\nx,1\ny,2\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(to_csv(&t), csv);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "a\n\"x,y\"\n\"he said \"\"hi\"\"\"\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.column(0).unwrap().get(0).unwrap().as_text(), Some("x,y"));
+        assert_eq!(
+            t.column(0).unwrap().get(1).unwrap().as_text(),
+            Some("he said \"hi\"")
+        );
+    }
+
+    #[test]
+    fn quoted_newline() {
+        let csv = "a\n\"x\ny\"\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.column(0).unwrap().get(0).unwrap().as_text(), Some("x\ny"));
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        assert!(parse_csv("a,b\nx\n").is_none());
+    }
+
+    #[test]
+    fn numbers_parse_on_read() {
+        let t = parse_csv("n\n42\n").unwrap();
+        assert!(t.column(0).unwrap().get(0).unwrap().is_number());
+    }
+
+    #[test]
+    fn quoting_special_chars_on_write() {
+        let t = Table::new(vec![Column::from_texts("h", &["a,b", "q\"q"])]);
+        let csv = to_csv(&t);
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"q\""));
+        let back = parse_csv(&csv).unwrap();
+        assert_eq!(back.column(0).unwrap().get(0).unwrap().as_text(), Some("a,b"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Tables: equally-long named columns with row access.
+
+use crate::addr::CellRef;
+use crate::column::Column;
+use crate::value::CellValue;
+
+/// A table of named columns.
+///
+/// Invariant: all columns have the same number of rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Builds a table from columns.
+    ///
+    /// # Panics
+    /// Panics if columns have differing lengths — benchmark builders construct
+    /// rectangular tables by design, so a ragged input is a programming error.
+    pub fn new(columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            assert!(
+                columns.iter().all(|c| c.len() == n),
+                "all table columns must have equal length"
+            );
+        }
+        Table { columns }
+    }
+
+    /// An empty table.
+    pub fn empty() -> Self {
+        Table::default()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Mutable column by index.
+    pub fn column_mut(&mut self, idx: usize) -> Option<&mut Column> {
+        self.columns.get_mut(idx)
+    }
+
+    /// Column index by (case-sensitive) header name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Column by header name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).and_then(|i| self.column(i))
+    }
+
+    /// The cell at `cell`, if in bounds.
+    pub fn cell(&self, cell: CellRef) -> Option<&CellValue> {
+        self.columns.get(cell.col).and_then(|c| c.get(cell.row))
+    }
+
+    /// Overwrites a cell. Panics if out of bounds.
+    pub fn set_cell(&mut self, cell: CellRef, value: CellValue) {
+        self.columns[cell.col].set(cell.row, value);
+    }
+
+    /// The row tuple at `row` as a vector of cell references.
+    pub fn row(&self, row: usize) -> Vec<&CellValue> {
+        self.columns
+            .iter()
+            .filter_map(|c| c.get(row))
+            .collect()
+    }
+
+    /// Appends a column.
+    ///
+    /// # Panics
+    /// Panics if the new column's length disagrees with the table.
+    pub fn push_column(&mut self, column: Column) {
+        if !self.columns.is_empty() {
+            assert_eq!(
+                column.len(),
+                self.n_rows(),
+                "appended column length must match table"
+            );
+        }
+        self.columns.push(column);
+    }
+
+    /// Header names in column order.
+    pub fn headers(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name()).collect()
+    }
+
+    /// Iterates over all cell addresses in column-major order.
+    pub fn cell_refs(&self) -> impl Iterator<Item = CellRef> + '_ {
+        let rows = self.n_rows();
+        (0..self.n_cols()).flat_map(move |c| (0..rows).map(move |r| CellRef::new(c, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(vec![
+            Column::from_texts("a", &["x", "y"]),
+            Column::from_texts("b", &["1", "2"]),
+        ])
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = t();
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.headers(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let t = t();
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_by_name("a").unwrap().len(), 2);
+        assert!(t.column_by_name("zz").is_none());
+    }
+
+    #[test]
+    fn cell_addressing() {
+        let mut t = t();
+        let cr = CellRef::new(1, 0);
+        assert_eq!(t.cell(cr).unwrap().as_text(), Some("1"));
+        t.set_cell(cr, CellValue::text("9"));
+        assert_eq!(t.cell(cr).unwrap().as_text(), Some("9"));
+        assert!(t.cell(CellRef::new(5, 0)).is_none());
+    }
+
+    #[test]
+    fn row_access() {
+        let t = t();
+        let row = t.row(1);
+        assert_eq!(row.len(), 2);
+        assert_eq!(row[0].as_text(), Some("y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_tables_rejected() {
+        Table::new(vec![
+            Column::from_texts("a", &["x"]),
+            Column::from_texts("b", &["1", "2"]),
+        ]);
+    }
+
+    #[test]
+    fn cell_refs_cover_table() {
+        let t = t();
+        assert_eq!(t.cell_refs().count(), 4);
+    }
+}

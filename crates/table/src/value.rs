@@ -1,0 +1,339 @@
+//! Spreadsheet-style dynamic cell values with Excel-like parsing and coercion.
+
+use std::fmt;
+
+/// Spreadsheet error values, as produced by failing formula executions.
+///
+/// DataVinci's execution-guided repair (paper §3.6) groups rows by whether a
+/// column-transformation program produced an error value; these are the error
+/// kinds our formula engine can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorValue {
+    /// `#VALUE!` — wrong operand type (e.g. arithmetic on non-numeric text).
+    Value,
+    /// `#DIV/0!` — division by zero.
+    Div0,
+    /// `#N/A` — value not available (e.g. `SEARCH` without a match).
+    NA,
+    /// `#NUM!` — invalid numeric argument (e.g. `SQRT(-1)`).
+    Num,
+    /// `#NAME?` — unknown function or name.
+    Name,
+    /// `#REF!` — invalid reference (e.g. missing column).
+    Ref,
+}
+
+impl ErrorValue {
+    /// The canonical Excel rendering, e.g. `#VALUE!`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorValue::Value => "#VALUE!",
+            ErrorValue::Div0 => "#DIV/0!",
+            ErrorValue::NA => "#N/A",
+            ErrorValue::Num => "#NUM!",
+            ErrorValue::Name => "#NAME?",
+            ErrorValue::Ref => "#REF!",
+        }
+    }
+
+    /// Parses a canonical error rendering back into an [`ErrorValue`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "#VALUE!" => Some(ErrorValue::Value),
+            "#DIV/0!" => Some(ErrorValue::Div0),
+            "#N/A" => Some(ErrorValue::NA),
+            "#NUM!" => Some(ErrorValue::Num),
+            "#NAME?" => Some(ErrorValue::Name),
+            "#REF!" => Some(ErrorValue::Ref),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single cell value.
+///
+/// `Text` is by far the dominant variant in real-world string-cleaning
+/// workloads; the remaining variants exist so formula execution and the
+/// `isNum`/`isLogical`/`isError`/`isNA` predicate templates of paper Table 2
+/// have faithful semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// A string value — the target domain of DataVinci.
+    Text(String),
+    /// A numeric value (Excel numbers are all f64).
+    Number(f64),
+    /// A logical value.
+    Bool(bool),
+    /// A spreadsheet error value.
+    Error(ErrorValue),
+    /// An empty cell.
+    Blank,
+}
+
+impl CellValue {
+    /// Builds a text cell.
+    pub fn text(s: impl Into<String>) -> Self {
+        CellValue::Text(s.into())
+    }
+
+    /// Parses a raw string the way a spreadsheet import would: recognizes
+    /// error literals, booleans, numbers, blanks, and falls back to text.
+    ///
+    /// Leading/trailing whitespace is preserved for text (whitespace issues
+    /// are themselves data errors DataVinci should see) but numbers and
+    /// booleans are detected on the trimmed form.
+    pub fn parse(raw: &str) -> Self {
+        if raw.is_empty() {
+            return CellValue::Blank;
+        }
+        let trimmed = raw.trim();
+        if let Some(e) = ErrorValue::parse(trimmed) {
+            return CellValue::Error(e);
+        }
+        match trimmed {
+            "TRUE" => return CellValue::Bool(true),
+            "FALSE" => return CellValue::Bool(false),
+            _ => {}
+        }
+        if trimmed == raw {
+            if let Ok(n) = trimmed.parse::<f64>() {
+                if n.is_finite() {
+                    return CellValue::Number(n);
+                }
+            }
+        }
+        CellValue::Text(raw.to_string())
+    }
+
+    /// True when this is a text cell (paper predicate `isText`).
+    pub fn is_text(&self) -> bool {
+        matches!(self, CellValue::Text(_))
+    }
+
+    /// True when this is a numeric cell (paper predicate `isNum`).
+    pub fn is_number(&self) -> bool {
+        matches!(self, CellValue::Number(_))
+    }
+
+    /// True when this is a logical cell (paper predicate `isLogical`).
+    pub fn is_bool(&self) -> bool {
+        matches!(self, CellValue::Bool(_))
+    }
+
+    /// True when this is any error value (paper predicate `isError`).
+    pub fn is_error(&self) -> bool {
+        matches!(self, CellValue::Error(_))
+    }
+
+    /// True when this is specifically `#N/A` (paper predicate `isNA`).
+    pub fn is_na(&self) -> bool {
+        matches!(self, CellValue::Error(ErrorValue::NA))
+    }
+
+    /// True for the empty cell.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, CellValue::Blank)
+    }
+
+    /// The text content if this is a text cell.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            CellValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content if this is a number cell.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            CellValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Excel-style coercion to a number: numbers pass through, booleans map
+    /// to 0/1, numeric-looking text parses, everything else is `None`.
+    pub fn coerce_number(&self) -> Option<f64> {
+        match self {
+            CellValue::Number(n) => Some(*n),
+            CellValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            CellValue::Text(s) => {
+                let t = s.trim();
+                if t.is_empty() {
+                    None
+                } else {
+                    t.parse::<f64>().ok().filter(|n| n.is_finite())
+                }
+            }
+            CellValue::Blank => Some(0.0),
+            CellValue::Error(_) => None,
+        }
+    }
+
+    /// Excel-style coercion to text: the rendering a formula like `CONCAT`
+    /// would observe. Errors do not coerce (formula engines propagate them).
+    pub fn coerce_text(&self) -> Option<String> {
+        match self {
+            CellValue::Text(s) => Some(s.clone()),
+            CellValue::Number(n) => Some(format_number(*n)),
+            CellValue::Bool(b) => Some(if *b { "TRUE" } else { "FALSE" }.to_string()),
+            CellValue::Blank => Some(String::new()),
+            CellValue::Error(_) => None,
+        }
+    }
+
+    /// The display rendering used by CSV output and reports.
+    pub fn render(&self) -> String {
+        match self {
+            CellValue::Text(s) => s.clone(),
+            CellValue::Number(n) => format_number(*n),
+            CellValue::Bool(b) => (if *b { "TRUE" } else { "FALSE" }).to_string(),
+            CellValue::Error(e) => e.as_str().to_string(),
+            CellValue::Blank => String::new(),
+        }
+    }
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<&str> for CellValue {
+    fn from(s: &str) -> Self {
+        CellValue::Text(s.to_string())
+    }
+}
+
+impl From<String> for CellValue {
+    fn from(s: String) -> Self {
+        CellValue::Text(s)
+    }
+}
+
+impl From<f64> for CellValue {
+    fn from(n: f64) -> Self {
+        CellValue::Number(n)
+    }
+}
+
+impl From<bool> for CellValue {
+    fn from(b: bool) -> Self {
+        CellValue::Bool(b)
+    }
+}
+
+/// Renders a float the way a spreadsheet shows it: integers without the
+/// trailing `.0`, other values in shortest round-trip form.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_recognizes_numbers() {
+        assert_eq!(CellValue::parse("42"), CellValue::Number(42.0));
+        assert_eq!(CellValue::parse("-3.5"), CellValue::Number(-3.5));
+        assert_eq!(CellValue::parse("1e3"), CellValue::Number(1000.0));
+    }
+
+    #[test]
+    fn parse_recognizes_bools_and_errors() {
+        assert_eq!(CellValue::parse("TRUE"), CellValue::Bool(true));
+        assert_eq!(CellValue::parse("FALSE"), CellValue::Bool(false));
+        assert_eq!(
+            CellValue::parse("#VALUE!"),
+            CellValue::Error(ErrorValue::Value)
+        );
+        assert_eq!(CellValue::parse("#N/A"), CellValue::Error(ErrorValue::NA));
+    }
+
+    #[test]
+    fn parse_keeps_padded_numbers_as_text() {
+        // " 42 " with padding is suspicious string data, not a clean number —
+        // exactly the kind of value a cleaning system must be able to see.
+        assert_eq!(CellValue::parse(" 42 "), CellValue::Text(" 42 ".into()));
+    }
+
+    #[test]
+    fn parse_blank() {
+        assert_eq!(CellValue::parse(""), CellValue::Blank);
+    }
+
+    #[test]
+    fn parse_falls_back_to_text() {
+        assert_eq!(CellValue::parse("Q1-22"), CellValue::Text("Q1-22".into()));
+        assert_eq!(CellValue::parse("03.45"), CellValue::Number(3.45));
+        assert_eq!(
+            CellValue::parse("12/31/2020"),
+            CellValue::Text("12/31/2020".into())
+        );
+    }
+
+    #[test]
+    fn coerce_number_matches_excel() {
+        assert_eq!(CellValue::text("12").coerce_number(), Some(12.0));
+        assert_eq!(CellValue::text(" 12 ").coerce_number(), Some(12.0));
+        assert_eq!(CellValue::text("abc").coerce_number(), None);
+        assert_eq!(CellValue::Bool(true).coerce_number(), Some(1.0));
+        assert_eq!(CellValue::Blank.coerce_number(), Some(0.0));
+        assert_eq!(
+            CellValue::Error(ErrorValue::Value).coerce_number(),
+            None
+        );
+    }
+
+    #[test]
+    fn coerce_text_renders_numbers_plainly() {
+        assert_eq!(CellValue::Number(3.0).coerce_text().unwrap(), "3");
+        assert_eq!(CellValue::Number(3.25).coerce_text().unwrap(), "3.25");
+        assert_eq!(CellValue::Bool(false).coerce_text().unwrap(), "FALSE");
+        assert!(CellValue::Error(ErrorValue::NA).coerce_text().is_none());
+    }
+
+    #[test]
+    fn error_round_trip() {
+        for e in [
+            ErrorValue::Value,
+            ErrorValue::Div0,
+            ErrorValue::NA,
+            ErrorValue::Num,
+            ErrorValue::Name,
+            ErrorValue::Ref,
+        ] {
+            assert_eq!(ErrorValue::parse(e.as_str()), Some(e));
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(CellValue::text("x").is_text());
+        assert!(CellValue::Number(1.0).is_number());
+        assert!(CellValue::Bool(true).is_bool());
+        assert!(CellValue::Error(ErrorValue::NA).is_error());
+        assert!(CellValue::Error(ErrorValue::NA).is_na());
+        assert!(!CellValue::Error(ErrorValue::Value).is_na());
+        assert!(CellValue::Blank.is_blank());
+    }
+
+    #[test]
+    fn format_number_drops_integer_fraction() {
+        assert_eq!(format_number(10.0), "10");
+        assert_eq!(format_number(-2.0), "-2");
+        assert_eq!(format_number(0.5), "0.5");
+    }
+}

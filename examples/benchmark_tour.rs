@@ -1,0 +1,83 @@
+//! A miniature tour of the evaluation (paper §4–5): generate a small
+//! synthetic benchmark, run DataVinci and two baselines, and print
+//! detection/repair metrics side by side.
+//!
+//! Run with: `cargo run --release --example benchmark_tour`
+
+use datavinci::baselines::{GptSim, Wmrr};
+use datavinci::corpus::{synthetic_errors, Scale};
+use datavinci::prelude::*;
+use datavinci::regex::levenshtein;
+
+fn main() {
+    let bench = synthetic_errors(7, Scale { n_tables: 6, row_divisor: 6 });
+    println!(
+        "benchmark: {} tables, {:.1} avg columns, {:.1} avg rows, {:.1}% cells corrupted\n",
+        bench.stats().n_tables,
+        bench.stats().avg_cols,
+        bench.stats().avg_rows,
+        bench.stats().error_rate * 100.0
+    );
+
+    let dv = DataVinci::new();
+    let wmrr = Wmrr::new();
+    let gpt = GptSim::new();
+    let systems: Vec<(&str, &dyn CleaningSystem)> = vec![
+        ("WMRR", &wmrr),
+        ("GPT-3.5 (sim)", &gpt),
+        ("DataVinci", &dv),
+    ];
+
+    println!(
+        "{:<14} {:>9} {:>8} {:>7} {:>15}",
+        "system", "precision", "recall", "fixed", "exact repairs"
+    );
+    for (name, system) in systems {
+        let (mut tp, mut fp, mut fn_, mut exact, mut suggested) = (0, 0, 0, 0, 0);
+        for bt in &bench.tables {
+            for col in 0..bt.dirty.n_cols() {
+                if bt.dirty.column(col).unwrap().text_fraction() < 0.5 {
+                    continue;
+                }
+                let truth: Vec<usize> = bt
+                    .corrupted
+                    .iter()
+                    .filter(|c| c.col == col)
+                    .map(|c| c.row)
+                    .collect();
+                let repairs = system.repair(&bt.dirty, col);
+                suggested += repairs.len();
+                for r in &repairs {
+                    let clean = bt
+                        .clean
+                        .cell(CellRef::new(col, r.row))
+                        .map(|v| v.render())
+                        .unwrap_or_default();
+                    if truth.contains(&r.row) {
+                        tp += 1;
+                    } else {
+                        fp += 1;
+                    }
+                    if r.repaired == clean {
+                        exact += 1;
+                    } else {
+                        // Keep levenshtein linked in so readers can extend
+                        // this into the paper's "possible" metric.
+                        let _ = levenshtein(&r.repaired, &clean);
+                    }
+                }
+                fn_ += truth
+                    .iter()
+                    .filter(|t| !repairs.iter().any(|r| r.row == **t))
+                    .count();
+            }
+        }
+        let p = 100.0 * tp as f64 / (tp + fp).max(1) as f64;
+        let r = 100.0 * tp as f64 / (tp + fn_).max(1) as f64;
+        println!(
+            "{:<14} {:>8.1}% {:>7.1}% {:>7} {:>11}/{}",
+            name, p, r, exact, exact, suggested
+        );
+    }
+    println!("\n(run `cargo run --release -p datavinci-bench --bin table5` for the full Table 5)");
+}

@@ -1,0 +1,52 @@
+//! Semantic abstraction in action (paper §3.2, Example 1 and Figure 1).
+//!
+//! Three columns that defeat purely syntactic cleaners:
+//! * colors with a stray word (`blue phone 3`),
+//! * city names with a misspelling (`Birminxham`),
+//! * parenthesized cities with a structural break (`(NY`).
+//!
+//! Run with: `cargo run --example semantic_cleaning`
+
+use datavinci::prelude::*;
+
+fn clean_and_print(name: &str, values: &[&str]) -> ColumnReport {
+    let table = Table::new(vec![Column::from_texts(name, values)]);
+    let dv = DataVinci::new();
+    let report = dv.clean_column(&table, 0);
+    println!("— column `{name}` {values:?}");
+    println!("  patterns: {:?}", report.significant_patterns);
+    for r in &report.repairs {
+        println!("  repair: {:?} → {:?}", r.original, r.repaired);
+    }
+    if report.repairs.is_empty() {
+        println!("  (no repairs)");
+    }
+    println!();
+    report
+}
+
+fn main() {
+    // Example 1: the pattern must see colors as one symbol to spot `phone`.
+    let report = clean_and_print(
+        "item",
+        &["red 1", "dark green 2", "blue phone 3", "white 4", "navy 5"],
+    );
+    assert_eq!(report.repairs[0].repaired, "blue 3");
+
+    // Figure 1-style misspelled entity, invisible to regex-only systems.
+    let report = clean_and_print(
+        "City",
+        &["Boston", "Miami", "Birminxham", "Chicago", "Seattle"],
+    );
+    assert_eq!(report.repairs[0].repaired, "Birmingham");
+
+    // The introduction's parenthesized-cities example: `(NY` is both a
+    // syntactic (missing `)`) and semantic (non-canonical city) error.
+    let report = clean_and_print(
+        "Venue",
+        &["(Boston)", "(Miami)", "(Denver)", "(Seattle)", "(NY"],
+    );
+    assert_eq!(report.detections.len(), 1);
+    assert_eq!(report.repairs[0].repaired, "(New York)");
+    println!("✓ mixed syntactic+semantic error repaired: (NY → (New York)");
+}

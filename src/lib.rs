@@ -1,0 +1,58 @@
+//! # DataVinci — learning syntactic and semantic string repairs
+//!
+//! A from-scratch Rust reproduction of *DataVinci: Learning Syntactic and
+//! Semantic String Repairs* (Singh, Cambronero, Gulwani, Le, Negreanu,
+//! Verbruggen — SIGMOD/PVLDB; arXiv:2308.10922): a fully unsupervised
+//! system that detects and repairs string data errors in tables, handling
+//! values that mix syntactic structure with semantic substrings.
+//!
+//! This crate is the façade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`table`] | `datavinci-table` | cells, columns, tables, CSV I/O |
+//! | [`regex`] | `datavinci-regex` | pattern language, NFAs, unrolled DAGs |
+//! | [`profile`] | `datavinci-profile` | FlashProfile-style pattern learning |
+//! | [`semantic`] | `datavinci-semantic` | 20 semantic types, mock LLM, masking |
+//! | [`formula`] | `datavinci-formula` | Excel-like formula engine |
+//! | [`core`] | `datavinci-core` | the DataVinci pipeline itself |
+//! | [`baselines`] | `datavinci-baselines` | the 7 evaluated baselines |
+//! | [`corpus`] | `datavinci-corpus` | benchmark generators & noise model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use datavinci::prelude::*;
+//!
+//! let table = Table::new(vec![
+//!     Column::from_texts("Quarter", &["Q4-2002", "Q3-2002", "Q1-2001", "Q2-2002", "Q32001"]),
+//! ]);
+//! let dv = DataVinci::new();
+//! let report = dv.clean_column(&table, 0);
+//! assert_eq!(report.repairs[0].original, "Q32001");
+//! assert_eq!(report.repairs[0].repaired, "Q3-2001");
+//! ```
+//!
+//! See `examples/` for the paper's walk-throughs (Figure 2's
+//! `usa_837 → US-837-PRO`, execution-guided repair, semantic cleaning) and
+//! `crates/bench` for the harness regenerating every evaluation table and
+//! figure.
+
+pub use datavinci_baselines as baselines;
+pub use datavinci_core as core;
+pub use datavinci_corpus as corpus;
+pub use datavinci_formula as formula;
+pub use datavinci_profile as profile;
+pub use datavinci_regex as regex;
+pub use datavinci_semantic as semantic;
+pub use datavinci_table as table;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use datavinci_core::{
+        CleaningSystem, ColumnReport, DataVinci, DataVinciConfig, Detection, ExecGuidedReport,
+        RankingMode, RepairSuggestion, SemanticMode, TableReport,
+    };
+    pub use datavinci_formula::ColumnProgram;
+    pub use datavinci_table::{CellRef, CellValue, Column, ErrorValue, Table};
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the formula engine as the execution substrate:
+//! spreadsheet semantics across function families, error propagation, and
+//! the Excel-Formulas benchmark protocol.
+
+use datavinci::formula::ColumnProgram;
+use datavinci::prelude::*;
+
+fn run_one(src: &str, columns: Vec<Column>) -> Vec<CellValue> {
+    let table = Table::new(columns);
+    ColumnProgram::parse(src).expect("parses").execute(&table)
+}
+
+#[test]
+fn text_pipeline_compositions() {
+    let out = run_one(
+        "=UPPER(LEFT(TRIM([@name]), 3)) & \"-\" & LEN([@name])",
+        vec![Column::from_texts("name", &["  alice  ", "bob"])],
+    );
+    assert_eq!(out[0], CellValue::text("ALI-9"));
+    assert_eq!(out[1], CellValue::text("BOB-3"));
+}
+
+#[test]
+fn numeric_coercions_and_errors() {
+    let out = run_one(
+        "=VALUE([@x]) / 4",
+        vec![Column::from_texts("x", &["100", "1,000", "$2", "abc", ""])],
+    );
+    assert_eq!(out[0], CellValue::Number(25.0));
+    assert_eq!(out[1], CellValue::Number(250.0));
+    assert_eq!(out[2], CellValue::Number(0.5));
+    assert_eq!(out[3], CellValue::Error(ErrorValue::Value));
+    assert_eq!(out[4], CellValue::Error(ErrorValue::Value));
+}
+
+#[test]
+fn date_functions_compose() {
+    let out = run_one(
+        "=YEAR(DATEVALUE([@d])) * 100 + MONTH(DATEVALUE([@d]))",
+        vec![Column::from_texts("d", &["2021-07-14", "3/2/1999", "Q1-22"])],
+    );
+    assert_eq!(out[0], CellValue::Number(202107.0));
+    assert_eq!(out[1], CellValue::Number(199903.0));
+    assert_eq!(out[2], CellValue::Error(ErrorValue::Value));
+}
+
+#[test]
+fn error_values_are_data_not_exceptions() {
+    // ISERROR must observe the inner error without propagating it; the
+    // output column records errors as values.
+    let out = run_one(
+        "=IF(ISERROR(SEARCH(\"-\", [@v])), \"bad\", \"ok\")",
+        vec![Column::from_texts("v", &["a-b", "ab"])],
+    );
+    assert_eq!(out[0], CellValue::text("ok"));
+    assert_eq!(out[1], CellValue::text("bad"));
+}
+
+#[test]
+fn substitution_chain_for_cleanup_formulas() {
+    let out = run_one(
+        "=VALUE(SUBSTITUTE(SUBSTITUTE([@m], \"$\", \"\"), \",\", \"\"))",
+        vec![Column::from_texts("m", &["$1,234.50", "$88.00"])],
+    );
+    assert_eq!(out[0], CellValue::Number(1234.5));
+    assert_eq!(out[1], CellValue::Number(88.0));
+}
+
+#[test]
+fn multi_column_arithmetic() {
+    let out = run_one(
+        "=VALUE([@a]) + VALUE([@b]) * 2",
+        vec![
+            Column::from_texts("a", &["1", "2"]),
+            Column::from_texts("b", &["10", "x"]),
+        ],
+    );
+    assert_eq!(out[0], CellValue::Number(21.0));
+    assert_eq!(out[1], CellValue::Error(ErrorValue::Value));
+}
+
+#[test]
+fn execution_groups_match_error_cells() {
+    let table = Table::new(vec![Column::from_texts(
+        "v",
+        &["10%", "20%", "broken", "30%"],
+    )]);
+    let program = ColumnProgram::parse("=VALUE(SUBSTITUTE([@v], \"%\", \"\"))").unwrap();
+    let groups = program.execution_groups(&table);
+    assert_eq!(groups.successes, vec![0, 1, 3]);
+    assert_eq!(groups.failures, vec![2]);
+    assert!((groups.success_rate() - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn benchmark_cases_execute_under_engine_invariants() {
+    use datavinci::corpus::formula_benchmark;
+    for case in formula_benchmark(99, 5, 3) {
+        // The engine never panics; outputs match row counts on both tables.
+        assert_eq!(case.program.execute(&case.dirty).len(), case.dirty.n_rows());
+        assert_eq!(case.program.execute(&case.clean).len(), case.clean.n_rows());
+        // Failures are caused by corrupted input cells only.
+        let failures = case.program.execution_groups(&case.dirty).failures;
+        for row in failures {
+            assert!(
+                case.corrupted.iter().any(|c| c.row == row),
+                "row {row} fails without a corrupted input in {:?}",
+                case.program.source()
+            );
+        }
+    }
+}
+
+#[test]
+fn repair_head_formula_round_trip() {
+    // Apply DataVinci's exec-guided repair, then confirm the produced table
+    // keeps all clean-row outputs identical (repairs must not disturb
+    // succeeding rows).
+    use datavinci::corpus::formula_benchmark;
+    let dv = DataVinci::new();
+    for case in formula_benchmark(7, 3, 1) {
+        let before = case.program.execute(&case.dirty);
+        let report = dv.clean_with_program(&case.dirty, &case.program);
+        let after = case.program.execute(&report.repaired_table);
+        for row in 0..case.dirty.n_rows() {
+            if !before[row].is_error() {
+                assert_eq!(before[row], after[row], "clean row {row} disturbed");
+            }
+        }
+    }
+}
