@@ -245,11 +245,7 @@ mod tests {
     #[test]
     fn skeleton_realignment() {
         let head = GptRepairHead::new();
-        let fixed = head.repair_value(
-            "id",
-            "AB_12",
-            &nb(&["CD-34", "EF-56", "GH-78", "IJ-90"]),
-        );
+        let fixed = head.repair_value("id", "AB_12", &nb(&["CD-34", "EF-56", "GH-78", "IJ-90"]));
         assert_eq!(fixed, "AB-12");
     }
 

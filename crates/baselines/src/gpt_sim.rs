@@ -77,9 +77,7 @@ impl GptSim {
                 let mut fixed = v.clone();
                 let mut changed = false;
                 for span in datavinci_semantic::spans::candidate_spans(v) {
-                    let hits = self
-                        .gaz
-                        .lookup_fuzzy_typed(&span.lookup, det.semantic_type);
+                    let hits = self.gaz.lookup_fuzzy_typed(&span.lookup, det.semantic_type);
                     if let Some(hit) = hits.first() {
                         if hit.distance > 0 {
                             fixed = splice(&fixed, span.start, span.len, hit.form_text());

@@ -72,10 +72,7 @@ impl HoloCleanLike {
                 .get(&(candidate.to_string(), other.to_string()))
                 .unwrap_or(&0);
             // P(candidate | other) with add-one smoothing over the domain.
-            let other_total: usize = col_values[c]
-                .iter()
-                .filter(|v| v.as_str() == other)
-                .count();
+            let other_total: usize = col_values[c].iter().filter(|v| v.as_str() == other).count();
             score += ((joint + 1) as f64 / (other_total + marginals.len().max(1)) as f64).ln();
         }
         score
@@ -108,8 +105,7 @@ impl HoloCleanLike {
         }
 
         // Pairwise co-occurrence counts (target value, other-column value).
-        let mut cooc: Vec<HashMap<(String, String), usize>> =
-            vec![HashMap::new(); table.n_cols()];
+        let mut cooc: Vec<HashMap<(String, String), usize>> = vec![HashMap::new(); table.n_cols()];
         for (c, counts) in cooc.iter_mut().enumerate() {
             if c == col {
                 continue;

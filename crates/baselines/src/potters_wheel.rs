@@ -71,7 +71,10 @@ impl PottersWheelLike {
         candidates.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s));
 
         // Greedy MDL: add structures while total description length drops.
-        let verbatim: f64 = values.iter().map(|v| v.chars().count().max(1) as f64 * 3.0).sum();
+        let verbatim: f64 = values
+            .iter()
+            .map(|v| v.chars().count().max(1) as f64 * 3.0)
+            .sum();
         let mut chosen: Vec<&str> = Vec::new();
         let mut best_dl = verbatim;
         loop {
@@ -110,7 +113,10 @@ impl PottersWheelLike {
 }
 
 fn description_length(values: &[String], structures: &[String], chosen: &[&str]) -> f64 {
-    let model: f64 = chosen.iter().map(|s| s.chars().count() as f64 * 2.0 + 6.0).sum();
+    let model: f64 = chosen
+        .iter()
+        .map(|s| s.chars().count() as f64 * 2.0 + 6.0)
+        .sum();
     let data: f64 = values
         .iter()
         .zip(structures)
@@ -163,7 +169,14 @@ mod tests {
     fn dominant_structure_chosen_outlier_flagged() {
         let table = Table::new(vec![Column::from_texts(
             "q",
-            &["Q1-22", "Q2-21", "Q3-20", "Q4-19", "Q1-18", "Q2-17", "%%broken%%value%%",
+            &[
+                "Q1-22",
+                "Q2-21",
+                "Q3-20",
+                "Q4-19",
+                "Q1-18",
+                "Q2-17",
+                "%%broken%%value%%",
             ],
         )]);
         let pw = PottersWheelLike::new();

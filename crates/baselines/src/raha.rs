@@ -92,10 +92,8 @@ impl RahaLike {
                 let rare_char = v
                     .chars()
                     .any(|c| (char_support[&c] as f64 / n as f64) < 0.15);
-                let len_outlier =
-                    (v.chars().count() as f64 - median).abs() > 2.5 * mad;
-                let whitespace_issue =
-                    v != v.trim() || v.contains("  ") || v.is_empty();
+                let len_outlier = (v.chars().count() as f64 - median).abs() > 2.5 * mad;
+                let whitespace_issue = v != v.trim() || v.contains("  ") || v.is_empty();
                 let non_ascii = !v.is_ascii();
                 vec![
                     rare_shape,

@@ -85,8 +85,9 @@ impl Wmrr {
                 for &r in &rows {
                     *counts.entry(values[r].as_str()).or_insert(0) += 1;
                 }
-                let Some((&dominant, &freq)) =
-                    counts.iter().max_by_key(|&(v, c)| (*c, std::cmp::Reverse(v)))
+                let Some((&dominant, &freq)) = counts
+                    .iter()
+                    .max_by_key(|&(v, c)| (*c, std::cmp::Reverse(v)))
                 else {
                     continue;
                 };
@@ -221,11 +222,15 @@ mod tests {
         let table = Table::new(vec![
             Column::from_texts(
                 "city",
-                &["Boston", "Boston", "Boston", "Boston", "Boston", "Miami", "Miami", "Miami"],
+                &[
+                    "Boston", "Boston", "Boston", "Boston", "Boston", "Miami", "Miami", "Miami",
+                ],
             ),
             Column::from_texts(
                 "zip",
-                &["02101", "02101", "02101", "02101", "99999", "33101", "33101", "33101"],
+                &[
+                    "02101", "02101", "02101", "02101", "99999", "33101", "33101", "33101",
+                ],
             ),
         ]);
         let w = Wmrr::new();
@@ -239,7 +244,9 @@ mod tests {
     fn intra_column_rectification() {
         let table = Table::new(vec![Column::from_texts(
             "status",
-            &["Active", "Active", "Active", "Actve", "Inactive", "Inactive", "Inactive"],
+            &[
+                "Active", "Active", "Active", "Actve", "Inactive", "Inactive", "Inactive",
+            ],
         )]);
         let w = Wmrr::new();
         let repairs = w.repair(&table, 0);

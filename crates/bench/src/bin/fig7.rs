@@ -2,8 +2,8 @@
 //! distances and (b) repairs per column, execution-guided vs unsupervised,
 //! on the Excel-Formulas benchmark.
 
-use datavinci_bench::{Cli, Harness};
 use datavinci_bench::report::print_table;
+use datavinci_bench::{Cli, Harness};
 use datavinci_core::CleaningSystem;
 use datavinci_corpus::formula_benchmark;
 use datavinci_regex::levenshtein;
@@ -26,14 +26,20 @@ fn main() {
         // to inputs of rows with erroneous executions.
         let failing = case.program.execution_groups(&case.dirty).failures;
         for name in case.program.input_columns() {
-            let Some(col) = case.dirty.column_index(name) else { continue };
+            let Some(col) = case.dirty.column_index(name) else {
+                continue;
+            };
             let repairs: Vec<_> = dv
                 .repair(&case.dirty, col)
                 .into_iter()
                 .filter(|r| failing.contains(&r.row))
                 .collect();
             unsup_counts.push(repairs.len());
-            unsup_dists.extend(repairs.iter().map(|r| levenshtein(&r.original, &r.repaired)));
+            unsup_dists.extend(
+                repairs
+                    .iter()
+                    .map(|r| levenshtein(&r.original, &r.repaired)),
+            );
         }
         let report = dv.clean_with_program(&case.dirty, &case.program);
         for colrep in &report.columns {
@@ -98,7 +104,12 @@ fn main() {
     ];
     print_table(
         "Figure 7b — Repairs per column (paper: execution-guided shifts both distributions higher)",
-        &["Mode", "Total repairs", "Repairs/column", "Mean edit distance"],
+        &[
+            "Mode",
+            "Total repairs",
+            "Repairs/column",
+            "Mean edit distance",
+        ],
         &rows,
     );
 }

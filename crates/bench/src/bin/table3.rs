@@ -2,7 +2,9 @@
 
 use datavinci_bench::report::print_table;
 use datavinci_bench::Cli;
-use datavinci_corpus::{avg_inputs, excel_like, formula_benchmark, synthetic_errors, wikipedia_like};
+use datavinci_corpus::{
+    avg_inputs, excel_like, formula_benchmark, synthetic_errors, wikipedia_like,
+};
 
 fn main() {
     let cli = Cli::parse();

@@ -8,5 +8,9 @@ fn main() {
         .into_iter()
         .map(|s| vec![s.name.to_string(), s.category.as_str().to_string()])
         .collect();
-    print_table("Table 4 — System comparison overview", &["System", "Category"], &rows);
+    print_table(
+        "Table 4 — System comparison overview",
+        &["System", "Category"],
+        &rows,
+    );
 }

@@ -31,19 +31,46 @@ fn main() {
     }
     print_table(
         "Table 5 — Error detection (measured)",
-        &["System", "Wiki P", "Wiki Fire", "Excel P", "Excel Fire", "Syn P*", "Syn R", "Syn F1*"],
+        &[
+            "System",
+            "Wiki P",
+            "Wiki Fire",
+            "Excel P",
+            "Excel Fire",
+            "Syn P*",
+            "Syn R",
+            "Syn F1*",
+        ],
         &rows,
     );
     let paper_rows: Vec<Vec<String>> = PAPER_TABLE5
         .iter()
         .map(|r| {
             let f = |v: Option<f64>| v.map_or("–".to_string(), |x| format!("{x:.1}"));
-            vec![r.0.to_string(), f(r.1), f(r.2), f(r.3), f(r.4), f(r.5), f(r.6), f(r.7)]
+            vec![
+                r.0.to_string(),
+                f(r.1),
+                f(r.2),
+                f(r.3),
+                f(r.4),
+                f(r.5),
+                f(r.6),
+                f(r.7),
+            ]
         })
         .collect();
     print_table(
         "Table 5 — Error detection (paper)",
-        &["System", "Wiki P", "Wiki Fire", "Excel P", "Excel Fire", "Syn P*", "Syn R", "Syn F1*"],
+        &[
+            "System",
+            "Wiki P",
+            "Wiki Fire",
+            "Excel P",
+            "Excel Fire",
+            "Syn P*",
+            "Syn R",
+            "Syn F1*",
+        ],
         &paper_rows,
     );
 }

@@ -21,7 +21,10 @@ fn main() {
         ("WMRR", ExecMode::System(SystemKind::Wmrr)),
         ("Raha + GPT-3.5", ExecMode::System(SystemKind::Raha)),
         ("T5", ExecMode::System(SystemKind::T5)),
-        ("DataVinci Unsupervised", ExecMode::System(SystemKind::DataVinci)),
+        (
+            "DataVinci Unsupervised",
+            ExecMode::System(SystemKind::DataVinci),
+        ),
         ("DataVinci + Execution", ExecMode::DataVinciExecGuided),
     ];
     let mut rows = Vec::new();
@@ -39,7 +42,13 @@ fn main() {
     }
     print_table(
         "Table 8 — Execution success after repair (measured)",
-        &["Type", "1-col Formula", "1-col Cell", "N-col Formula", "N-col Cell"],
+        &[
+            "Type",
+            "1-col Formula",
+            "1-col Cell",
+            "N-col Formula",
+            "N-col Cell",
+        ],
         &rows,
     );
     let paper_rows: Vec<Vec<String>> = PAPER_TABLE8
@@ -56,7 +65,13 @@ fn main() {
         .collect();
     print_table(
         "Table 8 — Execution success after repair (paper)",
-        &["Type", "1-col Formula", "1-col Cell", "N-col Formula", "N-col Cell"],
+        &[
+            "Type",
+            "1-col Formula",
+            "1-col Cell",
+            "N-col Formula",
+            "N-col Cell",
+        ],
         &paper_rows,
     );
 }

@@ -53,27 +53,171 @@ pub type T5Row = (
 /// Paper Table 5.
 #[allow(clippy::type_complexity)]
 pub const PAPER_TABLE5: &[T5Row] = &[
-    ("WMRR", Some(70.0), Some(2.93), Some(65.8), Some(2.76), Some(55.3), Some(66.8), Some(60.5)),
-    ("HoloClean", Some(67.0), Some(3.87), Some(65.2), Some(2.50), Some(52.1), Some(64.1), Some(57.5)),
-    ("Raha", Some(68.9), Some(4.03), Some(66.4), Some(3.74), Some(59.5), Some(68.2), Some(63.6)),
-    ("Potters-Wheel", Some(66.2), None, None, None, None, None, None),
-    ("Auto-Detect", Some(78.5), None, None, None, None, None, None),
-    ("T5", Some(60.8), Some(27.47), Some(53.8), Some(19.02), Some(40.5), Some(56.3), Some(47.1)),
-    ("GPT-3.5", Some(73.9), Some(10.99), Some(60.4), Some(11.71), Some(50.1), Some(69.8), Some(58.3)),
-    ("DataVinci", Some(80.1), Some(16.85), Some(75.1), Some(14.39), Some(67.4), Some(73.4), Some(70.3)),
+    (
+        "WMRR",
+        Some(70.0),
+        Some(2.93),
+        Some(65.8),
+        Some(2.76),
+        Some(55.3),
+        Some(66.8),
+        Some(60.5),
+    ),
+    (
+        "HoloClean",
+        Some(67.0),
+        Some(3.87),
+        Some(65.2),
+        Some(2.50),
+        Some(52.1),
+        Some(64.1),
+        Some(57.5),
+    ),
+    (
+        "Raha",
+        Some(68.9),
+        Some(4.03),
+        Some(66.4),
+        Some(3.74),
+        Some(59.5),
+        Some(68.2),
+        Some(63.6),
+    ),
+    (
+        "Potters-Wheel",
+        Some(66.2),
+        None,
+        None,
+        None,
+        None,
+        None,
+        None,
+    ),
+    (
+        "Auto-Detect",
+        Some(78.5),
+        None,
+        None,
+        None,
+        None,
+        None,
+        None,
+    ),
+    (
+        "T5",
+        Some(60.8),
+        Some(27.47),
+        Some(53.8),
+        Some(19.02),
+        Some(40.5),
+        Some(56.3),
+        Some(47.1),
+    ),
+    (
+        "GPT-3.5",
+        Some(73.9),
+        Some(10.99),
+        Some(60.4),
+        Some(11.71),
+        Some(50.1),
+        Some(69.8),
+        Some(58.3),
+    ),
+    (
+        "DataVinci",
+        Some(80.1),
+        Some(16.85),
+        Some(75.1),
+        Some(14.39),
+        Some(67.4),
+        Some(73.4),
+        Some(70.3),
+    ),
 ];
 
 /// Paper Table 6 (repair): (system, wiki certain, wiki possible,
 /// excel certain, excel possible, synth precision*, recall, F1*).
 pub const PAPER_TABLE6: &[T5Row] = &[
-    ("WMRR", Some(61.1), Some(57.8), Some(59.2), Some(55.6), Some(43.2), Some(61.1), Some(50.6)),
-    ("HoloClean", Some(58.4), Some(55.6), Some(59.0), Some(54.9), Some(41.3), Some(58.6), Some(48.5)),
-    ("Raha + GPT-3.5", Some(58.6), Some(54.8), Some(56.4), Some(53.5), Some(45.2), Some(62.0), Some(52.3)),
-    ("Potters-Wheel + GPT-3.5", Some(56.2), Some(52.0), None, None, None, None, None),
-    ("Auto-Detect + GPT-3.5", Some(66.9), Some(63.3), None, None, None, None, None),
-    ("T5", Some(41.0), Some(37.8), Some(37.7), Some(35.2), Some(27.9), Some(47.0), Some(35.0)),
-    ("GPT-3.5", Some(63.9), Some(55.5), Some(52.1), Some(48.9), Some(38.2), Some(63.8), Some(47.8)),
-    ("DataVinci", Some(71.3), Some(64.9), Some(71.2), Some(64.6), Some(54.1), Some(68.9), Some(60.6)),
+    (
+        "WMRR",
+        Some(61.1),
+        Some(57.8),
+        Some(59.2),
+        Some(55.6),
+        Some(43.2),
+        Some(61.1),
+        Some(50.6),
+    ),
+    (
+        "HoloClean",
+        Some(58.4),
+        Some(55.6),
+        Some(59.0),
+        Some(54.9),
+        Some(41.3),
+        Some(58.6),
+        Some(48.5),
+    ),
+    (
+        "Raha + GPT-3.5",
+        Some(58.6),
+        Some(54.8),
+        Some(56.4),
+        Some(53.5),
+        Some(45.2),
+        Some(62.0),
+        Some(52.3),
+    ),
+    (
+        "Potters-Wheel + GPT-3.5",
+        Some(56.2),
+        Some(52.0),
+        None,
+        None,
+        None,
+        None,
+        None,
+    ),
+    (
+        "Auto-Detect + GPT-3.5",
+        Some(66.9),
+        Some(63.3),
+        None,
+        None,
+        None,
+        None,
+        None,
+    ),
+    (
+        "T5",
+        Some(41.0),
+        Some(37.8),
+        Some(37.7),
+        Some(35.2),
+        Some(27.9),
+        Some(47.0),
+        Some(35.0),
+    ),
+    (
+        "GPT-3.5",
+        Some(63.9),
+        Some(55.5),
+        Some(52.1),
+        Some(48.9),
+        Some(38.2),
+        Some(63.8),
+        Some(47.8),
+    ),
+    (
+        "DataVinci",
+        Some(71.3),
+        Some(64.9),
+        Some(71.2),
+        Some(64.6),
+        Some(54.1),
+        Some(68.9),
+        Some(60.6),
+    ),
 ];
 
 /// Paper Table 7: repair precision on correctly detected errors.

@@ -6,15 +6,10 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use datavinci_baselines::{
-    AutoDetectLike, GptSim, HoloCleanLike, PottersWheelLike, RahaLike, T5Sim, WithRepairHead,
-    Wmrr,
+    AutoDetectLike, GptSim, HoloCleanLike, PottersWheelLike, RahaLike, T5Sim, WithRepairHead, Wmrr,
 };
-use datavinci_core::{
-    CleaningSystem, DataVinci, DataVinciConfig, Detection, RepairSuggestion,
-};
-use datavinci_corpus::{
-    synthetic_errors, BenchTable, Benchmark, FormulaCase, NoiseModel, Scale,
-};
+use datavinci_core::{CleaningSystem, DataVinci, DataVinciConfig, Detection, RepairSuggestion};
+use datavinci_corpus::{synthetic_errors, BenchTable, Benchmark, FormulaCase, NoiseModel, Scale};
 use datavinci_table::{CellRef, CellValue, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -182,7 +177,10 @@ impl Harness {
                 for cell in &bt.corrupted {
                     labels.entry(cell.col).or_default().push(cell.row);
                 }
-                Box::new(WithRepairHead::new(RahaLike::with_labels(labels), "Raha + GPT-3.5"))
+                Box::new(WithRepairHead::new(
+                    RahaLike::with_labels(labels),
+                    "Raha + GPT-3.5",
+                ))
             }
             SystemKind::AutoDetect => Box::new(WithRepairHead::new(
                 &self.autodetect,
@@ -293,10 +291,11 @@ impl Harness {
         for case in cases {
             let repaired = match mode {
                 ExecMode::NoRepair => case.dirty.clone(),
-                ExecMode::DataVinciExecGuided => self
-                    .datavinci
-                    .clean_with_program(&case.dirty, &case.program)
-                    .repaired_table,
+                ExecMode::DataVinciExecGuided => {
+                    self.datavinci
+                        .clean_with_program(&case.dirty, &case.program)
+                        .repaired_table
+                }
                 ExecMode::System(kind) => {
                     let bt = BenchTable {
                         dirty: case.dirty.clone(),
@@ -348,7 +347,13 @@ mod tests {
         // On a small synthetic benchmark DataVinci must beat T5 on precision
         // (the paper's headline ordering) and detect a non-trivial share.
         let harness = Harness::new(99);
-        let bench = synthetic_errors(4242, Scale { n_tables: 6, row_divisor: 8 });
+        let bench = synthetic_errors(
+            4242,
+            Scale {
+                n_tables: 6,
+                row_divisor: 8,
+            },
+        );
         let dv = harness.run_detection(SystemKind::DataVinci, &bench);
         let t5 = harness.run_detection(SystemKind::T5, &bench);
         assert!(dv.recall() > 20.0, "dv {dv:?}");
@@ -362,7 +367,10 @@ mod tests {
         let none = harness.run_execution(ExecMode::NoRepair, &cases);
         let guided = harness.run_execution(ExecMode::DataVinciExecGuided, &cases);
         assert_eq!(none.formula_success, 0.0, "cases always have failures");
-        assert!(guided.cell_success > none.cell_success, "{guided:?} vs {none:?}");
+        assert!(
+            guided.cell_success > none.cell_success,
+            "{guided:?} vs {none:?}"
+        );
         assert!(guided.formula_success > 0.0, "{guided:?}");
     }
 

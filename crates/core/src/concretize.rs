@@ -84,7 +84,9 @@ impl<'a> Concretizer<'a> {
         }
         let mut t = PatternTraining::default();
         for &row in rows {
-            let Some(value) = masked.get(row) else { continue };
+            let Some(value) = masked.get(row) else {
+                continue;
+            };
             let Some(bindings) = pattern.compiled.bindings(value) else {
                 continue;
             };
@@ -93,10 +95,7 @@ impl<'a> Concretizer<'a> {
                     .entry(b.key)
                     .or_default()
                     .push((row, b.text.clone()));
-                t.pooled
-                    .entry(b.key.atom)
-                    .or_default()
-                    .push((row, b.text));
+                t.pooled.entry(b.key.atom).or_default().push((row, b.text));
             }
         }
         self.training.insert(pattern_idx, t);
@@ -155,11 +154,7 @@ impl<'a> Concretizer<'a> {
         key: AtomKey,
     ) -> Option<String> {
         // Learn (or fetch) the tree for this atom occurrence.
-        let needs_learning = !self
-            .training
-            .get(&pattern_idx)?
-            .trees
-            .contains_key(&key);
+        let needs_learning = !self.training.get(&pattern_idx)?.trees.contains_key(&key);
         if needs_learning {
             let examples = self
                 .training
@@ -175,12 +170,7 @@ impl<'a> Concretizer<'a> {
                 .trees
                 .insert(key, learned);
         }
-        let (tree, labels) = self
-            .training
-            .get(&pattern_idx)?
-            .trees
-            .get(&key)?
-            .clone()?;
+        let (tree, labels) = self.training.get(&pattern_idx)?.trees.get(&key)?.clone()?;
         let f = self.row_features(error_row);
         let label = tree.predict(&f) as usize;
         labels.get(label).cloned()
@@ -228,12 +218,7 @@ impl<'a> Concretizer<'a> {
             .training
             .get(&pattern_idx)
             .map(|t| {
-                let source = t
-                    .examples
-                    .get(&key)
-                    .or_else(|| t.pooled.get(&key.atom).map(|_| t.examples.get(&key).unwrap_or(&EMPTY)))
-                    .map(|v| v.as_slice())
-                    .unwrap_or(&[]);
+                let source = t.examples.get(&key).map(|v| v.as_slice()).unwrap_or(&[]);
                 let mut texts: Vec<String> = source.iter().map(|(_, t)| t.clone()).collect();
                 if texts.is_empty() {
                     if let Some(pooled) = t.pooled.get(&key.atom) {
@@ -253,8 +238,6 @@ impl<'a> Concretizer<'a> {
         }
     }
 }
-
-static EMPTY: Vec<(usize, String)> = Vec::new();
 
 fn hole_key(hole: &Emit) -> AtomKey {
     match hole {
@@ -326,10 +309,7 @@ mod tests {
                     "Professional",
                 ],
             ),
-            Column::from_texts(
-                "Player ID",
-                &["AA-PRO", "BB-QUA", "CC-PRO", "DD-QUA", "EE"],
-            ),
+            Column::from_texts("Player ID", &["AA-PRO", "BB-QUA", "CC-PRO", "DD-QUA", "EE"]),
         ])
     }
 
@@ -363,10 +343,7 @@ mod tests {
     }
 
     fn masked(values: &[String]) -> Vec<MaskedString> {
-        values
-            .iter()
-            .map(|v| MaskedString::from_plain(v))
-            .collect()
+        values.iter().map(|v| MaskedString::from_plain(v)).collect()
     }
 
     #[test]

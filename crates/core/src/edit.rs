@@ -315,11 +315,11 @@ mod tests {
     fn alnum_edit_counting() {
         let program = EditProgram {
             actions: vec![
-                EditAction::Match,                          // not an edit
-                EditAction::Substitute(Emit::Char('-')),    // deletes 'b' (alnum)
-                EditAction::Insert(Emit::Char('.')),        // punctuation insert
-                EditAction::Insert(Emit::Char('7')),        // alnum insert
-                EditAction::Delete,                         // deletes '-' (not alnum)
+                EditAction::Match,                       // not an edit
+                EditAction::Substitute(Emit::Char('-')), // deletes 'b' (alnum)
+                EditAction::Insert(Emit::Char('.')),     // punctuation insert
+                EditAction::Insert(Emit::Char('7')),     // alnum insert
+                EditAction::Delete,                      // deletes '-' (not alnum)
             ],
             cost: 4,
         };

@@ -42,11 +42,7 @@ impl ExecGuidedReport {
 
 impl DataVinci {
     /// Cleans every input column of `program`, guided by its execution.
-    pub fn clean_with_program(
-        &self,
-        table: &Table,
-        program: &ColumnProgram,
-    ) -> ExecGuidedReport {
+    pub fn clean_with_program(&self, table: &Table, program: &ColumnProgram) -> ExecGuidedReport {
         let before = program.execution_groups(table);
         let mut repaired_table = table.clone();
         let mut columns = Vec::new();
@@ -133,7 +129,9 @@ impl DataVinci {
         // indices and coverage line up with the table.
         let n = masked.len();
         for lp in &mut profile.patterns {
-            lp.rows = (0..n).filter(|&r| lp.compiled.matches(&masked[r])).collect();
+            lp.rows = (0..n)
+                .filter(|&r| lp.compiled.matches(&masked[r]))
+                .collect();
             lp.coverage = if n == 0 {
                 0.0
             } else {
@@ -196,8 +194,7 @@ mod tests {
             "ID",
             &["C-19", "C-21", "C-33", "C-48", "C-55", "C51", "C52", "C53"],
         )]);
-        let program =
-            ColumnProgram::parse("=MID([@ID], SEARCH(\"-\", [@ID])+1, 2)*1").unwrap();
+        let program = ColumnProgram::parse("=MID([@ID], SEARCH(\"-\", [@ID])+1, 2)*1").unwrap();
         let dv = DataVinci::new();
 
         let unsup = dv.clean_column(&table, 0);
@@ -228,8 +225,7 @@ mod tests {
             Column::from_texts("b", &["10", "20", "30", "4o"]),
         ]);
         // Needs '-' in a and a numeric b.
-        let program =
-            ColumnProgram::parse("=SEARCH(\"-\", [@a]) + VALUE([@b])").unwrap();
+        let program = ColumnProgram::parse("=SEARCH(\"-\", [@a]) + VALUE([@b])").unwrap();
         let dv = DataVinci::new();
         let report = dv.clean_with_program(&table, &program);
         assert_eq!(report.before.failures, vec![2, 3]);

@@ -46,21 +46,17 @@ impl Predicate {
     pub fn eval(&self, table: &Table, row: usize) -> bool {
         let cell = |c: usize| table.column(c).and_then(|col| col.get(row));
         match self {
-            Predicate::Equals(c, s) => {
-                cell(*c).is_some_and(|v| v.render().eq_ignore_ascii_case(s))
+            Predicate::Equals(c, s) => cell(*c).is_some_and(|v| v.render().eq_ignore_ascii_case(s)),
+            Predicate::Contains(c, s) => {
+                cell(*c).is_some_and(|v| v.render().to_lowercase().contains(&s.to_lowercase()))
             }
-            Predicate::Contains(c, s) => cell(*c).is_some_and(|v| {
-                v.render().to_lowercase().contains(&s.to_lowercase())
-            }),
-            Predicate::StartsWith(c, s) => cell(*c).is_some_and(|v| {
-                v.render().to_lowercase().starts_with(&s.to_lowercase())
-            }),
-            Predicate::EndsWith(c, s) => cell(*c).is_some_and(|v| {
-                v.render().to_lowercase().ends_with(&s.to_lowercase())
-            }),
-            Predicate::Length(c, n) => {
-                cell(*c).is_some_and(|v| v.render().chars().count() == *n)
+            Predicate::StartsWith(c, s) => {
+                cell(*c).is_some_and(|v| v.render().to_lowercase().starts_with(&s.to_lowercase()))
             }
+            Predicate::EndsWith(c, s) => {
+                cell(*c).is_some_and(|v| v.render().to_lowercase().ends_with(&s.to_lowercase()))
+            }
+            Predicate::Length(c, n) => cell(*c).is_some_and(|v| v.render().chars().count() == *n),
             Predicate::HasDigits(c) => {
                 cell(*c).is_some_and(|v| v.render().chars().any(|ch| ch.is_ascii_digit()))
             }
@@ -237,7 +233,10 @@ mod tests {
                 "Category",
                 &["Professional", "Qualifier", "Professional", "Qualifier"],
             ),
-            Column::from_texts("Player ID", &["Ind-674-PRO", "US-201-QUA", "FR-475-PRO", "Chn-924-QUA"]),
+            Column::from_texts(
+                "Player ID",
+                &["Ind-674-PRO", "US-201-QUA", "FR-475-PRO", "Chn-924-QUA"],
+            ),
         ])
     }
 

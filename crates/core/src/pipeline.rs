@@ -10,9 +10,7 @@ use crate::repair_dp::minimal_edit_program;
 use crate::system::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
 use datavinci_profile::{profile_column, ColumnProfile};
 use datavinci_regex::MaskedString;
-use datavinci_semantic::{
-    AbstractedColumn, GazetteerLlm, GazetteerLlmConfig, SemanticAbstractor,
-};
+use datavinci_semantic::{AbstractedColumn, GazetteerLlm, GazetteerLlmConfig, SemanticAbstractor};
 use datavinci_table::Table;
 
 /// Everything DataVinci derives about one column before repairing.
@@ -199,11 +197,7 @@ impl DataVinci {
 
     /// Repairs the errors of a finished analysis (shared with the
     /// execution-guided path).
-    pub(crate) fn repair_analysis(
-        &self,
-        table: &Table,
-        analysis: &ColumnAnalysis,
-    ) -> ColumnReport {
+    pub(crate) fn repair_analysis(&self, table: &Table, analysis: &ColumnAnalysis) -> ColumnReport {
         let column = table.column(analysis.col).expect("column in range");
         let values: Vec<String> = column.rendered();
         let n_rows = values.len();
@@ -405,7 +399,9 @@ mod tests {
         // Figure 6 ②: irregular data → nothing detected.
         let table = Table::new(vec![Column::from_texts(
             "irregular",
-            &["a-1", "Q999", "x.y.z", "42%", "?", "<<>>", "", "~~", "b@c", "zz top"],
+            &[
+                "a-1", "Q999", "x.y.z", "42%", "?", "<<>>", "", "~~", "b@c", "zz top",
+            ],
         )]);
         let dv = DataVinci::new();
         let report = dv.clean_column(&table, 0);

@@ -329,7 +329,10 @@ mod tests {
         let p = Pattern::concat([Pattern::lit("Q"), Pattern::Class(CharClass::Digit)]);
         let program = program_for(&p, "");
         assert_eq!(program.cost, 2);
-        assert!(program.actions.iter().all(|a| matches!(a, EditAction::Insert(_))));
+        assert!(program
+            .actions
+            .iter()
+            .all(|a| matches!(a, EditAction::Insert(_))));
     }
 
     #[test]
@@ -358,6 +361,92 @@ mod tests {
             let program = program_for(&Pattern::lit(pat), val);
             assert_eq!(program.cost, levenshtein(pat, val), "{pat} vs {val}");
         }
+    }
+
+    #[test]
+    fn empty_value_against_all_abstract_pattern() {
+        // Edge case: empty input against a pattern with no literal edges at
+        // all. The program must be pure insertions of abstract emissions,
+        // and every hole must be fillable into the language.
+        let p = Pattern::concat([
+            Pattern::Class(CharClass::Upper),
+            Pattern::class_n(CharClass::Digit, 2),
+            Pattern::disj(["CAT", "PRO"]),
+        ]);
+        let program = program_for(&p, "");
+        assert_eq!(program.cost, 4, "{}", program.shorthand());
+        assert!(program
+            .actions
+            .iter()
+            .all(|a| matches!(a, EditAction::Insert(e) if e.is_abstract())));
+        let repair = program.apply(&"".into());
+        assert_eq!(repair.fillable_holes().len(), 4);
+        let fillers: Vec<String> = repair
+            .fillable_holes()
+            .iter()
+            .map(|e| match e {
+                Emit::Class(cc, _) => cc.representative().to_string(),
+                Emit::Disj(alts, _) => alts[0].clone(),
+                _ => unreachable!("no char or mask emissions in an all-abstract pattern"),
+            })
+            .collect();
+        let fixed = repair.fill(&fillers);
+        assert!(CompiledPattern::compile(p).matches(&fixed), "{fixed}");
+    }
+
+    #[test]
+    fn already_valid_value_round_trips_unchanged() {
+        // Edge case: a member of the language must repair at cost 0 with no
+        // holes, and applying the program must reproduce the value exactly.
+        let p = Pattern::concat([
+            Pattern::lit("Q"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("-"),
+            Pattern::class_n(CharClass::Digit, 4),
+        ]);
+        let program = program_for(&p, "Q3-2001");
+        assert_eq!(program.cost, 0, "{}", program.shorthand());
+        assert!(program
+            .actions
+            .iter()
+            .all(|a| matches!(a, EditAction::Match | EditAction::MatchDisj { .. })));
+        let repair = program.apply(&"Q3-2001".into());
+        assert!(repair.fillable_holes().is_empty(), "members need no holes");
+        assert_eq!(repair.fill(&[]).to_string(), "Q3-2001");
+    }
+
+    #[test]
+    fn all_abstract_substitutions_emit_only_holes() {
+        // Edge case: every consumed token mismatches an abstract edge, so
+        // the program is substitutions whose emissions all stay abstract
+        // (classes/disjunctions — nothing concretized by the DP itself).
+        let p = Pattern::concat([
+            Pattern::class_n(CharClass::Digit, 3),
+            Pattern::disj(["ON", "OFF"]),
+        ]);
+        let program = program_for(&p, "abcZ");
+        assert_eq!(program.cost, 4, "{}", program.shorthand());
+        let abstract_subs = program
+            .actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    EditAction::Substitute(e) | EditAction::Insert(e) if e.is_abstract()
+                )
+            })
+            .count();
+        assert_eq!(
+            abstract_subs,
+            program.actions.len(),
+            "every action must emit an abstract hole: {}",
+            program.shorthand()
+        );
+        let repair = program.apply(&"abcZ".into());
+        assert!(repair
+            .holes()
+            .iter()
+            .all(|e| matches!(e, Emit::Class(..) | Emit::Disj(..))));
     }
 
     #[test]

@@ -213,6 +213,10 @@ mod tests {
             assert_eq!(x.corrupted, y.corrupted);
         }
         let c = wikipedia_like(4, Scale::smoke());
-        assert!(a.tables.iter().zip(&c.tables).any(|(x, y)| x.dirty != y.dirty));
+        assert!(a
+            .tables
+            .iter()
+            .zip(&c.tables)
+            .any(|(x, y)| x.dirty != y.dirty));
     }
 }

@@ -138,9 +138,14 @@ impl Flavor {
     pub fn generate(&self, rng: &mut StdRng, n_rows: usize) -> Vec<Column> {
         match self {
             Flavor::PlayerWithCategory => player_with_category(rng, n_rows),
-            Flavor::CityWithState => {
-                fd_pair(rng, n_rows, SemanticType::City, SemanticType::State, "City", "State")
-            }
+            Flavor::CityWithState => fd_pair(
+                rng,
+                n_rows,
+                SemanticType::City,
+                SemanticType::State,
+                "City",
+                "State",
+            ),
             Flavor::CountryWithContinent => fd_pair(
                 rng,
                 n_rows,
@@ -315,7 +320,11 @@ impl Flavor {
             }
             Flavor::Rating => {
                 for _ in 0..n {
-                    values.push(format!("{}.{}/5", rng.gen_range(0..5), rng.gen_range(0..10)));
+                    values.push(format!(
+                        "{}.{}/5",
+                        rng.gen_range(0..5),
+                        rng.gen_range(0..10)
+                    ));
                 }
             }
             Flavor::NumericText => {

@@ -37,14 +37,23 @@ const SINGLE_TEMPLATES: &[(&str, Flavor)] = &[
     ("=SEARCH(\"-\", [@col1])", Flavor::PrefixedId),
     ("=VALUE([@Count])*2", Flavor::NumericText),
     ("=YEAR(DATEVALUE([@Date]))", Flavor::DateIso),
-    ("=MID([@SKU], SEARCH(\"-\", [@SKU])+1, 4)*1", Flavor::ProductCode),
+    (
+        "=MID([@SKU], SEARCH(\"-\", [@SKU])+1, 4)*1",
+        Flavor::ProductCode,
+    ),
     (
         "=VALUE(LEFT([@Rating], SEARCH(\"/\", [@Rating])-1))",
         Flavor::Rating,
     ),
     ("=VALUE(SUBSTITUTE([@Share], \"%\", \"\"))", Flavor::Percent),
-    ("=VALUE(SUBSTITUTE([@Amount], \"$\", \"\"))", Flavor::CurrencyAmount),
-    ("=LEFT([@Quarter], SEARCH(\"-\", [@Quarter])-1)&\"!\"", Flavor::Quarter),
+    (
+        "=VALUE(SUBSTITUTE([@Amount], \"$\", \"\"))",
+        Flavor::CurrencyAmount,
+    ),
+    (
+        "=LEFT([@Quarter], SEARCH(\"-\", [@Quarter])-1)&\"!\"",
+        Flavor::Quarter,
+    ),
 ];
 
 const MULTI_TEMPLATES: &[(&str, &[Flavor])] = &[
@@ -71,7 +80,12 @@ const MULTI_TEMPLATES: &[(&str, &[Flavor])] = &[
 pub fn formula_benchmark(seed: u64, n_single: usize, n_multi: usize) -> Vec<FormulaCase> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n_single + n_multi);
-    while out.iter().filter(|c: &&FormulaCase| !c.multi_column).count() < n_single {
+    while out
+        .iter()
+        .filter(|c: &&FormulaCase| !c.multi_column)
+        .count()
+        < n_single
+    {
         let (src, flavor) = *SINGLE_TEMPLATES.choose(&mut rng).expect("non-empty");
         if let Some(case) = build_case(&mut rng, src, &[flavor], false) {
             out.push(case);
@@ -86,12 +100,7 @@ pub fn formula_benchmark(seed: u64, n_single: usize, n_multi: usize) -> Vec<Form
     out
 }
 
-fn build_case(
-    rng: &mut StdRng,
-    src: &str,
-    flavors: &[Flavor],
-    multi: bool,
-) -> Option<FormulaCase> {
+fn build_case(rng: &mut StdRng, src: &str, flavors: &[Flavor], multi: bool) -> Option<FormulaCase> {
     let program = ColumnProgram::parse(src).expect("templates parse");
     'attempt: for _ in 0..12 {
         let n_rows = rng.gen_range(40..=400);
@@ -130,10 +139,7 @@ pub fn avg_inputs(cases: &[FormulaCase]) -> f64 {
     if cases.is_empty() {
         return 0.0;
     }
-    let total: usize = cases
-        .iter()
-        .map(|c| c.program.input_columns().len())
-        .sum();
+    let total: usize = cases.iter().map(|c| c.program.input_columns().len()).sum();
     total as f64 / cases.len() as f64
 }
 
@@ -147,7 +153,10 @@ mod tests {
         assert_eq!(cases.len(), 9);
         for case in &cases {
             // Clean executes fully.
-            assert!(case.program.execution_groups(&case.clean).fully_successful());
+            assert!(case
+                .program
+                .execution_groups(&case.clean)
+                .fully_successful());
             // Dirty: ≥1 failing cell, <25% failing.
             let g = case.program.execution_groups(&case.dirty);
             assert!(!g.failures.is_empty());

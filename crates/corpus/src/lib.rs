@@ -19,7 +19,9 @@ pub mod formula_gen;
 pub mod noise;
 pub mod tablegen;
 
-pub use benchmarks::{excel_like, synthetic_errors, wikipedia_like, BenchStats, BenchTable, Benchmark, Scale};
+pub use benchmarks::{
+    excel_like, synthetic_errors, wikipedia_like, BenchStats, BenchTable, Benchmark, Scale,
+};
 pub use flavor::Flavor;
 pub use formula_gen::{avg_inputs, formula_benchmark, FormulaCase};
 pub use noise::{NoiseModel, NoiseOp};

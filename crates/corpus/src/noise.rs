@@ -262,7 +262,10 @@ mod tests {
     #[test]
     fn decimal_comma_swap() {
         let mut r = rng();
-        assert_eq!(NoiseOp::DecimalCommaSwap.apply(&mut r, "1,234.5"), "1.234,5");
+        assert_eq!(
+            NoiseOp::DecimalCommaSwap.apply(&mut r, "1,234.5"),
+            "1.234,5"
+        );
     }
 
     #[test]

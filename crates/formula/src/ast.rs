@@ -71,10 +71,9 @@ impl Expr {
 
     fn collect_columns(&self, out: &mut Vec<String>) {
         match self {
-            Expr::ColRef(name)
-                if !out.iter().any(|n| n == name) => {
-                    out.push(name.clone());
-                }
+            Expr::ColRef(name) if !out.iter().any(|n| n == name) => {
+                out.push(name.clone());
+            }
             Expr::Call(_, args) => args.iter().for_each(|a| a.collect_columns(out)),
             Expr::Unary(_, a) => a.collect_columns(out),
             Expr::Binary(_, a, b) => {

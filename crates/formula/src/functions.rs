@@ -39,12 +39,59 @@ pub fn is_known(name: &str) -> bool {
 
 /// All dispatchable function names (the lazy forms included for docs).
 pub const KNOWN: &[&str] = &[
-    "LEN", "LEFT", "RIGHT", "MID", "UPPER", "LOWER", "TRIM", "PROPER", "CONCAT", "CONCATENATE",
-    "SUBSTITUTE", "REPLACE", "REPT", "EXACT", "SEARCH", "FIND", "VALUE", "NUMBERVALUE", "TEXT",
-    "CHAR", "CODE", "T", "ABS", "ROUND", "ROUNDUP", "ROUNDDOWN", "INT", "MOD", "SQRT", "POWER",
-    "SIGN", "MIN", "MAX", "SUM", "AVERAGE", "PRODUCT", "AND", "OR", "NOT", "ISNUMBER", "ISTEXT",
-    "ISBLANK", "ISERROR", "ISNA", "ISLOGICAL", "DATEVALUE", "YEAR", "MONTH", "DAY", "DATE",
-    "IF", "IFERROR", "IFNA",
+    "LEN",
+    "LEFT",
+    "RIGHT",
+    "MID",
+    "UPPER",
+    "LOWER",
+    "TRIM",
+    "PROPER",
+    "CONCAT",
+    "CONCATENATE",
+    "SUBSTITUTE",
+    "REPLACE",
+    "REPT",
+    "EXACT",
+    "SEARCH",
+    "FIND",
+    "VALUE",
+    "NUMBERVALUE",
+    "TEXT",
+    "CHAR",
+    "CODE",
+    "T",
+    "ABS",
+    "ROUND",
+    "ROUNDUP",
+    "ROUNDDOWN",
+    "INT",
+    "MOD",
+    "SQRT",
+    "POWER",
+    "SIGN",
+    "MIN",
+    "MAX",
+    "SUM",
+    "AVERAGE",
+    "PRODUCT",
+    "AND",
+    "OR",
+    "NOT",
+    "ISNUMBER",
+    "ISTEXT",
+    "ISBLANK",
+    "ISERROR",
+    "ISNA",
+    "ISLOGICAL",
+    "DATEVALUE",
+    "YEAR",
+    "MONTH",
+    "DAY",
+    "DATE",
+    "IF",
+    "IFERROR",
+    "IFNA",
 ];
 
 /// Dispatches a function call over evaluated arguments.
@@ -283,7 +330,9 @@ pub fn call(name: &str, args: &[CellValue]) -> R {
             num(v.sqrt())
         }
         "POWER" => num(to_number(arg(args, 0)?)?.powf(to_number(arg(args, 1)?)?)),
-        "SIGN" => num(to_number(arg(args, 0)?)?.signum() * f64::from(to_number(arg(args, 0)?)? != 0.0)),
+        "SIGN" => {
+            num(to_number(arg(args, 0)?)?.signum() * f64::from(to_number(arg(args, 0)?)? != 0.0))
+        }
         "MIN" | "MAX" | "SUM" | "AVERAGE" | "PRODUCT" => {
             if args.is_empty() {
                 return Err(ErrorValue::Value);
@@ -324,7 +373,9 @@ pub fn call(name: &str, args: &[CellValue]) -> R {
         // ---- dates ----
         "DATEVALUE" => {
             let s = to_text(arg(args, 0)?)?;
-            parse_date(&s).map(CellValue::Number).ok_or(ErrorValue::Value)
+            parse_date(&s)
+                .map(CellValue::Number)
+                .ok_or(ErrorValue::Value)
         }
         "DATE" => {
             let y = to_number(arg(args, 0)?)? as i64;
@@ -364,7 +415,11 @@ fn format_number(v: f64, fmt: &str) -> String {
     let percent = fmt.contains('%');
     let v = if percent { v * 100.0 } else { v };
     let body = format!("{v:.decimals$}");
-    let body = if grouped { group_thousands(&body) } else { body };
+    let body = if grouped {
+        group_thousands(&body)
+    } else {
+        body
+    };
     if percent {
         format!("{body}%")
     } else {
@@ -374,7 +429,9 @@ fn format_number(v: f64, fmt: &str) -> String {
 
 fn group_thousands(s: &str) -> String {
     let (sign, rest) = s.strip_prefix('-').map_or(("", s), |r| ("-", r));
-    let (int, frac) = rest.split_once('.').map_or((rest, None), |(i, f)| (i, Some(f)));
+    let (int, frac) = rest
+        .split_once('.')
+        .map_or((rest, None), |(i, f)| (i, Some(f)));
     let mut grouped = String::new();
     let digits: Vec<char> = int.chars().collect();
     for (i, c) in digits.iter().enumerate() {
@@ -533,7 +590,10 @@ mod tests {
             call("OR", &[CellValue::Bool(false), n(0.0)]),
             Ok(CellValue::Bool(false))
         );
-        assert_eq!(call("NOT", &[CellValue::Bool(false)]), Ok(CellValue::Bool(true)));
+        assert_eq!(
+            call("NOT", &[CellValue::Bool(false)]),
+            Ok(CellValue::Bool(true))
+        );
         assert_eq!(call("ISNUMBER", &[t("3")]), Ok(CellValue::Bool(false)));
         assert_eq!(call("ISNUMBER", &[n(3.0)]), Ok(CellValue::Bool(true)));
         assert_eq!(
@@ -555,7 +615,10 @@ mod tests {
         assert_eq!(call("YEAR", &[n(1.0)]), Ok(n(1900.0)));
         assert_eq!(call("DAY", &[n(1.0)]), Ok(n(1.0)));
         // Invalid dates rejected.
-        assert_eq!(call("DATEVALUE", &[t("2020-02-30")]), Err(ErrorValue::Value));
+        assert_eq!(
+            call("DATEVALUE", &[t("2020-02-30")]),
+            Err(ErrorValue::Value)
+        );
         assert_eq!(call("DATEVALUE", &[t("Q1-22")]), Err(ErrorValue::Value));
     }
 

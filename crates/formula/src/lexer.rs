@@ -153,7 +153,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Err(e));
                 i = next;
             }
-            _ if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            _ if c.is_ascii_digit()
+                || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
                     i += 1;

@@ -98,7 +98,10 @@ mod tests {
     use datavinci_table::Column;
 
     fn intro_table() -> Table {
-        Table::new(vec![Column::from_texts("col1", &["c-1", "c-2", "c3", "c4"])])
+        Table::new(vec![Column::from_texts(
+            "col1",
+            &["c-1", "c-2", "c3", "c4"],
+        )])
     }
 
     #[test]

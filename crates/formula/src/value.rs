@@ -67,9 +67,7 @@ pub fn compare(a: &CellValue, b: &CellValue) -> Result<std::cmp::Ordering, Error
         return Ok(ra.cmp(&rb));
     }
     Ok(match (a, b) {
-        (CellValue::Text(x), CellValue::Text(y)) => {
-            x.to_lowercase().cmp(&y.to_lowercase())
-        }
+        (CellValue::Text(x), CellValue::Text(y)) => x.to_lowercase().cmp(&y.to_lowercase()),
         (CellValue::Bool(x), CellValue::Bool(y)) => x.cmp(y),
         _ => {
             let x = to_number(a)?;

@@ -94,7 +94,10 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
     let mut categorical: Option<Pattern> = None;
     {
         let plain: Vec<Option<String>> = values.iter().map(|v| v.to_plain()).collect();
-        if plain.iter().all(|p| p.as_ref().is_some_and(|s| !s.is_empty())) {
+        if plain
+            .iter()
+            .all(|p| p.as_ref().is_some_and(|s| !s.is_empty()))
+        {
             let mut counts: HashMap<&str, usize> = HashMap::new();
             for p in plain.iter().flatten() {
                 *counts.entry(p.as_str()).or_insert(0) += 1;
@@ -133,8 +136,7 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
         for i in 0..groups.len() {
             for j in (i + 1)..groups.len() {
                 if let Some((cost, merged)) = try_merge(&groups[i], &groups[j], &cfg.merge) {
-                    if cost <= cfg.merge_threshold
-                        && best.as_ref().is_none_or(|(c, ..)| cost < *c)
+                    if cost <= cfg.merge_threshold && best.as_ref().is_none_or(|(c, ..)| cost < *c)
                     {
                         best = Some((cost, i, j, merged));
                     }
@@ -230,7 +232,13 @@ mod tests {
     #[test]
     fn outlier_is_uncovered_by_significant_patterns() {
         let values = vec![
-            "A2.", "A2.A3.", "A5.A7.", "A1.A2.A3.", "A9.", "A4.A5.", "AAA3",
+            "A2.",
+            "A2.A3.",
+            "A5.A7.",
+            "A1.A2.A3.",
+            "A9.",
+            "A4.A5.",
+            "AAA3",
         ];
         let p = profile(&values);
         let delta = 0.3;
@@ -245,9 +253,7 @@ mod tests {
     fn figure8_pattern_absorbs_frequent_outliers() {
         // Fig 8: C[0-9]{2} repeats often enough to be significant — the
         // *unsupervised* profiler cannot treat C51/C52 as errors.
-        let values = vec![
-            "C-19", "C-21", "C-33", "C-48", "C51", "C52", "C53", "C54",
-        ];
+        let values = vec!["C-19", "C-21", "C-33", "C-48", "C51", "C52", "C53", "C54"];
         let p = profile(&values);
         assert!(p.covered_by_significant(4, 0.3));
         assert!(p.covered_by_significant(0, 0.3));
@@ -272,9 +278,7 @@ mod tests {
         let p = profile(&values);
         for lp in &p.patterns {
             for &row in &lp.rows {
-                assert!(lp
-                    .compiled
-                    .matches(&MaskedString::from_plain(values[row])));
+                assert!(lp.compiled.matches(&MaskedString::from_plain(values[row])));
             }
         }
         // All rows covered jointly.

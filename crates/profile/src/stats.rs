@@ -224,10 +224,9 @@ fn build_pos(stat: &PosStat, cfg: &BuildConfig, group_size: usize) -> Pattern {
             if word_like
                 && stat.distinct() >= 2
                 && stat.distinct() <= cfg.disj_max_alts
-                && stat
-                    .texts
-                    .iter()
-                    .all(|(t, n)| *n >= cfg.disj_min_support && t.chars().count() >= cfg.disj_min_alt_len)
+                && stat.texts.iter().all(|(t, n)| {
+                    *n >= cfg.disj_min_support && t.chars().count() >= cfg.disj_min_alt_len
+                })
                 && stat.samples > stat.distinct()
                 && group_size > stat.distinct()
             {

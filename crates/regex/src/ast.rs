@@ -316,7 +316,10 @@ mod tests {
         // Upper = atom 0, Digit inside repeat = atom 1, Disj = atom 2.
         match t.root() {
             TNode::Concat(parts) => {
-                assert!(matches!(parts[0], TNode::Class(CharClass::Upper, AtomId(0))));
+                assert!(matches!(
+                    parts[0],
+                    TNode::Class(CharClass::Upper, AtomId(0))
+                ));
                 match &parts[2] {
                     TNode::Repeat { body, .. } => {
                         assert!(matches!(**body, TNode::Class(CharClass::Digit, AtomId(1))));

@@ -31,11 +31,7 @@ impl DagLabel {
     pub fn min_consumed(&self, disjs: &[Vec<Vec<char>>]) -> usize {
         match self {
             DagLabel::Lit(_) | DagLabel::Class(..) | DagLabel::Mask(..) => 1,
-            DagLabel::Disj(d, _) => disjs[*d as usize]
-                .iter()
-                .map(Vec::len)
-                .min()
-                .unwrap_or(1),
+            DagLabel::Disj(d, _) => disjs[*d as usize].iter().map(Vec::len).min().unwrap_or(1),
         }
     }
 }
@@ -236,9 +232,7 @@ impl RawBuilder {
             }
         }
 
-        let accepts: Vec<bool> = (0..n)
-            .map(|u| eps_reach[u].contains(&accept))
-            .collect();
+        let accepts: Vec<bool> = (0..n).map(|u| eps_reach[u].contains(&accept)).collect();
 
         // Keep only nodes reachable from start over the new edges.
         let mut reach = vec![false; n];

@@ -156,7 +156,10 @@ mod tests {
         let d = || Pattern::Class(CharClass::Digit);
         assert_eq!(Pattern::star(d()).to_string(), "[0-9]*");
         assert_eq!(Pattern::opt(d()).to_string(), "[0-9]?");
-        assert_eq!(Pattern::class_n(CharClass::Digit, 3).to_string(), "[0-9]{3}");
+        assert_eq!(
+            Pattern::class_n(CharClass::Digit, 3).to_string(),
+            "[0-9]{3}"
+        );
         assert_eq!(
             Pattern::Repeat {
                 body: Box::new(d()),

@@ -21,10 +21,10 @@ pub mod class;
 pub mod dag;
 pub mod display;
 pub mod edit_distance;
+pub mod matcher;
 mod nfa;
 pub mod token;
 mod unroll;
-pub mod matcher;
 
 pub use ast::{AtomId, AtomKey, Pattern};
 pub use class::CharClass;

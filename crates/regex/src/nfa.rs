@@ -335,11 +335,7 @@ mod tests {
         let city = alpha.intern("City");
         let p = Pattern::concat([Pattern::Mask(country), Pattern::lit("-1")]);
         let nfa = Nfa::compile(&p.tag());
-        let ok = MaskedString::from_toks(vec![
-            Tok::Mask(country),
-            Tok::Char('-'),
-            Tok::Char('1'),
-        ]);
+        let ok = MaskedString::from_toks(vec![Tok::Mask(country), Tok::Char('-'), Tok::Char('1')]);
         let wrong = MaskedString::from_toks(vec![Tok::Mask(city), Tok::Char('-'), Tok::Char('1')]);
         assert!(nfa.matches(ok.toks()));
         assert!(!nfa.matches(wrong.toks()));

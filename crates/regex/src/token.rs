@@ -182,11 +182,7 @@ mod tests {
     fn masks_block_plain_rendering() {
         let mut alpha = MaskAlphabet::new();
         let country = alpha.intern("Country");
-        let m = MaskedString::from_toks(vec![
-            Tok::Mask(country),
-            Tok::Char('-'),
-            Tok::Char('1'),
-        ]);
+        let m = MaskedString::from_toks(vec![Tok::Mask(country), Tok::Char('-'), Tok::Char('1')]);
         assert!(m.has_masks());
         assert!(m.to_plain().is_none());
         assert_eq!(m.render(&alpha), "⟨Country⟩-1");

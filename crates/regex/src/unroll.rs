@@ -27,9 +27,7 @@ pub(crate) fn unroll(node: &TNode, value_len: usize) -> TNode {
         TNode::Empty | TNode::Str(_) | TNode::Class(..) | TNode::Mask(..) | TNode::Disj(..) => {
             node.clone()
         }
-        TNode::Concat(parts) => {
-            TNode::Concat(parts.iter().map(|p| unroll(p, value_len)).collect())
-        }
+        TNode::Concat(parts) => TNode::Concat(parts.iter().map(|p| unroll(p, value_len)).collect()),
         TNode::Alt(parts) => TNode::Alt(parts.iter().map(|p| unroll(p, value_len)).collect()),
         TNode::Repeat { body, min, max } => {
             let body_un = unroll(body, value_len);

@@ -98,164 +98,466 @@ static COUNTRIES: &[Entry] = entries![
 ];
 
 static CITIES: &[Entry] = entries![
-    ["New York"], ["Los Angeles"], ["Chicago"], ["Houston"], ["Phoenix"],
-    ["Philadelphia"], ["San Antonio"], ["San Diego"], ["Dallas"], ["Austin"],
-    ["Boston"], ["Seattle"], ["Denver"], ["Miami"], ["Atlanta"],
-    ["London"], ["Paris"], ["Berlin"], ["Madrid"], ["Rome"],
-    ["Amsterdam"], ["Vienna"], ["Prague"], ["Dublin"], ["Lisbon"],
-    ["Stockholm"], ["Oslo"], ["Copenhagen"], ["Helsinki"], ["Warsaw"],
-    ["Tokyo"], ["Osaka"], ["Seoul"], ["Beijing"], ["Shanghai"],
-    ["Mumbai"], ["Delhi"], ["Bangkok"], ["Jakarta"], ["Sydney"],
-    ["Melbourne"], ["Toronto"], ["Vancouver"], ["Montreal"], ["Birmingham"],
-    ["Manchester"], ["Liverpool"], ["Glasgow"], ["Edinburgh"], ["Cairo"],
+    ["New York"],
+    ["Los Angeles"],
+    ["Chicago"],
+    ["Houston"],
+    ["Phoenix"],
+    ["Philadelphia"],
+    ["San Antonio"],
+    ["San Diego"],
+    ["Dallas"],
+    ["Austin"],
+    ["Boston"],
+    ["Seattle"],
+    ["Denver"],
+    ["Miami"],
+    ["Atlanta"],
+    ["London"],
+    ["Paris"],
+    ["Berlin"],
+    ["Madrid"],
+    ["Rome"],
+    ["Amsterdam"],
+    ["Vienna"],
+    ["Prague"],
+    ["Dublin"],
+    ["Lisbon"],
+    ["Stockholm"],
+    ["Oslo"],
+    ["Copenhagen"],
+    ["Helsinki"],
+    ["Warsaw"],
+    ["Tokyo"],
+    ["Osaka"],
+    ["Seoul"],
+    ["Beijing"],
+    ["Shanghai"],
+    ["Mumbai"],
+    ["Delhi"],
+    ["Bangkok"],
+    ["Jakarta"],
+    ["Sydney"],
+    ["Melbourne"],
+    ["Toronto"],
+    ["Vancouver"],
+    ["Montreal"],
+    ["Birmingham"],
+    ["Manchester"],
+    ["Liverpool"],
+    ["Glasgow"],
+    ["Edinburgh"],
+    ["Cairo"],
 ];
 
 /// US states: `[full, USPS code]`.
 static STATES: &[Entry] = entries![
-    ["Alabama", "AL"], ["Alaska", "AK"], ["Arizona", "AZ"], ["Arkansas", "AR"],
-    ["California", "CA"], ["Colorado", "CO"], ["Connecticut", "CT"],
-    ["Delaware", "DE"], ["Florida", "FL"], ["Georgia", "GA"], ["Hawaii", "HI"],
-    ["Idaho", "ID"], ["Illinois", "IL"], ["Indiana", "IN"], ["Iowa", "IA"],
-    ["Kansas", "KS"], ["Kentucky", "KY"], ["Louisiana", "LA"], ["Maine", "ME"],
-    ["Maryland", "MD"], ["Massachusetts", "MA"], ["Michigan", "MI"],
-    ["Minnesota", "MN"], ["Mississippi", "MS"], ["Missouri", "MO"],
-    ["Montana", "MT"], ["Nebraska", "NE"], ["Nevada", "NV"],
-    ["New Hampshire", "NH"], ["New Jersey", "NJ"], ["New Mexico", "NM"],
-    ["New York", "NY"], ["North Carolina", "NC"], ["North Dakota", "ND"],
-    ["Ohio", "OH"], ["Oklahoma", "OK"], ["Oregon", "OR"],
-    ["Pennsylvania", "PA"], ["Rhode Island", "RI"], ["South Carolina", "SC"],
-    ["South Dakota", "SD"], ["Tennessee", "TN"], ["Texas", "TX"],
-    ["Utah", "UT"], ["Vermont", "VT"], ["Virginia", "VA"],
-    ["Washington", "WA"], ["West Virginia", "WV"], ["Wisconsin", "WI"],
+    ["Alabama", "AL"],
+    ["Alaska", "AK"],
+    ["Arizona", "AZ"],
+    ["Arkansas", "AR"],
+    ["California", "CA"],
+    ["Colorado", "CO"],
+    ["Connecticut", "CT"],
+    ["Delaware", "DE"],
+    ["Florida", "FL"],
+    ["Georgia", "GA"],
+    ["Hawaii", "HI"],
+    ["Idaho", "ID"],
+    ["Illinois", "IL"],
+    ["Indiana", "IN"],
+    ["Iowa", "IA"],
+    ["Kansas", "KS"],
+    ["Kentucky", "KY"],
+    ["Louisiana", "LA"],
+    ["Maine", "ME"],
+    ["Maryland", "MD"],
+    ["Massachusetts", "MA"],
+    ["Michigan", "MI"],
+    ["Minnesota", "MN"],
+    ["Mississippi", "MS"],
+    ["Missouri", "MO"],
+    ["Montana", "MT"],
+    ["Nebraska", "NE"],
+    ["Nevada", "NV"],
+    ["New Hampshire", "NH"],
+    ["New Jersey", "NJ"],
+    ["New Mexico", "NM"],
+    ["New York", "NY"],
+    ["North Carolina", "NC"],
+    ["North Dakota", "ND"],
+    ["Ohio", "OH"],
+    ["Oklahoma", "OK"],
+    ["Oregon", "OR"],
+    ["Pennsylvania", "PA"],
+    ["Rhode Island", "RI"],
+    ["South Carolina", "SC"],
+    ["South Dakota", "SD"],
+    ["Tennessee", "TN"],
+    ["Texas", "TX"],
+    ["Utah", "UT"],
+    ["Vermont", "VT"],
+    ["Virginia", "VA"],
+    ["Washington", "WA"],
+    ["West Virginia", "WV"],
+    ["Wisconsin", "WI"],
     ["Wyoming", "WY"],
 ];
 
 static FIRST_NAMES: &[Entry] = entries![
-    ["James"], ["Mary"], ["Robert"], ["Patricia"], ["John"], ["Jennifer"],
-    ["Michael"], ["Linda"], ["David"], ["Elizabeth"], ["William"], ["Barbara"],
-    ["Richard"], ["Susan"], ["Joseph"], ["Jessica"], ["Thomas"], ["Sarah"],
-    ["Charles"], ["Karen"], ["Christopher"], ["Lisa"], ["Daniel"], ["Nancy"],
-    ["Matthew"], ["Betty"], ["Anthony"], ["Margaret"], ["Mark"], ["Sandra"],
-    ["Donald"], ["Ashley"], ["Steven"], ["Kimberly"], ["Paul"], ["Emily"],
-    ["Andrew"], ["Donna"], ["Joshua"], ["Michelle"], ["Kenneth"], ["Carol"],
-    ["Kevin"], ["Amanda"], ["Brian"], ["Dorothy"], ["George"], ["Melissa"],
+    ["James"],
+    ["Mary"],
+    ["Robert"],
+    ["Patricia"],
+    ["John"],
+    ["Jennifer"],
+    ["Michael"],
+    ["Linda"],
+    ["David"],
+    ["Elizabeth"],
+    ["William"],
+    ["Barbara"],
+    ["Richard"],
+    ["Susan"],
+    ["Joseph"],
+    ["Jessica"],
+    ["Thomas"],
+    ["Sarah"],
+    ["Charles"],
+    ["Karen"],
+    ["Christopher"],
+    ["Lisa"],
+    ["Daniel"],
+    ["Nancy"],
+    ["Matthew"],
+    ["Betty"],
+    ["Anthony"],
+    ["Margaret"],
+    ["Mark"],
+    ["Sandra"],
+    ["Donald"],
+    ["Ashley"],
+    ["Steven"],
+    ["Kimberly"],
+    ["Paul"],
+    ["Emily"],
+    ["Andrew"],
+    ["Donna"],
+    ["Joshua"],
+    ["Michelle"],
+    ["Kenneth"],
+    ["Carol"],
+    ["Kevin"],
+    ["Amanda"],
+    ["Brian"],
+    ["Dorothy"],
+    ["George"],
+    ["Melissa"],
 ];
 
 static LAST_NAMES: &[Entry] = entries![
-    ["Smith"], ["Johnson"], ["Williams"], ["Brown"], ["Jones"], ["Garcia"],
-    ["Miller"], ["Davis"], ["Rodriguez"], ["Martinez"], ["Hernandez"],
-    ["Lopez"], ["Gonzalez"], ["Wilson"], ["Anderson"], ["Taylor"],
-    ["Moore"], ["Jackson"], ["Martin"], ["Lee"], ["Perez"], ["Thompson"],
-    ["White"], ["Harris"], ["Sanchez"], ["Clark"], ["Ramirez"], ["Lewis"],
-    ["Robinson"], ["Walker"], ["Young"], ["Allen"], ["King"], ["Wright"],
+    ["Smith"],
+    ["Johnson"],
+    ["Williams"],
+    ["Brown"],
+    ["Jones"],
+    ["Garcia"],
+    ["Miller"],
+    ["Davis"],
+    ["Rodriguez"],
+    ["Martinez"],
+    ["Hernandez"],
+    ["Lopez"],
+    ["Gonzalez"],
+    ["Wilson"],
+    ["Anderson"],
+    ["Taylor"],
+    ["Moore"],
+    ["Jackson"],
+    ["Martin"],
+    ["Lee"],
+    ["Perez"],
+    ["Thompson"],
+    ["White"],
+    ["Harris"],
+    ["Sanchez"],
+    ["Clark"],
+    ["Ramirez"],
+    ["Lewis"],
+    ["Robinson"],
+    ["Walker"],
+    ["Young"],
+    ["Allen"],
+    ["King"],
+    ["Wright"],
 ];
 
 /// Months: `[full, 3-letter]`.
 static MONTHS: &[Entry] = entries![
-    ["January", "Jan"], ["February", "Feb"], ["March", "Mar"],
-    ["April", "Apr"], ["May", "May"], ["June", "Jun"], ["July", "Jul"],
-    ["August", "Aug"], ["September", "Sep"], ["October", "Oct"],
-    ["November", "Nov"], ["December", "Dec"],
+    ["January", "Jan"],
+    ["February", "Feb"],
+    ["March", "Mar"],
+    ["April", "Apr"],
+    ["May", "May"],
+    ["June", "Jun"],
+    ["July", "Jul"],
+    ["August", "Aug"],
+    ["September", "Sep"],
+    ["October", "Oct"],
+    ["November", "Nov"],
+    ["December", "Dec"],
 ];
 
 /// Weekdays: `[full, 3-letter]`.
 static WEEKDAYS: &[Entry] = entries![
-    ["Monday", "Mon"], ["Tuesday", "Tue"], ["Wednesday", "Wed"],
-    ["Thursday", "Thu"], ["Friday", "Fri"], ["Saturday", "Sat"],
+    ["Monday", "Mon"],
+    ["Tuesday", "Tue"],
+    ["Wednesday", "Wed"],
+    ["Thursday", "Thu"],
+    ["Friday", "Fri"],
+    ["Saturday", "Sat"],
     ["Sunday", "Sun"],
 ];
 
 static COLORS: &[Entry] = entries![
-    ["red"], ["green"], ["blue"], ["yellow"], ["orange"], ["purple"],
-    ["pink"], ["brown"], ["black"], ["white"], ["gray"], ["cyan"],
-    ["magenta"], ["violet"], ["indigo"], ["teal"], ["maroon"], ["navy"],
-    ["olive"], ["silver"], ["gold"], ["beige"], ["turquoise"], ["crimson"],
-    ["dark green"], ["dark blue"], ["dark red"], ["light green"],
-    ["light blue"], ["light gray"],
+    ["red"],
+    ["green"],
+    ["blue"],
+    ["yellow"],
+    ["orange"],
+    ["purple"],
+    ["pink"],
+    ["brown"],
+    ["black"],
+    ["white"],
+    ["gray"],
+    ["cyan"],
+    ["magenta"],
+    ["violet"],
+    ["indigo"],
+    ["teal"],
+    ["maroon"],
+    ["navy"],
+    ["olive"],
+    ["silver"],
+    ["gold"],
+    ["beige"],
+    ["turquoise"],
+    ["crimson"],
+    ["dark green"],
+    ["dark blue"],
+    ["dark red"],
+    ["light green"],
+    ["light blue"],
+    ["light gray"],
 ];
 
 /// Currencies: `[full, ISO code]`.
 static CURRENCIES: &[Entry] = entries![
-    ["US Dollar", "USD"], ["Euro", "EUR"], ["British Pound", "GBP"],
-    ["Japanese Yen", "JPY"], ["Swiss Franc", "CHF"],
-    ["Canadian Dollar", "CAD"], ["Australian Dollar", "AUD"],
-    ["Chinese Yuan", "CNY"], ["Indian Rupee", "INR"],
-    ["Brazilian Real", "BRL"], ["Mexican Peso", "MXN"],
-    ["South Korean Won", "KRW"], ["Swedish Krona", "SEK"],
-    ["Norwegian Krone", "NOK"], ["Danish Krone", "DKK"],
-    ["Polish Zloty", "PLN"], ["Turkish Lira", "TRY"],
-    ["Russian Ruble", "RUB"], ["Singapore Dollar", "SGD"],
+    ["US Dollar", "USD"],
+    ["Euro", "EUR"],
+    ["British Pound", "GBP"],
+    ["Japanese Yen", "JPY"],
+    ["Swiss Franc", "CHF"],
+    ["Canadian Dollar", "CAD"],
+    ["Australian Dollar", "AUD"],
+    ["Chinese Yuan", "CNY"],
+    ["Indian Rupee", "INR"],
+    ["Brazilian Real", "BRL"],
+    ["Mexican Peso", "MXN"],
+    ["South Korean Won", "KRW"],
+    ["Swedish Krona", "SEK"],
+    ["Norwegian Krone", "NOK"],
+    ["Danish Krone", "DKK"],
+    ["Polish Zloty", "PLN"],
+    ["Turkish Lira", "TRY"],
+    ["Russian Ruble", "RUB"],
+    ["Singapore Dollar", "SGD"],
     ["Hong Kong Dollar", "HKD"],
 ];
 
 static LANGUAGES: &[Entry] = entries![
-    ["English"], ["Spanish"], ["French"], ["German"], ["Italian"],
-    ["Portuguese"], ["Dutch"], ["Russian"], ["Mandarin"], ["Japanese"],
-    ["Korean"], ["Arabic"], ["Hindi"], ["Bengali"], ["Turkish"],
-    ["Polish"], ["Swedish"], ["Greek"], ["Hebrew"], ["Vietnamese"],
+    ["English"],
+    ["Spanish"],
+    ["French"],
+    ["German"],
+    ["Italian"],
+    ["Portuguese"],
+    ["Dutch"],
+    ["Russian"],
+    ["Mandarin"],
+    ["Japanese"],
+    ["Korean"],
+    ["Arabic"],
+    ["Hindi"],
+    ["Bengali"],
+    ["Turkish"],
+    ["Polish"],
+    ["Swedish"],
+    ["Greek"],
+    ["Hebrew"],
+    ["Vietnamese"],
 ];
 
 static CONTINENTS: &[Entry] = entries![
-    ["Africa"], ["Antarctica"], ["Asia"], ["Europe"],
-    ["North America"], ["Oceania"], ["South America"],
+    ["Africa"],
+    ["Antarctica"],
+    ["Asia"],
+    ["Europe"],
+    ["North America"],
+    ["Oceania"],
+    ["South America"],
 ];
 
 static NATIONALITIES: &[Entry] = entries![
-    ["American"], ["British"], ["German"], ["French"], ["Spanish"],
-    ["Italian"], ["Portuguese"], ["Dutch"], ["Swiss"], ["Austrian"],
-    ["Swedish"], ["Norwegian"], ["Danish"], ["Finnish"], ["Polish"],
-    ["Irish"], ["Greek"], ["Turkish"], ["Russian"], ["Chinese"],
-    ["Japanese"], ["Indian"], ["Australian"], ["Canadian"], ["Mexican"],
-    ["Brazilian"], ["Argentine"], ["Egyptian"], ["Nigerian"], ["Kenyan"],
+    ["American"],
+    ["British"],
+    ["German"],
+    ["French"],
+    ["Spanish"],
+    ["Italian"],
+    ["Portuguese"],
+    ["Dutch"],
+    ["Swiss"],
+    ["Austrian"],
+    ["Swedish"],
+    ["Norwegian"],
+    ["Danish"],
+    ["Finnish"],
+    ["Polish"],
+    ["Irish"],
+    ["Greek"],
+    ["Turkish"],
+    ["Russian"],
+    ["Chinese"],
+    ["Japanese"],
+    ["Indian"],
+    ["Australian"],
+    ["Canadian"],
+    ["Mexican"],
+    ["Brazilian"],
+    ["Argentine"],
+    ["Egyptian"],
+    ["Nigerian"],
+    ["Kenyan"],
 ];
 
 static COMPANIES: &[Entry] = entries![
-    ["Acme Corp"], ["Globex"], ["Initech"], ["Umbrella"], ["Stark Industries"],
-    ["Wayne Enterprises"], ["Wonka Industries"], ["Tyrell Corp"], ["Cyberdyne"],
-    ["Soylent Corp"], ["Massive Dynamic"], ["Hooli"], ["Pied Piper"],
-    ["Aperture Science"], ["Black Mesa"], ["Oscorp"], ["LexCorp"],
-    ["Weyland-Yutani"], ["Nakatomi Trading"], ["Gringotts"],
+    ["Acme Corp"],
+    ["Globex"],
+    ["Initech"],
+    ["Umbrella"],
+    ["Stark Industries"],
+    ["Wayne Enterprises"],
+    ["Wonka Industries"],
+    ["Tyrell Corp"],
+    ["Cyberdyne"],
+    ["Soylent Corp"],
+    ["Massive Dynamic"],
+    ["Hooli"],
+    ["Pied Piper"],
+    ["Aperture Science"],
+    ["Black Mesa"],
+    ["Oscorp"],
+    ["LexCorp"],
+    ["Weyland-Yutani"],
+    ["Nakatomi Trading"],
+    ["Gringotts"],
 ];
 
 static TEAMS: &[Entry] = entries![
-    ["Eagles"], ["Tigers"], ["Lions"], ["Bears"], ["Sharks"], ["Wolves"],
-    ["Hawks"], ["Falcons"], ["Panthers"], ["Raptors"], ["Bulls"], ["Rams"],
-    ["Cougars"], ["Stallions"], ["Titans"], ["Giants"], ["Pirates"],
-    ["Vikings"], ["Spartans"], ["Warriors"],
+    ["Eagles"],
+    ["Tigers"],
+    ["Lions"],
+    ["Bears"],
+    ["Sharks"],
+    ["Wolves"],
+    ["Hawks"],
+    ["Falcons"],
+    ["Panthers"],
+    ["Raptors"],
+    ["Bulls"],
+    ["Rams"],
+    ["Cougars"],
+    ["Stallions"],
+    ["Titans"],
+    ["Giants"],
+    ["Pirates"],
+    ["Vikings"],
+    ["Spartans"],
+    ["Warriors"],
 ];
 
 /// Genders: `[full, 1-letter]`.
-static GENDERS: &[Entry] = entries![
-    ["Male", "M"], ["Female", "F"], ["Nonbinary", "X"],
-];
+static GENDERS: &[Entry] = entries![["Male", "M"], ["Female", "F"], ["Nonbinary", "X"],];
 
 /// Competition categories: `[full, 3-letter]` — Figure 2's PRO/QUA domain.
 static CATEGORIES: &[Entry] = entries![
-    ["Junior", "JUN"], ["Senior", "SEN"], ["Professional", "PRO"],
-    ["Amateur", "AMA"], ["Qualifier", "QUA"], ["Expert", "EXP"],
-    ["Beginner", "BEG"], ["Intermediate", "INT"],
+    ["Junior", "JUN"],
+    ["Senior", "SEN"],
+    ["Professional", "PRO"],
+    ["Amateur", "AMA"],
+    ["Qualifier", "QUA"],
+    ["Expert", "EXP"],
+    ["Beginner", "BEG"],
+    ["Intermediate", "INT"],
 ];
 
 static SPORTS: &[Entry] = entries![
-    ["Soccer"], ["Basketball"], ["Baseball"], ["Tennis"], ["Cricket"],
-    ["Hockey"], ["Golf"], ["Rugby"], ["Swimming"], ["Athletics"],
-    ["Volleyball"], ["Badminton"], ["Cycling"], ["Boxing"], ["Skiing"],
+    ["Soccer"],
+    ["Basketball"],
+    ["Baseball"],
+    ["Tennis"],
+    ["Cricket"],
+    ["Hockey"],
+    ["Golf"],
+    ["Rugby"],
+    ["Swimming"],
+    ["Athletics"],
+    ["Volleyball"],
+    ["Badminton"],
+    ["Cycling"],
+    ["Boxing"],
+    ["Skiing"],
 ];
 
 static STATUSES: &[Entry] = entries![
-    ["Active"], ["Inactive"], ["Pending"], ["Completed"], ["Cancelled"],
-    ["Open"], ["Closed"], ["Draft"], ["Approved"], ["Rejected"],
-    ["Shipped"], ["Delivered"],
+    ["Active"],
+    ["Inactive"],
+    ["Pending"],
+    ["Completed"],
+    ["Cancelled"],
+    ["Open"],
+    ["Closed"],
+    ["Draft"],
+    ["Approved"],
+    ["Rejected"],
+    ["Shipped"],
+    ["Delivered"],
 ];
 
 static RELIGIONS: &[Entry] = entries![
-    ["Christianity"], ["Islam"], ["Hinduism"], ["Buddhism"], ["Judaism"],
-    ["Sikhism"], ["Taoism"], ["Shinto"],
+    ["Christianity"],
+    ["Islam"],
+    ["Hinduism"],
+    ["Buddhism"],
+    ["Judaism"],
+    ["Sikhism"],
+    ["Taoism"],
+    ["Shinto"],
 ];
 
 static REGIONS: &[Entry] = entries![
-    ["North"], ["South"], ["East"], ["West"], ["Northeast"], ["Northwest"],
-    ["Southeast"], ["Southwest"], ["Central"], ["Midwest"],
+    ["North"],
+    ["South"],
+    ["East"],
+    ["West"],
+    ["Northeast"],
+    ["Northwest"],
+    ["Southeast"],
+    ["Southwest"],
+    ["Central"],
+    ["Midwest"],
 ];
 
 #[cfg(test)]

@@ -33,7 +33,10 @@ impl Hit {
 
     /// A specific form of the hit entry, if the entry has that position.
     pub fn entry_form(&self, form: usize) -> Option<&'static str> {
-        entries(self.semantic_type)[self.entry].forms.get(form).copied()
+        entries(self.semantic_type)[self.entry]
+            .forms
+            .get(form)
+            .copied()
     }
 }
 

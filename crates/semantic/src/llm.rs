@@ -91,10 +91,7 @@ impl GazetteerLlm {
     /// Masks a whole column (the semantics behind `complete`).
     pub fn mask_column(&self, values: &[String]) -> Vec<String> {
         // Pass 1: per-value span hits, filtered to maskable types.
-        let all_hits: Vec<Vec<(Span, Hit)>> = values
-            .iter()
-            .map(|v| self.value_hits(v))
-            .collect();
+        let all_hits: Vec<Vec<(Span, Hit)>> = values.iter().map(|v| self.value_hits(v)).collect();
 
         // Type support across the batch: in how many values does each type
         // appear at all?
@@ -108,7 +105,11 @@ impl GazetteerLlm {
                 }
             }
         }
-        let n = values.iter().filter(|v| !v.trim().is_empty()).count().max(1);
+        let n = values
+            .iter()
+            .filter(|v| !v.trim().is_empty())
+            .count()
+            .max(1);
         let kept: Vec<SemanticType> = SemanticType::ALL
             .into_iter()
             .filter(|t| {
@@ -176,7 +177,10 @@ impl GazetteerLlm {
                         .gaz
                         .lookup_fuzzy(&inverted)
                         .into_iter()
-                        .map(|h| Hit { distance: h.distance.max(1), ..h })
+                        .map(|h| Hit {
+                            distance: h.distance.max(1),
+                            ..h
+                        })
                         .collect();
                 }
             }
@@ -220,7 +224,13 @@ impl GazetteerLlm {
                     };
                     for h in hits {
                         if self.cfg.mask_types.contains(&h.semantic_type) {
-                            out.push((span.clone(), Hit { distance: h.distance.max(1), ..h }));
+                            out.push((
+                                span.clone(),
+                                Hit {
+                                    distance: h.distance.max(1),
+                                    ..h
+                                },
+                            ));
                         }
                     }
                     break;
@@ -285,9 +295,7 @@ impl GazetteerLlm {
                     .copied()
                     .unwrap_or(hit.form);
                 let form_text = hit.entry_form(form).unwrap_or_else(|| hit.form_text());
-                if hit.distance == 0
-                    && form == hit.form
-                    && original.eq_ignore_ascii_case(form_text)
+                if hit.distance == 0 && form == hit.form && original.eq_ignore_ascii_case(form_text)
                 {
                     // Exact hit already in the column-majority form: keep
                     // the user's spelling (case included). Only genuine
@@ -295,7 +303,9 @@ impl GazetteerLlm {
                     // rewrite.
                     original
                 } else {
-                    hit.entry_form(form).unwrap_or_else(|| hit.form_text()).to_string()
+                    hit.entry_form(form)
+                        .unwrap_or_else(|| hit.form_text())
+                        .to_string()
                 }
             } else {
                 // Limited mode: re-use the original substring verbatim.

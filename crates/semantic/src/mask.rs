@@ -292,11 +292,7 @@ mod tests {
         let id = c.values[0].occurrences[0].mask;
         // A repaired value that *inserts* an extra mask beyond row 0's one
         // occurrence: [mask, '-', mask].
-        let repaired = MaskedString::from_toks(vec![
-            Tok::Mask(id),
-            Tok::Char('-'),
-            Tok::Mask(id),
-        ]);
+        let repaired = MaskedString::from_toks(vec![Tok::Mask(id), Tok::Char('-'), Tok::Mask(id)]);
         let plain = c.concretize(0, &repaired);
         // First mask → row suggestion (US), second → column majority (US).
         assert_eq!(plain, "US-US");

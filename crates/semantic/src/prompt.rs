@@ -76,9 +76,7 @@ pub fn build_prompts(
     mask_types: &[SemanticType],
 ) -> Vec<PromptBatch> {
     let pre = preamble(mask_types);
-    let fixed = format!(
-        "{pre}{COLUMN_MARKER}\nHeader: {header}\n{VALUES_MARKER}\n"
-    );
+    let fixed = format!("{pre}{COLUMN_MARKER}\nHeader: {header}\n{VALUES_MARKER}\n");
     let fixed_tokens = token_estimate(&fixed) + token_estimate(OUTPUT_MARKER) + 2;
 
     let mut batches = Vec::new();
@@ -138,7 +136,11 @@ mod tests {
 
     #[test]
     fn prompt_contains_all_components() {
-        let batches = build_prompts("Player ID", &owned(&["usa_837", "Ind-674-PRO"]), &SemanticType::ALL);
+        let batches = build_prompts(
+            "Player ID",
+            &owned(&["usa_837", "Ind-674-PRO"]),
+            &SemanticType::ALL,
+        );
         assert_eq!(batches.len(), 1);
         let p = &batches[0].prompt;
         assert!(p.contains("### Task"));

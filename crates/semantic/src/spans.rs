@@ -101,7 +101,10 @@ mod tests {
     use super::*;
 
     fn lookups(value: &str) -> Vec<String> {
-        candidate_spans(value).into_iter().map(|s| s.lookup).collect()
+        candidate_spans(value)
+            .into_iter()
+            .map(|s| s.lookup)
+            .collect()
     }
 
     #[test]
@@ -136,9 +139,21 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = Span { start: 0, len: 4, lookup: "ab c".into() };
-        let b = Span { start: 3, len: 2, lookup: "cd".into() };
-        let c = Span { start: 4, len: 1, lookup: "d".into() };
+        let a = Span {
+            start: 0,
+            len: 4,
+            lookup: "ab c".into(),
+        };
+        let b = Span {
+            start: 3,
+            len: 2,
+            lookup: "cd".into(),
+        };
+        let c = Span {
+            start: 4,
+            len: 1,
+            lookup: "d".into(),
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));

@@ -168,6 +168,9 @@ mod tests {
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"q\"\"q\""));
         let back = parse_csv(&csv).unwrap();
-        assert_eq!(back.column(0).unwrap().get(0).unwrap().as_text(), Some("a,b"));
+        assert_eq!(
+            back.column(0).unwrap().get(0).unwrap().as_text(),
+            Some("a,b")
+        );
     }
 }

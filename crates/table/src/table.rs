@@ -81,10 +81,7 @@ impl Table {
 
     /// The row tuple at `row` as a vector of cell references.
     pub fn row(&self, row: usize) -> Vec<&CellValue> {
-        self.columns
-            .iter()
-            .filter_map(|c| c.get(row))
-            .collect()
+        self.columns.iter().filter_map(|c| c.get(row)).collect()
     }
 
     /// Appends a column.

@@ -291,10 +291,7 @@ mod tests {
         assert_eq!(CellValue::text("abc").coerce_number(), None);
         assert_eq!(CellValue::Bool(true).coerce_number(), Some(1.0));
         assert_eq!(CellValue::Blank.coerce_number(), Some(0.0));
-        assert_eq!(
-            CellValue::Error(ErrorValue::Value).coerce_number(),
-            None
-        );
+        assert_eq!(CellValue::Error(ErrorValue::Value).coerce_number(), None);
     }
 
     #[test]

@@ -10,7 +10,13 @@ use datavinci::prelude::*;
 use datavinci::regex::levenshtein;
 
 fn main() {
-    let bench = synthetic_errors(7, Scale { n_tables: 6, row_divisor: 6 });
+    let bench = synthetic_errors(
+        7,
+        Scale {
+            n_tables: 6,
+            row_divisor: 6,
+        },
+    );
     println!(
         "benchmark: {} tables, {:.1} avg columns, {:.1} avg rows, {:.1}% cells corrupted\n",
         bench.stats().n_tables,
@@ -22,11 +28,8 @@ fn main() {
     let dv = DataVinci::new();
     let wmrr = Wmrr::new();
     let gpt = GptSim::new();
-    let systems: Vec<(&str, &dyn CleaningSystem)> = vec![
-        ("WMRR", &wmrr),
-        ("GPT-3.5 (sim)", &gpt),
-        ("DataVinci", &dv),
-    ];
+    let systems: Vec<(&str, &dyn CleaningSystem)> =
+        vec![("WMRR", &wmrr), ("GPT-3.5 (sim)", &gpt), ("DataVinci", &dv)];
 
     println!(
         "{:<14} {:>9} {:>8} {:>7} {:>15}",

@@ -55,8 +55,7 @@ fn scenario_figure8() {
         "ID",
         &["C-19", "C-21", "C-33", "C-48", "C-55", "C51", "C52", "C53"],
     )]);
-    let program =
-        ColumnProgram::parse("=MID([@ID], SEARCH(\"-\", [@ID])+1, 2)*1").expect("parses");
+    let program = ColumnProgram::parse("=MID([@ID], SEARCH(\"-\", [@ID])+1, 2)*1").expect("parses");
 
     let dv = DataVinci::new();
     assert!(

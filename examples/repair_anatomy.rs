@@ -19,11 +19,7 @@ fn main() {
     let profile = profile_plain(&values, &ProfilerConfig::default());
     println!("learned patterns:");
     for lp in &profile.patterns {
-        println!(
-            "  {}  (coverage {:.0}%)",
-            lp.pattern,
-            lp.coverage * 100.0
-        );
+        println!("  {}  (coverage {:.0}%)", lp.pattern, lp.coverage * 100.0);
     }
     let significant = &profile.patterns[0];
     assert_eq!(significant.pattern.to_string(), "(A[0-9].)+");
@@ -57,7 +53,10 @@ fn main() {
     for fillers in concretizer.fillers(0, 5, &abstract_repair) {
         let repaired = abstract_repair.fill(&fillers);
         println!("candidate repair: {repaired}");
-        assert!(significant.compiled.matches(&repaired), "must be in-language");
+        assert!(
+            significant.compiled.matches(&repaired),
+            "must be in-language"
+        );
     }
     println!("\n✓ every candidate lands in the significant pattern's language");
 }

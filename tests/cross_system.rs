@@ -5,8 +5,7 @@
 use std::collections::HashMap;
 
 use datavinci::baselines::{
-    AutoDetectLike, GptSim, HoloCleanLike, PottersWheelLike, RahaLike, T5Sim, WithRepairHead,
-    Wmrr,
+    AutoDetectLike, GptSim, HoloCleanLike, PottersWheelLike, RahaLike, T5Sim, WithRepairHead, Wmrr,
 };
 use datavinci::core::{CleaningSystem, DataVinci};
 use datavinci::corpus::{synthetic_errors, wikipedia_like, Scale};
@@ -150,8 +149,8 @@ fn repair_head_changes_detection_only_output() {
     let table = Table::new(vec![Column::from_texts(
         "status",
         &[
-            "Active", "Active", "Active", "Active", "Active", "Inactive", "Inactive",
-            "Inactive", "Actve",
+            "Active", "Active", "Active", "Active", "Active", "Inactive", "Inactive", "Inactive",
+            "Actve",
         ],
     )]);
     let pw = PottersWheelLike::new();

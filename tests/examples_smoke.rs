@@ -1,0 +1,67 @@
+//! Smoke test: every example under `examples/` must build and run to
+//! completion, so the doc walk-throughs cannot silently rot.
+//!
+//! Each example is executed through `cargo run --example` in the same
+//! profile the test suite was built with, so the binaries are already
+//! compiled by the time the test invokes them (`cargo test` builds example
+//! targets) and the run itself is cheap. Concurrent cargo invocations
+//! serialize on cargo's own target-directory lock, which is why all five
+//! examples run from a single test function.
+
+use std::process::Command;
+
+/// The five documented walk-throughs. Keep in sync with `examples/`.
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "repair_anatomy",
+    "execution_guided",
+    "semantic_cleaning",
+    "benchmark_tour",
+];
+
+#[test]
+fn every_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let mut listed: Vec<String> = std::fs::read_dir(format!("{manifest_dir}/examples"))
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    listed.sort();
+    let mut expected: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(
+        listed, expected,
+        "examples/ drifted from the smoke-test list; update EXAMPLES"
+    );
+
+    for example in EXAMPLES {
+        let mut command = Command::new(&cargo);
+        command
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(manifest_dir)
+            // The test environment may have no registry access; everything
+            // needed is a path dependency, so an offline run must succeed.
+            .arg("--offline");
+        if !cfg!(debug_assertions) {
+            command.arg("--release");
+        }
+        let output = command
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} printed nothing; walk-throughs should narrate"
+        );
+    }
+}

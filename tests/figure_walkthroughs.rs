@@ -81,7 +81,15 @@ fn figure2_constraint_follows_category_column() {
 /// Figure 4: the (A[0-9].)+ column, outlier AAA3.
 #[test]
 fn figure4_outlier_detected_and_repaired_into_language() {
-    let values = ["A2.", "A2.A3.", "A5.A7.", "A1.A2.A3.", "A9.", "A4.A5.", "AAA3"];
+    let values = [
+        "A2.",
+        "A2.A3.",
+        "A5.A7.",
+        "A1.A2.A3.",
+        "A9.",
+        "A4.A5.",
+        "AAA3",
+    ];
     let table = Table::new(vec![Column::from_texts("c", &values)]);
     let dv = DataVinci::new();
     let report = dv.clean_column(&table, 0);
@@ -89,7 +97,10 @@ fn figure4_outlier_detected_and_repaired_into_language() {
     assert_eq!(report.detections[0].value, "AAA3");
     let repaired = &report.repairs[0].repaired;
     // The repair must parse as (A[0-9].)+ — checked structurally.
-    assert!(repaired.len().is_multiple_of(3) && !repaired.is_empty(), "{repaired}");
+    assert!(
+        repaired.len().is_multiple_of(3) && !repaired.is_empty(),
+        "{repaired}"
+    );
     for chunk in repaired.as_bytes().chunks(3) {
         assert_eq!(chunk[0], b'A', "{repaired}");
         assert!(chunk[1].is_ascii_digit(), "{repaired}");
@@ -131,8 +142,7 @@ fn figure8_execution_guided_repair() {
         "ID",
         &["C-19", "C-21", "C-33", "C-48", "C-55", "C51", "C52", "C53"],
     )]);
-    let program =
-        ColumnProgram::parse("=MID([@ID], SEARCH(\"-\", [@ID])+1, 2)*1").expect("parses");
+    let program = ColumnProgram::parse("=MID([@ID], SEARCH(\"-\", [@ID])+1, 2)*1").expect("parses");
     let dv = DataVinci::new();
     assert!(dv.clean_column(&table, 0).detections.is_empty());
     let report = dv.clean_with_program(&table, &program);

@@ -37,7 +37,10 @@ fn numeric_coercions_and_errors() {
 fn date_functions_compose() {
     let out = run_one(
         "=YEAR(DATEVALUE([@d])) * 100 + MONTH(DATEVALUE([@d]))",
-        vec![Column::from_texts("d", &["2021-07-14", "3/2/1999", "Q1-22"])],
+        vec![Column::from_texts(
+            "d",
+            &["2021-07-14", "3/2/1999", "Q1-22"],
+        )],
     );
     assert_eq!(out[0], CellValue::Number(202107.0));
     assert_eq!(out[1], CellValue::Number(199903.0));

@@ -4,12 +4,15 @@
 
 use datavinci::prelude::*;
 use datavinci::semantic::{
-    detect_column_type, GazetteerLlm, Gazetteer, LanguageModel, SemanticAbstractor, SemanticType,
+    detect_column_type, Gazetteer, GazetteerLlm, LanguageModel, SemanticAbstractor, SemanticType,
 };
 
 fn abstract_col(values: &[&str]) -> datavinci::semantic::AbstractedColumn {
     let a = SemanticAbstractor::new(GazetteerLlm::new());
-    a.abstract_column("col", &values.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    a.abstract_column(
+        "col",
+        &values.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    )
 }
 
 /// §3.2: masking happens at the granularity of the predefined types — a
@@ -69,7 +72,11 @@ fn delimiter_split_entity_repaired_end_to_end() {
     let dv = DataVinci::new();
     let report = dv.clean_column(&table, 0);
     let fix = report.repairs.iter().find(|r| r.original == "Flo_rida");
-    assert_eq!(fix.map(|r| r.repaired.as_str()), Some("Florida"), "{report:#?}");
+    assert_eq!(
+        fix.map(|r| r.repaired.as_str()),
+        Some("Florida"),
+        "{report:#?}"
+    );
 }
 
 /// Visual typos inside an entity (`Rh0de Island`) are recovered too.
@@ -94,18 +101,12 @@ fn visual_typo_entity_repaired_end_to_end() {
 fn type_detection_across_flavors() {
     let gaz = Gazetteer::new();
     let cases: Vec<(Vec<&str>, Option<SemanticType>)> = vec![
-        (
-            vec!["Boston", "Miami", "Denver"],
-            Some(SemanticType::City),
-        ),
+        (vec!["Boston", "Miami", "Denver"], Some(SemanticType::City)),
         (
             vec!["red", "blue", "green", "navy"],
             Some(SemanticType::Color),
         ),
-        (
-            vec!["Jan", "Feb", "Mar", "Apr"],
-            Some(SemanticType::Month),
-        ),
+        (vec!["Jan", "Feb", "Mar", "Apr"], Some(SemanticType::Month)),
         (vec!["Q1-22", "Q2-22"], None),
         (vec!["1024", "2048"], None),
     ];

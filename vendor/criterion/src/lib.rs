@@ -1,0 +1,178 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace's
+//! benches use: `Criterion::{default, sample_size, bench_function}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros (both plain and
+//! `name/config/targets` forms).
+//!
+//! It times each routine with `std::time::Instant` over `sample_size`
+//! batches after a short warm-up and prints a mean-per-iteration line, so
+//! `cargo bench` still yields usable relative numbers offline. No outlier
+//! analysis, plotting, or baseline persistence.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `Bencher::iter_batched` amortizes setup cost. The shim only uses the
+/// variant to choose how many routine calls share one setup value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark target.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            iters_per_sample: 8,
+            sample_count,
+        }
+    }
+
+    /// Times `routine` back-to-back; the routine's output is black-boxed so
+    /// the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call to fault in caches and lazy statics.
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_count {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples.push(total);
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total.as_nanos() as f64 / (self.samples.len() as u64 * self.iters_per_sample) as f64
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark target and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher);
+        let ns = bencher.mean_ns();
+        let pretty = if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        };
+        println!(
+            "{id:<40} time: {pretty}/iter ({} samples)",
+            self.sample_count
+        );
+        self
+    }
+}
+
+/// Mirrors `criterion::criterion_group!` in both accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(shim_group, target);
+
+    #[test]
+    fn group_runs_and_times() {
+        shim_group();
+    }
+
+    #[test]
+    fn named_form_compiles_and_runs() {
+        criterion_group!(
+            name = named;
+            config = Criterion::default().sample_size(3);
+            targets = target
+        );
+        named();
+    }
+}

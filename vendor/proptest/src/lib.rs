@@ -1,0 +1,208 @@
+//! Offline, deterministic shim for the subset of the `proptest` API used by
+//! this workspace's property tests.
+//!
+//! The build environment has no cargo-registry access, so this crate stands
+//! in for `proptest`. It keeps the call-site surface identical — the
+//! [`proptest!`] macro, `prop_assert*` / `prop_assume!`, [`Strategy`] with
+//! `prop_map` / `prop_recursive`, [`prop_oneof!`], `prop::collection::vec`,
+//! range and regex-literal strategies — while swapping the engine for a
+//! deliberately simple one:
+//!
+//! - **Deterministic by construction.** Each test's RNG is seeded from an
+//!   FNV-1a hash of the test's name, so every run of every machine explores
+//!   the same cases (the CI-determinism requirement). Set `PROPTEST_SEED`
+//!   to perturb the stream when hunting for new counterexamples.
+//! - **No shrinking.** On failure the offending inputs are printed verbatim;
+//!   cases here are small enough (bounded case counts) that raw
+//!   counterexamples are readable.
+//! - **Regex strategies** support the `[class]{m,n}` / literal concatenation
+//!   subset the suite uses, not full regex syntax.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection::vec` and friends live here, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs one `proptest!`-generated test body over `config.cases` generated
+/// cases. Rejected cases (via `prop_assume!`) don't count toward the total;
+/// a failed assertion panics with the rendered inputs appended.
+pub fn run_property_test<A, F>(
+    test_name: &str,
+    config: &test_runner::ProptestConfig,
+    strategies: &A,
+    mut body: F,
+) where
+    A: strategy::Strategy,
+    A::Value: std::fmt::Debug,
+    F: FnMut(A::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = test_runner::rng_for_test(test_name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    // Bound total attempts so an over-eager `prop_assume!` cannot spin forever.
+    let max_attempts = config.cases.saturating_mul(16).max(64);
+    for _ in 0..max_attempts {
+        if passed >= config.cases {
+            break;
+        }
+        let inputs = strategies.generate(&mut rng);
+        let rendered = format!("{inputs:?}");
+        match body(inputs) {
+            Ok(()) => passed += 1,
+            Err(test_runner::TestCaseError::Reject) => rejected += 1,
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed for `{test_name}`\n  inputs: {rendered}\n  {msg}\n\
+                     (deterministic seed; rerun reproduces this case)"
+                );
+            }
+        }
+    }
+    // Mirror real proptest's too-many-rejects failure: a suite that quietly
+    // runs fewer cases than configured gives a false sense of coverage.
+    assert!(
+        passed >= config.cases,
+        "proptest `{test_name}`: too many prop_assume! rejections — only {passed} of \
+         {} configured cases ran ({rejected} rejections in {max_attempts} attempts); \
+         loosen the assumption or the strategy",
+        config.cases
+    );
+}
+
+/// The workhorse macro: expands each `fn name(arg in strategy, ...) {{ body }}`
+/// item into a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategies = ($($strategy,)+);
+            $crate::run_property_test(
+                stringify!($name),
+                &__config,
+                &__strategies,
+                |($($arg,)+)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Skips the current case (does not count toward the case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Like `assert!`, but reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {left:?}\n right: {right:?}",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "{}\n  left: {left:?}\n right: {right:?}",
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {left:?}",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  both: {left:?}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Uniformly picks one of the listed strategies each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

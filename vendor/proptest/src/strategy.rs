@@ -1,0 +1,447 @@
+//! Value-generation strategies: the shim's replacement for proptest's
+//! strategy tree. Strategies are plain generators (no shrinking); the
+//! combinator surface (`prop_map`, `prop_recursive`, unions, collections,
+//! tuples, ranges, regex literals) matches what the workspace's property
+//! tests call.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A reference-counted, type-erased strategy. Clonable so recursive
+/// strategies can re-enter themselves.
+pub type BoxedStrategy<T> = Rc<dyn Strategy<Value = T>>;
+
+/// Generates values of `Self::Value` from a seeded RNG.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// smaller structure and wraps it one level. `depth` bounds nesting;
+    /// the `_desired_size` / `_expected_branch_size` tuning knobs of real
+    /// proptest are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            depth,
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Rc::new(self)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of one value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let index = rng.gen_range(0..self.options.len());
+        self.options[index].generate(rng)
+    }
+}
+
+/// `prop_recursive` adapter: draws a nesting depth, then stacks `recurse`
+/// that many times over the base strategy. Depth 0 is drawn most often so
+/// small structures stay common, matching proptest's bias toward simplicity.
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    depth: u32,
+    recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        // Geometric-ish depth draw: each extra level is half as likely.
+        let mut levels = 0;
+        while levels < self.depth && rng.gen_bool(0.5) {
+            levels += 1;
+        }
+        let mut strategy = self.base.clone();
+        for _ in 0..levels {
+            strategy = (self.recurse)(strategy);
+        }
+        strategy.generate(rng)
+    }
+}
+
+/// Length specification for [`VecStrategy`]: a fixed size or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// `prop::collection::vec` adapter.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub fn new(element: S, size: SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// String literals act as regex strategies, as in proptest. The shim
+/// supports the subset the suite uses: concatenations of literal characters
+/// and `[...]` classes (ranges, escapes), each optionally quantified with
+/// `{m}` or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_simple_regex(self)
+            .unwrap_or_else(|err| panic!("unsupported regex strategy {self:?}: {err}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let reps = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..reps {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// One quantified alphabet drawn from a regex literal.
+struct RegexAtom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the `[class]{m,n}` / literal-char concatenation subset.
+fn parse_simple_regex(pattern: &str) -> Result<Vec<RegexAtom>, String> {
+    let mut atoms = Vec::new();
+    let mut input = pattern.chars().peekable();
+    while let Some(c) = input.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let item = input.next().ok_or("unterminated character class")?;
+                    match item {
+                        ']' => break,
+                        '\\' => {
+                            let escaped = input.next().ok_or("dangling escape in class")?;
+                            set.push(escaped);
+                            prev = Some(escaped);
+                        }
+                        '-' if prev.is_some() && input.peek().is_some_and(|&n| n != ']') => {
+                            let hi = input.next().expect("peeked");
+                            let lo = prev.take().ok_or("range without start")?;
+                            if lo > hi {
+                                return Err(format!("inverted range {lo}-{hi}"));
+                            }
+                            // `lo` is already in the set; add the rest.
+                            let mut ch = lo as u32 + 1;
+                            while ch <= hi as u32 {
+                                set.push(char::from_u32(ch).ok_or("bad range char")?);
+                                ch += 1;
+                            }
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                set
+            }
+            '\\' => vec![input.next().ok_or("dangling escape")?],
+            '.' => (' '..='~').collect(),
+            '(' | ')' | '|' | '*' | '+' | '?' => {
+                return Err(format!("regex feature {c:?} not supported by the shim"));
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = if input.peek() == Some(&'{') {
+            input.next();
+            let mut spec = String::new();
+            loop {
+                let d = input.next().ok_or("unterminated quantifier")?;
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo: u32 = lo.trim().parse().map_err(|_| "bad quantifier min")?;
+                    let hi: u32 = hi.trim().parse().map_err(|_| "bad quantifier max")?;
+                    if lo > hi {
+                        return Err(format!("quantifier {{{spec}}} inverted"));
+                    }
+                    (lo, hi)
+                }
+                None => {
+                    let n: u32 = spec.trim().parse().map_err(|_| "bad quantifier count")?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(RegexAtom { chars, min, max });
+    }
+    Ok(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    fn all_in(s: &str, allowed: impl Fn(char) -> bool) -> bool {
+        s.chars().all(allowed)
+    }
+
+    #[test]
+    fn regex_class_with_quantifier() {
+        let mut rng = rng_for_test("regex_class_with_quantifier");
+        for _ in 0..200 {
+            let s = "[a-c]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&s.len()), "bad len: {s:?}");
+            assert!(all_in(&s, |c| ('a'..='c').contains(&c)), "bad char: {s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_escaped_dash_and_specials() {
+        let mut rng = rng_for_test("regex_escaped_dash_and_specials");
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9.\\-_ ]{1,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(
+                all_in(&s, |c| c.is_ascii_alphanumeric() || ".-_ ".contains(c)),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_printable_ascii_range() {
+        let mut rng = rng_for_test("regex_printable_ascii_range");
+        for _ in 0..200 {
+            let s = "[ -~]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(
+                all_in(&s, |c| (' '..='~').contains(&c)),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_literals_concatenate() {
+        let mut rng = rng_for_test("regex_literals_concatenate");
+        assert_eq!("abc".generate(&mut rng), "abc");
+        let s = "x[01]{2}y".generate(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+
+    #[test]
+    fn unsupported_syntax_is_rejected() {
+        assert!(parse_simple_regex("(a|b)+").is_err());
+        assert!(parse_simple_regex("[abc").is_err());
+        assert!(parse_simple_regex("a{2,1}").is_err());
+    }
+
+    #[test]
+    fn union_map_and_just_compose() {
+        let strategy = crate::prop_oneof![Just(1u32), (10u32..20).prop_map(|n| n * 2),];
+        let mut rng = rng_for_test("union_map_and_just_compose");
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v), "unexpected {v}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let strategy = crate::collection::vec(0usize..5, 2..6);
+        let mut rng = rng_for_test("vec_strategy_respects_size");
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = crate::collection::vec(0usize..5, 3);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates_and_nests() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strategy = Just(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        });
+        let mut rng = rng_for_test("recursive_strategy_terminates_and_nests");
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            max_seen = max_seen.max(depth(&strategy.generate(&mut rng)));
+        }
+        assert!(max_seen >= 1, "recursion never fired");
+        assert!(max_seen <= 4, "depth bound exceeded: {max_seen}");
+    }
+}

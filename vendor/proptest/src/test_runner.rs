@@ -1,0 +1,76 @@
+//! Configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mirrors the `proptest::test_runner::Config` fields this workspace sets.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim stays deliberately bounded
+        // so property suites keep CI fast. Individual tests override via
+        // `ProptestConfig::with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; try another.
+    Reject,
+    /// A `prop_assert*!` failed with this rendered message.
+    Fail(String),
+}
+
+/// Seeds a test's RNG from its name (FNV-1a), optionally perturbed by the
+/// `PROPTEST_SEED` environment variable. Same name → same case stream, on
+/// every machine, which keeps CI deterministic.
+pub fn rng_for_test(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(extra) = seed.trim().parse::<u64>() {
+            hash = hash.wrapping_add(extra.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = rng_for_test("alpha");
+        let mut b = rng_for_test("alpha");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let mut a = rng_for_test("alpha");
+        let mut b = rng_for_test("beta");
+        let distinct = (0..16).any(|_| a.next_u64() != b.next_u64());
+        assert!(distinct);
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline shim for the sliver of `serde` this workspace touches.
+//!
+//! The build environment cannot reach a cargo registry, so this crate stands
+//! in for `serde`. The bench crate only derives [`Serialize`] on plain metric
+//! structs (no serializer backend is wired up anywhere), so the shim provides
+//! a marker trait plus a derive that implements it. Swapping back to real
+//! serde later is a one-line manifest change; no call sites need to move.
+
+/// Marker for types whose fields are serializable. The derive implements it
+/// structurally; no serializer backend exists in this workspace yet.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;
+
+macro_rules! impl_serialize_prim {
+    ($($t:ty),*) => {$( impl Serialize for $t {} )*};
+}
+
+impl_serialize_prim!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, str,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}

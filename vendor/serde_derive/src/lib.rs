@@ -1,0 +1,31 @@
+//! Derive backing the offline `serde` shim: emits `impl serde::Serialize`
+//! for the annotated type. Hand-rolled token scanning (no `syn`/`quote`,
+//! which are equally unfetchable offline); supports the plain non-generic
+//! structs and enums this workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive(Serialize): could not find type name");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Finds the identifier following the `struct` / `enum` / `union` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(ident) = tt {
+            let text = ident.to_string();
+            if saw_kw {
+                return Some(text);
+            }
+            if matches!(text.as_str(), "struct" | "enum" | "union") {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
