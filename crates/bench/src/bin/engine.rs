@@ -1,0 +1,129 @@
+//! Engine-vs-sequential end-to-end benchmark → `BENCH_engine.json`.
+//!
+//! Cleans the corpus benchmark tables (synthetic-errors + Wikipedia-like)
+//! three ways — sequential `DataVinci::clean_table`, engine cold (parallel,
+//! empty cache), engine warm (parallel, primed cache) — verifies the
+//! engine's reports are byte-identical to the sequential ones, and records
+//! wall times, speedups, and cache telemetry.
+//!
+//! Flags: the shared `--smoke`/`--full`/`--seed N` sizing plus
+//! `--workers N` (default 4, the acceptance-criteria width; `0` = one per
+//! hardware thread) and `--out PATH` (default `BENCH_engine.json`).
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use datavinci_bench::Cli;
+use datavinci_core::{DataVinci, TableReport};
+use datavinci_corpus::{synthetic_errors, wikipedia_like, Scale};
+use datavinci_engine::json::Json;
+use datavinci_engine::{Engine, EngineConfig};
+use datavinci_table::Table;
+
+fn canon(report: &TableReport) -> String {
+    format!("{report:#?}")
+}
+
+fn arg_after(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let workers: usize = arg_after("--workers")
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(4);
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    // The corpus benchmark tables: half dense synthetic errors, half sparse
+    // Wikipedia-like, so both error regimes are in the timing.
+    let scale = Scale {
+        n_tables: cli.scale.n_tables.min(16) / 2,
+        row_divisor: cli.scale.row_divisor,
+    };
+    let mut tables: Vec<Table> = synthetic_errors(cli.seed, scale)
+        .tables
+        .into_iter()
+        .map(|t| t.dirty)
+        .collect();
+    tables.extend(
+        wikipedia_like(cli.seed ^ 0xE147, scale)
+            .tables
+            .into_iter()
+            .map(|t| t.dirty),
+    );
+    let n_columns: usize = tables.iter().map(Table::n_cols).sum();
+    eprintln!(
+        "engine bench: {} tables, {n_columns} columns, {workers} workers requested",
+        tables.len()
+    );
+
+    // Sequential baseline.
+    let dv = DataVinci::new();
+    let started = Instant::now();
+    let sequential: Vec<TableReport> = tables.iter().map(|t| dv.clean_table(t)).collect();
+    let sequential_ms = started.elapsed().as_secs_f64() * 1000.0;
+    eprintln!("  sequential            {sequential_ms:9.1} ms");
+
+    // Engine, cold cache.
+    let engine = Engine::with_config(EngineConfig {
+        workers,
+        cache: true,
+    });
+    let started = Instant::now();
+    let cold = engine.clean_batch(&tables);
+    let cold_ms = started.elapsed().as_secs_f64() * 1000.0;
+    eprintln!("  engine cold ({} workers) {cold_ms:9.1} ms", cold.workers);
+
+    // Byte-identity against the sequential reports.
+    let byte_identical = cold
+        .tables
+        .iter()
+        .zip(&sequential)
+        .all(|(engine_report, seq)| canon(&engine_report.table_report()) == canon(seq));
+    assert!(
+        byte_identical,
+        "engine reports diverged from sequential cleaning"
+    );
+
+    // Engine, warm cache (unchanged tables: report hits only).
+    let started = Instant::now();
+    let warm = engine.clean_batch(&tables);
+    let warm_ms = started.elapsed().as_secs_f64() * 1000.0;
+    eprintln!("  engine warm           {warm_ms:9.1} ms");
+    let stats = warm.cache;
+    assert!(
+        stats.report_hits > 0,
+        "warm re-clean must be served from the cache"
+    );
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let cold_speedup = sequential_ms / cold_ms.max(1e-9);
+    let warm_speedup = sequential_ms / warm_ms.max(1e-9);
+    let json = Json::obj()
+        .field("benchmark", Json::str("engine_end_to_end"))
+        .field("seed", Json::Int(cli.seed as i64))
+        .field("n_tables", Json::Int(tables.len() as i64))
+        .field("n_columns", Json::Int(n_columns as i64))
+        .field("workers", Json::Int(cold.workers as i64))
+        .field("hardware_threads", Json::Int(hardware_threads as i64))
+        .field("sequential_ms", Json::Num(sequential_ms))
+        .field("engine_cold_ms", Json::Num(cold_ms))
+        .field("engine_warm_ms", Json::Num(warm_ms))
+        .field("cold_speedup", Json::Num(cold_speedup))
+        .field("warm_speedup", Json::Num(warm_speedup))
+        .field("byte_identical", Json::Bool(byte_identical))
+        .field("cache", stats.to_json());
+    std::fs::write(&out_path, json.render_pretty()).expect("write benchmark JSON");
+    println!("{}", json.render_pretty());
+    eprintln!(
+        "cold ×{cold_speedup:.2}, warm ×{warm_speedup:.2} vs sequential \
+         ({hardware_threads} hardware threads); wrote {out_path}"
+    );
+}

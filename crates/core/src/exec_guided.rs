@@ -146,6 +146,7 @@ impl DataVinci {
 
         ColumnAnalysis {
             col,
+            values,
             abstraction,
             masked,
             profile,

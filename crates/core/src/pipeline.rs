@@ -8,16 +8,21 @@ use crate::config::{DataVinciConfig, RankingMode, SemanticMode};
 use crate::ranker::CandidateProperties;
 use crate::repair_dp::minimal_edit_program;
 use crate::system::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
-use datavinci_profile::{profile_column, ColumnProfile};
+use datavinci_profile::{profile_column, rescore_profile, ColumnProfile};
 use datavinci_regex::MaskedString;
 use datavinci_semantic::{AbstractedColumn, GazetteerLlm, GazetteerLlmConfig, SemanticAbstractor};
 use datavinci_table::Table;
 
 /// Everything DataVinci derives about one column before repairing.
-#[derive(Debug)]
+///
+/// `Clone` so batch engines can cache a finished analysis and replay it
+/// against unchanged column content.
+#[derive(Debug, Clone)]
 pub struct ColumnAnalysis {
     /// The analyzed column index.
     pub col: usize,
+    /// Rendered cell values, one per row (rendered once per analysis).
+    pub values: Vec<String>,
     /// The semantic abstraction (mask occurrences, defaults).
     pub abstraction: AbstractedColumn,
     /// Masked values, one per row.
@@ -134,9 +139,38 @@ impl DataVinci {
 
     /// Runs abstraction, profiling and detection on one column.
     pub fn analyze_column(&self, table: &Table, col: usize) -> ColumnAnalysis {
+        let (values, abstraction, masked) = self.abstract_column(table, col);
+        let profile = profile_column(&masked, &self.cfg.profiler);
+        self.detect_with_profile(col, values, abstraction, masked, profile)
+    }
+
+    /// Runs abstraction and detection on one column, *reusing* a previously
+    /// learned profile instead of re-learning patterns from scratch.
+    ///
+    /// The prior's patterns are re-scored (membership + coverage) against
+    /// the current column content, so this is sound whenever the prior
+    /// still describes the column language — in particular for unchanged or
+    /// append-only column content, which batch engines recognize via
+    /// [`datavinci_table::Column::fingerprint`].
+    pub fn analyze_column_reusing(
+        &self,
+        table: &Table,
+        col: usize,
+        prior: &ColumnProfile,
+    ) -> ColumnAnalysis {
+        let (values, abstraction, masked) = self.abstract_column(table, col);
+        let profile = rescore_profile(prior, &masked);
+        self.detect_with_profile(col, values, abstraction, masked, profile)
+    }
+
+    /// ⓪ Abstraction: rendered values, semantic abstraction, masked strings.
+    fn abstract_column(
+        &self,
+        table: &Table,
+        col: usize,
+    ) -> (Vec<String>, AbstractedColumn, Vec<MaskedString>) {
         let column = table.column(col).expect("column index in range");
         let values: Vec<String> = column.rendered();
-
         let abstraction = match self.cfg.semantics {
             SemanticMode::None => AbstractedColumn::plain(&values),
             SemanticMode::Full | SemanticMode::Limited => {
@@ -144,7 +178,18 @@ impl DataVinci {
             }
         };
         let masked = abstraction.masked_strings();
-        let profile = profile_column(&masked, &self.cfg.profiler);
+        (values, abstraction, masked)
+    }
+
+    /// ①–② Significance + detection over a finished profile.
+    fn detect_with_profile(
+        &self,
+        col: usize,
+        values: Vec<String>,
+        abstraction: AbstractedColumn,
+        masked: Vec<MaskedString>,
+        profile: ColumnProfile,
+    ) -> ColumnAnalysis {
         let significant: Vec<usize> = (0..profile.patterns.len())
             .filter(|&i| profile.patterns[i].coverage >= self.cfg.delta)
             .collect();
@@ -166,8 +211,11 @@ impl DataVinci {
         // shape satisfies a significant pattern.
         let mut semantic_only_rows = Vec::new();
         if self.cfg.semantics == SemanticMode::Full && !significant.is_empty() {
+            // The syntactic prefix is sorted; rows appended below must not
+            // be searched (they would break the sort mid-loop).
+            let syntactic = error_rows.len();
             for row in 0..values.len() {
-                if error_rows.contains(&row) {
+                if error_rows[..syntactic].binary_search(&row).is_ok() {
                     continue;
                 }
                 if abstraction.concretize(row, &masked[row]) != values[row] {
@@ -180,6 +228,7 @@ impl DataVinci {
 
         ColumnAnalysis {
             col,
+            values,
             abstraction,
             masked,
             profile,
@@ -195,11 +244,13 @@ impl DataVinci {
         self.repair_analysis(table, &analysis)
     }
 
-    /// Repairs the errors of a finished analysis (shared with the
-    /// execution-guided path).
-    pub(crate) fn repair_analysis(&self, table: &Table, analysis: &ColumnAnalysis) -> ColumnReport {
-        let column = table.column(analysis.col).expect("column in range");
-        let values: Vec<String> = column.rendered();
+    /// Repairs the errors of a finished analysis.
+    ///
+    /// Public so batch engines (and the execution-guided path) can replay a
+    /// cached or reused [`ColumnAnalysis`] without re-abstracting the
+    /// column; the analysis's own rendered `values` are reused throughout.
+    pub fn repair_analysis(&self, table: &Table, analysis: &ColumnAnalysis) -> ColumnReport {
+        let values = &analysis.values;
         let n_rows = values.len();
 
         let mut report = ColumnReport {
@@ -213,10 +264,11 @@ impl DataVinci {
             return report;
         }
 
-        // Non-error values, for the ranker's closest-value property.
-        let clean_values: Vec<String> = (0..n_rows)
-            .filter(|r| !analysis.error_rows.contains(r))
-            .map(|r| values[r].clone())
+        // Non-error values, for the ranker's closest-value property
+        // (`error_rows` is sorted; borrow instead of cloning each value).
+        let clean_values: Vec<&str> = (0..n_rows)
+            .filter(|r| analysis.error_rows.binary_search(r).is_err())
+            .map(|r| values[r].as_str())
             .collect();
 
         let mut concretizer = Concretizer::new(table, &self.cfg);
@@ -226,7 +278,7 @@ impl DataVinci {
                 .rows
                 .iter()
                 .copied()
-                .filter(|r| !analysis.error_rows.contains(r))
+                .filter(|r| analysis.error_rows.binary_search(r).is_err())
                 .collect();
             concretizer.train_pattern(pi, lp, &training_rows, &analysis.masked);
         }
@@ -236,13 +288,8 @@ impl DataVinci {
                 row,
                 value: values[row].clone(),
             });
-            let candidates = self.candidates_for_row(
-                analysis,
-                &mut concretizer,
-                row,
-                &values[row],
-                &clean_values,
-            );
+            let candidates =
+                self.candidates_for_row(analysis, &mut concretizer, row, &clean_values);
             if let Some(best) = candidates.first() {
                 if best.repaired != values[row] {
                     report.repairs.push(RepairSuggestion {
@@ -264,9 +311,9 @@ impl DataVinci {
         analysis: &ColumnAnalysis,
         concretizer: &mut Concretizer<'_>,
         row: usize,
-        original: &str,
-        clean_values: &[String],
+        clean_values: &[&str],
     ) -> Vec<RepairCandidate> {
+        let original = analysis.values[row].as_str();
         let value = &analysis.masked[row];
         let mut out: Vec<RepairCandidate> = Vec::new();
         for &pi in &analysis.significant {

@@ -49,17 +49,19 @@ pub struct CandidateProperties {
 }
 
 impl CandidateProperties {
-    /// Measures a candidate against its column context.
-    pub fn measure(
+    /// Measures a candidate against its column context. Accepts any string
+    /// slice type so hot paths can pass borrowed column values.
+    pub fn measure<S: AsRef<str>>(
         original: &str,
         repaired: &str,
         alnum_edits: usize,
         pattern_coverage: f64,
-        column_values: &[String],
+        column_values: &[S],
     ) -> CandidateProperties {
         let closest = column_values
             .iter()
-            .filter(|v| v.as_str() != original)
+            .map(S::as_ref)
+            .filter(|v| *v != original)
             .map(|v| levenshtein(repaired, v))
             .min()
             .unwrap_or(0);

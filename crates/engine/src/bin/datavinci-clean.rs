@@ -1,0 +1,229 @@
+//! `datavinci-clean`: CSV in → repaired CSV + JSON report out.
+//!
+//! ```text
+//! datavinci-clean input.csv [-o out.csv] [--report report.json]
+//!                 [--workers N] [--semantics full|limited|none]
+//!                 [--no-cache] [--quiet]
+//! ```
+//!
+//! Reads a headered CSV, runs the parallel cleaning engine over every
+//! sufficiently-textual column, writes the repaired CSV (default:
+//! `<input>.cleaned.csv`) and, on request, a JSON report with per-column
+//! detections, repairs, timing, and cache telemetry.
+
+use std::process::ExitCode;
+
+use datavinci_core::{DataVinci, DataVinciConfig, SemanticMode};
+use datavinci_engine::json::Json;
+use datavinci_engine::{Engine, EngineConfig, EngineReport};
+use datavinci_table::{io, Table};
+
+struct Args {
+    input: String,
+    output: Option<String>,
+    report: Option<String>,
+    workers: usize,
+    semantics: SemanticMode,
+    cache: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: datavinci-clean INPUT.csv [-o OUT.csv] [--report REPORT.json] \
+                     [--workers N] [--semantics full|limited|none] [--no-cache] [--quiet]";
+
+/// `Ok(None)` means help was requested (print usage, exit 0).
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        input: String::new(),
+        output: None,
+        report: None,
+        workers: 0,
+        semantics: SemanticMode::Full,
+        cache: true,
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-o" | "--output" => args.output = Some(value(arg)?),
+            "--report" => args.report = Some(value(arg)?),
+            "--workers" => {
+                args.workers = value(arg)?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?
+            }
+            "--semantics" => {
+                args.semantics = match value(arg)?.as_str() {
+                    "full" => SemanticMode::Full,
+                    "limited" => SemanticMode::Limited,
+                    "none" => SemanticMode::None,
+                    other => return Err(format!("unknown --semantics mode: {other}")),
+                }
+            }
+            "--no-cache" => args.cache = false,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Ok(None),
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            other if args.input.is_empty() => args.input = other.to_string(),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    if args.input.is_empty() {
+        return Err("missing INPUT.csv".to_string());
+    }
+    Ok(Some(args))
+}
+
+fn report_json(
+    table: &Table,
+    report: &EngineReport,
+    engine: &Engine,
+    wall: std::time::Duration,
+) -> Json {
+    let columns = report
+        .columns
+        .iter()
+        .map(|c| {
+            let name = table
+                .column(c.report.col)
+                .map(|col| col.name().to_string())
+                .unwrap_or_default();
+            Json::obj()
+                .field("col", Json::Int(c.report.col as i64))
+                .field("name", Json::str(name))
+                .field("n_rows", Json::Int(c.report.n_rows as i64))
+                .field(
+                    "significant_patterns",
+                    Json::Arr(
+                        c.report
+                            .significant_patterns
+                            .iter()
+                            .map(Json::str)
+                            .collect(),
+                    ),
+                )
+                .field("n_detections", Json::Int(c.report.detections.len() as i64))
+                .field(
+                    "repairs",
+                    Json::Arr(
+                        c.report
+                            .repairs
+                            .iter()
+                            .map(|r| {
+                                Json::obj()
+                                    .field("row", Json::Int(r.row as i64))
+                                    .field("original", Json::str(&r.original))
+                                    .field("repaired", Json::str(&r.repaired))
+                            })
+                            .collect(),
+                    ),
+                )
+                .field("cache", Json::str(c.cache.label()))
+                .field("elapsed_ms", Json::Num(c.elapsed.as_secs_f64() * 1000.0))
+        })
+        .collect();
+
+    let mut root = Json::obj()
+        .field("workers", Json::Int(engine.workers() as i64))
+        .field("n_rows", Json::Int(table.n_rows() as i64))
+        .field("n_cols", Json::Int(table.n_cols() as i64))
+        .field("n_detections", Json::Int(report.n_detections() as i64))
+        .field("n_repairs", Json::Int(report.n_repairs() as i64))
+        .field("elapsed_ms", Json::Num(wall.as_secs_f64() * 1000.0))
+        .field("columns", Json::Arr(columns));
+    if let Some(stats) = engine.cache_stats() {
+        root = root.field("cache", stats.to_json());
+    }
+    root
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let table = io::parse_csv(&text)
+        .ok_or_else(|| format!("{}: not a rectangular headered CSV", args.input))?;
+
+    let dv = DataVinci::with_config(DataVinciConfig {
+        semantics: args.semantics,
+        ..DataVinciConfig::default()
+    });
+    let engine = Engine::with_system(
+        dv,
+        EngineConfig {
+            workers: args.workers,
+            cache: args.cache,
+        },
+    );
+    let started = std::time::Instant::now();
+    let report = engine.clean_table(&table);
+    let wall = started.elapsed();
+    let repaired = Engine::apply(&table, &report.table_report());
+
+    let out_path = args
+        .output
+        .clone()
+        .unwrap_or_else(|| format!("{}.cleaned.csv", args.input.trim_end_matches(".csv")));
+    std::fs::write(&out_path, io::to_csv(&repaired))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    if let Some(report_path) = &args.report {
+        let json = report_json(&table, &report, &engine, wall).render_pretty();
+        std::fs::write(report_path, json)
+            .map_err(|e| format!("cannot write {report_path}: {e}"))?;
+    }
+
+    if !args.quiet {
+        println!(
+            "{}: {} rows × {} cols · {} workers · {} detections · {} repairs · {:.1} ms",
+            args.input,
+            table.n_rows(),
+            table.n_cols(),
+            engine.workers(),
+            report.n_detections(),
+            report.n_repairs(),
+            wall.as_secs_f64() * 1000.0,
+        );
+        for c in &report.columns {
+            let name = table
+                .column(c.report.col)
+                .map(|col| col.name().to_string())
+                .unwrap_or_default();
+            for r in &c.report.repairs {
+                println!("  {name}[{}]: {:?} -> {:?}", r.row, r.original, r.repaired);
+            }
+        }
+        println!("wrote {out_path}");
+        if let Some(report_path) = &args.report {
+            println!("wrote {report_path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The column cache: fingerprint-keyed reuse of learned cleaning artifacts.
+//!
+//! DataVinci's per-column work splits into three reusable layers:
+//!
+//! 1. the finished [`ColumnReport`] — reusable only when the *whole table*
+//!    is unchanged (repair concretization reads sibling-column features);
+//! 2. the [`ColumnAnalysis`] (abstraction + profile + detection) — purely
+//!    column-local, reusable whenever the column content is unchanged;
+//! 3. the learned [`ColumnProfile`] patterns — reusable for *append-only*
+//!    growth, where the old rows still define the column language and only
+//!    pattern membership needs re-scoring.
+//!
+//! Lookups classify into those layers via [`datavinci_table::Column`]
+//! fingerprints (rolling, so a prefix fingerprint detects appends) and
+//! record hit/miss telemetry.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use datavinci_core::{ColumnAnalysis, ColumnReport};
+use datavinci_table::Column;
+
+/// Default bound on distinct cached column contents (FIFO-evicted beyond
+/// it), keeping a long-lived engine's footprint proportional to its working
+/// set rather than to everything it has ever cleaned.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Cache telemetry counters (cumulative since construction or `clear`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Whole-report reuse: column and table both unchanged.
+    pub report_hits: u64,
+    /// Analysis reuse: column unchanged, table context changed (repair
+    /// re-runs against the new table).
+    pub analysis_hits: u64,
+    /// Profile reuse: column grew append-only (patterns re-scored, repair
+    /// re-runs).
+    pub append_hits: u64,
+    /// Append lookups the engine abandoned because the appended rows did
+    /// not fit the prior language (re-profiled from scratch instead; these
+    /// are counted under `misses`, not `append_hits`).
+    pub append_fallbacks: u64,
+    /// Full recomputation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// All hits, across the three reuse layers.
+    pub fn hits(&self) -> u64 {
+        self.report_hits + self.analysis_hits + self.append_hits
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// The canonical JSON rendering (shared by the CLI and bench bins).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj()
+            .field("report_hits", Json::Int(self.report_hits as i64))
+            .field("analysis_hits", Json::Int(self.analysis_hits as i64))
+            .field("append_hits", Json::Int(self.append_hits as i64))
+            .field("append_fallbacks", Json::Int(self.append_fallbacks as i64))
+            .field("misses", Json::Int(self.misses as i64))
+    }
+}
+
+/// One cached column: the artifacts plus the identity they were learned on.
+#[derive(Debug)]
+pub struct CachedColumn {
+    /// Column content fingerprint at learn time.
+    pub fingerprint: u64,
+    /// Whole-table fingerprint at learn time (gates report reuse).
+    pub table_fingerprint: u64,
+    /// Column index at learn time (analyses embed their column index).
+    pub col: usize,
+    /// Row count at learn time (gates append detection).
+    pub n_rows: usize,
+    /// The finished analysis.
+    pub analysis: Arc<ColumnAnalysis>,
+    /// The finished report.
+    pub report: ColumnReport,
+}
+
+/// The outcome of one cache lookup.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Column + table unchanged: the cached report is the answer.
+    Report(Arc<CachedColumn>),
+    /// Column unchanged in a different table: reuse the analysis, re-repair.
+    Analysis(Arc<CachedColumn>),
+    /// Column grew append-only: reuse the learned profile, re-detect.
+    Append(Arc<CachedColumn>),
+    /// Nothing reusable.
+    Miss,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Exact content → entry.
+    by_fingerprint: HashMap<u64, Arc<CachedColumn>>,
+    /// Latest entry per column name, for append-only prefix probing.
+    by_name: HashMap<String, Arc<CachedColumn>>,
+    /// Insertion order of `by_fingerprint` keys, for FIFO eviction.
+    order: VecDeque<u64>,
+    stats: CacheStats,
+}
+
+/// A thread-safe fingerprint-keyed cache of per-column cleaning artifacts,
+/// bounded to `capacity` distinct column contents (FIFO eviction).
+pub struct ProfileCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for ProfileCache {
+    fn default() -> Self {
+        ProfileCache::new()
+    }
+}
+
+impl ProfileCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> ProfileCache {
+        ProfileCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` entries (min 1).
+    pub fn with_capacity(capacity: usize) -> ProfileCache {
+        ProfileCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Classifies the reusable layer for `column` at index `col` of a table
+    /// with fingerprint `table_fingerprint`, updating telemetry.
+    pub fn lookup(&self, column: &Column, col: usize, table_fingerprint: u64) -> CacheLookup {
+        let fingerprint = column.fingerprint();
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(entry) = inner.by_fingerprint.get(&fingerprint) {
+            if entry.col == col {
+                let entry = Arc::clone(entry);
+                if entry.table_fingerprint == table_fingerprint {
+                    inner.stats.report_hits += 1;
+                    return CacheLookup::Report(entry);
+                }
+                inner.stats.analysis_hits += 1;
+                return CacheLookup::Analysis(entry);
+            }
+        }
+        if let Some(entry) = inner.by_name.get(column.name()) {
+            if entry.col == col
+                && entry.n_rows < column.len()
+                && column.fingerprint_prefix(entry.n_rows) == entry.fingerprint
+            {
+                let entry = Arc::clone(entry);
+                inner.stats.append_hits += 1;
+                return CacheLookup::Append(entry);
+            }
+        }
+        inner.stats.misses += 1;
+        CacheLookup::Miss
+    }
+
+    /// Stores the artifacts learned for `column`.
+    pub fn insert(
+        &self,
+        column: &Column,
+        col: usize,
+        table_fingerprint: u64,
+        analysis: Arc<ColumnAnalysis>,
+        report: ColumnReport,
+    ) {
+        let entry = Arc::new(CachedColumn {
+            fingerprint: column.fingerprint(),
+            table_fingerprint,
+            col,
+            n_rows: column.len(),
+            analysis,
+            report,
+        });
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner
+            .by_fingerprint
+            .insert(entry.fingerprint, Arc::clone(&entry))
+            .is_none()
+        {
+            inner.order.push_back(entry.fingerprint);
+        }
+        inner.by_name.insert(column.name().to_string(), entry);
+        while inner.by_fingerprint.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = inner.by_fingerprint.remove(&oldest) {
+                // Drop the name index too if it still points at this entry.
+                inner.by_name.retain(|_, kept| !Arc::ptr_eq(kept, &evicted));
+            }
+        }
+    }
+
+    /// Records that an append hit was abandoned (the appended rows did not
+    /// fit the prior language and the engine re-profiled from scratch).
+    pub fn record_append_fallback(&self) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.stats.append_hits = inner.stats.append_hits.saturating_sub(1);
+        inner.stats.append_fallbacks += 1;
+        inner.stats.misses += 1;
+    }
+
+    /// Cumulative telemetry.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache poisoned").stats
+    }
+
+    /// Number of distinct cached column contents.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("cache poisoned")
+            .by_fingerprint
+            .len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and telemetry.
+    pub fn clear(&self) {
+        *self.inner.lock().expect("cache poisoned") = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_core::DataVinci;
+    use datavinci_table::Table;
+
+    fn analyze(table: &Table, col: usize) -> (Arc<ColumnAnalysis>, ColumnReport) {
+        let dv = DataVinci::new();
+        let analysis = dv.analyze_column(table, col);
+        let report = dv.repair_analysis(table, &analysis);
+        (Arc::new(analysis), report)
+    }
+
+    fn table(values: &[&str]) -> Table {
+        Table::new(vec![Column::from_texts("ids", values)])
+    }
+
+    #[test]
+    fn miss_then_report_hit() {
+        let cache = ProfileCache::new();
+        let t = table(&["a-1", "a-2", "a9"]);
+        let col = t.column(0).unwrap();
+        assert!(matches!(
+            cache.lookup(col, 0, t.fingerprint()),
+            CacheLookup::Miss
+        ));
+        let (analysis, report) = analyze(&t, 0);
+        cache.insert(col, 0, t.fingerprint(), analysis, report);
+        assert!(matches!(
+            cache.lookup(col, 0, t.fingerprint()),
+            CacheLookup::Report(_)
+        ));
+        let stats = cache.stats();
+        assert_eq!(stats.report_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits(), 1);
+        assert_eq!(stats.lookups(), 2);
+    }
+
+    #[test]
+    fn same_column_in_different_table_is_analysis_hit() {
+        let cache = ProfileCache::new();
+        let t1 = table(&["a-1", "a-2", "a9"]);
+        let (analysis, report) = analyze(&t1, 0);
+        cache.insert(t1.column(0).unwrap(), 0, t1.fingerprint(), analysis, report);
+
+        // Same column content, extra sibling column → different table print.
+        let t2 = Table::new(vec![
+            Column::from_texts("ids", &["a-1", "a-2", "a9"]),
+            Column::from_texts("other", &["x", "y", "z"]),
+        ]);
+        assert_ne!(t1.fingerprint(), t2.fingerprint());
+        assert!(matches!(
+            cache.lookup(t2.column(0).unwrap(), 0, t2.fingerprint()),
+            CacheLookup::Analysis(_)
+        ));
+        assert_eq!(cache.stats().analysis_hits, 1);
+    }
+
+    #[test]
+    fn appended_column_is_append_hit() {
+        let cache = ProfileCache::new();
+        let t1 = table(&["a-1", "a-2", "a-3"]);
+        let (analysis, report) = analyze(&t1, 0);
+        cache.insert(t1.column(0).unwrap(), 0, t1.fingerprint(), analysis, report);
+
+        let t2 = table(&["a-1", "a-2", "a-3", "a-4", "a5"]);
+        match cache.lookup(t2.column(0).unwrap(), 0, t2.fingerprint()) {
+            CacheLookup::Append(entry) => assert_eq!(entry.n_rows, 3),
+            other => panic!("expected append hit, got {other:?}"),
+        }
+        // A *changed* (not appended) column misses.
+        let t3 = table(&["a-1", "a-X", "a-3", "a-4"]);
+        assert!(matches!(
+            cache.lookup(t3.column(0).unwrap(), 0, t3.fingerprint()),
+            CacheLookup::Miss
+        ));
+        assert_eq!(cache.stats().append_hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let cache = ProfileCache::with_capacity(2);
+        let tables: Vec<Table> = (0..3)
+            .map(|i| table(&[&format!("a-{i}1"), &format!("a-{i}2")]))
+            .collect();
+        for t in &tables {
+            let (analysis, report) = analyze(t, 0);
+            cache.insert(t.column(0).unwrap(), 0, t.fingerprint(), analysis, report);
+        }
+        assert_eq!(cache.len(), 2);
+        // The first insertion was evicted; the later two survive.
+        assert!(matches!(
+            cache.lookup(tables[0].column(0).unwrap(), 0, tables[0].fingerprint()),
+            CacheLookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup(tables[2].column(0).unwrap(), 0, tables[2].fingerprint()),
+            CacheLookup::Report(_)
+        ));
+    }
+
+    #[test]
+    fn append_fallback_moves_hit_to_miss() {
+        let cache = ProfileCache::new();
+        let t1 = table(&["a-1", "a-2", "a-3"]);
+        let (analysis, report) = analyze(&t1, 0);
+        cache.insert(t1.column(0).unwrap(), 0, t1.fingerprint(), analysis, report);
+        let t2 = table(&["a-1", "a-2", "a-3", "XYZ", "QRS"]);
+        assert!(matches!(
+            cache.lookup(t2.column(0).unwrap(), 0, t2.fingerprint()),
+            CacheLookup::Append(_)
+        ));
+        cache.record_append_fallback();
+        let stats = cache.stats();
+        assert_eq!(stats.append_hits, 0);
+        assert_eq!(stats.append_fallbacks, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_stats() {
+        let cache = ProfileCache::new();
+        let t = table(&["a-1", "a-2"]);
+        let (analysis, report) = analyze(&t, 0);
+        cache.insert(t.column(0).unwrap(), 0, t.fingerprint(), analysis, report);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

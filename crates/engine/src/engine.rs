@@ -1,0 +1,418 @@
+//! The batch cleaning engine: DataVinci's column-wise pipeline behind a
+//! worker pool and a fingerprint-keyed artifact cache.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cache::{CacheLookup, CacheStats, ProfileCache};
+use crate::pool::WorkerPool;
+use crate::report::{BatchReport, CacheOutcome, ColumnOutcome, EngineReport};
+use datavinci_core::{DataVinci, TableReport};
+use datavinci_table::{CellRef, CellValue, Table};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per hardware thread.
+    pub workers: usize,
+    /// Cache learned artifacts across cleans?
+    pub cache: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            cache: true,
+        }
+    }
+}
+
+/// The parallel, cache-aware batch cleaning engine.
+///
+/// DataVinci's pipeline is column-independent (paper Figure 2), so the
+/// engine schedules one task per `(table, column)` pair over a scoped-thread
+/// pool and — when caching is on — reuses learned artifacts for unchanged or
+/// append-only column content.
+///
+/// Cold cleans and re-cleans of *unchanged* content are byte-identical to
+/// the sequential [`DataVinci::clean_table`] loop: same columns, same
+/// order, same reports. Append-only reuse is an approximation — prior
+/// patterns are re-scored rather than re-learned, so results can differ
+/// from a from-scratch clean of the grown column; the engine falls back to
+/// full profiling when the appended rows do not fit the prior language
+/// (see the `CacheLookup::Append` arm and
+/// [`CacheStats::append_fallbacks`](crate::CacheStats)).
+pub struct Engine {
+    dv: DataVinci,
+    pool: WorkerPool,
+    cache: Option<ProfileCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine around a default [`DataVinci`] with default configuration.
+    pub fn new() -> Engine {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// An engine around a default [`DataVinci`].
+    pub fn with_config(cfg: EngineConfig) -> Engine {
+        Engine::with_system(DataVinci::new(), cfg)
+    }
+
+    /// An engine around an explicitly configured cleaning system (ablations,
+    /// semantic modes, custom thresholds).
+    pub fn with_system(dv: DataVinci, cfg: EngineConfig) -> Engine {
+        Engine {
+            dv,
+            pool: WorkerPool::new(cfg.workers),
+            cache: cfg.cache.then(ProfileCache::new),
+        }
+    }
+
+    /// The wrapped cleaning system.
+    pub fn system(&self) -> &DataVinci {
+        &self.dv
+    }
+
+    /// The effective worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Cache telemetry, if caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(ProfileCache::stats)
+    }
+
+    /// Drops all cached artifacts and telemetry (no-op when disabled).
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+    }
+
+    /// Cleans a single column through the cache (no pool dispatch): the
+    /// entry point for callers that sweep columns themselves.
+    ///
+    /// Recomputes the table fingerprint (an O(cells) hash) on every call;
+    /// prefer [`Engine::clean_table`]/[`Engine::clean_batch`], which hash
+    /// each table once for all its columns.
+    pub fn clean_column(&self, table: &Table, col: usize) -> ColumnOutcome {
+        self.clean_unit(table, table.fingerprint(), col)
+    }
+
+    /// Cleans every sufficiently-textual column of one table, in parallel.
+    ///
+    /// The report's `elapsed` keeps its batch semantics (summed per-column
+    /// cleaning time); measure wall time around this call if needed.
+    pub fn clean_table(&self, table: &Table) -> EngineReport {
+        self.clean_batch(std::slice::from_ref(table))
+            .tables
+            .pop()
+            .expect("one table in, one out")
+    }
+
+    /// Cleans a queue of independent tables, in parallel.
+    ///
+    /// Work is scheduled at `(table, column)` granularity so a batch of
+    /// small tables and one huge table still load-balances.
+    pub fn clean_batch(&self, tables: &[Table]) -> BatchReport {
+        let started = Instant::now();
+        let min_text = self.dv.config().min_text_fraction;
+
+        // One unit per cleanable column; table fingerprints computed once.
+        let prints: Vec<u64> = tables.iter().map(Table::fingerprint).collect();
+        let units: Vec<(usize, usize)> = tables
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, t)| {
+                (0..t.n_cols())
+                    .filter(|&c| {
+                        t.column(c)
+                            .is_some_and(|col| col.text_fraction() >= min_text)
+                    })
+                    .map(move |c| (ti, c))
+            })
+            .collect();
+
+        let outcomes = self.pool.map(&units, |_, &(ti, col)| {
+            self.clean_unit(&tables[ti], prints[ti], col)
+        });
+
+        let mut per_table: Vec<EngineReport> =
+            tables.iter().map(|_| EngineReport::default()).collect();
+        for (&(ti, _), outcome) in units.iter().zip(outcomes) {
+            per_table[ti].elapsed += outcome.elapsed;
+            per_table[ti].columns.push(outcome);
+        }
+        BatchReport {
+            tables: per_table,
+            elapsed: started.elapsed(),
+            workers: self.pool.workers(),
+            cache: self.cache_stats().unwrap_or_default(),
+        }
+    }
+
+    /// Cleans one column, consulting the cache layer by layer.
+    fn clean_unit(&self, table: &Table, table_fingerprint: u64, col: usize) -> ColumnOutcome {
+        let started = Instant::now();
+        let column = table.column(col).expect("column in range");
+
+        let (report, cache_outcome) = match &self.cache {
+            None => {
+                let analysis = self.dv.analyze_column(table, col);
+                (
+                    self.dv.repair_analysis(table, &analysis),
+                    CacheOutcome::Disabled,
+                )
+            }
+            Some(cache) => match cache.lookup(column, col, table_fingerprint) {
+                CacheLookup::Report(entry) => (entry.report.clone(), CacheOutcome::ReportHit),
+                CacheLookup::Analysis(entry) => {
+                    let report = self.dv.repair_analysis(table, &entry.analysis);
+                    cache.insert(
+                        column,
+                        col,
+                        table_fingerprint,
+                        Arc::clone(&entry.analysis),
+                        report.clone(),
+                    );
+                    (report, CacheOutcome::AnalysisHit)
+                }
+                CacheLookup::Append(entry) => {
+                    let analysis =
+                        self.dv
+                            .analyze_column_reusing(table, col, &entry.analysis.profile);
+                    // Append reuse assumes the prior language still
+                    // describes the column. If the appended rows mostly
+                    // fall outside it — or significance collapsed under
+                    // the new row count — the assumption failed:
+                    // re-profile from scratch like a miss.
+                    let appended = column.len() - entry.n_rows;
+                    let appended_errors = analysis
+                        .error_rows
+                        .iter()
+                        .filter(|&&row| row >= entry.n_rows)
+                        .count();
+                    let language_broke = appended_errors * 2 > appended
+                        || (analysis.significant.is_empty()
+                            && !entry.analysis.significant.is_empty());
+                    if language_broke {
+                        cache.record_append_fallback();
+                        let analysis = self.dv.analyze_column(table, col);
+                        let report = self.dv.repair_analysis(table, &analysis);
+                        cache.insert(
+                            column,
+                            col,
+                            table_fingerprint,
+                            Arc::new(analysis),
+                            report.clone(),
+                        );
+                        (report, CacheOutcome::Miss)
+                    } else {
+                        let report = self.dv.repair_analysis(table, &analysis);
+                        cache.insert(
+                            column,
+                            col,
+                            table_fingerprint,
+                            Arc::new(analysis),
+                            report.clone(),
+                        );
+                        (report, CacheOutcome::AppendHit)
+                    }
+                }
+                CacheLookup::Miss => {
+                    let analysis = self.dv.analyze_column(table, col);
+                    let report = self.dv.repair_analysis(table, &analysis);
+                    cache.insert(
+                        column,
+                        col,
+                        table_fingerprint,
+                        Arc::new(analysis),
+                        report.clone(),
+                    );
+                    (report, CacheOutcome::Miss)
+                }
+            },
+        };
+
+        ColumnOutcome {
+            report,
+            cache: cache_outcome,
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Applies a report's chosen repairs to a copy of `table`.
+    pub fn apply(table: &Table, report: &TableReport) -> Table {
+        let mut out = table.clone();
+        for col_report in &report.columns {
+            for repair in &col_report.repairs {
+                out.set_cell(
+                    CellRef::new(col_report.col, repair.row),
+                    CellValue::text(repair.repaired.clone()),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    fn players_table() -> Table {
+        Table::new(vec![
+            Column::from_texts(
+                "Category",
+                &[
+                    "Professional",
+                    "Professional",
+                    "Professional",
+                    "Qualifier",
+                    "Qualifier",
+                    "Professional",
+                ],
+            ),
+            Column::from_texts(
+                "Player ID",
+                &[
+                    "IN-674-PRO",
+                    "usa_837",
+                    "DZ-173-PRO",
+                    "US-201-QUA",
+                    "CN-924-QUA",
+                    "FR-475-PRO",
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn engine_is_sync_and_send() {
+        fn check<T: Sync + Send>() {}
+        check::<Engine>();
+    }
+
+    #[test]
+    fn engine_matches_sequential_on_figure2() {
+        let table = players_table();
+        let sequential = DataVinci::new().clean_table(&table);
+        for workers in [1, 4] {
+            let engine = Engine::with_config(EngineConfig {
+                workers,
+                cache: true,
+            });
+            let report = engine.clean_table(&table);
+            assert_eq!(
+                format!("{:?}", report.table_report()),
+                format!("{sequential:?}"),
+                "workers={workers}"
+            );
+            assert_eq!(report.n_repairs(), 1);
+        }
+    }
+
+    #[test]
+    fn warm_reclean_hits_report_cache() {
+        let table = players_table();
+        let engine = Engine::with_config(EngineConfig {
+            workers: 2,
+            cache: true,
+        });
+        let cold = engine.clean_table(&table);
+        assert_eq!(cold.cache_hits(), 0);
+        let warm = engine.clean_table(&table);
+        assert_eq!(warm.cache_hits(), warm.columns.len());
+        assert!(warm
+            .columns
+            .iter()
+            .all(|c| c.cache == CacheOutcome::ReportHit));
+        assert_eq!(
+            format!("{:?}", warm.table_report()),
+            format!("{:?}", cold.table_report())
+        );
+        let stats = engine.cache_stats().unwrap();
+        assert!(stats.report_hits >= 2);
+        assert_eq!(stats.misses as usize, cold.columns.len());
+    }
+
+    #[test]
+    fn cache_disabled_reports_disabled_outcomes() {
+        let engine = Engine::with_config(EngineConfig {
+            workers: 1,
+            cache: false,
+        });
+        let report = engine.clean_table(&players_table());
+        assert!(report
+            .columns
+            .iter()
+            .all(|c| c.cache == CacheOutcome::Disabled));
+        assert!(engine.cache_stats().is_none());
+    }
+
+    #[test]
+    fn append_only_reuse_still_repairs_new_errors() {
+        let engine = Engine::new();
+        let base = Table::new(vec![Column::from_texts(
+            "Quarter",
+            &["Q4-2002", "Q3-2002", "Q1-2001", "Q2-2002"],
+        )]);
+        engine.clean_table(&base);
+
+        // Append rows, one erroneous: profile reuse must still catch it.
+        let grown = Table::new(vec![Column::from_texts(
+            "Quarter",
+            &[
+                "Q4-2002", "Q3-2002", "Q1-2001", "Q2-2002", "Q1-2003", "Q32001",
+            ],
+        )]);
+        let report = engine.clean_table(&grown);
+        assert_eq!(report.columns[0].cache, CacheOutcome::AppendHit);
+        let repairs = &report.columns[0].report.repairs;
+        assert_eq!(repairs.len(), 1, "{report:#?}");
+        assert_eq!(repairs[0].repaired, "Q3-2001");
+        assert_eq!(engine.cache_stats().unwrap().append_hits, 1);
+    }
+
+    #[test]
+    fn apply_writes_repairs_back() {
+        let table = players_table();
+        let engine = Engine::new();
+        let report = engine.clean_table(&table);
+        let repaired = Engine::apply(&table, &report.table_report());
+        let ids: Vec<String> = repaired.column(1).unwrap().rendered();
+        assert_eq!(ids[1], "US-837-PRO");
+        // Untouched cells stay intact.
+        assert_eq!(ids[0], "IN-674-PRO");
+        assert_eq!(table.column(1).unwrap().rendered()[1], "usa_837");
+    }
+
+    #[test]
+    fn batch_cleans_every_table() {
+        let engine = Engine::with_config(EngineConfig {
+            workers: 4,
+            cache: true,
+        });
+        let tables = vec![players_table(), players_table()];
+        let batch = engine.clean_batch(&tables);
+        assert_eq!(batch.tables.len(), 2);
+        // Identical tables: the duplicate may be served from cache, but the
+        // reports must agree.
+        assert_eq!(
+            format!("{:?}", batch.tables[0].table_report()),
+            format!("{:?}", batch.tables[1].table_report())
+        );
+        assert_eq!(batch.workers, 4);
+        assert_eq!(batch.n_repairs(), 2);
+    }
+}

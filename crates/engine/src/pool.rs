@@ -1,0 +1,115 @@
+//! A std-only scoped-thread worker pool.
+//!
+//! The engine's unit of work (one column of one table) is embarrassingly
+//! parallel, so the pool is deliberately simple: N scoped workers pull task
+//! indices from a shared atomic counter and write results into per-slot
+//! cells. No channels, no external crates, no unsafe.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width worker pool over borrowed data (scoped threads).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads; `0` means one per hardware thread.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        WorkerPool { workers }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item, in parallel, preserving input order in the
+    /// output. `f` receives `(index, &item)`.
+    ///
+    /// Work is distributed dynamically (atomic task counter), so uneven
+    /// per-item costs — big columns next to tiny ones — still load-balance.
+    /// A panicking task propagates after all workers finish.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_workers_means_hardware_parallelism() {
+        assert!(WorkerPool::new(0).workers() >= 1);
+        assert_eq!(WorkerPool::new(3).workers(), 3);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.map(&[] as &[u32], |_, &x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_results_match_sequential_regardless_of_workers() {
+        let items: Vec<String> = (0..37).map(|i| format!("v{i}")).collect();
+        let seq = WorkerPool::new(1).map(&items, |i, s| format!("{i}:{s}"));
+        for workers in [2, 4, 16] {
+            let par = WorkerPool::new(workers).map(&items, |i, s| format!("{i}:{s}"));
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Engine reports: per-column cleaning outcomes with timing and cache
+//! telemetry, aggregating the core pipeline's [`ColumnReport`]s.
+
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+use datavinci_core::{ColumnReport, TableReport};
+
+/// How the cache served one column clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Caching disabled on this engine.
+    Disabled,
+    /// Nothing reusable: full analyze + repair.
+    Miss,
+    /// Column and table unchanged: cached report returned as-is.
+    ReportHit,
+    /// Column unchanged, table context changed: cached analysis, fresh
+    /// repair.
+    AnalysisHit,
+    /// Append-only column growth: cached profile re-scored, fresh repair.
+    AppendHit,
+}
+
+impl CacheOutcome {
+    /// Did any cached layer get reused?
+    pub fn is_hit(&self) -> bool {
+        matches!(
+            self,
+            CacheOutcome::ReportHit | CacheOutcome::AnalysisHit | CacheOutcome::AppendHit
+        )
+    }
+
+    /// Stable lowercase label (report/JSON rendering).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Disabled => "disabled",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::ReportHit => "report_hit",
+            CacheOutcome::AnalysisHit => "analysis_hit",
+            CacheOutcome::AppendHit => "append_hit",
+        }
+    }
+}
+
+/// One column's cleaning outcome.
+#[derive(Debug, Clone)]
+pub struct ColumnOutcome {
+    /// The core pipeline report (detections, repairs, patterns).
+    pub report: ColumnReport,
+    /// How the cache served this clean.
+    pub cache: CacheOutcome,
+    /// Time spent cleaning this column (on its worker thread).
+    pub elapsed: Duration,
+}
+
+/// A whole-table engine report.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Per-column outcomes, in column order (cleaned columns only).
+    pub columns: Vec<ColumnOutcome>,
+    /// Summed per-column cleaning time (CPU-side; wall time lives on
+    /// [`BatchReport::elapsed`]).
+    pub elapsed: Duration,
+}
+
+impl EngineReport {
+    /// The plain core-pipeline view, for comparison with
+    /// [`datavinci_core::DataVinci::clean_table`].
+    pub fn table_report(&self) -> TableReport {
+        TableReport {
+            columns: self.columns.iter().map(|c| c.report.clone()).collect(),
+        }
+    }
+
+    /// Total detections across columns.
+    pub fn n_detections(&self) -> usize {
+        self.columns.iter().map(|c| c.report.detections.len()).sum()
+    }
+
+    /// Total repair suggestions across columns.
+    pub fn n_repairs(&self) -> usize {
+        self.columns.iter().map(|c| c.report.repairs.len()).sum()
+    }
+
+    /// Columns served by any cached layer.
+    pub fn cache_hits(&self) -> usize {
+        self.columns.iter().filter(|c| c.cache.is_hit()).count()
+    }
+}
+
+/// The outcome of one batch clean.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Per-table reports, in input order.
+    pub tables: Vec<EngineReport>,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cache telemetry snapshot after the batch (cumulative for the
+    /// engine's cache lifetime).
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Total detections across all tables.
+    pub fn n_detections(&self) -> usize {
+        self.tables.iter().map(EngineReport::n_detections).sum()
+    }
+
+    /// Total repair suggestions across all tables.
+    pub fn n_repairs(&self) -> usize {
+        self.tables.iter().map(EngineReport::n_repairs).sum()
+    }
+
+    /// Columns served by any cached layer, across all tables.
+    pub fn cache_hits(&self) -> usize {
+        self.tables.iter().map(EngineReport::cache_hits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_outcome_classification() {
+        assert!(!CacheOutcome::Disabled.is_hit());
+        assert!(!CacheOutcome::Miss.is_hit());
+        assert!(CacheOutcome::ReportHit.is_hit());
+        assert!(CacheOutcome::AnalysisHit.is_hit());
+        assert!(CacheOutcome::AppendHit.is_hit());
+        assert_eq!(CacheOutcome::ReportHit.label(), "report_hit");
+    }
+
+    #[test]
+    fn empty_report_counts_are_zero() {
+        let r = EngineReport::default();
+        assert_eq!(r.n_detections(), 0);
+        assert_eq!(r.n_repairs(), 0);
+        assert_eq!(r.cache_hits(), 0);
+        assert!(r.table_report().columns.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Engine ⇔ sequential equivalence: the parallel, cache-aware engine must
+//! produce byte-identical reports and repaired tables to the sequential
+//! `DataVinci::clean_table` loop, across generated corpora, worker counts,
+//! and cache states.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use datavinci_core::{DataVinci, TableReport};
+use datavinci_corpus::{random_spec, synthetic_errors, NoiseModel, Scale};
+use datavinci_engine::{CacheOutcome, Engine, EngineConfig};
+use datavinci_table::{io, Table};
+
+/// A canonical rendering of a table report: every field that reaches users.
+fn canon(report: &TableReport) -> String {
+    format!("{report:#?}")
+}
+
+fn generated_table(seed: u64, mean_cols: f64, mean_rows: f64, noisy: bool) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = random_spec(&mut rng, mean_cols, mean_rows);
+    let clean = spec.generate(&mut rng);
+    if noisy {
+        let (dirty, _) = NoiseModel::default().corrupt_table(&mut rng, &clean);
+        dirty
+    } else {
+        clean
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel engine output is byte-identical to sequential cleaning for
+    /// generated tables, across worker counts, with and without cache.
+    #[test]
+    fn engine_equals_sequential(seed in 0u64..1000, workers in 1usize..9, cache_bit in 0usize..2) {
+        let cache = cache_bit == 1;
+        let table = generated_table(seed, 3.0, 24.0, true);
+        let sequential = DataVinci::new().clean_table(&table);
+        let engine = Engine::with_config(EngineConfig { workers, cache });
+        let report = engine.clean_table(&table);
+        prop_assert_eq!(
+            canon(&report.table_report()),
+            canon(&sequential),
+            "seed={} workers={} cache={}", seed, workers, cache
+        );
+        // Applying the engine's repairs equals applying the sequential ones,
+        // down to the CSV bytes.
+        let a = io::to_csv(&Engine::apply(&table, &report.table_report()));
+        let b = io::to_csv(&Engine::apply(&table, &sequential));
+        prop_assert_eq!(a, b);
+    }
+
+    /// A warm re-clean is served entirely from the report cache and still
+    /// renders identically.
+    #[test]
+    fn warm_cache_is_identical(seed in 0u64..500) {
+        let table = generated_table(seed, 2.0, 20.0, true);
+        let engine = Engine::with_config(EngineConfig { workers: 4, cache: true });
+        let cold = engine.clean_table(&table);
+        let warm = engine.clean_table(&table);
+        prop_assert_eq!(canon(&cold.table_report()), canon(&warm.table_report()));
+        prop_assert!(warm.columns.iter().all(|c| c.cache == CacheOutcome::ReportHit));
+    }
+}
+
+#[test]
+fn engine_equals_sequential_on_benchmark_tables() {
+    // The corpus benchmark the acceptance criteria name, at smoke scale.
+    let bench = synthetic_errors(
+        2024,
+        Scale {
+            n_tables: 4,
+            row_divisor: 8,
+        },
+    );
+    let tables: Vec<Table> = bench.tables.into_iter().map(|t| t.dirty).collect();
+
+    let dv = DataVinci::new();
+    let sequential: Vec<String> = tables.iter().map(|t| canon(&dv.clean_table(t))).collect();
+
+    for workers in [1, 4] {
+        let engine = Engine::with_config(EngineConfig {
+            workers,
+            cache: true,
+        });
+        let batch = engine.clean_batch(&tables);
+        let parallel: Vec<String> = batch
+            .tables
+            .iter()
+            .map(|r| canon(&r.table_report()))
+            .collect();
+        assert_eq!(parallel, sequential, "workers={workers}");
+    }
+}
+
+#[test]
+fn batch_warm_pass_reports_cache_telemetry() {
+    let bench = synthetic_errors(
+        7,
+        Scale {
+            n_tables: 3,
+            row_divisor: 8,
+        },
+    );
+    let tables: Vec<Table> = bench.tables.into_iter().map(|t| t.dirty).collect();
+    let engine = Engine::with_config(EngineConfig {
+        workers: 4,
+        cache: true,
+    });
+    let cold = engine.clean_batch(&tables);
+    assert_eq!(cold.cache_hits(), 0);
+    let warm = engine.clean_batch(&tables);
+    let n_columns: usize = warm.tables.iter().map(|t| t.columns.len()).sum();
+    assert_eq!(warm.cache_hits(), n_columns);
+    assert!(warm.cache.report_hits >= n_columns as u64);
+    assert_eq!(
+        cold.tables
+            .iter()
+            .map(|t| canon(&t.table_report()))
+            .collect::<Vec<_>>(),
+        warm.tables
+            .iter()
+            .map(|t| canon(&t.table_report()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn append_in_new_format_falls_back_to_full_profiling() {
+    // The appended rows form a *new* consistent format the prior patterns
+    // never saw. Blind profile reuse would flag all of them as errors;
+    // the engine must detect that the prior language broke, re-profile,
+    // and end up byte-identical to a fresh sequential clean.
+    let base: Vec<String> = (10..30).map(|i| format!("A-{i}")).collect();
+    let mut grown = base.clone();
+    grown.extend((10..30).map(|i| format!("{i}/B")));
+
+    let base_table = Table::new(vec![datavinci_table::Column::from_texts("ids", &base)]);
+    let grown_table = Table::new(vec![datavinci_table::Column::from_texts("ids", &grown)]);
+
+    let engine = Engine::new();
+    engine.clean_table(&base_table);
+    let report = engine.clean_table(&grown_table);
+    let stats = engine.cache_stats().unwrap();
+    assert_eq!(stats.append_fallbacks, 1, "{stats:?}");
+    assert_eq!(report.columns[0].cache, CacheOutcome::Miss);
+
+    let sequential = DataVinci::new().clean_table(&grown_table);
+    assert_eq!(canon(&report.table_report()), canon(&sequential));
+}
+
+#[test]
+fn append_only_column_reuses_profile_without_reprofiling() {
+    // Build a clean base, clean it, then append rows (one erroneous) and
+    // re-clean: the engine must classify the column as append-only and the
+    // rescored profile must still catch the appended error.
+    let base = generated_table(42, 1.0, 30.0, false);
+    let col = base.column(0).unwrap();
+    if col.text_fraction() < 0.5 {
+        return; // generated a non-text single column; nothing to assert
+    }
+    let engine = Engine::new();
+    engine.clean_table(&base);
+
+    let mut grown_col = col.clone();
+    for v in col.values().iter().take(4) {
+        grown_col.values_mut().push(v.clone());
+    }
+    let grown = Table::new(vec![grown_col]);
+    let report = engine.clean_table(&grown);
+    if !report.columns.is_empty() {
+        assert_eq!(report.columns[0].cache, CacheOutcome::AppendHit);
+        assert_eq!(engine.cache_stats().unwrap().append_hits, 1);
+    }
+}

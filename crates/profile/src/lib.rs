@@ -21,5 +21,7 @@ pub mod profiler;
 pub mod stats;
 
 pub use generalize::MergeConfig;
-pub use profiler::{profile_column, profile_plain, ColumnProfile, LearnedPattern, ProfilerConfig};
+pub use profiler::{
+    profile_column, profile_plain, rescore_profile, ColumnProfile, LearnedPattern, ProfilerConfig,
+};
 pub use stats::BuildConfig;

@@ -193,6 +193,50 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
     }
 }
 
+/// Re-scores an existing profile against (possibly extended) column values:
+/// every learned pattern keeps its shape but its `rows`/`coverage` are
+/// recomputed by matching, skipping the expensive learning passes.
+///
+/// This is the cache primitive behind append-only re-cleaning: when a column
+/// grows but its old rows are unchanged, the previously learned patterns
+/// still describe the column language and only membership needs refreshing.
+pub fn rescore_profile(prior: &ColumnProfile, values: &[MaskedString]) -> ColumnProfile {
+    let n = values.len();
+    let mut patterns: Vec<LearnedPattern> = prior
+        .patterns
+        .iter()
+        .map(|lp| {
+            let rows: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| lp.compiled.matches(v))
+                .map(|(i, _)| i)
+                .collect();
+            let coverage = if n == 0 {
+                0.0
+            } else {
+                rows.len() as f64 / n as f64
+            };
+            LearnedPattern {
+                pattern: lp.pattern.clone(),
+                compiled: lp.compiled.clone(),
+                rows,
+                coverage,
+            }
+        })
+        .collect();
+    patterns.sort_by(|a, b| {
+        b.coverage
+            .partial_cmp(&a.coverage)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.pattern.to_string().cmp(&b.pattern.to_string()))
+    });
+    ColumnProfile {
+        patterns,
+        n_values: n,
+    }
+}
+
 /// Convenience: profiles plain (unmasked) string values.
 pub fn profile_plain<S: AsRef<str>>(values: &[S], cfg: &ProfilerConfig) -> ColumnProfile {
     let masked: Vec<MaskedString> = values

@@ -2,6 +2,42 @@
 
 use crate::value::CellValue;
 
+/// FxHash-style 64-bit multiplier (the golden-ratio constant used by the
+/// rustc hasher). Implemented in-repo: the build environment is offline.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A cheap rolling content hash: fold bytes 8 at a time, FxHash-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fingerprinter(u64);
+
+impl Fingerprinter {
+    pub(crate) fn new() -> Self {
+        Fingerprinter(0)
+    }
+
+    fn add_word(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+
+    pub(crate) fn add_bytes(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(word));
+        }
+        // Length separator: distinguishes ["ab","c"] from ["a","bc"].
+        self.add_word(bytes.len() as u64 ^ FX_SEED);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        // One extra round so a trailing empty string still perturbs state.
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(FX_SEED);
+        h ^ (h >> 29)
+    }
+}
+
 /// A named column: the unit DataVinci cleans.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
@@ -83,6 +119,34 @@ impl Column {
         self.values.iter().map(|v| v.render()).collect()
     }
 
+    /// A 64-bit content fingerprint over the column name and every rendered
+    /// cell, in row order.
+    ///
+    /// Two columns with equal names and equal rendered values always agree;
+    /// the engine's profile cache uses this to recognize unchanged columns.
+    /// Because the hash folds rows in order, [`Column::fingerprint_prefix`]
+    /// of an extended column equals the `fingerprint` of the original — the
+    /// append-only detection primitive.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_prefix(self.values.len())
+    }
+
+    /// The fingerprint of the first `n_rows` rows (same name folding as
+    /// [`Column::fingerprint`]). `n_rows` is clamped to the column length.
+    pub fn fingerprint_prefix(&self, n_rows: usize) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.add_bytes(self.name.as_bytes());
+        for v in self.values.iter().take(n_rows) {
+            // Text cells (the common case) hash without allocating; other
+            // kinds render exactly as `render()` would.
+            match v.as_text() {
+                Some(text) => fp.add_bytes(text.as_bytes()),
+                None => fp.add_bytes(v.render().as_bytes()),
+            }
+        }
+        fp.finish()
+    }
+
     /// Fraction of cells that are text.
     pub fn text_fraction(&self) -> f64 {
         if self.values.is_empty() {
@@ -132,5 +196,38 @@ mod tests {
         let mut c = Column::from_texts("x", &["a"]);
         c.set(0, CellValue::text("b"));
         assert_eq!(c.get(0).unwrap().as_text(), Some("b"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = Column::from_texts("ids", &["a-1", "a-2", "a-3"]);
+        let b = Column::from_texts("ids", &["a-1", "a-2", "a-3"]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Value, order, name, and boundary changes all perturb the hash.
+        let changed = Column::from_texts("ids", &["a-1", "a-2", "a-4"]);
+        assert_ne!(a.fingerprint(), changed.fingerprint());
+        let reordered = Column::from_texts("ids", &["a-2", "a-1", "a-3"]);
+        assert_ne!(a.fingerprint(), reordered.fingerprint());
+        let renamed = Column::from_texts("other", &["a-1", "a-2", "a-3"]);
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+        let rechunked = Column::from_texts("ids", &["a-1a-2", "", "a-3"]);
+        assert_ne!(a.fingerprint(), rechunked.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_prefix_matches_shorter_column() {
+        let old = Column::from_texts("ids", &["a-1", "a-2"]);
+        let appended = Column::from_texts("ids", &["a-1", "a-2", "a-3"]);
+        assert_eq!(appended.fingerprint_prefix(2), old.fingerprint());
+        assert_ne!(appended.fingerprint(), old.fingerprint());
+        // Clamped beyond the end: whole column.
+        assert_eq!(appended.fingerprint_prefix(99), appended.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_of_empty_columns_differs_by_name() {
+        let a = Column::from_texts::<&str>("a", &[]);
+        let b = Column::from_texts::<&str>("b", &[]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

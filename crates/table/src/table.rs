@@ -34,6 +34,17 @@ impl Table {
         Table::default()
     }
 
+    /// A 64-bit content fingerprint over every column (names and rendered
+    /// cells, in order). Two tables with equal headers and rendered content
+    /// agree; batch engines use this to recognize unchanged tables.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::column::Fingerprinter::new();
+        for col in &self.columns {
+            fp.add_bytes(&col.fingerprint().to_le_bytes());
+        }
+        fp.finish()
+    }
+
     /// Number of columns.
     pub fn n_cols(&self) -> usize {
         self.columns.len()
@@ -120,6 +131,22 @@ mod tests {
             Column::from_texts("a", &["x", "y"]),
             Column::from_texts("b", &["1", "2"]),
         ])
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_layout() {
+        assert_eq!(t().fingerprint(), t().fingerprint());
+        let mut changed = t();
+        changed.set_cell(CellRef::new(0, 1), CellValue::text("z"));
+        assert_ne!(t().fingerprint(), changed.fingerprint());
+        // Adding a column changes the table print but not the columns'.
+        let mut wider = t();
+        wider.push_column(Column::from_texts("c", &["7", "8"]));
+        assert_ne!(t().fingerprint(), wider.fingerprint());
+        assert_eq!(
+            t().column(0).unwrap().fingerprint(),
+            wider.column(0).unwrap().fingerprint()
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`semantic`] | `datavinci-semantic` | 20 semantic types, mock LLM, masking |
 //! | [`formula`] | `datavinci-formula` | Excel-like formula engine |
 //! | [`core`] | `datavinci-core` | the DataVinci pipeline itself |
+//! | [`engine`] | `datavinci-engine` | parallel, cache-aware batch engine + `datavinci-clean` CLI |
 //! | [`baselines`] | `datavinci-baselines` | the 7 evaluated baselines |
 //! | [`corpus`] | `datavinci-corpus` | benchmark generators & noise model |
 //!
@@ -41,6 +42,7 @@
 pub use datavinci_baselines as baselines;
 pub use datavinci_core as core;
 pub use datavinci_corpus as corpus;
+pub use datavinci_engine as engine;
 pub use datavinci_formula as formula;
 pub use datavinci_profile as profile;
 pub use datavinci_regex as regex;
@@ -53,6 +55,7 @@ pub mod prelude {
         CleaningSystem, ColumnReport, DataVinci, DataVinciConfig, Detection, ExecGuidedReport,
         RankingMode, RepairSuggestion, SemanticMode, TableReport,
     };
+    pub use datavinci_engine::{Engine, EngineConfig, EngineReport};
     pub use datavinci_formula::ColumnProgram;
     pub use datavinci_table::{CellRef, CellValue, Column, ErrorValue, Table};
 }

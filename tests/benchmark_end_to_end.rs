@@ -1,9 +1,21 @@
 //! End-to-end benchmark assertions: the paper's headline *shapes* must hold
 //! on small seeded benchmarks (absolute numbers are substrate-dependent and
 //! recorded in EXPERIMENTS.md instead).
+//!
+//! All tests share one trained [`Harness`] (training corpora + T5 pairs are
+//! identical across them), and the harness itself sweeps benchmark tables
+//! through the engine's parallel path with cached DataVinci cleans — both
+//! matter for keeping this suite's debug-mode wall time in budget.
+
+use std::sync::OnceLock;
 
 use datavinci_bench::{ExecMode, Harness, SystemKind};
 use datavinci_corpus::{formula_benchmark, synthetic_errors, Scale};
+
+fn harness() -> &'static Harness {
+    static HARNESS: OnceLock<Harness> = OnceLock::new();
+    HARNESS.get_or_init(|| Harness::new(17))
+}
 
 fn scale() -> Scale {
     Scale {
@@ -16,7 +28,7 @@ fn scale() -> Scale {
 /// fire rate and lowest precision.
 #[test]
 fn synthetic_shape_datavinci_wins_t5_fires() {
-    let harness = Harness::new(17);
+    let harness = harness();
     let bench = synthetic_errors(1234, scale());
 
     let dv = harness.run_detection(SystemKind::DataVinci, &bench);
@@ -40,7 +52,7 @@ fn synthetic_shape_datavinci_wins_t5_fires() {
 /// concretization ablations on synthetic repair F1.
 #[test]
 fn ablations_are_worse_than_full() {
-    let harness = Harness::new(17);
+    let harness = harness();
     let bench = synthetic_errors(99, scale());
 
     let full = harness.run_repair(SystemKind::DataVinci, &bench);
@@ -64,7 +76,7 @@ fn ablations_are_worse_than_full() {
 /// Table 8 shape: exec-guided > unsupervised > no-repair on both metrics.
 #[test]
 fn execution_guidance_ordering() {
-    let harness = Harness::new(17);
+    let harness = harness();
     let cases = formula_benchmark(4321, 6, 3);
 
     let none = harness.run_execution(ExecMode::NoRepair, &cases);
@@ -84,7 +96,7 @@ fn execution_guidance_ordering() {
 /// Repair metrics are internally consistent.
 #[test]
 fn metric_consistency() {
-    let harness = Harness::new(17);
+    let harness = harness();
     let bench = synthetic_errors(7, scale());
     for kind in SystemKind::main_lineup() {
         let d = harness.run_detection(kind, &bench);

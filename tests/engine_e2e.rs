@@ -1,0 +1,70 @@
+//! Engine end-to-end through the façade: parallel cleaning must match the
+//! sequential pipeline byte-for-byte, warm re-cleans must be cache-served,
+//! and applied repairs must land in the table.
+
+use datavinci::engine::{CacheOutcome, Engine, EngineConfig};
+use datavinci::prelude::*;
+use datavinci_corpus::{synthetic_errors, Scale};
+
+fn small_bench_tables() -> Vec<Table> {
+    synthetic_errors(
+        77,
+        Scale {
+            n_tables: 3,
+            row_divisor: 16,
+        },
+    )
+    .tables
+    .into_iter()
+    .map(|t| t.dirty)
+    .collect()
+}
+
+#[test]
+fn parallel_batch_matches_sequential_cleaning() {
+    let tables = small_bench_tables();
+    let dv = DataVinci::new();
+    let sequential: Vec<String> = tables
+        .iter()
+        .map(|t| format!("{:#?}", dv.clean_table(t)))
+        .collect();
+
+    let engine = Engine::with_config(EngineConfig {
+        workers: 4,
+        cache: true,
+    });
+    let batch = engine.clean_batch(&tables);
+    let parallel: Vec<String> = batch
+        .tables
+        .iter()
+        .map(|r| format!("{:#?}", r.table_report()))
+        .collect();
+    assert_eq!(parallel, sequential);
+
+    // Warm re-clean: all columns served from the report cache, same bytes.
+    let warm = engine.clean_batch(&tables);
+    assert!(warm
+        .tables
+        .iter()
+        .flat_map(|t| &t.columns)
+        .all(|c| c.cache == CacheOutcome::ReportHit));
+    assert!(warm.cache.report_hits > 0, "{:?}", warm.cache);
+    let warm_rendered: Vec<String> = warm
+        .tables
+        .iter()
+        .map(|r| format!("{:#?}", r.table_report()))
+        .collect();
+    assert_eq!(warm_rendered, sequential);
+}
+
+#[test]
+fn engine_repairs_apply_through_the_facade() {
+    let table = Table::new(vec![Column::from_texts(
+        "Quarter",
+        &["Q4-2002", "Q3-2002", "Q1-2001", "Q2-2002", "Q32001"],
+    )]);
+    let engine = Engine::new();
+    let report = engine.clean_table(&table);
+    let repaired = Engine::apply(&table, &report.table_report());
+    assert_eq!(repaired.column(0).unwrap().rendered()[4], "Q3-2001");
+}

@@ -5,18 +5,19 @@
 //! profile the test suite was built with, so the binaries are already
 //! compiled by the time the test invokes them (`cargo test` builds example
 //! targets) and the run itself is cheap. Concurrent cargo invocations
-//! serialize on cargo's own target-directory lock, which is why all five
+//! serialize on cargo's own target-directory lock, which is why all the
 //! examples run from a single test function.
 
 use std::process::Command;
 
-/// The five documented walk-throughs. Keep in sync with `examples/`.
-const EXAMPLES: [&str; 5] = [
+/// The six documented walk-throughs. Keep in sync with `examples/`.
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "repair_anatomy",
     "execution_guided",
     "semantic_cleaning",
     "benchmark_tour",
+    "engine_batch",
 ];
 
 #[test]
