@@ -5,26 +5,16 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use datavinci_bench::sample_noisy_table;
 use datavinci_core::{minimal_edit_program, DataVinci};
-use datavinci_corpus::{Flavor, NoiseModel, TableSpec};
 use datavinci_formula::ColumnProgram;
 use datavinci_profile::{profile_plain, ProfilerConfig};
 use datavinci_regex::{CharClass, CompiledPattern, MaskedString, Pattern};
 use datavinci_semantic::{GazetteerLlm, SemanticAbstractor};
 use datavinci_table::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn sample_table(rows: usize) -> Table {
-    let mut rng = StdRng::seed_from_u64(42);
-    let spec = TableSpec {
-        n_rows: rows,
-        flavors: vec![Flavor::PlayerWithCategory, Flavor::Quarter],
-    };
-    let clean = spec.generate(&mut rng);
-    let noise = NoiseModel { cell_prob: 0.1 };
-    let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
-    dirty
+    sample_noisy_table(42, rows)
 }
 
 fn bench_profiler(c: &mut Criterion) {

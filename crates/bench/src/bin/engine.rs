@@ -13,7 +13,7 @@
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
-use datavinci_bench::Cli;
+use datavinci_bench::{arg_after, Cli};
 use datavinci_core::{DataVinci, TableReport};
 use datavinci_corpus::{synthetic_errors, wikipedia_like, Scale};
 use datavinci_engine::json::Json;
@@ -22,14 +22,6 @@ use datavinci_table::Table;
 
 fn canon(report: &TableReport) -> String {
     format!("{report:#?}")
-}
-
-fn arg_after(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
 }
 
 fn main() {

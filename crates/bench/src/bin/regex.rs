@@ -1,0 +1,231 @@
+//! Matcher benchmark: NFA oracle vs memoized-DFA fast path → `BENCH_regex.json`.
+//!
+//! Measures the three call sites the DFA swap optimizes, each as a live
+//! A/B against the cyclic-NFA reference on the same inputs:
+//!
+//! 1. **membership** — the `nfa_match_64_values` micro-bench workload
+//!    (`(A[0-9].)+` over 64 values) through `matches_nfa` vs `matches`;
+//! 2. **profile** — the 200-row column profile with the profiler's
+//!    `MatchEngine::Nfa` vs the default DFA batch scoring;
+//! 3. **rescore** — the engine cache's append-only re-score of a learned
+//!    profile against a grown column, NFA loop vs `rescore_profile`.
+//!
+//! Every A/B asserts the two engines produce *identical* results (the
+//! byte-identity guarantee CI relies on); the process exits non-zero if
+//! they ever diverge. Targets from the tentpole issue (≥3× membership,
+//! ≥1.5× profile) are recorded as booleans, not asserted, so a loaded CI
+//! machine cannot flake the build.
+//!
+//! Flags: the shared `--smoke`/`--full`/`--seed N` sizing plus
+//! `--out PATH` (default `BENCH_regex.json`).
+
+use std::time::Instant;
+
+use datavinci_bench::{arg_after, sample_noisy_table, Cli};
+use datavinci_engine::json::Json;
+use datavinci_profile::{
+    profile_plain, rescore_profile, ColumnProfile, LearnedPattern, MatchEngine, ProfilerConfig,
+};
+use datavinci_regex::{CharClass, CompiledPattern, MaskedString, Pattern};
+
+/// The 200-row noisy column the `profile_200_row_column` micro-bench uses.
+fn sample_column(seed: u64) -> Vec<String> {
+    sample_noisy_table(seed, 200)
+        .column(2)
+        .expect("flavor column")
+        .rendered()
+}
+
+/// `rescore_profile` with the NFA oracle substituted for the matcher —
+/// builds the same rows/coverage/sorted profile, so the A/B against
+/// [`rescore_profile`] differs only in the membership engine.
+fn rescore_profile_nfa(prior: &ColumnProfile, values: &[MaskedString]) -> ColumnProfile {
+    let n = values.len();
+    let mut keyed: Vec<(String, LearnedPattern)> = prior
+        .patterns
+        .iter()
+        .map(|lp| {
+            let rows: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| lp.compiled.matches_nfa(v))
+                .map(|(i, _)| i)
+                .collect();
+            let coverage = if n == 0 {
+                0.0
+            } else {
+                rows.len() as f64 / n as f64
+            };
+            let rescored = LearnedPattern {
+                pattern: lp.pattern.clone(),
+                compiled: lp.compiled.clone(),
+                rows,
+                coverage,
+            };
+            (rescored.pattern.to_string(), rescored)
+        })
+        .collect();
+    keyed.sort_by(|(ka, a), (kb, b)| {
+        b.coverage
+            .partial_cmp(&a.coverage)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| ka.cmp(kb))
+    });
+    ColumnProfile {
+        patterns: keyed.into_iter().map(|(_, lp)| lp).collect(),
+        n_values: n,
+    }
+}
+
+/// Wall-clock of `iters` runs of `f`, in microseconds per iteration.
+fn time_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    started.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Deterministic digest of a profile for identity assertions (the compiled
+/// patterns carry memo state, so `Debug` equality would be meaningless).
+fn canon_profile(profile: &ColumnProfile) -> Vec<(String, Vec<usize>, f64)> {
+    profile
+        .patterns
+        .iter()
+        .map(|lp| (lp.pattern.to_string(), lp.rows.clone(), lp.coverage))
+        .collect()
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_regex.json".to_string());
+    let (match_iters, profile_iters) = if cli.full {
+        (20_000, 200)
+    } else if cli.smoke {
+        (2_000, 20)
+    } else {
+        (10_000, 60)
+    };
+
+    // 1. Membership micro-bench: (A[0-9].)+ over the 64-value workload.
+    let pattern = CompiledPattern::compile(Pattern::plus(Pattern::concat([
+        Pattern::lit("A"),
+        Pattern::Class(CharClass::Digit),
+        Pattern::lit("."),
+    ])));
+    let values: Vec<MaskedString> = (0..64)
+        .map(|i| MaskedString::from_plain(&"A1.".repeat(i % 8 + 1)))
+        .collect();
+    let nfa_verdicts: Vec<bool> = values.iter().map(|v| pattern.matches_nfa(v)).collect();
+    let dfa_verdicts: Vec<bool> = values.iter().map(|v| pattern.matches(v)).collect();
+    assert_eq!(
+        nfa_verdicts, dfa_verdicts,
+        "membership diverged between NFA and DFA"
+    );
+    let match_nfa_us = time_us(match_iters, || {
+        values.iter().filter(|v| pattern.matches_nfa(v)).count()
+    });
+    let match_dfa_us = time_us(match_iters, || {
+        values.iter().filter(|v| pattern.matches(v)).count()
+    });
+    let match_speedup = match_nfa_us / match_dfa_us.max(1e-9);
+    eprintln!(
+        "  membership 64 values   nfa {match_nfa_us:8.2} µs   dfa {match_dfa_us:8.2} µs   \
+         ×{match_speedup:.2}"
+    );
+
+    // 2. Column profile: identical learning, NFA vs DFA candidate scoring.
+    // Default seed 42 = the same noisy column as `profile_200_row_column`
+    // in the criterion micro-benches, so the ms figures line up with
+    // ROADMAP's baselines; an explicit `--seed` varies the workload for
+    // robustness checks (and is recorded as `column_seed` below).
+    let column_seed = cli.explicit_seed.unwrap_or(42);
+    let column = sample_column(column_seed);
+    let nfa_cfg = ProfilerConfig {
+        match_engine: MatchEngine::Nfa,
+        ..ProfilerConfig::default()
+    };
+    let dfa_cfg = ProfilerConfig::default();
+    let nfa_profile = profile_plain(&column, &nfa_cfg);
+    let dfa_profile = profile_plain(&column, &dfa_cfg);
+    assert_eq!(
+        canon_profile(&nfa_profile),
+        canon_profile(&dfa_profile),
+        "profiles diverged between NFA and DFA scoring"
+    );
+    let profile_nfa_us = time_us(profile_iters, || profile_plain(&column, &nfa_cfg));
+    let profile_dfa_us = time_us(profile_iters, || profile_plain(&column, &dfa_cfg));
+    let profile_speedup = profile_nfa_us / profile_dfa_us.max(1e-9);
+    eprintln!(
+        "  profile 200 rows       nfa {:8.2} ms   dfa {:8.2} ms   ×{profile_speedup:.2}",
+        profile_nfa_us / 1e3,
+        profile_dfa_us / 1e3
+    );
+
+    // 3. Append-only re-score: the engine cache's warm path. Both arms
+    // build the complete re-scored profile; only the matcher differs.
+    let masked: Vec<MaskedString> = column
+        .iter()
+        .chain(column.iter().take(40)) // 20% appended growth
+        .map(|s| MaskedString::from_plain(s))
+        .collect();
+    let rescored = rescore_profile(&dfa_profile, &masked);
+    assert_eq!(
+        canon_profile(&rescored),
+        canon_profile(&rescore_profile_nfa(&dfa_profile, &masked)),
+        "re-score diverged between NFA and DFA"
+    );
+    let rescore_nfa_us = time_us(profile_iters, || rescore_profile_nfa(&dfa_profile, &masked));
+    let rescore_dfa_us = time_us(profile_iters, || rescore_profile(&dfa_profile, &masked));
+    let rescore_speedup = rescore_nfa_us / rescore_dfa_us.max(1e-9);
+    eprintln!(
+        "  rescore 240 rows       nfa {rescore_nfa_us:8.2} µs   dfa {rescore_dfa_us:8.2} µs   \
+         ×{rescore_speedup:.2}"
+    );
+
+    // PR-1 micro-bench baselines (ROADMAP, same workloads, measured on the
+    // 1-core build container): pre-DFA `nfa_match_64_values` 59 µs,
+    // `profile_200_row_column` 1.18 ms. The issue's ≥3× / ≥1.5× targets
+    // are against these; the live A/B above is conservative because the
+    // profiler's *learning* side also got faster for both engines in the
+    // same change. On other hardware the `*_vs_pr1_baseline` ratios mix
+    // machines — trust the live `*_speedup` fields there instead (the
+    // `baseline_context` field flags this).
+    const BASELINE_MATCH_US: f64 = 59.0;
+    const BASELINE_PROFILE_MS: f64 = 1.18;
+    let match_vs_baseline = BASELINE_MATCH_US / match_dfa_us.max(1e-9);
+    let profile_vs_baseline = BASELINE_PROFILE_MS / (profile_dfa_us / 1e3).max(1e-9);
+
+    let json = Json::obj()
+        .field("benchmark", Json::str("regex_nfa_vs_dfa"))
+        .field("column_seed", Json::Int(column_seed as i64))
+        .field(
+            "baseline_context",
+            Json::str("PR-1 numbers from the 1-core reference container (ROADMAP.md)"),
+        )
+        .field("match_iters", Json::Int(match_iters as i64))
+        .field("profile_iters", Json::Int(profile_iters as i64))
+        .field("match_nfa_us", Json::Num(match_nfa_us))
+        .field("match_dfa_us", Json::Num(match_dfa_us))
+        .field("match_speedup", Json::Num(match_speedup))
+        .field("match_vs_pr1_baseline", Json::Num(match_vs_baseline))
+        .field("match_target_3x_met", Json::Bool(match_vs_baseline >= 3.0))
+        .field("profile_nfa_ms", Json::Num(profile_nfa_us / 1e3))
+        .field("profile_dfa_ms", Json::Num(profile_dfa_us / 1e3))
+        .field("profile_speedup", Json::Num(profile_speedup))
+        .field("profile_vs_pr1_baseline", Json::Num(profile_vs_baseline))
+        .field(
+            "profile_target_1_5x_met",
+            Json::Bool(profile_vs_baseline >= 1.5),
+        )
+        .field("rescore_nfa_us", Json::Num(rescore_nfa_us))
+        .field("rescore_dfa_us", Json::Num(rescore_dfa_us))
+        .field("rescore_speedup", Json::Num(rescore_speedup))
+        .field("identical", Json::Bool(true));
+    std::fs::write(&out_path, json.render_pretty()).expect("write benchmark JSON");
+    println!("{}", json.render_pretty());
+    eprintln!(
+        "membership ×{match_speedup:.2}, profile ×{profile_speedup:.2}, \
+         rescore ×{rescore_speedup:.2}; wrote {out_path}"
+    );
+}

@@ -24,10 +24,44 @@ pub use runner::{ExecMode, ExecOutcome, Harness, SystemKind};
 pub struct Cli {
     /// Benchmark scale.
     pub scale: datavinci_corpus::Scale,
-    /// Evaluation seed.
+    /// Evaluation seed, when given explicitly via `--seed N`.
+    pub explicit_seed: Option<u64>,
+    /// Evaluation seed (explicit or the 2024 default).
     pub seed: u64,
+    /// Smoke-scale run?
+    pub smoke: bool,
     /// Paper-scale run?
     pub full: bool,
+}
+
+/// The value following flag `name` in `std::env::args`, if present
+/// (shared by the bench binaries' ad-hoc flags like `--out PATH`).
+pub fn arg_after(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The seeded noisy PlayerWithCategory+Quarter table behind the
+/// `profile_200_row_column` / `clean_column_end_to_end` micro-benches and
+/// the `--bin regex` matcher A/B — one definition, so every harness
+/// measures the same workload.
+pub fn sample_noisy_table(seed: u64, rows: usize) -> datavinci_table::Table {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let spec = datavinci_corpus::TableSpec {
+        n_rows: rows,
+        flavors: vec![
+            datavinci_corpus::Flavor::PlayerWithCategory,
+            datavinci_corpus::Flavor::Quarter,
+        ],
+    };
+    let clean = spec.generate(&mut rng);
+    let noise = datavinci_corpus::NoiseModel { cell_prob: 0.1 };
+    let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
+    dirty
 }
 
 impl Cli {
@@ -39,19 +73,25 @@ impl Cli {
             row_divisor: 2,
         };
         let mut full = false;
-        if args.iter().any(|a| a == "--smoke") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        if smoke {
             scale = datavinci_corpus::Scale::smoke();
         }
         if args.iter().any(|a| a == "--full") {
             scale = datavinci_corpus::Scale::paper();
             full = true;
         }
-        let seed = args
+        let explicit_seed = args
             .iter()
             .position(|a| a == "--seed")
             .and_then(|i| args.get(i + 1))
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(2024);
-        Cli { scale, seed, full }
+            .and_then(|s| s.parse().ok());
+        Cli {
+            scale,
+            explicit_seed,
+            seed: explicit_seed.unwrap_or(2024),
+            smoke,
+            full,
+        }
     }
 }

@@ -60,15 +60,6 @@ impl<'a> Concretizer<'a> {
         &self.features
     }
 
-    fn row_features(&mut self, row: usize) -> Vec<bool> {
-        if let Some(f) = self.row_cache.get(&row) {
-            return f.clone();
-        }
-        let f = self.features.row_features(self.table, row);
-        self.row_cache.insert(row, f.clone());
-        f
-    }
-
     /// Registers training data for a pattern: bindings of every matching
     /// (non-error) row. `rows` are table-row indices; `masked` is the full
     /// masked column.
@@ -153,49 +144,26 @@ impl<'a> Concretizer<'a> {
         error_row: usize,
         key: AtomKey,
     ) -> Option<String> {
-        // Learn (or fetch) the tree for this atom occurrence.
-        let needs_learning = !self.training.get(&pattern_idx)?.trees.contains_key(&key);
-        if needs_learning {
-            let examples = self
-                .training
-                .get(&pattern_idx)?
-                .examples
-                .get(&key)
-                .cloned()
-                .unwrap_or_default();
-            let learned = self.learn_tree(&examples);
-            self.training
-                .get_mut(&pattern_idx)
-                .expect("trained above")
-                .trees
-                .insert(key, learned);
+        // Learn (or fetch) the tree for this atom occurrence. One map
+        // lookup serves both the learn-miss check and the prediction, and
+        // the hot path borrows the cached tree/labels/features instead of
+        // cloning them per hole.
+        let training = self.training.get_mut(&pattern_idx)?;
+        if !training.trees.contains_key(&key) {
+            let examples = training.examples.get(&key).map_or(&[][..], Vec::as_slice);
+            let learned = learn_tree(
+                examples,
+                &mut self.row_cache,
+                &self.features,
+                self.table,
+                self.cfg,
+            );
+            training.trees.insert(key, learned);
         }
-        let (tree, labels) = self.training.get(&pattern_idx)?.trees.get(&key)?.clone()?;
-        let f = self.row_features(error_row);
-        let label = tree.predict(&f) as usize;
+        let (tree, labels) = training.trees.get(&key)?.as_ref()?;
+        let f = cached_row_features(&mut self.row_cache, &self.features, self.table, error_row);
+        let label = tree.predict(f) as usize;
         labels.get(label).cloned()
-    }
-
-    fn learn_tree(&mut self, examples: &[(usize, String)]) -> Option<(DecisionTree, Vec<String>)> {
-        if examples.len() < 2 {
-            return None;
-        }
-        let mut label_names: Vec<String> = examples.iter().map(|(_, t)| t.clone()).collect();
-        label_names.sort();
-        label_names.dedup();
-        if label_names.len() < 2 {
-            // Constant label: a leaf is exact, and cheap to represent.
-            return Some((DecisionTree::Leaf(0), label_names));
-        }
-        let rows: Vec<Vec<bool>> = examples
-            .iter()
-            .map(|(row, _)| self.row_features(*row))
-            .collect();
-        let labels: Vec<u32> = examples
-            .iter()
-            .map(|(_, t)| label_names.iter().position(|l| l == t).expect("deduped") as u32)
-            .collect();
-        learn(&rows, &labels, &self.cfg.dtree).map(|t| (t, label_names))
     }
 
     fn pooled_majority(&self, pattern_idx: usize, atom: AtomId) -> Option<String> {
@@ -237,6 +205,47 @@ impl<'a> Concretizer<'a> {
             observed
         }
     }
+}
+
+/// Feature vector for `row`, computed once and borrowed thereafter.
+fn cached_row_features<'c>(
+    row_cache: &'c mut HashMap<usize, Vec<bool>>,
+    features: &FeatureSet,
+    table: &Table,
+    row: usize,
+) -> &'c [bool] {
+    row_cache
+        .entry(row)
+        .or_insert_with(|| features.row_features(table, row))
+}
+
+/// Learns the decision tree for one atom occurrence's examples.
+fn learn_tree(
+    examples: &[(usize, String)],
+    row_cache: &mut HashMap<usize, Vec<bool>>,
+    features: &FeatureSet,
+    table: &Table,
+    cfg: &DataVinciConfig,
+) -> Option<(DecisionTree, Vec<String>)> {
+    if examples.len() < 2 {
+        return None;
+    }
+    let mut label_names: Vec<String> = examples.iter().map(|(_, t)| t.clone()).collect();
+    label_names.sort();
+    label_names.dedup();
+    if label_names.len() < 2 {
+        // Constant label: a leaf is exact, and cheap to represent.
+        return Some((DecisionTree::Leaf(0), label_names));
+    }
+    let rows: Vec<Vec<bool>> = examples
+        .iter()
+        .map(|(row, _)| cached_row_features(row_cache, features, table, *row).to_vec())
+        .collect();
+    let labels: Vec<u32> = examples
+        .iter()
+        .map(|(_, t)| label_names.iter().position(|l| l == t).expect("deduped") as u32)
+        .collect();
+    learn(&rows, &labels, &cfg.dtree).map(|t| (t, label_names))
 }
 
 fn hole_key(hole: &Emit) -> AtomKey {

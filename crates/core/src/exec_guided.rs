@@ -129,9 +129,8 @@ impl DataVinci {
         // indices and coverage line up with the table.
         let n = masked.len();
         for lp in &mut profile.patterns {
-            lp.rows = (0..n)
-                .filter(|&r| lp.compiled.matches(&masked[r]))
-                .collect();
+            let hits = lp.compiled.matches_many(&masked);
+            lp.rows = (0..n).filter(|&r| hits[r]).collect();
             lp.coverage = if n == 0 {
                 0.0
             } else {

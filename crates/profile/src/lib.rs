@@ -22,6 +22,7 @@ pub mod stats;
 
 pub use generalize::MergeConfig;
 pub use profiler::{
-    profile_column, profile_plain, rescore_profile, ColumnProfile, LearnedPattern, ProfilerConfig,
+    profile_column, profile_plain, rescore_profile, ColumnProfile, LearnedPattern, MatchEngine,
+    ProfilerConfig,
 };
 pub use stats::BuildConfig;

@@ -17,6 +17,20 @@ use crate::generalize::{try_merge, MergeConfig};
 use crate::stats::{BuildConfig, GroupProfile};
 use datavinci_regex::{CompiledPattern, MaskedString, Pattern};
 
+/// Which matcher scores candidate patterns against the column.
+///
+/// Both decide the same language, so profiles are identical either way;
+/// the knob exists so benchmarks and the differential CI step can measure
+/// and verify the fast path against the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchEngine {
+    /// Batch membership on the memoized DFA (the fast path; default).
+    #[default]
+    Dfa,
+    /// Per-value cyclic-NFA simulation (the reference oracle).
+    Nfa,
+}
+
 /// Profiler configuration (FlashProfile's "default parameters" stand-in).
 #[derive(Debug, Clone)]
 pub struct ProfilerConfig {
@@ -28,6 +42,8 @@ pub struct ProfilerConfig {
     pub build: BuildConfig,
     /// Merge cost model.
     pub merge: MergeConfig,
+    /// Matcher used for coverage scoring.
+    pub match_engine: MatchEngine,
 }
 
 impl Default for ProfilerConfig {
@@ -37,6 +53,7 @@ impl Default for ProfilerConfig {
             merge_threshold: 0.2,
             build: BuildConfig::default(),
             merge: MergeConfig::default(),
+            match_engine: MatchEngine::default(),
         }
     }
 }
@@ -152,7 +169,9 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
         }
     }
 
-    // 3. Build patterns and re-evaluate true coverage over the whole column.
+    // 3. Build patterns and re-evaluate true coverage over the whole
+    // column: one batch match per candidate (the DFA memoizes transitions
+    // across the entire column instead of re-walking the NFA per value).
     let mut learned: Vec<LearnedPattern> = Vec::with_capacity(groups.len() + 1);
     let mut seen: Vec<Pattern> = Vec::new();
     let built: Vec<Pattern> = categorical
@@ -165,12 +184,7 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
         }
         seen.push(pattern.clone());
         let compiled = CompiledPattern::compile(pattern.clone());
-        let rows: Vec<usize> = values
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| compiled.matches(v))
-            .map(|(i, _)| i)
-            .collect();
+        let rows = member_rows(&compiled, values, cfg.match_engine);
         let coverage = rows.len() as f64 / n as f64;
         learned.push(LearnedPattern {
             pattern,
@@ -179,18 +193,45 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
             coverage,
         });
     }
-    learned.sort_by(|a, b| {
-        b.coverage
-            .partial_cmp(&a.coverage)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.pattern.to_string().cmp(&b.pattern.to_string()))
-    });
+    sort_by_coverage(&mut learned);
     learned.truncate(cfg.max_patterns);
 
     ColumnProfile {
         patterns: learned,
         n_values: n,
     }
+}
+
+/// Row indices the pattern accepts, via the configured matcher.
+fn member_rows(
+    compiled: &CompiledPattern,
+    values: &[MaskedString],
+    engine: MatchEngine,
+) -> Vec<usize> {
+    let hits: Vec<bool> = match engine {
+        MatchEngine::Dfa => compiled.matches_many(values),
+        MatchEngine::Nfa => values.iter().map(|v| compiled.matches_nfa(v)).collect(),
+    };
+    hits.iter()
+        .enumerate()
+        .filter_map(|(i, &hit)| hit.then_some(i))
+        .collect()
+}
+
+/// Coverage-descending order with a stable pattern-rendering tiebreak; the
+/// rendering is computed once per pattern, not once per comparison.
+fn sort_by_coverage(patterns: &mut Vec<LearnedPattern>) {
+    let mut keyed: Vec<(String, LearnedPattern)> = std::mem::take(patterns)
+        .into_iter()
+        .map(|lp| (lp.pattern.to_string(), lp))
+        .collect();
+    keyed.sort_by(|(ka, a), (kb, b)| {
+        b.coverage
+            .partial_cmp(&a.coverage)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| ka.cmp(kb))
+    });
+    *patterns = keyed.into_iter().map(|(_, lp)| lp).collect();
 }
 
 /// Re-scores an existing profile against (possibly extended) column values:
@@ -206,12 +247,10 @@ pub fn rescore_profile(prior: &ColumnProfile, values: &[MaskedString]) -> Column
         .patterns
         .iter()
         .map(|lp| {
-            let rows: Vec<usize> = values
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| lp.compiled.matches(v))
-                .map(|(i, _)| i)
-                .collect();
+            // Batch-match on the DFA; the clone shares the prior's warm
+            // memo tables, so an append-only re-score pays one table
+            // lookup per token instead of a fresh NFA walk.
+            let rows = member_rows(&lp.compiled, values, MatchEngine::Dfa);
             let coverage = if n == 0 {
                 0.0
             } else {
@@ -225,12 +264,7 @@ pub fn rescore_profile(prior: &ColumnProfile, values: &[MaskedString]) -> Column
             }
         })
         .collect();
-    patterns.sort_by(|a, b| {
-        b.coverage
-            .partial_cmp(&a.coverage)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.pattern.to_string().cmp(&b.pattern.to_string()))
-    });
+    sort_by_coverage(&mut patterns);
     ColumnProfile {
         patterns,
         n_values: n,
@@ -339,6 +373,54 @@ mod tests {
         let p = profile(&[]);
         assert!(p.patterns.is_empty());
         assert_eq!(p.n_values, 0);
+    }
+
+    #[test]
+    fn nfa_and_dfa_engines_produce_identical_profiles() {
+        let columns: Vec<Vec<&str>> = vec![
+            vec!["Q1-22", "Q4-21", "Q2-20", "Q1-21", "Q990"],
+            vec!["c-1", "c-2", "c3", "c4"],
+            vec!["Ind-674-PRO", "US-837-QUA", "Alg-173-PRO", "Chn-924-QUA"],
+            vec!["", "", "x1", "zz top", "9!9"],
+        ];
+        for values in &columns {
+            let dfa = profile_plain(values, &ProfilerConfig::default());
+            let nfa = profile_plain(
+                values,
+                &ProfilerConfig {
+                    match_engine: MatchEngine::Nfa,
+                    ..ProfilerConfig::default()
+                },
+            );
+            assert_eq!(dfa.n_values, nfa.n_values);
+            assert_eq!(dfa.patterns.len(), nfa.patterns.len(), "{values:?}");
+            for (a, b) in dfa.patterns.iter().zip(&nfa.patterns) {
+                assert_eq!(a.pattern, b.pattern, "{values:?}");
+                assert_eq!(a.rows, b.rows, "{values:?} / {}", a.pattern);
+                assert_eq!(a.coverage, b.coverage);
+            }
+        }
+    }
+
+    #[test]
+    fn rescore_matches_fresh_scoring_on_grown_column() {
+        let base: Vec<&str> = vec!["A2.", "A3.", "A4.A5."];
+        let prior = profile(&base);
+        let grown: Vec<MaskedString> = ["A2.", "A3.", "A4.A5.", "A6.", "AAA3"]
+            .iter()
+            .map(|s| MaskedString::from_plain(s))
+            .collect();
+        let rescored = rescore_profile(&prior, &grown);
+        assert_eq!(rescored.n_values, 5);
+        for lp in &rescored.patterns {
+            let expect: Vec<usize> = grown
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| lp.compiled.matches_nfa(v))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(lp.rows, expect, "{}", lp.pattern);
+        }
     }
 
     #[test]

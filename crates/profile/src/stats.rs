@@ -40,9 +40,9 @@ pub struct PosStat {
 }
 
 impl PosStat {
-    /// Builds the stat for a single observed atom.
-    pub fn from_atom(atom: &Atom) -> PosStat {
-        let (kind, len) = match atom.kind {
+    /// The (kind, run length) one atom observes.
+    fn observe(atom: &Atom) -> (PosKind, usize) {
+        match atom.kind {
             AtomKind::Digits | AtomKind::Uppers | AtomKind::Lowers | AtomKind::Spaces => {
                 let class = atom
                     .text
@@ -54,7 +54,12 @@ impl PosStat {
             }
             AtomKind::Symbol(c) => (PosKind::Sym(c), 1),
             AtomKind::Mask(id) => (PosKind::Mask(id), 1),
-        };
+        }
+    }
+
+    /// Builds the stat for a single observed atom.
+    pub fn from_atom(atom: &Atom) -> PosStat {
+        let (kind, len) = PosStat::observe(atom);
         let mut texts = BTreeMap::new();
         texts.insert(atom.text.clone(), 1);
         PosStat {
@@ -67,10 +72,24 @@ impl PosStat {
         }
     }
 
-    /// Pools another observed atom into this stat.
+    /// Pools another observed atom into this stat, in place (the profiler
+    /// calls this once per atom per value — no temporary stat, and the text
+    /// is only cloned the first time it is seen).
     pub fn absorb_atom(&mut self, atom: &Atom) {
-        let other = PosStat::from_atom(atom);
-        self.absorb(&other);
+        let (kind, len) = PosStat::observe(atom);
+        self.kind = match (self.kind, kind) {
+            (PosKind::Class(a), PosKind::Class(b)) => PosKind::Class(a.join(b)),
+            (k, _) => k, // signature grouping guarantees compatible kinds
+        };
+        match self.texts.get_mut(&atom.text) {
+            Some(n) => *n += 1,
+            None => {
+                self.texts.insert(atom.text.clone(), 1);
+            }
+        }
+        self.min_len = self.min_len.min(len);
+        self.max_len = self.max_len.max(len);
+        self.samples += 1;
     }
 
     /// Pools another stat (after alignment) into this one.

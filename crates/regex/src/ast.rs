@@ -346,4 +346,95 @@ mod tests {
         let p = Pattern::concat([Pattern::lit("ab"), Pattern::Class(CharClass::Digit)]);
         assert_eq!(p.size(), 3);
     }
+
+    #[test]
+    fn nullable_epsilon_heavy_corners() {
+        // The determinizer's ε-closures rely on these nullability facts.
+        assert!(Pattern::Empty.nullable());
+        assert!(Pattern::star(Pattern::Empty).nullable());
+        assert!(Pattern::star(Pattern::star(Pattern::lit("a"))).nullable());
+        assert!(Pattern::opt(Pattern::opt(Pattern::Empty)).nullable());
+        // min 0 repeats are nullable regardless of the body.
+        assert!(Pattern::Repeat {
+            body: Box::new(Pattern::lit("abc")),
+            min: 0,
+            max: Some(0),
+        }
+        .nullable());
+        // A repeat of a nullable body is nullable even with min > 0.
+        assert!(Pattern::Repeat {
+            body: Box::new(Pattern::opt(Pattern::lit("x"))),
+            min: 5,
+            max: None,
+        }
+        .nullable());
+        // Concat is nullable only when every part is.
+        assert!(Pattern::concat([Pattern::star(Pattern::lit("a")), Pattern::Empty]).nullable());
+        assert!(!Pattern::concat([Pattern::star(Pattern::lit("a")), Pattern::lit("b")]).nullable());
+        // Alt is nullable when any branch is.
+        assert!(Pattern::Alt(vec![Pattern::lit("x"), Pattern::Empty]).nullable());
+        assert!(!Pattern::Alt(vec![Pattern::lit("x"), Pattern::lit("y")]).nullable());
+    }
+
+    #[test]
+    fn min_len_epsilon_heavy_corners() {
+        assert_eq!(Pattern::Empty.min_len(), 0);
+        assert_eq!(Pattern::star(Pattern::lit("abc")).min_len(), 0);
+        assert_eq!(Pattern::plus(Pattern::lit("abc")).min_len(), 3);
+        // Bounded repeat of a nullable body contributes nothing.
+        assert_eq!(
+            Pattern::Repeat {
+                body: Box::new(Pattern::opt(Pattern::lit("xy"))),
+                min: 4,
+                max: Some(6),
+            }
+            .min_len(),
+            0
+        );
+        // Disjunction minimum is the shortest alternative.
+        assert_eq!(Pattern::disj(["abcd", "ab", "abc"]).min_len(), 2);
+        // Alt minimum is the cheapest branch; empty alt list degenerates to 0.
+        assert_eq!(
+            Pattern::Alt(vec![Pattern::lit("abcd"), Pattern::Class(CharClass::Digit)]).min_len(),
+            1
+        );
+        assert_eq!(Pattern::Alt(vec![]).min_len(), 0);
+        // Nested quantifier arithmetic: ((ab){2}){3} consumes 12.
+        let nested = Pattern::Repeat {
+            body: Box::new(Pattern::class_n(CharClass::Lower, 2)),
+            min: 3,
+            max: None,
+        };
+        assert_eq!(nested.min_len(), 6);
+        // Masks are single tokens regardless of their rendered width.
+        assert_eq!(Pattern::Mask(crate::token::MaskId(7)).min_len(), 1);
+    }
+
+    #[test]
+    fn min_len_agrees_with_matcher_on_empty_string() {
+        // nullable() == "the empty string matches": spot-check the
+        // correspondence the DFA's min_len guard assumes.
+        let cases = [
+            Pattern::Empty,
+            Pattern::star(Pattern::Empty),
+            Pattern::star(Pattern::star(Pattern::lit("a"))),
+            Pattern::opt(Pattern::disj(["aa", "bb"])),
+            Pattern::plus(Pattern::lit("a")),
+            Pattern::disj(["x", "yz"]),
+            Pattern::Repeat {
+                body: Box::new(Pattern::Empty),
+                min: 3,
+                max: Some(3),
+            },
+        ];
+        for p in cases {
+            let compiled = crate::matcher::CompiledPattern::compile(p.clone());
+            let empty = crate::token::MaskedString::default();
+            assert_eq!(
+                compiled.matches(&empty),
+                p.nullable(),
+                "{p} nullability vs matcher"
+            );
+        }
+    }
 }

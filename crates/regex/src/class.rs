@@ -42,7 +42,7 @@ impl CharClass {
     ];
 
     /// Does this class contain `c`?
-    pub fn contains(&self, c: char) -> bool {
+    pub const fn contains(&self, c: char) -> bool {
         match self {
             CharClass::Binary => c == '0' || c == '1',
             CharClass::Digit => c.is_ascii_digit(),
@@ -54,6 +54,48 @@ impl CharClass {
             CharClass::AlphaNumSpace => c.is_ascii_alphanumeric() || c == ' ',
         }
     }
+
+    /// Position in [`CharClass::ALL`] (table index).
+    const fn index(self) -> usize {
+        match self {
+            CharClass::Binary => 0,
+            CharClass::Digit => 1,
+            CharClass::Upper => 2,
+            CharClass::Lower => 3,
+            CharClass::Letter => 4,
+            CharClass::AlphaNum => 5,
+            CharClass::Space => 6,
+            CharClass::AlphaNumSpace => 7,
+        }
+    }
+
+    /// ASCII membership bitmask (bit `i` ⇔ `contains(i as char)`); classes
+    /// are pure ASCII sets, so this encodes them completely.
+    const fn ascii_mask(self) -> u128 {
+        let mut mask: u128 = 0;
+        let mut i: u8 = 0;
+        while i < 128 {
+            if self.contains(i as char) {
+                mask |= 1 << i;
+            }
+            i += 1;
+        }
+        mask
+    }
+
+    /// Precomputed [`CharClass::ascii_mask`] per class, in `ALL` order —
+    /// makes the subclass/join lattice operations O(1) bit tests instead of
+    /// 128-character sweeps (they sit in the profiler's per-character loop).
+    const MASKS: [u128; 8] = [
+        CharClass::Binary.ascii_mask(),
+        CharClass::Digit.ascii_mask(),
+        CharClass::Upper.ascii_mask(),
+        CharClass::Lower.ascii_mask(),
+        CharClass::Letter.ascii_mask(),
+        CharClass::AlphaNum.ascii_mask(),
+        CharClass::Space.ascii_mask(),
+        CharClass::AlphaNumSpace.ascii_mask(),
+    ];
 
     /// The narrowest class containing `c`, if any. Punctuation and non-ASCII
     /// characters belong to no class and stay literal in patterns.
@@ -82,26 +124,21 @@ impl CharClass {
         if other.is_subclass_of(&self) {
             return self;
         }
-        // The narrowest class that is a superset of both. ALL is sorted so
-        // that scanning by cardinality yields the least upper bound.
-        let mut candidates: Vec<CharClass> = CharClass::ALL
-            .into_iter()
-            .filter(|c| self.is_subclass_of(c) && other.is_subclass_of(c))
-            .collect();
-        candidates.sort_by_key(CharClass::cardinality);
-        candidates
-            .first()
-            .copied()
-            .unwrap_or(CharClass::AlphaNumSpace)
+        // The narrowest class that is a superset of both: scan the fixed
+        // class list tracking the minimum cardinality (no allocation).
+        let union = CharClass::MASKS[self.index()] | CharClass::MASKS[other.index()];
+        let mut best = CharClass::AlphaNumSpace;
+        for c in CharClass::ALL {
+            if union & !CharClass::MASKS[c.index()] == 0 && c.cardinality() < best.cardinality() {
+                best = c;
+            }
+        }
+        best
     }
 
     /// Is every member of `self` also a member of `other`?
-    pub fn is_subclass_of(&self, other: &CharClass) -> bool {
-        // Classes are small ASCII sets; check membership exhaustively.
-        self == other
-            || (0u8..=127)
-                .map(char::from)
-                .all(|c| !self.contains(c) || other.contains(c))
+    pub const fn is_subclass_of(&self, other: &CharClass) -> bool {
+        CharClass::MASKS[self.index()] & !CharClass::MASKS[other.index()] == 0
     }
 
     /// A canonical member, used when a repair must emit *some* concrete
@@ -205,5 +242,75 @@ mod tests {
         assert!(CharClass::AlphaNumSpace.contains(' '));
         assert!(!CharClass::AlphaNum.contains(' '));
         assert!(!CharClass::Letter.contains('3'));
+    }
+
+    #[test]
+    fn subclass_agrees_with_exhaustive_membership() {
+        // The bitmask tables must encode exactly the `contains` relation the
+        // determinizer keys its equivalence classes on.
+        for &a in &CharClass::ALL {
+            for &b in &CharClass::ALL {
+                let exhaustive = (0u8..=127)
+                    .map(char::from)
+                    .all(|c| !a.contains(c) || b.contains(c));
+                assert_eq!(a.is_subclass_of(&b), exhaustive, "{a:?} ⊆ {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn subclass_is_reflexive_antisymmetric_transitive() {
+        for &a in &CharClass::ALL {
+            assert!(a.is_subclass_of(&a), "{a:?} not reflexive");
+            for &b in &CharClass::ALL {
+                if a.is_subclass_of(&b) && b.is_subclass_of(&a) {
+                    assert_eq!(a, b, "antisymmetry violated: {a:?} / {b:?}");
+                }
+                for &c in &CharClass::ALL {
+                    if a.is_subclass_of(&b) && b.is_subclass_of(&c) {
+                        assert!(a.is_subclass_of(&c), "{a:?} ⊆ {b:?} ⊆ {c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent_associative_and_least() {
+        for &a in &CharClass::ALL {
+            assert_eq!(a.join(a), a, "{a:?} join not idempotent");
+            for &b in &CharClass::ALL {
+                let j = a.join(b);
+                // Least upper bound: no strictly smaller class contains both.
+                for &c in &CharClass::ALL {
+                    if a.is_subclass_of(&c) && b.is_subclass_of(&c) {
+                        assert!(j.is_subclass_of(&c), "{j:?} not least for {a:?}∨{b:?}");
+                    }
+                }
+                for &c in &CharClass::ALL {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)), "{a:?} {b:?} {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_with_incomparable_singleton_space() {
+        // Space is disjoint from every letter/digit class: the only upper
+        // bound is the top, never an intermediate class.
+        for other in [
+            CharClass::Binary,
+            CharClass::Digit,
+            CharClass::Upper,
+            CharClass::Lower,
+            CharClass::Letter,
+            CharClass::AlphaNum,
+        ] {
+            assert_eq!(CharClass::Space.join(other), CharClass::AlphaNumSpace);
+        }
+        assert_eq!(
+            CharClass::Space.join(CharClass::AlphaNumSpace),
+            CharClass::AlphaNumSpace
+        );
     }
 }

@@ -1,0 +1,578 @@
+//! Lazily-determinized, memoized DFA for boolean membership tests.
+//!
+//! The profiler re-runs every candidate pattern over every column value, so
+//! membership dominates the hot loop. The cyclic Thompson NFA in
+//! [`crate::nfa`] answers each query by simulating a *set* of states per
+//! token — correct, but it allocates a reachability table per call and
+//! touches every state per step. Patterns here are plain regular languages,
+//! so on-the-fly subset construction applies: this module determinizes the
+//! NFA lazily, caching one dense transition row per discovered DFA state so
+//! repeated matches against the same pattern (a whole column, a re-score, a
+//! warm engine cache) degenerate to one table lookup per token.
+//!
+//! Two design points keep the construction exact and bounded:
+//!
+//! * **Flattened automaton.** The matcher NFA's string-disjunction edges
+//!   consume several tokens at once, which has no DFA analogue. The DFA is
+//!   built over an equivalent *flat* NFA in which every `(CAT|PRO)` edge is
+//!   expanded to per-character alternatives; atom identities are irrelevant
+//!   for boolean membership, so the languages coincide.
+//! * **State budget + NFA fallback.** Subset construction is worst-case
+//!   exponential. Discovery is capped at [`DEFAULT_STATE_BUDGET`] DFA
+//!   states; once exceeded the DFA marks itself overflowed and every
+//!   subsequent query runs on the flat NFA instead. Both engines decide the
+//!   same language, so results are identical either way — the differential
+//!   suite in `tests/dfa_vs_nfa.rs` asserts this, including across the
+//!   overflow boundary.
+//!
+//! The input alphabet (every `char`, plus mask tokens) is first compressed
+//! into *token equivalence classes*: two tokens that cross exactly the same
+//! edges everywhere share a class, so transition rows stay dense and small
+//! (one slot per class, not per character).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::ast::{TNode, TaggedPattern};
+use crate::nfa::{Nfa, NfaLabel};
+use crate::token::{MaskId, MaskedString, Tok};
+
+/// Default cap on discovered DFA states before falling back to the NFA.
+///
+/// Learned profiles are small (tens of NFA states), so real patterns
+/// determinize in a handful of states; the cap exists to bound adversarial
+/// alternation blow-ups, not everyday use.
+pub const DEFAULT_STATE_BUDGET: usize = 512;
+
+/// Sentinel: transition not yet computed.
+const UNEXPLORED: u32 = u32::MAX;
+/// The dead state (empty NFA set): always state 0, never accepting.
+const DEAD: u32 = 0;
+/// The start state (ε-closure of the NFA start): always state 1.
+const START: u32 = 1;
+
+/// What one token equivalence class means to the edge labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ClassSig {
+    /// The literal character all members equal, if any (`Lit` edges).
+    lit: Option<char>,
+    /// Bitmask over the pattern's distinct `CharClass`es containing the
+    /// members (`Class` edges).
+    class_bits: u32,
+    /// The mask id all members equal, if any (`Mask` edges).
+    mask: Option<MaskId>,
+}
+
+impl ClassSig {
+    const SINK: ClassSig = ClassSig {
+        lit: None,
+        class_bits: 0,
+        mask: None,
+    };
+}
+
+/// Token → equivalence-class mapping, fixed at compile time.
+#[derive(Debug)]
+struct Alphabet {
+    /// ASCII fast path: class id per code point.
+    ascii: [u16; 128],
+    /// Non-ASCII literal characters appearing in the pattern.
+    other_lits: HashMap<char, u16>,
+    /// Mask ids appearing in the pattern.
+    masks: HashMap<MaskId, u16>,
+    /// Class for every other token (matches nothing anywhere).
+    sink: u16,
+    /// Per-class signatures, indexed by class id.
+    sigs: Vec<ClassSig>,
+    /// The pattern's distinct `CharClass`es; position = signature bit.
+    classes: Vec<crate::class::CharClass>,
+}
+
+impl Alphabet {
+    /// Builds the equivalence classes from a flat NFA's edge labels.
+    fn build(flat: &Nfa) -> Alphabet {
+        // Collect the symbols the pattern can distinguish, deterministically.
+        let mut lits: Vec<char> = Vec::new();
+        let mut classes: Vec<crate::class::CharClass> = Vec::new();
+        let mut masks: Vec<MaskId> = Vec::new();
+        for edges in &flat.edges {
+            for edge in edges {
+                match &edge.label {
+                    NfaLabel::Lit(c) => lits.push(*c),
+                    NfaLabel::Class(cc) => classes.push(*cc),
+                    NfaLabel::Mask(m) => masks.push(*m),
+                    NfaLabel::Disj(_) => unreachable!("flat NFA has no disjunction edges"),
+                }
+            }
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        classes.sort_unstable();
+        classes.dedup();
+        masks.sort_unstable();
+        masks.dedup();
+        assert!(
+            classes.len() <= 32,
+            "class bitmask width exceeded (pattern uses {} distinct classes)",
+            classes.len()
+        );
+
+        let mut sigs: Vec<ClassSig> = vec![ClassSig::SINK];
+        let mut ids: HashMap<ClassSig, u16> = HashMap::new();
+        ids.insert(ClassSig::SINK, 0);
+        let mut intern = |sig: ClassSig, sigs: &mut Vec<ClassSig>| -> u16 {
+            *ids.entry(sig).or_insert_with(|| {
+                sigs.push(sig);
+                (sigs.len() - 1) as u16
+            })
+        };
+
+        let char_sig = |c: char| {
+            let lit = lits.binary_search(&c).ok().map(|_| c);
+            let mut bits = 0u32;
+            for (i, cc) in classes.iter().enumerate() {
+                if cc.contains(c) {
+                    bits |= 1 << i;
+                }
+            }
+            ClassSig {
+                lit,
+                class_bits: bits,
+                mask: None,
+            }
+        };
+
+        let mut ascii = [0u16; 128];
+        for (i, slot) in ascii.iter_mut().enumerate() {
+            let c = char::from(i as u8);
+            *slot = intern(char_sig(c), &mut sigs);
+        }
+        let mut other_lits = HashMap::new();
+        for &c in lits.iter().filter(|c| !c.is_ascii()) {
+            other_lits.insert(c, intern(char_sig(c), &mut sigs));
+        }
+        let mut mask_ids = HashMap::new();
+        for &m in &masks {
+            let sig = ClassSig {
+                lit: None,
+                class_bits: 0,
+                mask: Some(m),
+            };
+            mask_ids.insert(m, intern(sig, &mut sigs));
+        }
+
+        Alphabet {
+            ascii,
+            other_lits,
+            masks: mask_ids,
+            sink: 0,
+            sigs,
+            classes,
+        }
+    }
+
+    /// Number of equivalence classes (the dense row width).
+    fn n_classes(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// The equivalence class of one token.
+    #[inline]
+    fn class_of(&self, tok: Tok) -> u16 {
+        match tok {
+            Tok::Char(c) => {
+                if (c as u32) < 128 {
+                    self.ascii[c as usize]
+                } else {
+                    self.other_lits.get(&c).copied().unwrap_or(self.sink)
+                }
+            }
+            Tok::Mask(m) => self.masks.get(&m).copied().unwrap_or(self.sink),
+        }
+    }
+
+    /// Does an edge label accept every member of class `cls`? (Well-defined
+    /// because tokens sharing a class behave identically on every label.)
+    fn label_accepts(&self, label: &NfaLabel, cls: u16) -> bool {
+        let sig = &self.sigs[cls as usize];
+        match label {
+            NfaLabel::Lit(c) => sig.lit == Some(*c),
+            // Edge classes always come from the pattern, so the position
+            // lookup (≤ 8 entries) is the bit assigned at build time.
+            NfaLabel::Class(cc) => self
+                .classes
+                .iter()
+                .position(|used| used == cc)
+                .is_some_and(|bit| sig.class_bits & (1 << bit) != 0),
+            NfaLabel::Mask(m) => sig.mask == Some(*m),
+            NfaLabel::Disj(_) => unreachable!("flat NFA has no disjunction edges"),
+        }
+    }
+}
+
+/// The memoized transition tables (behind the DFA's mutex).
+#[derive(Debug)]
+struct Tables {
+    /// NFA state set → DFA id.
+    ids: HashMap<Box<[u32]>, u32>,
+    /// DFA id → NFA state set (for lazy exploration).
+    sets: Vec<Box<[u32]>>,
+    /// DFA id → accepting?
+    accept: Vec<bool>,
+    /// Dense rows: `trans[id * n_classes + class]`.
+    trans: Vec<u32>,
+    /// Scratch marker for ε-closures (one slot per NFA state).
+    mark: Vec<bool>,
+}
+
+/// A lazily-determinized DFA equivalent to one compiled pattern's NFA.
+#[derive(Debug)]
+pub(crate) struct Dfa {
+    /// One-token-per-edge NFA: exploration source and fallback engine.
+    flat: Nfa,
+    alphabet: Alphabet,
+    budget: usize,
+    tables: Mutex<Tables>,
+    /// Budget exceeded: all queries run on the NFA from now on. An atomic
+    /// outside the mutex so post-overflow queries (which mutate nothing)
+    /// never serialize on the lock — clones share the `Arc<Dfa>` across
+    /// engine workers.
+    overflowed: AtomicBool,
+}
+
+impl Dfa {
+    /// Compiles the DFA front-end for a tagged pattern.
+    pub fn new(tagged: &TaggedPattern, budget: usize) -> Dfa {
+        let flat_root = flatten_disjs(tagged.root());
+        let flat = Nfa::compile(&TaggedPattern {
+            root: flat_root,
+            n_atoms: tagged.n_atoms(),
+        });
+        let alphabet = Alphabet::build(&flat);
+        let n_classes = alphabet.n_classes();
+
+        let mut tables = Tables {
+            ids: HashMap::new(),
+            sets: Vec::new(),
+            accept: Vec::new(),
+            trans: Vec::new(),
+            mark: vec![false; flat.n_states],
+        };
+        // State 0: dead. Its row is all-DEAD so lookups terminate instantly.
+        tables.ids.insert(Box::from([] as [u32; 0]), DEAD);
+        tables.sets.push(Box::from([] as [u32; 0]));
+        tables.accept.push(false);
+        tables.trans.extend(std::iter::repeat_n(DEAD, n_classes));
+        // State 1: ε-closure of the NFA start.
+        let start_set = closure(&flat, &mut tables.mark, [flat.start as u32]);
+        tables
+            .accept
+            .push(start_set.contains(&(flat.accept as u32)));
+        tables.ids.insert(start_set.clone(), START);
+        tables.sets.push(start_set);
+        tables
+            .trans
+            .extend(std::iter::repeat_n(UNEXPLORED, n_classes));
+
+        Dfa {
+            flat,
+            alphabet,
+            budget,
+            tables: Mutex::new(tables),
+            overflowed: AtomicBool::new(budget < 2),
+        }
+    }
+
+    /// Is the token string in the language? Exact: identical to the NFA
+    /// answer, by construction (and by the differential suite).
+    pub fn matches(&self, toks: &[Tok]) -> bool {
+        if self.overflowed.load(Ordering::Relaxed) {
+            return self.flat.matches(toks);
+        }
+        let outcome = {
+            let mut tables = self.tables.lock().expect("dfa tables poisoned");
+            self.run(&mut tables, toks)
+        };
+        match outcome {
+            Some(accepted) => accepted,
+            // Budget exceeded mid-run: permanently fall back, simulating
+            // outside the lock. The partially-built tables stay consistent
+            // but unused.
+            None => {
+                self.overflowed.store(true, Ordering::Relaxed);
+                self.flat.matches(toks)
+            }
+        }
+    }
+
+    /// Batch membership: locks the memo table once for the whole column
+    /// (not at all once overflowed).
+    pub fn matches_many(&self, values: &[MaskedString], min_len: usize) -> Vec<bool> {
+        let mut guard = if self.overflowed.load(Ordering::Relaxed) {
+            None
+        } else {
+            Some(self.tables.lock().expect("dfa tables poisoned"))
+        };
+        let mut out = Vec::with_capacity(values.len());
+        for v in values {
+            if v.len() < min_len {
+                out.push(false);
+                continue;
+            }
+            let outcome = match guard.as_mut() {
+                Some(tables) => self.run(tables, v.toks()),
+                None => Some(self.flat.matches(v.toks())),
+            };
+            match outcome {
+                Some(accepted) => out.push(accepted),
+                None => {
+                    // Overflow mid-batch: release the lock and finish the
+                    // remaining values on the NFA.
+                    self.overflowed.store(true, Ordering::Relaxed);
+                    guard = None;
+                    out.push(self.flat.matches(v.toks()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Has the state budget been exceeded (all queries now NFA-backed)?
+    pub fn overflowed(&self) -> bool {
+        self.overflowed.load(Ordering::Relaxed)
+    }
+
+    /// Number of DFA states discovered so far (incl. dead + start).
+    #[cfg(test)]
+    fn n_states(&self) -> usize {
+        self.tables.lock().expect("dfa tables poisoned").sets.len()
+    }
+
+    /// DFA simulation; `None` when a new state would exceed the budget.
+    fn run(&self, tables: &mut Tables, toks: &[Tok]) -> Option<bool> {
+        let n_classes = self.alphabet.n_classes();
+        let mut state = START;
+        for &tok in toks {
+            let cls = self.alphabet.class_of(tok);
+            let slot = state as usize * n_classes + cls as usize;
+            let mut next = tables.trans[slot];
+            if next == UNEXPLORED {
+                next = self.explore(tables, state, cls)?;
+                tables.trans[state as usize * n_classes + cls as usize] = next;
+            }
+            if next == DEAD {
+                return Some(false);
+            }
+            state = next;
+        }
+        Some(tables.accept[state as usize])
+    }
+
+    /// Computes (and interns) the successor of `state` on class `cls`.
+    fn explore(&self, tables: &mut Tables, state: u32, cls: u16) -> Option<u32> {
+        let mut moved: Vec<u32> = Vec::new();
+        for &q in tables.sets[state as usize].iter() {
+            for edge in &self.flat.edges[q as usize] {
+                if self.alphabet.label_accepts(&edge.label, cls) {
+                    moved.push(edge.to as u32);
+                }
+            }
+        }
+        if moved.is_empty() {
+            return Some(DEAD);
+        }
+        let next_set = closure(&self.flat, &mut tables.mark, moved);
+        if let Some(&id) = tables.ids.get(&next_set) {
+            return Some(id);
+        }
+        if tables.sets.len() >= self.budget {
+            return None;
+        }
+        let id = tables.sets.len() as u32;
+        tables
+            .accept
+            .push(next_set.contains(&(self.flat.accept as u32)));
+        tables.ids.insert(next_set.clone(), id);
+        tables.sets.push(next_set);
+        tables
+            .trans
+            .extend(std::iter::repeat_n(UNEXPLORED, self.alphabet.n_classes()));
+        Some(id)
+    }
+}
+
+/// Sorted ε-closure of `seed`, using (and restoring) the scratch marker.
+fn closure(nfa: &Nfa, mark: &mut [bool], seed: impl IntoIterator<Item = u32>) -> Box<[u32]> {
+    let mut stack: Vec<u32> = Vec::new();
+    let mut out: Vec<u32> = Vec::new();
+    for s in seed {
+        if !mark[s as usize] {
+            mark[s as usize] = true;
+            stack.push(s);
+            out.push(s);
+        }
+    }
+    while let Some(s) = stack.pop() {
+        for &t in &nfa.eps[s as usize] {
+            if !mark[t] {
+                mark[t] = true;
+                stack.push(t as u32);
+                out.push(t as u32);
+            }
+        }
+    }
+    for &s in &out {
+        mark[s as usize] = false;
+    }
+    out.sort_unstable();
+    out.into_boxed_slice()
+}
+
+/// Rewrites multi-token disjunction edges into per-character alternatives,
+/// preserving the language (atom identities are unused for membership).
+fn flatten_disjs(node: &TNode) -> TNode {
+    match node {
+        TNode::Disj(alts, _) => TNode::Alt(alts.iter().map(|a| TNode::Str(a.clone())).collect()),
+        TNode::Concat(parts) => TNode::Concat(parts.iter().map(flatten_disjs).collect()),
+        TNode::Alt(parts) => TNode::Alt(parts.iter().map(flatten_disjs).collect()),
+        TNode::Repeat { body, min, max } => TNode::Repeat {
+            body: Box::new(flatten_disjs(body)),
+            min: *min,
+            max: *max,
+        },
+        leaf => leaf.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Pattern;
+    use crate::class::CharClass;
+    use crate::token::{MaskAlphabet, MaskedString};
+
+    fn dfa(p: &Pattern) -> Dfa {
+        Dfa::new(&p.tag(), DEFAULT_STATE_BUDGET)
+    }
+
+    fn accepts(d: &Dfa, s: &str) -> bool {
+        d.matches(MaskedString::from_plain(s).toks())
+    }
+
+    #[test]
+    fn agrees_with_nfa_on_figure4() {
+        let p = Pattern::plus(Pattern::concat([
+            Pattern::lit("A"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("."),
+        ]));
+        let d = dfa(&p);
+        let nfa = Nfa::compile(&p.tag());
+        for s in [
+            "A2.",
+            "A2.A3.",
+            "A5.A7.A8.",
+            "AAA3",
+            "",
+            "A2",
+            "A2.x",
+            "B2.",
+        ] {
+            let toks = MaskedString::from_plain(s);
+            assert_eq!(d.matches(toks.toks()), nfa.matches(toks.toks()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn disjunction_edges_are_flattened_exactly() {
+        let p = Pattern::concat([Pattern::lit("-"), Pattern::disj(["CAT", "PRO", "C"])]);
+        let d = dfa(&p);
+        assert!(accepts(&d, "-CAT"));
+        assert!(accepts(&d, "-PRO"));
+        assert!(accepts(&d, "-C"));
+        assert!(!accepts(&d, "-CA"));
+        assert!(!accepts(&d, "-CATX"));
+        assert!(!accepts(&d, "-PR"));
+    }
+
+    #[test]
+    fn masks_get_their_own_classes() {
+        let mut alpha = MaskAlphabet::new();
+        let country = alpha.intern("Country");
+        let city = alpha.intern("City");
+        let p = Pattern::concat([Pattern::Mask(country), Pattern::lit("-1")]);
+        let d = dfa(&p);
+        let ok = MaskedString::from_toks(vec![Tok::Mask(country), Tok::Char('-'), Tok::Char('1')]);
+        let wrong = MaskedString::from_toks(vec![Tok::Mask(city), Tok::Char('-'), Tok::Char('1')]);
+        assert!(d.matches(ok.toks()));
+        assert!(!d.matches(wrong.toks()));
+        assert!(!d.matches(MaskedString::from_plain("X-1").toks()));
+    }
+
+    #[test]
+    fn memoization_reuses_states_across_values() {
+        let p = Pattern::class_plus(CharClass::Digit);
+        let d = dfa(&p);
+        assert!(accepts(&d, "12"));
+        let after_first = d.n_states();
+        for s in ["1", "22", "333", "4444", "55555", "012345678901234567890"] {
+            assert!(accepts(&d, s));
+        }
+        // The loop revisits memoized states: no growth after the first
+        // two-token value, no matter how many values were matched.
+        assert_eq!(d.n_states(), after_first, "table kept growing");
+        assert!(after_first <= 4, "{after_first} states for [0-9]+");
+        assert!(!d.overflowed());
+    }
+
+    #[test]
+    fn budget_overflow_falls_back_to_nfa_and_stays_exact() {
+        // Wide alternation over distinct literals forces distinct DFA states.
+        let alts: Vec<Pattern> = (b'a'..=b'z')
+            .map(|c| Pattern::lit(format!("{0}{0}{0}", char::from(c))))
+            .collect();
+        let p = Pattern::Alt(alts);
+        let d = Dfa::new(&p.tag(), 3);
+        assert!(d.matches(MaskedString::from_plain("qqq").toks()));
+        assert!(d.overflowed(), "budget 3 must overflow");
+        // Post-overflow queries remain exact (NFA-backed).
+        assert!(accepts(&d, "aaa"));
+        assert!(accepts(&d, "zzz"));
+        assert!(!accepts(&d, "aab"));
+        assert!(!accepts(&d, ""));
+    }
+
+    #[test]
+    fn zero_budget_is_pure_nfa() {
+        let p = Pattern::lit("abc");
+        let d = Dfa::new(&p.tag(), 0);
+        assert!(d.overflowed());
+        assert!(accepts(&d, "abc"));
+        assert!(!accepts(&d, "abd"));
+    }
+
+    #[test]
+    fn epsilon_heavy_patterns() {
+        // (ε | (a*)*)? — nested nullable loops stress the closure scratch.
+        let p = Pattern::opt(Pattern::star(Pattern::star(Pattern::lit("a"))));
+        let d = dfa(&p);
+        assert!(accepts(&d, ""));
+        assert!(accepts(&d, "aaaa"));
+        assert!(!accepts(&d, "ab"));
+        let empty_loop = Pattern::star(Pattern::Empty);
+        let d2 = dfa(&empty_loop);
+        assert!(accepts(&d2, ""));
+        assert!(!accepts(&d2, "a"));
+    }
+
+    #[test]
+    fn non_ascii_literals_and_strays() {
+        let p = Pattern::concat([Pattern::lit("é"), Pattern::Class(CharClass::Digit)]);
+        let d = dfa(&p);
+        assert!(accepts(&d, "é4"));
+        assert!(!accepts(&d, "e4"));
+        // A non-ASCII char the pattern never mentions hits the sink class.
+        assert!(!accepts(&d, "ü4"));
+    }
+}

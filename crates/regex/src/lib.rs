@@ -7,8 +7,10 @@
 //!   quantified groups, and semantic *mask* tokens (§3.2),
 //! * [`MaskedString`]/[`Tok`] — strings over the extended alphabet produced
 //!   by semantic abstraction,
-//! * [`CompiledPattern`] — cyclic-NFA membership tests plus per-value-length
-//!   unrolled [`Dag`]s (Figure 4) used by the repair dynamic program,
+//! * [`CompiledPattern`] — memoized-DFA membership tests (lazy subset
+//!   construction with a cyclic-NFA fallback/oracle; see [`mod@dfa`]) plus
+//!   per-value-length unrolled [`Dag`]s (Figure 4) used by the repair
+//!   dynamic program,
 //! * [`Bindings`] — which concrete character/alternative each concretizable
 //!   atom consumed on a match (the decision-tree training data of Example 5),
 //! * Levenshtein distances in [`edit_distance`] (plain, token-level, banded).
@@ -19,6 +21,7 @@
 pub mod ast;
 pub mod class;
 pub mod dag;
+pub mod dfa;
 pub mod display;
 pub mod edit_distance;
 pub mod matcher;

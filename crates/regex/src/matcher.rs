@@ -1,16 +1,18 @@
 //! Compiled patterns: boolean matching, DAG access, and binding extraction.
 //!
-//! A [`CompiledPattern`] packages the tagged AST, its cyclic NFA (for fast
-//! membership tests during detection) and a per-length cache of unrolled
-//! DAGs (for the repair DP and for extracting concretization *bindings* —
-//! which concrete character/alternative each class/disjunction edge consumed
-//! on a successful match; paper Example 5).
+//! A [`CompiledPattern`] packages the tagged AST, a lazily-determinized
+//! [`Dfa`](crate::dfa) front-end for membership tests (with the cyclic NFA
+//! kept as the exact fallback and reference oracle) and a per-length cache
+//! of unrolled DAGs (for the repair DP and for extracting concretization
+//! *bindings* — which concrete character/alternative each class/disjunction
+//! edge consumed on a successful match; paper Example 5).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::ast::{AtomKey, Pattern, TaggedPattern};
 use crate::dag::{Dag, DagLabel};
+use crate::dfa::{Dfa, DEFAULT_STATE_BUDGET};
 use crate::nfa::Nfa;
 use crate::token::{MaskedString, Tok};
 
@@ -47,6 +49,7 @@ pub struct CompiledPattern {
     pattern: Pattern,
     tagged: TaggedPattern,
     nfa: Nfa,
+    dfa: Arc<Dfa>,
     min_len: usize,
     dag_cache: Mutex<HashMap<usize, std::sync::Arc<Dag>>>,
 }
@@ -57,6 +60,10 @@ impl Clone for CompiledPattern {
             pattern: self.pattern.clone(),
             tagged: self.tagged.clone(),
             nfa: self.nfa.clone(),
+            // Memoized DFA transitions depend only on the pattern's
+            // language, so clones share them — a re-scored profile keeps
+            // its warm tables instead of re-determinizing from scratch.
+            dfa: Arc::clone(&self.dfa),
             min_len: self.min_len,
             dag_cache: Mutex::new(HashMap::new()),
         }
@@ -66,13 +73,26 @@ impl Clone for CompiledPattern {
 impl CompiledPattern {
     /// Compiles a pattern.
     pub fn compile(pattern: Pattern) -> Self {
+        CompiledPattern::compile_with_dfa_budget(pattern, DEFAULT_STATE_BUDGET)
+    }
+
+    /// Compiles a pattern with an explicit DFA state budget.
+    ///
+    /// Membership runs on the lazily-determinized DFA until `budget` states
+    /// have been discovered, then falls back to the NFA permanently (the
+    /// answers are identical either way). Exposed so tests and benchmarks
+    /// can force the fallback path; [`CompiledPattern::compile`] uses
+    /// [`DEFAULT_STATE_BUDGET`](crate::dfa::DEFAULT_STATE_BUDGET).
+    pub fn compile_with_dfa_budget(pattern: Pattern, budget: usize) -> Self {
         let tagged = pattern.tag();
         let nfa = Nfa::compile(&tagged);
+        let dfa = Arc::new(Dfa::new(&tagged, budget));
         let min_len = pattern.min_len();
         CompiledPattern {
             pattern,
             tagged,
             nfa,
+            dfa,
             min_len,
             dag_cache: Mutex::new(HashMap::new()),
         }
@@ -93,12 +113,43 @@ impl CompiledPattern {
         self.min_len
     }
 
-    /// Is `value` in the pattern's language? (cyclic-NFA simulation)
+    /// Is `value` in the pattern's language?
+    ///
+    /// Runs on the memoized DFA fast path (falling back to the NFA past the
+    /// state budget); exact — always the same answer as
+    /// [`CompiledPattern::matches_nfa`].
     pub fn matches(&self, value: &MaskedString) -> bool {
         if value.len() < self.min_len {
             return false;
         }
+        self.dfa.matches(value.toks())
+    }
+
+    /// Reference membership via direct cyclic-NFA simulation.
+    ///
+    /// The oracle the DFA fast path is differentially tested against; also
+    /// what benchmarks use to measure the speedup. Prefer
+    /// [`CompiledPattern::matches`] everywhere else.
+    pub fn matches_nfa(&self, value: &MaskedString) -> bool {
+        if value.len() < self.min_len {
+            return false;
+        }
         self.nfa.matches(value.toks())
+    }
+
+    /// Batch membership over a whole column of values.
+    ///
+    /// Equivalent to mapping [`CompiledPattern::matches`], but locks the
+    /// DFA's memo table once for the entire batch — the profiler's
+    /// candidate-scoring and the engine's append-only re-score go through
+    /// here.
+    pub fn matches_many(&self, values: &[MaskedString]) -> Vec<bool> {
+        self.dfa.matches_many(values, self.min_len)
+    }
+
+    /// Has the DFA exceeded its state budget (membership now NFA-backed)?
+    pub fn dfa_overflowed(&self) -> bool {
+        self.dfa.overflowed()
     }
 
     /// The unrolled DAG for values of `len` tokens (cached per length).
@@ -286,6 +337,53 @@ mod tests {
             }),
             None
         );
+    }
+
+    #[test]
+    fn dfa_and_nfa_paths_agree() {
+        let p = compiled(Pattern::plus(Pattern::concat([
+            Pattern::lit("A"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("."),
+        ])));
+        for s in ["A2.", "A2.A3.", "AAA3", "", "A2", "A2.A3", "B2."] {
+            let v = MaskedString::from_plain(s);
+            assert_eq!(p.matches(&v), p.matches_nfa(&v), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn matches_many_equals_per_value_matches() {
+        let p = compiled(Pattern::concat([
+            Pattern::class_plus(CharClass::Digit),
+            Pattern::lit("-"),
+            Pattern::disj(["CAT", "PRO"]),
+        ]));
+        let values: Vec<MaskedString> = ["42-PRO", "7-CAT", "42-DOG", "", "-PRO", "9-PROX"]
+            .iter()
+            .map(|s| MaskedString::from_plain(s))
+            .collect();
+        let batch = p.matches_many(&values);
+        let single: Vec<bool> = values.iter().map(|v| p.matches(v)).collect();
+        assert_eq!(batch, single);
+        assert_eq!(batch, vec![true, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn clones_share_the_memoized_dfa() {
+        // Overflow the original's tiny budget; the clone must observe it
+        // (same Arc), proving warm tables survive profile re-scoring.
+        let alts: Vec<Pattern> = (b'a'..=b'z')
+            .map(|c| Pattern::lit(format!("{0}{0}", char::from(c))))
+            .collect();
+        let p = CompiledPattern::compile_with_dfa_budget(Pattern::Alt(alts), 3);
+        assert!(!p.dfa_overflowed());
+        assert!(p.matches(&"qq".into()));
+        assert!(p.dfa_overflowed());
+        let clone = p.clone();
+        assert!(clone.dfa_overflowed());
+        assert!(clone.matches(&"zz".into()));
+        assert!(!clone.matches(&"z".into()));
     }
 
     #[test]

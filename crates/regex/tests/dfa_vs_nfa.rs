@@ -1,0 +1,331 @@
+//! Differential testing: the memoized DFA fast path must agree with the
+//! cyclic-NFA oracle on *every* membership query — including after the DFA
+//! exceeds its state budget and falls back to the NFA.
+//!
+//! Three layers of evidence, all deterministic (the vendored proptest seeds
+//! each test from its name):
+//!
+//! 1. property tests over generated patterns × generated values: uniform
+//!    random token strings, sampled language members, and single-token
+//!    mutants of members (the adversarial near-miss population);
+//! 2. the same comparison against a tiny-budget compile, so the overflow
+//!    fallback path answers a large share of the queries;
+//! 3. an exhaustive sweep of hand-picked corner patterns against *all*
+//!    strings up to length 6 over a small alphabet.
+//!
+//! Together these run well over 10 000 membership comparisons per suite
+//! execution (see `case_volume_is_at_least_10k`, which counts them).
+
+use std::cell::Cell;
+
+use proptest::prelude::*;
+
+use datavinci_regex::{CharClass, CompiledPattern, MaskId, MaskedString, Pattern, Tok};
+
+thread_local! {
+    /// Comparisons executed by the helper below (per test thread).
+    static COMPARISONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Asserts DFA and NFA agree on one value; returns the DFA verdict.
+fn assert_agree(compiled: &CompiledPattern, value: &MaskedString) -> Result<bool, TestCaseError> {
+    let dfa = compiled.matches(value);
+    let nfa = compiled.matches_nfa(value);
+    COMPARISONS.with(|c| c.set(c.get() + 1));
+    prop_assert_eq!(
+        dfa,
+        nfa,
+        "engines disagree on {:?} for pattern {} (overflowed: {})",
+        value.to_string(),
+        compiled.pattern(),
+        compiled.dfa_overflowed()
+    );
+    Ok(dfa)
+}
+
+/// Pattern generator: literals, classes, masks, disjunctions, concats,
+/// alternations, and quantifiers, depth-bounded.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    let leaf = prop_oneof![
+        "[a-c]{1,3}".prop_map(Pattern::lit),
+        "[A-C0-2]{1,2}".prop_map(Pattern::lit),
+        Just(Pattern::lit("-")),
+        Just(Pattern::Empty),
+        Just(Pattern::Class(CharClass::Digit)),
+        Just(Pattern::Class(CharClass::Binary)),
+        Just(Pattern::Class(CharClass::Lower)),
+        Just(Pattern::Class(CharClass::Upper)),
+        Just(Pattern::Class(CharClass::AlphaNumSpace)),
+        Just(Pattern::Mask(MaskId(0))),
+        Just(Pattern::Mask(MaskId(1))),
+        Just(Pattern::disj(["cat", "dog"])),
+        Just(Pattern::disj(["ON", "OFF", "AUTO"])),
+        Just(Pattern::disj(["a", "ab", "abc"])),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Pattern::concat),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Pattern::Alt),
+            inner.clone().prop_map(Pattern::plus),
+            inner.clone().prop_map(Pattern::star),
+            inner.clone().prop_map(Pattern::opt),
+            (inner, 0u32..4).prop_map(|(p, n)| Pattern::Repeat {
+                body: Box::new(p),
+                min: n,
+                max: Some(n + 1),
+            }),
+        ]
+    })
+}
+
+/// A random token string over the generators' shared alphabet (chars the
+/// patterns use, near-miss chars, and the two mask symbols).
+fn arb_value() -> impl Strategy<Value = MaskedString> {
+    let tok = prop_oneof![
+        "[a-d]".prop_map(|s| Tok::Char(s.chars().next().expect("one char"))),
+        "[A-D0-3]".prop_map(|s| Tok::Char(s.chars().next().expect("one char"))),
+        "[-. oxOX]".prop_map(|s| Tok::Char(s.chars().next().expect("one char"))),
+        (0u16..3).prop_map(|m| Tok::Mask(MaskId(m))),
+    ];
+    prop::collection::vec(tok, 0..14).prop_map(MaskedString::from_toks)
+}
+
+/// Samples one member of the pattern's language, driven by `picks`.
+fn sample_member(pattern: &Pattern, picks: &[usize]) -> MaskedString {
+    fn go(p: &Pattern, picks: &[usize], cursor: &mut usize, out: &mut MaskedString) {
+        let mut pick = |n: usize| {
+            let v = picks.get(*cursor).copied().unwrap_or(0);
+            *cursor += 1;
+            v % n.max(1)
+        };
+        match p {
+            Pattern::Empty => {}
+            Pattern::Str(s) => s.chars().for_each(|c| out.push(Tok::Char(c))),
+            Pattern::Class(c) => {
+                let candidates: Vec<char> = ('0'..='9')
+                    .chain('a'..='z')
+                    .chain('A'..='Z')
+                    .chain(std::iter::once(' '))
+                    .filter(|ch| c.contains(*ch))
+                    .collect();
+                out.push(Tok::Char(candidates[pick(candidates.len())]));
+            }
+            Pattern::Mask(m) => out.push(Tok::Mask(*m)),
+            Pattern::Disj(alts) => {
+                let alt = &alts[pick(alts.len())];
+                alt.chars().for_each(|c| out.push(Tok::Char(c)));
+            }
+            Pattern::Concat(parts) => {
+                for part in parts {
+                    go(part, picks, cursor, out);
+                }
+            }
+            Pattern::Alt(parts) => {
+                let part = &parts[pick(parts.len())];
+                go(part, picks, cursor, out);
+            }
+            Pattern::Repeat { body, min, max } => {
+                let extra = match max {
+                    Some(m) => pick((*m - *min + 1) as usize) as u32,
+                    None => pick(3) as u32,
+                };
+                for _ in 0..(*min + extra) {
+                    go(body, picks, cursor, out);
+                }
+            }
+        }
+    }
+    let mut out = MaskedString::default();
+    go(pattern, picks, &mut 0, &mut out);
+    out
+}
+
+/// Single-token mutants of a member: deletions, substitutions, insertions.
+fn mutants(member: &MaskedString, picks: &[usize]) -> Vec<MaskedString> {
+    let toks = member.toks();
+    let replacements = [
+        Tok::Char('a'),
+        Tok::Char('Z'),
+        Tok::Char('5'),
+        Tok::Char('-'),
+        Tok::Mask(MaskId(0)),
+        Tok::Mask(MaskId(2)),
+    ];
+    let mut out = Vec::new();
+    for (i, &p) in picks.iter().enumerate() {
+        let n = toks.len();
+        let mutated: Vec<Tok> = match i % 3 {
+            // Delete one token.
+            0 if n > 0 => {
+                let at = p % n;
+                toks[..at].iter().chain(&toks[at + 1..]).copied().collect()
+            }
+            // Substitute one token.
+            1 if n > 0 => {
+                let at = p % n;
+                let mut v = toks.to_vec();
+                v[at] = replacements[p % replacements.len()];
+                v
+            }
+            // Insert one token (also covers the empty member).
+            _ => {
+                let at = p % (n + 1);
+                let mut v = toks.to_vec();
+                v.insert(at, replacements[p % replacements.len()]);
+                v
+            }
+        };
+        out.push(MaskedString::from_toks(mutated));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    /// Random patterns × random values: the engines always agree.
+    #[test]
+    fn dfa_agrees_on_random_values(
+        pattern in arb_pattern(),
+        values in prop::collection::vec(arb_value(), 12),
+    ) {
+        let compiled = CompiledPattern::compile(pattern);
+        for v in &values {
+            assert_agree(&compiled, v)?;
+        }
+        // Batch membership is the same function, in one lock.
+        let batch = compiled.matches_many(&values);
+        let single: Vec<bool> = values.iter().map(|v| compiled.matches(v)).collect();
+        prop_assert_eq!(batch, single);
+    }
+
+    /// Members and their near-miss mutants: the adversarial population the
+    /// profiler actually faces (values close to, but outside, the language).
+    #[test]
+    fn dfa_agrees_on_members_and_mutants(
+        pattern in arb_pattern(),
+        picks in prop::collection::vec(0usize..97, 40),
+    ) {
+        let member = sample_member(&pattern, &picks);
+        prop_assume!(member.len() <= 40);
+        let compiled = CompiledPattern::compile(pattern);
+        let accepted = assert_agree(&compiled, &member)?;
+        prop_assert!(
+            accepted,
+            "sampled member {:?} rejected by {}",
+            member.to_string(),
+            compiled.pattern()
+        );
+        for mutant in mutants(&member, &picks[..8]) {
+            assert_agree(&compiled, &mutant)?;
+        }
+    }
+
+    /// A state budget of 2 overflows almost immediately: most queries run
+    /// on the fallback path, which must still agree with the oracle.
+    #[test]
+    fn overbudget_fallback_agrees(
+        pattern in arb_pattern(),
+        values in prop::collection::vec(arb_value(), 6),
+        picks in prop::collection::vec(0usize..97, 24),
+    ) {
+        let compiled = CompiledPattern::compile_with_dfa_budget(pattern, 2);
+        let member = sample_member(compiled.pattern(), &picks);
+        if member.len() <= 40 {
+            let accepted = assert_agree(&compiled, &member)?;
+            prop_assert!(accepted, "member {:?} rejected", member.to_string());
+        }
+        for v in values.iter().chain(&mutants(&member, &picks[..4])) {
+            assert_agree(&compiled, v)?;
+        }
+    }
+}
+
+/// Corner patterns (epsilon-heavy, overlapping disjunctions, masks) swept
+/// against every token string up to length 6 over a 2-symbol alphabet —
+/// exhaustive, so nothing hides between random draws.
+#[test]
+fn exhaustive_small_alphabet_sweep() {
+    let patterns: Vec<Pattern> = vec![
+        Pattern::Empty,
+        Pattern::lit("a"),
+        Pattern::lit("a1a"),
+        Pattern::star(Pattern::lit("a")),
+        Pattern::star(Pattern::star(Pattern::lit("a1"))),
+        Pattern::opt(Pattern::opt(Pattern::lit("1"))),
+        Pattern::star(Pattern::Empty),
+        Pattern::plus(Pattern::Alt(vec![Pattern::lit("a"), Pattern::lit("aa")])),
+        Pattern::disj(["a", "a1", "a1a", "1"]),
+        Pattern::concat([Pattern::disj(["a", "aa"]), Pattern::disj(["1", "a1"])]),
+        Pattern::Alt(vec![
+            Pattern::class_plus(CharClass::Digit),
+            Pattern::class_plus(CharClass::Lower),
+        ]),
+        Pattern::Repeat {
+            body: Box::new(Pattern::opt(Pattern::lit("a"))),
+            min: 2,
+            max: Some(3),
+        },
+        Pattern::Repeat {
+            body: Box::new(Pattern::Class(CharClass::Binary)),
+            min: 0,
+            max: Some(0),
+        },
+        Pattern::concat([
+            Pattern::Mask(MaskId(0)),
+            Pattern::star(Pattern::Alt(vec![
+                Pattern::Mask(MaskId(0)),
+                Pattern::lit("a"),
+            ])),
+        ]),
+    ];
+    let symbols = [Tok::Char('a'), Tok::Char('1'), Tok::Mask(MaskId(0))];
+    // All 3^0 + … + 3^6 = 1093 strings.
+    let mut values: Vec<MaskedString> = vec![MaskedString::default()];
+    let mut frontier: Vec<Vec<Tok>> = vec![Vec::new()];
+    for _ in 0..6 {
+        let mut next = Vec::new();
+        for prefix in &frontier {
+            for &s in &symbols {
+                let mut v = prefix.clone();
+                v.push(s);
+                values.push(MaskedString::from_toks(v.clone()));
+                next.push(v);
+            }
+        }
+        frontier = next;
+    }
+    let mut comparisons = 0u64;
+    for pattern in patterns {
+        // Both a roomy and a starved budget, to cover both engines.
+        for budget in [512, 2] {
+            let compiled = CompiledPattern::compile_with_dfa_budget(pattern.clone(), budget);
+            for v in &values {
+                assert_eq!(
+                    compiled.matches(v),
+                    compiled.matches_nfa(v),
+                    "pattern {} (budget {budget}) on {:?}",
+                    compiled.pattern(),
+                    v.to_string()
+                );
+                comparisons += 1;
+            }
+        }
+    }
+    assert!(comparisons > 30_000, "sweep ran {comparisons} comparisons");
+}
+
+/// The property tests above must execute ≥ 10k membership comparisons —
+/// guards against silently shrinking case counts.
+#[test]
+fn case_volume_is_at_least_10k() {
+    COMPARISONS.with(|c| c.set(0));
+    dfa_agrees_on_random_values();
+    dfa_agrees_on_members_and_mutants();
+    overbudget_fallback_agrees();
+    let total = COMPARISONS.with(Cell::get);
+    assert!(
+        total >= 10_000,
+        "differential property tests ran only {total} comparisons"
+    );
+}
