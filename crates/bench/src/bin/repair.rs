@@ -1,0 +1,243 @@
+//! Repair benchmark: per-row reference vs distinct-value planner →
+//! `BENCH_repair.json`.
+//!
+//! Measures the three layers the repair-planner refactor optimizes, each as
+//! a live A/B against its per-row reference on identical inputs:
+//!
+//! 1. **repair** — `repair_analysis` on duplicate-heavy analyzed columns,
+//!    `RepairStrategy::RowWise` vs the default `RepairStrategy::Planner`
+//!    (edit programs, concretization, and ranking shared per distinct
+//!    value);
+//! 2. **abstraction** — `GazetteerLlm::mask_column_rowwise` (per-row
+//!    gazetteer sweeps) vs `mask_column` (interned, weighted, memoized) on
+//!    a duplicate-heavy semantic column;
+//! 3. **end-to-end guard** — `clean_column` on the all-distinct 120-row
+//!    micro-bench workload, proving the planner costs nothing when there is
+//!    nothing to share (ROADMAP's `clean_120_rows` baseline).
+//!
+//! Every A/B asserts the two paths produce *identical* output (the
+//! byte-identity guarantee CI relies on); the process exits non-zero if
+//! they ever diverge. The ≥2× duplicate-heavy target is recorded as a
+//! boolean, not asserted, so a loaded CI machine cannot flake the build.
+//!
+//! Flags: the shared `--smoke`/`--full`/`--seed N` sizing plus
+//! `--out PATH` (default `BENCH_repair.json`).
+
+use std::time::Instant;
+
+use datavinci_bench::{arg_after, sample_noisy_table, Cli};
+use datavinci_core::{ColumnAnalysis, DataVinci, DataVinciConfig, RepairPlan};
+use datavinci_corpus::{Flavor, NoiseModel, TableSpec};
+use datavinci_engine::json::Json;
+use datavinci_semantic::GazetteerLlm;
+use datavinci_table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wall-clock of `iters` runs of `f`, in microseconds per iteration.
+fn time_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    started.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// The duplicate-heavy workload: a small base table is corrupted, then
+/// Zipf-expanded row-wise to the target size, so *every* value — erroneous
+/// ones included — recurs with real multiplicity. This is the
+/// systematic-error regime (one malformed upstream value emitted over and
+/// over) the repair planner amortizes; row-level expansion also preserves
+/// the Category ↔ Player-ID dependency the concretizer learns from.
+fn duplicate_heavy_tables(seed: u64, n_tables: usize, rows: usize) -> Vec<Table> {
+    let base_rows = (rows / 8).max(20);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise = NoiseModel { cell_prob: 0.25 };
+    (0..n_tables)
+        .map(|_| {
+            let spec = TableSpec::new(base_rows, vec![Flavor::PlayerWithCategory, Flavor::Quarter]);
+            let clean = spec.generate(&mut rng);
+            let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
+            // Expand: each output row copies a Zipf-ish (head-biased) base
+            // row, duplicating whole rows rows/base_rows ≈ 8× on average.
+            let picks: Vec<usize> = (0..rows)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    ((base_rows as f64) * u * u) as usize
+                })
+                .collect();
+            Table::new(
+                dirty
+                    .columns()
+                    .iter()
+                    .map(|col| {
+                        let values: Vec<_> = picks
+                            .iter()
+                            .map(|&j| col.get(j).expect("base row in range").clone())
+                            .collect();
+                        datavinci_table::Column::new(col.name(), values)
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_repair.json".to_string());
+    // Sharing grows with rows (more duplicates per distinct value), so even
+    // the smoke tier keeps tables big enough for the planner's ≥2× target
+    // to be robust against machine noise.
+    let (n_tables, rows, repair_iters, e2e_iters) = if cli.full {
+        (6, 2000, 10, 40)
+    } else if cli.smoke {
+        (3, 1000, 4, 20)
+    } else {
+        (4, 1200, 6, 20)
+    };
+
+    let planner = DataVinci::new();
+    let rowwise = DataVinci::with_config(DataVinciConfig::rowwise_repair());
+
+    // 1. Repair A/B over duplicate-heavy analyzed columns. The analysis
+    // phase is shared (it is identical under both strategies); only the
+    // repair phase is timed.
+    let tables = duplicate_heavy_tables(cli.seed, n_tables, rows);
+    let min_text = planner.config().min_text_fraction;
+    let mut analyses: Vec<(&Table, ColumnAnalysis)> = Vec::new();
+    for table in &tables {
+        for col in 0..table.n_cols() {
+            let column = table.column(col).expect("in range");
+            if column.text_fraction() < min_text {
+                continue;
+            }
+            analyses.push((table, planner.analyze_column(table, col)));
+        }
+    }
+    let n_errors: usize = analyses.iter().map(|(_, a)| a.error_rows.len()).sum();
+    let n_groups: usize = analyses
+        .iter()
+        .map(|(_, a)| RepairPlan::build(a).n_groups())
+        .sum();
+    let sharing = n_errors as f64 / (n_groups.max(1)) as f64;
+    eprintln!(
+        "repair bench: {} tables, {} columns, {n_errors} error rows in {n_groups} groups \
+         (sharing ×{sharing:.2})",
+        tables.len(),
+        analyses.len()
+    );
+
+    // Identity gate: planner reports must equal the per-row reports.
+    for (table, analysis) in &analyses {
+        let a = planner.repair_analysis(table, analysis);
+        let b = rowwise.repair_analysis(table, analysis);
+        assert_eq!(
+            format!("{a:#?}"),
+            format!("{b:#?}"),
+            "planner diverged from the per-row reference (col {})",
+            analysis.col
+        );
+    }
+    let repair_rowwise_us = time_us(repair_iters, || {
+        analyses
+            .iter()
+            .map(|(t, a)| rowwise.repair_analysis(t, a).repairs.len())
+            .sum::<usize>()
+    });
+    let repair_planner_us = time_us(repair_iters, || {
+        analyses
+            .iter()
+            .map(|(t, a)| planner.repair_analysis(t, a).repairs.len())
+            .sum::<usize>()
+    });
+    let repair_speedup = repair_rowwise_us / repair_planner_us.max(1e-9);
+    eprintln!(
+        "  repair (dup-heavy)     rowwise {:8.1} µs   planner {:8.1} µs   ×{repair_speedup:.2}",
+        repair_rowwise_us, repair_planner_us
+    );
+
+    // 2. Semantic abstraction A/B: one duplicate-heavy semantic column
+    // through the masking model, per-row sweeps vs interned + memoized.
+    // A fresh model per timed call keeps the memo cold — the honest
+    // single-clean comparison (warm re-cleans only get faster).
+    let sem_values: Vec<String> = tables
+        .iter()
+        .flat_map(|t| t.column(1).expect("Player ID").rendered())
+        .take(300)
+        .collect();
+    let reference = GazetteerLlm::new().mask_column_rowwise(&sem_values);
+    assert_eq!(
+        GazetteerLlm::new().mask_column(&sem_values),
+        reference,
+        "pooled masking diverged from the per-row reference"
+    );
+    let abstraction_rowwise_us = time_us(repair_iters, || {
+        GazetteerLlm::new().mask_column_rowwise(&sem_values).len()
+    });
+    let abstraction_pooled_us = time_us(repair_iters, || {
+        GazetteerLlm::new().mask_column(&sem_values).len()
+    });
+    let abstraction_speedup = abstraction_rowwise_us / abstraction_pooled_us.max(1e-9);
+    eprintln!(
+        "  abstraction 300 values rowwise {:8.1} µs   pooled  {:8.1} µs   ×{abstraction_speedup:.2}",
+        abstraction_rowwise_us, abstraction_pooled_us
+    );
+
+    // 3. End-to-end guard on all-distinct data: the 120-row noisy column
+    // behind ROADMAP's `clean_120_rows` baseline (PR-3: 25.9 ms on the
+    // reference container). The planner must not regress it.
+    let e2e_table = sample_noisy_table(42, 120);
+    let a = planner.clean_column(&e2e_table, 2);
+    let b = rowwise.clean_column(&e2e_table, 2);
+    assert_eq!(
+        format!("{a:#?}"),
+        format!("{b:#?}"),
+        "end-to-end planner diverged from the per-row reference"
+    );
+    // Time the full clean (analysis + repair) under both strategies.
+    let e2e_rowwise_ms = time_us(e2e_iters, || rowwise.clean_column(&e2e_table, 2).n_rows) / 1e3;
+    let e2e_planner_ms = time_us(e2e_iters, || planner.clean_column(&e2e_table, 2).n_rows) / 1e3;
+    let e2e_ratio = e2e_rowwise_ms / e2e_planner_ms.max(1e-9);
+    eprintln!(
+        "  clean 120 rows (distinct) rowwise {e2e_rowwise_ms:6.2} ms   planner {e2e_planner_ms:6.2} ms   \
+         ×{e2e_ratio:.2}"
+    );
+
+    const BASELINE_E2E_MS: f64 = 25.9; // PR-3, 1-core reference container.
+    let json = Json::obj()
+        .field("benchmark", Json::str("repair_rowwise_vs_planner"))
+        .field("seed", Json::Int(cli.seed as i64))
+        .field(
+            "baseline_context",
+            Json::str("PR-3 clean_120_rows from the 1-core reference container (ROADMAP.md)"),
+        )
+        .field("n_tables", Json::Int(tables.len() as i64))
+        .field("n_columns", Json::Int(analyses.len() as i64))
+        .field("rows_per_table", Json::Int(rows as i64))
+        .field("n_error_rows", Json::Int(n_errors as i64))
+        .field("n_repair_groups", Json::Int(n_groups as i64))
+        .field("sharing_factor", Json::Num(sharing))
+        .field("repair_iters", Json::Int(repair_iters as i64))
+        .field("repair_rowwise_us", Json::Num(repair_rowwise_us))
+        .field("repair_planner_us", Json::Num(repair_planner_us))
+        .field("repair_speedup", Json::Num(repair_speedup))
+        .field("repair_target_2x_met", Json::Bool(repair_speedup >= 2.0))
+        .field("abstraction_rowwise_us", Json::Num(abstraction_rowwise_us))
+        .field("abstraction_pooled_us", Json::Num(abstraction_pooled_us))
+        .field("abstraction_speedup", Json::Num(abstraction_speedup))
+        .field("e2e_distinct_rowwise_ms", Json::Num(e2e_rowwise_ms))
+        .field("e2e_distinct_planner_ms", Json::Num(e2e_planner_ms))
+        .field("e2e_distinct_ratio", Json::Num(e2e_ratio))
+        .field(
+            "e2e_vs_pr3_baseline",
+            Json::Num(BASELINE_E2E_MS / e2e_planner_ms.max(1e-9)),
+        )
+        .field("identical", Json::Bool(true));
+    std::fs::write(&out_path, json.render_pretty()).expect("write benchmark JSON");
+    println!("{}", json.render_pretty());
+    eprintln!(
+        "repair ×{repair_speedup:.2}, abstraction ×{abstraction_speedup:.2}, \
+         e2e distinct ×{e2e_ratio:.2}; wrote {out_path}"
+    );
+}

@@ -51,13 +51,13 @@ pub fn arg_after(name: &str) -> Option<String> {
 pub fn sample_noisy_table(seed: u64, rows: usize) -> datavinci_table::Table {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let spec = datavinci_corpus::TableSpec {
-        n_rows: rows,
-        flavors: vec![
+    let spec = datavinci_corpus::TableSpec::new(
+        rows,
+        vec![
             datavinci_corpus::Flavor::PlayerWithCategory,
             datavinci_corpus::Flavor::Quarter,
         ],
-    };
+    );
     let clean = spec.generate(&mut rng);
     let noise = datavinci_corpus::NoiseModel { cell_prob: 0.1 };
     let (dirty, _) = noise.corrupt_table(&mut rng, &clean);

@@ -63,6 +63,11 @@ impl<'a> Concretizer<'a> {
     /// Registers training data for a pattern: bindings of every matching
     /// (non-error) row. `rows` are table-row indices; `masked` is the full
     /// masked column.
+    ///
+    /// Bindings are a pure function of the masked value, so the matching
+    /// walk runs once per *distinct* training value and duplicate rows
+    /// share its result — the training-side half of the distinct-value
+    /// repair planner.
     pub fn train_pattern(
         &mut self,
         pattern_idx: usize,
@@ -74,19 +79,31 @@ impl<'a> Concretizer<'a> {
             return;
         }
         let mut t = PatternTraining::default();
+        let mut by_value: HashMap<&MaskedString, Option<Vec<(AtomKey, String)>>> = HashMap::new();
         for &row in rows {
             let Some(value) = masked.get(row) else {
                 continue;
             };
-            let Some(bindings) = pattern.compiled.bindings(value) else {
+            let items = by_value.entry(value).or_insert_with(|| {
+                pattern.compiled.bindings(value).map(|b| {
+                    b.items
+                        .into_iter()
+                        .map(|item| (item.key, item.text))
+                        .collect()
+                })
+            });
+            let Some(items) = items else {
                 continue;
             };
-            for b in bindings.items {
+            for (key, text) in items.iter() {
                 t.examples
-                    .entry(b.key)
+                    .entry(*key)
                     .or_default()
-                    .push((row, b.text.clone()));
-                t.pooled.entry(b.key.atom).or_default().push((row, b.text));
+                    .push((row, text.clone()));
+                t.pooled
+                    .entry(key.atom)
+                    .or_default()
+                    .push((row, text.clone()));
             }
         }
         self.training.insert(pattern_idx, t);
@@ -138,16 +155,13 @@ impl<'a> Concretizer<'a> {
         default_filler(hole)
     }
 
-    fn tree_prediction(
+    /// Learns (or fetches) the tree for one atom occurrence, returning the
+    /// cached slot.
+    fn ensure_tree(
         &mut self,
         pattern_idx: usize,
-        error_row: usize,
         key: AtomKey,
-    ) -> Option<String> {
-        // Learn (or fetch) the tree for this atom occurrence. One map
-        // lookup serves both the learn-miss check and the prediction, and
-        // the hot path borrows the cached tree/labels/features instead of
-        // cloning them per hole.
+    ) -> Option<&Option<(DecisionTree, Vec<String>)>> {
         let training = self.training.get_mut(&pattern_idx)?;
         if !training.trees.contains_key(&key) {
             let examples = training.examples.get(&key).map_or(&[][..], Vec::as_slice);
@@ -160,7 +174,51 @@ impl<'a> Concretizer<'a> {
             );
             training.trees.insert(key, learned);
         }
+        self.training.get(&pattern_idx)?.trees.get(&key)
+    }
+
+    /// True when every fillable hole of `repair` predicts independently of
+    /// the error row: its tree is absent (pooled-majority fallback) or a
+    /// constant leaf. The repair planner then computes one filler tuple for
+    /// a whole group of duplicate error values, skipping the per-row
+    /// feature lookups entirely. (Enumeration mode never reads row
+    /// features, so it is always invariant.)
+    pub fn predictions_row_invariant(
+        &mut self,
+        pattern_idx: usize,
+        repair: &AbstractRepair,
+    ) -> bool {
+        if !self.cfg.learned_concretization {
+            return true;
+        }
+        let holes: Vec<AtomKey> = repair.fillable_holes().into_iter().map(hole_key).collect();
+        holes.into_iter().all(|key| {
+            !matches!(
+                self.ensure_tree(pattern_idx, key),
+                Some(Some((DecisionTree::Split { .. }, _)))
+            )
+        })
+    }
+
+    fn tree_prediction(
+        &mut self,
+        pattern_idx: usize,
+        error_row: usize,
+        key: AtomKey,
+    ) -> Option<String> {
+        // One map lookup serves both the learn-miss check and the
+        // prediction, and the hot path borrows the cached tree/labels/
+        // features instead of cloning them per hole.
+        self.ensure_tree(pattern_idx, key);
+        let training = self.training.get(&pattern_idx)?;
         let (tree, labels) = training.trees.get(&key)?.as_ref()?;
+        // Constant trees predict the same label for every row — skip the
+        // (cross-column) feature computation entirely. This makes the
+        // common duplicate-heavy case row-independent, which the repair
+        // planner's signature memo then collapses across a whole group.
+        if let DecisionTree::Leaf(label) = tree {
+            return labels.get(*label as usize).cloned();
+        }
         let f = cached_row_features(&mut self.row_cache, &self.features, self.table, error_row);
         let label = tree.predict(f) as usize;
         labels.get(label).cloned()

@@ -26,6 +26,23 @@ pub enum RankingMode {
     EditDistance,
 }
 
+/// How the repair phase iterates over detected error rows.
+///
+/// Both strategies decide the same repairs, so reports are byte-identical
+/// either way (proven by `tests/repair_plan_vs_rowwise.rs`); the knob exists
+/// so benchmarks and the differential CI step can measure and verify the
+/// planner against the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairStrategy {
+    /// Column-level repair plan: error rows are grouped by distinct value,
+    /// and edit-program search, concretization, and candidate ranking are
+    /// shared across duplicate values (the fast path; default).
+    #[default]
+    Planner,
+    /// The per-row reference loop (the differential oracle).
+    RowWise,
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone)]
 pub struct DataVinciConfig {
@@ -41,6 +58,8 @@ pub struct DataVinciConfig {
     pub learned_concretization: bool,
     /// Ranking strategy.
     pub ranking: RankingMode,
+    /// Repair execution strategy (distinct-value planner vs per-row loop).
+    pub repair_strategy: RepairStrategy,
     /// Heuristic ranker weights.
     pub weights: RankerWeights,
     /// Decision-tree learner configuration.
@@ -63,6 +82,7 @@ impl Default for DataVinciConfig {
             semantics: SemanticMode::Full,
             learned_concretization: true,
             ranking: RankingMode::Heuristic,
+            repair_strategy: RepairStrategy::default(),
             weights: RankerWeights::default(),
             dtree: DtreeConfig::default(),
             max_enumerated_candidates: 16,
@@ -104,6 +124,15 @@ impl DataVinciConfig {
             ..Default::default()
         }
     }
+
+    /// The per-row repair reference configuration (differential oracle for
+    /// the distinct-value planner).
+    pub fn rowwise_repair() -> Self {
+        DataVinciConfig {
+            repair_strategy: RepairStrategy::RowWise,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +146,18 @@ mod tests {
         assert!(cfg.learned_concretization);
         assert_eq!(cfg.ranking, RankingMode::Heuristic);
         assert!((cfg.dtree.alpha - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planner_is_the_default_repair_strategy() {
+        assert_eq!(
+            DataVinciConfig::default().repair_strategy,
+            RepairStrategy::Planner
+        );
+        assert_eq!(
+            DataVinciConfig::rowwise_repair().repair_strategy,
+            RepairStrategy::RowWise
+        );
     }
 
     #[test]

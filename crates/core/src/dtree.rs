@@ -96,14 +96,23 @@ pub fn learn(rows: &[Vec<bool>], labels: &[u32], cfg: &DtreeConfig) -> Option<De
     if rows.is_empty() || rows.len() != labels.len() {
         return None;
     }
+    let n_labels = labels.iter().copied().max().unwrap_or(0) as usize + 1;
     let indices: Vec<usize> = (0..rows.len()).collect();
     let mut candidates: Vec<DecisionTree> = Vec::new();
     for depth in 0..=cfg.max_depth {
         for leaves in 1..=cfg.max_leaves {
             let mut budget = leaves;
-            let tree = build(rows, labels, &indices, depth, &mut budget);
+            let tree = build(rows, labels, n_labels, &indices, depth, &mut budget);
             if tree.accuracy(rows, labels) >= cfg.alpha && !candidates.contains(&tree) {
                 candidates.push(tree);
+            }
+            // Leftover ≥ 2 proves the leaf budget never denied a split
+            // (a denial pins the countdown at exactly 1): every larger
+            // budget at this depth builds the exact same tree — skip the
+            // duplicate grid cells (greedy induction is deterministic, so
+            // only a binding budget changes the outcome).
+            if budget > 1 {
+                break;
             }
         }
     }
@@ -112,29 +121,38 @@ pub fn learn(rows: &[Vec<bool>], labels: &[u32], cfg: &DtreeConfig) -> Option<De
         .min_by_key(|t| (t.n_nodes(), t.depth()))
 }
 
-fn majority(labels: &[u32], indices: &[usize]) -> u32 {
-    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+/// Label histogram over `indices`, as a dense vector (labels are compact
+/// indices into the caller's label table). Entropy sums floats, so counts
+/// are always consumed in ascending label order — a hash map's
+/// per-instance iteration order would make gain comparisons flip at ULP
+/// scale between otherwise identical `learn` calls, and the repair planner
+/// and its per-row oracle must pick the *same* tree for the same examples.
+fn label_counts(labels: &[u32], n_labels: usize, indices: &[usize]) -> Vec<usize> {
+    let mut counts = vec![0usize; n_labels];
     for &i in indices {
-        *counts.entry(labels[i]).or_insert(0) += 1;
+        counts[labels[i] as usize] += 1;
     }
     counts
-        .into_iter()
-        .max_by_key(|&(label, count)| (count, std::cmp::Reverse(label)))
-        .map(|(label, _)| label)
+}
+
+fn majority_of_counts(counts: &[usize]) -> u32 {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(label, &count)| (count, std::cmp::Reverse(label)))
+        .map(|(label, _)| label as u32)
         .unwrap_or(0)
 }
 
-fn entropy(labels: &[u32], indices: &[usize]) -> f64 {
-    if indices.is_empty() {
+/// Entropy of a label histogram (counts in ascending label order).
+fn entropy_of_counts(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
         return 0.0;
     }
-    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-    for &i in indices {
-        *counts.entry(labels[i]).or_insert(0) += 1;
-    }
-    let n = indices.len() as f64;
+    let n = n as f64;
     counts
-        .values()
+        .iter()
+        .filter(|&&c| c > 0)
         .map(|&c| {
             let p = c as f64 / n;
             -p * p.log2()
@@ -145,45 +163,64 @@ fn entropy(labels: &[u32], indices: &[usize]) -> f64 {
 fn build(
     rows: &[Vec<bool>],
     labels: &[u32],
+    n_labels: usize,
     indices: &[usize],
     depth_budget: usize,
     leaf_budget: &mut usize,
 ) -> DecisionTree {
-    let pure = indices.windows(2).all(|w| labels[w[0]] == labels[w[1]]);
+    let counts = label_counts(labels, n_labels, indices);
+    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
     if depth_budget == 0 || *leaf_budget <= 1 || pure || indices.len() < 2 {
-        return DecisionTree::Leaf(majority(labels, indices));
+        return DecisionTree::Leaf(majority_of_counts(&counts));
     }
     let n_features = rows[indices[0]].len();
-    let base = entropy(labels, indices);
-    let mut best: Option<(f64, usize, Vec<usize>, Vec<usize>)> = None;
-    #[allow(clippy::needless_range_loop)]
+    let n = indices.len();
+    let base = entropy_of_counts(&counts, n);
+    // Gain scan over count histograms only; the index partition is built
+    // once, for the winning feature.
+    let mut best: Option<(f64, usize)> = None;
+    let mut hi_counts = vec![0usize; n_labels];
+    #[allow(clippy::needless_range_loop)] // `f` indexes the inner row dim
     for f in 0..n_features {
-        let (mut lo, mut hi) = (Vec::new(), Vec::new());
+        hi_counts.iter_mut().for_each(|c| *c = 0);
+        let mut n_hi = 0usize;
         for &i in indices {
             if rows[i][f] {
-                hi.push(i);
-            } else {
-                lo.push(i);
+                hi_counts[labels[i] as usize] += 1;
+                n_hi += 1;
             }
         }
-        if lo.is_empty() || hi.is_empty() {
+        if n_hi == 0 || n_hi == n {
             continue;
         }
-        let n = indices.len() as f64;
+        let lo_counts: Vec<usize> = counts
+            .iter()
+            .zip(&hi_counts)
+            .map(|(&all, &hi)| all - hi)
+            .collect();
+        let n_lo = n - n_hi;
         let gain = base
-            - (lo.len() as f64 / n) * entropy(labels, &lo)
-            - (hi.len() as f64 / n) * entropy(labels, &hi);
-        if gain > 1e-12 && best.as_ref().is_none_or(|(g, ..)| gain > *g) {
-            best = Some((gain, f, lo, hi));
+            - (n_lo as f64 / n as f64) * entropy_of_counts(&lo_counts, n_lo)
+            - (n_hi as f64 / n as f64) * entropy_of_counts(&hi_counts, n_hi);
+        if gain > 1e-12 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+            best = Some((gain, f));
         }
     }
     match best {
-        None => DecisionTree::Leaf(majority(labels, indices)),
-        Some((_, feature, lo, hi)) => {
+        None => DecisionTree::Leaf(majority_of_counts(&counts)),
+        Some((_, feature)) => {
+            let (mut lo, mut hi) = (Vec::new(), Vec::new());
+            for &i in indices {
+                if rows[i][feature] {
+                    hi.push(i);
+                } else {
+                    lo.push(i);
+                }
+            }
             // A split consumes one leaf slot and creates two.
             *leaf_budget -= 1;
-            let low = build(rows, labels, &lo, depth_budget - 1, leaf_budget);
-            let high = build(rows, labels, &hi, depth_budget - 1, leaf_budget);
+            let low = build(rows, labels, n_labels, &lo, depth_budget - 1, leaf_budget);
+            let high = build(rows, labels, n_labels, &hi, depth_budget - 1, leaf_budget);
             DecisionTree::Split {
                 feature,
                 low: Box::new(low),

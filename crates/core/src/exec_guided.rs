@@ -13,12 +13,14 @@
 //! where the erroneous shape `C[0-9]{2}` is frequent enough to be a
 //! significant pattern on its own.
 
+use std::collections::HashMap;
+
 use crate::config::SemanticMode;
 use crate::pipeline::{ColumnAnalysis, ColumnReport, DataVinci};
 use datavinci_formula::{ColumnProgram, ExecutionGroups};
 use datavinci_profile::profile_column;
 use datavinci_semantic::AbstractedColumn;
-use datavinci_table::{CellRef, CellValue, Table};
+use datavinci_table::{CellRef, CellValue, Table, ValuePool};
 
 /// The result of one execution-guided cleaning run.
 #[derive(Debug, Clone)]
@@ -57,22 +59,51 @@ impl DataVinci {
 
                 // Validate-by-execution: for each suggestion, walk candidates
                 // best-first and keep the first whose repaired row executes.
+                //
+                // Execution is row-local, so one probe table (cell swapped
+                // in, then restored) plus `execute_row` replaces the old
+                // whole-table clone-and-execute per candidate — and the
+                // verdict is a pure function of the candidate value and the
+                // row's *other* input cells, so duplicate error values
+                // re-evaluate only once per distinct sibling context.
                 if self.config().validate_execution {
+                    let other_inputs: Vec<usize> = program
+                        .input_columns()
+                        .iter()
+                        .filter_map(|name| table.column_index(name))
+                        .filter(|&c| c != col)
+                        .collect();
+                    let mut probe = repaired_table.clone();
+                    let mut verdicts: HashMap<(String, String), bool> = HashMap::new();
                     for suggestion in &mut report.repairs {
                         let row = suggestion.row;
+                        // The sibling-input context key. Debug rendering
+                        // keeps value *kinds* distinct (text "3" vs the
+                        // number 3 evaluate differently).
+                        let context = other_inputs
+                            .iter()
+                            .map(|&c| format!("{:?}\u{1f}", probe.cell(CellRef::new(c, row))))
+                            .collect::<String>();
+                        let cell = CellRef::new(col, row);
+                        let original_cell = probe.cell(cell).expect("error row in range").clone();
                         let mut chosen: Option<String> = None;
                         for cand in &suggestion.candidates {
-                            let mut probe = repaired_table.clone();
-                            probe.set_cell(
-                                CellRef::new(col, row),
-                                CellValue::text(cand.repaired.clone()),
-                            );
-                            let out = program.execute(&probe);
-                            if !out[row].is_error() {
+                            let key = (cand.repaired.clone(), context.clone());
+                            let ok = match verdicts.get(&key) {
+                                Some(&ok) => ok,
+                                None => {
+                                    probe.set_cell(cell, CellValue::text(cand.repaired.clone()));
+                                    let ok = !program.execute_row(&probe, row).is_error();
+                                    verdicts.insert(key, ok);
+                                    ok
+                                }
+                            };
+                            if ok {
                                 chosen = Some(cand.repaired.clone());
                                 break;
                             }
                         }
+                        probe.set_cell(cell, original_cell);
                         if let Some(best) = chosen {
                             suggestion.repaired = best;
                         }
@@ -109,6 +140,7 @@ impl DataVinci {
     ) -> ColumnAnalysis {
         let column = table.column(col).expect("column in range");
         let values: Vec<String> = column.rendered();
+        let pool = ValuePool::from_values(&values);
 
         let abstraction = match self.config().semantics {
             SemanticMode::None => AbstractedColumn::plain(&values),
@@ -146,6 +178,7 @@ impl DataVinci {
         ColumnAnalysis {
             col,
             values,
+            pool,
             abstraction,
             masked,
             profile,

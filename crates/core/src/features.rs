@@ -140,6 +140,98 @@ const TOP_LENGTHS: usize = 5;
 pub struct FeatureSet {
     /// Instantiated, non-constant predicates.
     pub predicates: Vec<Predicate>,
+    /// Lowercased string constant per predicate (empty for constant-free
+    /// templates) — precomputed so the hot row-evaluation path does not
+    /// re-lowercase the constant for every (predicate, row) pair.
+    lowered: Vec<String>,
+}
+
+/// One row's cells rendered once, plus the lowercase form — the shared
+/// input for evaluating every predicate of the row without re-rendering.
+struct RenderedRow<'t> {
+    cells: Vec<Option<&'t CellValue>>,
+    rendered: Vec<String>,
+    lowered: Vec<String>,
+}
+
+impl<'t> RenderedRow<'t> {
+    fn new(table: &'t Table, row: usize) -> RenderedRow<'t> {
+        let cells: Vec<Option<&CellValue>> =
+            table.columns().iter().map(|col| col.get(row)).collect();
+        let rendered: Vec<String> = cells
+            .iter()
+            .map(|c| c.map(CellValue::render).unwrap_or_default())
+            .collect();
+        let lowered: Vec<String> = rendered.iter().map(|s| s.to_lowercase()).collect();
+        RenderedRow {
+            cells,
+            rendered,
+            lowered,
+        }
+    }
+
+    /// [`Predicate::eval`] against the cached renderings (identical
+    /// semantics; `lowered_constant` is the predicate's constant already
+    /// lowercased).
+    fn eval(&self, p: &Predicate, lowered_constant: &str) -> bool {
+        let present = |c: usize| self.cells.get(c).copied().flatten().is_some();
+        match p {
+            Predicate::Equals(c, s) => present(*c) && self.rendered[*c].eq_ignore_ascii_case(s),
+            Predicate::Contains(c, _) => present(*c) && self.lowered[*c].contains(lowered_constant),
+            Predicate::StartsWith(c, _) => {
+                present(*c) && self.lowered[*c].starts_with(lowered_constant)
+            }
+            Predicate::EndsWith(c, _) => {
+                present(*c) && self.lowered[*c].ends_with(lowered_constant)
+            }
+            Predicate::Length(c, n) => present(*c) && self.rendered[*c].chars().count() == *n,
+            Predicate::HasDigits(c) => {
+                present(*c) && self.rendered[*c].chars().any(|ch| ch.is_ascii_digit())
+            }
+            Predicate::IsNum(c) => self
+                .cells
+                .get(*c)
+                .copied()
+                .flatten()
+                .is_some_and(CellValue::is_number),
+            Predicate::IsError(c) => self
+                .cells
+                .get(*c)
+                .copied()
+                .flatten()
+                .is_some_and(CellValue::is_error),
+            Predicate::IsFormula(_) => false,
+            Predicate::IsLogical(c) => self
+                .cells
+                .get(*c)
+                .copied()
+                .flatten()
+                .is_some_and(CellValue::is_bool),
+            Predicate::IsNA(c) => self
+                .cells
+                .get(*c)
+                .copied()
+                .flatten()
+                .is_some_and(CellValue::is_na),
+            Predicate::IsText(c) => self
+                .cells
+                .get(*c)
+                .copied()
+                .flatten()
+                .is_some_and(CellValue::is_text),
+        }
+    }
+}
+
+/// The predicate's string constant, lowercased (empty when the template has
+/// none).
+fn lowered_constant(p: &Predicate) -> String {
+    match p {
+        Predicate::Contains(_, s) | Predicate::StartsWith(_, s) | Predicate::EndsWith(_, s) => {
+            s.to_lowercase()
+        }
+        _ => String::new(),
+    }
 }
 
 impl FeatureSet {
@@ -184,31 +276,56 @@ impl FeatureSet {
             predicates.push(Predicate::IsText(c));
         }
 
-        // Drop constant predicates (true everywhere or nowhere).
-        let predicates = predicates
-            .into_iter()
-            .filter(|p| {
-                let mut any_true = false;
-                let mut any_false = false;
-                for row in 0..n_rows {
-                    if p.eval(table, row) {
-                        any_true = true;
-                    } else {
-                        any_false = true;
-                    }
-                    if any_true && any_false {
-                        return true;
-                    }
+        // Drop constant predicates (true everywhere or nowhere). Rows are
+        // rendered once each and shared by every candidate's evaluation;
+        // a predicate stops being evaluated as soon as it has shown both
+        // truth values.
+        let lowered: Vec<String> = predicates.iter().map(lowered_constant).collect();
+        let mut first: Vec<Option<bool>> = vec![None; predicates.len()];
+        let mut mixed: Vec<bool> = vec![false; predicates.len()];
+        let mut undecided = predicates.len();
+        for row in 0..n_rows {
+            if undecided == 0 {
+                break;
+            }
+            let rr = RenderedRow::new(table, row);
+            for (i, p) in predicates.iter().enumerate() {
+                if mixed[i] {
+                    continue;
                 }
-                false
-            })
-            .collect();
-        FeatureSet { predicates }
+                let v = rr.eval(p, &lowered[i]);
+                match first[i] {
+                    None => first[i] = Some(v),
+                    Some(f) if f != v => {
+                        mixed[i] = true;
+                        undecided -= 1;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        let (predicates, lowered): (Vec<Predicate>, Vec<String>) = predicates
+            .into_iter()
+            .zip(lowered)
+            .zip(&mixed)
+            .filter(|(_, &m)| m)
+            .map(|(pair, _)| pair)
+            .unzip();
+        FeatureSet {
+            predicates,
+            lowered,
+        }
     }
 
-    /// Evaluates all predicates for one row.
+    /// Evaluates all predicates for one row (the row's cells are rendered
+    /// once and shared across predicates).
     pub fn row_features(&self, table: &Table, row: usize) -> Vec<bool> {
-        self.predicates.iter().map(|p| p.eval(table, row)).collect()
+        let rr = RenderedRow::new(table, row);
+        self.predicates
+            .iter()
+            .zip(&self.lowered)
+            .map(|(p, low)| rr.eval(p, low))
+            .collect()
     }
 
     /// Number of features.

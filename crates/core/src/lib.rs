@@ -40,10 +40,11 @@ pub mod features;
 pub mod pipeline;
 pub mod ranker;
 pub mod repair_dp;
+pub mod repair_plan;
 pub mod system;
 
 pub use concretize::Concretizer;
-pub use config::{DataVinciConfig, RankingMode, SemanticMode};
+pub use config::{DataVinciConfig, RankingMode, RepairStrategy, SemanticMode};
 pub use dtree::{DecisionTree, DtreeConfig};
 pub use edit::{AbstractRepair, EditAction, EditProgram, Emit, Slot};
 pub use exec_guided::ExecGuidedReport;
@@ -51,4 +52,5 @@ pub use features::{FeatureSet, Predicate};
 pub use pipeline::{ColumnAnalysis, ColumnReport, DataVinci, TableReport};
 pub use ranker::{CandidateProperties, RankerWeights};
 pub use repair_dp::minimal_edit_program;
+pub use repair_plan::{RepairGroup, RepairPlan};
 pub use system::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};

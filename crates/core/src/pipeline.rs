@@ -3,15 +3,19 @@
 //! edit programs ③ → value constraints ④ → candidate repairs ⑤ →
 //! heuristic ranking ⑥.
 
+use std::collections::HashMap;
+
 use crate::concretize::Concretizer;
-use crate::config::{DataVinciConfig, RankingMode, SemanticMode};
+use crate::config::{DataVinciConfig, RankingMode, RepairStrategy, SemanticMode};
+use crate::edit::AbstractRepair;
 use crate::ranker::CandidateProperties;
 use crate::repair_dp::minimal_edit_program;
+use crate::repair_plan::RepairPlan;
 use crate::system::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
 use datavinci_profile::{profile_column, rescore_profile, ColumnProfile};
 use datavinci_regex::MaskedString;
 use datavinci_semantic::{AbstractedColumn, GazetteerLlm, GazetteerLlmConfig, SemanticAbstractor};
-use datavinci_table::Table;
+use datavinci_table::{Table, ValuePool};
 
 /// Everything DataVinci derives about one column before repairing.
 ///
@@ -23,6 +27,9 @@ pub struct ColumnAnalysis {
     pub col: usize,
     /// Rendered cell values, one per row (rendered once per analysis).
     pub values: Vec<String>,
+    /// Distinct-value interning of `values` (computed once per analysis;
+    /// the repair planner and cache layers key their sharing on it).
+    pub pool: ValuePool,
     /// The semantic abstraction (mask occurrences, defaults).
     pub abstraction: AbstractedColumn,
     /// Masked values, one per row.
@@ -97,6 +104,52 @@ pub struct TableReport {
     pub columns: Vec<ColumnReport>,
 }
 
+/// One pattern's precomputed repair for a group of duplicate error values:
+/// the minimal edit program's cost/edit stats and its abstract repair.
+struct PatternRepair {
+    cost: usize,
+    alnum: usize,
+    repair: AbstractRepair,
+}
+
+/// The per-row concretization outcome that keys the planner's candidate
+/// memo: for each repairable significant pattern (by index into
+/// `analysis.significant`), the filler tuples the concretizer produced.
+type Signature = Vec<(usize, Vec<Vec<String>>)>;
+
+/// Lazily built per-group repair state (see
+/// [`DataVinci::repair_analysis`]'s planner path).
+#[derive(Default)]
+struct GroupState {
+    /// Per significant pattern: the DP outcome (None = unrepairable), built
+    /// at the group's first error row.
+    repairs: Option<Vec<Option<PatternRepair>>>,
+    /// Every hole of every repairable pattern predicts independently of the
+    /// row (constant trees / pooled majorities): the finished candidate
+    /// list is shared outright, with no per-row feature lookups.
+    invariant: bool,
+    /// The shared candidate list, once built (invariant groups only).
+    shared: Option<Vec<RepairCandidate>>,
+    /// Per significant pattern: fillers → (concretized repair, score).
+    filled: Vec<HashMap<Vec<String>, (String, f64)>>,
+    /// Finished ranked candidate lists, keyed by filler signature.
+    by_signature: HashMap<Signature, Vec<RepairCandidate>>,
+}
+
+/// ⑥ Ranks candidates in place: score ascending (ties by repaired string),
+/// deduplicated by repaired string, truncated to the top 8. Shared verbatim
+/// by the per-row and planner paths so they cannot drift.
+fn rank_candidates(out: &mut Vec<RepairCandidate>) {
+    out.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.repaired.cmp(&b.repaired))
+    });
+    out.dedup_by(|a, b| a.repaired == b.repaired);
+    out.truncate(8);
+}
+
 /// The DataVinci system.
 pub struct DataVinci {
     cfg: DataVinciConfig,
@@ -139,46 +192,61 @@ impl DataVinci {
 
     /// Runs abstraction, profiling and detection on one column.
     pub fn analyze_column(&self, table: &Table, col: usize) -> ColumnAnalysis {
-        let (values, abstraction, masked) = self.abstract_column(table, col);
+        let column = table.column(col).expect("column index in range");
+        let values: Vec<String> = column.rendered();
+        let pool = ValuePool::from_values(&values);
+        let (abstraction, masked) = self.abstract_values(column.name(), &values);
         let profile = profile_column(&masked, &self.cfg.profiler);
-        self.detect_with_profile(col, values, abstraction, masked, profile)
+        self.detect_with_profile(col, values, pool, abstraction, masked, profile)
     }
 
     /// Runs abstraction and detection on one column, *reusing* a previously
-    /// learned profile instead of re-learning patterns from scratch.
+    /// analyzed prior instead of re-learning patterns from scratch.
     ///
     /// The prior's patterns are re-scored (membership + coverage) against
     /// the current column content, so this is sound whenever the prior
     /// still describes the column language — in particular for unchanged or
     /// append-only column content, which batch engines recognize via
-    /// [`datavinci_table::Column::fingerprint`].
-    pub fn analyze_column_reusing(
+    /// [`datavinci_table::Column::fingerprint`]. When the prior's rows are
+    /// a prefix of the current column (the append-only case), the prior's
+    /// interning pool is *extended* with the appended rows instead of
+    /// re-interning the whole column; otherwise interning restarts from
+    /// scratch (the caller's append detection was stale).
+    pub fn analyze_column_appended(
         &self,
         table: &Table,
         col: usize,
-        prior: &ColumnProfile,
+        prior: &ColumnAnalysis,
     ) -> ColumnAnalysis {
-        let (values, abstraction, masked) = self.abstract_column(table, col);
-        let profile = rescore_profile(prior, &masked);
-        self.detect_with_profile(col, values, abstraction, masked, profile)
-    }
-
-    /// ⓪ Abstraction: rendered values, semantic abstraction, masked strings.
-    fn abstract_column(
-        &self,
-        table: &Table,
-        col: usize,
-    ) -> (Vec<String>, AbstractedColumn, Vec<MaskedString>) {
         let column = table.column(col).expect("column index in range");
         let values: Vec<String> = column.rendered();
+        let pool = if values.len() >= prior.values.len()
+            && values[..prior.values.len()] == prior.values[..]
+        {
+            prior.pool.extended(&values[prior.values.len()..])
+        } else {
+            ValuePool::from_values(&values)
+        };
+        let (abstraction, masked) = self.abstract_values(column.name(), &values);
+        let profile = rescore_profile(&prior.profile, &masked);
+        self.detect_with_profile(col, values, pool, abstraction, masked, profile)
+    }
+
+    /// ⓪ Abstraction: semantic abstraction + masked strings over rendered
+    /// values.
+    fn abstract_values(
+        &self,
+        column_name: &str,
+        values: &[String],
+    ) -> (AbstractedColumn, Vec<MaskedString>) {
         let abstraction = match self.cfg.semantics {
-            SemanticMode::None => AbstractedColumn::plain(&values),
+            SemanticMode::None => AbstractedColumn::plain(values),
             SemanticMode::Full | SemanticMode::Limited => {
-                self.abstractor.abstract_column(column.name(), &values)
+                self.abstractor.abstract_column(column_name, values)
             }
         };
         let masked = abstraction.masked_strings();
-        (values, abstraction, masked)
+        (abstraction, masked)
     }
 
     /// ①–② Significance + detection over a finished profile.
@@ -186,6 +254,7 @@ impl DataVinci {
         &self,
         col: usize,
         values: Vec<String>,
+        pool: ValuePool,
         abstraction: AbstractedColumn,
         masked: Vec<MaskedString>,
         profile: ColumnProfile,
@@ -214,11 +283,30 @@ impl DataVinci {
             // The syntactic prefix is sorted; rows appended below must not
             // be searched (they would break the sort mid-loop).
             let syntactic = error_rows.len();
+            // The normalization verdict is a pure function of (value,
+            // abstraction), so it is computed once per distinct value and
+            // shared across duplicate rows; rows whose abstraction differs
+            // despite an equal value (prompt batches can disagree) get
+            // their own verdict.
+            let mut verdicts: Vec<Vec<(usize, bool)>> = vec![Vec::new(); pool.n_distinct()];
             for row in 0..values.len() {
                 if error_rows[..syntactic].binary_search(&row).is_ok() {
                     continue;
                 }
-                if abstraction.concretize(row, &masked[row]) != values[row] {
+                let di = pool.distinct_index(row);
+                let cached = verdicts[di]
+                    .iter()
+                    .find(|&&(rep, _)| abstraction.values[rep] == abstraction.values[row])
+                    .map(|&(_, v)| v);
+                let normalized = match cached {
+                    Some(v) => v,
+                    None => {
+                        let v = abstraction.concretize(row, &masked[row]) != values[row];
+                        verdicts[di].push((row, v));
+                        v
+                    }
+                };
+                if normalized {
                     semantic_only_rows.push(row);
                     error_rows.push(row);
                 }
@@ -229,6 +317,7 @@ impl DataVinci {
         ColumnAnalysis {
             col,
             values,
+            pool,
             abstraction,
             masked,
             profile,
@@ -249,24 +338,36 @@ impl DataVinci {
     /// Public so batch engines (and the execution-guided path) can replay a
     /// cached or reused [`ColumnAnalysis`] without re-abstracting the
     /// column; the analysis's own rendered `values` are reused throughout.
+    ///
+    /// Dispatches on [`DataVinciConfig::repair_strategy`]: the distinct-value
+    /// planner by default, or the per-row reference loop. Both produce
+    /// byte-identical reports.
     pub fn repair_analysis(&self, table: &Table, analysis: &ColumnAnalysis) -> ColumnReport {
-        let values = &analysis.values;
-        let n_rows = values.len();
+        match self.cfg.repair_strategy {
+            RepairStrategy::Planner => self.repair_analysis_planned(table, analysis),
+            RepairStrategy::RowWise => self.repair_analysis_rowwise(table, analysis),
+        }
+    }
 
-        let mut report = ColumnReport {
+    /// The report skeleton plus the trained concretizer and borrowed clean
+    /// values — the prologue both repair strategies share.
+    fn repair_prologue<'t>(
+        &'t self,
+        table: &'t Table,
+        analysis: &'t ColumnAnalysis,
+    ) -> (ColumnReport, Vec<&'t str>, Concretizer<'t>) {
+        let values = &analysis.values;
+        let report = ColumnReport {
             col: analysis.col,
-            n_rows,
+            n_rows: values.len(),
             significant_patterns: analysis.significant_patterns(),
             detections: Vec::new(),
             repairs: Vec::new(),
         };
-        if analysis.significant.is_empty() || analysis.error_rows.is_empty() {
-            return report;
-        }
 
         // Non-error values, for the ranker's closest-value property
         // (`error_rows` is sorted; borrow instead of cloning each value).
-        let clean_values: Vec<&str> = (0..n_rows)
+        let clean_values: Vec<&str> = (0..values.len())
             .filter(|r| analysis.error_rows.binary_search(r).is_err())
             .map(|r| values[r].as_str())
             .collect();
@@ -282,6 +383,28 @@ impl DataVinci {
                 .collect();
             concretizer.train_pattern(pi, lp, &training_rows, &analysis.masked);
         }
+        (report, clean_values, concretizer)
+    }
+
+    /// The per-row reference implementation of [`DataVinci::repair_analysis`]:
+    /// every error row runs the full ③–⑥ path independently. Kept as the
+    /// differential oracle the planner is proven against.
+    pub fn repair_analysis_rowwise(
+        &self,
+        table: &Table,
+        analysis: &ColumnAnalysis,
+    ) -> ColumnReport {
+        if analysis.significant.is_empty() || analysis.error_rows.is_empty() {
+            return ColumnReport {
+                col: analysis.col,
+                n_rows: analysis.values.len(),
+                significant_patterns: analysis.significant_patterns(),
+                detections: Vec::new(),
+                repairs: Vec::new(),
+            };
+        }
+        let values = &analysis.values;
+        let (mut report, clean_values, mut concretizer) = self.repair_prologue(table, analysis);
 
         for &row in &analysis.error_rows {
             report.detections.push(Detection {
@@ -290,6 +413,196 @@ impl DataVinci {
             });
             let candidates =
                 self.candidates_for_row(analysis, &mut concretizer, row, &clean_values);
+            if let Some(best) = candidates.first() {
+                if best.repaired != values[row] {
+                    report.repairs.push(RepairSuggestion {
+                        row,
+                        original: values[row].clone(),
+                        repaired: best.repaired.clone(),
+                        candidates,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// The distinct-value planner: error rows are grouped by value (and
+    /// abstraction) via [`RepairPlan`]; each group runs the repair DP and
+    /// abstract-repair construction once, and concretized candidates,
+    /// ranking measurements, and finished candidate lists are memoized at
+    /// group scope. Only the decision-tree hole predictions — which read
+    /// the *row's* cross-column features — run per row, and rows whose
+    /// predictions agree share the entire ranked list.
+    fn repair_analysis_planned(&self, table: &Table, analysis: &ColumnAnalysis) -> ColumnReport {
+        if analysis.significant.is_empty() || analysis.error_rows.is_empty() {
+            return ColumnReport {
+                col: analysis.col,
+                n_rows: analysis.values.len(),
+                significant_patterns: analysis.significant_patterns(),
+                detections: Vec::new(),
+                repairs: Vec::new(),
+            };
+        }
+        let values = &analysis.values;
+        let (mut report, clean_values, mut concretizer) = self.repair_prologue(table, analysis);
+
+        // Pattern renderings, once per pattern instead of once per
+        // candidate (aligned with `analysis.significant`).
+        let provenance: Vec<String> = analysis
+            .significant
+            .iter()
+            .map(|&pi| {
+                datavinci_regex::render(
+                    &analysis.profile.patterns[pi].pattern,
+                    &analysis.abstraction.alphabet,
+                )
+            })
+            .collect();
+
+        let plan = RepairPlan::build(analysis);
+        let mut states: Vec<GroupState> = plan
+            .groups()
+            .iter()
+            .map(|_| GroupState::default())
+            .collect();
+
+        for (i, &row) in analysis.error_rows.iter().enumerate() {
+            report.detections.push(Detection {
+                row,
+                value: values[row].clone(),
+            });
+            let g = plan.group_of_error(i);
+            let rep = plan.groups()[g].representative();
+
+            // Singleton groups have nothing to share: run the reference
+            // row path directly (identical by construction) and skip the
+            // memo bookkeeping, so the planner costs nothing on
+            // all-distinct columns.
+            if plan.groups()[g].rows.len() == 1 {
+                let candidates =
+                    self.candidates_for_row(analysis, &mut concretizer, row, &clean_values);
+                if let Some(best) = candidates.first() {
+                    if best.repaired != values[row] {
+                        report.repairs.push(RepairSuggestion {
+                            row,
+                            original: values[row].clone(),
+                            repaired: best.repaired.clone(),
+                            candidates,
+                        });
+                    }
+                }
+                continue;
+            }
+            let state = &mut states[g];
+
+            // ③ Once per group: minimal edit programs against every
+            // significant pattern, their abstract repairs and edit stats.
+            if state.repairs.is_none() {
+                let value = &analysis.masked[rep];
+                let repairs: Vec<Option<PatternRepair>> = analysis
+                    .significant
+                    .iter()
+                    .map(|&pi| {
+                        let lp = &analysis.profile.patterns[pi];
+                        let dag = lp.compiled.dag_for_len(value.len());
+                        minimal_edit_program(&dag, value).map(|program| PatternRepair {
+                            cost: program.cost,
+                            alnum: program.alnum_edits(value),
+                            repair: program.apply(value),
+                        })
+                    })
+                    .collect();
+                state.invariant = repairs.iter().enumerate().all(|(si, pr)| {
+                    pr.as_ref().is_none_or(|pr| {
+                        concretizer.predictions_row_invariant(analysis.significant[si], &pr.repair)
+                    })
+                });
+                state.filled = vec![HashMap::new(); analysis.significant.len()];
+                state.repairs = Some(repairs);
+            }
+            // Row-invariant groups share the finished list outright.
+            if let Some(shared) = (state.invariant).then(|| state.shared.clone()).flatten() {
+                if let Some(best) = shared.first() {
+                    if best.repaired != values[row] {
+                        report.repairs.push(RepairSuggestion {
+                            row,
+                            original: values[row].clone(),
+                            repaired: best.repaired.clone(),
+                            candidates: shared,
+                        });
+                    }
+                }
+                continue;
+            }
+            let GroupState {
+                repairs,
+                filled,
+                by_signature,
+                ..
+            } = state;
+            let repairs = repairs.as_ref().expect("built above");
+
+            // ④ Per row: concretization fillers (the trees read this row's
+            // features). The filler signature keys the candidate memo.
+            let mut signature: Signature = Vec::new();
+            for (si, pr) in repairs.iter().enumerate() {
+                let Some(pr) = pr else { continue };
+                let pi = analysis.significant[si];
+                signature.push((si, concretizer.fillers(pi, row, &pr.repair)));
+            }
+
+            // ⑤–⑥ Once per distinct signature: concretize, measure, rank.
+            let candidates = match by_signature.get(&signature) {
+                Some(cached) => cached.clone(),
+                None => {
+                    let original = values[rep].as_str();
+                    let mut out: Vec<RepairCandidate> = Vec::new();
+                    for (si, tuples) in &signature {
+                        let pr = repairs[*si].as_ref().expect("signature lists repairables");
+                        let lp = &analysis.profile.patterns[analysis.significant[*si]];
+                        for fillers in tuples {
+                            let (repaired, score) = match filled[*si].get(fillers) {
+                                Some(hit) => hit.clone(),
+                                None => {
+                                    let repaired_masked = pr.repair.fill(fillers);
+                                    let repaired =
+                                        analysis.abstraction.concretize(rep, &repaired_masked);
+                                    let props = CandidateProperties::measure(
+                                        original,
+                                        &repaired,
+                                        pr.alnum,
+                                        lp.coverage,
+                                        &clean_values,
+                                    );
+                                    let score = match self.cfg.ranking {
+                                        RankingMode::Heuristic => {
+                                            props.heuristic_score(&self.cfg.weights)
+                                        }
+                                        RankingMode::EditDistance => props.edit_distance_score(),
+                                    };
+                                    filled[*si].insert(fillers.clone(), (repaired.clone(), score));
+                                    (repaired, score)
+                                }
+                            };
+                            out.push(RepairCandidate {
+                                repaired,
+                                cost: pr.cost,
+                                score,
+                                provenance: provenance[*si].clone(),
+                            });
+                        }
+                    }
+                    rank_candidates(&mut out);
+                    by_signature.insert(signature, out.clone());
+                    out
+                }
+            };
+            let state = &mut states[g];
+            if state.invariant && state.shared.is_none() {
+                state.shared = Some(candidates.clone());
+            }
+
             if let Some(best) = candidates.first() {
                 if best.repaired != values[row] {
                     report.repairs.push(RepairSuggestion {
@@ -349,14 +662,7 @@ impl DataVinci {
                 });
             }
         }
-        out.sort_by(|a, b| {
-            a.score
-                .partial_cmp(&b.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.repaired.cmp(&b.repaired))
-        });
-        out.dedup_by(|a, b| a.repaired == b.repaired);
-        out.truncate(8);
+        rank_candidates(&mut out);
         out
     }
 

@@ -1,0 +1,157 @@
+//! The column-level repair plan: repair once per distinct value.
+//!
+//! Paper §3.3–§3.5 compute a minimal edit program, concretization fillers,
+//! and ranked candidates *per error row*, yet every step except the
+//! decision-tree feature lookup is a pure function of the row's value.
+//! Real columns are dominated by duplicates, so the planner groups error
+//! rows that carry the same value (and the same semantic abstraction) and
+//! shares the expensive per-value work — DAG unrolling, the repair DP,
+//! concretization, nearest-clean-value ranking — across each group. The
+//! per-row loop survives as [`crate::config::RepairStrategy::RowWise`], the
+//! differential oracle the planner is proven byte-identical against.
+
+use crate::pipeline::ColumnAnalysis;
+
+/// Error rows sharing one distinct value and one abstraction.
+///
+/// Every row in a group renders to the same string *and* abstracted to the
+/// same [`datavinci_semantic::MaskedValue`] — the precondition for sharing
+/// edit programs, concretized repairs, and ranking scores. (Equal strings
+/// almost always abstract equally; the rare exception is a column whose
+/// prompt batches disagreed, which the builder detects and splits.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairGroup {
+    /// The distinct-value index (into the analysis pool) the group repairs.
+    pub distinct: usize,
+    /// Member error rows, ascending. `rows[0]` is the representative.
+    pub rows: Vec<usize>,
+}
+
+impl RepairGroup {
+    /// The representative row (lowest error row of the group).
+    pub fn representative(&self) -> usize {
+        self.rows[0]
+    }
+}
+
+/// The repair schedule for one analyzed column: error rows grouped by
+/// distinct value, in first-error-row order.
+#[derive(Debug, Clone, Default)]
+pub struct RepairPlan {
+    groups: Vec<RepairGroup>,
+    /// For every error row (in `analysis.error_rows` order), the index of
+    /// its group in `groups`.
+    row_group: Vec<usize>,
+}
+
+impl RepairPlan {
+    /// Plans the repair of `analysis`'s error rows.
+    pub fn build(analysis: &ColumnAnalysis) -> RepairPlan {
+        let mut groups: Vec<RepairGroup> = Vec::new();
+        // distinct index → indices (into `groups`) of its abstraction splits.
+        let mut by_distinct: Vec<Vec<usize>> = vec![Vec::new(); analysis.pool.n_distinct()];
+        let mut row_group: Vec<usize> = Vec::with_capacity(analysis.error_rows.len());
+        for &row in &analysis.error_rows {
+            let di = analysis.pool.distinct_index(row);
+            let found = by_distinct[di].iter().copied().find(|&g| {
+                let rep = groups[g].representative();
+                analysis.abstraction.values[rep] == analysis.abstraction.values[row]
+            });
+            let g = match found {
+                Some(g) => {
+                    groups[g].rows.push(row);
+                    g
+                }
+                None => {
+                    groups.push(RepairGroup {
+                        distinct: di,
+                        rows: vec![row],
+                    });
+                    by_distinct[di].push(groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            row_group.push(g);
+        }
+        RepairPlan { groups, row_group }
+    }
+
+    /// The planned groups, in first-error-row order.
+    pub fn groups(&self) -> &[RepairGroup] {
+        &self.groups
+    }
+
+    /// Number of groups (distinct erroneous values, modulo abstraction
+    /// splits) — the number of times the expensive repair path runs.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of planned error rows.
+    pub fn n_rows(&self) -> usize {
+        self.row_group.len()
+    }
+
+    /// The group index of the `i`-th error row of the analysis.
+    pub fn group_of_error(&self, i: usize) -> usize {
+        self.row_group[i]
+    }
+
+    /// Rows served per expensive repair computation (1.0 = all-distinct
+    /// errors, higher = duplicate-heavy).
+    pub fn sharing_factor(&self) -> f64 {
+        if self.groups.is_empty() {
+            1.0
+        } else {
+            self.n_rows() as f64 / self.n_groups() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DataVinci;
+    use datavinci_table::{Column, Table};
+
+    fn analysis_for(values: &[&str]) -> ColumnAnalysis {
+        let table = Table::new(vec![Column::from_texts("c", values)]);
+        DataVinci::new().analyze_column(&table, 0)
+    }
+
+    #[test]
+    fn duplicate_errors_share_one_group() {
+        // 16 clean ids keep the duplicated outliers (4/20 = 0.2) below the
+        // δ = 0.25 significance threshold.
+        let mut values: Vec<String> = (1..=16).map(|i| format!("a-{i}")).collect();
+        values.extend(["X9", "X9", "X9", "Y7"].map(String::from));
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        let analysis = analysis_for(&refs);
+        assert_eq!(analysis.error_rows, vec![16, 17, 18, 19]);
+        let plan = RepairPlan::build(&analysis);
+        assert_eq!(plan.n_rows(), 4);
+        assert_eq!(plan.n_groups(), 2);
+        assert_eq!(plan.groups()[0].rows, vec![16, 17, 18]);
+        assert_eq!(plan.groups()[1].rows, vec![19]);
+        assert_eq!(plan.group_of_error(1), 0);
+        assert_eq!(plan.group_of_error(3), 1);
+        assert!((plan.sharing_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_distinct_errors_stay_singletons() {
+        let analysis = analysis_for(&["a-1", "a-2", "a-3", "a-4", "a-5", "a-6", "X9", "Y7"]);
+        let plan = RepairPlan::build(&analysis);
+        assert_eq!(plan.n_groups(), plan.n_rows());
+        assert!((plan.sharing_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_error_set_plans_nothing() {
+        let analysis = analysis_for(&["a-1", "a-2", "a-3"]);
+        let plan = RepairPlan::build(&analysis);
+        assert_eq!(plan.n_groups(), 0);
+        assert_eq!(plan.n_rows(), 0);
+        assert_eq!(plan.sharing_factor(), 1.0);
+    }
+}

@@ -104,10 +104,7 @@ fn build_case(rng: &mut StdRng, src: &str, flavors: &[Flavor], multi: bool) -> O
     let program = ColumnProgram::parse(src).expect("templates parse");
     'attempt: for _ in 0..12 {
         let n_rows = rng.gen_range(40..=400);
-        let spec = TableSpec {
-            n_rows,
-            flavors: flavors.to_vec(),
-        };
+        let spec = TableSpec::new(n_rows, flavors.to_vec());
         let clean = spec.generate(rng);
         // The clean table must execute fully (templates mostly guarantee
         // this; random separators can break e.g. SEARCH("-", …)).

@@ -25,4 +25,4 @@ pub use benchmarks::{
 pub use flavor::Flavor;
 pub use formula_gen::{avg_inputs, formula_benchmark, FormulaCase};
 pub use noise::{NoiseModel, NoiseOp};
-pub use tablegen::{random_spec, TableSpec};
+pub use tablegen::{duplicate_rows, random_spec, TableSpec};

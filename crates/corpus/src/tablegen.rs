@@ -14,9 +14,37 @@ pub struct TableSpec {
     pub n_rows: usize,
     /// Column-group flavors (a flavor may expand to several columns).
     pub flavors: Vec<Flavor>,
+    /// Value-reuse probability in `[0, 1)`: after generation, each row is
+    /// replaced, with this probability, by a copy of an earlier row drawn
+    /// with a Zipf-ish head bias. `0.0` (the default) disables reuse.
+    ///
+    /// Real columns are dominated by duplicate values; this knob produces
+    /// the duplicate-heavy regimes the distinct-value repair planner is
+    /// benchmarked on. Rows (not cells) are duplicated so cross-column
+    /// dependencies (e.g. Category ↔ Player-ID) survive.
+    pub duplication: f64,
 }
 
 impl TableSpec {
+    /// A spec with no value reuse.
+    pub fn new(n_rows: usize, flavors: Vec<Flavor>) -> TableSpec {
+        TableSpec {
+            n_rows,
+            flavors,
+            duplication: 0.0,
+        }
+    }
+
+    /// The same spec with the duplication knob set.
+    pub fn with_duplication(mut self, duplication: f64) -> TableSpec {
+        assert!(
+            (0.0..1.0).contains(&duplication),
+            "duplication must be in [0, 1)"
+        );
+        self.duplication = duplication;
+        self
+    }
+
     /// Total columns the spec expands to.
     pub fn n_columns(&self) -> usize {
         self.flavors.iter().map(Flavor::n_columns).sum()
@@ -40,7 +68,41 @@ impl TableSpec {
                 columns.push(col);
             }
         }
+        if self.duplication > 0.0 {
+            apply_duplication(rng, &mut columns, self.duplication);
+        }
         Table::new(columns)
+    }
+}
+
+/// Row-level value reuse over a finished table — the same Zipf-ish policy
+/// [`TableSpec`]'s `duplication` knob applies during generation.
+///
+/// Useful for making *dirty* tables duplicate-heavy: corrupt first, then
+/// duplicate, and the repeated rows carry repeated erroneous values — the
+/// regime the distinct-value repair planner amortizes.
+pub fn duplicate_rows(rng: &mut StdRng, table: &Table, ratio: f64) -> Table {
+    let mut columns: Vec<Column> = table.columns().to_vec();
+    apply_duplication(rng, &mut columns, ratio);
+    Table::new(columns)
+}
+
+/// Replaces each row (beyond the first), with probability `ratio`, by a copy
+/// of an earlier row. The source row is drawn as `⌊i·u²⌋` for uniform `u` —
+/// a head-biased, Zipf-ish pick, so early rows become high-multiplicity
+/// "popular" values while the tail stays diverse.
+fn apply_duplication(rng: &mut StdRng, columns: &mut [Column], ratio: f64) {
+    let n_rows = columns.first().map_or(0, Column::len);
+    for i in 1..n_rows {
+        if !rng.gen_bool(ratio) {
+            continue;
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let j = ((i as f64) * u * u) as usize;
+        for col in columns.iter_mut() {
+            let copied = col.get(j).expect("source row in range").clone();
+            col.set(i, copied);
+        }
     }
 }
 
@@ -65,7 +127,7 @@ pub fn random_spec(rng: &mut StdRng, mean_cols: f64, mean_rows: f64) -> TableSpe
         cols += f.n_columns();
         flavors.push(f);
     }
-    TableSpec { n_rows, flavors }
+    TableSpec::new(n_rows, flavors)
 }
 
 /// A crude positive-skew sampler around a mean.
@@ -82,10 +144,7 @@ mod tests {
     #[test]
     fn spec_generates_rectangular_table() {
         let mut rng = StdRng::seed_from_u64(1);
-        let spec = TableSpec {
-            n_rows: 30,
-            flavors: vec![Flavor::Quarter, Flavor::PlayerWithCategory],
-        };
+        let spec = TableSpec::new(30, vec![Flavor::Quarter, Flavor::PlayerWithCategory]);
         let t = spec.generate(&mut rng);
         assert_eq!(t.n_rows(), 30);
         assert_eq!(t.n_cols(), 3);
@@ -95,10 +154,7 @@ mod tests {
     #[test]
     fn duplicate_headers_deduplicated() {
         let mut rng = StdRng::seed_from_u64(2);
-        let spec = TableSpec {
-            n_rows: 5,
-            flavors: vec![Flavor::City, Flavor::City],
-        };
+        let spec = TableSpec::new(5, vec![Flavor::City, Flavor::City]);
         let t = spec.generate(&mut rng);
         assert_eq!(t.headers(), vec!["City", "City2"]);
     }
@@ -116,11 +172,47 @@ mod tests {
     }
 
     #[test]
+    fn duplication_knob_reuses_whole_rows() {
+        use datavinci_table::ValuePool;
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = TableSpec::new(200, vec![Flavor::PlayerWithCategory, Flavor::Quarter])
+            .with_duplication(0.8);
+        let t = spec.generate(&mut rng);
+        assert_eq!(t.n_rows(), 200);
+        // Heavy duplication: the Player-ID column (high-entropy when clean)
+        // collapses to far fewer distinct values.
+        let pool = ValuePool::from_values(&t.column(1).unwrap().rendered());
+        assert!(
+            pool.duplication_ratio() > 0.5,
+            "expected heavy duplication, got {}",
+            pool.duplication_ratio()
+        );
+        // Rows are duplicated wholesale: every duplicated Player ID carries
+        // its source row's Category, preserving the FD.
+        let cats = t.column(0).unwrap().rendered();
+        let ids = t.column(1).unwrap().rendered();
+        let mut seen: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+        for (cat, id) in cats.iter().zip(&ids) {
+            let suffix = &id[id.len() - 3..];
+            let expect = seen.entry(suffix).or_insert(cat);
+            assert_eq!(*expect, cat, "category must follow the id suffix");
+        }
+    }
+
+    #[test]
+    fn zero_duplication_leaves_generation_unchanged() {
+        let spec = TableSpec::new(30, vec![Flavor::ProductCode]);
+        let a = spec.generate(&mut StdRng::seed_from_u64(4));
+        let b = spec
+            .clone()
+            .with_duplication(0.0)
+            .generate(&mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn deterministic_per_seed() {
-        let spec = TableSpec {
-            n_rows: 10,
-            flavors: vec![Flavor::ProductCode],
-        };
+        let spec = TableSpec::new(10, vec![Flavor::ProductCode]);
         let a = spec.generate(&mut StdRng::seed_from_u64(9));
         let b = spec.generate(&mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);

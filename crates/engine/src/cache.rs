@@ -6,7 +6,7 @@
 //!    is unchanged (repair concretization reads sibling-column features);
 //! 2. the [`ColumnAnalysis`] (abstraction + profile + detection) — purely
 //!    column-local, reusable whenever the column content is unchanged;
-//! 3. the learned [`ColumnProfile`] patterns — reusable for *append-only*
+//! 3. the learned `ColumnProfile` patterns — reusable for *append-only*
 //!    growth, where the old rows still define the column language and only
 //!    pattern membership needs re-scoring.
 //!

@@ -187,9 +187,10 @@ impl Engine {
                     (report, CacheOutcome::AnalysisHit)
                 }
                 CacheLookup::Append(entry) => {
-                    let analysis =
-                        self.dv
-                            .analyze_column_reusing(table, col, &entry.analysis.profile);
+                    // Reuses both the prior's learned patterns (re-scored)
+                    // and its interning pool (extended with the appended
+                    // rows), so a warm re-score skips re-interning.
+                    let analysis = self.dv.analyze_column_appended(table, col, &entry.analysis);
                     // Append reuse assumes the prior language still
                     // describes the column. If the appended rows mostly
                     // fall outside it — or significance collapsed under

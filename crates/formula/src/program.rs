@@ -74,8 +74,18 @@ impl ColumnProgram {
     /// Executes over every row, producing the output column.
     pub fn execute(&self, table: &Table) -> Vec<CellValue> {
         (0..table.n_rows())
-            .map(|row| eval(&self.expr, &RowCtx { table, row }))
+            .map(|row| self.execute_row(table, row))
             .collect()
+    }
+
+    /// Executes over a single row.
+    ///
+    /// Column-transformation programs are row-local by definition (each row
+    /// tuple evaluates independently), so probing one row — the
+    /// execution-guided repair validator's hot path — need not execute the
+    /// whole column.
+    pub fn execute_row(&self, table: &Table, row: usize) -> CellValue {
+        eval(&self.expr, &RowCtx { table, row })
     }
 
     /// Executes and partitions rows by outcome.
@@ -134,6 +144,16 @@ mod tests {
                 CellValue::Number(2.0),
             ]
         );
+    }
+
+    #[test]
+    fn execute_row_agrees_with_execute() {
+        let p = ColumnProgram::parse("=SEARCH(\"-\", [@col1])").unwrap();
+        let t = intro_table();
+        let all = p.execute(&t);
+        for (row, expected) in all.iter().enumerate() {
+            assert_eq!(&p.execute_row(&t, row), expected, "row {row}");
+        }
     }
 
     #[test]

@@ -170,8 +170,10 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
     }
 
     // 3. Build patterns and re-evaluate true coverage over the whole
-    // column: one batch match per candidate (the DFA memoizes transitions
-    // across the entire column instead of re-walking the NFA per value).
+    // column: one batch match per candidate per *distinct* value (the DFA
+    // memoizes transitions across the entire column instead of re-walking
+    // the NFA per value, and duplicate rows share one membership verdict).
+    let dedup = MaskedDedup::new(values);
     let mut learned: Vec<LearnedPattern> = Vec::with_capacity(groups.len() + 1);
     let mut seen: Vec<Pattern> = Vec::new();
     let built: Vec<Pattern> = categorical
@@ -184,7 +186,7 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
         }
         seen.push(pattern.clone());
         let compiled = CompiledPattern::compile(pattern.clone());
-        let rows = member_rows(&compiled, values, cfg.match_engine);
+        let rows = dedup.member_rows(&compiled, values, cfg.match_engine);
         let coverage = rows.len() as f64 / n as f64;
         learned.push(LearnedPattern {
             pattern,
@@ -202,20 +204,60 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
     }
 }
 
-/// Row indices the pattern accepts, via the configured matcher.
-fn member_rows(
-    compiled: &CompiledPattern,
-    values: &[MaskedString],
-    engine: MatchEngine,
-) -> Vec<usize> {
-    let hits: Vec<bool> = match engine {
-        MatchEngine::Dfa => compiled.matches_many(values),
-        MatchEngine::Nfa => values.iter().map(|v| compiled.matches_nfa(v)).collect(),
-    };
-    hits.iter()
-        .enumerate()
-        .filter_map(|(i, &hit)| hit.then_some(i))
-        .collect()
+/// Distinct masked values plus the row → distinct map: membership is a pure
+/// function of the value, so the coverage scorer evaluates each *distinct*
+/// value once and expands hits back to rows (weighted by multiplicity, i.e.
+/// by how many rows carry the value).
+struct MaskedDedup {
+    distinct: Vec<MaskedString>,
+    row_to_distinct: Vec<usize>,
+}
+
+impl MaskedDedup {
+    fn new(values: &[MaskedString]) -> MaskedDedup {
+        let mut index: HashMap<&MaskedString, usize> = HashMap::new();
+        let mut distinct: Vec<MaskedString> = Vec::new();
+        let mut row_to_distinct: Vec<usize> = Vec::with_capacity(values.len());
+        for v in values {
+            let di = *index.entry(v).or_insert_with(|| {
+                distinct.push(v.clone());
+                distinct.len() - 1
+            });
+            row_to_distinct.push(di);
+        }
+        MaskedDedup {
+            distinct,
+            row_to_distinct,
+        }
+    }
+
+    /// Row indices the pattern accepts, via the configured matcher.
+    ///
+    /// The DFA fast path batches one membership test per distinct value;
+    /// the NFA oracle deliberately stays per-row, so the engines'
+    /// differential comparison also covers the dedup-and-expand step.
+    fn member_rows(
+        &self,
+        compiled: &CompiledPattern,
+        values: &[MaskedString],
+        engine: MatchEngine,
+    ) -> Vec<usize> {
+        match engine {
+            MatchEngine::Dfa => {
+                let hits = compiled.matches_many(&self.distinct);
+                self.row_to_distinct
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(row, &di)| hits[di].then_some(row))
+                    .collect()
+            }
+            MatchEngine::Nfa => values
+                .iter()
+                .enumerate()
+                .filter_map(|(row, v)| compiled.matches_nfa(v).then_some(row))
+                .collect(),
+        }
+    }
 }
 
 /// Coverage-descending order with a stable pattern-rendering tiebreak; the
@@ -243,14 +285,16 @@ fn sort_by_coverage(patterns: &mut Vec<LearnedPattern>) {
 /// still describe the column language and only membership needs refreshing.
 pub fn rescore_profile(prior: &ColumnProfile, values: &[MaskedString]) -> ColumnProfile {
     let n = values.len();
+    let dedup = MaskedDedup::new(values);
     let mut patterns: Vec<LearnedPattern> = prior
         .patterns
         .iter()
         .map(|lp| {
-            // Batch-match on the DFA; the clone shares the prior's warm
-            // memo tables, so an append-only re-score pays one table
-            // lookup per token instead of a fresh NFA walk.
-            let rows = member_rows(&lp.compiled, values, MatchEngine::Dfa);
+            // Batch-match on the DFA, once per distinct value; the clone
+            // shares the prior's warm memo tables, so an append-only
+            // re-score pays one table lookup per token instead of a fresh
+            // NFA walk.
+            let rows = dedup.member_rows(&lp.compiled, values, MatchEngine::Dfa);
             let coverage = if n == 0 {
                 0.0
             } else {
@@ -382,6 +426,9 @@ mod tests {
             vec!["c-1", "c-2", "c3", "c4"],
             vec!["Ind-674-PRO", "US-837-QUA", "Alg-173-PRO", "Chn-924-QUA"],
             vec!["", "", "x1", "zz top", "9!9"],
+            // Duplicate-heavy: the DFA arm dedups to 3 distinct values and
+            // must still expand hits to exactly the NFA's per-row verdicts.
+            vec!["a-1", "a-1", "b2", "a-1", "b2", "a-1", "a-1", "b2", "c#3"],
         ];
         for values in &columns {
             let dfa = profile_plain(values, &ProfilerConfig::default());

@@ -1,8 +1,8 @@
 //! Lazily-determinized, memoized DFA for boolean membership tests.
 //!
 //! The profiler re-runs every candidate pattern over every column value, so
-//! membership dominates the hot loop. The cyclic Thompson NFA in
-//! [`crate::nfa`] answers each query by simulating a *set* of states per
+//! membership dominates the hot loop. The cyclic Thompson NFA in the `nfa`
+//! module answers each query by simulating a *set* of states per
 //! token — correct, but it allocates a reachability table per call and
 //! touches every state per step. Patterns here are plain regular languages,
 //! so on-the-fly subset construction applies: this module determinizes the

@@ -82,7 +82,7 @@ impl CompiledPattern {
     /// have been discovered, then falls back to the NFA permanently (the
     /// answers are identical either way). Exposed so tests and benchmarks
     /// can force the fallback path; [`CompiledPattern::compile`] uses
-    /// [`DEFAULT_STATE_BUDGET`](crate::dfa::DEFAULT_STATE_BUDGET).
+    /// [`DEFAULT_STATE_BUDGET`].
     pub fn compile_with_dfa_budget(pattern: Pattern, budget: usize) -> Self {
         let tagged = pattern.tag();
         let nfa = Nfa::compile(&tagged);

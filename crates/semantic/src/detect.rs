@@ -21,18 +21,40 @@ pub struct TypeDetection {
 
 /// Detects the dominant semantic type of a column, if any type reaches
 /// `min_confidence` support.
+///
+/// Interns the column first and scores each *distinct* value once via
+/// [`detect_column_type_pooled`] — the per-value gazetteer sweep is the
+/// expensive part, and real columns are dominated by duplicates.
 pub fn detect_column_type(
     values: &[String],
     gaz: &Gazetteer,
     min_confidence: f64,
 ) -> Option<TypeDetection> {
+    let pool = crate::intern::intern_values(values);
+    detect_column_type_pooled(&pool.distinct, &pool.counts, gaz, min_confidence)
+}
+
+/// [`detect_column_type`] over pre-interned distinct values.
+///
+/// `distinct[i]` occurs `multiplicity[i]` times in the column; each distinct
+/// value is gazetteer-swept once and its hits weighted by multiplicity, so
+/// the detection equals the per-row computation exactly. Callers holding a
+/// `datavinci_table::ValuePool` pass its `distinct()`/`counts()` slices.
+pub fn detect_column_type_pooled<S: AsRef<str>>(
+    distinct: &[S],
+    multiplicity: &[usize],
+    gaz: &Gazetteer,
+    min_confidence: f64,
+) -> Option<TypeDetection> {
+    assert_eq!(distinct.len(), multiplicity.len(), "one weight per value");
     let mut counts = [0usize; SemanticType::ALL.len()];
     let mut n = 0usize;
-    for v in values {
+    for (v, &w) in distinct.iter().zip(multiplicity) {
+        let v = v.as_ref();
         if v.trim().is_empty() {
             continue;
         }
-        n += 1;
+        n += w;
         let mut seen = [false; SemanticType::ALL.len()];
         for span in candidate_spans(v) {
             for hit in gaz.lookup_fuzzy(&span.lookup) {
@@ -42,7 +64,7 @@ pub fn detect_column_type(
                     .expect("type in ALL");
                 if !seen[i] {
                     seen[i] = true;
-                    counts[i] += 1;
+                    counts[i] += w;
                 }
             }
         }
@@ -104,5 +126,26 @@ mod tests {
     fn empty_column_none() {
         assert!(detect(&[]).is_none());
         assert!(detect(&["", " "]).is_none());
+    }
+
+    #[test]
+    fn pooled_detection_matches_rowwise_expansion() {
+        // Weighted distinct values vs. the same column written out row by
+        // row: identical detection and confidence.
+        let gaz = Gazetteer::new();
+        let distinct = ["Boston", "x-9", "Miami", ""];
+        let counts = [3usize, 2, 1, 2];
+        let rows: Vec<String> = distinct
+            .iter()
+            .zip(&counts)
+            .flat_map(|(v, &c)| std::iter::repeat_n(v.to_string(), c))
+            .collect();
+        for min in [0.1, 0.5, 0.9] {
+            assert_eq!(
+                detect_column_type_pooled(&distinct, &counts, &gaz, min),
+                detect_column_type(&rows, &gaz, min),
+                "min_confidence {min}"
+            );
+        }
     }
 }

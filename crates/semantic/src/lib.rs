@@ -14,15 +14,16 @@
 pub mod data;
 pub mod detect;
 pub mod gazetteer;
+pub(crate) mod intern;
 pub mod llm;
 pub mod mask;
 pub mod prompt;
 pub mod spans;
 pub mod types;
 
-pub use detect::{detect_column_type, TypeDetection};
+pub use detect::{detect_column_type, detect_column_type_pooled, TypeDetection};
 pub use gazetteer::{fuzzy_budget, Gazetteer, Hit};
-pub use llm::{GazetteerLlm, GazetteerLlmConfig, LanguageModel};
+pub use llm::{GazetteerLlm, GazetteerLlmConfig, LanguageModel, MaskCache};
 pub use mask::{
     parse_masked_value, AbstractedColumn, MaskOccurrence, MaskedValue, SemanticAbstractor,
 };

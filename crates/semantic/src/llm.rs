@@ -11,11 +11,62 @@
 //! Any other model can be plugged in through [`LanguageModel`].
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::gazetteer::{Gazetteer, Hit};
 use crate::prompt::{parse_prompt_values, OUTPUT_MARKER};
 use crate::spans::{candidate_spans, Span};
 use crate::types::SemanticType;
+
+/// Bound on memoized per-value hit lists; beyond it the cache stops
+/// admitting new values (lookups still hit) so a pathological stream of
+/// unique values cannot grow the model's footprint without bound.
+const MASK_CACHE_CAPACITY: usize = 16_384;
+
+/// Memoized per-value gazetteer hits.
+///
+/// `GazetteerLlm`'s per-value hit sweep is a pure function of the value (spans ×
+/// fuzzy lookups — the expensive part of masking), so its results are
+/// shared across prompt batches, columns, and engine runs. Thread-safe: the
+/// engine's worker pool masks columns concurrently through one model.
+#[derive(Debug, Default)]
+pub struct MaskCache {
+    hits: Mutex<HashMap<String, Vec<(Span, Hit)>>>,
+}
+
+impl MaskCache {
+    /// Number of memoized values.
+    pub fn len(&self) -> usize {
+        self.hits.lock().expect("mask cache poisoned").len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized entry.
+    pub fn clear(&self) {
+        self.hits.lock().expect("mask cache poisoned").clear();
+    }
+
+    /// `compute(value)` through the memo.
+    fn get_or_compute(
+        &self,
+        value: &str,
+        compute: impl FnOnce(&str) -> Vec<(Span, Hit)>,
+    ) -> Vec<(Span, Hit)> {
+        if let Some(hit) = self.hits.lock().expect("mask cache poisoned").get(value) {
+            return hit.clone();
+        }
+        let computed = compute(value);
+        let mut map = self.hits.lock().expect("mask cache poisoned");
+        if map.len() < MASK_CACHE_CAPACITY {
+            map.insert(value.to_string(), computed.clone());
+        }
+        computed
+    }
+}
 
 /// A completion-style language model.
 pub trait LanguageModel {
@@ -64,15 +115,13 @@ impl Default for GazetteerLlmConfig {
 pub struct GazetteerLlm {
     gaz: Gazetteer,
     cfg: GazetteerLlmConfig,
+    cache: MaskCache,
 }
 
 impl GazetteerLlm {
     /// Builds the model with default configuration.
     pub fn new() -> GazetteerLlm {
-        GazetteerLlm {
-            gaz: Gazetteer::new(),
-            cfg: GazetteerLlmConfig::default(),
-        }
+        GazetteerLlm::with_config(GazetteerLlmConfig::default())
     }
 
     /// Builds the model with explicit configuration.
@@ -80,6 +129,7 @@ impl GazetteerLlm {
         GazetteerLlm {
             gaz: Gazetteer::new(),
             cfg,
+            cache: MaskCache::default(),
         }
     }
 
@@ -88,27 +138,72 @@ impl GazetteerLlm {
         &self.gaz
     }
 
-    /// Masks a whole column (the semantics behind `complete`).
-    pub fn mask_column(&self, values: &[String]) -> Vec<String> {
-        // Pass 1: per-value span hits, filtered to maskable types.
-        let all_hits: Vec<Vec<(Span, Hit)>> = values.iter().map(|v| self.value_hits(v)).collect();
+    /// The per-value hit memo (telemetry / tests).
+    pub fn mask_cache(&self) -> &MaskCache {
+        &self.cache
+    }
 
-        // Type support across the batch: in how many values does each type
-        // appear at all?
+    /// Masks a whole column (the semantics behind `complete`).
+    ///
+    /// Masking is computed once per *distinct* value: the batch is interned,
+    /// the column-level aggregates (type support, majority surface forms)
+    /// are taken with multiplicity weights, each distinct value is masked
+    /// once, and the results expand back to row order. Byte-identical to
+    /// [`GazetteerLlm::mask_column_rowwise`] by construction — the
+    /// aggregates are linear in the rows and the per-value work is a pure
+    /// function of the value.
+    pub fn mask_column(&self, values: &[String]) -> Vec<String> {
+        let pool = crate::intern::intern_values(values);
+        // Pass 1 runs once per distinct value, through the hit memo.
+        let all_hits: Vec<Vec<(Span, Hit)>> = pool
+            .distinct
+            .iter()
+            .map(|v| self.cache.get_or_compute(v, |v| self.value_hits(v)))
+            .collect();
+        let masked = self.mask_values_weighted(&pool.distinct, &pool.counts, all_hits);
+        pool.row_to_distinct
+            .iter()
+            .map(|&di| masked[di].clone())
+            .collect()
+    }
+
+    /// The per-row reference implementation of [`GazetteerLlm::mask_column`]:
+    /// no interning, no hit memo, every row weighted 1 — the pre-planner
+    /// cost model. The differential suites and the repair benchmark use it
+    /// as the oracle for the distinct-value path.
+    pub fn mask_column_rowwise(&self, values: &[String]) -> Vec<String> {
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        let weights = vec![1usize; refs.len()];
+        let all_hits: Vec<Vec<(Span, Hit)>> = refs.iter().map(|v| self.value_hits(v)).collect();
+        self.mask_values_weighted(&refs, &weights, all_hits)
+    }
+
+    /// Masks one batch of values, each carrying a multiplicity weight;
+    /// `all_hits` holds each value's pass-1 span hits.
+    fn mask_values_weighted(
+        &self,
+        values: &[&str],
+        weights: &[usize],
+        all_hits: Vec<Vec<(Span, Hit)>>,
+    ) -> Vec<String> {
+        // Type support across the batch: in how many rows does each type
+        // appear at all? (Each value counts once per type, times its weight.)
         let mut support: HashMap<SemanticType, usize> = HashMap::new();
-        for hits in &all_hits {
+        for (hits, &w) in all_hits.iter().zip(weights) {
             let mut seen: Vec<SemanticType> = Vec::new();
             for (_, h) in hits {
                 if !seen.contains(&h.semantic_type) {
                     seen.push(h.semantic_type);
-                    *support.entry(h.semantic_type).or_insert(0) += 1;
+                    *support.entry(h.semantic_type).or_insert(0) += w;
                 }
             }
         }
         let n = values
             .iter()
-            .filter(|v| !v.trim().is_empty())
-            .count()
+            .zip(weights)
+            .filter(|(v, _)| !v.trim().is_empty())
+            .map(|(_, &w)| w)
+            .sum::<usize>()
             .max(1);
         let kept: Vec<SemanticType> = SemanticType::ALL
             .into_iter()
@@ -119,16 +214,16 @@ impl GazetteerLlm {
             })
             .collect();
 
-        // Majority surface form per kept type (among exact hits).
+        // Majority surface form per kept type (among exact hits, weighted).
         let mut form_votes: HashMap<SemanticType, HashMap<usize, usize>> = HashMap::new();
-        for hits in &all_hits {
+        for (hits, &w) in all_hits.iter().zip(weights) {
             for (_, h) in hits {
                 if h.distance == 0 && kept.contains(&h.semantic_type) {
                     *form_votes
                         .entry(h.semantic_type)
                         .or_default()
                         .entry(h.form)
-                        .or_insert(0) += 1;
+                        .or_insert(0) += w;
                 }
             }
         }
@@ -144,7 +239,7 @@ impl GazetteerLlm {
             })
             .collect();
 
-        // Pass 2: greedy non-overlapping masking per value.
+        // Pass 2: greedy non-overlapping masking, once per distinct value.
         values
             .iter()
             .zip(&all_hits)
@@ -442,6 +537,52 @@ mod tests {
         let lines: Vec<&str> = response.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[2], "{country(US)}-3");
+    }
+
+    #[test]
+    fn pooled_masking_matches_rowwise_reference() {
+        // Duplicate-heavy, mixed, typo'd, and empty values: the interned
+        // weighted path must reproduce the per-row oracle byte for byte.
+        let columns: Vec<Vec<&str>> = vec![
+            vec!["US-1", "US-1", "US-1", "usa-4", "FR-2", "US-1", ""],
+            vec![
+                "red 1",
+                "red 1",
+                "dark green 2",
+                "blue phone 3",
+                "bluee 4",
+                "red 1",
+            ],
+            vec!["Boston", "Boston", "Birminxham", "Boston", "Miami"],
+            vec!["Q4-2002", "Q4-2002", "Q32001"],
+            vec!["", " ", ""],
+        ];
+        for col in columns {
+            let llm = GazetteerLlm::new();
+            let values: Vec<String> = col.iter().map(|s| s.to_string()).collect();
+            assert_eq!(
+                llm.mask_column(&values),
+                llm.mask_column_rowwise(&values),
+                "{values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_cache_memoizes_per_distinct_value() {
+        let llm = GazetteerLlm::new();
+        let values: Vec<String> = ["US-1", "US-1", "FR-2", "US-1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        llm.mask_column(&values);
+        assert_eq!(llm.mask_cache().len(), 2);
+        // A repeat clean re-uses the memo (no growth) and stays identical.
+        let again = llm.mask_column(&values);
+        assert_eq!(llm.mask_cache().len(), 2);
+        assert_eq!(again, llm.mask_column_rowwise(&values));
+        llm.mask_cache().clear();
+        assert!(llm.mask_cache().is_empty());
     }
 
     #[test]

@@ -129,16 +129,29 @@ impl<L: LanguageModel> SemanticAbstractor<L> {
     }
 
     /// Abstracts a column: prompts the model batch-wise, parses masks.
+    ///
+    /// Parsing is memoized per distinct response line: duplicate values mask
+    /// to duplicate lines, and re-parsing a line already seen interns
+    /// nothing new, so replaying the memo is byte-identical to parsing every
+    /// row.
     pub fn abstract_column(&self, header: &str, values: &[String]) -> AbstractedColumn {
         let batches = build_prompts(header, values, &self.mask_types);
         let mut alphabet = MaskAlphabet::new();
+        let mut parsed: HashMap<String, MaskedValue> = HashMap::new();
         let mut out: Vec<MaskedValue> = vec![MaskedValue::default(); values.len()];
         for batch in batches {
             let response = self.llm.complete(&batch.prompt);
             let lines: Vec<&str> = response.lines().collect();
             for (k, &row) in batch.rows.iter().enumerate() {
                 let masked_text = lines.get(k).copied().unwrap_or(values[row].as_str());
-                out[row] = parse_masked_value(masked_text, &mut alphabet);
+                out[row] = match parsed.get(masked_text) {
+                    Some(v) => v.clone(),
+                    None => {
+                        let v = parse_masked_value(masked_text, &mut alphabet);
+                        parsed.insert(masked_text.to_string(), v.clone());
+                        v
+                    }
+                };
             }
         }
 

@@ -9,6 +9,9 @@
 //! * [`Column`] — a named vector of cells,
 //! * [`Table`] — a collection of equally-long columns with row access,
 //! * [`CellRef`]/[`ColRef`] — stable cell and column addressing,
+//! * [`ValuePool`] — distinct-value interning (values, multiplicities, and
+//!   the row → distinct map) behind the repair planner's dedup-and-share
+//!   execution strategy,
 //! * a tiny CSV reader/writer in [`io`] for examples and test fixtures.
 //!
 //! The model intentionally mirrors what the paper's benchmarks need: values in
@@ -19,10 +22,12 @@
 pub mod addr;
 pub mod column;
 pub mod io;
+pub mod pool;
 pub mod table;
 pub mod value;
 
 pub use addr::{CellRef, ColRef};
 pub use column::Column;
+pub use pool::ValuePool;
 pub use table::Table;
 pub use value::{CellValue, ErrorValue};

@@ -186,6 +186,70 @@ mod noise_properties {
     }
 }
 
+mod idempotence_properties {
+    use super::*;
+    use datavinci::core::{DataVinci, DataVinciConfig, RepairStrategy};
+    use datavinci::corpus::{duplicate_rows, Flavor, NoiseModel, TableSpec};
+    use datavinci::engine::Engine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Cleaning is idempotent: re-cleaning a cleaned table changes
+        /// nothing. Repairs move outliers into the significant-pattern
+        /// language, so a second pass finds no further repairs — under both
+        /// the distinct-value planner and the per-row reference path.
+        #[test]
+        fn cleaning_is_idempotent(
+            seed in 0u64..5_000,
+            flavor_idx in 0usize..6,
+            rows in 8usize..48,
+            dup_idx in 0usize..3,
+            noise_idx in 0usize..2,
+        ) {
+            let flavors = [
+                Flavor::Quarter,
+                Flavor::PrefixedId,
+                Flavor::CountryCode,
+                Flavor::ProductCode,
+                Flavor::PlayerWithCategory,
+                Flavor::City,
+            ];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let spec = TableSpec::new(rows, vec![flavors[flavor_idx]]);
+            let clean = spec.generate(&mut rng);
+            let noise = NoiseModel { cell_prob: [0.1, 0.3][noise_idx] };
+            let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
+            let duplication = [0.0, 0.5, 0.9][dup_idx];
+            let table = if duplication > 0.0 {
+                duplicate_rows(&mut rng, &dirty, duplication)
+            } else {
+                dirty
+            };
+            for strategy in [RepairStrategy::Planner, RepairStrategy::RowWise] {
+                let dv = DataVinci::with_config(DataVinciConfig {
+                    repair_strategy: strategy,
+                    ..DataVinciConfig::default()
+                });
+                let first = dv.clean_table(&table);
+                let cleaned = Engine::apply(&table, &first);
+                let second = dv.clean_table(&cleaned);
+                let recleaned = Engine::apply(&cleaned, &second);
+                prop_assert_eq!(
+                    &recleaned,
+                    &cleaned,
+                    "{:?}: re-cleaning changed the table (flavor {:?}, {} rows)",
+                    strategy,
+                    flavors[flavor_idx],
+                    rows
+                );
+            }
+        }
+    }
+}
+
 mod formula_properties {
     use super::*;
     use datavinci::formula::{parse, ColumnProgram};

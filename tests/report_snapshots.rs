@@ -156,3 +156,11 @@ fn quarters_fixture_snapshot() {
 fn cities_fixture_snapshot() {
     check_snapshot("cities");
 }
+
+#[test]
+fn duplicates_fixture_snapshot() {
+    // Duplicate-heavy fixture: repeated erroneous values (usa_837 ×3,
+    // Q32001 ×3) exercise the repair planner's group sharing; the snapshot
+    // locks every duplicated row's repair and candidate scores.
+    check_snapshot("duplicates");
+}

@@ -3,8 +3,8 @@
 //!
 //! The build environment has no cargo-registry access, so this crate stands
 //! in for `proptest`. It keeps the call-site surface identical — the
-//! [`proptest!`] macro, `prop_assert*` / `prop_assume!`, [`Strategy`] with
-//! `prop_map` / `prop_recursive`, [`prop_oneof!`], `prop::collection::vec`,
+//! `proptest!` macro, `prop_assert*` / `prop_assume!`, `Strategy` with
+//! `prop_map` / `prop_recursive`, `prop_oneof!`, `prop::collection::vec`,
 //! range and regex-literal strategies — while swapping the engine for a
 //! deliberately simple one:
 //!

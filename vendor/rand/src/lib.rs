@@ -50,7 +50,7 @@ pub trait Rng: RngCore {
         unit_f64(self.next_u64()) < p
     }
 
-    /// Samples a value of a [`Standard`](distributions::Standard)-distributed type.
+    /// Samples a value of a `Standard`-distributed type.
     fn gen<T: distributions::StandardSample>(&mut self) -> T {
         T::sample_standard(self)
     }
