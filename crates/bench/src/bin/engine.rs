@@ -65,6 +65,7 @@ fn main() {
     let engine = Engine::with_config(EngineConfig {
         workers,
         cache: true,
+        ..EngineConfig::default()
     });
     let started = Instant::now();
     let cold = engine.clean_batch(&tables);

@@ -1,0 +1,177 @@
+//! Session benchmark: regenerate-per-repair vs table-scoped
+//! `AnalysisSession` → `BENCH_session.json`.
+//!
+//! The tentpole of the session refactor is that one table clean builds its
+//! table-scoped context — the rendered cell matrix, the `FeatureSet`, row
+//! feature vectors, value pools — **once**, instead of once per column
+//! repair. This benchmark drives a duplicate-heavy, many-column table
+//! through both paths on identical inputs:
+//!
+//! 1. **legacy** — the pre-session cost model: each column cleaned through
+//!    its own throwaway session (`DataVinci::clean_column`), regenerating
+//!    the feature context per column;
+//! 2. **session** — `DataVinci::clean_table_in` with one shared session.
+//!
+//! The A/B asserts the two paths produce *identical* reports (the
+//! byte-identity guarantee CI relies on; non-zero exit on divergence), and
+//! records the session's telemetry: the legacy path generates one
+//! `FeatureSet` per hole-bearing column, the session exactly one per table.
+//! The ≥×1.3 acceptance target is recorded as a boolean, not asserted, so
+//! a loaded CI machine cannot flake the build.
+//!
+//! Flags: the shared `--smoke`/`--full`/`--seed N` sizing plus
+//! `--out PATH` (default `BENCH_session.json`).
+
+use std::time::Instant;
+
+use datavinci_bench::{arg_after, Cli};
+use datavinci_core::{DataVinci, SessionStats, TableReport};
+use datavinci_corpus::{duplicate_rows, Flavor, NoiseModel, TableSpec};
+use datavinci_engine::{json::Json, session_stats_json};
+use datavinci_table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Wall-clock of `iters` runs of `f`, in microseconds per iteration.
+fn time_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    started.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// The pre-session oracle: one throwaway session per column.
+fn clean_legacy(dv: &DataVinci, table: &Table) -> (TableReport, SessionStats) {
+    let mut report = TableReport::default();
+    let mut stats = SessionStats::default();
+    for col in 0..table.n_cols() {
+        let column = table.column(col).expect("in range");
+        if column.text_fraction() < dv.config().min_text_fraction {
+            continue;
+        }
+        let session = dv.session(table);
+        report.columns.push(dv.clean_column_in(&session, col));
+        stats.accumulate(&session.stats());
+    }
+    (report, stats)
+}
+
+/// One shared session for the whole table.
+fn clean_session(dv: &DataVinci, table: &Table) -> (TableReport, SessionStats) {
+    let session = dv.session(table);
+    let report = dv.clean_table_in(&session);
+    (report, session.stats())
+}
+
+/// The workload: a wide table (11 textual columns across mixed flavors)
+/// corrupted and then whole-row-duplicated, so every layer the session
+/// shares — features, row vectors, pools, dtree examples — sees both many
+/// columns and heavy value multiplicity.
+fn duplicate_heavy_table(seed: u64, rows: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = TableSpec::new(
+        rows,
+        vec![
+            Flavor::PlayerWithCategory,
+            Flavor::Quarter,
+            Flavor::City,
+            Flavor::CountryCode,
+            Flavor::Color,
+            Flavor::ProductCode,
+            Flavor::Status,
+            Flavor::Rating,
+            Flavor::PrefixedId,
+            Flavor::MonthAbbrev,
+        ],
+    );
+    let clean = spec.generate(&mut rng);
+    let noise = NoiseModel { cell_prob: 0.12 };
+    let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
+    duplicate_rows(&mut rng, &dirty, 0.85)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_session.json".to_string());
+    // Even the smoke tier keeps the table wide and deep enough that several
+    // columns carry hole-bearing repairs (each regenerating the feature
+    // context on the legacy path) — smaller tables leave the A/B dominated
+    // by shared analysis cost and machine noise.
+    let (base_rows, iters) = if cli.full {
+        (400, 12)
+    } else if cli.smoke {
+        (250, 6)
+    } else {
+        (250, 10)
+    };
+
+    let table = duplicate_heavy_table(cli.seed, base_rows);
+    let dv = DataVinci::new();
+
+    // Identity gate + warm-up (both arms share one system, so the semantic
+    // mask memo is equally warm for both timed loops).
+    let (legacy_report, legacy_stats) = clean_legacy(&dv, &table);
+    let (session_report, session_stats) = clean_session(&dv, &table);
+    assert_eq!(
+        format!("{session_report:#?}"),
+        format!("{legacy_report:#?}"),
+        "session clean diverged from the regenerate-per-repair reference"
+    );
+    assert_eq!(
+        session_stats.feature_generations, 1,
+        "session must generate exactly one FeatureSet: {session_stats:?}"
+    );
+    let n_errors: usize = session_report
+        .columns
+        .iter()
+        .map(|c| c.detections.len())
+        .sum();
+    eprintln!(
+        "session bench: {} rows × {} cols, {} cleaned columns, {n_errors} error rows; \
+         feature generations legacy {} vs session {}; plan sharing ×{:.2}",
+        table.n_rows(),
+        table.n_cols(),
+        session_report.columns.len(),
+        legacy_stats.feature_generations,
+        session_stats.feature_generations,
+        session_stats.plan_sharing_factor(),
+    );
+
+    let legacy_us = time_us(iters, || clean_legacy(&dv, &table).0.columns.len());
+    let session_us = time_us(iters, || clean_session(&dv, &table).0.columns.len());
+    let speedup = legacy_us / session_us.max(1e-9);
+    eprintln!(
+        "  clean table   legacy {:9.1} µs   session {:9.1} µs   ×{speedup:.2}",
+        legacy_us, session_us
+    );
+
+    let json = Json::obj()
+        .field("benchmark", Json::str("session_vs_regenerate_per_repair"))
+        .field("seed", Json::Int(cli.seed as i64))
+        .field(
+            "baseline_context",
+            Json::str("PR-4 regenerate-per-repair clean_column loop on identical inputs"),
+        )
+        .field("n_rows", Json::Int(table.n_rows() as i64))
+        .field("n_cols", Json::Int(table.n_cols() as i64))
+        .field(
+            "n_cleaned_columns",
+            Json::Int(session_report.columns.len() as i64),
+        )
+        .field("n_error_rows", Json::Int(n_errors as i64))
+        .field("iters", Json::Int(iters as i64))
+        .field("legacy_us", Json::Num(legacy_us))
+        .field("session_us", Json::Num(session_us))
+        .field("speedup", Json::Num(speedup))
+        .field("speedup_target_1_3_met", Json::Bool(speedup >= 1.3))
+        .field(
+            "legacy_feature_generations",
+            Json::Int(legacy_stats.feature_generations as i64),
+        )
+        .field("session", session_stats_json(&session_stats))
+        .field("identical", Json::Bool(true));
+    std::fs::write(&out_path, json.render_pretty()).expect("write benchmark JSON");
+    println!("{}", json.render_pretty());
+    eprintln!("session clean ×{speedup:.2}; wrote {out_path}");
+}

@@ -174,6 +174,7 @@ impl Harness {
                 engine: Engine::with_config(EngineConfig {
                     workers: 1,
                     cache: true,
+                    ..EngineConfig::default()
                 }),
             },
             dv_no_semantics: DataVinci::with_config(DataVinciConfig::ablation_no_semantics()),

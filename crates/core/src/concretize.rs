@@ -9,16 +9,25 @@
 //! the filler from the *error row's* features (Figure 2's `{CAT1}` ↔
 //! Category-column constraint). Fallbacks: pooled-occurrence majority, then
 //! the class representative / first alternative.
+//!
+//! The concretizer reads all table-scoped state — the [`FeatureSet`],
+//! row feature vectors, table-level row interning — from the shared
+//! [`AnalysisSession`], so every column of a table (and both repair
+//! strategies) work from one generated context. Decision trees are induced
+//! over *distinct* row feature vectors weighted by multiplicity
+//! ([`crate::dtree::learn_weighted`]), byte-identical to per-row expansion.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::config::DataVinciConfig;
-use crate::dtree::{learn, DecisionTree};
+use crate::dtree::{learn_weighted, DecisionTree};
 use crate::edit::{AbstractRepair, Emit};
 use crate::features::FeatureSet;
+use crate::session::AnalysisSession;
 use datavinci_profile::LearnedPattern;
 use datavinci_regex::{AtomId, AtomKey, MaskedString};
-use datavinci_table::Table;
 
 /// Training data and learned trees for one significant pattern.
 #[derive(Debug, Default)]
@@ -32,32 +41,30 @@ struct PatternTraining {
     trees: HashMap<AtomKey, Option<(DecisionTree, Vec<String>)>>,
 }
 
-/// The concretization engine for one table.
-pub struct Concretizer<'a> {
-    table: &'a Table,
-    features: FeatureSet,
-    cfg: &'a DataVinciConfig,
-    /// Cached row features.
-    row_cache: HashMap<usize, Vec<bool>>,
+/// The concretization engine for one column repair, reading its table-wide
+/// context (features, row vectors) from a shared [`AnalysisSession`].
+pub struct Concretizer<'s, 't> {
+    session: &'s AnalysisSession<'t>,
+    cfg: &'s DataVinciConfig,
     /// Per-pattern training state, keyed by caller-provided pattern index.
     training: HashMap<usize, PatternTraining>,
 }
 
-impl<'a> Concretizer<'a> {
-    /// Builds the engine (generates the table's feature set once).
-    pub fn new(table: &'a Table, cfg: &'a DataVinciConfig) -> Concretizer<'a> {
+impl<'s, 't> Concretizer<'s, 't> {
+    /// Builds the engine over a session's shared table context. The feature
+    /// set is *not* regenerated here — the session generates it at most
+    /// once per table and every concretizer borrows it.
+    pub fn new(session: &'s AnalysisSession<'t>, cfg: &'s DataVinciConfig) -> Concretizer<'s, 't> {
         Concretizer {
-            table,
-            features: FeatureSet::generate(table),
+            session,
             cfg,
-            row_cache: HashMap::new(),
             training: HashMap::new(),
         }
     }
 
-    /// The generated feature set (for reports/tests).
+    /// The session's feature set (for reports/tests).
     pub fn features(&self) -> &FeatureSet {
-        &self.features
+        self.session.features()
     }
 
     /// Registers training data for a pattern: bindings of every matching
@@ -165,13 +172,7 @@ impl<'a> Concretizer<'a> {
         let training = self.training.get_mut(&pattern_idx)?;
         if !training.trees.contains_key(&key) {
             let examples = training.examples.get(&key).map_or(&[][..], Vec::as_slice);
-            let learned = learn_tree(
-                examples,
-                &mut self.row_cache,
-                &self.features,
-                self.table,
-                self.cfg,
-            );
+            let learned = learn_tree(examples, self.session, self.cfg);
             training.trees.insert(key, learned);
         }
         self.training.get(&pattern_idx)?.trees.get(&key)
@@ -219,8 +220,8 @@ impl<'a> Concretizer<'a> {
         if let DecisionTree::Leaf(label) = tree {
             return labels.get(*label as usize).cloned();
         }
-        let f = cached_row_features(&mut self.row_cache, &self.features, self.table, error_row);
-        let label = tree.predict(f) as usize;
+        let f = self.session.row_features(error_row);
+        let label = tree.predict(&f) as usize;
         labels.get(label).cloned()
     }
 
@@ -265,24 +266,17 @@ impl<'a> Concretizer<'a> {
     }
 }
 
-/// Feature vector for `row`, computed once and borrowed thereafter.
-fn cached_row_features<'c>(
-    row_cache: &'c mut HashMap<usize, Vec<bool>>,
-    features: &FeatureSet,
-    table: &Table,
-    row: usize,
-) -> &'c [bool] {
-    row_cache
-        .entry(row)
-        .or_insert_with(|| features.row_features(table, row))
-}
-
 /// Learns the decision tree for one atom occurrence's examples.
+///
+/// Examples are grouped by `(distinct table row, label)` — duplicate rows
+/// produce identical feature vectors, so the tree is induced over the
+/// distinct vectors weighted by multiplicity instead of materializing one
+/// vector per example row ([`learn_weighted`] is exactly equal to the
+/// row-expanded induction). Feature vectors come from the session's
+/// table-wide memo, shared across patterns and columns.
 fn learn_tree(
     examples: &[(usize, String)],
-    row_cache: &mut HashMap<usize, Vec<bool>>,
-    features: &FeatureSet,
-    table: &Table,
+    session: &AnalysisSession<'_>,
     cfg: &DataVinciConfig,
 ) -> Option<(DecisionTree, Vec<String>)> {
     if examples.len() < 2 {
@@ -295,15 +289,30 @@ fn learn_tree(
         // Constant label: a leaf is exact, and cheap to represent.
         return Some((DecisionTree::Leaf(0), label_names));
     }
-    let rows: Vec<Vec<bool>> = examples
+    // Group in first-occurrence order; the representative row's feature
+    // vector stands for every example of the group.
+    let mut index: HashMap<(usize, u32), usize> = HashMap::new();
+    let mut reps: Vec<(usize, u32)> = Vec::new();
+    let mut weights: Vec<usize> = Vec::new();
+    for (row, text) in examples {
+        let di = session.distinct_row(*row);
+        let label = label_names.iter().position(|l| l == text).expect("deduped") as u32;
+        match index.entry((di, label)) {
+            Entry::Occupied(e) => weights[*e.get()] += 1,
+            Entry::Vacant(e) => {
+                e.insert(reps.len());
+                reps.push((*row, label));
+                weights.push(1);
+            }
+        }
+    }
+    let vectors: Vec<Arc<[bool]>> = reps
         .iter()
-        .map(|(row, _)| cached_row_features(row_cache, features, table, *row).to_vec())
+        .map(|&(row, _)| session.row_features(row))
         .collect();
-    let labels: Vec<u32> = examples
-        .iter()
-        .map(|(_, t)| label_names.iter().position(|l| l == t).expect("deduped") as u32)
-        .collect();
-    learn(&rows, &labels, &cfg.dtree).map(|t| (t, label_names))
+    let rows: Vec<&[bool]> = vectors.iter().map(|v| &v[..]).collect();
+    let labels: Vec<u32> = reps.iter().map(|&(_, label)| label).collect();
+    learn_weighted(&rows, &labels, &weights, &cfg.dtree).map(|t| (t, label_names))
 }
 
 fn hole_key(hole: &Emit) -> AtomKey {
@@ -361,7 +370,7 @@ fn cross_product(per_hole: &[Vec<String>], cap: usize) -> Vec<Vec<String>> {
 mod tests {
     use super::*;
     use datavinci_profile::{profile_plain, ProfilerConfig};
-    use datavinci_table::Column;
+    use datavinci_table::{Column, Table};
 
     /// Figure-2-shaped table: suffix determined by the Category column.
     fn figure2_table() -> Table {
@@ -393,7 +402,8 @@ mod tests {
             .find(|p| p.pattern.to_string().contains("(PRO|QUA)"))
             .expect("disjunction pattern learned");
 
-        let mut cz = Concretizer::new(&table, &cfg);
+        let session = AnalysisSession::new(&table);
+        let mut cz = Concretizer::new(&session, &cfg);
         cz.train_pattern(0, lp, &lp.rows, &masked(&values));
 
         // Repair "EE" (row 4): DP would need I(-), I(PRO|QUA); simulate the
@@ -424,7 +434,8 @@ mod tests {
             .iter()
             .find(|p| p.pattern.to_string().contains("(PRO|QUA)"))
             .expect("disjunction pattern");
-        let mut cz = Concretizer::new(&table, &cfg);
+        let session = AnalysisSession::new(&table);
+        let mut cz = Concretizer::new(&session, &cfg);
         cz.train_pattern(0, lp, &lp.rows, &masked(&values));
         let dag = lp.compiled.dag_for_len(2);
         let program = crate::repair_dp::minimal_edit_program(&dag, &"EE".into()).unwrap();
@@ -445,7 +456,8 @@ mod tests {
         let values: Vec<String> = table.column(0).unwrap().rendered();
         let profile = profile_plain(&values, &ProfilerConfig::default());
         let lp = &profile.patterns[0];
-        let mut cz = Concretizer::new(&table, &cfg);
+        let session = AnalysisSession::new(&table);
+        let mut cz = Concretizer::new(&session, &cfg);
         cz.train_pattern(0, lp, &lp.rows, &masked(&values));
         let dag = lp.compiled.dag_for_len(0);
         let program = crate::repair_dp::minimal_edit_program(&dag, &"".into()).unwrap();

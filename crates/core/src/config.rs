@@ -72,6 +72,12 @@ pub struct DataVinciConfig {
     pub validate_execution: bool,
     /// Minimum fraction of text cells for a column to be cleaned at all.
     pub min_text_fraction: f64,
+    /// Bound on the semantic per-value mask memo
+    /// ([`datavinci_semantic::MaskCache`]) the abstraction model keeps and
+    /// analysis sessions share. The engine-side artifact-cache bound lives
+    /// on `datavinci_engine::EngineConfig::cache_capacity` — together the
+    /// two knobs are the whole cache-capacity surface.
+    pub mask_cache_capacity: usize,
 }
 
 impl Default for DataVinciConfig {
@@ -88,6 +94,7 @@ impl Default for DataVinciConfig {
             max_enumerated_candidates: 16,
             validate_execution: true,
             min_text_fraction: 0.5,
+            mask_cache_capacity: datavinci_semantic::DEFAULT_MASK_CACHE_CAPACITY,
         }
     }
 }

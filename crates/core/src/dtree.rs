@@ -93,17 +93,49 @@ impl DecisionTree {
 /// Learns the smallest α-accurate tree, or `None` if no tried budget
 /// reaches α (the concretizer then falls back to majority voting).
 pub fn learn(rows: &[Vec<bool>], labels: &[u32], cfg: &DtreeConfig) -> Option<DecisionTree> {
-    if rows.is_empty() || rows.len() != labels.len() {
+    let refs: Vec<&[bool]> = rows.iter().map(Vec::as_slice).collect();
+    let weights = vec![1usize; rows.len()];
+    learn_weighted(&refs, labels, &weights, cfg)
+}
+
+/// [`learn`] over *distinct* feature vectors carrying multiplicities.
+///
+/// `rows[i]` stands for `weights[i]` identical training examples with label
+/// `labels[i]`. Every quantity greedy induction reads — label histograms,
+/// entropies, gains, majorities, accuracies — is a linear aggregate of the
+/// examples, so inducing over the weighted distinct vectors returns the
+/// *exact* tree row-wise expansion would (differentially proven by the
+/// session test suite). Duplicate-heavy columns collapse their per-row
+/// example sets to a handful of weighted vectors and skip the expansion
+/// entirely.
+pub fn learn_weighted(
+    rows: &[&[bool]],
+    labels: &[u32],
+    weights: &[usize],
+    cfg: &DtreeConfig,
+) -> Option<DecisionTree> {
+    if rows.is_empty() || rows.len() != labels.len() || rows.len() != weights.len() {
         return None;
     }
+    // An all-zero-weight input stands for the empty example set: behave
+    // exactly like `learn` on the expansion. (Individual zero weights are
+    // neutral — they contribute to no histogram, entropy, or accuracy.)
+    if weights.iter().all(|&w| w == 0) {
+        return None;
+    }
+    let data = Weighted {
+        rows,
+        labels,
+        weights,
+    };
     let n_labels = labels.iter().copied().max().unwrap_or(0) as usize + 1;
     let indices: Vec<usize> = (0..rows.len()).collect();
     let mut candidates: Vec<DecisionTree> = Vec::new();
     for depth in 0..=cfg.max_depth {
         for leaves in 1..=cfg.max_leaves {
             let mut budget = leaves;
-            let tree = build(rows, labels, n_labels, &indices, depth, &mut budget);
-            if tree.accuracy(rows, labels) >= cfg.alpha && !candidates.contains(&tree) {
+            let tree = build(&data, n_labels, &indices, depth, &mut budget);
+            if data.accuracy(&tree) >= cfg.alpha && !candidates.contains(&tree) {
                 candidates.push(tree);
             }
             // Leftover ≥ 2 proves the leaf budget never denied a split
@@ -121,16 +153,42 @@ pub fn learn(rows: &[Vec<bool>], labels: &[u32], cfg: &DtreeConfig) -> Option<De
         .min_by_key(|t| (t.n_nodes(), t.depth()))
 }
 
+/// The weighted training set greedy induction runs over.
+struct Weighted<'a> {
+    rows: &'a [&'a [bool]],
+    labels: &'a [u32],
+    weights: &'a [usize],
+}
+
+impl Weighted<'_> {
+    /// Weighted training accuracy (correct example weight / total weight).
+    fn accuracy(&self, tree: &DecisionTree) -> f64 {
+        let total: usize = self.weights.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let correct: usize = self
+            .rows
+            .iter()
+            .zip(self.labels)
+            .zip(self.weights)
+            .filter(|((r, l), _)| tree.predict(r) == **l)
+            .map(|(_, w)| w)
+            .sum();
+        correct as f64 / total as f64
+    }
+}
+
 /// Label histogram over `indices`, as a dense vector (labels are compact
 /// indices into the caller's label table). Entropy sums floats, so counts
 /// are always consumed in ascending label order — a hash map's
 /// per-instance iteration order would make gain comparisons flip at ULP
 /// scale between otherwise identical `learn` calls, and the repair planner
 /// and its per-row oracle must pick the *same* tree for the same examples.
-fn label_counts(labels: &[u32], n_labels: usize, indices: &[usize]) -> Vec<usize> {
+fn label_counts(data: &Weighted<'_>, n_labels: usize, indices: &[usize]) -> Vec<usize> {
     let mut counts = vec![0usize; n_labels];
     for &i in indices {
-        counts[labels[i] as usize] += 1;
+        counts[data.labels[i] as usize] += data.weights[i];
     }
     counts
 }
@@ -161,20 +219,21 @@ fn entropy_of_counts(counts: &[usize], n: usize) -> f64 {
 }
 
 fn build(
-    rows: &[Vec<bool>],
-    labels: &[u32],
+    data: &Weighted<'_>,
     n_labels: usize,
     indices: &[usize],
     depth_budget: usize,
     leaf_budget: &mut usize,
 ) -> DecisionTree {
-    let counts = label_counts(labels, n_labels, indices);
+    let counts = label_counts(data, n_labels, indices);
     let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
-    if depth_budget == 0 || *leaf_budget <= 1 || pure || indices.len() < 2 {
+    // `n` is the *example* count (sum of weights): a single distinct vector
+    // of weight ≥ 2 must behave exactly like its row-wise expansion.
+    let n: usize = counts.iter().sum();
+    if depth_budget == 0 || *leaf_budget <= 1 || pure || n < 2 {
         return DecisionTree::Leaf(majority_of_counts(&counts));
     }
-    let n_features = rows[indices[0]].len();
-    let n = indices.len();
+    let n_features = data.rows[indices[0]].len();
     let base = entropy_of_counts(&counts, n);
     // Gain scan over count histograms only; the index partition is built
     // once, for the winning feature.
@@ -185,9 +244,9 @@ fn build(
         hi_counts.iter_mut().for_each(|c| *c = 0);
         let mut n_hi = 0usize;
         for &i in indices {
-            if rows[i][f] {
-                hi_counts[labels[i] as usize] += 1;
-                n_hi += 1;
+            if data.rows[i][f] {
+                hi_counts[data.labels[i] as usize] += data.weights[i];
+                n_hi += data.weights[i];
             }
         }
         if n_hi == 0 || n_hi == n {
@@ -211,7 +270,7 @@ fn build(
         Some((_, feature)) => {
             let (mut lo, mut hi) = (Vec::new(), Vec::new());
             for &i in indices {
-                if rows[i][feature] {
+                if data.rows[i][feature] {
                     hi.push(i);
                 } else {
                     lo.push(i);
@@ -219,8 +278,8 @@ fn build(
             }
             // A split consumes one leaf slot and creates two.
             *leaf_budget -= 1;
-            let low = build(rows, labels, n_labels, &lo, depth_budget - 1, leaf_budget);
-            let high = build(rows, labels, n_labels, &hi, depth_budget - 1, leaf_budget);
+            let low = build(data, n_labels, &lo, depth_budget - 1, leaf_budget);
+            let high = build(data, n_labels, &hi, depth_budget - 1, leaf_budget);
             DecisionTree::Split {
                 feature,
                 low: Box::new(low),
@@ -310,6 +369,59 @@ mod tests {
     #[test]
     fn empty_input() {
         assert_eq!(learn(&[], &[], &cfg()), None);
+        assert_eq!(learn_weighted(&[], &[], &[], &cfg()), None);
+        // All-zero weights expand to the empty example set.
+        assert_eq!(learn_weighted(&[&[true]], &[0], &[0], &cfg()), None);
+        // A zero-weight entry is invisible next to weighted ones: identical
+        // to expanding only the weighted rows.
+        assert_eq!(
+            learn_weighted(&[&[true], &[false]], &[1, 0], &[3, 0], &cfg()),
+            learn(&vec![vec![true]; 3], &[1, 1, 1], &cfg())
+        );
+    }
+
+    #[test]
+    fn weighted_induction_equals_row_expansion() {
+        // Distinct (vector, label) pairs with multiplicities vs the same
+        // set written out row by row: identical trees, including the
+        // single-heavy-vector edge (weight ≥ 2 must not read as "one
+        // example" and collapse to a trivial leaf).
+        type Case = (Vec<Vec<bool>>, Vec<u32>, Vec<usize>);
+        let cases: Vec<Case> = vec![
+            (
+                vec![vec![true, false], vec![false, true], vec![true, true]],
+                vec![1, 0, 1],
+                vec![5, 3, 1],
+            ),
+            (vec![vec![true], vec![false]], vec![0, 1], vec![7, 2]),
+            (vec![vec![true, true]], vec![4], vec![6]),
+            (
+                vec![
+                    vec![true, false, true],
+                    vec![true, false, false],
+                    vec![false, true, true],
+                    vec![false, false, false],
+                ],
+                vec![0, 0, 1, 2],
+                vec![1, 4, 2, 2],
+            ),
+        ];
+        for (rows, labels, weights) in cases {
+            let mut expanded_rows: Vec<Vec<bool>> = Vec::new();
+            let mut expanded_labels: Vec<u32> = Vec::new();
+            for ((r, &l), &w) in rows.iter().zip(&labels).zip(&weights) {
+                for _ in 0..w {
+                    expanded_rows.push(r.clone());
+                    expanded_labels.push(l);
+                }
+            }
+            let refs: Vec<&[bool]> = rows.iter().map(Vec::as_slice).collect();
+            assert_eq!(
+                learn_weighted(&refs, &labels, &weights, &cfg()),
+                learn(&expanded_rows, &expanded_labels, &cfg()),
+                "{rows:?} {labels:?} {weights:?}"
+            );
+        }
     }
 
     #[test]

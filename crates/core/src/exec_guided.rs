@@ -17,10 +17,11 @@ use std::collections::HashMap;
 
 use crate::config::SemanticMode;
 use crate::pipeline::{ColumnAnalysis, ColumnReport, DataVinci};
+use crate::session::AnalysisSession;
 use datavinci_formula::{ColumnProgram, ExecutionGroups};
 use datavinci_profile::profile_column;
 use datavinci_semantic::AbstractedColumn;
-use datavinci_table::{CellRef, CellValue, Table, ValuePool};
+use datavinci_table::{CellRef, CellValue, Table};
 
 /// The result of one execution-guided cleaning run.
 #[derive(Debug, Clone)]
@@ -44,18 +45,23 @@ impl ExecGuidedReport {
 
 impl DataVinci {
     /// Cleans every input column of `program`, guided by its execution.
+    ///
+    /// One [`AnalysisSession`] over the *original* table is shared by every
+    /// input column: the exec-guided repairs concretize against the same
+    /// once-generated feature context the unsupervised path uses.
     pub fn clean_with_program(&self, table: &Table, program: &ColumnProgram) -> ExecGuidedReport {
         let before = program.execution_groups(table);
         let mut repaired_table = table.clone();
         let mut columns = Vec::new();
+        let session = self.session(table);
 
         if !before.failures.is_empty() {
             for name in program.input_columns() {
                 let Some(col) = table.column_index(name) else {
                     continue;
                 };
-                let analysis = self.analyze_with_execution(table, col, &before);
-                let mut report = self.repair_analysis(table, &analysis);
+                let analysis = self.analyze_with_execution(&session, col, &before);
+                let mut report = self.repair_analysis_in(&session, &analysis);
 
                 // Validate-by-execution: for each suggestion, walk candidates
                 // best-first and keep the first whose repaired row executes.
@@ -134,13 +140,14 @@ impl DataVinci {
     /// success group only, all treated as significant.
     fn analyze_with_execution(
         &self,
-        table: &Table,
+        session: &AnalysisSession<'_>,
         col: usize,
         groups: &ExecutionGroups,
     ) -> ColumnAnalysis {
+        let table = session.table();
         let column = table.column(col).expect("column in range");
-        let values: Vec<String> = column.rendered();
-        let pool = ValuePool::from_values(&values);
+        let values = session.column_values(col);
+        let pool = session.value_pool(col);
 
         let abstraction = match self.config().semantics {
             SemanticMode::None => AbstractedColumn::plain(&values),

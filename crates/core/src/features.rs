@@ -154,6 +154,61 @@ struct RenderedRow<'t> {
     lowered: Vec<String>,
 }
 
+/// A coarse cell-kind discriminant. Every [`Predicate`] template is a pure
+/// function of `(kind_tag, rendered text)` per referenced cell, so two rows
+/// agreeing on both evaluate identically on *every* feature — the invariant
+/// behind table-level row interning (`datavinci_core::AnalysisSession`).
+fn kind_tag(cell: Option<&CellValue>) -> u8 {
+    match cell {
+        None => b'_',
+        Some(c) if c.is_number() => b'n',
+        Some(c) if c.is_bool() => b'b',
+        Some(c) if c.is_error() => b'e',
+        Some(c) if c.is_na() => b'0',
+        Some(c) if c.is_text() => b't',
+        Some(_) => b'?',
+    }
+}
+
+/// The whole table's cells rendered and lowercased once — the shared matrix
+/// every feature generation and row evaluation of one table reads, instead
+/// of re-rendering rows per column repair.
+pub struct RenderedTable<'t> {
+    rows: Vec<RenderedRow<'t>>,
+}
+
+impl<'t> RenderedTable<'t> {
+    /// Renders every cell of the table (once).
+    pub fn new(table: &'t Table) -> RenderedTable<'t> {
+        RenderedTable {
+            rows: (0..table.n_rows())
+                .map(|row| RenderedRow::new(table, row))
+                .collect(),
+        }
+    }
+
+    /// Number of rendered rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// A collision-free identity key for one row: the `(kind, rendered)`
+    /// pairs of its cells, length-prefixed. Rows with equal keys evaluate
+    /// identically on every predicate (see `kind_tag`), so they can share
+    /// one feature vector.
+    pub fn row_key(&self, row: usize) -> String {
+        let rr = &self.rows[row];
+        let mut key = String::new();
+        for (cell, rendered) in rr.cells.iter().zip(&rr.rendered) {
+            key.push(kind_tag(*cell) as char);
+            key.push_str(&rendered.len().to_string());
+            key.push(':');
+            key.push_str(rendered);
+        }
+        key
+    }
+}
+
 impl<'t> RenderedRow<'t> {
     fn new(table: &'t Table, row: usize) -> RenderedRow<'t> {
         let cells: Vec<Option<&CellValue>> =
@@ -236,7 +291,17 @@ fn lowered_constant(p: &Predicate) -> String {
 
 impl FeatureSet {
     /// Generates features over every column of the table.
+    ///
+    /// Convenience for [`FeatureSet::generate_rendered`] with a freshly
+    /// rendered matrix; table-scoped callers (sessions) render once and
+    /// share the matrix across generation and every row evaluation.
     pub fn generate(table: &Table) -> FeatureSet {
+        FeatureSet::generate_rendered(table, &RenderedTable::new(table))
+    }
+
+    /// Generates features over every column, evaluating candidate
+    /// predicates against a pre-rendered cell matrix.
+    pub fn generate_rendered(table: &Table, rendered: &RenderedTable<'_>) -> FeatureSet {
         let n_rows = table.n_rows();
         let mut predicates = Vec::new();
         for (c, col) in table.columns().iter().enumerate() {
@@ -288,7 +353,7 @@ impl FeatureSet {
             if undecided == 0 {
                 break;
             }
-            let rr = RenderedRow::new(table, row);
+            let rr = &rendered.rows[row];
             for (i, p) in predicates.iter().enumerate() {
                 if mixed[i] {
                     continue;
@@ -320,7 +385,15 @@ impl FeatureSet {
     /// Evaluates all predicates for one row (the row's cells are rendered
     /// once and shared across predicates).
     pub fn row_features(&self, table: &Table, row: usize) -> Vec<bool> {
-        let rr = RenderedRow::new(table, row);
+        self.eval_row(&RenderedRow::new(table, row))
+    }
+
+    /// [`FeatureSet::row_features`] against a pre-rendered cell matrix.
+    pub fn row_features_rendered(&self, rendered: &RenderedTable<'_>, row: usize) -> Vec<bool> {
+        self.eval_row(&rendered.rows[row])
+    }
+
+    fn eval_row(&self, rr: &RenderedRow<'_>) -> Vec<bool> {
         self.predicates
             .iter()
             .zip(&self.lowered)
@@ -436,5 +509,40 @@ mod tests {
         let t = figure2_table();
         assert!(!Predicate::HasDigits(0).eval(&t, 99));
         assert!(!Predicate::Equals(9, "x".into()).eval(&t, 0));
+    }
+
+    #[test]
+    fn rendered_matrix_matches_per_row_path() {
+        let t = figure2_table();
+        let rendered = RenderedTable::new(&t);
+        assert_eq!(rendered.n_rows(), 4);
+        let fs = FeatureSet::generate_rendered(&t, &rendered);
+        let fresh = FeatureSet::generate(&t);
+        assert_eq!(fs.predicates, fresh.predicates);
+        for row in 0..t.n_rows() {
+            assert_eq!(
+                fs.row_features_rendered(&rendered, row),
+                fs.row_features(&t, row),
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_keys_separate_kinds_and_join_duplicates() {
+        // Text "3" and the number 3 render identically but differ on the
+        // kind-sensitive predicates (isNum/isText), so their keys must
+        // differ; true duplicate rows must share a key.
+        let t = Table::new(vec![Column::new(
+            "mixed",
+            vec![
+                CellValue::Number(3.0),
+                CellValue::text("3"),
+                CellValue::text("3"),
+            ],
+        )]);
+        let rendered = RenderedTable::new(&t);
+        assert_ne!(rendered.row_key(0), rendered.row_key(1));
+        assert_eq!(rendered.row_key(1), rendered.row_key(2));
     }
 }

@@ -41,16 +41,21 @@ pub mod pipeline;
 pub mod ranker;
 pub mod repair_dp;
 pub mod repair_plan;
+pub mod session;
 pub mod system;
 
 pub use concretize::Concretizer;
 pub use config::{DataVinciConfig, RankingMode, RepairStrategy, SemanticMode};
-pub use dtree::{DecisionTree, DtreeConfig};
+pub use dtree::{learn, learn_weighted, DecisionTree, DtreeConfig};
 pub use edit::{AbstractRepair, EditAction, EditProgram, Emit, Slot};
 pub use exec_guided::ExecGuidedReport;
-pub use features::{FeatureSet, Predicate};
+pub use features::{FeatureSet, Predicate, RenderedTable};
 pub use pipeline::{ColumnAnalysis, ColumnReport, DataVinci, TableReport};
 pub use ranker::{CandidateProperties, RankerWeights};
 pub use repair_dp::minimal_edit_program;
 pub use repair_plan::{RepairGroup, RepairPlan};
+pub use session::{AnalysisSession, SessionStats};
 pub use system::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
+// The session's column-type detections surface semantic-crate types;
+// re-exported so engine-layer consumers need not depend on it directly.
+pub use datavinci_semantic::{SemanticType, TypeDetection};

@@ -2,8 +2,17 @@
 //! abstraction ⓪→ significant patterns ① → outlier detection ② →
 //! edit programs ③ → value constraints ④ → candidate repairs ⑤ →
 //! heuristic ranking ⑥.
+//!
+//! All table-scoped state — the rendered cell matrix, the generated
+//! [`crate::FeatureSet`], row feature vectors, per-column value pools, and
+//! the semantic memos — lives on an [`AnalysisSession`] created once per
+//! table clean and shared by every column (see [`DataVinci::clean_table`]).
+//! The table-taking entry points remain as thin wrappers that open a
+//! fresh session per call; they double as the "regenerate per repair"
+//! oracle the session paths are differentially tested against.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::concretize::Concretizer;
 use crate::config::{DataVinciConfig, RankingMode, RepairStrategy, SemanticMode};
@@ -11,8 +20,9 @@ use crate::edit::AbstractRepair;
 use crate::ranker::CandidateProperties;
 use crate::repair_dp::minimal_edit_program;
 use crate::repair_plan::RepairPlan;
+use crate::session::AnalysisSession;
 use crate::system::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
-use datavinci_profile::{profile_column, rescore_profile, ColumnProfile};
+use datavinci_profile::{profile_column_pooled, rescore_profile_pooled, ColumnProfile, MaskedPool};
 use datavinci_regex::MaskedString;
 use datavinci_semantic::{AbstractedColumn, GazetteerLlm, GazetteerLlmConfig, SemanticAbstractor};
 use datavinci_table::{Table, ValuePool};
@@ -20,16 +30,18 @@ use datavinci_table::{Table, ValuePool};
 /// Everything DataVinci derives about one column before repairing.
 ///
 /// `Clone` so batch engines can cache a finished analysis and replay it
-/// against unchanged column content.
+/// against unchanged column content. The rendered values and interning
+/// pool are shared (`Arc`) with the session that produced them, so cloning
+/// an analysis never re-renders or re-interns the column.
 #[derive(Debug, Clone)]
 pub struct ColumnAnalysis {
     /// The analyzed column index.
     pub col: usize,
-    /// Rendered cell values, one per row (rendered once per analysis).
-    pub values: Vec<String>,
-    /// Distinct-value interning of `values` (computed once per analysis;
+    /// Rendered cell values, one per row (rendered once per session).
+    pub values: Arc<Vec<String>>,
+    /// Distinct-value interning of `values` (computed once per session;
     /// the repair planner and cache layers key their sharing on it).
-    pub pool: ValuePool,
+    pub pool: Arc<ValuePool>,
     /// The semantic abstraction (mask occurrences, defaults).
     pub abstraction: AbstractedColumn,
     /// Masked values, one per row.
@@ -172,6 +184,7 @@ impl DataVinci {
     pub fn with_config(cfg: DataVinciConfig) -> DataVinci {
         let llm_cfg = GazetteerLlmConfig {
             repair_in_mask: cfg.semantics != SemanticMode::Limited,
+            mask_cache_capacity: cfg.mask_cache_capacity,
             ..GazetteerLlmConfig::default()
         };
         DataVinci {
@@ -190,18 +203,59 @@ impl DataVinci {
         &self.abstractor
     }
 
-    /// Runs abstraction, profiling and detection on one column.
+    /// Opens a table-scoped [`AnalysisSession`] wired to this system's
+    /// shared semantic caches. Create one per table clean and pass it to
+    /// the `*_in` entry points; every column then shares one rendered
+    /// matrix, one [`crate::FeatureSet`], and one set of memos.
+    pub fn session<'t>(&self, table: &'t Table) -> AnalysisSession<'t> {
+        AnalysisSession::with_mask_cache(table, self.abstractor.model().mask_cache_handle())
+    }
+
+    /// Detects the dominant semantic type of column `col` against this
+    /// system's gazetteer, through the session's memos: the column's value
+    /// pool is reused and the gazetteer sweep runs at most once per
+    /// `(column, threshold)` for the session's lifetime (the CLI's
+    /// `--types` report is the primary consumer).
+    pub fn column_type_in(
+        &self,
+        session: &AnalysisSession<'_>,
+        col: usize,
+        min_confidence: f64,
+    ) -> Option<datavinci_semantic::TypeDetection> {
+        session.column_type(col, self.abstractor.model().gazetteer(), min_confidence)
+    }
+
+    /// Runs abstraction, profiling and detection on one column through a
+    /// throwaway single-column session. Prefer [`DataVinci::analyze_column_in`]
+    /// when cleaning more than one column of the table.
     pub fn analyze_column(&self, table: &Table, col: usize) -> ColumnAnalysis {
-        let column = table.column(col).expect("column index in range");
-        let values: Vec<String> = column.rendered();
-        let pool = ValuePool::from_values(&values);
+        self.analyze_column_in(&self.session(table), col)
+    }
+
+    /// Runs abstraction, profiling and detection on one column, reading all
+    /// table-scoped state from the shared session.
+    pub fn analyze_column_in(&self, session: &AnalysisSession<'_>, col: usize) -> ColumnAnalysis {
+        let column = session.table().column(col).expect("column index in range");
+        let values = session.column_values(col);
+        let pool = session.value_pool(col);
         let (abstraction, masked) = self.abstract_values(column.name(), &values);
-        let profile = profile_column(&masked, &self.cfg.profiler);
+        let mpool = MaskedPool::new(&masked);
+        let profile = profile_column_pooled(&masked, &mpool, &self.cfg.profiler);
         self.detect_with_profile(col, values, pool, abstraction, masked, profile)
     }
 
     /// Runs abstraction and detection on one column, *reusing* a previously
     /// analyzed prior instead of re-learning patterns from scratch.
+    pub fn analyze_column_appended(
+        &self,
+        table: &Table,
+        col: usize,
+        prior: &ColumnAnalysis,
+    ) -> ColumnAnalysis {
+        self.analyze_column_appended_in(&self.session(table), col, prior)
+    }
+
+    /// [`DataVinci::analyze_column_appended`] against a shared session.
     ///
     /// The prior's patterns are re-scored (membership + coverage) against
     /// the current column content, so this is sound whenever the prior
@@ -210,25 +264,29 @@ impl DataVinci {
     /// [`datavinci_table::Column::fingerprint`]. When the prior's rows are
     /// a prefix of the current column (the append-only case), the prior's
     /// interning pool is *extended* with the appended rows instead of
-    /// re-interning the whole column; otherwise interning restarts from
-    /// scratch (the caller's append detection was stale).
-    pub fn analyze_column_appended(
+    /// re-interning the whole column (and the extended pool is installed
+    /// into the session for later consumers); otherwise interning restarts
+    /// from scratch (the caller's append detection was stale).
+    pub fn analyze_column_appended_in(
         &self,
-        table: &Table,
+        session: &AnalysisSession<'_>,
         col: usize,
         prior: &ColumnAnalysis,
     ) -> ColumnAnalysis {
-        let column = table.column(col).expect("column index in range");
-        let values: Vec<String> = column.rendered();
+        let column = session.table().column(col).expect("column index in range");
+        let values = session.column_values(col);
         let pool = if values.len() >= prior.values.len()
             && values[..prior.values.len()] == prior.values[..]
         {
-            prior.pool.extended(&values[prior.values.len()..])
+            let extended = Arc::new(prior.pool.extended(&values[prior.values.len()..]));
+            session.install_pool(col, Arc::clone(&extended));
+            extended
         } else {
-            ValuePool::from_values(&values)
+            session.value_pool(col)
         };
         let (abstraction, masked) = self.abstract_values(column.name(), &values);
-        let profile = rescore_profile(&prior.profile, &masked);
+        let mpool = MaskedPool::new(&masked);
+        let profile = rescore_profile_pooled(&prior.profile, &masked, &mpool);
         self.detect_with_profile(col, values, pool, abstraction, masked, profile)
     }
 
@@ -253,8 +311,8 @@ impl DataVinci {
     fn detect_with_profile(
         &self,
         col: usize,
-        values: Vec<String>,
-        pool: ValuePool,
+        values: Arc<Vec<String>>,
+        pool: Arc<ValuePool>,
         abstraction: AbstractedColumn,
         masked: Vec<MaskedString>,
         profile: ColumnProfile,
@@ -327,35 +385,55 @@ impl DataVinci {
         }
     }
 
-    /// Detects and repairs one column.
+    /// Detects and repairs one column through a throwaway session. Prefer
+    /// [`DataVinci::clean_column_in`] when cleaning more than one column.
     pub fn clean_column(&self, table: &Table, col: usize) -> ColumnReport {
-        let analysis = self.analyze_column(table, col);
-        self.repair_analysis(table, &analysis)
+        let session = self.session(table);
+        self.clean_column_in(&session, col)
+    }
+
+    /// Detects and repairs one column against a shared session.
+    pub fn clean_column_in(&self, session: &AnalysisSession<'_>, col: usize) -> ColumnReport {
+        let analysis = self.analyze_column_in(session, col);
+        self.repair_analysis_in(session, &analysis)
+    }
+
+    /// Repairs the errors of a finished analysis through a throwaway
+    /// session (regenerating the table context — the pre-session oracle;
+    /// batch callers use [`DataVinci::repair_analysis_in`]).
+    pub fn repair_analysis(&self, table: &Table, analysis: &ColumnAnalysis) -> ColumnReport {
+        let session = self.session(table);
+        self.repair_analysis_in(&session, analysis)
     }
 
     /// Repairs the errors of a finished analysis.
     ///
     /// Public so batch engines (and the execution-guided path) can replay a
     /// cached or reused [`ColumnAnalysis`] without re-abstracting the
-    /// column; the analysis's own rendered `values` are reused throughout.
+    /// column; the analysis's own rendered `values` are reused throughout,
+    /// and the concretizer borrows the session's shared feature context.
     ///
     /// Dispatches on [`DataVinciConfig::repair_strategy`]: the distinct-value
     /// planner by default, or the per-row reference loop. Both produce
     /// byte-identical reports.
-    pub fn repair_analysis(&self, table: &Table, analysis: &ColumnAnalysis) -> ColumnReport {
+    pub fn repair_analysis_in(
+        &self,
+        session: &AnalysisSession<'_>,
+        analysis: &ColumnAnalysis,
+    ) -> ColumnReport {
         match self.cfg.repair_strategy {
-            RepairStrategy::Planner => self.repair_analysis_planned(table, analysis),
-            RepairStrategy::RowWise => self.repair_analysis_rowwise(table, analysis),
+            RepairStrategy::Planner => self.repair_analysis_planned(session, analysis),
+            RepairStrategy::RowWise => self.repair_analysis_rowwise(session, analysis),
         }
     }
 
     /// The report skeleton plus the trained concretizer and borrowed clean
     /// values — the prologue both repair strategies share.
-    fn repair_prologue<'t>(
-        &'t self,
-        table: &'t Table,
-        analysis: &'t ColumnAnalysis,
-    ) -> (ColumnReport, Vec<&'t str>, Concretizer<'t>) {
+    fn repair_prologue<'s, 't>(
+        &'s self,
+        session: &'s AnalysisSession<'t>,
+        analysis: &'s ColumnAnalysis,
+    ) -> (ColumnReport, Vec<&'s str>, Concretizer<'s, 't>) {
         let values = &analysis.values;
         let report = ColumnReport {
             col: analysis.col,
@@ -372,7 +450,7 @@ impl DataVinci {
             .map(|r| values[r].as_str())
             .collect();
 
-        let mut concretizer = Concretizer::new(table, &self.cfg);
+        let mut concretizer = Concretizer::new(session, &self.cfg);
         for &pi in &analysis.significant {
             let lp = &analysis.profile.patterns[pi];
             let training_rows: Vec<usize> = lp
@@ -386,12 +464,13 @@ impl DataVinci {
         (report, clean_values, concretizer)
     }
 
-    /// The per-row reference implementation of [`DataVinci::repair_analysis`]:
-    /// every error row runs the full ③–⑥ path independently. Kept as the
-    /// differential oracle the planner is proven against.
-    pub fn repair_analysis_rowwise(
+    /// The per-row reference implementation of
+    /// [`DataVinci::repair_analysis_in`]: every error row runs the full
+    /// ③–⑥ path independently. Kept as the differential oracle the planner
+    /// is proven against.
+    fn repair_analysis_rowwise(
         &self,
-        table: &Table,
+        session: &AnalysisSession<'_>,
         analysis: &ColumnAnalysis,
     ) -> ColumnReport {
         if analysis.significant.is_empty() || analysis.error_rows.is_empty() {
@@ -404,7 +483,7 @@ impl DataVinci {
             };
         }
         let values = &analysis.values;
-        let (mut report, clean_values, mut concretizer) = self.repair_prologue(table, analysis);
+        let (mut report, clean_values, mut concretizer) = self.repair_prologue(session, analysis);
 
         for &row in &analysis.error_rows {
             report.detections.push(Detection {
@@ -434,7 +513,11 @@ impl DataVinci {
     /// group scope. Only the decision-tree hole predictions — which read
     /// the *row's* cross-column features — run per row, and rows whose
     /// predictions agree share the entire ranked list.
-    fn repair_analysis_planned(&self, table: &Table, analysis: &ColumnAnalysis) -> ColumnReport {
+    fn repair_analysis_planned(
+        &self,
+        session: &AnalysisSession<'_>,
+        analysis: &ColumnAnalysis,
+    ) -> ColumnReport {
         if analysis.significant.is_empty() || analysis.error_rows.is_empty() {
             return ColumnReport {
                 col: analysis.col,
@@ -445,7 +528,7 @@ impl DataVinci {
             };
         }
         let values = &analysis.values;
-        let (mut report, clean_values, mut concretizer) = self.repair_prologue(table, analysis);
+        let (mut report, clean_values, mut concretizer) = self.repair_prologue(session, analysis);
 
         // Pattern renderings, once per pattern instead of once per
         // candidate (aligned with `analysis.significant`).
@@ -460,7 +543,7 @@ impl DataVinci {
             })
             .collect();
 
-        let plan = RepairPlan::build(analysis);
+        let plan = RepairPlan::build_in(analysis, session);
         let mut states: Vec<GroupState> = plan
             .groups()
             .iter()
@@ -622,7 +705,7 @@ impl DataVinci {
     fn candidates_for_row(
         &self,
         analysis: &ColumnAnalysis,
-        concretizer: &mut Concretizer<'_>,
+        concretizer: &mut Concretizer<'_, '_>,
         row: usize,
         clean_values: &[&str],
     ) -> Vec<RepairCandidate> {
@@ -666,15 +749,26 @@ impl DataVinci {
         out
     }
 
-    /// Cleans every sufficiently-textual column of a table.
+    /// Cleans every sufficiently-textual column of a table through one
+    /// shared [`AnalysisSession`] — the rendered matrix, feature set, and
+    /// row feature vectors are built at most once for the whole table.
     pub fn clean_table(&self, table: &Table) -> TableReport {
+        let session = self.session(table);
+        self.clean_table_in(&session)
+    }
+
+    /// [`DataVinci::clean_table`] against a caller-owned session, so the
+    /// caller can read [`AnalysisSession::stats`] afterwards (session reuse
+    /// telemetry) or share the session further.
+    pub fn clean_table_in(&self, session: &AnalysisSession<'_>) -> TableReport {
+        let table = session.table();
         let mut report = TableReport::default();
         for col in 0..table.n_cols() {
             let column = table.column(col).expect("in range");
             if column.text_fraction() < self.cfg.min_text_fraction {
                 continue;
             }
-            report.columns.push(self.clean_column(table, col));
+            report.columns.push(self.clean_column_in(session, col));
         }
         report
     }

@@ -11,6 +11,7 @@
 //! differential oracle the planner is proven byte-identical against.
 
 use crate::pipeline::ColumnAnalysis;
+use crate::session::AnalysisSession;
 
 /// Error rows sharing one distinct value and one abstraction.
 ///
@@ -74,6 +75,14 @@ impl RepairPlan {
             row_group.push(g);
         }
         RepairPlan { groups, row_group }
+    }
+
+    /// [`RepairPlan::build`], recording the sharing outcome (error rows vs
+    /// groups) into the session's reuse telemetry.
+    pub fn build_in(analysis: &ColumnAnalysis, session: &AnalysisSession<'_>) -> RepairPlan {
+        let plan = RepairPlan::build(analysis);
+        session.record_plan(plan.n_rows(), plan.n_groups());
+        plan
     }
 
     /// The planned groups, in first-error-row order.

@@ -1,0 +1,430 @@
+//! The table-scoped analysis session: one shared context for features,
+//! masks, and pools across every column of a table.
+//!
+//! DataVinci's hole concretization conditions on *row features drawn from
+//! the whole table* (paper §3.4), yet each column repair used to regenerate
+//! the [`FeatureSet`] from scratch and keep the other shared state
+//! (interning pools, mask memos, type detections) in disconnected per-call
+//! caches. An [`AnalysisSession`] is created once per table clean and owns
+//! everything that is a pure function of the table:
+//!
+//! * the **rendered/lowercased cell matrix** ([`RenderedTable`]) and the
+//!   [`FeatureSet`] generated from it — at most once per table, shared by
+//!   every column's concretizer and decision-tree learner;
+//! * **row feature vectors**, interned per *distinct table row* (rows equal
+//!   in every cell share one vector) and memoized across columns;
+//! * the per-column rendered **values** and [`ValuePool`]s the repair
+//!   planner and the semantic layers key their sharing on;
+//! * a handle to the semantic [`MaskCache`] (per-value gazetteer sweeps,
+//!   shared with the abstraction model) and a [`ColumnTypeMemo`] for
+//!   semantic column-type detections.
+//!
+//! Sessions are `Sync`: the batch engine cleans the columns of one table
+//! concurrently through a single shared session, and equal tables within a
+//! batch share one session outright. [`AnalysisSession::stats`] snapshots
+//! the reuse counters (the CLI and the engine surface them in reports).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::features::{FeatureSet, RenderedTable};
+use datavinci_semantic::{ColumnTypeMemo, Gazetteer, MaskCache, TypeDetection};
+use datavinci_table::{Table, ValuePool};
+
+/// A snapshot of one session's reuse counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Times [`FeatureSet`] generation ran (at most 1 per session).
+    pub feature_generations: u64,
+    /// Distinct row feature vectors computed.
+    pub feature_rows_computed: u64,
+    /// Row feature lookups served from the memo (duplicate rows, repeat
+    /// lookups across patterns and columns).
+    pub feature_row_hits: u64,
+    /// Per-column value pools interned.
+    pub pools_built: u64,
+    /// Pool lookups served from the memo.
+    pub pools_reused: u64,
+    /// Table rows covered by the row interner (0 until first needed).
+    pub table_rows: u64,
+    /// Distinct table rows (0 until first needed).
+    pub distinct_rows: u64,
+    /// Error rows scheduled by repair plans built in this session.
+    pub plan_error_rows: u64,
+    /// Repair groups those plans produced (the number of times the
+    /// expensive repair path ran).
+    pub plan_groups: u64,
+    /// Semantic column-type detections memoized.
+    pub column_types_memoized: u64,
+    /// Entries currently in the shared semantic mask cache (absolute — the
+    /// cache outlives sessions).
+    pub mask_cache_entries: u64,
+    /// Mask-cache hits since this session opened (a delta against the
+    /// shared cache's counters, so the number is this session's own
+    /// traffic; sessions open concurrently can overlap).
+    pub mask_cache_hits: u64,
+    /// Mask-cache misses since this session opened (delta, like
+    /// `mask_cache_hits`).
+    pub mask_cache_misses: u64,
+}
+
+impl SessionStats {
+    /// Folds another snapshot into this one (batch aggregation). Mask-cache
+    /// hit/miss deltas sum (exact for sequentially opened sessions);
+    /// `mask_cache_entries` is an absolute gauge and takes the maximum.
+    pub fn accumulate(&mut self, other: &SessionStats) {
+        self.feature_generations += other.feature_generations;
+        self.feature_rows_computed += other.feature_rows_computed;
+        self.feature_row_hits += other.feature_row_hits;
+        self.pools_built += other.pools_built;
+        self.pools_reused += other.pools_reused;
+        self.table_rows += other.table_rows;
+        self.distinct_rows += other.distinct_rows;
+        self.plan_error_rows += other.plan_error_rows;
+        self.plan_groups += other.plan_groups;
+        self.column_types_memoized += other.column_types_memoized;
+        self.mask_cache_entries = self.mask_cache_entries.max(other.mask_cache_entries);
+        self.mask_cache_hits += other.mask_cache_hits;
+        self.mask_cache_misses += other.mask_cache_misses;
+    }
+
+    /// Rows served per repair-plan group (1.0 when nothing was planned).
+    pub fn plan_sharing_factor(&self) -> f64 {
+        if self.plan_groups == 0 {
+            1.0
+        } else {
+            self.plan_error_rows as f64 / self.plan_groups as f64
+        }
+    }
+}
+
+/// Live reuse counters (atomic: sessions are shared across worker threads).
+#[derive(Debug, Default)]
+struct Counters {
+    feature_generations: AtomicU64,
+    feature_rows_computed: AtomicU64,
+    feature_row_hits: AtomicU64,
+    pools_built: AtomicU64,
+    pools_reused: AtomicU64,
+    plan_error_rows: AtomicU64,
+    plan_groups: AtomicU64,
+}
+
+/// Table-level row interning: rows equal in every cell (kind *and* rendered
+/// text) share a distinct-row index, and therefore one feature vector and
+/// one weighted decision-tree example.
+#[derive(Debug)]
+struct RowPool {
+    row_to_distinct: Vec<usize>,
+    n_distinct: usize,
+}
+
+impl RowPool {
+    fn build(rendered: &RenderedTable<'_>) -> RowPool {
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut row_to_distinct = Vec::with_capacity(rendered.n_rows());
+        for row in 0..rendered.n_rows() {
+            let next = index.len();
+            let di = *index.entry(rendered.row_key(row)).or_insert(next);
+            row_to_distinct.push(di);
+        }
+        RowPool {
+            row_to_distinct,
+            n_distinct: index.len(),
+        }
+    }
+}
+
+/// The shared analysis context for one table (see the module docs).
+pub struct AnalysisSession<'t> {
+    table: &'t Table,
+    rendered: OnceLock<RenderedTable<'t>>,
+    features: OnceLock<Arc<FeatureSet>>,
+    row_pool: OnceLock<RowPool>,
+    /// Distinct-row index → feature vector.
+    row_features: Mutex<HashMap<usize, Arc<[bool]>>>,
+    /// Column index → rendered values.
+    values: Mutex<HashMap<usize, Arc<Vec<String>>>>,
+    /// Column index → interned value pool.
+    pools: Mutex<HashMap<usize, Arc<ValuePool>>>,
+    /// The semantic per-value mask memo (shared with the abstraction model
+    /// when the session is created via [`crate::DataVinci::session`], so
+    /// its reuse spans tables and batches).
+    mask_cache: Arc<MaskCache>,
+    /// The shared cache's counters at session open, so [`Self::stats`] can
+    /// report this session's own mask traffic as a delta.
+    mask_base: datavinci_semantic::MaskCacheStats,
+    types: ColumnTypeMemo,
+    counters: Counters,
+}
+
+impl<'t> AnalysisSession<'t> {
+    /// A fresh session for `table`, with its own (empty) mask cache.
+    pub fn new(table: &'t Table) -> AnalysisSession<'t> {
+        AnalysisSession::with_mask_cache(table, Arc::new(MaskCache::default()))
+    }
+
+    /// A session sharing a longer-lived mask cache (the abstraction model's,
+    /// so per-value gazetteer sweeps memoize across tables and batches).
+    pub fn with_mask_cache(table: &'t Table, mask_cache: Arc<MaskCache>) -> AnalysisSession<'t> {
+        let mask_base = mask_cache.stats();
+        AnalysisSession {
+            table,
+            rendered: OnceLock::new(),
+            features: OnceLock::new(),
+            row_pool: OnceLock::new(),
+            row_features: Mutex::new(HashMap::new()),
+            values: Mutex::new(HashMap::new()),
+            pools: Mutex::new(HashMap::new()),
+            mask_cache,
+            mask_base,
+            types: ColumnTypeMemo::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The table this session analyzes.
+    pub fn table(&self) -> &'t Table {
+        self.table
+    }
+
+    /// The rendered/lowercased cell matrix (built on first use).
+    fn rendered(&self) -> &RenderedTable<'t> {
+        self.rendered.get_or_init(|| RenderedTable::new(self.table))
+    }
+
+    /// The table's feature set — generated at most once per session, or
+    /// adopted from [`AnalysisSession::seed_features`].
+    pub fn features(&self) -> &FeatureSet {
+        self.features.get_or_init(|| {
+            self.counters
+                .feature_generations
+                .fetch_add(1, Ordering::Relaxed);
+            Arc::new(FeatureSet::generate_rendered(self.table, self.rendered()))
+        })
+    }
+
+    /// Adopts a previously generated feature set (engine session cache).
+    /// Sound only for a table identical to the one the set was generated
+    /// from; no-op if this session already has features.
+    pub fn seed_features(&self, features: Arc<FeatureSet>) {
+        let _ = self.features.set(features);
+    }
+
+    /// The feature set, if one was generated or seeded (for caching).
+    pub fn features_arc(&self) -> Option<Arc<FeatureSet>> {
+        self.features.get().cloned()
+    }
+
+    /// The distinct-row index of `row` (table-level row interning).
+    pub fn distinct_row(&self, row: usize) -> usize {
+        self.row_pool().row_to_distinct[row]
+    }
+
+    /// Number of distinct table rows.
+    pub fn n_distinct_rows(&self) -> usize {
+        self.row_pool().n_distinct
+    }
+
+    fn row_pool(&self) -> &RowPool {
+        self.row_pool
+            .get_or_init(|| RowPool::build(self.rendered()))
+    }
+
+    /// The feature vector of `row`, computed once per *distinct* table row
+    /// and shared across duplicate rows, patterns, and columns.
+    ///
+    /// Evaluation happens *outside* the memo lock: the engine's workers
+    /// repair the columns of one table through one shared session, and the
+    /// concretization hot path must not serialize on a mutex held across
+    /// feature generation. Two threads racing on the same distinct row may
+    /// both evaluate; the first insert wins and both results are equal
+    /// (feature evaluation is pure).
+    pub fn row_features(&self, row: usize) -> Arc<[bool]> {
+        let di = self.distinct_row(row);
+        if let Some(hit) = self.row_features.lock().expect("session poisoned").get(&di) {
+            self.counters
+                .feature_row_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let computed: Arc<[bool]> = self
+            .features()
+            .row_features_rendered(self.rendered(), row)
+            .into();
+        let mut map = self.row_features.lock().expect("session poisoned");
+        match map.get(&di) {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                self.counters
+                    .feature_rows_computed
+                    .fetch_add(1, Ordering::Relaxed);
+                map.insert(di, Arc::clone(&computed));
+                computed
+            }
+        }
+    }
+
+    /// Column `col`'s rendered values, computed once per session.
+    pub fn column_values(&self, col: usize) -> Arc<Vec<String>> {
+        let mut map = self.values.lock().expect("session poisoned");
+        if let Some(hit) = map.get(&col) {
+            return Arc::clone(hit);
+        }
+        let column = self.table.column(col).expect("column index in range");
+        let values = Arc::new(column.rendered());
+        map.insert(col, Arc::clone(&values));
+        values
+    }
+
+    /// Column `col`'s interned value pool, computed once per session.
+    pub fn value_pool(&self, col: usize) -> Arc<ValuePool> {
+        {
+            let map = self.pools.lock().expect("session poisoned");
+            if let Some(hit) = map.get(&col) {
+                self.counters.pools_reused.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        let pool = Arc::new(ValuePool::from_values(&self.column_values(col)));
+        self.install_pool(col, Arc::clone(&pool));
+        pool
+    }
+
+    /// Installs an externally built pool for `col` (the append path extends
+    /// a prior pool instead of re-interning and registers the result here).
+    pub fn install_pool(&self, col: usize, pool: Arc<ValuePool>) {
+        self.counters.pools_built.fetch_add(1, Ordering::Relaxed);
+        self.pools
+            .lock()
+            .expect("session poisoned")
+            .insert(col, pool);
+    }
+
+    /// The shared semantic mask cache handle.
+    pub fn mask_cache(&self) -> &Arc<MaskCache> {
+        &self.mask_cache
+    }
+
+    /// Detects column `col`'s dominant semantic type, memoized per column
+    /// for the session's lifetime (the gazetteer sweep over the column's
+    /// distinct values runs at most once).
+    pub fn column_type(
+        &self,
+        col: usize,
+        gaz: &Gazetteer,
+        min_confidence: f64,
+    ) -> Option<TypeDetection> {
+        let pool = self.value_pool(col);
+        self.types
+            .detect(col, pool.distinct(), pool.counts(), gaz, min_confidence)
+    }
+
+    /// Records a repair plan's sharing outcome (called by
+    /// [`crate::RepairPlan::build_in`]).
+    pub(crate) fn record_plan(&self, error_rows: usize, groups: usize) {
+        self.counters
+            .plan_error_rows
+            .fetch_add(error_rows as u64, Ordering::Relaxed);
+        self.counters
+            .plan_groups
+            .fetch_add(groups as u64, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the session's reuse counters.
+    pub fn stats(&self) -> SessionStats {
+        let mask = self.mask_cache.stats();
+        SessionStats {
+            feature_generations: self.counters.feature_generations.load(Ordering::Relaxed),
+            feature_rows_computed: self.counters.feature_rows_computed.load(Ordering::Relaxed),
+            feature_row_hits: self.counters.feature_row_hits.load(Ordering::Relaxed),
+            pools_built: self.counters.pools_built.load(Ordering::Relaxed),
+            pools_reused: self.counters.pools_reused.load(Ordering::Relaxed),
+            table_rows: self
+                .row_pool
+                .get()
+                .map_or(0, |p| p.row_to_distinct.len() as u64),
+            distinct_rows: self.row_pool.get().map_or(0, |p| p.n_distinct as u64),
+            plan_error_rows: self.counters.plan_error_rows.load(Ordering::Relaxed),
+            plan_groups: self.counters.plan_groups.load(Ordering::Relaxed),
+            column_types_memoized: self.types.len() as u64,
+            mask_cache_entries: mask.entries,
+            mask_cache_hits: mask.hits.saturating_sub(self.mask_base.hits),
+            mask_cache_misses: mask.misses.saturating_sub(self.mask_base.misses),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_table::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::from_texts("a", &["x", "y", "x", "x"]),
+            Column::from_texts("b", &["1-a", "2-b", "1-a", "1-a"]),
+        ])
+    }
+
+    #[test]
+    fn features_generate_once_and_memoize_rows() {
+        let t = table();
+        let s = AnalysisSession::new(&t);
+        assert_eq!(s.stats().feature_generations, 0, "lazy until first use");
+        let f0 = s.row_features(0);
+        let f2 = s.row_features(2);
+        let f3 = s.row_features(2);
+        assert_eq!(s.stats().feature_generations, 1);
+        // Rows 0, 2, 3 are identical → one shared vector.
+        assert!(Arc::ptr_eq(&f0, &f2) && Arc::ptr_eq(&f2, &f3));
+        let stats = s.stats();
+        assert_eq!(stats.feature_rows_computed, 1);
+        assert_eq!(stats.feature_row_hits, 2);
+        assert_eq!(stats.table_rows, 4);
+        assert_eq!(stats.distinct_rows, 2);
+        // And the vectors equal the non-session reference path.
+        let fs = FeatureSet::generate(&t);
+        assert_eq!(&f0[..], &fs.row_features(&t, 0)[..]);
+        assert_eq!(&s.row_features(1)[..], &fs.row_features(&t, 1)[..]);
+    }
+
+    #[test]
+    fn seeded_features_skip_generation() {
+        let t = table();
+        let s = AnalysisSession::new(&t);
+        s.seed_features(Arc::new(FeatureSet::generate(&t)));
+        let _ = s.row_features(0);
+        assert_eq!(s.stats().feature_generations, 0);
+        assert!(s.features_arc().is_some());
+    }
+
+    #[test]
+    fn pools_and_values_memoize_per_column() {
+        let t = table();
+        let s = AnalysisSession::new(&t);
+        let p1 = s.value_pool(1);
+        let p2 = s.value_pool(1);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(p1.n_distinct(), 2);
+        let stats = s.stats();
+        assert_eq!(stats.pools_built, 1);
+        assert_eq!(stats.pools_reused, 1);
+        assert_eq!(*s.column_values(0), vec!["x", "y", "x", "x"]);
+    }
+
+    #[test]
+    fn column_type_memoizes() {
+        let t = Table::new(vec![Column::from_texts(
+            "city",
+            &["Boston", "Miami", "Boston", "Chicago"],
+        )]);
+        let s = AnalysisSession::new(&t);
+        let gaz = Gazetteer::new();
+        let first = s.column_type(0, &gaz, 0.5).expect("city column detected");
+        let again = s.column_type(0, &gaz, 0.5).expect("memo hit");
+        assert_eq!(first, again);
+        assert_eq!(s.stats().column_types_memoized, 1);
+    }
+}

@@ -3,19 +3,23 @@
 //! ```text
 //! datavinci-clean input.csv [-o out.csv] [--report report.json]
 //!                 [--workers N] [--semantics full|limited|none]
-//!                 [--no-cache] [--quiet]
+//!                 [--strategy planner|rowwise] [--types] [--no-cache]
+//!                 [--quiet]
 //! ```
 //!
 //! Reads a headered CSV, runs the parallel cleaning engine over every
 //! sufficiently-textual column, writes the repaired CSV (default:
 //! `<input>.cleaned.csv`) and, on request, a JSON report with per-column
-//! detections, repairs, timing, and cache telemetry.
+//! detections, repairs, timing, cache telemetry, and the table session's
+//! reuse stats (feature generations, row-vector sharing, mask-memo hits).
+//! `--types` additionally reports each cleaned column's dominant semantic
+//! type, detected once per column through the session's type memo.
 
 use std::process::ExitCode;
 
-use datavinci_core::{DataVinci, DataVinciConfig, SemanticMode};
+use datavinci_core::{DataVinci, DataVinciConfig, RepairStrategy, SemanticMode, TypeDetection};
 use datavinci_engine::json::Json;
-use datavinci_engine::{Engine, EngineConfig, EngineReport};
+use datavinci_engine::{session_stats_json, Engine, EngineConfig, EngineReport};
 use datavinci_table::{io, Table};
 
 struct Args {
@@ -24,12 +28,15 @@ struct Args {
     report: Option<String>,
     workers: usize,
     semantics: SemanticMode,
+    strategy: RepairStrategy,
+    types: bool,
     cache: bool,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: datavinci-clean INPUT.csv [-o OUT.csv] [--report REPORT.json] \
-                     [--workers N] [--semantics full|limited|none] [--no-cache] [--quiet]";
+                     [--workers N] [--semantics full|limited|none] \
+                     [--strategy planner|rowwise] [--types] [--no-cache] [--quiet]";
 
 /// `Ok(None)` means help was requested (print usage, exit 0).
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -39,6 +46,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         report: None,
         workers: 0,
         semantics: SemanticMode::Full,
+        strategy: RepairStrategy::Planner,
+        types: false,
         cache: true,
         quiet: false,
     };
@@ -65,6 +74,14 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     other => return Err(format!("unknown --semantics mode: {other}")),
                 }
             }
+            "--strategy" => {
+                args.strategy = match value(arg)?.as_str() {
+                    "planner" => RepairStrategy::Planner,
+                    "rowwise" => RepairStrategy::RowWise,
+                    other => return Err(format!("unknown --strategy: {other}")),
+                }
+            }
+            "--types" => args.types = true,
             "--no-cache" => args.cache = false,
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => return Ok(None),
@@ -84,16 +101,18 @@ fn report_json(
     report: &EngineReport,
     engine: &Engine,
     wall: std::time::Duration,
+    types: &[Option<TypeDetection>],
 ) -> Json {
     let columns = report
         .columns
         .iter()
-        .map(|c| {
+        .zip(types)
+        .map(|(c, detected)| {
             let name = table
                 .column(c.report.col)
                 .map(|col| col.name().to_string())
                 .unwrap_or_default();
-            Json::obj()
+            let mut obj = Json::obj()
                 .field("col", Json::Int(c.report.col as i64))
                 .field("name", Json::str(name))
                 .field("n_rows", Json::Int(c.report.n_rows as i64))
@@ -124,7 +143,13 @@ fn report_json(
                     ),
                 )
                 .field("cache", Json::str(c.cache.label()))
-                .field("elapsed_ms", Json::Num(c.elapsed.as_secs_f64() * 1000.0))
+                .field("elapsed_ms", Json::Num(c.elapsed.as_secs_f64() * 1000.0));
+            if let Some(d) = detected {
+                obj = obj
+                    .field("semantic_type", Json::str(d.semantic_type.name()))
+                    .field("type_confidence", Json::Num(d.confidence));
+            }
+            obj
         })
         .collect();
 
@@ -135,6 +160,7 @@ fn report_json(
         .field("n_detections", Json::Int(report.n_detections() as i64))
         .field("n_repairs", Json::Int(report.n_repairs() as i64))
         .field("elapsed_ms", Json::Num(wall.as_secs_f64() * 1000.0))
+        .field("session", session_stats_json(&report.session))
         .field("columns", Json::Arr(columns));
     if let Some(stats) = engine.cache_stats() {
         root = root.field("cache", stats.to_json());
@@ -150,6 +176,7 @@ fn run(args: &Args) -> Result<(), String> {
 
     let dv = DataVinci::with_config(DataVinciConfig {
         semantics: args.semantics,
+        repair_strategy: args.strategy,
         ..DataVinciConfig::default()
     });
     let engine = Engine::with_system(
@@ -157,12 +184,28 @@ fn run(args: &Args) -> Result<(), String> {
         EngineConfig {
             workers: args.workers,
             cache: args.cache,
+            ..EngineConfig::default()
         },
     );
     let started = std::time::Instant::now();
     let report = engine.clean_table(&table);
     let wall = started.elapsed();
     let repaired = Engine::apply(&table, &report.table_report());
+
+    // --types: one detection per cleaned column through the session's
+    // column-type memo (the pool is shared, the gazetteer sweep runs once
+    // per column even though the JSON and console both read the verdict).
+    let types: Vec<Option<TypeDetection>> = if args.types {
+        let dv = engine.system();
+        let session = dv.session(&table);
+        report
+            .columns
+            .iter()
+            .map(|c| dv.column_type_in(&session, c.report.col, 0.5))
+            .collect()
+    } else {
+        vec![None; report.columns.len()]
+    };
 
     let out_path = args
         .output
@@ -172,7 +215,7 @@ fn run(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
     if let Some(report_path) = &args.report {
-        let json = report_json(&table, &report, &engine, wall).render_pretty();
+        let json = report_json(&table, &report, &engine, wall, &types).render_pretty();
         std::fs::write(report_path, json)
             .map_err(|e| format!("cannot write {report_path}: {e}"))?;
     }
@@ -188,15 +231,34 @@ fn run(args: &Args) -> Result<(), String> {
             report.n_repairs(),
             wall.as_secs_f64() * 1000.0,
         );
-        for c in &report.columns {
+        for (c, detected) in report.columns.iter().zip(&types) {
             let name = table
                 .column(c.report.col)
                 .map(|col| col.name().to_string())
                 .unwrap_or_default();
+            if let Some(d) = detected {
+                println!(
+                    "  {name}: semantic type {} ({:.0}% support)",
+                    d.semantic_type.name(),
+                    d.confidence * 100.0
+                );
+            }
             for r in &c.report.repairs {
                 println!("  {name}[{}]: {:?} -> {:?}", r.row, r.original, r.repaired);
             }
         }
+        let s = &report.session;
+        println!(
+            "session: {} feature generation(s) · {} row vectors computed, {} shared · \
+             {}/{} distinct rows · mask memo {} hits / {} misses",
+            s.feature_generations,
+            s.feature_rows_computed,
+            s.feature_row_hits,
+            s.distinct_rows,
+            s.table_rows,
+            s.mask_cache_hits,
+            s.mask_cache_misses,
+        );
         println!("wrote {out_path}");
         if let Some(report_path) = &args.report {
             println!("wrote {report_path}");

@@ -13,11 +13,17 @@
 //! Lookups classify into those layers via [`datavinci_table::Column`]
 //! fingerprints (rolling, so a prefix fingerprint detects appends) and
 //! record hit/miss telemetry.
+//!
+//! On top of the column layers sits the **session layer**: the engine's
+//! unit of table-scoped reuse. A clean's `AnalysisSession` generates the
+//! table's `FeatureSet` at most once; the cache stores that set keyed by
+//! the *table* fingerprint so a later session over identical table content
+//! is seeded instead of regenerating ([`ProfileCache::lookup_session`]).
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use datavinci_core::{ColumnAnalysis, ColumnReport};
+use datavinci_core::{ColumnAnalysis, ColumnReport, FeatureSet};
 use datavinci_table::Column;
 
 /// Default bound on distinct cached column contents (FIFO-evicted beyond
@@ -42,6 +48,9 @@ pub struct CacheStats {
     pub append_fallbacks: u64,
     /// Full recomputation.
     pub misses: u64,
+    /// Session-layer reuse: a new clean of identical table content was
+    /// seeded with the cached table `FeatureSet` instead of regenerating.
+    pub session_hits: u64,
 }
 
 impl CacheStats {
@@ -64,6 +73,7 @@ impl CacheStats {
             .field("append_hits", Json::Int(self.append_hits as i64))
             .field("append_fallbacks", Json::Int(self.append_fallbacks as i64))
             .field("misses", Json::Int(self.misses as i64))
+            .field("session_hits", Json::Int(self.session_hits as i64))
     }
 }
 
@@ -105,6 +115,10 @@ struct Inner {
     by_name: HashMap<String, Arc<CachedColumn>>,
     /// Insertion order of `by_fingerprint` keys, for FIFO eviction.
     order: VecDeque<u64>,
+    /// Session layer: table fingerprint → the table's generated features.
+    by_table: HashMap<u64, Arc<FeatureSet>>,
+    /// Insertion order of `by_table` keys, for FIFO eviction.
+    table_order: VecDeque<u64>,
     stats: CacheStats,
 }
 
@@ -200,6 +214,39 @@ impl ProfileCache {
                 inner.by_name.retain(|_, kept| !Arc::ptr_eq(kept, &evicted));
             }
         }
+    }
+
+    /// The session layer: the `FeatureSet` previously generated for a table
+    /// with this fingerprint, if cached. Callers seed a fresh
+    /// `AnalysisSession` over identical table content with it, skipping the
+    /// one-per-table feature generation entirely.
+    pub fn lookup_session(&self, table_fingerprint: u64) -> Option<Arc<FeatureSet>> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let hit = inner.by_table.get(&table_fingerprint).cloned();
+        if hit.is_some() {
+            inner.stats.session_hits += 1;
+        }
+        hit
+    }
+
+    /// Stores a session's generated `FeatureSet` under its table
+    /// fingerprint (FIFO-bounded like the column layers).
+    pub fn insert_session(&self, table_fingerprint: u64, features: Arc<FeatureSet>) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner.by_table.insert(table_fingerprint, features).is_none() {
+            inner.table_order.push_back(table_fingerprint);
+        }
+        while inner.by_table.len() > self.capacity {
+            let Some(oldest) = inner.table_order.pop_front() else {
+                break;
+            };
+            inner.by_table.remove(&oldest);
+        }
+    }
+
+    /// Number of cached table-level sessions (feature sets).
+    pub fn n_sessions(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").by_table.len()
     }
 
     /// Records that an append hit was abandoned (the appended rows did not
@@ -355,6 +402,26 @@ mod tests {
         assert_eq!(stats.append_hits, 0);
         assert_eq!(stats.append_fallbacks, 1);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn session_layer_stores_and_evicts_feature_sets() {
+        use datavinci_core::FeatureSet;
+        let cache = ProfileCache::with_capacity(2);
+        let t = table(&["a-1", "a-2"]);
+        let fp = t.fingerprint();
+        assert!(cache.lookup_session(fp).is_none());
+        assert_eq!(cache.stats().session_hits, 0);
+        let features = Arc::new(FeatureSet::generate(&t));
+        cache.insert_session(fp, Arc::clone(&features));
+        let hit = cache.lookup_session(fp).expect("session hit");
+        assert!(Arc::ptr_eq(&hit, &features));
+        assert_eq!(cache.stats().session_hits, 1);
+        // FIFO eviction beyond capacity.
+        cache.insert_session(fp ^ 1, Arc::clone(&features));
+        cache.insert_session(fp ^ 2, Arc::clone(&features));
+        assert_eq!(cache.n_sessions(), 2);
+        assert!(cache.lookup_session(fp).is_none());
     }
 
     #[test]

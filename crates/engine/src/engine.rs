@@ -1,13 +1,14 @@
 //! The batch cleaning engine: DataVinci's column-wise pipeline behind a
 //! worker pool and a fingerprint-keyed artifact cache.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::cache::{CacheLookup, CacheStats, ProfileCache};
+use crate::cache::{CacheLookup, CacheStats, ProfileCache, DEFAULT_CACHE_CAPACITY};
 use crate::pool::WorkerPool;
 use crate::report::{BatchReport, CacheOutcome, ColumnOutcome, EngineReport};
-use datavinci_core::{DataVinci, TableReport};
+use datavinci_core::{AnalysisSession, DataVinci, TableReport};
 use datavinci_table::{CellRef, CellValue, Table};
 
 /// Engine configuration.
@@ -17,6 +18,11 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Cache learned artifacts across cleans?
     pub cache: bool,
+    /// Bound on distinct cached column contents and table sessions
+    /// ([`ProfileCache`]; FIFO-evicted beyond it). The semantic mask-memo
+    /// bound is the matching core-side knob
+    /// (`DataVinciConfig::mask_cache_capacity`).
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -24,6 +30,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 0,
             cache: true,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -72,7 +79,9 @@ impl Engine {
         Engine {
             dv,
             pool: WorkerPool::new(cfg.workers),
-            cache: cfg.cache.then(ProfileCache::new),
+            cache: cfg
+                .cache
+                .then(|| ProfileCache::with_capacity(cfg.cache_capacity)),
         }
     }
 
@@ -101,11 +110,37 @@ impl Engine {
     /// Cleans a single column through the cache (no pool dispatch): the
     /// entry point for callers that sweep columns themselves.
     ///
-    /// Recomputes the table fingerprint (an O(cells) hash) on every call;
-    /// prefer [`Engine::clean_table`]/[`Engine::clean_batch`], which hash
-    /// each table once for all its columns.
+    /// Recomputes the table fingerprint (an O(cells) hash) and opens a
+    /// fresh (cache-seeded) session on every call; prefer
+    /// [`Engine::clean_table`]/[`Engine::clean_batch`], which hash each
+    /// table once and share one session across all its columns.
     pub fn clean_column(&self, table: &Table, col: usize) -> ColumnOutcome {
-        self.clean_unit(table, table.fingerprint(), col)
+        let fingerprint = table.fingerprint();
+        let session = self.open_session(table, fingerprint);
+        let outcome = self.clean_unit(&session, table, fingerprint, col);
+        self.store_session(fingerprint, &session);
+        outcome
+    }
+
+    /// A session for `table`, seeded with the cached `FeatureSet` when the
+    /// cache has seen identical table content.
+    fn open_session<'t>(&self, table: &'t Table, fingerprint: u64) -> AnalysisSession<'t> {
+        let session = self.dv.session(table);
+        if let Some(cache) = &self.cache {
+            if let Some(features) = cache.lookup_session(fingerprint) {
+                session.seed_features(features);
+            }
+        }
+        session
+    }
+
+    /// Stores a session's generated features back into the session layer.
+    fn store_session(&self, fingerprint: u64, session: &AnalysisSession<'_>) {
+        if let Some(cache) = &self.cache {
+            if let Some(features) = session.features_arc() {
+                cache.insert_session(fingerprint, features);
+            }
+        }
     }
 
     /// Cleans every sufficiently-textual column of one table, in parallel.
@@ -122,7 +157,10 @@ impl Engine {
     /// Cleans a queue of independent tables, in parallel.
     ///
     /// Work is scheduled at `(table, column)` granularity so a batch of
-    /// small tables and one huge table still load-balances.
+    /// small tables and one huge table still load-balances. Each table's
+    /// columns share one [`AnalysisSession`] (features, row vectors, and
+    /// pools are built at most once per table), and tables with identical
+    /// fingerprints share one session outright.
     pub fn clean_batch(&self, tables: &[Table]) -> BatchReport {
         let started = Instant::now();
         let min_text = self.dv.config().min_text_fraction;
@@ -142,8 +180,21 @@ impl Engine {
             })
             .collect();
 
+        // One session per *distinct* table fingerprint, seeded from the
+        // cache's session layer when identical content was cleaned before.
+        let mut session_of: Vec<usize> = Vec::with_capacity(tables.len());
+        let mut slots: HashMap<u64, usize> = HashMap::new();
+        let mut sessions: Vec<AnalysisSession<'_>> = Vec::new();
+        for (ti, table) in tables.iter().enumerate() {
+            let slot = *slots.entry(prints[ti]).or_insert_with(|| {
+                sessions.push(self.open_session(table, prints[ti]));
+                sessions.len() - 1
+            });
+            session_of.push(slot);
+        }
+
         let outcomes = self.pool.map(&units, |_, &(ti, col)| {
-            self.clean_unit(&tables[ti], prints[ti], col)
+            self.clean_unit(&sessions[session_of[ti]], &tables[ti], prints[ti], col)
         });
 
         let mut per_table: Vec<EngineReport> =
@@ -151,6 +202,12 @@ impl Engine {
         for (&(ti, _), outcome) in units.iter().zip(outcomes) {
             per_table[ti].elapsed += outcome.elapsed;
             per_table[ti].columns.push(outcome);
+        }
+        for (ti, report) in per_table.iter_mut().enumerate() {
+            report.session = sessions[session_of[ti]].stats();
+        }
+        for (&fingerprint, &slot) in &slots {
+            self.store_session(fingerprint, &sessions[slot]);
         }
         BatchReport {
             tables: per_table,
@@ -160,23 +217,30 @@ impl Engine {
         }
     }
 
-    /// Cleans one column, consulting the cache layer by layer.
-    fn clean_unit(&self, table: &Table, table_fingerprint: u64, col: usize) -> ColumnOutcome {
+    /// Cleans one column through the shared table session, consulting the
+    /// cache layer by layer.
+    fn clean_unit(
+        &self,
+        session: &AnalysisSession<'_>,
+        table: &Table,
+        table_fingerprint: u64,
+        col: usize,
+    ) -> ColumnOutcome {
         let started = Instant::now();
         let column = table.column(col).expect("column in range");
 
         let (report, cache_outcome) = match &self.cache {
             None => {
-                let analysis = self.dv.analyze_column(table, col);
+                let analysis = self.dv.analyze_column_in(session, col);
                 (
-                    self.dv.repair_analysis(table, &analysis),
+                    self.dv.repair_analysis_in(session, &analysis),
                     CacheOutcome::Disabled,
                 )
             }
             Some(cache) => match cache.lookup(column, col, table_fingerprint) {
                 CacheLookup::Report(entry) => (entry.report.clone(), CacheOutcome::ReportHit),
                 CacheLookup::Analysis(entry) => {
-                    let report = self.dv.repair_analysis(table, &entry.analysis);
+                    let report = self.dv.repair_analysis_in(session, &entry.analysis);
                     cache.insert(
                         column,
                         col,
@@ -189,8 +253,11 @@ impl Engine {
                 CacheLookup::Append(entry) => {
                     // Reuses both the prior's learned patterns (re-scored)
                     // and its interning pool (extended with the appended
-                    // rows), so a warm re-score skips re-interning.
-                    let analysis = self.dv.analyze_column_appended(table, col, &entry.analysis);
+                    // rows and installed into the session), so a warm
+                    // re-score skips re-interning.
+                    let analysis =
+                        self.dv
+                            .analyze_column_appended_in(session, col, &entry.analysis);
                     // Append reuse assumes the prior language still
                     // describes the column. If the appended rows mostly
                     // fall outside it — or significance collapsed under
@@ -207,8 +274,8 @@ impl Engine {
                             && !entry.analysis.significant.is_empty());
                     if language_broke {
                         cache.record_append_fallback();
-                        let analysis = self.dv.analyze_column(table, col);
-                        let report = self.dv.repair_analysis(table, &analysis);
+                        let analysis = self.dv.analyze_column_in(session, col);
+                        let report = self.dv.repair_analysis_in(session, &analysis);
                         cache.insert(
                             column,
                             col,
@@ -218,7 +285,7 @@ impl Engine {
                         );
                         (report, CacheOutcome::Miss)
                     } else {
-                        let report = self.dv.repair_analysis(table, &analysis);
+                        let report = self.dv.repair_analysis_in(session, &analysis);
                         cache.insert(
                             column,
                             col,
@@ -230,8 +297,8 @@ impl Engine {
                     }
                 }
                 CacheLookup::Miss => {
-                    let analysis = self.dv.analyze_column(table, col);
-                    let report = self.dv.repair_analysis(table, &analysis);
+                    let analysis = self.dv.analyze_column_in(session, col);
+                    let report = self.dv.repair_analysis_in(session, &analysis);
                     cache.insert(
                         column,
                         col,
@@ -312,6 +379,7 @@ mod tests {
             let engine = Engine::with_config(EngineConfig {
                 workers,
                 cache: true,
+                ..EngineConfig::default()
             });
             let report = engine.clean_table(&table);
             assert_eq!(
@@ -329,6 +397,7 @@ mod tests {
         let engine = Engine::with_config(EngineConfig {
             workers: 2,
             cache: true,
+            ..EngineConfig::default()
         });
         let cold = engine.clean_table(&table);
         assert_eq!(cold.cache_hits(), 0);
@@ -352,6 +421,7 @@ mod tests {
         let engine = Engine::with_config(EngineConfig {
             workers: 1,
             cache: false,
+            ..EngineConfig::default()
         });
         let report = engine.clean_table(&players_table());
         assert!(report
@@ -403,6 +473,7 @@ mod tests {
         let engine = Engine::with_config(EngineConfig {
             workers: 4,
             cache: true,
+            ..EngineConfig::default()
         });
         let tables = vec![players_table(), players_table()];
         let batch = engine.clean_batch(&tables);

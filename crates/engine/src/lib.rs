@@ -28,7 +28,7 @@
 //! let table = Table::new(vec![
 //!     Column::from_texts("Quarter", &["Q4-2002", "Q3-2002", "Q1-2001", "Q2-2002", "Q32001"]),
 //! ]);
-//! let engine = Engine::with_config(EngineConfig { workers: 4, cache: true });
+//! let engine = Engine::with_config(EngineConfig { workers: 4, cache: true, ..EngineConfig::default() });
 //! let report = engine.clean_table(&table);
 //! assert_eq!(report.columns[0].report.repairs[0].repaired, "Q3-2001");
 //! // A warm re-clean of unchanged content is served from the cache.
@@ -45,4 +45,4 @@ pub mod report;
 pub use cache::{CacheLookup, CacheStats, CachedColumn, ProfileCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, EngineConfig};
 pub use pool::WorkerPool;
-pub use report::{BatchReport, CacheOutcome, ColumnOutcome, EngineReport};
+pub use report::{session_stats_json, BatchReport, CacheOutcome, ColumnOutcome, EngineReport};

@@ -4,7 +4,8 @@
 use std::time::Duration;
 
 use crate::cache::CacheStats;
-use datavinci_core::{ColumnReport, TableReport};
+use crate::json::Json;
+use datavinci_core::{ColumnReport, SessionStats, TableReport};
 
 /// How the cache served one column clean.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,10 @@ pub struct EngineReport {
     /// Summed per-column cleaning time (CPU-side; wall time lives on
     /// [`BatchReport::elapsed`]).
     pub elapsed: Duration,
+    /// Reuse telemetry of the table's shared analysis session (tables with
+    /// identical fingerprints in one batch share a session, and therefore
+    /// a snapshot).
+    pub session: SessionStats,
 }
 
 impl EngineReport {
@@ -87,6 +92,44 @@ impl EngineReport {
     pub fn cache_hits(&self) -> usize {
         self.columns.iter().filter(|c| c.cache.is_hit()).count()
     }
+}
+
+/// The canonical JSON rendering of session reuse telemetry (shared by the
+/// CLI and the bench binaries).
+pub fn session_stats_json(stats: &SessionStats) -> Json {
+    Json::obj()
+        .field(
+            "feature_generations",
+            Json::Int(stats.feature_generations as i64),
+        )
+        .field(
+            "feature_rows_computed",
+            Json::Int(stats.feature_rows_computed as i64),
+        )
+        .field("feature_row_hits", Json::Int(stats.feature_row_hits as i64))
+        .field("pools_built", Json::Int(stats.pools_built as i64))
+        .field("pools_reused", Json::Int(stats.pools_reused as i64))
+        .field("table_rows", Json::Int(stats.table_rows as i64))
+        .field("distinct_rows", Json::Int(stats.distinct_rows as i64))
+        .field("plan_error_rows", Json::Int(stats.plan_error_rows as i64))
+        .field("plan_groups", Json::Int(stats.plan_groups as i64))
+        .field(
+            "plan_sharing_factor",
+            Json::Num(stats.plan_sharing_factor()),
+        )
+        .field(
+            "column_types_memoized",
+            Json::Int(stats.column_types_memoized as i64),
+        )
+        .field(
+            "mask_cache_entries",
+            Json::Int(stats.mask_cache_entries as i64),
+        )
+        .field("mask_cache_hits", Json::Int(stats.mask_cache_hits as i64))
+        .field(
+            "mask_cache_misses",
+            Json::Int(stats.mask_cache_misses as i64),
+        )
 }
 
 /// The outcome of one batch clean.

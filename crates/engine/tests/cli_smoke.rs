@@ -34,6 +34,9 @@ fn cleans_fixture_csv_and_writes_report() {
         out_json.to_str().unwrap(),
         "--workers",
         "2",
+        "--strategy",
+        "planner",
+        "--types",
     ]);
     assert!(
         output.status.success(),
@@ -49,11 +52,15 @@ fn cleans_fixture_csv_and_writes_report() {
     // …and the §3.2 quarter repair too.
     assert!(csv.contains("Q3-2001"), "{csv}");
 
-    // The JSON report records repairs and cache telemetry.
+    // The JSON report records repairs, cache telemetry, the session's
+    // reuse stats (exactly one FeatureSet generation for the table), and
+    // the --types detections.
     let json = std::fs::read_to_string(&out_json).unwrap();
     assert!(json.contains("\"repaired\": \"US-837-PRO\""), "{json}");
     assert!(json.contains("\"workers\": 2"), "{json}");
     assert!(json.contains("\"cache\""), "{json}");
+    assert!(json.contains("\"feature_generations\": 1"), "{json}");
+    assert!(json.contains("\"semantic_type\": \"country\""), "{json}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

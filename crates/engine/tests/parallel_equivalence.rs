@@ -39,7 +39,7 @@ proptest! {
         let cache = cache_bit == 1;
         let table = generated_table(seed, 3.0, 24.0, true);
         let sequential = DataVinci::new().clean_table(&table);
-        let engine = Engine::with_config(EngineConfig { workers, cache });
+        let engine = Engine::with_config(EngineConfig { workers, cache, ..EngineConfig::default() });
         let report = engine.clean_table(&table);
         prop_assert_eq!(
             canon(&report.table_report()),
@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn warm_cache_is_identical(seed in 0u64..500) {
         let table = generated_table(seed, 2.0, 20.0, true);
-        let engine = Engine::with_config(EngineConfig { workers: 4, cache: true });
+        let engine = Engine::with_config(EngineConfig { workers: 4, cache: true, ..EngineConfig::default() });
         let cold = engine.clean_table(&table);
         let warm = engine.clean_table(&table);
         prop_assert_eq!(canon(&cold.table_report()), canon(&warm.table_report()));
@@ -85,6 +85,7 @@ fn engine_equals_sequential_on_benchmark_tables() {
         let engine = Engine::with_config(EngineConfig {
             workers,
             cache: true,
+            ..EngineConfig::default()
         });
         let batch = engine.clean_batch(&tables);
         let parallel: Vec<String> = batch
@@ -109,6 +110,7 @@ fn batch_warm_pass_reports_cache_telemetry() {
     let engine = Engine::with_config(EngineConfig {
         workers: 4,
         cache: true,
+        ..EngineConfig::default()
     });
     let cold = engine.clean_batch(&tables);
     assert_eq!(cold.cache_hits(), 0);

@@ -99,6 +99,19 @@ impl ColumnProfile {
 
 /// Learns up to `cfg.max_patterns` patterns over the column values.
 pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnProfile {
+    profile_column_pooled(values, &MaskedPool::new(values), cfg)
+}
+
+/// [`profile_column`] against a pre-interned [`MaskedPool`] over the same
+/// values — table-scoped analysis sessions intern each column's masked
+/// values once and share the pool between profiling, re-scoring, and
+/// detection instead of re-deduplicating per call.
+pub fn profile_column_pooled(
+    values: &[MaskedString],
+    dedup: &MaskedPool,
+    cfg: &ProfilerConfig,
+) -> ColumnProfile {
+    assert_eq!(dedup.n_rows(), values.len(), "pool must cover the column");
     let n = values.len();
     if n == 0 {
         return ColumnProfile::default();
@@ -173,7 +186,6 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
     // column: one batch match per candidate per *distinct* value (the DFA
     // memoizes transitions across the entire column instead of re-walking
     // the NFA per value, and duplicate rows share one membership verdict).
-    let dedup = MaskedDedup::new(values);
     let mut learned: Vec<LearnedPattern> = Vec::with_capacity(groups.len() + 1);
     let mut seen: Vec<Pattern> = Vec::new();
     let built: Vec<Pattern> = categorical
@@ -208,13 +220,19 @@ pub fn profile_column(values: &[MaskedString], cfg: &ProfilerConfig) -> ColumnPr
 /// function of the value, so the coverage scorer evaluates each *distinct*
 /// value once and expands hits back to rows (weighted by multiplicity, i.e.
 /// by how many rows carry the value).
-struct MaskedDedup {
+///
+/// Public so a table-scoped analysis session can intern a column's masked
+/// values once and hand the pool to [`profile_column_pooled`] and
+/// [`rescore_profile_pooled`] instead of each call re-deduplicating.
+#[derive(Debug, Clone, Default)]
+pub struct MaskedPool {
     distinct: Vec<MaskedString>,
     row_to_distinct: Vec<usize>,
 }
 
-impl MaskedDedup {
-    fn new(values: &[MaskedString]) -> MaskedDedup {
+impl MaskedPool {
+    /// Interns `values` in first-occurrence order.
+    pub fn new(values: &[MaskedString]) -> MaskedPool {
         let mut index: HashMap<&MaskedString, usize> = HashMap::new();
         let mut distinct: Vec<MaskedString> = Vec::new();
         let mut row_to_distinct: Vec<usize> = Vec::with_capacity(values.len());
@@ -225,10 +243,20 @@ impl MaskedDedup {
             });
             row_to_distinct.push(di);
         }
-        MaskedDedup {
+        MaskedPool {
             distinct,
             row_to_distinct,
         }
+    }
+
+    /// Number of rows the pool covers.
+    pub fn n_rows(&self) -> usize {
+        self.row_to_distinct.len()
+    }
+
+    /// Number of distinct masked values.
+    pub fn n_distinct(&self) -> usize {
+        self.distinct.len()
     }
 
     /// Row indices the pattern accepts, via the configured matcher.
@@ -284,8 +312,18 @@ fn sort_by_coverage(patterns: &mut Vec<LearnedPattern>) {
 /// grows but its old rows are unchanged, the previously learned patterns
 /// still describe the column language and only membership needs refreshing.
 pub fn rescore_profile(prior: &ColumnProfile, values: &[MaskedString]) -> ColumnProfile {
+    rescore_profile_pooled(prior, values, &MaskedPool::new(values))
+}
+
+/// [`rescore_profile`] against a pre-interned [`MaskedPool`] over the same
+/// values (see [`profile_column_pooled`]).
+pub fn rescore_profile_pooled(
+    prior: &ColumnProfile,
+    values: &[MaskedString],
+    dedup: &MaskedPool,
+) -> ColumnProfile {
+    assert_eq!(dedup.n_rows(), values.len(), "pool must cover the column");
     let n = values.len();
-    let dedup = MaskedDedup::new(values);
     let mut patterns: Vec<LearnedPattern> = prior
         .patterns
         .iter()
@@ -468,6 +506,31 @@ mod tests {
                 .collect();
             assert_eq!(lp.rows, expect, "{}", lp.pattern);
         }
+    }
+
+    #[test]
+    fn pooled_entry_points_match_unpooled() {
+        let values: Vec<MaskedString> = ["a-1", "a-1", "b2", "a-1", "c#3"]
+            .iter()
+            .map(|s| MaskedString::from_plain(s))
+            .collect();
+        let pool = MaskedPool::new(&values);
+        assert_eq!(pool.n_rows(), 5);
+        assert_eq!(pool.n_distinct(), 3);
+        let cfg = ProfilerConfig::default();
+        // (Compare the learned content — the compiled matchers' lazy memo
+        // tables have nondeterministic map order in Debug output.)
+        let canon = |p: &ColumnProfile| {
+            p.patterns
+                .iter()
+                .map(|lp| format!("{} {:?} {}", lp.pattern, lp.rows, lp.coverage))
+                .collect::<Vec<_>>()
+        };
+        let direct = profile_column(&values, &cfg);
+        let pooled = profile_column_pooled(&values, &pool, &cfg);
+        assert_eq!(canon(&direct), canon(&pooled));
+        let rescored = rescore_profile_pooled(&direct, &values, &pool);
+        assert_eq!(canon(&rescore_profile(&direct, &values)), canon(&rescored));
     }
 
     #[test]

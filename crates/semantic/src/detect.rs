@@ -6,6 +6,9 @@
 //! This stand-in scores each type by the fraction of values containing a
 //! gazetteer hit and returns the best-supported type above a threshold.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use crate::gazetteer::Gazetteer;
 use crate::spans::candidate_spans;
 use crate::types::SemanticType;
@@ -17,6 +20,51 @@ pub struct TypeDetection {
     pub semantic_type: SemanticType,
     /// Fraction of (non-blank) values supporting the type.
     pub confidence: f64,
+}
+
+/// Memoized column-type detections, keyed by `(column, threshold)`.
+///
+/// Type detection sweeps the gazetteer over every distinct value of a
+/// column — expensive enough that a table-scoped analysis session runs it
+/// at most once per column and hands the verdict to every later consumer.
+/// Thread-safe, like the session that owns it.
+#[derive(Debug, Default)]
+pub struct ColumnTypeMemo {
+    verdicts: Mutex<HashMap<(usize, u64), Option<TypeDetection>>>,
+}
+
+impl ColumnTypeMemo {
+    /// [`detect_column_type_pooled`] through the memo: the sweep runs only
+    /// on the first call for a given `(col, min_confidence)` pair.
+    pub fn detect<S: AsRef<str>>(
+        &self,
+        col: usize,
+        distinct: &[S],
+        multiplicity: &[usize],
+        gaz: &Gazetteer,
+        min_confidence: f64,
+    ) -> Option<TypeDetection> {
+        let key = (col, min_confidence.to_bits());
+        if let Some(hit) = self.verdicts.lock().expect("type memo poisoned").get(&key) {
+            return *hit;
+        }
+        let verdict = detect_column_type_pooled(distinct, multiplicity, gaz, min_confidence);
+        self.verdicts
+            .lock()
+            .expect("type memo poisoned")
+            .insert(key, verdict);
+        verdict
+    }
+
+    /// Number of memoized verdicts.
+    pub fn len(&self) -> usize {
+        self.verdicts.lock().expect("type memo poisoned").len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Detects the dominant semantic type of a column, if any type reaches
@@ -126,6 +174,27 @@ mod tests {
     fn empty_column_none() {
         assert!(detect(&[]).is_none());
         assert!(detect(&["", " "]).is_none());
+    }
+
+    #[test]
+    fn memo_returns_cached_verdicts() {
+        let gaz = Gazetteer::new();
+        let memo = ColumnTypeMemo::default();
+        let distinct = ["Boston", "Miami"];
+        let counts = [2usize, 1];
+        assert!(memo.is_empty());
+        let first = memo.detect(0, &distinct, &counts, &gaz, 0.5);
+        assert_eq!(
+            first.map(|d| d.semantic_type),
+            Some(SemanticType::City),
+            "{first:?}"
+        );
+        // A second call must come from the memo (same verdict, no growth);
+        // a different threshold is its own key.
+        assert_eq!(memo.detect(0, &distinct, &counts, &gaz, 0.5), first);
+        assert_eq!(memo.len(), 1);
+        memo.detect(0, &distinct, &counts, &gaz, 0.9);
+        assert_eq!(memo.len(), 2);
     }
 
     #[test]

@@ -21,9 +21,12 @@ pub mod prompt;
 pub mod spans;
 pub mod types;
 
-pub use detect::{detect_column_type, detect_column_type_pooled, TypeDetection};
+pub use detect::{detect_column_type, detect_column_type_pooled, ColumnTypeMemo, TypeDetection};
 pub use gazetteer::{fuzzy_budget, Gazetteer, Hit};
-pub use llm::{GazetteerLlm, GazetteerLlmConfig, LanguageModel, MaskCache};
+pub use llm::{
+    GazetteerLlm, GazetteerLlmConfig, LanguageModel, MaskCache, MaskCacheStats,
+    DEFAULT_MASK_CACHE_CAPACITY,
+};
 pub use mask::{
     parse_masked_value, AbstractedColumn, MaskOccurrence, MaskedValue, SemanticAbstractor,
 };

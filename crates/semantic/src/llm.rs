@@ -11,30 +11,65 @@
 //! Any other model can be plugged in through [`LanguageModel`].
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::gazetteer::{Gazetteer, Hit};
 use crate::prompt::{parse_prompt_values, OUTPUT_MARKER};
 use crate::spans::{candidate_spans, Span};
 use crate::types::SemanticType;
 
-/// Bound on memoized per-value hit lists; beyond it the cache stops
+/// Default bound on memoized per-value hit lists; beyond it the cache stops
 /// admitting new values (lookups still hit) so a pathological stream of
 /// unique values cannot grow the model's footprint without bound.
-const MASK_CACHE_CAPACITY: usize = 16_384;
+/// Configurable per model via [`GazetteerLlmConfig::mask_cache_capacity`]
+/// (surfaced on `datavinci_core`'s `DataVinciConfig`).
+pub const DEFAULT_MASK_CACHE_CAPACITY: usize = 16_384;
+
+/// Cumulative mask-cache telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaskCacheStats {
+    /// Memoized values currently held.
+    pub entries: u64,
+    /// Lookups served from the memo.
+    pub hits: u64,
+    /// Lookups that had to sweep the gazetteer.
+    pub misses: u64,
+}
 
 /// Memoized per-value gazetteer hits.
 ///
 /// `GazetteerLlm`'s per-value hit sweep is a pure function of the value (spans ×
 /// fuzzy lookups — the expensive part of masking), so its results are
 /// shared across prompt batches, columns, and engine runs. Thread-safe: the
-/// engine's worker pool masks columns concurrently through one model.
-#[derive(Debug, Default)]
+/// engine's worker pool masks columns concurrently through one model, and
+/// analysis sessions hold an [`Arc`] handle to the same cache so its reuse
+/// shows up in session telemetry.
+#[derive(Debug)]
 pub struct MaskCache {
     hits: Mutex<HashMap<String, Vec<(Span, Hit)>>>,
+    capacity: usize,
+    hit_count: AtomicU64,
+    miss_count: AtomicU64,
+}
+
+impl Default for MaskCache {
+    fn default() -> Self {
+        MaskCache::with_capacity(DEFAULT_MASK_CACHE_CAPACITY)
+    }
 }
 
 impl MaskCache {
+    /// An empty cache bounded to `capacity` memoized values (min 1).
+    pub fn with_capacity(capacity: usize) -> MaskCache {
+        MaskCache {
+            hits: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hit_count: AtomicU64::new(0),
+            miss_count: AtomicU64::new(0),
+        }
+    }
+
     /// Number of memoized values.
     pub fn len(&self) -> usize {
         self.hits.lock().expect("mask cache poisoned").len()
@@ -45,9 +80,25 @@ impl MaskCache {
         self.len() == 0
     }
 
-    /// Drops every memoized entry.
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative telemetry.
+    pub fn stats(&self) -> MaskCacheStats {
+        MaskCacheStats {
+            entries: self.len() as u64,
+            hits: self.hit_count.load(Ordering::Relaxed),
+            misses: self.miss_count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every memoized entry and resets telemetry.
     pub fn clear(&self) {
         self.hits.lock().expect("mask cache poisoned").clear();
+        self.hit_count.store(0, Ordering::Relaxed);
+        self.miss_count.store(0, Ordering::Relaxed);
     }
 
     /// `compute(value)` through the memo.
@@ -57,11 +108,13 @@ impl MaskCache {
         compute: impl FnOnce(&str) -> Vec<(Span, Hit)>,
     ) -> Vec<(Span, Hit)> {
         if let Some(hit) = self.hits.lock().expect("mask cache poisoned").get(value) {
+            self.hit_count.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.miss_count.fetch_add(1, Ordering::Relaxed);
         let computed = compute(value);
         let mut map = self.hits.lock().expect("mask cache poisoned");
-        if map.len() < MASK_CACHE_CAPACITY {
+        if map.len() < self.capacity {
             map.insert(value.to_string(), computed.clone());
         }
         computed
@@ -94,6 +147,8 @@ pub struct GazetteerLlmConfig {
     /// being repaired/normalized — the "Limited semantic concretization"
     /// ablation of paper §5.4.1.
     pub repair_in_mask: bool,
+    /// Bound on the per-value hit memo ([`MaskCache`]).
+    pub mask_cache_capacity: usize,
 }
 
 impl Default for GazetteerLlmConfig {
@@ -106,6 +161,7 @@ impl Default for GazetteerLlmConfig {
                 .filter(|t| !matches!(t, SemanticType::Category | SemanticType::Gender))
                 .collect(),
             repair_in_mask: true,
+            mask_cache_capacity: DEFAULT_MASK_CACHE_CAPACITY,
         }
     }
 }
@@ -115,7 +171,7 @@ impl Default for GazetteerLlmConfig {
 pub struct GazetteerLlm {
     gaz: Gazetteer,
     cfg: GazetteerLlmConfig,
-    cache: MaskCache,
+    cache: Arc<MaskCache>,
 }
 
 impl GazetteerLlm {
@@ -126,10 +182,11 @@ impl GazetteerLlm {
 
     /// Builds the model with explicit configuration.
     pub fn with_config(cfg: GazetteerLlmConfig) -> GazetteerLlm {
+        let cache = Arc::new(MaskCache::with_capacity(cfg.mask_cache_capacity));
         GazetteerLlm {
             gaz: Gazetteer::new(),
             cfg,
-            cache: MaskCache::default(),
+            cache,
         }
     }
 
@@ -141,6 +198,12 @@ impl GazetteerLlm {
     /// The per-value hit memo (telemetry / tests).
     pub fn mask_cache(&self) -> &MaskCache {
         &self.cache
+    }
+
+    /// A shared handle to the hit memo, for analysis sessions to surface
+    /// its telemetry alongside their own.
+    pub fn mask_cache_handle(&self) -> Arc<MaskCache> {
+        Arc::clone(&self.cache)
     }
 
     /// Masks a whole column (the semantics behind `complete`).
@@ -577,12 +640,33 @@ mod tests {
             .collect();
         llm.mask_column(&values);
         assert_eq!(llm.mask_cache().len(), 2);
+        assert_eq!(llm.mask_cache().stats().misses, 2);
         // A repeat clean re-uses the memo (no growth) and stays identical.
         let again = llm.mask_column(&values);
         assert_eq!(llm.mask_cache().len(), 2);
+        assert_eq!(llm.mask_cache().stats().hits, 2);
         assert_eq!(again, llm.mask_column_rowwise(&values));
         llm.mask_cache().clear();
         assert!(llm.mask_cache().is_empty());
+        assert_eq!(llm.mask_cache().stats(), MaskCacheStats::default());
+    }
+
+    #[test]
+    fn mask_cache_capacity_bounds_admissions() {
+        // Capacity 1: only the first distinct value is admitted; later
+        // values recompute (miss) but results stay correct.
+        let llm = GazetteerLlm::with_config(GazetteerLlmConfig {
+            mask_cache_capacity: 1,
+            ..GazetteerLlmConfig::default()
+        });
+        assert_eq!(llm.mask_cache().capacity(), 1);
+        let values: Vec<String> = ["US-1", "FR-2", "US-1", "FR-2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = llm.mask_column(&values);
+        assert_eq!(llm.mask_cache().len(), 1);
+        assert_eq!(out, llm.mask_column_rowwise(&values));
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn main() {
     let engine = Engine::with_config(EngineConfig {
         workers: 4,
         cache: true,
+        ..EngineConfig::default()
     });
 
     // Night 1: everything is new — full analyze + repair per column.

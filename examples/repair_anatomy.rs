@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --example repair_anatomy`
 
-use datavinci::core::{minimal_edit_program, Concretizer, DataVinciConfig};
+use datavinci::core::{minimal_edit_program, AnalysisSession, Concretizer, DataVinciConfig};
 use datavinci::profile::{profile_plain, ProfilerConfig};
 use datavinci::regex::MaskedString;
 use datavinci::table::{Column, Table};
@@ -41,9 +41,12 @@ fn main() {
         program.cost
     );
 
-    // Concretization via learned value constraints (§3.4).
+    // Concretization via learned value constraints (§3.4). The concretizer
+    // reads the table-wide feature context from a shared analysis session
+    // (one per table clean; here a standalone one).
     let cfg = DataVinciConfig::default();
-    let mut concretizer = Concretizer::new(&table, &cfg);
+    let session = AnalysisSession::new(&table);
+    let mut concretizer = Concretizer::new(&session, &cfg);
     concretizer.train_pattern(0, significant, &significant.rows, &masked(&values));
     let abstract_repair = program.apply(&outlier);
     println!(

@@ -52,8 +52,8 @@ pub use datavinci_table as table;
 /// The most common imports in one place.
 pub mod prelude {
     pub use datavinci_core::{
-        CleaningSystem, ColumnReport, DataVinci, DataVinciConfig, Detection, ExecGuidedReport,
-        RankingMode, RepairSuggestion, SemanticMode, TableReport,
+        AnalysisSession, CleaningSystem, ColumnReport, DataVinci, DataVinciConfig, Detection,
+        ExecGuidedReport, RankingMode, RepairSuggestion, SemanticMode, SessionStats, TableReport,
     };
     pub use datavinci_engine::{Engine, EngineConfig, EngineReport};
     pub use datavinci_formula::ColumnProgram;

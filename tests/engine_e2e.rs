@@ -32,6 +32,7 @@ fn parallel_batch_matches_sequential_cleaning() {
     let engine = Engine::with_config(EngineConfig {
         workers: 4,
         cache: true,
+        ..EngineConfig::default()
     });
     let batch = engine.clean_batch(&tables);
     let parallel: Vec<String> = batch

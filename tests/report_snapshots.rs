@@ -106,6 +106,7 @@ fn check_snapshot(fixture: &str) {
     let engine = Engine::with_config(EngineConfig {
         workers: 2,
         cache: true,
+        ..EngineConfig::default()
     });
     let report = engine.clean_table(&table).table_report();
     let rendered = canon_report(&report).render_pretty();
