@@ -1,0 +1,216 @@
+//! Streaming benchmark: chunked `StreamCleaner` vs the batch engine →
+//! `BENCH_stream.json`.
+//!
+//! Drives a stationary cyclic stream (the seeded noisy sample table's rows,
+//! repeated cycle after cycle) through three arms:
+//!
+//! 1. **identity** — an unbounded-window stream over the finite input must
+//!    emit output *byte-identical* to batch-cleaning the same rows in one
+//!    call (asserted; non-zero exit on divergence — the gate CI relies on);
+//! 2. **boundedness** — a *windowed* stream is metered with the peak-heap
+//!    allocator over N rows and over 5N rows at fixed chunk + window; the
+//!    peak must not grow with the total row count (ratio asserted ≤ 1.5);
+//! 3. **contrast** — batch-cleaning the full 5N-row table in one call,
+//!    whose peak necessarily scales with the input, recorded alongside.
+//!
+//! Throughput (rows/s at the fixed chunk size) is recorded, not asserted,
+//! so a loaded CI machine cannot flake the build.
+//!
+//! Flags: the shared `--smoke`/`--full`/`--seed N` sizing plus
+//! `--out PATH` (default `BENCH_stream.json`).
+
+use std::time::Instant;
+
+use datavinci_bench::alloc_meter::{peak_bytes, reset_peak, MeteredAlloc};
+use datavinci_bench::{arg_after, sample_noisy_table, Cli};
+use datavinci_engine::{json::Json, Engine, StreamCleaner, StreamConfig};
+use datavinci_table::{io, CellValue, Table};
+
+#[global_allocator]
+static ALLOC: MeteredAlloc = MeteredAlloc;
+
+fn headers_of(table: &Table) -> Vec<String> {
+    table.headers().iter().map(|h| h.to_string()).collect()
+}
+
+fn rows_of(table: &Table) -> Vec<Vec<String>> {
+    (0..table.n_rows())
+        .map(|r| {
+            table
+                .columns()
+                .iter()
+                .map(|c| c.get(r).map(CellValue::render).unwrap_or_default())
+                .collect()
+        })
+        .collect()
+}
+
+/// One metered windowed-stream run: `cycles` cycles pushed chunk-per-cycle.
+/// Emitted CSV is drained per chunk (only its length is kept) so the
+/// measurement sees the cleaner's residency, not an accumulating output
+/// buffer.
+struct StreamRun {
+    n_rows: usize,
+    bytes_emitted: usize,
+    n_repairs: usize,
+    rows_per_s: f64,
+    peak_bytes: usize,
+}
+
+fn run_windowed(
+    header: &[String],
+    cycle: &[Vec<String>],
+    cycles: usize,
+    window: usize,
+) -> StreamRun {
+    reset_peak();
+    let started = Instant::now();
+    let cfg = StreamConfig {
+        workers: 1,
+        window_rows: window,
+    };
+    let mut cleaner = StreamCleaner::new(header, cfg);
+    let mut bytes_emitted = cleaner.csv_header().len();
+    for _ in 0..cycles {
+        let out = cleaner.push_rows(cycle);
+        bytes_emitted += std::hint::black_box(out.csv.len());
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    StreamRun {
+        n_rows: cleaner.n_rows(),
+        bytes_emitted,
+        n_repairs: cleaner.n_repairs(),
+        rows_per_s: cleaner.n_rows() as f64 / elapsed.max(1e-9),
+        peak_bytes: peak_bytes(),
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_stream.json".to_string());
+    // The cycle is fixed across tiers: identity requires the per-chunk
+    // value statistics to cross the same significance thresholds as the
+    // whole stream's (scaled counts can cross absolute minimums), which
+    // this seeded 40-row cycle does. Tiers scale the metered stream
+    // length — the thing the boundedness arm is about.
+    let (cycle_rows, base_cycles) = if cli.full {
+        (40, 60)
+    } else if cli.smoke {
+        (40, 8)
+    } else {
+        (40, 20)
+    };
+
+    let table = sample_noisy_table(cli.seed, cycle_rows);
+    let header = headers_of(&table);
+    let cycle = rows_of(&table);
+    let window = 2 * cycle.len();
+
+    // ── Arm 1: identity. Unbounded-window streaming over the finite input
+    // must match the batch clean of the identical rows byte for byte.
+    let identity_cycles = 3;
+    let mut cleaner = StreamCleaner::new(&header, StreamConfig::default());
+    let mut streamed = cleaner.csv_header();
+    let mut all_rows = Vec::new();
+    for _ in 0..identity_cycles {
+        all_rows.extend(cycle.iter().cloned());
+        streamed.push_str(&cleaner.push_rows(&cycle).csv);
+    }
+    let batch_table = io::rows_to_table(&header, &all_rows);
+    let engine = Engine::new();
+    let report = engine.clean_table(&batch_table);
+    let batch = io::to_csv(&Engine::apply(&batch_table, &report.table_report()));
+    assert!(
+        streamed == batch,
+        "streamed output diverged from batch on stationary input \
+         ({} streamed bytes vs {} batch bytes)",
+        streamed.len(),
+        batch.len()
+    );
+    eprintln!(
+        "stream bench: identity over {} rows ({} cycles × {} rows) OK, {} repairs",
+        all_rows.len(),
+        identity_cycles,
+        cycle.len(),
+        cleaner.n_repairs()
+    );
+    drop((streamed, batch, batch_table, cleaner, all_rows));
+
+    // ── Arm 2: boundedness. Same chunk and window; 5× the rows must not
+    // move the peak.
+    let _warmup = run_windowed(&header, &cycle, 2, window);
+    let run_n = run_windowed(&header, &cycle, base_cycles, window);
+    let run_5n = run_windowed(&header, &cycle, 5 * base_cycles, window);
+    let peak_ratio = run_5n.peak_bytes as f64 / run_n.peak_bytes.max(1) as f64;
+    eprintln!(
+        "  windowed  N={:5} rows  peak {:8} B  {:8.0} rows/s",
+        run_n.n_rows, run_n.peak_bytes, run_n.rows_per_s
+    );
+    eprintln!(
+        "  windowed 5N={:5} rows  peak {:8} B  {:8.0} rows/s  (peak ×{peak_ratio:.3})",
+        run_5n.n_rows, run_5n.peak_bytes, run_5n.rows_per_s
+    );
+    assert!(
+        peak_ratio <= 1.5,
+        "peak allocation grew with stream length (×{peak_ratio:.3}); \
+         the window bound is broken"
+    );
+
+    // ── Arm 3: contrast — batch peak over the 5N input scales with it.
+    reset_peak();
+    let mut big_rows = Vec::new();
+    for _ in 0..5 * base_cycles {
+        big_rows.extend(cycle.iter().cloned());
+    }
+    let big = io::rows_to_table(&header, &big_rows);
+    let big_report = Engine::new().clean_table(&big);
+    let batch_bytes = io::to_csv(&Engine::apply(&big, &big_report.table_report())).len();
+    let batch_peak = peak_bytes();
+    eprintln!(
+        "  batch    5N={:5} rows  peak {:8} B  ({} output bytes)",
+        big.n_rows(),
+        batch_peak,
+        batch_bytes
+    );
+
+    let json = Json::obj()
+        .field("benchmark", Json::str("stream_vs_batch"))
+        .field("seed", Json::Int(cli.seed as i64))
+        .field("cycle_rows", Json::Int(cycle.len() as i64))
+        .field("n_cols", Json::Int(header.len() as i64))
+        .field("chunk_rows", Json::Int(cycle.len() as i64))
+        .field("window_rows", Json::Int(window as i64))
+        .field(
+            "identity_rows",
+            Json::Int((identity_cycles * cycle.len()) as i64),
+        )
+        .field("identical", Json::Bool(true))
+        .field(
+            "stream_n",
+            Json::obj()
+                .field("n_rows", Json::Int(run_n.n_rows as i64))
+                .field("rows_per_s", Json::Num(run_n.rows_per_s))
+                .field("peak_bytes", Json::Int(run_n.peak_bytes as i64))
+                .field("bytes_emitted", Json::Int(run_n.bytes_emitted as i64))
+                .field("n_repairs", Json::Int(run_n.n_repairs as i64)),
+        )
+        .field(
+            "stream_5n",
+            Json::obj()
+                .field("n_rows", Json::Int(run_5n.n_rows as i64))
+                .field("rows_per_s", Json::Num(run_5n.rows_per_s))
+                .field("peak_bytes", Json::Int(run_5n.peak_bytes as i64))
+                .field("bytes_emitted", Json::Int(run_5n.bytes_emitted as i64))
+                .field("n_repairs", Json::Int(run_5n.n_repairs as i64)),
+        )
+        .field("peak_ratio_5n_over_n", Json::Num(peak_ratio))
+        .field("peak_bounded", Json::Bool(peak_ratio <= 1.5))
+        .field("batch_5n_peak_bytes", Json::Int(batch_peak as i64))
+        .field(
+            "batch_peak_over_stream_peak",
+            Json::Num(batch_peak as f64 / run_5n.peak_bytes.max(1) as f64),
+        );
+    std::fs::write(&out_path, json.render_pretty()).expect("write benchmark JSON");
+    println!("{}", json.render_pretty());
+    eprintln!("stream identity OK, peak ×{peak_ratio:.3} at 5N; wrote {out_path}");
+}

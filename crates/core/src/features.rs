@@ -148,8 +148,13 @@ pub struct FeatureSet {
 
 /// One row's cells rendered once, plus the lowercase form — the shared
 /// input for evaluating every predicate of the row without re-rendering.
-struct RenderedRow<'t> {
-    cells: Vec<Option<&'t CellValue>>,
+///
+/// Owns its data (kind tags + rendered strings, no cell borrows): a
+/// rendered matrix can therefore outlive the `Table` it came from and be
+/// *extended in place* when rows are appended (`RenderedTable::extend`),
+/// which is what makes analysis sessions resumable across table growth.
+struct RenderedRow {
+    kinds: Vec<u8>,
     rendered: Vec<String>,
     lowered: Vec<String>,
 }
@@ -173,18 +178,31 @@ fn kind_tag(cell: Option<&CellValue>) -> u8 {
 /// The whole table's cells rendered and lowercased once — the shared matrix
 /// every feature generation and row evaluation of one table reads, instead
 /// of re-rendering rows per column repair.
-pub struct RenderedTable<'t> {
-    rows: Vec<RenderedRow<'t>>,
+///
+/// Owns its renderings (no borrows into the table), so it can be kept in an
+/// owned session snapshot and grown incrementally with
+/// [`RenderedTable::extend`] as rows are appended.
+#[derive(Default)]
+pub struct RenderedTable {
+    rows: Vec<RenderedRow>,
 }
 
-impl<'t> RenderedTable<'t> {
+impl RenderedTable {
     /// Renders every cell of the table (once).
-    pub fn new(table: &'t Table) -> RenderedTable<'t> {
-        RenderedTable {
-            rows: (0..table.n_rows())
-                .map(|row| RenderedRow::new(table, row))
-                .collect(),
-        }
+    pub fn new(table: &Table) -> RenderedTable {
+        let mut rendered = RenderedTable::default();
+        rendered.extend(table, 0);
+        rendered
+    }
+
+    /// Renders rows `from_row..table.n_rows()` and appends them — the
+    /// incremental path for append-only table growth. `from_row` must equal
+    /// the current [`RenderedTable::n_rows`] (already-rendered rows are
+    /// immutable).
+    pub fn extend(&mut self, table: &Table, from_row: usize) {
+        assert_eq!(from_row, self.rows.len(), "extend only appends");
+        self.rows
+            .extend((from_row..table.n_rows()).map(|row| RenderedRow::new(table, row)));
     }
 
     /// Number of rendered rows.
@@ -199,8 +217,8 @@ impl<'t> RenderedTable<'t> {
     pub fn row_key(&self, row: usize) -> String {
         let rr = &self.rows[row];
         let mut key = String::new();
-        for (cell, rendered) in rr.cells.iter().zip(&rr.rendered) {
-            key.push(kind_tag(*cell) as char);
+        for (kind, rendered) in rr.kinds.iter().zip(&rr.rendered) {
+            key.push(*kind as char);
             key.push_str(&rendered.len().to_string());
             key.push(':');
             key.push_str(rendered);
@@ -209,27 +227,30 @@ impl<'t> RenderedTable<'t> {
     }
 }
 
-impl<'t> RenderedRow<'t> {
-    fn new(table: &'t Table, row: usize) -> RenderedRow<'t> {
+impl RenderedRow {
+    fn new(table: &Table, row: usize) -> RenderedRow {
         let cells: Vec<Option<&CellValue>> =
             table.columns().iter().map(|col| col.get(row)).collect();
+        let kinds: Vec<u8> = cells.iter().map(|c| kind_tag(*c)).collect();
         let rendered: Vec<String> = cells
             .iter()
             .map(|c| c.map(CellValue::render).unwrap_or_default())
             .collect();
         let lowered: Vec<String> = rendered.iter().map(|s| s.to_lowercase()).collect();
         RenderedRow {
-            cells,
+            kinds,
             rendered,
             lowered,
         }
     }
 
     /// [`Predicate::eval`] against the cached renderings (identical
-    /// semantics; `lowered_constant` is the predicate's constant already
-    /// lowercased).
+    /// semantics — every template is a pure function of the cell's kind tag
+    /// and rendered text; `lowered_constant` is the predicate's constant
+    /// already lowercased).
     fn eval(&self, p: &Predicate, lowered_constant: &str) -> bool {
-        let present = |c: usize| self.cells.get(c).copied().flatten().is_some();
+        let present = |c: usize| self.kinds.get(c).is_some_and(|&k| k != b'_');
+        let kind_is = |c: usize, tag: u8| self.kinds.get(c) == Some(&tag);
         match p {
             Predicate::Equals(c, s) => present(*c) && self.rendered[*c].eq_ignore_ascii_case(s),
             Predicate::Contains(c, _) => present(*c) && self.lowered[*c].contains(lowered_constant),
@@ -243,37 +264,12 @@ impl<'t> RenderedRow<'t> {
             Predicate::HasDigits(c) => {
                 present(*c) && self.rendered[*c].chars().any(|ch| ch.is_ascii_digit())
             }
-            Predicate::IsNum(c) => self
-                .cells
-                .get(*c)
-                .copied()
-                .flatten()
-                .is_some_and(CellValue::is_number),
-            Predicate::IsError(c) => self
-                .cells
-                .get(*c)
-                .copied()
-                .flatten()
-                .is_some_and(CellValue::is_error),
+            Predicate::IsNum(c) => kind_is(*c, b'n'),
+            Predicate::IsError(c) => kind_is(*c, b'e'),
             Predicate::IsFormula(_) => false,
-            Predicate::IsLogical(c) => self
-                .cells
-                .get(*c)
-                .copied()
-                .flatten()
-                .is_some_and(CellValue::is_bool),
-            Predicate::IsNA(c) => self
-                .cells
-                .get(*c)
-                .copied()
-                .flatten()
-                .is_some_and(CellValue::is_na),
-            Predicate::IsText(c) => self
-                .cells
-                .get(*c)
-                .copied()
-                .flatten()
-                .is_some_and(CellValue::is_text),
+            Predicate::IsLogical(c) => kind_is(*c, b'b'),
+            Predicate::IsNA(c) => kind_is(*c, b'0'),
+            Predicate::IsText(c) => kind_is(*c, b't'),
         }
     }
 }
@@ -301,7 +297,7 @@ impl FeatureSet {
 
     /// Generates features over every column, evaluating candidate
     /// predicates against a pre-rendered cell matrix.
-    pub fn generate_rendered(table: &Table, rendered: &RenderedTable<'_>) -> FeatureSet {
+    pub fn generate_rendered(table: &Table, rendered: &RenderedTable) -> FeatureSet {
         let n_rows = table.n_rows();
         let mut predicates = Vec::new();
         for (c, col) in table.columns().iter().enumerate() {
@@ -389,11 +385,11 @@ impl FeatureSet {
     }
 
     /// [`FeatureSet::row_features`] against a pre-rendered cell matrix.
-    pub fn row_features_rendered(&self, rendered: &RenderedTable<'_>, row: usize) -> Vec<bool> {
+    pub fn row_features_rendered(&self, rendered: &RenderedTable, row: usize) -> Vec<bool> {
         self.eval_row(&rendered.rows[row])
     }
 
-    fn eval_row(&self, rr: &RenderedRow<'_>) -> Vec<bool> {
+    fn eval_row(&self, rr: &RenderedRow) -> Vec<bool> {
         self.predicates
             .iter()
             .zip(&self.lowered)
@@ -544,5 +540,37 @@ mod tests {
         let rendered = RenderedTable::new(&t);
         assert_ne!(rendered.row_key(0), rendered.row_key(1));
         assert_eq!(rendered.row_key(1), rendered.row_key(2));
+    }
+
+    #[test]
+    fn extend_matches_from_scratch() {
+        let small = figure2_table();
+        let mut grown = small.clone();
+        grown
+            .column_mut(0)
+            .unwrap()
+            .values_mut()
+            .push(CellValue::text("Amateur"));
+        grown
+            .column_mut(1)
+            .unwrap()
+            .values_mut()
+            .push(CellValue::text("Bra-333-AMA"));
+
+        let mut incremental = RenderedTable::new(&small);
+        incremental.extend(&grown, small.n_rows());
+        let scratch = RenderedTable::new(&grown);
+        assert_eq!(incremental.n_rows(), scratch.n_rows());
+        for row in 0..grown.n_rows() {
+            assert_eq!(incremental.row_key(row), scratch.row_key(row), "row {row}");
+        }
+        let fs = FeatureSet::generate(&grown);
+        for row in 0..grown.n_rows() {
+            assert_eq!(
+                fs.row_features_rendered(&incremental, row),
+                fs.row_features(&grown, row),
+                "row {row}"
+            );
+        }
     }
 }

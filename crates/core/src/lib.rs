@@ -54,7 +54,7 @@ pub use pipeline::{ColumnAnalysis, ColumnReport, DataVinci, TableReport};
 pub use ranker::{CandidateProperties, RankerWeights};
 pub use repair_dp::minimal_edit_program;
 pub use repair_plan::{RepairGroup, RepairPlan};
-pub use session::{AnalysisSession, SessionStats};
+pub use session::{AnalysisSession, SessionResumeError, SessionSnapshot, SessionStats};
 pub use system::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
 // The session's column-type detections surface semantic-crate types;
 // re-exported so engine-layer consumers need not depend on it directly.

@@ -211,6 +211,21 @@ impl DataVinci {
         AnalysisSession::with_mask_cache(table, self.abstractor.model().mask_cache_handle())
     }
 
+    /// Resumes a detached session snapshot onto `table` (the snapshot's
+    /// table plus appended rows), falling back to a fresh session wired to
+    /// this system's caches when the snapshot does not fit — the streaming
+    /// append path's entry point.
+    pub fn resume_session<'t>(
+        &self,
+        snapshot: crate::SessionSnapshot,
+        table: &'t Table,
+    ) -> AnalysisSession<'t> {
+        match AnalysisSession::resume(snapshot, table) {
+            Ok(session) => session,
+            Err(_) => self.session(table),
+        }
+    }
+
     /// Detects the dominant semantic type of column `col` against this
     /// system's gazetteer, through the session's memos: the column's value
     /// pool is reused and the gazetteer sweep runs at most once per
@@ -275,7 +290,12 @@ impl DataVinci {
     ) -> ColumnAnalysis {
         let column = session.table().column(col).expect("column index in range");
         let values = session.column_values(col);
-        let pool = if values.len() >= prior.values.len()
+        // A resumed session ([`AnalysisSession::resume`]) already carries
+        // the pool extended over the appended rows — re-extending `prior`'s
+        // would redo the merge it just did.
+        let pool = if let Some(cached) = session.cached_pool(col) {
+            cached
+        } else if values.len() >= prior.values.len()
             && values[..prior.values.len()] == prior.values[..]
         {
             let extended = Arc::new(prior.pool.extended(&values[prior.values.len()..]));

@@ -23,6 +23,16 @@
 //! concurrently through a single shared session, and equal tables within a
 //! batch share one session outright. [`AnalysisSession::stats`] snapshots
 //! the reuse counters (the CLI and the engine surface them in reports).
+//!
+//! Sessions are also **extendable**: when rows are appended to a table, the
+//! session's learned state is a strict prefix of the grown table's, so
+//! instead of rebuilding everything, [`AnalysisSession::into_snapshot`]
+//! detaches the owned state from the table borrow and
+//! [`AnalysisSession::resume`] re-attaches it to the grown table, extending
+//! the rendered matrix, the row interner, and every memoized value vector
+//! and [`ValuePool`] in place. This is what the streaming engine rides:
+//! each chunk resumes the previous chunk's session rather than re-rendering
+//! and re-interning the whole prefix.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,7 +40,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::features::{FeatureSet, RenderedTable};
 use datavinci_semantic::{ColumnTypeMemo, Gazetteer, MaskCache, TypeDetection};
-use datavinci_table::{Table, ValuePool};
+use datavinci_table::{CellValue, Table, ValuePool};
 
 /// A snapshot of one session's reuse counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,6 +77,11 @@ pub struct SessionStats {
     /// Mask-cache misses since this session opened (delta, like
     /// `mask_cache_hits`).
     pub mask_cache_misses: u64,
+    /// Times this session's state was resumed onto a grown table
+    /// ([`AnalysisSession::resume`] / [`AnalysisSession::extend`]).
+    pub session_extensions: u64,
+    /// Rows appended across those resumes.
+    pub rows_appended: u64,
 }
 
 impl SessionStats {
@@ -87,6 +102,8 @@ impl SessionStats {
         self.mask_cache_entries = self.mask_cache_entries.max(other.mask_cache_entries);
         self.mask_cache_hits += other.mask_cache_hits;
         self.mask_cache_misses += other.mask_cache_misses;
+        self.session_extensions += other.session_extensions;
+        self.rows_appended += other.rows_appended;
     }
 
     /// Rows served per repair-plan group (1.0 when nothing was planned).
@@ -109,37 +126,51 @@ struct Counters {
     pools_reused: AtomicU64,
     plan_error_rows: AtomicU64,
     plan_groups: AtomicU64,
+    session_extensions: AtomicU64,
+    rows_appended: AtomicU64,
 }
 
 /// Table-level row interning: rows equal in every cell (kind *and* rendered
 /// text) share a distinct-row index, and therefore one feature vector and
 /// one weighted decision-tree example.
-#[derive(Debug)]
+///
+/// The key → index map is retained (not just the counts) so appended rows
+/// can be interned incrementally: existing rows keep their distinct index,
+/// which is what keeps the session's per-distinct-row feature memo valid
+/// across [`AnalysisSession::resume`].
+#[derive(Debug, Default)]
 struct RowPool {
+    index: HashMap<String, usize>,
     row_to_distinct: Vec<usize>,
-    n_distinct: usize,
 }
 
 impl RowPool {
-    fn build(rendered: &RenderedTable<'_>) -> RowPool {
-        let mut index: HashMap<String, usize> = HashMap::new();
-        let mut row_to_distinct = Vec::with_capacity(rendered.n_rows());
-        for row in 0..rendered.n_rows() {
-            let next = index.len();
-            let di = *index.entry(rendered.row_key(row)).or_insert(next);
-            row_to_distinct.push(di);
+    fn build(rendered: &RenderedTable) -> RowPool {
+        let mut pool = RowPool::default();
+        pool.extend(rendered, 0);
+        pool
+    }
+
+    /// Interns rows `from_row..` of the (already extended) rendered matrix.
+    fn extend(&mut self, rendered: &RenderedTable, from_row: usize) {
+        debug_assert_eq!(from_row, self.row_to_distinct.len());
+        self.row_to_distinct.reserve(rendered.n_rows() - from_row);
+        for row in from_row..rendered.n_rows() {
+            let next = self.index.len();
+            let di = *self.index.entry(rendered.row_key(row)).or_insert(next);
+            self.row_to_distinct.push(di);
         }
-        RowPool {
-            row_to_distinct,
-            n_distinct: index.len(),
-        }
+    }
+
+    fn n_distinct(&self) -> usize {
+        self.index.len()
     }
 }
 
 /// The shared analysis context for one table (see the module docs).
 pub struct AnalysisSession<'t> {
     table: &'t Table,
-    rendered: OnceLock<RenderedTable<'t>>,
+    rendered: OnceLock<RenderedTable>,
     features: OnceLock<Arc<FeatureSet>>,
     row_pool: OnceLock<RowPool>,
     /// Distinct-row index → feature vector.
@@ -190,7 +221,7 @@ impl<'t> AnalysisSession<'t> {
     }
 
     /// The rendered/lowercased cell matrix (built on first use).
-    fn rendered(&self) -> &RenderedTable<'t> {
+    fn rendered(&self) -> &RenderedTable {
         self.rendered.get_or_init(|| RenderedTable::new(self.table))
     }
 
@@ -224,7 +255,7 @@ impl<'t> AnalysisSession<'t> {
 
     /// Number of distinct table rows.
     pub fn n_distinct_rows(&self) -> usize {
-        self.row_pool().n_distinct
+        self.row_pool().n_distinct()
     }
 
     fn row_pool(&self) -> &RowPool {
@@ -292,6 +323,23 @@ impl<'t> AnalysisSession<'t> {
         pool
     }
 
+    /// The pool for `col` if one is already memoized — without building.
+    /// The append path consults this before extending a prior pool: a
+    /// resumed session already carries the extended pool, so re-extending
+    /// would duplicate the merge work.
+    pub fn cached_pool(&self, col: usize) -> Option<Arc<ValuePool>> {
+        let hit = self
+            .pools
+            .lock()
+            .expect("session poisoned")
+            .get(&col)
+            .map(Arc::clone);
+        if hit.is_some() {
+            self.counters.pools_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
     /// Installs an externally built pool for `col` (the append path extends
     /// a prior pool instead of re-interning and registers the result here).
     pub fn install_pool(&self, col: usize, pool: Arc<ValuePool>) {
@@ -345,16 +393,225 @@ impl<'t> AnalysisSession<'t> {
                 .row_pool
                 .get()
                 .map_or(0, |p| p.row_to_distinct.len() as u64),
-            distinct_rows: self.row_pool.get().map_or(0, |p| p.n_distinct as u64),
+            distinct_rows: self.row_pool.get().map_or(0, |p| p.n_distinct() as u64),
             plan_error_rows: self.counters.plan_error_rows.load(Ordering::Relaxed),
             plan_groups: self.counters.plan_groups.load(Ordering::Relaxed),
             column_types_memoized: self.types.len() as u64,
             mask_cache_entries: mask.entries,
             mask_cache_hits: mask.hits.saturating_sub(self.mask_base.hits),
             mask_cache_misses: mask.misses.saturating_sub(self.mask_base.misses),
+            session_extensions: self.counters.session_extensions.load(Ordering::Relaxed),
+            rows_appended: self.counters.rows_appended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Detaches the session's owned state from the table borrow.
+    ///
+    /// The snapshot records the table's shape (headers, row count, column
+    /// fingerprints) so a later [`AnalysisSession::resume`] can verify the
+    /// new table really is the old one plus appended rows before adopting
+    /// the state. Everything learned — rendered matrix, feature set, row
+    /// interner, feature memo, value vectors, pools, mask-cache handle,
+    /// counters — carries over; only the column-type memo is dropped
+    /// (appended rows can change a type verdict).
+    pub fn into_snapshot(self) -> SessionSnapshot {
+        SessionSnapshot {
+            headers: self.table.headers().iter().map(|h| h.to_string()).collect(),
+            n_rows: self.table.n_rows(),
+            column_prints: self
+                .table
+                .columns()
+                .iter()
+                .map(|c| c.fingerprint())
+                .collect(),
+            rendered: self.rendered.into_inner(),
+            features: self.features.into_inner(),
+            row_pool: self.row_pool.into_inner(),
+            row_features: self.row_features.into_inner().expect("session poisoned"),
+            values: self.values.into_inner().expect("session poisoned"),
+            pools: self.pools.into_inner().expect("session poisoned"),
+            mask_cache: self.mask_cache,
+            mask_base: self.mask_base,
+            counters: self.counters,
+        }
+    }
+
+    /// Re-attaches a snapshot to `table`, which must be the snapshot's
+    /// table plus zero or more appended rows ([`SessionSnapshot::resumable_for`]).
+    ///
+    /// The rendered matrix, row interner, memoized value vectors, and value
+    /// pools are *extended* over the appended rows — prior rows are never
+    /// re-rendered or re-interned. The feature set (if generated) is kept
+    /// as-is: resumed cleaning re-scores the previously learned features
+    /// against the appended rows, exactly like the engine's append-only
+    /// cache arm; callers wanting fresh features on drift simply start a
+    /// new session.
+    pub fn resume(
+        snapshot: SessionSnapshot,
+        table: &'t Table,
+    ) -> Result<AnalysisSession<'t>, SessionResumeError> {
+        snapshot.check_resumable(table)?;
+        let appended = table.n_rows() - snapshot.n_rows;
+        let SessionSnapshot {
+            n_rows: prior_rows,
+            mut rendered,
+            features,
+            mut row_pool,
+            row_features,
+            mut values,
+            mut pools,
+            mask_cache,
+            mask_base,
+            counters,
+            ..
+        } = snapshot;
+
+        if let Some(r) = rendered.as_mut() {
+            r.extend(table, prior_rows);
+        }
+        if let Some(p) = row_pool.as_mut() {
+            let r = rendered
+                .as_ref()
+                .expect("a row pool implies a rendered matrix");
+            p.extend(r, prior_rows);
+        }
+        let appended_rendered = |col: usize| -> Vec<String> {
+            let column = table.column(col).expect("column count verified");
+            (prior_rows..table.n_rows())
+                .map(|row| column.get(row).map(CellValue::render).unwrap_or_default())
+                .collect()
+        };
+        for (&col, vals) in values.iter_mut() {
+            Arc::make_mut(vals).extend(appended_rendered(col));
+        }
+        for (&col, pool) in pools.iter_mut() {
+            let tail = match values.get(&col) {
+                Some(v) => v[prior_rows..].to_vec(),
+                None => appended_rendered(col),
+            };
+            *pool = Arc::new(pool.extended(&tail));
+        }
+
+        counters.session_extensions.fetch_add(1, Ordering::Relaxed);
+        counters
+            .rows_appended
+            .fetch_add(appended as u64, Ordering::Relaxed);
+        fn into_lock<T>(v: Option<T>) -> OnceLock<T> {
+            let lock = OnceLock::new();
+            if let Some(v) = v {
+                let _ = lock.set(v);
+            }
+            lock
+        }
+        Ok(AnalysisSession {
+            table,
+            rendered: into_lock(rendered),
+            features: into_lock(features),
+            row_pool: into_lock(row_pool),
+            row_features: Mutex::new(row_features),
+            values: Mutex::new(values),
+            pools: Mutex::new(pools),
+            mask_cache,
+            mask_base,
+            types: ColumnTypeMemo::default(),
+            counters,
+        })
+    }
+
+    /// [`AnalysisSession::into_snapshot`] + [`AnalysisSession::resume`] in
+    /// one step: moves this session's learned state onto `grown` (this
+    /// table plus appended rows).
+    pub fn extend<'u>(self, grown: &'u Table) -> Result<AnalysisSession<'u>, SessionResumeError> {
+        AnalysisSession::resume(self.into_snapshot(), grown)
+    }
+}
+
+/// An [`AnalysisSession`]'s owned state, detached from the table borrow so
+/// it can outlive the table it was learned on and be resumed on a grown
+/// copy (see [`AnalysisSession::into_snapshot`]).
+pub struct SessionSnapshot {
+    headers: Vec<String>,
+    n_rows: usize,
+    column_prints: Vec<u64>,
+    rendered: Option<RenderedTable>,
+    features: Option<Arc<FeatureSet>>,
+    row_pool: Option<RowPool>,
+    row_features: HashMap<usize, Arc<[bool]>>,
+    values: HashMap<usize, Arc<Vec<String>>>,
+    pools: HashMap<usize, Arc<ValuePool>>,
+    mask_cache: Arc<MaskCache>,
+    mask_base: datavinci_semantic::MaskCacheStats,
+    counters: Counters,
+}
+
+impl SessionSnapshot {
+    /// Rows the snapshot's table had when it was taken.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when [`AnalysisSession::resume`] on `table` would succeed:
+    /// same headers, at least as many rows, and every column's first
+    /// `n_rows` cells fingerprint-identical to the snapshot's (appended
+    /// rows only).
+    pub fn resumable_for(&self, table: &Table) -> bool {
+        self.check_resumable(table).is_ok()
+    }
+
+    fn check_resumable(&self, table: &Table) -> Result<(), SessionResumeError> {
+        if table.headers() != self.headers.iter().map(String::as_str).collect::<Vec<_>>() {
+            return Err(SessionResumeError::HeaderMismatch);
+        }
+        if table.n_rows() < self.n_rows {
+            return Err(SessionResumeError::TableShrunk {
+                had: self.n_rows,
+                got: table.n_rows(),
+            });
+        }
+        for (col, (column, &print)) in table.columns().iter().zip(&self.column_prints).enumerate() {
+            if column.fingerprint_prefix(self.n_rows) != print {
+                return Err(SessionResumeError::PrefixChanged { col });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`SessionSnapshot`] could not be resumed on a table (the table is
+/// not the snapshot's table plus appended rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionResumeError {
+    /// Column names or order differ.
+    HeaderMismatch,
+    /// The new table has fewer rows than the snapshot covered.
+    TableShrunk {
+        /// Rows the snapshot covered.
+        had: usize,
+        /// Rows the new table has.
+        got: usize,
+    },
+    /// A column's prefix rows changed content (not an append).
+    PrefixChanged {
+        /// The first differing column.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for SessionResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionResumeError::HeaderMismatch => write!(f, "table headers changed"),
+            SessionResumeError::TableShrunk { had, got } => {
+                write!(f, "table shrank from {had} to {got} rows")
+            }
+            SessionResumeError::PrefixChanged { col } => {
+                write!(f, "column {col} changed within previously analyzed rows")
+            }
         }
     }
 }
+
+impl std::error::Error for SessionResumeError {}
 
 #[cfg(test)]
 mod tests {
@@ -426,5 +683,127 @@ mod tests {
         let again = s.column_type(0, &gaz, 0.5).expect("memo hit");
         assert_eq!(first, again);
         assert_eq!(s.stats().column_types_memoized, 1);
+    }
+
+    fn grown_table() -> Table {
+        let mut t = table();
+        t.column_mut(0)
+            .unwrap()
+            .values_mut()
+            .extend([CellValue::text("y"), CellValue::text("z")]);
+        t.column_mut(1)
+            .unwrap()
+            .values_mut()
+            .extend([CellValue::text("2-b"), CellValue::text("3-c")]);
+        t
+    }
+
+    #[test]
+    fn extend_carries_state_and_matches_fresh_session() {
+        let small = table();
+        let grown = grown_table();
+
+        let s = AnalysisSession::new(&small);
+        let _ = s.row_features(0);
+        let _ = s.value_pool(1);
+        let _ = s.column_values(0);
+        let prior_features = s.features_arc().expect("generated");
+
+        let s = s.extend(&grown).expect("append-only growth resumes");
+        let fresh = AnalysisSession::new(&grown);
+
+        // Same features object (re-score semantics), no regeneration.
+        assert!(Arc::ptr_eq(
+            &s.features_arc().expect("carried"),
+            &prior_features
+        ));
+        // Extended pools/values/interner agree with a from-scratch session.
+        assert_eq!(*s.value_pool(1), *fresh.value_pool(1));
+        assert_eq!(*s.column_values(0), *fresh.column_values(0));
+        assert_eq!(s.n_distinct_rows(), fresh.n_distinct_rows());
+        for row in 0..grown.n_rows() {
+            assert_eq!(s.distinct_row(row), fresh.distinct_row(row), "row {row}");
+        }
+        // Appended row features evaluate against the carried feature set.
+        for row in 0..grown.n_rows() {
+            assert_eq!(
+                &s.row_features(row)[..],
+                &prior_features.row_features(&grown, row)[..],
+                "row {row}"
+            );
+        }
+        let stats = s.stats();
+        assert_eq!(stats.session_extensions, 1);
+        assert_eq!(stats.rows_appended, 2);
+        assert_eq!(stats.feature_generations, 1, "no regeneration on resume");
+    }
+
+    #[test]
+    fn extend_preserves_distinct_indices_for_feature_memo() {
+        let small = table();
+        let grown = grown_table();
+        let s = AnalysisSession::new(&small);
+        let before = s.row_features(1);
+        let s = s.extend(&grown).expect("resumes");
+        // Row 4 duplicates row 1; the memoized vector must be shared.
+        assert!(Arc::ptr_eq(&before, &s.row_features(4)));
+        assert!(s.stats().feature_row_hits >= 1);
+    }
+
+    #[test]
+    fn resume_rejects_non_append_growth() {
+        let small = table();
+        let snapshot = {
+            let s = AnalysisSession::new(&small);
+            let _ = s.row_features(0);
+            s.into_snapshot()
+        };
+        assert!(snapshot.resumable_for(&small), "identity resume allowed");
+
+        let mut mutated = grown_table();
+        mutated
+            .column_mut(1)
+            .unwrap()
+            .set(0, CellValue::text("XXX"));
+        assert!(!snapshot.resumable_for(&mutated));
+        assert_eq!(
+            AnalysisSession::resume(snapshot, &mutated).err(),
+            Some(SessionResumeError::PrefixChanged { col: 1 })
+        );
+
+        let shrunk = Table::new(vec![
+            Column::from_texts("a", &["x"]),
+            Column::from_texts("b", &["1-a"]),
+        ]);
+        let s = AnalysisSession::new(&small);
+        assert_eq!(
+            s.into_snapshot().check_resumable(&shrunk),
+            Err(SessionResumeError::TableShrunk { had: 4, got: 1 })
+        );
+
+        let renamed = Table::new(vec![
+            Column::from_texts("a", &["x", "y", "x", "x"]),
+            Column::from_texts("B", &["1-a", "2-b", "1-a", "1-a"]),
+        ]);
+        let s = AnalysisSession::new(&small);
+        assert_eq!(
+            s.into_snapshot().check_resumable(&renamed),
+            Err(SessionResumeError::HeaderMismatch)
+        );
+    }
+
+    #[test]
+    fn lazy_session_resumes_without_building_anything() {
+        // A session whose state was never touched snapshots to an empty
+        // snapshot and resumes into a lazily-built session.
+        let small = table();
+        let grown = grown_table();
+        let s = AnalysisSession::new(&small);
+        let s = s.extend(&grown).expect("resumes");
+        assert_eq!(
+            s.n_distinct_rows(),
+            AnalysisSession::new(&grown).n_distinct_rows()
+        );
+        assert_eq!(s.stats().feature_generations, 0);
     }
 }

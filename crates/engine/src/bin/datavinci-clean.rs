@@ -5,6 +5,8 @@
 //!                 [--workers N] [--semantics full|limited|none]
 //!                 [--strategy planner|rowwise] [--types] [--no-cache]
 //!                 [--quiet]
+//! datavinci-clean --follow [input.csv|-] [--chunk-rows N] [--window-rows N]
+//!                 [-o out.csv] ...
 //! ```
 //!
 //! Reads a headered CSV, runs the parallel cleaning engine over every
@@ -14,13 +16,24 @@
 //! reuse stats (feature generations, row-vector sharing, mask-memo hits).
 //! `--types` additionally reports each cleaned column's dominant semantic
 //! type, detected once per column through the session's type memo.
+//!
+//! `--follow` switches to **streaming** mode: input (a file, or stdin when
+//! the input is `-` or omitted) is consumed in chunks of `--chunk-rows`
+//! rows, each chunk's repaired rows are emitted as soon as they are cleaned
+//! (to `-o` or stdout), and per-chunk repairs are echoed to stderr. The
+//! whole file is never held in memory; `--window-rows` additionally bounds
+//! how many already-emitted rows are retained as cleaning context. Parse
+//! problems are reported with their line number.
 
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use datavinci_core::{DataVinci, DataVinciConfig, RepairStrategy, SemanticMode, TypeDetection};
 use datavinci_engine::json::Json;
-use datavinci_engine::{session_stats_json, Engine, EngineConfig, EngineReport};
-use datavinci_table::{io, Table};
+use datavinci_engine::{
+    session_stats_json, Engine, EngineConfig, EngineReport, StreamCleaner, StreamConfig,
+};
+use datavinci_table::{io, CsvChunkReader, Table};
 
 struct Args {
     input: String,
@@ -32,11 +45,16 @@ struct Args {
     types: bool,
     cache: bool,
     quiet: bool,
+    follow: bool,
+    chunk_rows: usize,
+    window_rows: usize,
 }
 
 const USAGE: &str = "usage: datavinci-clean INPUT.csv [-o OUT.csv] [--report REPORT.json] \
                      [--workers N] [--semantics full|limited|none] \
-                     [--strategy planner|rowwise] [--types] [--no-cache] [--quiet]";
+                     [--strategy planner|rowwise] [--types] [--no-cache] [--quiet]\n\
+       datavinci-clean --follow [INPUT.csv|-] [--chunk-rows N] [--window-rows N] \
+                     [-o OUT.csv] [--workers N] [--semantics ...] [--strategy ...] [--quiet]";
 
 /// `Ok(None)` means help was requested (print usage, exit 0).
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -50,6 +68,9 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         types: false,
         cache: true,
         quiet: false,
+        follow: false,
+        chunk_rows: 256,
+        window_rows: 0,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -84,14 +105,35 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             "--types" => args.types = true,
             "--no-cache" => args.cache = false,
             "--quiet" | "-q" => args.quiet = true,
+            "--follow" => args.follow = true,
+            "--chunk-rows" => {
+                args.chunk_rows = value(arg)?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--chunk-rows needs a positive integer".to_string())?
+            }
+            "--window-rows" => {
+                args.window_rows = value(arg)?
+                    .parse()
+                    .map_err(|_| "--window-rows needs an integer".to_string())?
+            }
             "--help" | "-h" => return Ok(None),
+            "-" if args.input.is_empty() => args.input = "-".to_string(),
             other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
             other if args.input.is_empty() => args.input = other.to_string(),
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
     if args.input.is_empty() {
-        return Err("missing INPUT.csv".to_string());
+        if args.follow {
+            args.input = "-".to_string();
+        } else {
+            return Err("missing INPUT.csv".to_string());
+        }
+    }
+    if args.input == "-" && !args.follow {
+        return Err("stdin input requires --follow".to_string());
     }
     Ok(Some(args))
 }
@@ -168,11 +210,123 @@ fn report_json(
     root
 }
 
+/// Streaming mode: chunked ingestion → per-chunk cleaning → incremental
+/// emission. Repaired CSV goes to `-o` (or stdout); repairs echo to stderr.
+fn run_follow(args: &Args) -> Result<(), String> {
+    let mut input: Box<dyn Read> = if args.input == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        Box::new(
+            std::fs::File::open(&args.input)
+                .map_err(|e| format!("cannot read {}: {e}", args.input))?,
+        )
+    };
+    let mut output: Box<dyn Write> = match &args.output {
+        Some(path) if path != "-" => {
+            Box::new(std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?)
+        }
+        _ => Box::new(std::io::stdout().lock()),
+    };
+
+    let mut dv = Some(DataVinci::with_config(DataVinciConfig {
+        semantics: args.semantics,
+        repair_strategy: args.strategy,
+        ..DataVinciConfig::default()
+    }));
+    let stream_cfg = StreamConfig {
+        workers: args.workers,
+        window_rows: args.window_rows,
+    };
+
+    let mut reader = CsvChunkReader::new();
+    let mut cleaner: Option<StreamCleaner> = None;
+    let mut pending: Vec<Vec<String>> = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let started = std::time::Instant::now();
+
+    let emit = |cleaner: &mut Option<StreamCleaner>,
+                pending: &mut Vec<Vec<String>>,
+                output: &mut Box<dyn Write>|
+     -> Result<(), String> {
+        let cleaner = cleaner.as_mut().expect("header before rows");
+        let outcome = cleaner.push_rows(pending);
+        pending.clear();
+        output
+            .write_all(outcome.csv.as_bytes())
+            .and_then(|()| output.flush())
+            .map_err(|e| format!("cannot write output: {e}"))?;
+        if !args.quiet {
+            for r in &outcome.repairs {
+                eprintln!(
+                    "row {}, col {}: {:?} -> {:?}",
+                    r.row, r.col, r.original, r.repaired
+                );
+            }
+        }
+        Ok(())
+    };
+
+    loop {
+        let n = input
+            .read(&mut buf)
+            .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+        let rows = if n == 0 {
+            reader.finish()
+        } else {
+            reader.push(&buf[..n])
+        }
+        .map_err(|e| format!("{}: {e}", args.input))?;
+
+        if cleaner.is_none() {
+            if let Some(header) = reader.header() {
+                let c =
+                    StreamCleaner::with_system(dv.take().expect("one header"), header, stream_cfg);
+                output
+                    .write_all(c.csv_header().as_bytes())
+                    .map_err(|e| format!("cannot write output: {e}"))?;
+                cleaner = Some(c);
+            }
+        }
+        pending.extend(rows);
+        while pending.len() >= args.chunk_rows {
+            let rest = pending.split_off(args.chunk_rows);
+            let mut chunk = std::mem::replace(&mut pending, rest);
+            emit(&mut cleaner, &mut chunk, &mut output)?;
+        }
+        if n == 0 {
+            if !pending.is_empty() {
+                emit(&mut cleaner, &mut pending, &mut output)?;
+            }
+            break;
+        }
+    }
+    let Some(cleaner) = cleaner else {
+        return Err(format!("{}: missing header record", args.input));
+    };
+
+    if !args.quiet {
+        eprintln!(
+            "{}: streamed {} rows · {} repairs · {} window compaction(s) · {:.1} ms",
+            args.input,
+            cleaner.n_rows(),
+            cleaner.n_repairs(),
+            cleaner.compactions(),
+            started.elapsed().as_secs_f64() * 1000.0,
+        );
+        if let Some(stats) = cleaner.engine().cache_stats() {
+            eprintln!(
+                "cache: {} session resume(s) · {} append hits · {} append fallbacks · {} misses",
+                stats.session_resumes, stats.append_hits, stats.append_fallbacks, stats.misses,
+            );
+        }
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     let text = std::fs::read_to_string(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input))?;
-    let table = io::parse_csv(&text)
-        .ok_or_else(|| format!("{}: not a rectangular headered CSV", args.input))?;
+    let table = io::parse_csv(&text).map_err(|e| format!("{}: {e}", args.input))?;
 
     let dv = DataVinci::with_config(DataVinciConfig {
         semantics: args.semantics,
@@ -207,10 +361,15 @@ fn run(args: &Args) -> Result<(), String> {
         vec![None; report.columns.len()]
     };
 
-    let out_path = args
-        .output
-        .clone()
-        .unwrap_or_else(|| format!("{}.cleaned.csv", args.input.trim_end_matches(".csv")));
+    let out_path = args.output.clone().unwrap_or_else(|| {
+        // Strip one `.csv` suffix at most: `data.csv.csv` becomes
+        // `data.csv.cleaned.csv`, an extensionless `data` becomes
+        // `data.cleaned.csv`.
+        match args.input.strip_suffix(".csv") {
+            Some(stem) => format!("{stem}.cleaned.csv"),
+            None => format!("{}.cleaned.csv", args.input),
+        }
+    });
     std::fs::write(&out_path, io::to_csv(&repaired))
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
@@ -281,7 +440,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&args) {
+    let result = if args.follow {
+        run_follow(&args)
+    } else {
+        run(&args)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");

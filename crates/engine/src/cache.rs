@@ -19,12 +19,32 @@
 //! table's `FeatureSet` at most once; the cache stores that set keyed by
 //! the *table* fingerprint so a later session over identical table content
 //! is seeded instead of regenerating ([`ProfileCache::lookup_session`]).
+//!
+//! The **snapshot layer** goes one further for append-only growth: after a
+//! clean, the whole detached [`SessionSnapshot`] (rendered matrix, row
+//! interner, pools, features) is kept — the *latest* per header shape — so
+//! the next clean of the same table *plus appended rows* resumes the prior
+//! session instead of re-rendering and re-interning the shared prefix
+//! ([`ProfileCache::take_resumable_snapshot`]). This is the engine-side
+//! substrate of streaming cleaning.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
-use datavinci_core::{ColumnAnalysis, ColumnReport, FeatureSet};
-use datavinci_table::Column;
+use datavinci_core::{ColumnAnalysis, ColumnReport, FeatureSet, SessionSnapshot};
+use datavinci_table::{Column, Table};
+
+/// The snapshot-layer key: a hash of the table's header names in order.
+/// Appending rows never changes it, so a growing table keeps finding its
+/// own prior snapshot.
+pub fn header_key(table: &Table) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    for name in table.headers() {
+        name.hash(&mut hasher);
+    }
+    hasher.finish()
+}
 
 /// Default bound on distinct cached column contents (FIFO-evicted beyond
 /// it), keeping a long-lived engine's footprint proportional to its working
@@ -51,6 +71,10 @@ pub struct CacheStats {
     /// Session-layer reuse: a new clean of identical table content was
     /// seeded with the cached table `FeatureSet` instead of regenerating.
     pub session_hits: u64,
+    /// Snapshot-layer reuse: a clean of a grown table resumed the prior
+    /// session's state (rendered matrix, row interner, pools) instead of
+    /// rebuilding it.
+    pub session_resumes: u64,
 }
 
 impl CacheStats {
@@ -74,6 +98,7 @@ impl CacheStats {
             .field("append_fallbacks", Json::Int(self.append_fallbacks as i64))
             .field("misses", Json::Int(self.misses as i64))
             .field("session_hits", Json::Int(self.session_hits as i64))
+            .field("session_resumes", Json::Int(self.session_resumes as i64))
     }
 }
 
@@ -119,6 +144,11 @@ struct Inner {
     by_table: HashMap<u64, Arc<FeatureSet>>,
     /// Insertion order of `by_table` keys, for FIFO eviction.
     table_order: VecDeque<u64>,
+    /// Snapshot layer: header key → the latest detached session for a table
+    /// with those headers (one per shape: inserts replace).
+    snapshots: HashMap<u64, SessionSnapshot>,
+    /// Insertion order of `snapshots` keys, for FIFO eviction.
+    snapshot_order: VecDeque<u64>,
     stats: CacheStats,
 }
 
@@ -247,6 +277,45 @@ impl ProfileCache {
     /// Number of cached table-level sessions (feature sets).
     pub fn n_sessions(&self) -> usize {
         self.inner.lock().expect("cache poisoned").by_table.len()
+    }
+
+    /// Removes and returns the stored snapshot under `key` *iff* it can be
+    /// resumed on `table` (same headers, prefix content unchanged, rows
+    /// only appended). Validation happens under the cache lock, before the
+    /// take, so a returned snapshot is guaranteed to resume. Non-resumable
+    /// snapshots stay put — the stream they belong to may still come back.
+    pub fn take_resumable_snapshot(&self, key: u64, table: &Table) -> Option<SessionSnapshot> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if !inner
+            .snapshots
+            .get(&key)
+            .is_some_and(|s| s.resumable_for(table))
+        {
+            return None;
+        }
+        inner.stats.session_resumes += 1;
+        inner.snapshot_order.retain(|&k| k != key);
+        inner.snapshots.remove(&key)
+    }
+
+    /// Stores a detached session under its table's header key, replacing
+    /// any prior snapshot for that shape (FIFO-bounded across shapes).
+    pub fn insert_snapshot(&self, key: u64, snapshot: SessionSnapshot) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner.snapshots.insert(key, snapshot).is_none() {
+            inner.snapshot_order.push_back(key);
+        }
+        while inner.snapshots.len() > self.capacity {
+            let Some(oldest) = inner.snapshot_order.pop_front() else {
+                break;
+            };
+            inner.snapshots.remove(&oldest);
+        }
+    }
+
+    /// Number of stored session snapshots (one per table header shape).
+    pub fn n_snapshots(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").snapshots.len()
     }
 
     /// Records that an append hit was abandoned (the appended rows did not

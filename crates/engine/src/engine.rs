@@ -118,13 +118,25 @@ impl Engine {
         let fingerprint = table.fingerprint();
         let session = self.open_session(table, fingerprint);
         let outcome = self.clean_unit(&session, table, fingerprint, col);
-        self.store_session(fingerprint, &session);
+        self.store_session(fingerprint, crate::cache::header_key(table), session);
         outcome
     }
 
-    /// A session for `table`, seeded with the cached `FeatureSet` when the
-    /// cache has seen identical table content.
+    /// A session for `table`. Reuse is layered: if the cache holds a
+    /// detached session for the same header shape whose table is a prefix
+    /// of this one (streaming/append growth), it is *resumed* — rendered
+    /// matrix, row interner, and pools carry over and only the appended
+    /// rows are processed. Otherwise a fresh session is opened, seeded with
+    /// the cached `FeatureSet` when identical table content was cleaned
+    /// before.
     fn open_session<'t>(&self, table: &'t Table, fingerprint: u64) -> AnalysisSession<'t> {
+        if let Some(cache) = &self.cache {
+            if let Some(snapshot) =
+                cache.take_resumable_snapshot(crate::cache::header_key(table), table)
+            {
+                return self.dv.resume_session(snapshot, table);
+            }
+        }
         let session = self.dv.session(table);
         if let Some(cache) = &self.cache {
             if let Some(features) = cache.lookup_session(fingerprint) {
@@ -134,12 +146,16 @@ impl Engine {
         session
     }
 
-    /// Stores a session's generated features back into the session layer.
-    fn store_session(&self, fingerprint: u64, session: &AnalysisSession<'_>) {
+    /// Stores a finished session back into the cache: its generated
+    /// features into the session layer (keyed by table content) and its
+    /// detached state into the snapshot layer (keyed by header shape, for
+    /// append-only resume).
+    fn store_session(&self, fingerprint: u64, header_key: u64, session: AnalysisSession<'_>) {
         if let Some(cache) = &self.cache {
             if let Some(features) = session.features_arc() {
                 cache.insert_session(fingerprint, features);
             }
+            cache.insert_snapshot(header_key, session.into_snapshot());
         }
     }
 
@@ -180,14 +196,17 @@ impl Engine {
             })
             .collect();
 
-        // One session per *distinct* table fingerprint, seeded from the
-        // cache's session layer when identical content was cleaned before.
+        // One session per *distinct* table fingerprint, resumed from the
+        // cache's snapshot layer (append growth) or seeded from its session
+        // layer (identical content) when possible.
         let mut session_of: Vec<usize> = Vec::with_capacity(tables.len());
         let mut slots: HashMap<u64, usize> = HashMap::new();
         let mut sessions: Vec<AnalysisSession<'_>> = Vec::new();
+        let mut slot_keys: Vec<(u64, u64)> = Vec::new();
         for (ti, table) in tables.iter().enumerate() {
             let slot = *slots.entry(prints[ti]).or_insert_with(|| {
                 sessions.push(self.open_session(table, prints[ti]));
+                slot_keys.push((prints[ti], crate::cache::header_key(table)));
                 sessions.len() - 1
             });
             session_of.push(slot);
@@ -206,8 +225,8 @@ impl Engine {
         for (ti, report) in per_table.iter_mut().enumerate() {
             report.session = sessions[session_of[ti]].stats();
         }
-        for (&fingerprint, &slot) in &slots {
-            self.store_session(fingerprint, &sessions[slot]);
+        for (session, &(fingerprint, header_key)) in sessions.into_iter().zip(&slot_keys) {
+            self.store_session(fingerprint, header_key, session);
         }
         BatchReport {
             tables: per_table,
@@ -453,6 +472,34 @@ mod tests {
         assert_eq!(repairs.len(), 1, "{report:#?}");
         assert_eq!(repairs[0].repaired, "Q3-2001");
         assert_eq!(engine.cache_stats().unwrap().append_hits, 1);
+    }
+
+    #[test]
+    fn append_growth_resumes_prior_session() {
+        let engine = Engine::new();
+        let base = Table::new(vec![Column::from_texts(
+            "Quarter",
+            &["Q4-2002", "Q3-2002", "Q1-2001", "Q2-2002"],
+        )]);
+        engine.clean_table(&base);
+
+        let grown = Table::new(vec![Column::from_texts(
+            "Quarter",
+            &[
+                "Q4-2002", "Q3-2002", "Q1-2001", "Q2-2002", "Q1-2003", "Q32001",
+            ],
+        )]);
+        let report = engine.clean_table(&grown);
+        // The grown table's clean rode the prior session: state was resumed
+        // and only the two appended rows were rendered/interned anew.
+        assert_eq!(engine.cache_stats().unwrap().session_resumes, 1);
+        assert_eq!(report.session.session_extensions, 1);
+        assert_eq!(report.session.rows_appended, 2);
+        assert_eq!(report.columns[0].report.repairs[0].repaired, "Q3-2001");
+        // An unrelated shape does not resume.
+        let other = players_table();
+        engine.clean_table(&other);
+        assert_eq!(engine.cache_stats().unwrap().session_resumes, 1);
     }
 
     #[test]

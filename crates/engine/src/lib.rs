@@ -41,8 +41,10 @@ mod engine;
 pub mod json;
 pub mod pool;
 pub mod report;
+pub mod stream;
 
 pub use cache::{CacheLookup, CacheStats, CachedColumn, ProfileCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, EngineConfig};
 pub use pool::WorkerPool;
 pub use report::{session_stats_json, BatchReport, CacheOutcome, ColumnOutcome, EngineReport};
+pub use stream::{ChunkOutcome, StreamCleaner, StreamConfig, StreamRepair};

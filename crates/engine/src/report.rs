@@ -130,6 +130,11 @@ pub fn session_stats_json(stats: &SessionStats) -> Json {
             "mask_cache_misses",
             Json::Int(stats.mask_cache_misses as i64),
         )
+        .field(
+            "session_extensions",
+            Json::Int(stats.session_extensions as i64),
+        )
+        .field("rows_appended", Json::Int(stats.rows_appended as i64))
 }
 
 /// The outcome of one batch clean.

@@ -1,96 +1,357 @@
-//! Minimal CSV reader/writer for examples and fixtures.
+//! Lossless CSV reader/writer with resumable chunked ingestion.
 //!
-//! Supports RFC-4180-style quoting (`"a,b"`, doubled quotes). This is not a
-//! general CSV library — it exists so examples and tests can round-trip small
-//! tables without external dependencies.
+//! Supports RFC-4180-style quoting (`"a,b"`, doubled quotes, quoted
+//! newlines). The reader is built around [`CsvChunkReader`], a resumable
+//! state machine that consumes arbitrary byte chunks — a record (or even a
+//! UTF-8 code point) may be split across chunk boundaries — and yields
+//! complete row batches, so a table never needs to be fully resident.
+//! [`parse_csv`] is the whole-text convenience wrapper on top of it.
+//!
+//! Parsing is **lossless**: `parse_csv(to_csv(t))` reproduces `t` exactly
+//! for any table whose cells are in parse-normal form (see
+//! [`crate::value::CellValue::parse`]). In particular:
+//!
+//! * only the single implicit empty record produced by the final newline is
+//!   dropped — trailing rows whose cells are blank survive;
+//! * a bare `\r` is data: the writer quotes fields containing `\r`, and the
+//!   reader only swallows a `\r` that immediately precedes a `\n` (a CRLF
+//!   line ending) outside quotes.
+//!
+//! Malformed input produces a positioned [`CsvError`] (1-based line number
+//! of the offending record) instead of an opaque `None`.
+
+use std::ops::Range;
 
 use crate::column::Column;
 use crate::table::Table;
 use crate::value::CellValue;
 
-/// Parses CSV text with a header row into a [`Table`].
+/// What went wrong while parsing CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvErrorKind {
+    /// A record's field count disagrees with the header's.
+    Ragged {
+        /// Field count of the header record.
+        expected: usize,
+        /// Field count of the offending record.
+        got: usize,
+    },
+    /// The input ended inside a quoted field.
+    UnclosedQuote,
+    /// The input contained no header record.
+    MissingHeader,
+    /// The input is not valid UTF-8.
+    InvalidUtf8,
+}
+
+/// A positioned CSV parse diagnostic.
 ///
-/// All cells are parsed spreadsheet-style (see [`CellValue::parse`]).
-/// Returns `None` for ragged input (rows with differing field counts).
-pub fn parse_csv(text: &str) -> Option<Table> {
-    let mut rows = Vec::new();
-    for line in split_records(text) {
-        rows.push(split_fields(&line));
+/// `line` is the 1-based physical line on which the offending record
+/// *starts* (records with quoted newlines span several physical lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based physical line number of the offending record's first line.
+    pub line: usize,
+    /// The failure class.
+    pub kind: CsvErrorKind,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            CsvErrorKind::Ragged { expected, got } => write!(
+                f,
+                "line {}: ragged record: expected {expected} field(s), got {got}",
+                self.line
+            ),
+            CsvErrorKind::UnclosedQuote => {
+                write!(
+                    f,
+                    "line {}: unclosed quoted field at end of input",
+                    self.line
+                )
+            }
+            CsvErrorKind::MissingHeader => write!(f, "line {}: missing header record", self.line),
+            CsvErrorKind::InvalidUtf8 => write!(f, "line {}: invalid UTF-8", self.line),
+        }
     }
-    let header = rows.first()?;
-    let n = header.len();
-    if rows.iter().any(|r| r.len() != n) {
-        return None;
+}
+
+impl std::error::Error for CsvError {}
+
+/// A resumable, chunk-at-a-time CSV reader.
+///
+/// Feed it byte (or `&str`) chunks of any size with [`CsvChunkReader::push`]
+/// / [`CsvChunkReader::push_str`]; each call returns the *complete* data
+/// records that ended inside that chunk, fields already unquoted. All
+/// cross-chunk state — an open quoted field, a partial record, a `\r` that
+/// may belong to a CRLF split across the boundary, even a partial UTF-8
+/// code point — is carried inside the reader, so splitting the input at
+/// every byte offset yields identical records (see the chunk-boundary
+/// differential tests).
+///
+/// The first complete record becomes the header ([`CsvChunkReader::header`])
+/// and is not returned as a row; every later record is validated against the
+/// header's field count and reported with its starting line number on
+/// mismatch. Call [`CsvChunkReader::finish`] at end of input to flush a
+/// final unterminated record and surface unclosed-quote diagnostics.
+#[derive(Debug, Default)]
+pub struct CsvChunkReader {
+    /// The current partial record, raw (quotes still embedded).
+    cur: String,
+    /// Inside a quoted field?
+    in_quotes: bool,
+    /// Saw a `\r` outside quotes that may pair with a `\n` to come.
+    pending_cr: bool,
+    /// Bytes of a UTF-8 code point split across a chunk boundary.
+    utf8_carry: Vec<u8>,
+    /// 1-based physical line currently being read.
+    line: usize,
+    /// Line on which the current record started.
+    record_line: usize,
+    /// The header record, once one complete record has been read.
+    header: Option<Vec<String>>,
+    /// Data rows consumed so far (diagnostics / telemetry).
+    n_rows: usize,
+}
+
+impl CsvChunkReader {
+    /// A fresh reader with no buffered state.
+    pub fn new() -> CsvChunkReader {
+        CsvChunkReader {
+            line: 1,
+            record_line: 1,
+            ..CsvChunkReader::default()
+        }
     }
-    let mut cols: Vec<Vec<CellValue>> = vec![Vec::with_capacity(rows.len() - 1); n];
-    for row in &rows[1..] {
+
+    /// The header record, if at least one complete record has been read.
+    pub fn header(&self) -> Option<&[String]> {
+        self.header.as_deref()
+    }
+
+    /// Number of complete data rows yielded so far.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// 1-based physical line the reader is currently positioned on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// True when no partial record, pending byte, or open quote is buffered
+    /// (i.e. [`CsvChunkReader::finish`] would yield nothing).
+    pub fn is_drained(&self) -> bool {
+        self.cur.is_empty() && !self.in_quotes && !self.pending_cr && self.utf8_carry.is_empty()
+    }
+
+    /// Consumes one byte chunk, returning the complete data records that
+    /// ended inside it. A multi-byte UTF-8 code point split across the
+    /// chunk boundary is reassembled internally.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<Vec<String>>, CsvError> {
+        // Re-join a code point split across the previous boundary: move
+        // bytes from the chunk onto the carry until it decodes or is
+        // provably invalid.
+        let mut rows = Vec::new();
+        let mut rest = chunk;
+        while !self.utf8_carry.is_empty() && !rest.is_empty() {
+            self.utf8_carry.push(rest[0]);
+            rest = &rest[1..];
+            match std::str::from_utf8(&self.utf8_carry) {
+                Ok(s) => {
+                    let s = s.to_owned();
+                    self.utf8_carry.clear();
+                    rows.extend(self.push_str(&s)?);
+                    break;
+                }
+                Err(e) if e.error_len().is_none() => continue, // still incomplete
+                Err(_) => {
+                    return Err(self.error(CsvErrorKind::InvalidUtf8));
+                }
+            }
+        }
+        match std::str::from_utf8(rest) {
+            Ok(s) => rows.extend(self.push_str(s)?),
+            Err(e) => {
+                let (valid, tail) = rest.split_at(e.valid_up_to());
+                if e.error_len().is_some() || tail.len() >= 4 {
+                    return Err(self.error(CsvErrorKind::InvalidUtf8));
+                }
+                // An incomplete trailing code point: carry it to the next
+                // chunk.
+                let valid = std::str::from_utf8(valid).expect("valid prefix");
+                rows.extend(self.push_str(valid)?);
+                self.utf8_carry.extend_from_slice(tail);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// [`CsvChunkReader::push`] for text chunks.
+    pub fn push_str(&mut self, chunk: &str) -> Result<Vec<Vec<String>>, CsvError> {
+        let mut rows = Vec::new();
+        for ch in chunk.chars() {
+            if self.pending_cr {
+                self.pending_cr = false;
+                if ch == '\n' {
+                    // CRLF line ending: the \r was a terminator, not data.
+                    self.end_record(&mut rows)?;
+                    continue;
+                }
+                // A bare \r is data; keep it and fall through to `ch`.
+                self.cur.push('\r');
+            }
+            match ch {
+                '"' => {
+                    self.in_quotes = !self.in_quotes;
+                    self.cur.push(ch);
+                }
+                '\n' if !self.in_quotes => self.end_record(&mut rows)?,
+                '\r' if !self.in_quotes => self.pending_cr = true,
+                '\n' => {
+                    // Quoted newline: part of the value, but still a
+                    // physical line for diagnostics.
+                    self.line += 1;
+                    self.cur.push(ch);
+                }
+                _ => self.cur.push(ch),
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Flushes end-of-input state: the final record if the input did not end
+    /// with a newline, an [`CsvErrorKind::UnclosedQuote`] if it ended inside
+    /// a quoted field. The reader is reusable for a fresh document
+    /// afterwards only via [`CsvChunkReader::new`].
+    pub fn finish(&mut self) -> Result<Vec<Vec<String>>, CsvError> {
+        if !self.utf8_carry.is_empty() {
+            return Err(self.error(CsvErrorKind::InvalidUtf8));
+        }
+        if self.in_quotes {
+            return Err(self.error(CsvErrorKind::UnclosedQuote));
+        }
+        if self.pending_cr {
+            // A final bare \r with no \n to pair with is data.
+            self.pending_cr = false;
+            self.cur.push('\r');
+        }
+        let mut rows = Vec::new();
+        if !self.cur.is_empty() {
+            self.end_record(&mut rows)?;
+        }
+        Ok(rows)
+    }
+
+    /// Completes the current record: the first becomes the header, the rest
+    /// are validated against it and returned as rows.
+    fn end_record(&mut self, rows: &mut Vec<Vec<String>>) -> Result<(), CsvError> {
+        let record = std::mem::take(&mut self.cur);
+        let at_line = self.record_line;
+        self.line += 1;
+        self.record_line = self.line;
+        let fields = split_fields(&record);
+        match &self.header {
+            None => self.header = Some(fields),
+            Some(header) => {
+                if fields.len() != header.len() {
+                    return Err(CsvError {
+                        line: at_line,
+                        kind: CsvErrorKind::Ragged {
+                            expected: header.len(),
+                            got: fields.len(),
+                        },
+                    });
+                }
+                self.n_rows += 1;
+                rows.push(fields);
+            }
+        }
+        Ok(())
+    }
+
+    fn error(&self, kind: CsvErrorKind) -> CsvError {
+        CsvError {
+            line: self.record_line,
+            kind,
+        }
+    }
+}
+
+/// Builds a [`Table`] from a header and field rows (each row must have one
+/// field per header entry — [`CsvChunkReader`] guarantees this). Cells are
+/// parsed spreadsheet-style (see [`CellValue::parse`]).
+pub fn rows_to_table(header: &[String], rows: &[Vec<String>]) -> Table {
+    let mut cols: Vec<Vec<CellValue>> = vec![Vec::with_capacity(rows.len()); header.len()];
+    for row in rows {
         for (c, field) in row.iter().enumerate() {
             cols[c].push(CellValue::parse(field));
         }
     }
-    Some(Table::new(
+    Table::new(
         header
             .iter()
             .zip(cols)
             .map(|(name, values)| Column::new(name.clone(), values))
             .collect(),
-    ))
+    )
+}
+
+/// Parses CSV text with a header row into a [`Table`].
+///
+/// All cells are parsed spreadsheet-style (see [`CellValue::parse`]).
+/// Ragged rows, unclosed quotes, and missing headers yield a positioned
+/// [`CsvError`] naming the offending line.
+pub fn parse_csv(text: &str) -> Result<Table, CsvError> {
+    let mut reader = CsvChunkReader::new();
+    let mut rows = reader.push_str(text)?;
+    rows.extend(reader.finish()?);
+    let header = reader.header.ok_or(CsvError {
+        line: 1,
+        kind: CsvErrorKind::MissingHeader,
+    })?;
+    Ok(rows_to_table(&header, &rows))
 }
 
 /// Renders a table to CSV text with a header row.
 pub fn to_csv(table: &Table) -> String {
-    let mut out = String::new();
-    let headers: Vec<String> = table.headers().iter().map(|h| quote(h)).collect();
-    out.push_str(&headers.join(","));
-    out.push('\n');
-    for r in 0..table.n_rows() {
-        let fields: Vec<String> = table
-            .columns()
-            .iter()
-            .map(|c| quote(&c.get(r).map(CellValue::render).unwrap_or_default()))
-            .collect();
-        out.push_str(&fields.join(","));
-        out.push('\n');
-    }
+    let mut out = csv_header(table);
+    append_csv_rows(&mut out, table, 0..table.n_rows());
     out
 }
 
+/// The table's header record as one CSV line (with trailing newline).
+pub fn csv_header(table: &Table) -> String {
+    let headers: Vec<String> = table.headers().iter().map(|h| quote(h)).collect();
+    let mut out = headers.join(",");
+    out.push('\n');
+    out
+}
+
+/// Appends the CSV lines of `rows` to `out` (no header) — the streaming
+/// emit primitive: a chunked cleaner writes the header once, then appends
+/// each repaired chunk's rows as they complete.
+pub fn append_csv_rows(out: &mut String, table: &Table, rows: Range<usize>) {
+    for r in rows {
+        let mut first = true;
+        for c in table.columns() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&quote(&c.get(r).map(CellValue::render).unwrap_or_default()));
+        }
+        out.push('\n');
+    }
+}
+
 fn quote(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
     }
-}
-
-/// Splits CSV text into logical records, respecting quoted newlines.
-fn split_records(text: &str) -> Vec<String> {
-    let mut records = Vec::new();
-    let mut cur = String::new();
-    let mut in_quotes = false;
-    for ch in text.chars() {
-        match ch {
-            '"' => {
-                in_quotes = !in_quotes;
-                cur.push(ch);
-            }
-            '\n' if !in_quotes => {
-                if !cur.is_empty() || !records.is_empty() {
-                    records.push(std::mem::take(&mut cur));
-                }
-            }
-            '\r' if !in_quotes => {}
-            _ => cur.push(ch),
-        }
-    }
-    if !cur.is_empty() {
-        records.push(cur);
-    }
-    // Drop a trailing fully-empty record produced by a final newline.
-    while records.last().is_some_and(|r| r.is_empty()) {
-        records.pop();
-    }
-    records
 }
 
 /// Splits one record into unquoted field strings.
@@ -151,8 +412,37 @@ mod tests {
     }
 
     #[test]
-    fn ragged_rejected() {
-        assert!(parse_csv("a,b\nx\n").is_none());
+    fn ragged_rejected_with_line_number() {
+        let err = parse_csv("a,b\nx,1\nx\ny,2\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(
+            err.kind,
+            CsvErrorKind::Ragged {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn ragged_line_number_skips_quoted_newlines() {
+        // The quoted record spans physical lines 2-3; the ragged record
+        // starts on line 4.
+        let err = parse_csv("a,b\n\"x\ny\",1\nz\n").unwrap_err();
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn unclosed_quote_rejected() {
+        let err = parse_csv("a\n\"x\n").unwrap_err();
+        assert_eq!(err.kind, CsvErrorKind::UnclosedQuote);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse_csv("").unwrap_err().kind, CsvErrorKind::MissingHeader);
     }
 
     #[test]
@@ -172,5 +462,104 @@ mod tests {
             back.column(0).unwrap().get(0).unwrap().as_text(),
             Some("a,b")
         );
+    }
+
+    #[test]
+    fn trailing_blank_rows_survive() {
+        // The old reader popped *all* trailing empty records, losing the
+        // final two rows of this single-column table.
+        let csv = "h\nx\n\n\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert!(t.column(0).unwrap().get(1).unwrap().is_blank());
+        assert!(t.column(0).unwrap().get(2).unwrap().is_blank());
+        assert_eq!(to_csv(&t), csv);
+    }
+
+    #[test]
+    fn final_newline_produces_no_phantom_row() {
+        let with = parse_csv("h\nx\n").unwrap();
+        let without = parse_csv("h\nx").unwrap();
+        assert_eq!(with, without);
+        assert_eq!(with.n_rows(), 1);
+    }
+
+    #[test]
+    fn bare_cr_is_data_and_round_trips() {
+        // A bare \r inside a cell must be quoted on write and preserved on
+        // read; only \r\n is a line ending.
+        let t = Table::new(vec![Column::from_texts("h", &["a\rb", "c"])]);
+        let csv = to_csv(&t);
+        assert!(csv.contains("\"a\rb\""));
+        let back = parse_csv(&csv).unwrap();
+        assert_eq!(
+            back.column(0).unwrap().get(0).unwrap().as_text(),
+            Some("a\rb")
+        );
+        assert_eq!(to_csv(&back), csv);
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let t = parse_csv("a,b\r\nx,1\r\ny,2\r\n").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.column(0).unwrap().get(1).unwrap().as_text(), Some("y"));
+        // A lone final \r (no \n) is data on the last record.
+        let t = parse_csv("a\nx\r").unwrap();
+        assert_eq!(t.column(0).unwrap().get(0).unwrap().as_text(), Some("x\r"));
+    }
+
+    #[test]
+    fn chunk_reader_carries_state_across_boundaries() {
+        let csv = "a,b\r\n\"x,\ny\",1\r\nz,2\n";
+        let whole = parse_csv(csv).unwrap();
+        // Split at every char boundary: identical table.
+        for split in 0..=csv.len() {
+            if !csv.is_char_boundary(split) {
+                continue;
+            }
+            let mut reader = CsvChunkReader::new();
+            let mut rows = reader.push_str(&csv[..split]).unwrap();
+            rows.extend(reader.push_str(&csv[split..]).unwrap());
+            rows.extend(reader.finish().unwrap());
+            let t = rows_to_table(reader.header().unwrap(), &rows);
+            assert_eq!(t, whole, "split at byte {split}");
+        }
+    }
+
+    #[test]
+    fn chunk_reader_reassembles_split_utf8() {
+        let csv = "h\nnaïve—α\n".as_bytes();
+        let whole = parse_csv(std::str::from_utf8(csv).unwrap()).unwrap();
+        for split in 0..=csv.len() {
+            let mut reader = CsvChunkReader::new();
+            let mut rows = reader.push(&csv[..split]).unwrap();
+            rows.extend(reader.push(&csv[split..]).unwrap());
+            rows.extend(reader.finish().unwrap());
+            let t = rows_to_table(reader.header().unwrap(), &rows);
+            assert_eq!(t, whole, "split at byte {split}");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_positioned() {
+        let mut reader = CsvChunkReader::new();
+        let _ = reader.push(b"h\nok\n").unwrap();
+        let err = reader.push(&[0xff, 0xfe]).unwrap_err();
+        assert_eq!(err.kind, CsvErrorKind::InvalidUtf8);
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn reader_yields_batches_per_chunk() {
+        let mut reader = CsvChunkReader::new();
+        let rows = reader.push_str("a,b\nx,1\ny,").unwrap();
+        assert_eq!(rows, vec![vec!["x".to_string(), "1".to_string()]]);
+        assert_eq!(reader.header().unwrap(), ["a", "b"]);
+        let rows = reader.push_str("2\n").unwrap();
+        assert_eq!(rows, vec![vec!["y".to_string(), "2".to_string()]]);
+        assert_eq!(reader.finish().unwrap(), Vec::<Vec<String>>::new());
+        assert!(reader.is_drained());
+        assert_eq!(reader.n_rows(), 2);
     }
 }

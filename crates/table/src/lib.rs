@@ -12,7 +12,9 @@
 //! * [`ValuePool`] — distinct-value interning (values, multiplicities, and
 //!   the row → distinct map) behind the repair planner's dedup-and-share
 //!   execution strategy,
-//! * a tiny CSV reader/writer in [`io`] for examples and test fixtures.
+//! * a lossless CSV reader/writer in [`io`], built on a resumable
+//!   [`CsvChunkReader`] so files and streams can be ingested chunk by chunk
+//!   with positioned [`CsvError`] diagnostics.
 //!
 //! The model intentionally mirrors what the paper's benchmarks need: values in
 //! Wikipedia/Excel tables are predominantly *text* (67.6% in the paper's
@@ -28,6 +30,7 @@ pub mod value;
 
 pub use addr::{CellRef, ColRef};
 pub use column::Column;
+pub use io::{CsvChunkReader, CsvError, CsvErrorKind};
 pub use pool::ValuePool;
 pub use table::Table;
 pub use value::{CellValue, ErrorValue};

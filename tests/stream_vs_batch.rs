@@ -1,0 +1,148 @@
+//! Differential test: streaming cleaning vs. the batch engine.
+//!
+//! The streaming contract (see `datavinci_engine::stream`) is that on a
+//! *stationary* input — value distributions repeating chunk over chunk —
+//! the chunk-at-a-time [`StreamCleaner`] emits output byte-identical to
+//! batch-cleaning the same finite input in one call, and that windowed
+//! compaction (the memory bound) never changes emitted rows on such input.
+//! These tests check both properties on corpus-generated tables (realistic
+//! flavors and noise, deterministic seeds), streaming several cycles of
+//! each table's rows with the cycle as the chunk, plus the full
+//! bytes → [`CsvChunkReader`] → [`StreamCleaner`] composition a `--follow`
+//! CLI run uses.
+
+use datavinci::corpus::{wikipedia_like, Scale};
+use datavinci::engine::{Engine, StreamCleaner, StreamConfig};
+use datavinci::table::{io, CellValue, CsvChunkReader, Table};
+
+/// Renders a table's rows back to field strings (the form a CSV reader
+/// would hand a streaming cleaner).
+fn rows_of(table: &Table) -> Vec<Vec<String>> {
+    (0..table.n_rows())
+        .map(|r| {
+            table
+                .columns()
+                .iter()
+                .map(|c| c.get(r).map(CellValue::render).unwrap_or_default())
+                .collect()
+        })
+        .collect()
+}
+
+fn headers_of(table: &Table) -> Vec<String> {
+    table.headers().iter().map(|h| h.to_string()).collect()
+}
+
+/// A corpus table worth streaming: a few columns, enough rows for several
+/// chunks, and at least one corrupted cell so repairs actually flow.
+fn stream_fixture() -> (Vec<String>, Vec<Vec<String>>) {
+    let bench = wikipedia_like(7, Scale::smoke());
+    let table = bench
+        .tables
+        .iter()
+        .find(|t| t.dirty.n_rows() >= 8 && t.dirty.n_rows() <= 60 && !t.corrupted.is_empty())
+        .map(|t| &t.dirty)
+        .expect("smoke benchmark contains a streamable table");
+    (headers_of(table), rows_of(table))
+}
+
+fn batch_csv(header: &[String], rows: &[Vec<String>]) -> String {
+    let table = io::rows_to_table(header, rows);
+    let engine = Engine::new();
+    let report = engine.clean_table(&table);
+    io::to_csv(&Engine::apply(&table, &report.table_report()))
+}
+
+#[test]
+fn streaming_matches_batch_on_cyclic_corpus_table() {
+    let (header, cycle) = stream_fixture();
+    let mut cleaner = StreamCleaner::new(&header, StreamConfig::default());
+    let mut streamed = cleaner.csv_header();
+    let mut all_rows = Vec::new();
+    for _ in 0..3 {
+        all_rows.extend(cycle.iter().cloned());
+        streamed.push_str(&cleaner.push_rows(&cycle).csv);
+    }
+    assert_eq!(
+        streamed,
+        batch_csv(&header, &all_rows),
+        "streaming must be byte-identical to batch on stationary input"
+    );
+    assert_eq!(cleaner.n_rows(), 3 * cycle.len());
+}
+
+#[test]
+fn windowed_streaming_matches_unbounded_on_cyclic_corpus_table() {
+    let (header, cycle) = stream_fixture();
+    let cfg = StreamConfig {
+        workers: 1,
+        window_rows: 2 * cycle.len(),
+    };
+    let mut windowed = StreamCleaner::new(&header, cfg);
+    let mut unbounded = StreamCleaner::new(&header, StreamConfig::default());
+    let mut a = windowed.csv_header();
+    let mut b = unbounded.csv_header();
+    for _ in 0..6 {
+        a.push_str(&windowed.push_rows(&cycle).csv);
+        b.push_str(&unbounded.push_rows(&cycle).csv);
+    }
+    assert_eq!(a, b, "window compaction must not change emitted rows");
+    assert!(
+        windowed.compactions() >= 2,
+        "the window must actually have compacted (got {})",
+        windowed.compactions()
+    );
+    // Residency is bounded by window + one chunk, independent of the six
+    // cycles streamed.
+    assert!(windowed.n_rows() == 6 * cycle.len());
+}
+
+#[test]
+fn chunk_reader_feeding_cleaner_matches_batch() {
+    // The full --follow composition: serialized bytes, pushed in arbitrary
+    // 64-byte chunks through a CsvChunkReader, rows buffered to full cycles
+    // and cleaned by a StreamCleaner.
+    let (header, cycle) = stream_fixture();
+    let mut text = {
+        let t = io::rows_to_table(&header, &cycle);
+        io::to_csv(&t)
+    };
+    let body: String = text.split_once('\n').unwrap().1.to_string();
+    for _ in 0..2 {
+        text.push_str(&body); // three cycles total
+    }
+
+    let mut reader = CsvChunkReader::new();
+    let mut cleaner: Option<StreamCleaner> = None;
+    let mut pending: Vec<Vec<String>> = Vec::new();
+    let mut streamed = String::new();
+    let mut all_rows = Vec::new();
+    let bytes = text.as_bytes();
+    let mut feed = |rows: Vec<Vec<String>>,
+                    reader: &CsvChunkReader,
+                    pending: &mut Vec<Vec<String>>,
+                    streamed: &mut String,
+                    final_flush: bool| {
+        pending.extend(rows);
+        let cleaner = cleaner.get_or_insert_with(|| {
+            let c = StreamCleaner::new(reader.header().unwrap(), StreamConfig::default());
+            streamed.push_str(&c.csv_header());
+            c
+        });
+        while pending.len() >= cycle.len() || (final_flush && !pending.is_empty()) {
+            let rest = pending.split_off(pending.len().min(cycle.len()));
+            let chunk = std::mem::replace(pending, rest);
+            all_rows.extend(chunk.iter().cloned());
+            streamed.push_str(&cleaner.push_rows(&chunk).csv);
+        }
+    };
+    for chunk in bytes.chunks(64) {
+        let rows = reader.push(chunk).expect("valid CSV");
+        feed(rows, &reader, &mut pending, &mut streamed, false);
+    }
+    let rows = reader.finish().expect("clean end of input");
+    feed(rows, &reader, &mut pending, &mut streamed, true);
+
+    assert_eq!(all_rows.len(), 3 * cycle.len(), "no rows lost in transit");
+    assert_eq!(streamed, batch_csv(&header, &all_rows));
+}
