@@ -68,6 +68,7 @@ fn run_windowed(
     let cfg = StreamConfig {
         workers: 1,
         window_rows: window,
+        ..StreamConfig::default()
     };
     let mut cleaner = StreamCleaner::new(header, cfg);
     let mut bytes_emitted = cleaner.csv_header().len();

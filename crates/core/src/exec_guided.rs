@@ -50,6 +50,7 @@ impl DataVinci {
     /// input column: the exec-guided repairs concretize against the same
     /// once-generated feature context the unsupervised path uses.
     pub fn clean_with_program(&self, table: &Table, program: &ColumnProgram) -> ExecGuidedReport {
+        let _span = datavinci_telemetry::span(datavinci_telemetry::stages::VALIDATE);
         let before = program.execution_groups(table);
         let mut repaired_table = table.clone();
         let mut columns = Vec::new();

@@ -26,6 +26,7 @@ use datavinci_profile::{profile_column_pooled, rescore_profile_pooled, ColumnPro
 use datavinci_regex::MaskedString;
 use datavinci_semantic::{AbstractedColumn, GazetteerLlm, GazetteerLlmConfig, SemanticAbstractor};
 use datavinci_table::{Table, ValuePool};
+use datavinci_telemetry::{self as telemetry, stages};
 
 /// Everything DataVinci derives about one column before repairing.
 ///
@@ -152,6 +153,7 @@ struct GroupState {
 /// deduplicated by repaired string, truncated to the top 8. Shared verbatim
 /// by the per-row and planner paths so they cannot drift.
 fn rank_candidates(out: &mut Vec<RepairCandidate>) {
+    let _span = telemetry::span(stages::RANK);
     out.sort_by(|a, b| {
         a.score
             .partial_cmp(&b.score)
@@ -254,8 +256,11 @@ impl DataVinci {
         let values = session.column_values(col);
         let pool = session.value_pool(col);
         let (abstraction, masked) = self.abstract_values(column.name(), &values);
-        let mpool = MaskedPool::new(&masked);
-        let profile = profile_column_pooled(&masked, &mpool, &self.cfg.profiler);
+        let profile = {
+            let _span = telemetry::span(stages::PROFILE);
+            let mpool = MaskedPool::new(&masked);
+            profile_column_pooled(&masked, &mpool, &self.cfg.profiler)
+        };
         self.detect_with_profile(col, values, pool, abstraction, masked, profile)
     }
 
@@ -305,8 +310,11 @@ impl DataVinci {
             session.value_pool(col)
         };
         let (abstraction, masked) = self.abstract_values(column.name(), &values);
-        let mpool = MaskedPool::new(&masked);
-        let profile = rescore_profile_pooled(&prior.profile, &masked, &mpool);
+        let profile = {
+            let _span = telemetry::span(stages::PROFILE);
+            let mpool = MaskedPool::new(&masked);
+            rescore_profile_pooled(&prior.profile, &masked, &mpool)
+        };
         self.detect_with_profile(col, values, pool, abstraction, masked, profile)
     }
 
@@ -317,6 +325,7 @@ impl DataVinci {
         column_name: &str,
         values: &[String],
     ) -> (AbstractedColumn, Vec<MaskedString>) {
+        let _span = telemetry::span(stages::MASK);
         let abstraction = match self.cfg.semantics {
             SemanticMode::None => AbstractedColumn::plain(values),
             SemanticMode::Full | SemanticMode::Limited => {
@@ -337,6 +346,7 @@ impl DataVinci {
         masked: Vec<MaskedString>,
         profile: ColumnProfile,
     ) -> ColumnAnalysis {
+        let _span = telemetry::span(stages::DETECT);
         let significant: Vec<usize> = (0..profile.patterns.len())
             .filter(|&i| profile.patterns[i].coverage >= self.cfg.delta)
             .collect();
@@ -441,6 +451,7 @@ impl DataVinci {
         session: &AnalysisSession<'_>,
         analysis: &ColumnAnalysis,
     ) -> ColumnReport {
+        let _span = telemetry::span(stages::REPAIR);
         match self.cfg.repair_strategy {
             RepairStrategy::Planner => self.repair_analysis_planned(session, analysis),
             RepairStrategy::RowWise => self.repair_analysis_rowwise(session, analysis),
@@ -564,6 +575,8 @@ impl DataVinci {
             .collect();
 
         let plan = RepairPlan::build_in(analysis, session);
+        telemetry::counter("repair.plan_groups", plan.groups().len() as u64);
+        telemetry::counter("repair.plan_error_rows", analysis.error_rows.len() as u64);
         let mut states: Vec<GroupState> = plan
             .groups()
             .iter()
@@ -602,6 +615,7 @@ impl DataVinci {
             // ③ Once per group: minimal edit programs against every
             // significant pattern, their abstract repairs and edit stats.
             if state.repairs.is_none() {
+                telemetry::counter("repair.dp_runs", analysis.significant.len() as u64);
                 let value = &analysis.masked[rep];
                 let repairs: Vec<Option<PatternRepair>> = analysis
                     .significant
@@ -731,6 +745,7 @@ impl DataVinci {
     ) -> Vec<RepairCandidate> {
         let original = analysis.values[row].as_str();
         let value = &analysis.masked[row];
+        telemetry::counter("repair.dp_runs", analysis.significant.len() as u64);
         let mut out: Vec<RepairCandidate> = Vec::new();
         for &pi in &analysis.significant {
             let lp = &analysis.profile.patterns[pi];

@@ -229,6 +229,7 @@ impl<'t> AnalysisSession<'t> {
     /// adopted from [`AnalysisSession::seed_features`].
     pub fn features(&self) -> &FeatureSet {
         self.features.get_or_init(|| {
+            let _span = datavinci_telemetry::span("session.generate_features");
             self.counters
                 .feature_generations
                 .fetch_add(1, Ordering::Relaxed);
@@ -452,6 +453,8 @@ impl<'t> AnalysisSession<'t> {
     ) -> Result<AnalysisSession<'t>, SessionResumeError> {
         snapshot.check_resumable(table)?;
         let appended = table.n_rows() - snapshot.n_rows;
+        datavinci_telemetry::counter("session.resumes", 1);
+        datavinci_telemetry::counter("session.rows_appended", appended as u64);
         let SessionSnapshot {
             n_rows: prior_rows,
             mut rendered,

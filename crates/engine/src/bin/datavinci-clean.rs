@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! datavinci-clean input.csv [-o out.csv] [--report report.json]
+//!                 [--metrics metrics.json] [--trace]
 //!                 [--workers N] [--semantics full|limited|none]
 //!                 [--strategy planner|rowwise] [--types] [--no-cache]
 //!                 [--quiet]
@@ -17,6 +18,13 @@
 //! `--types` additionally reports each cleaned column's dominant semantic
 //! type, detected once per column through the session's type memo.
 //!
+//! `--metrics` and `--trace` switch structured telemetry on: `--metrics`
+//! writes the full metrics report (span tree, counters, gauges, and a
+//! latency histogram per pipeline stage) as JSON, `--trace` prints the
+//! span tree with per-stage timings and percentages to stderr. Both work
+//! in streaming mode too, where `--follow` additionally emits a per-chunk
+//! metrics line (rows/s, window residency, compactions) on stderr.
+//!
 //! `--follow` switches to **streaming** mode: input (a file, or stdin when
 //! the input is `-` or omitted) is consumed in chunks of `--chunk-rows`
 //! rows, each chunk's repaired rows are emitted as soon as they are cleaned
@@ -31,14 +39,18 @@ use std::process::ExitCode;
 use datavinci_core::{DataVinci, DataVinciConfig, RepairStrategy, SemanticMode, TypeDetection};
 use datavinci_engine::json::Json;
 use datavinci_engine::{
-    session_stats_json, Engine, EngineConfig, EngineReport, StreamCleaner, StreamConfig,
+    session_stats_json, telemetry_json, Engine, EngineConfig, EngineReport, StreamCleaner,
+    StreamConfig,
 };
 use datavinci_table::{io, CsvChunkReader, Table};
+use datavinci_telemetry::{self as telemetry, merge_span_lists, render_spans, TaskProfile};
 
 struct Args {
     input: String,
     output: Option<String>,
     report: Option<String>,
+    metrics: Option<String>,
+    trace: bool,
     workers: usize,
     semantics: SemanticMode,
     strategy: RepairStrategy,
@@ -50,11 +62,20 @@ struct Args {
     window_rows: usize,
 }
 
+impl Args {
+    /// Telemetry is recorded exactly when some sink will consume it.
+    fn telemetry(&self) -> bool {
+        self.metrics.is_some() || self.trace
+    }
+}
+
 const USAGE: &str = "usage: datavinci-clean INPUT.csv [-o OUT.csv] [--report REPORT.json] \
+                     [--metrics METRICS.json] [--trace] \
                      [--workers N] [--semantics full|limited|none] \
                      [--strategy planner|rowwise] [--types] [--no-cache] [--quiet]\n\
        datavinci-clean --follow [INPUT.csv|-] [--chunk-rows N] [--window-rows N] \
-                     [-o OUT.csv] [--workers N] [--semantics ...] [--strategy ...] [--quiet]";
+                     [-o OUT.csv] [--metrics METRICS.json] [--trace] [--workers N] \
+                     [--semantics ...] [--strategy ...] [--quiet]";
 
 /// `Ok(None)` means help was requested (print usage, exit 0).
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -62,6 +83,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         input: String::new(),
         output: None,
         report: None,
+        metrics: None,
+        trace: false,
         workers: 0,
         semantics: SemanticMode::Full,
         strategy: RepairStrategy::Planner,
@@ -82,6 +105,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         match arg.as_str() {
             "-o" | "--output" => args.output = Some(value(arg)?),
             "--report" => args.report = Some(value(arg)?),
+            "--metrics" => args.metrics = Some(value(arg)?),
+            "--trace" => args.trace = true,
             "--workers" => {
                 args.workers = value(arg)?
                     .parse()
@@ -144,6 +169,7 @@ fn report_json(
     engine: &Engine,
     wall: std::time::Duration,
     types: &[Option<TypeDetection>],
+    profile: Option<&TaskProfile>,
 ) -> Json {
     let columns = report
         .columns
@@ -202,17 +228,49 @@ fn report_json(
         .field("n_detections", Json::Int(report.n_detections() as i64))
         .field("n_repairs", Json::Int(report.n_repairs() as i64))
         .field("elapsed_ms", Json::Num(wall.as_secs_f64() * 1000.0))
+        // "session" and "cache" are deprecated aliases: the same numbers now
+        // live in the unified metrics schema as session.* and engine.cache.*
+        // counters (see the "telemetry" section). Kept for report consumers.
         .field("session", session_stats_json(&report.session))
         .field("columns", Json::Arr(columns));
     if let Some(stats) = engine.cache_stats() {
         root = root.field("cache", stats.to_json());
     }
+    if let Some(profile) = profile {
+        root = root.field("telemetry", telemetry_json(profile));
+    }
     root
+}
+
+/// The `--metrics` document: the full telemetry profile plus the slowest
+/// columns of the clean (the same ranking the console prints).
+fn metrics_doc(profile: &TaskProfile, report: &EngineReport, table: &Table) -> Json {
+    telemetry_json(profile).field(
+        "slowest_columns",
+        Json::Arr(
+            report
+                .slowest_columns(5)
+                .iter()
+                .map(|c| {
+                    let name = table
+                        .column(c.report.col)
+                        .map(|col| col.name().to_string())
+                        .unwrap_or_default();
+                    Json::obj()
+                        .field("col", Json::Int(c.report.col as i64))
+                        .field("name", Json::str(name))
+                        .field("cache", Json::str(c.cache.label()))
+                        .field("elapsed_ms", Json::Num(c.elapsed.as_secs_f64() * 1000.0))
+                })
+                .collect(),
+        ),
+    )
 }
 
 /// Streaming mode: chunked ingestion → per-chunk cleaning → incremental
 /// emission. Repaired CSV goes to `-o` (or stdout); repairs echo to stderr.
 fn run_follow(args: &Args) -> Result<(), String> {
+    let telemetry_on = args.telemetry();
     let mut input: Box<dyn Read> = if args.input == "-" {
         Box::new(std::io::stdin().lock())
     } else {
@@ -236,6 +294,7 @@ fn run_follow(args: &Args) -> Result<(), String> {
     let stream_cfg = StreamConfig {
         workers: args.workers,
         window_rows: args.window_rows,
+        telemetry: telemetry_on,
     };
 
     let mut reader = CsvChunkReader::new();
@@ -243,10 +302,20 @@ fn run_follow(args: &Args) -> Result<(), String> {
     let mut pending: Vec<Vec<String>> = Vec::new();
     let mut buf = vec![0u8; 64 * 1024];
     let started = std::time::Instant::now();
+    // Repairs and per-chunk metrics echo through one line-buffered stderr
+    // writer, flushed once per chunk: a chunk with hundreds of repairs
+    // makes hundreds of write(2) calls otherwise, and interleaves badly
+    // with the consumer of the CSV stream.
+    let mut err = std::io::BufWriter::new(std::io::stderr());
+    // The span trees of every chunk's clean, merged (same stage names fold
+    // together); cumulative counters live on the engine's registry.
+    let mut spans: Vec<datavinci_telemetry::SpanNode> = Vec::new();
 
     let emit = |cleaner: &mut Option<StreamCleaner>,
                 pending: &mut Vec<Vec<String>>,
-                output: &mut Box<dyn Write>|
+                output: &mut Box<dyn Write>,
+                err: &mut std::io::BufWriter<std::io::Stderr>,
+                spans: &mut Vec<datavinci_telemetry::SpanNode>|
      -> Result<(), String> {
         let cleaner = cleaner.as_mut().expect("header before rows");
         let outcome = cleaner.push_rows(pending);
@@ -255,13 +324,41 @@ fn run_follow(args: &Args) -> Result<(), String> {
             .write_all(outcome.csv.as_bytes())
             .and_then(|()| output.flush())
             .map_err(|e| format!("cannot write output: {e}"))?;
+        if let Some(profile) = &outcome.report.telemetry {
+            merge_span_lists(spans, &profile.spans);
+        }
         if !args.quiet {
             for r in &outcome.repairs {
-                eprintln!(
+                writeln!(
+                    err,
                     "row {}, col {}: {:?} -> {:?}",
                     r.row, r.col, r.original, r.repaired
-                );
+                )
+                .map_err(|e| format!("cannot write stderr: {e}"))?;
             }
+            if telemetry_on {
+                let secs = outcome.elapsed.as_secs_f64();
+                let rows_per_s = if secs > 0.0 {
+                    outcome.n_rows as f64 / secs
+                } else {
+                    0.0
+                };
+                writeln!(
+                    err,
+                    "chunk @{}: {} rows · {} repairs · {:.0} rows/s · {} resident · \
+                     {} compaction(s) · {:.1} ms",
+                    outcome.first_row,
+                    outcome.n_rows,
+                    outcome.repairs.len(),
+                    rows_per_s,
+                    cleaner.resident_rows(),
+                    cleaner.compactions(),
+                    secs * 1000.0,
+                )
+                .map_err(|e| format!("cannot write stderr: {e}"))?;
+            }
+            err.flush()
+                .map_err(|e| format!("cannot write stderr: {e}"))?;
         }
         Ok(())
     };
@@ -291,11 +388,17 @@ fn run_follow(args: &Args) -> Result<(), String> {
         while pending.len() >= args.chunk_rows {
             let rest = pending.split_off(args.chunk_rows);
             let mut chunk = std::mem::replace(&mut pending, rest);
-            emit(&mut cleaner, &mut chunk, &mut output)?;
+            emit(&mut cleaner, &mut chunk, &mut output, &mut err, &mut spans)?;
         }
         if n == 0 {
             if !pending.is_empty() {
-                emit(&mut cleaner, &mut pending, &mut output)?;
+                emit(
+                    &mut cleaner,
+                    &mut pending,
+                    &mut output,
+                    &mut err,
+                    &mut spans,
+                )?;
             }
             break;
         }
@@ -304,29 +407,55 @@ fn run_follow(args: &Args) -> Result<(), String> {
         return Err(format!("{}: missing header record", args.input));
     };
 
+    if telemetry_on {
+        // Per-chunk frames were absorbed into the engine's registry as the
+        // stream ran; the merged span trees ride alongside.
+        let profile = TaskProfile {
+            spans,
+            metrics: cleaner.engine().metrics().snapshot(),
+        };
+        if let Some(metrics_path) = &args.metrics {
+            std::fs::write(metrics_path, telemetry_json(&profile).render_pretty())
+                .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
+        }
+        if args.trace {
+            write!(err, "{}", render_spans(&profile.spans))
+                .map_err(|e| format!("cannot write stderr: {e}"))?;
+        }
+    }
     if !args.quiet {
-        eprintln!(
+        writeln!(
+            err,
             "{}: streamed {} rows · {} repairs · {} window compaction(s) · {:.1} ms",
             args.input,
             cleaner.n_rows(),
             cleaner.n_repairs(),
             cleaner.compactions(),
             started.elapsed().as_secs_f64() * 1000.0,
-        );
+        )
+        .map_err(|e| format!("cannot write stderr: {e}"))?;
         if let Some(stats) = cleaner.engine().cache_stats() {
-            eprintln!(
+            writeln!(
+                err,
                 "cache: {} session resume(s) · {} append hits · {} append fallbacks · {} misses",
                 stats.session_resumes, stats.append_hits, stats.append_fallbacks, stats.misses,
-            );
+            )
+            .map_err(|e| format!("cannot write stderr: {e}"))?;
         }
     }
+    err.flush()
+        .map_err(|e| format!("cannot write stderr: {e}"))?;
     Ok(())
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    let telemetry_on = args.telemetry();
     let text = std::fs::read_to_string(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input))?;
-    let table = io::parse_csv(&text).map_err(|e| format!("{}: {e}", args.input))?;
+    // Ingest telemetry (parse span, byte/row counters) records into its own
+    // profile; the engine's rides on the report. Merged below.
+    let (parsed, ingest_profile) = telemetry::collect(telemetry_on, || io::parse_csv(&text));
+    let table = parsed.map_err(|e| format!("{}: {e}", args.input))?;
 
     let dv = DataVinci::with_config(DataVinciConfig {
         semantics: args.semantics,
@@ -338,6 +467,7 @@ fn run(args: &Args) -> Result<(), String> {
         EngineConfig {
             workers: args.workers,
             cache: args.cache,
+            telemetry: telemetry_on,
             ..EngineConfig::default()
         },
     );
@@ -345,6 +475,17 @@ fn run(args: &Args) -> Result<(), String> {
     let report = engine.clean_table(&table);
     let wall = started.elapsed();
     let repaired = Engine::apply(&table, &report.table_report());
+
+    let profile = telemetry_on.then(|| {
+        let mut profile = ingest_profile.unwrap_or_default();
+        if let Some(engine_profile) = &report.telemetry {
+            profile.merge(engine_profile);
+        }
+        profile
+            .metrics
+            .set_gauge("cli.wall_ms", wall.as_secs_f64() * 1000.0);
+        profile
+    });
 
     // --types: one detection per cleaned column through the session's
     // column-type memo (the pool is shared, the gazetteer sweep runs once
@@ -374,9 +515,22 @@ fn run(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
     if let Some(report_path) = &args.report {
-        let json = report_json(&table, &report, &engine, wall, &types).render_pretty();
+        let json =
+            report_json(&table, &report, &engine, wall, &types, profile.as_ref()).render_pretty();
         std::fs::write(report_path, json)
             .map_err(|e| format!("cannot write {report_path}: {e}"))?;
+    }
+    if let Some(metrics_path) = &args.metrics {
+        let profile = profile.as_ref().expect("telemetry on when --metrics set");
+        std::fs::write(
+            metrics_path,
+            metrics_doc(profile, &report, &table).render_pretty(),
+        )
+        .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
+    }
+    if args.trace {
+        let profile = profile.as_ref().expect("telemetry on when --trace set");
+        eprint!("{}", render_spans(&profile.spans));
     }
 
     if !args.quiet {
@@ -418,9 +572,26 @@ fn run(args: &Args) -> Result<(), String> {
             s.mask_cache_hits,
             s.mask_cache_misses,
         );
+        if report.columns.len() > 1 {
+            let ranked: Vec<String> = report
+                .slowest_columns(3)
+                .iter()
+                .map(|c| {
+                    let name = table
+                        .column(c.report.col)
+                        .map(|col| col.name().to_string())
+                        .unwrap_or_default();
+                    format!("{name} {:.1} ms", c.elapsed.as_secs_f64() * 1000.0)
+                })
+                .collect();
+            println!("slowest columns: {}", ranked.join(" · "));
+        }
         println!("wrote {out_path}");
         if let Some(report_path) = &args.report {
             println!("wrote {report_path}");
+        }
+        if let Some(metrics_path) = &args.metrics {
+            println!("wrote {metrics_path}");
         }
     }
     Ok(())

@@ -7,9 +7,12 @@ use std::time::Instant;
 
 use crate::cache::{CacheLookup, CacheStats, ProfileCache, DEFAULT_CACHE_CAPACITY};
 use crate::pool::WorkerPool;
-use crate::report::{BatchReport, CacheOutcome, ColumnOutcome, EngineReport};
+use crate::report::{
+    cache_stats_into, session_stats_into, BatchReport, CacheOutcome, ColumnOutcome, EngineReport,
+};
 use datavinci_core::{AnalysisSession, DataVinci, TableReport};
 use datavinci_table::{CellRef, CellValue, Table};
+use datavinci_telemetry::{self as telemetry, MetricsFrame, MetricsRegistry, TaskProfile};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +26,11 @@ pub struct EngineConfig {
     /// bound is the matching core-side knob
     /// (`DataVinciConfig::mask_cache_capacity`).
     pub cache_capacity: usize,
+    /// Record structured telemetry (span trees, counters, latency
+    /// histograms) for every clean? Off by default: with telemetry off
+    /// every instrumentation point short-circuits on one relaxed atomic
+    /// load and cleaning output is byte-identical.
+    pub telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -31,6 +39,7 @@ impl Default for EngineConfig {
             workers: 0,
             cache: true,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            telemetry: false,
         }
     }
 }
@@ -54,6 +63,7 @@ pub struct Engine {
     dv: DataVinci,
     pool: WorkerPool,
     cache: Option<ProfileCache>,
+    registry: MetricsRegistry,
 }
 
 impl Default for Engine {
@@ -82,7 +92,15 @@ impl Engine {
             cache: cfg
                 .cache
                 .then(|| ProfileCache::with_capacity(cfg.cache_capacity)),
+            registry: MetricsRegistry::new(cfg.telemetry),
         }
+    }
+
+    /// The engine's metrics registry: the cumulative sink every clean's
+    /// frame is absorbed into (counters add, gauges last-write-wins,
+    /// histograms merge). Disabled registries stay empty.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// The wrapped cleaning system.
@@ -115,10 +133,16 @@ impl Engine {
     /// [`Engine::clean_table`]/[`Engine::clean_batch`], which hash each
     /// table once and share one session across all its columns.
     pub fn clean_column(&self, table: &Table, col: usize) -> ColumnOutcome {
-        let fingerprint = table.fingerprint();
-        let session = self.open_session(table, fingerprint);
-        let outcome = self.clean_unit(&session, table, fingerprint, col);
-        self.store_session(fingerprint, crate::cache::header_key(table), session);
+        let (outcome, profile) = telemetry::collect(self.registry.enabled(), || {
+            let fingerprint = table.fingerprint();
+            let session = self.open_session(table, fingerprint);
+            let outcome = self.clean_unit(&session, table, fingerprint, col);
+            self.store_session(fingerprint, crate::cache::header_key(table), session);
+            outcome
+        });
+        if let Some(profile) = profile {
+            self.registry.absorb_frame(&profile.metrics);
+        }
         outcome
     }
 
@@ -164,10 +188,15 @@ impl Engine {
     /// The report's `elapsed` keeps its batch semantics (summed per-column
     /// cleaning time); measure wall time around this call if needed.
     pub fn clean_table(&self, table: &Table) -> EngineReport {
-        self.clean_batch(std::slice::from_ref(table))
-            .tables
-            .pop()
-            .expect("one table in, one out")
+        let mut batch = self.clean_batch(std::slice::from_ref(table));
+        let mut report = batch.tables.pop().expect("one table in, one out");
+        // The batch profile is a superset of the single table's (same task
+        // spans plus the batch-level scheduling spans and cache aggregates):
+        // hand the richer one to single-table callers.
+        if batch.telemetry.is_some() {
+            report.telemetry = batch.telemetry;
+        }
+        report
     }
 
     /// Cleans a queue of independent tables, in parallel.
@@ -178,10 +207,34 @@ impl Engine {
     /// pools are built at most once per table), and tables with identical
     /// fingerprints share one session outright.
     pub fn clean_batch(&self, tables: &[Table]) -> BatchReport {
+        let (mut batch, profile) =
+            telemetry::collect(self.registry.enabled(), || self.clean_batch_inner(tables));
+        if let Some(mut profile) = profile {
+            cache_stats_into(&mut profile.metrics, &batch.cache);
+            profile
+                .metrics
+                .set_gauge("engine.batch_elapsed_ms", batch.elapsed.as_secs_f64() * 1e3);
+            profile
+                .metrics
+                .set_gauge("engine.workers", self.pool.workers() as f64);
+            // The six pipeline stages are part of the exported schema even
+            // when a clean never reached one of them (e.g. all cache hits).
+            for stage in telemetry::stages::ALL {
+                profile.metrics.ensure_histogram(stage);
+            }
+            self.registry.absorb_frame(&profile.metrics);
+            batch.telemetry = Some(profile);
+        }
+        batch
+    }
+
+    fn clean_batch_inner(&self, tables: &[Table]) -> BatchReport {
+        let _root = telemetry::span("engine.clean_batch");
         let started = Instant::now();
         let min_text = self.dv.config().min_text_fraction;
 
         // One unit per cleanable column; table fingerprints computed once.
+        let fingerprint_span = telemetry::span("engine.fingerprint");
         let prints: Vec<u64> = tables.iter().map(Table::fingerprint).collect();
         let units: Vec<(usize, usize)> = tables
             .iter()
@@ -195,10 +248,14 @@ impl Engine {
                     .map(move |c| (ti, c))
             })
             .collect();
+        drop(fingerprint_span);
+        telemetry::counter("engine.tables", tables.len() as u64);
+        telemetry::counter("engine.units", units.len() as u64);
 
         // One session per *distinct* table fingerprint, resumed from the
         // cache's snapshot layer (append growth) or seeded from its session
         // layer (identical content) when possible.
+        let open_span = telemetry::span("engine.open_sessions");
         let mut session_of: Vec<usize> = Vec::with_capacity(tables.len());
         let mut slots: HashMap<u64, usize> = HashMap::new();
         let mut sessions: Vec<AnalysisSession<'_>> = Vec::new();
@@ -211,19 +268,61 @@ impl Engine {
             });
             session_of.push(slot);
         }
+        drop(open_span);
+        telemetry::counter("engine.distinct_sessions", sessions.len() as u64);
 
+        // Each worker task records into its own thread-local collector;
+        // profiles come back with the outcomes and are grafted under this
+        // batch's root span at join (no locks on the cleaning hot path).
+        let enabled = self.registry.enabled();
         let outcomes = self.pool.map(&units, |_, &(ti, col)| {
-            self.clean_unit(&sessions[session_of[ti]], &tables[ti], prints[ti], col)
+            telemetry::collect(enabled, || {
+                self.clean_unit(&sessions[session_of[ti]], &tables[ti], prints[ti], col)
+            })
         });
 
         let mut per_table: Vec<EngineReport> =
             tables.iter().map(|_| EngineReport::default()).collect();
-        for (&(ti, _), outcome) in units.iter().zip(outcomes) {
+        for (&(ti, _), (outcome, profile)) in units.iter().zip(outcomes) {
             per_table[ti].elapsed += outcome.elapsed;
+            if let Some(profile) = profile {
+                telemetry::absorb(&profile);
+                per_table[ti]
+                    .telemetry
+                    .get_or_insert_with(TaskProfile::default)
+                    .merge(&profile);
+            }
             per_table[ti].columns.push(outcome);
         }
         for (ti, report) in per_table.iter_mut().enumerate() {
             report.session = sessions[session_of[ti]].stats();
+            if enabled {
+                let frame = &mut report
+                    .telemetry
+                    .get_or_insert_with(TaskProfile::default)
+                    .metrics;
+                session_stats_into(frame, &report.session);
+                frame.set_gauge(
+                    "engine.table_elapsed_ms",
+                    report.elapsed.as_secs_f64() * 1e3,
+                );
+                for stage in telemetry::stages::ALL {
+                    frame.ensure_histogram(stage);
+                }
+            }
+        }
+        if enabled {
+            // Batch-level session aggregates walk *distinct* sessions: the
+            // per-table mirrors above would double-count tables sharing a
+            // fingerprint (and therefore a session).
+            let mut frame = MetricsFrame::new();
+            for session in &sessions {
+                session_stats_into(&mut frame, &session.stats());
+            }
+            telemetry::absorb(&TaskProfile {
+                spans: Vec::new(),
+                metrics: frame,
+            });
         }
         for (session, &(fingerprint, header_key)) in sessions.into_iter().zip(&slot_keys) {
             self.store_session(fingerprint, header_key, session);
@@ -233,6 +332,7 @@ impl Engine {
             elapsed: started.elapsed(),
             workers: self.pool.workers(),
             cache: self.cache_stats().unwrap_or_default(),
+            telemetry: None,
         }
     }
 
@@ -245,6 +345,7 @@ impl Engine {
         table_fingerprint: u64,
         col: usize,
     ) -> ColumnOutcome {
+        let _span = telemetry::span("engine.clean_column");
         let started = Instant::now();
         let column = table.column(col).expect("column in range");
 
@@ -330,10 +431,15 @@ impl Engine {
             },
         };
 
+        let elapsed = started.elapsed();
+        if telemetry::is_active() {
+            telemetry::counter(cache_outcome.metric(), 1);
+            telemetry::observe("engine.column_latency", elapsed);
+        }
         ColumnOutcome {
             report,
             cache: cache_outcome,
-            elapsed: started.elapsed(),
+            elapsed,
         }
     }
 

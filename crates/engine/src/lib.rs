@@ -46,5 +46,9 @@ pub mod stream;
 pub use cache::{CacheLookup, CacheStats, CachedColumn, ProfileCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, EngineConfig};
 pub use pool::WorkerPool;
-pub use report::{session_stats_json, BatchReport, CacheOutcome, ColumnOutcome, EngineReport};
+pub use report::{
+    cache_stats_into, cache_stats_json, histogram_json, metrics_frame_json, session_stats_into,
+    session_stats_json, span_node_json, telemetry_json, BatchReport, CacheOutcome, ColumnOutcome,
+    EngineReport,
+};
 pub use stream::{ChunkOutcome, StreamCleaner, StreamConfig, StreamRepair};

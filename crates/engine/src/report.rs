@@ -6,6 +6,7 @@ use std::time::Duration;
 use crate::cache::CacheStats;
 use crate::json::Json;
 use datavinci_core::{ColumnReport, SessionStats, TableReport};
+use datavinci_telemetry::{Histogram, MetricsFrame, SpanNode, TaskProfile};
 
 /// How the cache served one column clean.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,17 @@ impl CacheOutcome {
             CacheOutcome::AppendHit => "append_hit",
         }
     }
+
+    /// The per-clean telemetry counter this outcome increments.
+    pub fn metric(&self) -> &'static str {
+        match self {
+            CacheOutcome::Disabled => "engine.cache_outcome.disabled",
+            CacheOutcome::Miss => "engine.cache_outcome.miss",
+            CacheOutcome::ReportHit => "engine.cache_outcome.report_hit",
+            CacheOutcome::AnalysisHit => "engine.cache_outcome.analysis_hit",
+            CacheOutcome::AppendHit => "engine.cache_outcome.append_hit",
+        }
+    }
 }
 
 /// One column's cleaning outcome.
@@ -67,6 +79,10 @@ pub struct EngineReport {
     /// identical fingerprints in one batch share a session, and therefore
     /// a snapshot).
     pub session: SessionStats,
+    /// Structured telemetry for this table's clean — the merged span tree
+    /// and metrics of every per-column worker task plus table-level
+    /// aggregates. `None` when the engine runs with telemetry off.
+    pub telemetry: Option<TaskProfile>,
 }
 
 impl EngineReport {
@@ -91,6 +107,17 @@ impl EngineReport {
     /// Columns served by any cached layer.
     pub fn cache_hits(&self) -> usize {
         self.columns.iter().filter(|c| c.cache.is_hit()).count()
+    }
+
+    /// The `n` slowest columns of this clean, by per-column elapsed time,
+    /// slowest first (ties broken by column index for determinism) — makes
+    /// one huge column serializing a batch visible before any scheduler
+    /// work tries to fix it.
+    pub fn slowest_columns(&self, n: usize) -> Vec<&ColumnOutcome> {
+        let mut ranked: Vec<&ColumnOutcome> = self.columns.iter().collect();
+        ranked.sort_by_key(|c| (std::cmp::Reverse(c.elapsed), c.report.col));
+        ranked.truncate(n);
+        ranked
     }
 }
 
@@ -137,6 +164,112 @@ pub fn session_stats_json(stats: &SessionStats) -> Json {
         .field("rows_appended", Json::Int(stats.rows_appended as i64))
 }
 
+/// Mirrors [`SessionStats`] into the unified metrics schema: every integer
+/// field becomes a `session.*` counter, the derived sharing factor a gauge.
+///
+/// This (plus [`cache_stats_into`]) is the canonical mapping the tentpole
+/// unifies the old ad-hoc stat structs onto; [`session_stats_json`] and
+/// [`cache_stats_json`] remain as deprecated aliases for the legacy report
+/// sections.
+pub fn session_stats_into(frame: &mut MetricsFrame, stats: &SessionStats) {
+    frame.add_counter("session.feature_generations", stats.feature_generations);
+    frame.add_counter("session.feature_rows_computed", stats.feature_rows_computed);
+    frame.add_counter("session.feature_row_hits", stats.feature_row_hits);
+    frame.add_counter("session.pools_built", stats.pools_built);
+    frame.add_counter("session.pools_reused", stats.pools_reused);
+    frame.add_counter("session.table_rows", stats.table_rows);
+    frame.add_counter("session.distinct_rows", stats.distinct_rows);
+    frame.add_counter("session.plan_error_rows", stats.plan_error_rows);
+    frame.add_counter("session.plan_groups", stats.plan_groups);
+    frame.add_counter("session.column_types_memoized", stats.column_types_memoized);
+    frame.add_counter("session.mask_cache_entries", stats.mask_cache_entries);
+    frame.add_counter("session.mask_cache_hits", stats.mask_cache_hits);
+    frame.add_counter("session.mask_cache_misses", stats.mask_cache_misses);
+    frame.add_counter("session.extensions", stats.session_extensions);
+    frame.add_counter("session.rows_appended", stats.rows_appended);
+    frame.set_gauge("session.plan_sharing_factor", stats.plan_sharing_factor());
+}
+
+/// Mirrors [`CacheStats`] into the unified metrics schema as cumulative
+/// `engine.cache.*` counters (per-clean outcomes live under the distinct
+/// `engine.cache_outcome.*` names — see [`CacheOutcome::metric`]).
+pub fn cache_stats_into(frame: &mut MetricsFrame, stats: &CacheStats) {
+    frame.set_counter("engine.cache.report_hits", stats.report_hits);
+    frame.set_counter("engine.cache.analysis_hits", stats.analysis_hits);
+    frame.set_counter("engine.cache.append_hits", stats.append_hits);
+    frame.set_counter("engine.cache.append_fallbacks", stats.append_fallbacks);
+    frame.set_counter("engine.cache.misses", stats.misses);
+    frame.set_counter("engine.cache.session_hits", stats.session_hits);
+    frame.set_counter("engine.cache.session_resumes", stats.session_resumes);
+}
+
+/// The legacy JSON rendering of cumulative cache statistics — a deprecated
+/// alias of [`CacheStats::to_json`]; new consumers should read the
+/// `engine.cache.*` counters from [`cache_stats_into`]'s schema instead.
+pub fn cache_stats_json(stats: &CacheStats) -> Json {
+    stats.to_json()
+}
+
+/// One span node as JSON: `{name, count, total_ns, children: [...]}`.
+pub fn span_node_json(node: &SpanNode) -> Json {
+    Json::obj()
+        .field("name", Json::str(&node.name))
+        .field("count", Json::Int(node.count as i64))
+        .field("total_ns", Json::Int(node.total_ns as i64))
+        .field(
+            "children",
+            Json::Arr(node.children.iter().map(span_node_json).collect()),
+        )
+}
+
+/// One latency histogram as JSON summary statistics (count, sum, min, max,
+/// mean and the p50/p90/p99 quantile upper bounds, all in nanoseconds).
+pub fn histogram_json(hist: &Histogram) -> Json {
+    let opt = |v: Option<u64>| v.map(|n| Json::Int(n as i64)).unwrap_or(Json::Null);
+    Json::obj()
+        .field("count", Json::Int(hist.count() as i64))
+        .field("sum_ns", Json::Int(hist.sum_ns() as i64))
+        .field("min_ns", opt(hist.min_ns()))
+        .field("max_ns", opt(hist.max_ns()))
+        .field("mean_ns", Json::Int(hist.mean_ns() as i64))
+        .field("p50_ns", Json::Int(hist.quantile_ns(0.50) as i64))
+        .field("p90_ns", Json::Int(hist.quantile_ns(0.90) as i64))
+        .field("p99_ns", Json::Int(hist.quantile_ns(0.99) as i64))
+}
+
+/// A metrics frame as JSON: counter/gauge/histogram maps, keys sorted
+/// (the frame's `BTreeMap`s make this deterministic by construction).
+pub fn metrics_frame_json(frame: &MetricsFrame) -> Json {
+    let mut counters = Json::obj();
+    for (name, value) in &frame.counters {
+        counters = counters.field(name, Json::Int(*value as i64));
+    }
+    let mut gauges = Json::obj();
+    for (name, value) in &frame.gauges {
+        gauges = gauges.field(name, Json::Num(*value));
+    }
+    let mut histograms = Json::obj();
+    for (name, hist) in &frame.histograms {
+        histograms = histograms.field(name, histogram_json(hist));
+    }
+    Json::obj()
+        .field("counters", counters)
+        .field("gauges", gauges)
+        .field("histograms", histograms)
+}
+
+/// A full task profile (span tree + metrics frame) as JSON, wrapped in a
+/// versioned envelope so downstream consumers can detect schema drift.
+pub fn telemetry_json(profile: &TaskProfile) -> Json {
+    Json::obj()
+        .field("schema", Json::str("datavinci.telemetry/v1"))
+        .field(
+            "spans",
+            Json::Arr(profile.spans.iter().map(span_node_json).collect()),
+        )
+        .field("metrics", metrics_frame_json(&profile.metrics))
+}
+
 /// The outcome of one batch clean.
 #[derive(Debug, Clone, Default)]
 pub struct BatchReport {
@@ -149,6 +282,10 @@ pub struct BatchReport {
     /// Cache telemetry snapshot after the batch (cumulative for the
     /// engine's cache lifetime).
     pub cache: CacheStats,
+    /// The whole batch's span tree and metrics (worker-task profiles
+    /// grafted under the batch root, distinct-session and cache aggregates
+    /// merged in). `None` when telemetry is off.
+    pub telemetry: Option<TaskProfile>,
 }
 
 impl BatchReport {

@@ -31,6 +31,8 @@
 //! stream bench asserts this identity; `tests/stream_vs_batch.rs` checks it
 //! differentially, compaction included).
 
+use std::time::{Duration, Instant};
+
 use crate::engine::{Engine, EngineConfig};
 use crate::report::EngineReport;
 use datavinci_core::DataVinci;
@@ -46,6 +48,10 @@ pub struct StreamConfig {
     /// before compaction drops them; `0` keeps every row (no compaction —
     /// memory grows with the stream).
     pub window_rows: usize,
+    /// Record structured telemetry on the inner engine (per-chunk
+    /// `stream.*` counters and gauges plus the engine's own spans and
+    /// histograms). Off by default.
+    pub telemetry: bool,
 }
 
 /// One repair emitted for a streamed row.
@@ -77,6 +83,9 @@ pub struct ChunkOutcome {
     pub report: EngineReport,
     /// Whether the window was compacted before this chunk.
     pub compacted: bool,
+    /// Wall time for this chunk end-to-end (compaction + append + window
+    /// clean + emission).
+    pub elapsed: Duration,
 }
 
 /// The chunk-at-a-time cleaner (see the module docs).
@@ -121,6 +130,7 @@ impl StreamCleaner {
                 workers: cfg.workers,
                 cache: true,
                 cache_capacity,
+                telemetry: cfg.telemetry,
             },
         );
         StreamCleaner {
@@ -159,6 +169,11 @@ impl StreamCleaner {
         self.compactions
     }
 
+    /// Rows currently resident as cleaning context (bounded by the window).
+    pub fn resident_rows(&self) -> usize {
+        self.resident.n_rows()
+    }
+
     /// The inner engine (cache telemetry, worker count).
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -170,6 +185,7 @@ impl StreamCleaner {
     /// once returned: later chunks can refine the learned column language,
     /// but never retract an emitted row.
     pub fn push_rows(&mut self, rows: &[Vec<String>]) -> ChunkOutcome {
+        let started = Instant::now();
         // Compact before appending: every resident row is already emitted,
         // so dropping the window only sheds context, never output.
         let compacted = self.window_rows > 0 && self.resident.n_rows() >= self.window_rows;
@@ -226,6 +242,23 @@ impl StreamCleaner {
         repairs.sort_by_key(|r| (r.col, r.row));
         self.n_repairs += repairs.len();
 
+        let elapsed = started.elapsed();
+        let registry = self.engine.metrics();
+        if registry.enabled() {
+            registry.add_counter("stream.chunks", 1);
+            registry.add_counter("stream.rows", rows.len() as u64);
+            registry.add_counter("stream.repairs", repairs.len() as u64);
+            if compacted {
+                registry.add_counter("stream.compactions", 1);
+            }
+            registry.set_gauge("stream.window_resident_rows", self.resident.n_rows() as f64);
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                registry.set_gauge("stream.chunk_rows_per_s", rows.len() as f64 / secs);
+            }
+            registry.observe("stream.chunk_latency", elapsed);
+        }
+
         ChunkOutcome {
             first_row: self.resident_start + first_new,
             n_rows: rows.len(),
@@ -233,6 +266,7 @@ impl StreamCleaner {
             repairs,
             report,
             compacted,
+            elapsed,
         }
     }
 }
@@ -293,6 +327,7 @@ mod tests {
         let cfg = StreamConfig {
             workers: 1,
             window_rows: 10,
+            ..StreamConfig::default()
         };
         let mut windowed = StreamCleaner::new(&header(), cfg);
         let mut unbounded = StreamCleaner::new(&header(), StreamConfig::default());

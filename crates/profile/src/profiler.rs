@@ -16,6 +16,7 @@ use crate::atom::{signature, smallest_period, tokenize, AtomKind};
 use crate::generalize::{try_merge, MergeConfig};
 use crate::stats::{BuildConfig, GroupProfile};
 use datavinci_regex::{CompiledPattern, MaskedString, Pattern};
+use datavinci_telemetry as telemetry;
 
 /// Which matcher scores candidate patterns against the column.
 ///
@@ -210,9 +211,48 @@ pub fn profile_column_pooled(
     sort_by_coverage(&mut learned);
     learned.truncate(cfg.max_patterns);
 
-    ColumnProfile {
+    let profile = ColumnProfile {
         patterns: learned,
         n_values: n,
+    };
+    record_profile_telemetry(&profile, dedup, "profile.columns_profiled");
+    profile
+}
+
+/// Records pattern-learning counters into the active telemetry collector,
+/// if any. DFA step counts are approximated by tokens-stepped (one table
+/// lookup per token per distinct value per pattern) so the inner matching
+/// loop itself stays uninstrumented; state counts read the memo table the
+/// matcher already maintains.
+fn record_profile_telemetry(profile: &ColumnProfile, dedup: &MaskedPool, event: &str) {
+    if !telemetry::is_active() {
+        return;
+    }
+    telemetry::counter(event, 1);
+    telemetry::counter("profile.patterns_scored", profile.patterns.len() as u64);
+    telemetry::counter(
+        "profile.values_scored",
+        (profile.patterns.len() * dedup.n_distinct()) as u64,
+    );
+    let distinct_toks: usize = dedup.distinct.iter().map(|v| v.toks().len()).sum();
+    telemetry::counter(
+        "profile.dfa_steps",
+        (profile.patterns.len() * distinct_toks) as u64,
+    );
+    let mut states = 0u64;
+    let mut fallbacks = 0u64;
+    let mut budget = 0u64;
+    for lp in &profile.patterns {
+        states += lp.compiled.dfa_states() as u64;
+        fallbacks += u64::from(lp.compiled.dfa_overflowed());
+        budget = budget.max(lp.compiled.dfa_budget() as u64);
+    }
+    telemetry::counter("profile.dfa_states", states);
+    if fallbacks > 0 {
+        telemetry::counter("profile.nfa_fallbacks", fallbacks);
+    }
+    if budget > 0 {
+        telemetry::gauge("profile.dfa_state_budget", budget as f64);
     }
 }
 
@@ -347,10 +387,12 @@ pub fn rescore_profile_pooled(
         })
         .collect();
     sort_by_coverage(&mut patterns);
-    ColumnProfile {
+    let profile = ColumnProfile {
         patterns,
         n_values: n,
-    }
+    };
+    record_profile_telemetry(&profile, dedup, "profile.columns_rescored");
+    profile
 }
 
 /// Convenience: profiles plain (unmasked) string values.

@@ -343,10 +343,15 @@ impl Dfa {
         self.overflowed.load(Ordering::Relaxed)
     }
 
-    /// Number of DFA states discovered so far (incl. dead + start).
-    #[cfg(test)]
-    fn n_states(&self) -> usize {
+    /// Number of DFA states discovered so far (incl. dead + start) —
+    /// state-budget usage for telemetry.
+    pub fn n_states(&self) -> usize {
         self.tables.lock().expect("dfa tables poisoned").sets.len()
+    }
+
+    /// The state budget this DFA was compiled with.
+    pub fn budget(&self) -> usize {
+        self.budget
     }
 
     /// DFA simulation; `None` when a new state would exceed the budget.

@@ -152,6 +152,17 @@ impl CompiledPattern {
         self.dfa.overflowed()
     }
 
+    /// Number of DFA states discovered so far — how much of the state
+    /// budget lazy determinization has consumed (telemetry).
+    pub fn dfa_states(&self) -> usize {
+        self.dfa.n_states()
+    }
+
+    /// The DFA state budget this pattern was compiled with.
+    pub fn dfa_budget(&self) -> usize {
+        self.dfa.budget()
+    }
+
     /// The unrolled DAG for values of `len` tokens (cached per length).
     pub fn dag_for_len(&self, len: usize) -> std::sync::Arc<Dag> {
         let mut cache = self.dag_cache.lock().expect("dag cache poisoned");

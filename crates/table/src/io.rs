@@ -22,6 +22,8 @@
 
 use std::ops::Range;
 
+use datavinci_telemetry as telemetry;
+
 use crate::column::Column;
 use crate::table::Table;
 use crate::value::CellValue;
@@ -190,6 +192,9 @@ impl CsvChunkReader {
 
     /// [`CsvChunkReader::push`] for text chunks.
     pub fn push_str(&mut self, chunk: &str) -> Result<Vec<Vec<String>>, CsvError> {
+        // `push` funnels its decoded bytes through here, so this is the one
+        // choke point for ingest volume telemetry.
+        telemetry::counter("ingest.bytes", chunk.len() as u64);
         let mut rows = Vec::new();
         for ch in chunk.chars() {
             if self.pending_cr {
@@ -218,6 +223,9 @@ impl CsvChunkReader {
                 _ => self.cur.push(ch),
             }
         }
+        if !rows.is_empty() {
+            telemetry::counter("ingest.rows", rows.len() as u64);
+        }
         Ok(rows)
     }
 
@@ -240,6 +248,9 @@ impl CsvChunkReader {
         let mut rows = Vec::new();
         if !self.cur.is_empty() {
             self.end_record(&mut rows)?;
+        }
+        if !rows.is_empty() {
+            telemetry::counter("ingest.rows", rows.len() as u64);
         }
         Ok(rows)
     }
@@ -304,6 +315,7 @@ pub fn rows_to_table(header: &[String], rows: &[Vec<String>]) -> Table {
 /// Ragged rows, unclosed quotes, and missing headers yield a positioned
 /// [`CsvError`] naming the offending line.
 pub fn parse_csv(text: &str) -> Result<Table, CsvError> {
+    let _span = telemetry::span("ingest.parse_csv");
     let mut reader = CsvChunkReader::new();
     let mut rows = reader.push_str(text)?;
     rows.extend(reader.finish()?);

@@ -1,0 +1,286 @@
+//! The thread-local collector and the free-function recording API.
+//!
+//! Recording is scoped, not global: [`collect`] installs a fresh
+//! [`LocalCollector`] in a thread-local slot, runs a closure, and returns
+//! the finished [`TaskProfile`]. Inside the closure, [`span`], [`counter`],
+//! [`gauge`], and [`observe`] record into that collector with no locking;
+//! outside any `collect` (or when `collect` was called with
+//! `enabled = false`) every call is a near-no-op — one relaxed atomic load
+//! when no collector exists anywhere in the process, one additional
+//! thread-local read otherwise.
+//!
+//! Worker threads each run their task under their own `collect`; the
+//! spawning thread grafts the finished profiles into its own collector
+//! with [`absorb`] at join time. That keeps the hot path lock-free while
+//! still producing one deterministic tree.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::metrics::MetricsFrame;
+use crate::span::{merge_span_lists, SpanNode};
+
+/// Everything one [`collect`] scope recorded: the closed-span forest and
+/// the task-local metrics frame (which includes the per-span-name latency
+/// histograms observed automatically as spans close).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskProfile {
+    /// Root spans closed in this scope, aggregated by name.
+    pub spans: Vec<SpanNode>,
+    /// Counters, gauges, and histograms recorded in this scope.
+    pub metrics: MetricsFrame,
+}
+
+impl TaskProfile {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.metrics.is_empty()
+    }
+
+    /// Fold another profile into this one: span forests merge by name,
+    /// metrics merge frame-wise.
+    pub fn merge(&mut self, other: &TaskProfile) {
+        merge_span_lists(&mut self.spans, &other.spans);
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// Find a span by name anywhere in the forest.
+    pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        crate::span::find_span(&self.spans, name)
+    }
+}
+
+struct OpenFrame {
+    name: &'static str,
+    started: Instant,
+    children: Vec<SpanNode>,
+}
+
+/// The per-scope recording state. Only ever touched through the
+/// thread-local slot; public so the type can appear in documentation.
+#[derive(Debug)]
+pub struct LocalCollector {
+    id: u64,
+    open: Vec<OpenFrame>,
+    done: Vec<SpanNode>,
+    metrics: MetricsFrame,
+}
+
+impl std::fmt::Debug for OpenFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenFrame")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Count of currently-installed collectors across all threads. Zero means
+/// every recording call can bail after a single relaxed load — this is the
+/// "disabled telemetry is near-free" gate.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<LocalCollector>> = const { RefCell::new(None) };
+}
+
+impl LocalCollector {
+    fn new() -> Self {
+        LocalCollector {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            open: Vec::new(),
+            done: Vec::new(),
+            metrics: MetricsFrame::new(),
+        }
+    }
+
+    fn open_span(&mut self, name: &'static str) {
+        self.open.push(OpenFrame {
+            name,
+            started: Instant::now(),
+            children: Vec::new(),
+        });
+    }
+
+    fn close_span(&mut self) {
+        let Some(frame) = self.open.pop() else { return };
+        let total_ns = frame.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.metrics.observe_ns(frame.name, total_ns);
+        let node = SpanNode {
+            name: frame.name.to_string(),
+            count: 1,
+            total_ns,
+            children: frame.children,
+        };
+        self.absorb_nodes(std::slice::from_ref(&node));
+    }
+
+    fn absorb_nodes(&mut self, nodes: &[SpanNode]) {
+        let target = match self.open.last_mut() {
+            Some(parent) => &mut parent.children,
+            None => &mut self.done,
+        };
+        merge_span_lists(target, nodes);
+    }
+
+    fn finish(mut self) -> TaskProfile {
+        while !self.open.is_empty() {
+            self.close_span();
+        }
+        TaskProfile {
+            spans: self.done,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// RAII guard for one span. Created by [`span`]; records the span into the
+/// installing collector when dropped. Guards are expected to drop in LIFO
+/// order (the natural result of `let _span = span(...)` scoping).
+#[must_use = "a span records its duration when dropped; binding it to _ closes it immediately"]
+pub struct Span {
+    /// Collector id this guard belongs to; 0 marks an inert guard.
+    id: u64,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        CURRENT.with(|c| {
+            if let Some(col) = c.borrow_mut().as_mut() {
+                // Only close if the installing collector is still current:
+                // a guard smuggled out of its `collect` scope must not pop
+                // frames from an unrelated collector.
+                if col.id == self.id {
+                    col.close_span();
+                }
+            }
+        });
+    }
+}
+
+/// Open a named span. Returns an inert guard (cost: one relaxed atomic
+/// load) when no collector is installed.
+pub fn span(name: &'static str) -> Span {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return Span { id: 0 };
+    }
+    CURRENT.with(|c| match c.borrow_mut().as_mut() {
+        Some(col) => {
+            col.open_span(name);
+            Span { id: col.id }
+        }
+        None => Span { id: 0 },
+    })
+}
+
+/// Add `delta` to a named counter in the current collector, if any.
+pub fn counter(name: &str, delta: u64) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.metrics.add_counter(name, delta);
+        }
+    });
+}
+
+/// Set a named gauge in the current collector, if any.
+pub fn gauge(name: &str, value: f64) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.metrics.set_gauge(name, value);
+        }
+    });
+}
+
+/// Record a duration into a named histogram in the current collector.
+pub fn observe(name: &str, d: Duration) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.metrics.observe(name, d);
+        }
+    });
+}
+
+/// True when this thread currently records into a collector. Lets call
+/// sites skip *computing* an expensive metric value (not just recording
+/// it) when telemetry is off.
+pub fn is_active() -> bool {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Graft a finished [`TaskProfile`] into the current collector: its spans
+/// become children of the innermost open span (or roots), its metrics
+/// merge into the collector's frame. This is how a spawning thread folds
+/// worker-task profiles into its own tree at join time.
+pub fn absorb(profile: &TaskProfile) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.absorb_nodes(&profile.spans);
+            col.metrics.merge(&profile.metrics);
+        }
+    });
+}
+
+/// Run `f` with a fresh collector installed on this thread and return its
+/// result together with everything recorded. With `enabled = false` the
+/// closure runs bare and the profile is `None` — recording calls inside it
+/// stay near-no-ops.
+///
+/// Nests correctly: a previously-installed collector is saved and restored
+/// (also on unwind), so an engine-level `collect` inside a CLI-level
+/// `collect` records into its own profile without corrupting the outer one.
+/// This matters on single-worker pools, where tasks run inline on the
+/// caller thread.
+pub fn collect<R>(enabled: bool, f: impl FnOnce() -> R) -> (R, Option<TaskProfile>) {
+    if !enabled {
+        return (f(), None);
+    }
+
+    struct Restore {
+        prev: Option<LocalCollector>,
+        done: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if !self.done {
+                let prev = self.prev.take();
+                CURRENT.with(|c| *c.borrow_mut() = prev);
+                ACTIVE.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(LocalCollector::new()));
+    let mut restore = Restore { prev, done: false };
+
+    let out = f();
+
+    let col = CURRENT.with(|c| c.borrow_mut().take());
+    CURRENT.with(|c| *c.borrow_mut() = restore.prev.take());
+    ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    restore.done = true;
+
+    (
+        out,
+        Some(col.map(LocalCollector::finish).unwrap_or_default()),
+    )
+}

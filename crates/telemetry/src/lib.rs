@@ -1,0 +1,265 @@
+//! `datavinci-telemetry`: std-only spans, counters, gauges, and latency
+//! histograms for the DataVinci pipeline.
+//!
+//! Design (mirrors how the engine's `WorkerPool` executes work):
+//!
+//! - **Scoped, not global.** [`collect`] installs a thread-local
+//!   [`LocalCollector`], runs a closure, and hands back a [`TaskProfile`]
+//!   (span tree + metrics frame). Each worker task runs under its own
+//!   `collect`; the spawning thread grafts finished profiles into its own
+//!   tree with [`absorb`] at join time. The hot path never takes a lock.
+//! - **Near-free when off.** With no collector installed anywhere,
+//!   [`span`]/[`counter`]/[`observe`] cost one relaxed atomic load; with
+//!   `collect(false, …)` they cost the same. No feature flags, no
+//!   recompilation.
+//! - **Deterministic trees.** Closed spans aggregate by name
+//!   ([`SpanNode`]: ×count + total ns), and metrics live in `BTreeMap`s,
+//!   so the merged result is independent of thread interleaving.
+//! - **Spans are histograms too.** Every span closure also records its
+//!   duration into a same-named [`Histogram`] in the task's
+//!   [`MetricsFrame`], so `stage.profile` appears both as a tree node and
+//!   as a latency distribution.
+//!
+//! The engine-lifetime accumulator is [`MetricsRegistry`]; reports carry
+//! [`TaskProfile`]s. Canonical names used across the workspace are listed
+//! in [`stages`].
+//!
+//! ```
+//! use datavinci_telemetry as telemetry;
+//!
+//! let (sum, profile) = telemetry::collect(true, || {
+//!     let _clean = telemetry::span("engine.clean_column");
+//!     telemetry::counter("profile.patterns_learned", 3);
+//!     (0..4u64).sum::<u64>()
+//! });
+//! assert_eq!(sum, 6);
+//! let profile = profile.unwrap();
+//! assert_eq!(profile.find_span("engine.clean_column").unwrap().count, 1);
+//! assert_eq!(profile.metrics.counters["profile.patterns_learned"], 3);
+//! ```
+
+mod collector;
+mod metrics;
+mod span;
+
+pub use collector::{absorb, collect, counter, gauge, is_active, observe, span};
+pub use collector::{LocalCollector, Span, TaskProfile};
+pub use metrics::{Histogram, MetricsFrame, MetricsRegistry, HIST_BUCKETS};
+pub use span::{find_span, merge_span_lists, render_spans, SpanNode};
+
+/// Canonical names for the six DataVinci pipeline stages. Exports seed an
+/// (empty) histogram for each so the metrics schema always covers all six,
+/// even on runs where a stage never fired (e.g. no semantic repairs →
+/// no `stage.validate` samples).
+pub mod stages {
+    /// Value abstraction + semantic masking (paper stage ①).
+    pub const MASK: &str = "stage.mask";
+    /// Pattern learning over the masked column (paper stage ②).
+    pub const PROFILE: &str = "stage.profile";
+    /// Error detection against the learned profile (paper stage ③).
+    pub const DETECT: &str = "stage.detect";
+    /// Repair candidate synthesis: planning, DP, concretization (④).
+    pub const REPAIR: &str = "stage.repair";
+    /// Candidate ranking (⑤).
+    pub const RANK: &str = "stage.rank";
+    /// Execution-guided validation of semantic programs (⑥).
+    pub const VALIDATE: &str = "stage.validate";
+
+    /// All six, in pipeline order.
+    pub const ALL: [&str; 6] = [MASK, PROFILE, DETECT, REPAIR, RANK, VALIDATE];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_collect_returns_none() {
+        let (v, p) = collect(false, || {
+            let _s = span("never.recorded");
+            counter("never.counted", 1);
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn recording_outside_any_scope_is_inert() {
+        let _s = span("orphan");
+        counter("orphan.count", 1);
+        observe("orphan.lat", Duration::from_millis(1));
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate_by_name() {
+        let ((), p) = collect(true, || {
+            let _root = span("root");
+            for _ in 0..3 {
+                let _child = span("child");
+                let _grand = span("grand");
+            }
+        });
+        let p = p.unwrap();
+        assert_eq!(p.spans.len(), 1);
+        let root = &p.spans[0];
+        assert_eq!((root.name.as_str(), root.count), ("root", 1));
+        let child = root.child("child").unwrap();
+        assert_eq!(child.count, 3);
+        assert_eq!(child.child("grand").unwrap().count, 3);
+        // Span closures feed same-named histograms.
+        assert_eq!(p.metrics.histograms["child"].count(), 3);
+        assert_eq!(p.metrics.histograms["grand"].count(), 3);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_record_and_merge() {
+        let ((), p1) = collect(true, || {
+            counter("c", 2);
+            gauge("g", 1.5);
+            observe("h", Duration::from_nanos(100));
+        });
+        let ((), p2) = collect(true, || {
+            counter("c", 3);
+            gauge("g", 2.5);
+            observe("h", Duration::from_nanos(300));
+        });
+        let mut m = p1.unwrap();
+        m.merge(&p2.unwrap());
+        assert_eq!(m.metrics.counters["c"], 5);
+        assert_eq!(m.metrics.gauges["g"], 2.5);
+        let h = &m.metrics.histograms["h"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_ns(), 400);
+        assert_eq!(h.min_ns(), Some(100));
+        assert_eq!(h.max_ns(), Some(300));
+    }
+
+    #[test]
+    fn nested_collect_saves_and_restores_outer_scope() {
+        let ((), outer) = collect(true, || {
+            let _o = span("outer.work");
+            counter("outer.c", 1);
+            let ((), inner) = collect(true, || {
+                let _i = span("inner.work");
+                counter("inner.c", 1);
+            });
+            let inner = inner.unwrap();
+            // Inner scope saw only its own records…
+            assert_eq!(inner.spans.len(), 1);
+            assert_eq!(inner.spans[0].name, "inner.work");
+            assert!(!inner.metrics.counters.contains_key("outer.c"));
+            // …and the outer scope is still live afterwards.
+            counter("outer.c", 1);
+        });
+        let outer = outer.unwrap();
+        assert_eq!(outer.metrics.counters["outer.c"], 2);
+        assert!(outer.find_span("inner.work").is_none());
+    }
+
+    #[test]
+    fn absorb_grafts_profiles_under_the_open_span() {
+        let ((), task) = collect(true, || {
+            let _t = span("task");
+            counter("task.c", 4);
+        });
+        let task = task.unwrap();
+        let ((), root) = collect(true, || {
+            let _r = span("root");
+            absorb(&task);
+            absorb(&task);
+        });
+        let root = root.unwrap();
+        let grafted = root.spans[0].child("task").unwrap();
+        assert_eq!(grafted.count, 2);
+        assert_eq!(root.metrics.counters["task.c"], 8);
+    }
+
+    #[test]
+    fn worker_thread_profiles_merge_deterministically() {
+        // Emulates the WorkerPool shape: tasks collect on their own
+        // threads, the spawner absorbs at join.
+        let profiles: Vec<TaskProfile> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move || {
+                        let ((), p) = collect(true, || {
+                            let _c = span("engine.clean_column");
+                            counter("cells", i + 1);
+                        });
+                        p.unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let ((), batch) = collect(true, || {
+            let _root = span("engine.clean_batch");
+            for p in &profiles {
+                absorb(p);
+            }
+        });
+        let batch = batch.unwrap();
+        let root = &batch.spans[0];
+        assert_eq!(root.name, "engine.clean_batch");
+        assert_eq!(root.child("engine.clean_column").unwrap().count, 4);
+        assert_eq!(batch.metrics.counters["cells"], 1 + 2 + 3 + 4);
+        assert_eq!(batch.metrics.histograms["engine.clean_column"].count(), 4);
+    }
+
+    #[test]
+    fn span_guard_escaping_its_scope_is_inert() {
+        let (guard, p) = collect(true, || span("escapee"));
+        // Dropping the guard outside its collect scope must not touch any
+        // other collector's frames.
+        let ((), other) = collect(true, || {
+            let _s = span("unrelated");
+            drop(guard);
+        });
+        let p = p.unwrap();
+        // The escaped span was force-closed by finish().
+        assert_eq!(p.spans[0].name, "escapee");
+        let other = other.unwrap();
+        assert_eq!(other.spans.len(), 1);
+        assert_eq!(other.spans[0].name, "unrelated");
+        assert!(other.find_span("escapee").is_none());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds_clamped_to_range() {
+        let mut h = Histogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.observe_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean_ns(), (100 + 200 + 400 + 800 + 100_000) / 5);
+        let p50 = h.quantile_ns(0.5);
+        assert!((100..=800).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile_ns(1.0), 100_000);
+        assert!(h.quantile_ns(0.01) >= 100);
+    }
+
+    #[test]
+    fn render_spans_shows_counts_and_percentages() {
+        let ((), p) = collect(true, || {
+            let _r = span("root");
+            let _c = span("leaf");
+        });
+        let out = render_spans(&p.unwrap().spans);
+        assert!(out.contains("root ×1"), "{out}");
+        assert!(out.contains("└─ leaf ×1"), "{out}");
+        assert!(out.contains("100.0%"), "{out}");
+    }
+
+    #[test]
+    fn ensure_histogram_pins_schema_keys() {
+        let mut m = MetricsFrame::new();
+        for name in stages::ALL {
+            m.ensure_histogram(name);
+        }
+        assert_eq!(m.histograms.len(), 6);
+        assert_eq!(m.histograms[stages::VALIDATE].count(), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Counters, gauges, and log-scaled latency histograms.
+//!
+//! A [`MetricsFrame`] is a plain value: three ordered maps (counters,
+//! gauges, histograms) that merge deterministically. Worker tasks each fill
+//! a private frame (inside a [`crate::LocalCollector`]) and the frames are
+//! merged at join time, so the hot path never touches a lock. The only
+//! locked type is [`MetricsRegistry`], the engine-lifetime accumulator that
+//! absorbs finished frames on the (cold) spawning thread.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of log₂(ns) buckets: bucket 0 holds 0 ns, bucket *i* holds
+/// durations in `[2^(i−1), 2^i)` ns. 48 buckets cover > 3 days.
+pub const HIST_BUCKETS: usize = 48;
+
+/// A log₂-scaled latency histogram over nanoseconds.
+///
+/// Fixed bucket boundaries make merging two histograms a per-bucket add, so
+/// per-task histograms combine deterministically regardless of thread
+/// interleaving. Quantiles are bucket-upper-bound estimates clamped into
+/// the observed `[min, max]` range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration, in nanoseconds.
+    pub fn observe_ns(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_of(ns)] += 1;
+    }
+
+    /// Record one duration.
+    pub fn observe(&mut self, d: Duration) {
+        self.observe_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Fold another histogram into this one (per-bucket add).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed durations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Smallest observation, if any.
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest observation, if any.
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ns)
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimated `q`-quantile (0 < q ≤ 1) in nanoseconds: the upper bound
+    /// of the bucket holding the rank-⌈q·count⌉ observation, clamped into
+    /// `[min, max]`. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// One task's (or one report's) worth of metrics: ordered maps of
+/// counters (monotonic adds), gauges (last-write-wins levels), and latency
+/// [`Histogram`]s. `BTreeMap` keys make every serialization deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsFrame {
+    /// Monotonic event counts; merging frames adds them.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time levels; merging keeps the incoming frame's value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency histograms; merging folds buckets together.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsFrame {
+    /// An empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no counter, gauge, or histogram has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Add `delta` to the named counter.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Set the named counter to an absolute value (for mirroring totals
+    /// that are already cumulative, e.g. cache-lifetime hit counts).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Set the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record a duration into the named histogram.
+    pub fn observe(&mut self, name: &str, d: Duration) {
+        self.observe_ns(name, d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record a nanosecond duration into the named histogram.
+    pub fn observe_ns(&mut self, name: &str, ns: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe_ns(ns);
+        } else {
+            let mut h = Histogram::new();
+            h.observe_ns(ns);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Ensure the named histogram exists (possibly empty). Used to pin a
+    /// deterministic schema: every canonical stage appears in the export
+    /// even when it recorded nothing on this run.
+    pub fn ensure_histogram(&mut self, name: &str) {
+        self.histograms.entry(name.to_string()).or_default();
+    }
+
+    /// Fold `other` into this frame: counters add, gauges take `other`'s
+    /// value, histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsFrame) {
+        for (k, v) in &other.counters {
+            self.add_counter(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(k.clone(), h.clone());
+            }
+        }
+    }
+}
+
+/// Thread-safe, engine-lifetime metrics accumulator.
+///
+/// The registry sits on the cold path only: worker tasks record into
+/// lock-free [`MetricsFrame`]s via the thread-local collector, and the
+/// engine absorbs each finished frame here once per clean. Direct
+/// `add_counter`/`set_gauge` calls are for coarse per-event records
+/// (e.g. one stream chunk), never per-cell work.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    inner: Mutex<MetricsFrame>,
+}
+
+impl MetricsRegistry {
+    /// A registry; when `enabled` is false every record call is a no-op
+    /// and [`MetricsRegistry::snapshot`] stays empty.
+    pub fn new(enabled: bool) -> Self {
+        MetricsRegistry {
+            enabled,
+            inner: Mutex::new(MetricsFrame::new()),
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Fold a finished frame into the accumulated totals.
+    pub fn absorb_frame(&self, frame: &MetricsFrame) {
+        if self.enabled {
+            self.inner.lock().unwrap().merge(frame);
+        }
+    }
+
+    /// Add `delta` to the named counter.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        if self.enabled {
+            self.inner.lock().unwrap().add_counter(name, delta);
+        }
+    }
+
+    /// Set the named gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if self.enabled {
+            self.inner.lock().unwrap().set_gauge(name, value);
+        }
+    }
+
+    /// Record a duration into the named histogram.
+    pub fn observe(&self, name: &str, d: Duration) {
+        if self.enabled {
+            self.inner.lock().unwrap().observe(name, d);
+        }
+    }
+
+    /// A copy of everything accumulated so far.
+    pub fn snapshot(&self) -> MetricsFrame {
+        self.inner.lock().unwrap().clone()
+    }
+}

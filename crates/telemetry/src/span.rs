@@ -1,0 +1,118 @@
+//! The closed-span tree: aggregated per-name nodes and a text renderer.
+
+/// One aggregated node in the span tree.
+///
+/// When a span named `n` closes under a parent that already has a child
+/// named `n`, the two are folded together (`count` += 1, durations add),
+/// so a column cleaned six times yields one `engine.clean_column ×6` node
+/// rather than six siblings. Aggregation keys the tree purely on names,
+/// which makes the final tree deterministic no matter how worker threads
+/// interleaved.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanNode {
+    /// Span name (e.g. `stage.profile`).
+    pub name: String,
+    /// Number of times a span with this name closed at this tree position.
+    pub count: u64,
+    /// Total wall-clock time across all `count` closures, in nanoseconds.
+    pub total_ns: u64,
+    /// Child spans, aggregated by name, in first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A leaf node for a single closed span.
+    pub fn leaf(name: &str, total_ns: u64) -> Self {
+        SpanNode {
+            name: name.to_string(),
+            count: 1,
+            total_ns,
+            children: Vec::new(),
+        }
+    }
+
+    /// Fold `other` (same name) into this node, recursively merging
+    /// children by name.
+    pub fn merge_from(&mut self, other: &SpanNode) {
+        debug_assert_eq!(self.name, other.name);
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        merge_span_lists(&mut self.children, &other.children);
+    }
+
+    /// Find a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Find a descendant by name anywhere under (and including) this node.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Merge a list of span nodes into `dst`, folding same-name nodes together
+/// and appending first-seen names in order.
+pub fn merge_span_lists(dst: &mut Vec<SpanNode>, src: &[SpanNode]) {
+    for node in src {
+        if let Some(existing) = dst.iter_mut().find(|n| n.name == node.name) {
+            existing.merge_from(node);
+        } else {
+            dst.push(node.clone());
+        }
+    }
+}
+
+/// Find a span by name anywhere in a span forest.
+pub fn find_span<'a>(spans: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+    spans.iter().find_map(|s| s.find(name))
+}
+
+/// Render a span forest as an indented tree with counts, total
+/// milliseconds, and percentage of the root total — the `--trace` output.
+pub fn render_spans(spans: &[SpanNode]) -> String {
+    let root_total: u64 = spans.iter().map(|s| s.total_ns).sum();
+    let mut out = String::new();
+    for (i, node) in spans.iter().enumerate() {
+        render_node(node, "", i + 1 == spans.len(), true, root_total, &mut out);
+    }
+    out
+}
+
+fn render_node(
+    node: &SpanNode,
+    prefix: &str,
+    last: bool,
+    is_root: bool,
+    root_total: u64,
+    out: &mut String,
+) {
+    let (branch, child_prefix) = if is_root {
+        (String::new(), String::new())
+    } else if last {
+        (format!("{prefix}└─ "), format!("{prefix}   "))
+    } else {
+        (format!("{prefix}├─ "), format!("{prefix}│  "))
+    };
+    let ms = node.total_ns as f64 / 1e6;
+    let pct = if root_total == 0 {
+        0.0
+    } else {
+        100.0 * node.total_ns as f64 / root_total as f64
+    };
+    let label = format!("{branch}{} ×{}", node.name, node.count);
+    out.push_str(&format!("{label:<44} {ms:>9.3} ms {pct:>5.1}%\n"));
+    for (i, child) in node.children.iter().enumerate() {
+        render_node(
+            child,
+            &child_prefix,
+            i + 1 == node.children.len(),
+            false,
+            root_total,
+            out,
+        );
+    }
+}

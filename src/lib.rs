@@ -19,6 +19,7 @@
 //! | [`engine`] | `datavinci-engine` | parallel, cache-aware batch engine + `datavinci-clean` CLI |
 //! | [`baselines`] | `datavinci-baselines` | the 7 evaluated baselines |
 //! | [`corpus`] | `datavinci-corpus` | benchmark generators & noise model |
+//! | [`telemetry`] | `datavinci-telemetry` | spans, counters, latency histograms |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use datavinci_profile as profile;
 pub use datavinci_regex as regex;
 pub use datavinci_semantic as semantic;
 pub use datavinci_table as table;
+pub use datavinci_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -77,6 +77,7 @@ fn windowed_streaming_matches_unbounded_on_cyclic_corpus_table() {
     let cfg = StreamConfig {
         workers: 1,
         window_rows: 2 * cycle.len(),
+        ..StreamConfig::default()
     };
     let mut windowed = StreamCleaner::new(&header, cfg);
     let mut unbounded = StreamCleaner::new(&header, StreamConfig::default());

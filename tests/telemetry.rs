@@ -1,0 +1,237 @@
+//! Telemetry integration tests.
+//!
+//! Three layers of guarantees:
+//!
+//! 1. **Span nesting across worker threads** — per-column worker tasks
+//!    record into thread-local collectors and their span trees are grafted
+//!    under the batch root at join, so the exported tree nests the same way
+//!    regardless of pool width.
+//! 2. **Schema-golden metrics JSON** — the exported metrics report's *shape*
+//!    (every span/counter/gauge/histogram key, including all six pipeline
+//!    stages) is locked by a canonical timing-free snapshot in
+//!    `tests/snapshots/telemetry_metrics.json`. Regenerate intentional
+//!    changes with `UPDATE_SNAPSHOTS=1 cargo test --test telemetry`.
+//! 3. **Observation is free of side effects** — property test: cleaning
+//!    output is byte-identical with telemetry enabled and disabled.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use datavinci::engine::json::Json;
+use datavinci::engine::{telemetry_json, Engine, EngineConfig, StreamCleaner, StreamConfig};
+use datavinci::table::{io, Column, Table};
+use datavinci::telemetry::{self, stages, TaskProfile};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn players_table() -> Table {
+    let text = std::fs::read_to_string(repo_path("tests/fixtures/players.csv")).expect("fixture");
+    io::parse_csv(&text).expect("rectangular CSV")
+}
+
+#[test]
+fn span_tree_nests_across_worker_threads() {
+    for workers in [1, 4] {
+        let engine = Engine::with_config(EngineConfig {
+            workers,
+            telemetry: true,
+            ..EngineConfig::default()
+        });
+        let report = engine.clean_table(&players_table());
+        let profile = report.telemetry.as_ref().expect("telemetry enabled");
+
+        let root = telemetry::find_span(&profile.spans, "engine.clean_batch")
+            .unwrap_or_else(|| panic!("batch root span missing (workers={workers})"));
+        let column = root
+            .child("engine.clean_column")
+            .unwrap_or_else(|| panic!("column spans not grafted under root (workers={workers})"));
+        // Both cleaned columns' task spans folded into one aggregate node,
+        // each carrying the pipeline stages beneath it.
+        assert_eq!(column.count, 2, "workers={workers}");
+        for stage in [
+            stages::MASK,
+            stages::PROFILE,
+            stages::DETECT,
+            stages::REPAIR,
+        ] {
+            let node = column
+                .child(stage)
+                .unwrap_or_else(|| panic!("{stage} missing under clean_column"));
+            assert_eq!(node.count, 2, "{stage} once per column, workers={workers}");
+            assert!(node.total_ns > 0, "{stage} must accumulate time");
+        }
+        // Scheduling spans stay siblings of the tasks, not children.
+        assert!(root.child("engine.fingerprint").is_some());
+        assert!(root.child("engine.open_sessions").is_some());
+        assert!(column.child("engine.fingerprint").is_none());
+
+        // The merged frame carries both worker-side and batch-side metrics.
+        let m = &profile.metrics;
+        assert_eq!(m.counters.get("engine.units"), Some(&2));
+        assert_eq!(m.counters.get("engine.cache_outcome.miss"), Some(&2));
+        assert_eq!(m.histograms["engine.column_latency"].count(), 2);
+    }
+}
+
+#[test]
+fn telemetry_off_records_nothing() {
+    let engine = Engine::with_config(EngineConfig::default());
+    let report = engine.clean_table(&players_table());
+    assert!(report.telemetry.is_none());
+    assert!(engine.metrics().snapshot().is_empty());
+}
+
+#[test]
+fn stream_records_per_chunk_metrics() {
+    let rows: Vec<Vec<String>> = ["Q4-2002", "Q3-2002", "Q1-2001", "Q2-2002", "Q32001"]
+        .iter()
+        .map(|v| vec![v.to_string()])
+        .collect();
+    let mut cleaner = StreamCleaner::new(
+        &["Quarter".to_string()],
+        StreamConfig {
+            workers: 1,
+            window_rows: 0,
+            telemetry: true,
+        },
+    );
+    let first = cleaner.push_rows(&rows);
+    let second = cleaner.push_rows(&rows);
+    assert!(first.elapsed.as_nanos() > 0 && second.elapsed.as_nanos() > 0);
+    assert!(second.report.telemetry.is_some());
+
+    let frame = cleaner.engine().metrics().snapshot();
+    assert_eq!(frame.counters.get("stream.chunks"), Some(&2));
+    assert_eq!(frame.counters.get("stream.rows"), Some(&10));
+    assert_eq!(frame.counters.get("stream.repairs"), Some(&2));
+    assert_eq!(frame.histograms["stream.chunk_latency"].count(), 2);
+    assert!(frame.gauges.contains_key("stream.window_resident_rows"));
+}
+
+/// Strips every measured quantity, keeping the full key structure: numbers
+/// go to zero so only schema drift (a renamed counter, a lost span, a
+/// missing stage histogram) can fail the snapshot.
+fn canon_schema(json: &Json) -> Json {
+    match json {
+        Json::Int(_) => Json::Int(0),
+        Json::Num(_) => Json::Num(0.0),
+        Json::Arr(items) => Json::Arr(items.iter().map(canon_schema).collect()),
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), canon_schema(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn metrics_json_schema_snapshot() {
+    // Single worker: tasks run inline in unit order, so the span tree and
+    // every key set are fully deterministic.
+    let text = std::fs::read_to_string(repo_path("tests/fixtures/players.csv")).expect("fixture");
+    let (parsed, ingest) = telemetry::collect(true, || io::parse_csv(&text));
+    let table = parsed.expect("rectangular CSV");
+    let engine = Engine::with_config(EngineConfig {
+        workers: 1,
+        telemetry: true,
+        ..EngineConfig::default()
+    });
+    let report = engine.clean_table(&table);
+
+    let mut profile = ingest.unwrap_or_default();
+    profile.merge(report.telemetry.as_ref().expect("telemetry enabled"));
+
+    // All six pipeline stages must be present in the exported histograms
+    // even when the clean never reached one of them.
+    for stage in stages::ALL {
+        assert!(
+            profile.metrics.histograms.contains_key(stage),
+            "{stage} missing from exported histograms"
+        );
+    }
+
+    let rendered = canon_schema(&telemetry_json(&profile)).render_pretty();
+    let golden_path = repo_path("tests/snapshots/telemetry_metrics.json");
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_path.parent().expect("snapshot dir")).expect("mkdir");
+        std::fs::write(&golden_path, &rendered)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", golden_path.display()));
+        eprintln!("updated {}", golden_path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {}: {e}\n(run `UPDATE_SNAPSHOTS=1 cargo test --test telemetry` \
+             to create it)",
+            golden_path.display()
+        )
+    });
+    if rendered != golden {
+        let diff_at = rendered
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| rendered.lines().count().min(golden.lines().count()));
+        panic!(
+            "telemetry schema drift (first differing line {}):\n  got:  {}\n  want: {}\n\
+             \nIf intentional, regenerate with `UPDATE_SNAPSHOTS=1 cargo test --test telemetry` \
+             and review the diff.",
+            diff_at + 1,
+            rendered.lines().nth(diff_at).unwrap_or("<eof>"),
+            golden.lines().nth(diff_at).unwrap_or("<eof>"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Telemetry must be pure observation: the same table cleans to
+    /// byte-identical output with recording on and off.
+    #[test]
+    fn enabled_vs_disabled_output_is_byte_identical(
+        values in prop::collection::vec(
+            prop_oneof![
+                "Q[1-4]-20[0-9]{2}",
+                "Q[1-4]-20[0-9]{2}",
+                "Q[1-4]-20[0-9]{2}",
+                "Q[1-4]-20[0-9]{2}",
+                "Q[1-4]20[0-9]{2}",
+                "[a-z]{2}_[0-9]{3}",
+            ],
+            3..24,
+        ),
+    ) {
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        let table = Table::new(vec![Column::from_texts("Quarter", &refs)]);
+
+        let plain = Engine::with_config(EngineConfig { workers: 2, ..EngineConfig::default() });
+        let instrumented = Engine::with_config(EngineConfig {
+            workers: 2,
+            telemetry: true,
+            ..EngineConfig::default()
+        });
+        let a = plain.clean_table(&table);
+        let b = instrumented.clean_table(&table);
+
+        prop_assert!(a.telemetry.is_none());
+        prop_assert!(b.telemetry.is_some());
+        prop_assert_eq!(
+            format!("{:?}", a.table_report()),
+            format!("{:?}", b.table_report())
+        );
+        let csv_a = io::to_csv(&Engine::apply(&table, &a.table_report()));
+        let csv_b = io::to_csv(&Engine::apply(&table, &b.table_report()));
+        prop_assert_eq!(csv_a, csv_b);
+    }
+}
+
+#[test]
+fn default_profile_is_empty() {
+    assert!(TaskProfile::default().is_empty());
+}
