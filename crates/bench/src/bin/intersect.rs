@@ -1,0 +1,216 @@
+//! Intersection-repair benchmark: unbounded repair DP vs the pattern ×
+//! edit-automaton product strategy → `BENCH_intersect.json`.
+//!
+//! Measures `RepairStrategy::Intersect` (iterative-deepening product
+//! search with a DP fallback) against `RepairStrategy::Planner` (the
+//! unbounded DP it must reproduce byte-for-byte) on the two regimes that
+//! bracket its behaviour:
+//!
+//! 1. **duplicate-heavy** — Zipf-expanded corrupted tables where every
+//!    distinct error value recurs with real multiplicity; the planner's
+//!    distinct-value grouping means each strategy runs once per distinct
+//!    value, so this times the raw search on realistic error shapes;
+//! 2. **all-distinct** — the 120-row noisy micro-bench column
+//!    (ROADMAP's `clean_120_rows` workload), where nothing is shared and
+//!    every error row pays the search cost individually.
+//!
+//! Both regimes assert the two strategies produce *identical* reports (the
+//! completeness + byte-identity guarantee `tests/intersect_vs_dp.rs`
+//! proves exhaustively); the process exits non-zero on any divergence.
+//! Product-search telemetry (runs, states explored, fallbacks) is captured
+//! from the `repair.product_*` counters and recorded alongside the
+//! timings. The no-regression target is recorded as a boolean, not
+//! asserted, so a loaded CI machine cannot flake the build.
+//!
+//! Flags: the shared `--smoke`/`--full`/`--seed N` sizing plus
+//! `--out PATH` (default `BENCH_intersect.json`).
+
+use std::time::Instant;
+
+use datavinci_bench::{arg_after, sample_noisy_table, Cli};
+use datavinci_core::{ColumnAnalysis, DataVinci, DataVinciConfig};
+use datavinci_corpus::{Flavor, NoiseModel, TableSpec};
+use datavinci_engine::json::Json;
+use datavinci_table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wall-clock of `iters` runs of `f`, in microseconds per iteration.
+fn time_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    started.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// The duplicate-heavy workload (same shape as `--bin repair`): a small
+/// corrupted base table Zipf-expanded row-wise, so erroneous values recur
+/// with real multiplicity.
+fn duplicate_heavy_tables(seed: u64, n_tables: usize, rows: usize) -> Vec<Table> {
+    let base_rows = (rows / 8).max(20);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise = NoiseModel { cell_prob: 0.25 };
+    (0..n_tables)
+        .map(|_| {
+            let spec = TableSpec::new(base_rows, vec![Flavor::PlayerWithCategory, Flavor::Quarter]);
+            let clean = spec.generate(&mut rng);
+            let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
+            let picks: Vec<usize> = (0..rows)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    ((base_rows as f64) * u * u) as usize
+                })
+                .collect();
+            Table::new(
+                dirty
+                    .columns()
+                    .iter()
+                    .map(|col| {
+                        let values: Vec<_> = picks
+                            .iter()
+                            .map(|&j| col.get(j).expect("base row in range").clone())
+                            .collect();
+                        datavinci_table::Column::new(col.name(), values)
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_intersect.json".to_string());
+    let (n_tables, rows, iters) = if cli.full {
+        (6, 2000, 10)
+    } else if cli.smoke {
+        (3, 1000, 4)
+    } else {
+        (4, 1200, 6)
+    };
+
+    let dp = DataVinci::new(); // default strategy: the DP planner
+    let intersect = DataVinci::with_config(DataVinciConfig::intersect_repair());
+
+    // 1. Duplicate-heavy repair A/B. Analysis is strategy-independent and
+    // shared; only the repair phase is timed.
+    let tables = duplicate_heavy_tables(cli.seed, n_tables, rows);
+    let min_text = dp.config().min_text_fraction;
+    let mut analyses: Vec<(&Table, ColumnAnalysis)> = Vec::new();
+    for table in &tables {
+        for col in 0..table.n_cols() {
+            let column = table.column(col).expect("in range");
+            if column.text_fraction() < min_text {
+                continue;
+            }
+            analyses.push((table, dp.analyze_column(table, col)));
+        }
+    }
+    let n_errors: usize = analyses.iter().map(|(_, a)| a.error_rows.len()).sum();
+    eprintln!(
+        "intersect bench: {} tables, {} columns, {n_errors} error rows",
+        tables.len(),
+        analyses.len()
+    );
+
+    // Identity gate: the product strategy's reports must equal the DP's.
+    for (table, analysis) in &analyses {
+        let a = dp.repair_analysis(table, analysis);
+        let b = intersect.repair_analysis(table, analysis);
+        assert_eq!(
+            format!("{a:#?}"),
+            format!("{b:#?}"),
+            "intersect strategy diverged from the DP (col {})",
+            analysis.col
+        );
+    }
+    let dup_dp_us = time_us(iters, || {
+        analyses
+            .iter()
+            .map(|(t, a)| dp.repair_analysis(t, a).repairs.len())
+            .sum::<usize>()
+    });
+    let dup_intersect_us = time_us(iters, || {
+        analyses
+            .iter()
+            .map(|(t, a)| intersect.repair_analysis(t, a).repairs.len())
+            .sum::<usize>()
+    });
+    let dup_ratio = dup_dp_us / dup_intersect_us.max(1e-9);
+    eprintln!(
+        "  repair (dup-heavy)   dp {dup_dp_us:8.1} µs   intersect {dup_intersect_us:8.1} µs   \
+         ×{dup_ratio:.2}"
+    );
+
+    // Product-search telemetry over one full duplicate-heavy pass.
+    let ((), profile) = datavinci_telemetry::collect(true, || {
+        for (t, a) in &analyses {
+            std::hint::black_box(intersect.repair_analysis(t, a).repairs.len());
+        }
+    });
+    let counters = profile.expect("collector active").metrics.counters;
+    let product_runs = counters.get("repair.product_runs").copied().unwrap_or(0);
+    let product_states = counters.get("repair.product_states").copied().unwrap_or(0);
+    let product_fallbacks = counters
+        .get("repair.product_fallbacks")
+        .copied()
+        .unwrap_or(0);
+    eprintln!(
+        "  product search: {product_runs} runs, {product_states} states explored, \
+         {product_fallbacks} fallbacks"
+    );
+
+    // 2. All-distinct end-to-end guard: the 120-row noisy micro-bench
+    // column; every error pays the search cost individually.
+    let e2e_table = sample_noisy_table(42, 120);
+    let a = dp.clean_column(&e2e_table, 2);
+    let b = intersect.clean_column(&e2e_table, 2);
+    assert_eq!(
+        format!("{a:#?}"),
+        format!("{b:#?}"),
+        "end-to-end intersect clean diverged from the DP"
+    );
+    let e2e_iters = iters * 4;
+    let e2e_dp_ms = time_us(e2e_iters, || dp.clean_column(&e2e_table, 2).n_rows) / 1e3;
+    let e2e_intersect_ms =
+        time_us(e2e_iters, || intersect.clean_column(&e2e_table, 2).n_rows) / 1e3;
+    let e2e_ratio = e2e_dp_ms / e2e_intersect_ms.max(1e-9);
+    eprintln!(
+        "  clean 120 rows (distinct) dp {e2e_dp_ms:6.2} ms   intersect {e2e_intersect_ms:6.2} ms   \
+         ×{e2e_ratio:.2}"
+    );
+
+    // No-regression targets: the product search must not be slower than
+    // the DP beyond measurement noise (recorded, not asserted).
+    let dup_regression_free = dup_intersect_us <= dup_dp_us * 1.10;
+    let json = Json::obj()
+        .field("benchmark", Json::str("repair_dp_vs_intersect"))
+        .field("seed", Json::Int(cli.seed as i64))
+        .field("n_tables", Json::Int(tables.len() as i64))
+        .field("n_columns", Json::Int(analyses.len() as i64))
+        .field("rows_per_table", Json::Int(rows as i64))
+        .field("n_error_rows", Json::Int(n_errors as i64))
+        .field("repair_iters", Json::Int(iters as i64))
+        .field("dup_heavy_dp_us", Json::Num(dup_dp_us))
+        .field("dup_heavy_intersect_us", Json::Num(dup_intersect_us))
+        .field("dup_heavy_ratio", Json::Num(dup_ratio))
+        .field("dup_heavy_regression_free", Json::Bool(dup_regression_free))
+        .field("product_runs", Json::Int(product_runs as i64))
+        .field("product_states_explored", Json::Int(product_states as i64))
+        .field("product_fallbacks", Json::Int(product_fallbacks as i64))
+        .field(
+            "product_states_per_run",
+            Json::Num(product_states as f64 / (product_runs.max(1)) as f64),
+        )
+        .field("e2e_distinct_dp_ms", Json::Num(e2e_dp_ms))
+        .field("e2e_distinct_intersect_ms", Json::Num(e2e_intersect_ms))
+        .field("e2e_distinct_ratio", Json::Num(e2e_ratio))
+        .field("identical", Json::Bool(true));
+    std::fs::write(&out_path, json.render_pretty()).expect("write benchmark JSON");
+    println!("{}", json.render_pretty());
+    eprintln!(
+        "dup-heavy ×{dup_ratio:.2}, distinct ×{e2e_ratio:.2}, \
+         {product_fallbacks} fallbacks; wrote {out_path}"
+    );
+}

@@ -1,0 +1,201 @@
+//! The [`crate::RepairStrategy::Intersect`] edit-program search: per-value
+//! minimal repair via the pattern × edit-automaton product of
+//! [`datavinci_regex::intersect`], with iterative deepening on the
+//! distance cap and a fallback to the unbounded repair DP.
+//!
+//! The product search with cap *k* settles only states reachable within
+//! *k* edits, so for near-clean values (the common case — most error cells
+//! are one or two edits from a significant pattern) it touches a small
+//! corner of the `(value length + 1) × DAG nodes` table the DP always
+//! fills. Doubling the cap on [`ProductOutcome::DistanceExceeded`]
+//! preserves minimality: the first cap that admits any accepting path
+//! admits the *minimal* one, and the product's relaxation order makes that
+//! path byte-identical to [`minimal_edit_program`]'s choice. Overflowing
+//! [`crate::IntersectConfig::state_budget`] (or the hard
+//! [`crate::IntersectConfig::max_distance`] ceiling) falls back to the DP,
+//! so the strategy's output equals the planner's on every input.
+
+use crate::config::IntersectConfig;
+use crate::edit::{EditAction, EditProgram};
+use crate::repair_dp::{emit_for, minimal_edit_program};
+use datavinci_regex::intersect::{intersect_minimal, ProductConfig, ProductOutcome, ProductStep};
+use datavinci_regex::{Dag, DagLabel, MaskedString, ProductPath};
+
+/// What one product-backed search did (feeds `stage.repair` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntersectStats {
+    /// Product states settled across all deepening attempts.
+    pub states_explored: u64,
+    /// Number of product searches run (deepening rounds).
+    pub attempts: u32,
+    /// True when the search gave up and the unbounded DP produced the
+    /// program instead.
+    pub fell_back: bool,
+}
+
+/// Minimal edit program for `value` against `dag`, searched through the
+/// bounded product construction. Returns exactly what
+/// [`minimal_edit_program`] would return (same program, same cost, same
+/// tie-breaks) — the product only changes *how much* of the edit space is
+/// explored, never *which* repair wins.
+pub fn minimal_edit_program_product(
+    dag: &Dag,
+    value: &MaskedString,
+    cfg: &IntersectConfig,
+) -> (Option<EditProgram>, IntersectStats) {
+    let mut stats = IntersectStats::default();
+    let mut k = 2usize.min(cfg.max_distance);
+    loop {
+        stats.attempts += 1;
+        let (outcome, s) = intersect_minimal(
+            dag,
+            value,
+            &ProductConfig {
+                max_distance: k,
+                state_budget: cfg.state_budget,
+            },
+        );
+        stats.states_explored += s.states_explored as u64;
+        match outcome {
+            ProductOutcome::Found(path) => {
+                return (Some(program_from_path(dag, &path)), stats);
+            }
+            ProductOutcome::BudgetExceeded => break,
+            ProductOutcome::DistanceExceeded => {
+                if k >= cfg.max_distance {
+                    break;
+                }
+                k = (k.max(1) * 2).min(cfg.max_distance);
+            }
+        }
+    }
+    stats.fell_back = true;
+    (minimal_edit_program(dag, value), stats)
+}
+
+/// Lowers a product path into the [`EditProgram`] the concretizer and
+/// ranker consume, resolving each step's DAG edge to its emission.
+pub fn program_from_path(dag: &Dag, path: &ProductPath) -> EditProgram {
+    let actions = path
+        .steps
+        .iter()
+        .map(|step| match *step {
+            ProductStep::Match { .. } => EditAction::Match,
+            ProductStep::Delete => EditAction::Delete,
+            ProductStep::Insert { edge } => EditAction::Insert(emit_for(dag, edge)),
+            ProductStep::Substitute { edge } => EditAction::Substitute(emit_for(dag, edge)),
+            ProductStep::MatchDisj { edge, alt } => {
+                let DagLabel::Disj(d, key) = dag.edges[edge].label else {
+                    unreachable!("MatchDisj step on a non-disjunction edge");
+                };
+                EditAction::MatchDisj {
+                    alt: dag.disjs[d as usize][alt].iter().collect(),
+                    key,
+                }
+            }
+        })
+        .collect();
+    EditProgram {
+        actions,
+        cost: path.cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datavinci_regex::{CharClass, CompiledPattern, Pattern};
+
+    fn both(
+        p: &Pattern,
+        value: &str,
+        cfg: &IntersectConfig,
+    ) -> (Option<EditProgram>, Option<EditProgram>, IntersectStats) {
+        let compiled = CompiledPattern::compile(p.clone());
+        let v: MaskedString = value.into();
+        let dag = compiled.dag_for_len(v.len());
+        let dp = minimal_edit_program(&dag, &v);
+        let (product, stats) = minimal_edit_program_product(&dag, &v, cfg);
+        (dp, product, stats)
+    }
+
+    fn patterns() -> Vec<Pattern> {
+        vec![
+            Pattern::concat([
+                Pattern::lit("Q"),
+                Pattern::Class(CharClass::Digit),
+                Pattern::lit("-"),
+                Pattern::class_n(CharClass::Digit, 4),
+            ]),
+            Pattern::concat([
+                Pattern::class_plus(CharClass::Digit),
+                Pattern::lit("-"),
+                Pattern::disj(["CAT", "PRO"]),
+            ]),
+            Pattern::lit("approved"),
+            Pattern::plus(Pattern::Class(CharClass::Upper)),
+        ]
+    }
+
+    #[test]
+    fn product_program_is_byte_identical_to_dp() {
+        let cfg = IntersectConfig::default();
+        for p in patterns() {
+            for value in [
+                "Q3-2001",
+                "Q32001",
+                "837",
+                "837-PRO",
+                "approved",
+                "aproved",
+                "ZZ",
+                "z9",
+                "",
+                "Q3--2001x",
+            ] {
+                let (dp, product, stats) = both(&p, value, &cfg);
+                assert_eq!(
+                    format!("{dp:?}"),
+                    format!("{product:?}"),
+                    "pattern {p:?} value {value:?}"
+                );
+                assert!(!stats.fell_back, "no fallback expected at default caps");
+                assert!(stats.attempts >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_overflow_falls_back_to_dp() {
+        let cfg = IntersectConfig {
+            state_budget: 1,
+            ..IntersectConfig::default()
+        };
+        let (dp, product, stats) = both(&patterns()[0], "Q32001", &cfg);
+        assert!(stats.fell_back);
+        assert_eq!(format!("{dp:?}"), format!("{product:?}"));
+    }
+
+    #[test]
+    fn distance_ceiling_falls_back_to_dp() {
+        let cfg = IntersectConfig {
+            max_distance: 1,
+            ..IntersectConfig::default()
+        };
+        // "zzzzzzzz" is far from `approved`: the ceiling trips and the DP
+        // supplies the (still identical) answer.
+        let (dp, product, stats) = both(&Pattern::lit("approved"), "zzzzzzzz", &cfg);
+        assert!(stats.fell_back);
+        assert_eq!(format!("{dp:?}"), format!("{product:?}"));
+    }
+
+    #[test]
+    fn deepening_stops_at_the_first_admitting_cap() {
+        // Distance-4 repair: caps 2 then 4 → two attempts, no fallback.
+        let cfg = IntersectConfig::default();
+        let (_, product, stats) = both(&Pattern::lit("abcdef"), "ab", &cfg);
+        assert_eq!(product.expect("program").cost, 4);
+        assert_eq!(stats.attempts, 2);
+        assert!(!stats.fell_back);
+    }
+}

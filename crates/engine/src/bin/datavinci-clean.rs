@@ -4,7 +4,7 @@
 //! datavinci-clean input.csv [-o out.csv] [--report report.json]
 //!                 [--metrics metrics.json] [--trace]
 //!                 [--workers N] [--semantics full|limited|none]
-//!                 [--strategy planner|rowwise] [--types] [--no-cache]
+//!                 [--strategy planner|rowwise|intersect] [--types] [--no-cache]
 //!                 [--quiet]
 //! datavinci-clean --follow [input.csv|-] [--chunk-rows N] [--window-rows N]
 //!                 [-o out.csv] ...
@@ -72,7 +72,7 @@ impl Args {
 const USAGE: &str = "usage: datavinci-clean INPUT.csv [-o OUT.csv] [--report REPORT.json] \
                      [--metrics METRICS.json] [--trace] \
                      [--workers N] [--semantics full|limited|none] \
-                     [--strategy planner|rowwise] [--types] [--no-cache] [--quiet]\n\
+                     [--strategy planner|rowwise|intersect] [--types] [--no-cache] [--quiet]\n\
        datavinci-clean --follow [INPUT.csv|-] [--chunk-rows N] [--window-rows N] \
                      [-o OUT.csv] [--metrics METRICS.json] [--trace] [--workers N] \
                      [--semantics ...] [--strategy ...] [--quiet]";
@@ -124,6 +124,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 args.strategy = match value(arg)?.as_str() {
                     "planner" => RepairStrategy::Planner,
                     "rowwise" => RepairStrategy::RowWise,
+                    "intersect" => RepairStrategy::Intersect,
                     other => return Err(format!("unknown --strategy: {other}")),
                 }
             }

@@ -46,9 +46,10 @@ pub fn header_key(table: &Table) -> u64 {
     hasher.finish()
 }
 
-/// Default bound on distinct cached column contents (FIFO-evicted beyond
-/// it), keeping a long-lived engine's footprint proportional to its working
-/// set rather than to everything it has ever cleaned.
+/// Default bound on distinct cached column contents (least-recently-used
+/// entries evicted beyond it), keeping a long-lived engine's footprint
+/// proportional to its working set rather than to everything it has ever
+/// cleaned.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// Cache telemetry counters (cumulative since construction or `clear`).
@@ -138,22 +139,36 @@ struct Inner {
     by_fingerprint: HashMap<u64, Arc<CachedColumn>>,
     /// Latest entry per column name, for append-only prefix probing.
     by_name: HashMap<String, Arc<CachedColumn>>,
-    /// Insertion order of `by_fingerprint` keys, for FIFO eviction.
+    /// Recency order of `by_fingerprint` keys (least-recently-used at the
+    /// front); hits and re-inserts move a key to the back.
     order: VecDeque<u64>,
     /// Session layer: table fingerprint → the table's generated features.
     by_table: HashMap<u64, Arc<FeatureSet>>,
-    /// Insertion order of `by_table` keys, for FIFO eviction.
+    /// Recency order of `by_table` keys (LRU at the front).
     table_order: VecDeque<u64>,
     /// Snapshot layer: header key → the latest detached session for a table
     /// with those headers (one per shape: inserts replace).
     snapshots: HashMap<u64, SessionSnapshot>,
-    /// Insertion order of `snapshots` keys, for FIFO eviction.
+    /// Recency order of `snapshots` keys (LRU at the front).
     snapshot_order: VecDeque<u64>,
     stats: CacheStats,
 }
 
+/// Move `key` to the most-recently-used (back) position of a recency queue.
+/// Linear in the queue, but the queue is bounded by the cache capacity and
+/// every caller already holds the cache lock on a cold path.
+fn touch(order: &mut VecDeque<u64>, key: u64) {
+    if let Some(pos) = order.iter().position(|&k| k == key) {
+        order.remove(pos);
+        order.push_back(key);
+    }
+}
+
 /// A thread-safe fingerprint-keyed cache of per-column cleaning artifacts,
-/// bounded to `capacity` distinct column contents (FIFO eviction).
+/// bounded to `capacity` distinct column contents. Eviction is
+/// least-recently-used: lookup hits and re-inserts refresh an entry's
+/// position, so a fingerprint that is hit on every batch outlives any
+/// number of cold insertions.
 pub struct ProfileCache {
     inner: Mutex<Inner>,
     capacity: usize,
@@ -187,6 +202,7 @@ impl ProfileCache {
         if let Some(entry) = inner.by_fingerprint.get(&fingerprint) {
             if entry.col == col {
                 let entry = Arc::clone(entry);
+                touch(&mut inner.order, fingerprint);
                 if entry.table_fingerprint == table_fingerprint {
                     inner.stats.report_hits += 1;
                     return CacheLookup::Report(entry);
@@ -201,6 +217,7 @@ impl ProfileCache {
                 && column.fingerprint_prefix(entry.n_rows) == entry.fingerprint
             {
                 let entry = Arc::clone(entry);
+                touch(&mut inner.order, entry.fingerprint);
                 inner.stats.append_hits += 1;
                 return CacheLookup::Append(entry);
             }
@@ -233,6 +250,8 @@ impl ProfileCache {
             .is_none()
         {
             inner.order.push_back(entry.fingerprint);
+        } else {
+            touch(&mut inner.order, entry.fingerprint);
         }
         inner.by_name.insert(column.name().to_string(), entry);
         while inner.by_fingerprint.len() > self.capacity {
@@ -254,17 +273,20 @@ impl ProfileCache {
         let mut inner = self.inner.lock().expect("cache poisoned");
         let hit = inner.by_table.get(&table_fingerprint).cloned();
         if hit.is_some() {
+            touch(&mut inner.table_order, table_fingerprint);
             inner.stats.session_hits += 1;
         }
         hit
     }
 
     /// Stores a session's generated `FeatureSet` under its table
-    /// fingerprint (FIFO-bounded like the column layers).
+    /// fingerprint (LRU-bounded like the column layers).
     pub fn insert_session(&self, table_fingerprint: u64, features: Arc<FeatureSet>) {
         let mut inner = self.inner.lock().expect("cache poisoned");
         if inner.by_table.insert(table_fingerprint, features).is_none() {
             inner.table_order.push_back(table_fingerprint);
+        } else {
+            touch(&mut inner.table_order, table_fingerprint);
         }
         while inner.by_table.len() > self.capacity {
             let Some(oldest) = inner.table_order.pop_front() else {
@@ -299,11 +321,14 @@ impl ProfileCache {
     }
 
     /// Stores a detached session under its table's header key, replacing
-    /// any prior snapshot for that shape (FIFO-bounded across shapes).
+    /// any prior snapshot for that shape (LRU-bounded across shapes: a
+    /// stream that stores on every chunk keeps refreshing its slot).
     pub fn insert_snapshot(&self, key: u64, snapshot: SessionSnapshot) {
         let mut inner = self.inner.lock().expect("cache poisoned");
         if inner.snapshots.insert(key, snapshot).is_none() {
             inner.snapshot_order.push_back(key);
+        } else {
+            touch(&mut inner.snapshot_order, key);
         }
         while inner.snapshots.len() > self.capacity {
             let Some(oldest) = inner.snapshot_order.pop_front() else {
@@ -444,7 +469,8 @@ mod tests {
             cache.insert(t.column(0).unwrap(), 0, t.fingerprint(), analysis, report);
         }
         assert_eq!(cache.len(), 2);
-        // The first insertion was evicted; the later two survive.
+        // Nothing was ever reused, so recency order equals insertion order:
+        // the first insertion was evicted and the later two survive.
         assert!(matches!(
             cache.lookup(tables[0].column(0).unwrap(), 0, tables[0].fingerprint()),
             CacheLookup::Miss
@@ -486,11 +512,80 @@ mod tests {
         let hit = cache.lookup_session(fp).expect("session hit");
         assert!(Arc::ptr_eq(&hit, &features));
         assert_eq!(cache.stats().session_hits, 1);
-        // FIFO eviction beyond capacity.
+        // Eviction beyond capacity drops the least recently used key.
         cache.insert_session(fp ^ 1, Arc::clone(&features));
         cache.insert_session(fp ^ 2, Arc::clone(&features));
         assert_eq!(cache.n_sessions(), 2);
         assert!(cache.lookup_session(fp).is_none());
+    }
+
+    #[test]
+    fn continuously_hit_column_outlives_capacity_cold_insertions() {
+        let capacity = 4;
+        let cache = ProfileCache::with_capacity(capacity);
+        let hot = table(&["h-1", "h-2"]);
+        let hot_col = hot.column(0).unwrap();
+        let (analysis, report) = analyze(&hot, 0);
+        cache.insert(hot_col, 0, hot.fingerprint(), analysis, report);
+        // Twice `capacity` cold insertions, the hot entry hit before each:
+        // under FIFO the hot entry would die at its original slot; with
+        // touch-on-use it must survive the whole churn.
+        for i in 0..(2 * capacity) {
+            assert!(
+                matches!(
+                    cache.lookup(hot_col, 0, hot.fingerprint()),
+                    CacheLookup::Report(_)
+                ),
+                "hot entry evicted after {i} cold insertions"
+            );
+            let cold = table(&[&format!("c-{i}1"), &format!("c-{i}2")]);
+            let (analysis, report) = analyze(&cold, 0);
+            cache.insert(
+                cold.column(0).unwrap(),
+                0,
+                cold.fingerprint(),
+                analysis,
+                report,
+            );
+        }
+        assert!(matches!(
+            cache.lookup(hot_col, 0, hot.fingerprint()),
+            CacheLookup::Report(_)
+        ));
+        assert_eq!(cache.len(), capacity);
+    }
+
+    #[test]
+    fn continuously_hit_session_outlives_capacity_cold_insertions() {
+        use datavinci_core::FeatureSet;
+        let capacity = 2;
+        let cache = ProfileCache::with_capacity(capacity);
+        let t = table(&["a-1", "a-2"]);
+        let features = Arc::new(FeatureSet::generate(&t));
+        cache.insert_session(7, Arc::clone(&features));
+        for i in 0..(3 * capacity as u64) {
+            assert!(cache.lookup_session(7).is_some(), "evicted at round {i}");
+            cache.insert_session(100 + i, Arc::clone(&features));
+        }
+        assert!(cache.lookup_session(7).is_some());
+        assert_eq!(cache.n_sessions(), capacity);
+    }
+
+    #[test]
+    fn reinserted_snapshot_refreshes_its_recency_slot() {
+        let dv = DataVinci::new();
+        let t = table(&["a-1", "a-2"]);
+        let snap = || dv.session(&t).into_snapshot();
+        let cache = ProfileCache::with_capacity(2);
+        cache.insert_snapshot(1, snap());
+        cache.insert_snapshot(2, snap());
+        // Re-storing shape 1 (what a live stream does every chunk) makes
+        // shape 2 the eviction victim when shape 3 arrives.
+        cache.insert_snapshot(1, snap());
+        cache.insert_snapshot(3, snap());
+        assert_eq!(cache.n_snapshots(), 2);
+        assert!(cache.take_resumable_snapshot(2, &t).is_none());
+        assert!(cache.take_resumable_snapshot(1, &t).is_some());
     }
 
     #[test]

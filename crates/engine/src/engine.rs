@@ -10,7 +10,7 @@ use crate::pool::WorkerPool;
 use crate::report::{
     cache_stats_into, session_stats_into, BatchReport, CacheOutcome, ColumnOutcome, EngineReport,
 };
-use datavinci_core::{AnalysisSession, DataVinci, TableReport};
+use datavinci_core::{AnalysisSession, DataVinci, RepairStrategy, TableReport};
 use datavinci_table::{CellRef, CellValue, Table};
 use datavinci_telemetry::{self as telemetry, MetricsFrame, MetricsRegistry, TaskProfile};
 
@@ -22,8 +22,8 @@ pub struct EngineConfig {
     /// Cache learned artifacts across cleans?
     pub cache: bool,
     /// Bound on distinct cached column contents and table sessions
-    /// ([`ProfileCache`]; FIFO-evicted beyond it). The semantic mask-memo
-    /// bound is the matching core-side knob
+    /// ([`ProfileCache`]; least-recently-used entries evicted beyond it).
+    /// The semantic mask-memo bound is the matching core-side knob
     /// (`DataVinciConfig::mask_cache_capacity`).
     pub cache_capacity: usize,
     /// Record structured telemetry (span trees, counters, latency
@@ -31,6 +31,11 @@ pub struct EngineConfig {
     /// every instrumentation point short-circuits on one relaxed atomic
     /// load and cleaning output is byte-identical.
     pub telemetry: bool,
+    /// Override the wrapped system's repair strategy (planner, row-wise,
+    /// or automaton intersection). `None` keeps whatever the
+    /// `DataVinciConfig` already says. All strategies produce byte-identical
+    /// reports; the knob trades exploration work and instrumentation.
+    pub repair_strategy: Option<RepairStrategy>,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +45,7 @@ impl Default for EngineConfig {
             cache: true,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             telemetry: false,
+            repair_strategy: None,
         }
     }
 }
@@ -86,6 +92,14 @@ impl Engine {
     /// An engine around an explicitly configured cleaning system (ablations,
     /// semantic modes, custom thresholds).
     pub fn with_system(dv: DataVinci, cfg: EngineConfig) -> Engine {
+        let dv = match cfg.repair_strategy {
+            Some(strategy) if strategy != dv.config().repair_strategy => {
+                let mut system_cfg = dv.config().clone();
+                system_cfg.repair_strategy = strategy;
+                DataVinci::with_config(system_cfg)
+            }
+            _ => dv,
+        };
         Engine {
             dv,
             pool: WorkerPool::new(cfg.workers),
@@ -116,6 +130,13 @@ impl Engine {
     /// Cache telemetry, if caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(ProfileCache::stats)
+    }
+
+    /// Number of column entries currently resident in the artifact cache
+    /// (0 when caching is disabled). Exposed so long-stream tests can
+    /// assert the capacity bound holds.
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, ProfileCache::len)
     }
 
     /// Drops all cached artifacts and telemetry (no-op when disabled).
@@ -539,6 +560,35 @@ mod tests {
         let stats = engine.cache_stats().unwrap();
         assert!(stats.report_hits >= 2);
         assert_eq!(stats.misses as usize, cold.columns.len());
+    }
+
+    #[test]
+    fn repair_strategy_override_rewires_the_system() {
+        let engine = Engine::with_config(EngineConfig {
+            repair_strategy: Some(RepairStrategy::Intersect),
+            ..EngineConfig::default()
+        });
+        assert_eq!(
+            engine.system().config().repair_strategy,
+            RepairStrategy::Intersect
+        );
+        // `None` keeps the wrapped system's own choice.
+        let keep = Engine::with_system(
+            DataVinci::with_config(datavinci_core::DataVinciConfig::rowwise_repair()),
+            EngineConfig::default(),
+        );
+        assert_eq!(
+            keep.system().config().repair_strategy,
+            RepairStrategy::RowWise
+        );
+        // Overridden engines still clean identically.
+        let table = players_table();
+        let baseline = Engine::new().clean_table(&table);
+        let report = engine.clean_table(&table);
+        assert_eq!(
+            format!("{:?}", report.table_report()),
+            format!("{:?}", baseline.table_report())
+        );
     }
 
     #[test]

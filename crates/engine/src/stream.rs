@@ -131,6 +131,7 @@ impl StreamCleaner {
                 cache: true,
                 cache_capacity,
                 telemetry: cfg.telemetry,
+                repair_strategy: None,
             },
         );
         StreamCleaner {
@@ -346,6 +347,70 @@ mod tests {
         let out = windowed.push_rows(&chunk);
         assert_eq!(out.first_row, 25);
         assert_eq!(out.repairs[0].row, 29);
+    }
+
+    #[test]
+    fn compaction_never_resumes_a_stale_snapshot() {
+        let cfg = StreamConfig {
+            workers: 1,
+            window_rows: 10,
+            ..StreamConfig::default()
+        };
+        let mut cleaner = StreamCleaner::new(&header(), cfg);
+        let resumes = |c: &StreamCleaner| c.engine().cache_stats().unwrap().session_resumes;
+
+        // Chunk 1: cold start, nothing to resume.
+        assert!(!cleaner.push_rows(&cycle()).compacted);
+        assert_eq!(resumes(&cleaner), 0);
+        // Chunk 2: the 5-row snapshot is a prefix of the 10-row window —
+        // resumed.
+        assert!(!cleaner.push_rows(&cycle()).compacted);
+        assert_eq!(resumes(&cleaner), 1);
+        // Chunk 3: the window compacts first, so the cached snapshot (of
+        // the old 10-row window) no longer prefix-matches the fresh 5-row
+        // window. It must be rejected, not resumed.
+        assert!(cleaner.push_rows(&cycle()).compacted);
+        assert_eq!(resumes(&cleaner), 1, "stale snapshot must not resume");
+        // Chunk 4: the post-compaction snapshot is current again.
+        assert!(!cleaner.push_rows(&cycle()).compacted);
+        assert_eq!(resumes(&cleaner), 2);
+
+        // The reject itself is the `SessionResumeError` path: a snapshot of
+        // the pre-compaction window cannot re-attach to the smaller
+        // post-compaction one.
+        let dv = DataVinci::new();
+        let big = io::rows_to_table(&header(), &[cycle(), cycle()].concat());
+        let snapshot = dv.session(&big).into_snapshot();
+        let small = io::rows_to_table(&header(), &cycle());
+        match datavinci_core::AnalysisSession::resume(snapshot, &small) {
+            Err(datavinci_core::SessionResumeError::TableShrunk { had, got }) => {
+                assert_eq!((had, got), (10, 5));
+            }
+            other => panic!("expected TableShrunk, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn windowed_cache_stays_bounded_over_a_long_stream() {
+        let cfg = StreamConfig {
+            workers: 1,
+            window_rows: 10,
+            ..StreamConfig::default()
+        };
+        let mut cleaner = StreamCleaner::new(&header(), cfg);
+        // One column: capacity is (4 * 1).max(16) = 16. Every chunk mints
+        // new column fingerprints, so without the bound (and LRU eviction)
+        // the cache would grow with the stream.
+        for i in 0..30 {
+            cleaner.push_rows(&cycle());
+            assert!(
+                cleaner.engine().cache_len() <= 16,
+                "cache grew past capacity at chunk {i}: {}",
+                cleaner.engine().cache_len()
+            );
+        }
+        assert!(cleaner.compactions() >= 14);
+        assert_eq!(cleaner.n_repairs(), 30);
     }
 
     #[test]

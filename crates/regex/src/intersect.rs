@@ -1,0 +1,752 @@
+//! Minimal-edit repair as language intersection: the product of the
+//! learned column-pattern automaton with a bounded Levenshtein edit
+//! automaton, explored lazily under a distance cap and a state budget.
+//!
+//! A repair of a cell value *v* against a pattern language *L* is a path
+//! through the product of two machines: the value-length unrolled pattern
+//! [`Dag`] (Figure 4) and the edit automaton of *v* whose states count
+//! tokens consumed and edits spent. A product state is `(i, u)` — tokens
+//! of *v* consumed × DAG node — and a transition is one edit action
+//! (match, delete, insert, substitute, or a disjunction chunk edit). The
+//! product is built over the **DAG**, not the flattened boolean DFA of
+//! [`mod@crate::dfa`], for two load-bearing reasons:
+//!
+//! 1. the DFA flattens disjunction alternatives into character edges, so
+//!    a path through it measures *character*-level distance — but the
+//!    repair cost model (paper §3.3) charges a whole-alternative
+//!    substitution as **one** edit and an exact alternative match as
+//!    zero, so the two machines accept different cost languages;
+//! 2. DAG edges carry the [`crate::AtomKey`]s that keep abstract
+//!    emissions concretizable downstream; the subset construction erases
+//!    them.
+//!
+//! Because every transition strictly advances `(i, topo(u))`, the product
+//! is itself a DAG: [`intersect_minimal`] settles it layer by layer in
+//! exactly the repair DP's relaxation order, so a `Found` outcome is
+//! *byte-identical* (same cost, same kept-token tie-break, same action
+//! sequence) to the unbounded DP — states whose cost exceeds the cap are
+//! simply never settled. [`enumerate_within`] walks the same product
+//! backwards-then-forwards to list **every** repair within distance *k*,
+//! the completeness guarantee the ranker's differential tests consume.
+//!
+//! Exploration is budget-bounded like the lazy DFA: exceeding
+//! [`ProductConfig::state_budget`] settled states yields
+//! [`ProductOutcome::BudgetExceeded`] and callers fall back to the
+//! unbounded DP oracle.
+
+use crate::dag::{Dag, DagLabel};
+use crate::token::{MaskedString, Tok};
+
+/// Default distance cap: repairs this far from every significant pattern
+/// are beyond anything the ranker would keep, so the caller's DP fallback
+/// handles the (rare) remainder.
+pub const DEFAULT_MAX_EDIT_DISTANCE: usize = 24;
+
+/// Default bound on settled product states per search (the product's
+/// analogue of [`crate::dfa::DEFAULT_STATE_BUDGET`]).
+pub const DEFAULT_PRODUCT_STATE_BUDGET: usize = 1 << 16;
+
+const INF: usize = usize::MAX / 4;
+
+/// Knobs for one product search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductConfig {
+    /// Maximum edit distance explored; paths costing more are pruned.
+    pub max_distance: usize,
+    /// Bound on settled `(tokens consumed, DAG node)` states before the
+    /// search gives up with [`ProductOutcome::BudgetExceeded`].
+    pub state_budget: usize,
+}
+
+impl Default for ProductConfig {
+    fn default() -> Self {
+        ProductConfig {
+            max_distance: DEFAULT_MAX_EDIT_DISTANCE,
+            state_budget: DEFAULT_PRODUCT_STATE_BUDGET,
+        }
+    }
+}
+
+/// One edit transition of a product path. Edge indices point into
+/// [`Dag::edges`], so callers can recover labels and atom keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductStep {
+    /// Consume one token along `edge` at zero cost.
+    Match {
+        /// Index into [`Dag::edges`].
+        edge: usize,
+    },
+    /// Consume a whole disjunction alternative exactly, at zero cost.
+    MatchDisj {
+        /// Index into [`Dag::edges`] (a [`DagLabel::Disj`] edge).
+        edge: usize,
+        /// Alternative index within the edge's disjunction table.
+        alt: usize,
+    },
+    /// Emit `edge`'s label without consuming (cost 1).
+    Insert {
+        /// Index into [`Dag::edges`].
+        edge: usize,
+    },
+    /// Drop the current token (cost 1).
+    Delete,
+    /// Replace the current token with `edge`'s emission (cost 1; for a
+    /// disjunction edge this is the chunk substitution of §3.3).
+    Substitute {
+        /// Index into [`Dag::edges`].
+        edge: usize,
+    },
+}
+
+impl ProductStep {
+    /// The edit cost this step contributes.
+    pub fn cost(&self) -> usize {
+        match self {
+            ProductStep::Match { .. } | ProductStep::MatchDisj { .. } => 0,
+            ProductStep::Insert { .. } | ProductStep::Delete | ProductStep::Substitute { .. } => 1,
+        }
+    }
+}
+
+/// One accepted path through the product: a complete edit script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductPath {
+    /// Steps in forward (value) order.
+    pub steps: Vec<ProductStep>,
+    /// Total edit cost (sum of step costs).
+    pub cost: usize,
+}
+
+/// Search telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProductStats {
+    /// Product states settled with a finite cost.
+    pub states_explored: usize,
+}
+
+/// What a bounded product search produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProductOutcome {
+    /// The minimal path within the distance cap (byte-identical to the
+    /// unbounded repair DP's choice).
+    Found(ProductPath),
+    /// Every accepting path costs more than `max_distance` (or the DAG has
+    /// no accepting node at all).
+    DistanceExceeded,
+    /// The search settled more than `state_budget` states.
+    BudgetExceeded,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum PKind {
+    None,
+    Start,
+    Del,
+    Match,
+    MatchDisj,
+    Ins,
+    Sub,
+}
+
+#[derive(Clone, Copy)]
+struct Parent {
+    prev_i: u32,
+    prev_u: u32,
+    kind: PKind,
+    edge: u32,
+    alt: u16,
+}
+
+impl Parent {
+    const NONE: Parent = Parent {
+        prev_i: 0,
+        prev_u: 0,
+        kind: PKind::None,
+        edge: 0,
+        alt: 0,
+    };
+}
+
+/// Finds the minimal edit path from `value` into the DAG's language,
+/// exploring only product states reachable within `cfg.max_distance`
+/// edits.
+///
+/// The relaxation order, tie-break (max kept original tokens, then
+/// first-write-wins), and accepting-node selection replicate the repair
+/// DP exactly, so `Found` paths reconstruct the *same* program the DP
+/// would choose — capping only prunes states the minimal path never
+/// touches (cost along a path is monotone, so every prefix of a ≤-cap
+/// path is itself ≤ cap).
+pub fn intersect_minimal(
+    dag: &Dag,
+    value: &MaskedString,
+    cfg: &ProductConfig,
+) -> (ProductOutcome, ProductStats) {
+    let cap = cfg.max_distance;
+    let toks = value.toks();
+    let n = toks.len();
+    let nn = dag.n_nodes;
+    let idx = |i: usize, u: usize| i * nn + u;
+
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); nn];
+    for (ei, e) in dag.edges.iter().enumerate() {
+        out_edges[e.from].push(ei);
+    }
+
+    let mut cost = vec![INF; (n + 1) * nn];
+    let mut kept = vec![0u32; (n + 1) * nn];
+    let mut parent = vec![Parent::NONE; (n + 1) * nn];
+    let mut explored = 1usize;
+    cost[idx(0, dag.start)] = 0;
+    parent[idx(0, dag.start)].kind = PKind::Start;
+
+    macro_rules! relax {
+        ($from_i:expr, $from_u:expr, $to_i:expr, $to_u:expr, $c:expr, $k:expr,
+         $kind:expr, $edge:expr, $alt:expr) => {{
+            let c_new: usize = $c;
+            if c_new <= cap {
+                let t = idx($to_i, $to_u);
+                if c_new < cost[t] || (c_new == cost[t] && $k > kept[t]) {
+                    if cost[t] >= INF {
+                        explored += 1;
+                        if explored > cfg.state_budget {
+                            return (
+                                ProductOutcome::BudgetExceeded,
+                                ProductStats {
+                                    states_explored: explored,
+                                },
+                            );
+                        }
+                    }
+                    cost[t] = c_new;
+                    kept[t] = $k;
+                    parent[t] = Parent {
+                        prev_i: $from_i as u32,
+                        prev_u: $from_u as u32,
+                        kind: $kind,
+                        edge: $edge as u32,
+                        alt: $alt as u16,
+                    };
+                }
+            }
+        }};
+    }
+
+    for i in 0..=n {
+        // Settle the layer: insert transitions move forward in topo order.
+        for &u in &dag.topo {
+            let (c, k) = (cost[idx(i, u)], kept[idx(i, u)]);
+            if c >= INF {
+                continue;
+            }
+            for &ei in &out_edges[u] {
+                let v = dag.edges[ei].to;
+                relax!(i, u, i, v, c + 1, k, PKind::Ins, ei, 0);
+            }
+        }
+        if i == n {
+            break;
+        }
+        // Consume transitions into later layers.
+        for &u in &dag.topo {
+            let (c, k) = (cost[idx(i, u)], kept[idx(i, u)]);
+            if c >= INF {
+                continue;
+            }
+            relax!(i, u, i + 1, u, c + 1, k, PKind::Del, 0, 0);
+            for &ei in &out_edges[u] {
+                let e = &dag.edges[ei];
+                match &e.label {
+                    DagLabel::Disj(d, _) => {
+                        relax!(i, u, i + 1, e.to, c + 1, k, PKind::Sub, ei, 0);
+                        for (ai, alt) in dag.disjs[*d as usize].iter().enumerate() {
+                            let kk = alt.len();
+                            if i + kk <= n
+                                && alt
+                                    .iter()
+                                    .zip(&toks[i..i + kk])
+                                    .all(|(ch, t)| *t == Tok::Char(*ch))
+                            {
+                                relax!(
+                                    i,
+                                    u,
+                                    i + kk,
+                                    e.to,
+                                    c,
+                                    k + kk as u32,
+                                    PKind::MatchDisj,
+                                    ei,
+                                    ai
+                                );
+                            }
+                        }
+                    }
+                    label => {
+                        if Dag::tok_matches(label, toks[i]) {
+                            relax!(i, u, i + 1, e.to, c, k + 1, PKind::Match, ei, 0);
+                        } else {
+                            relax!(i, u, i + 1, e.to, c + 1, k, PKind::Sub, ei, 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let stats = ProductStats {
+        states_explored: explored,
+    };
+    // Best accepting node at the final layer (max kept breaks cost ties;
+    // ties beyond that go to the lowest node index, like the DP).
+    let Some(accept) = (0..nn)
+        .filter(|&u| dag.accepts[u] && cost[idx(n, u)] < INF)
+        .min_by_key(|&u| (cost[idx(n, u)], std::cmp::Reverse(kept[idx(n, u)])))
+    else {
+        return (ProductOutcome::DistanceExceeded, stats);
+    };
+    let total = cost[idx(n, accept)];
+
+    let mut steps = Vec::new();
+    let (mut ci, mut cu) = (n, accept);
+    loop {
+        let p = parent[idx(ci, cu)];
+        match p.kind {
+            PKind::Start => break,
+            PKind::None => return (ProductOutcome::DistanceExceeded, stats),
+            PKind::Del => steps.push(ProductStep::Delete),
+            PKind::Match => steps.push(ProductStep::Match {
+                edge: p.edge as usize,
+            }),
+            PKind::MatchDisj => steps.push(ProductStep::MatchDisj {
+                edge: p.edge as usize,
+                alt: p.alt as usize,
+            }),
+            PKind::Ins => steps.push(ProductStep::Insert {
+                edge: p.edge as usize,
+            }),
+            PKind::Sub => steps.push(ProductStep::Substitute {
+                edge: p.edge as usize,
+            }),
+        }
+        ci = p.prev_i as usize;
+        cu = p.prev_u as usize;
+    }
+    steps.reverse();
+    debug_assert_eq!(
+        steps.iter().map(ProductStep::cost).sum::<usize>(),
+        total,
+        "reconstructed cost must equal product cost"
+    );
+    (
+        ProductOutcome::Found(ProductPath { steps, cost: total }),
+        stats,
+    )
+}
+
+/// The result of [`enumerate_within`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductEnumeration {
+    /// Every accepted path with cost ≤ the requested distance, in a
+    /// deterministic depth-first order (complete iff `!truncated`).
+    pub paths: Vec<ProductPath>,
+    /// True when enumeration stopped at `max_paths` before exhausting the
+    /// product.
+    pub truncated: bool,
+}
+
+/// Enumerates **every** edit path from `value` into the DAG's language
+/// with cost ≤ `max_distance` (the completeness property of the
+/// intersection construction), stopping after `max_paths` paths.
+///
+/// A backward pass first computes each product state's cheapest
+/// completion cost; the forward depth-first walk then only enters states
+/// that can still finish within budget, so enumeration touches no dead
+/// branches.
+pub fn enumerate_within(
+    dag: &Dag,
+    value: &MaskedString,
+    max_distance: usize,
+    max_paths: usize,
+) -> ProductEnumeration {
+    let toks = value.toks();
+    let n = toks.len();
+    let nn = dag.n_nodes;
+    let idx = |i: usize, u: usize| i * nn + u;
+
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); nn];
+    for (ei, e) in dag.edges.iter().enumerate() {
+        out_edges[e.from].push(ei);
+    }
+
+    // Backward pass: to_accept[(i, u)] = cheapest completion from (i, u)
+    // to an accepting state at layer n. Within a layer, insert transitions
+    // go forward in topo order, so reverse topo settles them.
+    let mut to_accept = vec![INF; (n + 1) * nn];
+    for i in (0..=n).rev() {
+        for &u in dag.topo.iter().rev() {
+            let mut best = if i == n && dag.accepts[u] { 0 } else { INF };
+            for &ei in &out_edges[u] {
+                let e = &dag.edges[ei];
+                best = best.min(to_accept[idx(i, e.to)].saturating_add(1));
+                if i < n {
+                    match &e.label {
+                        DagLabel::Disj(d, _) => {
+                            best = best.min(to_accept[idx(i + 1, e.to)].saturating_add(1));
+                            for alt in &dag.disjs[*d as usize] {
+                                let kk = alt.len();
+                                if i + kk <= n
+                                    && alt
+                                        .iter()
+                                        .zip(&toks[i..i + kk])
+                                        .all(|(ch, t)| *t == Tok::Char(*ch))
+                                {
+                                    best = best.min(to_accept[idx(i + kk, e.to)]);
+                                }
+                            }
+                        }
+                        label => {
+                            let c = usize::from(!Dag::tok_matches(label, toks[i]));
+                            best = best.min(to_accept[idx(i + 1, e.to)].saturating_add(c));
+                        }
+                    }
+                }
+            }
+            if i < n {
+                best = best.min(to_accept[idx(i + 1, u)].saturating_add(1));
+            }
+            to_accept[idx(i, u)] = best;
+        }
+    }
+
+    let mut en = Enumerator {
+        dag,
+        toks,
+        out_edges: &out_edges,
+        to_accept: &to_accept,
+        n,
+        nn,
+        cap: max_distance,
+        max_paths,
+        steps: Vec::new(),
+        paths: Vec::new(),
+        truncated: false,
+    };
+    if to_accept[idx(0, dag.start)] <= max_distance {
+        en.dfs(0, dag.start, 0);
+    }
+    ProductEnumeration {
+        paths: en.paths,
+        truncated: en.truncated,
+    }
+}
+
+struct Enumerator<'a> {
+    dag: &'a Dag,
+    toks: &'a [Tok],
+    out_edges: &'a [Vec<usize>],
+    to_accept: &'a [usize],
+    n: usize,
+    nn: usize,
+    cap: usize,
+    max_paths: usize,
+    steps: Vec<ProductStep>,
+    paths: Vec<ProductPath>,
+    truncated: bool,
+}
+
+impl Enumerator<'_> {
+    fn idx(&self, i: usize, u: usize) -> usize {
+        i * self.nn + u
+    }
+
+    /// Can a transition of cost `c` into `(i, u)` still finish within the
+    /// cap, `spent` edits in?
+    fn viable(&self, i: usize, u: usize, spent: usize, c: usize) -> bool {
+        let rest = self.to_accept[self.idx(i, u)];
+        rest < INF && spent + c + rest <= self.cap
+    }
+
+    fn step(&mut self, s: ProductStep, i: usize, u: usize, spent: usize) {
+        self.steps.push(s);
+        self.dfs(i, u, spent);
+        self.steps.pop();
+    }
+
+    fn dfs(&mut self, i: usize, u: usize, spent: usize) {
+        if self.truncated {
+            return;
+        }
+        if i == self.n && self.dag.accepts[u] {
+            if self.paths.len() >= self.max_paths {
+                self.truncated = true;
+                return;
+            }
+            self.paths.push(ProductPath {
+                steps: self.steps.clone(),
+                cost: spent,
+            });
+        }
+        if i < self.n && self.viable(i + 1, u, spent, 1) {
+            self.step(ProductStep::Delete, i + 1, u, spent + 1);
+        }
+        for ei_ref in &self.out_edges[u] {
+            let ei = *ei_ref;
+            let e = &self.dag.edges[ei];
+            let to = e.to;
+            if i < self.n {
+                match &e.label {
+                    DagLabel::Disj(d, _) => {
+                        let d = *d as usize;
+                        if self.viable(i + 1, to, spent, 1) {
+                            self.step(ProductStep::Substitute { edge: ei }, i + 1, to, spent + 1);
+                        }
+                        for (ai, alt) in self.dag.disjs[d].iter().enumerate() {
+                            let kk = alt.len();
+                            if i + kk <= self.n
+                                && alt
+                                    .iter()
+                                    .zip(&self.toks[i..i + kk])
+                                    .all(|(ch, t)| *t == Tok::Char(*ch))
+                                && self.viable(i + kk, to, spent, 0)
+                            {
+                                self.step(
+                                    ProductStep::MatchDisj { edge: ei, alt: ai },
+                                    i + kk,
+                                    to,
+                                    spent,
+                                );
+                            }
+                        }
+                    }
+                    label => {
+                        let c = usize::from(!Dag::tok_matches(label, self.toks[i]));
+                        if self.viable(i + 1, to, spent, c) {
+                            let s = if c == 0 {
+                                ProductStep::Match { edge: ei }
+                            } else {
+                                ProductStep::Substitute { edge: ei }
+                            };
+                            self.step(s, i + 1, to, spent + c);
+                        }
+                    }
+                }
+            }
+            if self.viable(i, to, spent, 1) {
+                self.step(ProductStep::Insert { edge: ei }, i, to, spent + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Pattern;
+    use crate::class::CharClass;
+    use crate::edit_distance::levenshtein;
+
+    fn dag_for(p: &Pattern, len: usize) -> Dag {
+        Dag::build(p.tag().root(), len)
+    }
+
+    fn minimal(p: &Pattern, value: &str, cfg: &ProductConfig) -> (ProductOutcome, ProductStats) {
+        let v: MaskedString = value.into();
+        let dag = dag_for(p, v.len());
+        intersect_minimal(&dag, &v, cfg)
+    }
+
+    fn found(p: &Pattern, value: &str, cfg: &ProductConfig) -> ProductPath {
+        match minimal(p, value, cfg).0 {
+            ProductOutcome::Found(path) => path,
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn members_cost_zero_all_match() {
+        let p = Pattern::concat([Pattern::lit("Q"), Pattern::Class(CharClass::Digit)]);
+        let path = found(&p, "Q3", &ProductConfig::default());
+        assert_eq!(path.cost, 0);
+        assert!(path
+            .steps
+            .iter()
+            .all(|s| matches!(s, ProductStep::Match { .. })));
+    }
+
+    #[test]
+    fn literal_pattern_cost_equals_levenshtein() {
+        for (pat, val) in [
+            ("kitten", "sitting"),
+            ("abc", "abc"),
+            ("Q1-22", "Q122"),
+            ("hello", ""),
+        ] {
+            let path = found(&Pattern::lit(pat), val, &ProductConfig::default());
+            assert_eq!(path.cost, levenshtein(pat, val), "{pat} vs {val}");
+        }
+    }
+
+    #[test]
+    fn disjunction_chunk_edits_cost_one() {
+        // "837" → digits, "-", (CAT|PRO): one insert for "-", one chunk
+        // insert for the whole alternative — cost 2, not the character
+        // distance 4 (why the product runs over the DAG, not the DFA).
+        let p = Pattern::concat([
+            Pattern::class_plus(CharClass::Digit),
+            Pattern::lit("-"),
+            Pattern::disj(["CAT", "PRO"]),
+        ]);
+        let path = found(&p, "837", &ProductConfig::default());
+        assert_eq!(path.cost, 2);
+        assert_eq!(
+            path.steps
+                .iter()
+                .filter(|s| matches!(s, ProductStep::Insert { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(
+            path.steps
+                .iter()
+                .filter(|s| matches!(s, ProductStep::Match { .. }))
+                .count(),
+            3,
+            "the kept tie-break keeps all three digits"
+        );
+    }
+
+    #[test]
+    fn distance_cap_prunes_far_repairs() {
+        let p = Pattern::lit("abcdef");
+        let tight = ProductConfig {
+            max_distance: 2,
+            ..ProductConfig::default()
+        };
+        assert_eq!(
+            minimal(&p, "xyz", &tight).0,
+            ProductOutcome::DistanceExceeded
+        );
+        let loose = ProductConfig {
+            max_distance: 6,
+            ..ProductConfig::default()
+        };
+        assert_eq!(found(&p, "xyz", &loose).cost, 6);
+    }
+
+    #[test]
+    fn state_budget_overflow_is_reported() {
+        let p = Pattern::plus(Pattern::Class(CharClass::Digit));
+        let cfg = ProductConfig {
+            max_distance: 8,
+            state_budget: 2,
+        };
+        let (outcome, stats) = minimal(&p, "12345", &cfg);
+        assert_eq!(outcome, ProductOutcome::BudgetExceeded);
+        assert!(stats.states_explored >= 2);
+    }
+
+    #[test]
+    fn cap_does_not_change_the_chosen_path() {
+        // The minimal path found under a tight-but-sufficient cap must be
+        // the same as under a generous cap (the byte-identicality claim).
+        let p = Pattern::concat([
+            Pattern::lit("Q"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("-"),
+            Pattern::class_n(CharClass::Digit, 4),
+        ]);
+        for value in ["Q32001", "Q3-201", "32001", "Q3-2001"] {
+            let generous = found(&p, value, &ProductConfig::default());
+            let tight = found(
+                &p,
+                value,
+                &ProductConfig {
+                    max_distance: generous.cost,
+                    ..ProductConfig::default()
+                },
+            );
+            assert_eq!(tight, generous, "{value}");
+        }
+    }
+
+    #[test]
+    fn enumeration_is_complete_on_a_countable_case() {
+        // Pattern "a" vs value "b": within distance 1 only the
+        // substitution exists; within 2, delete+insert in either order
+        // joins it.
+        let p = Pattern::lit("a");
+        let v: MaskedString = "b".into();
+        let dag = dag_for(&p, v.len());
+        let within1 = enumerate_within(&dag, &v, 1, 64);
+        assert!(!within1.truncated);
+        assert_eq!(within1.paths.len(), 1);
+        assert_eq!(
+            within1.paths[0].steps,
+            vec![ProductStep::Substitute { edge: 0 }]
+        );
+        let within2 = enumerate_within(&dag, &v, 2, 64);
+        assert!(!within2.truncated);
+        assert_eq!(within2.paths.len(), 3);
+        assert!(within2.paths.iter().all(|p| p.cost <= 2));
+    }
+
+    #[test]
+    fn enumeration_contains_the_minimal_path() {
+        let p = Pattern::concat([
+            Pattern::class_plus(CharClass::Digit),
+            Pattern::lit("-"),
+            Pattern::disj(["CAT", "PRO"]),
+        ]);
+        for value in ["837", "837-PRO", "83X-CAT", "-PRO"] {
+            let v: MaskedString = value.into();
+            let dag = dag_for(&p, v.len());
+            let best = match intersect_minimal(&dag, &v, &ProductConfig::default()).0 {
+                ProductOutcome::Found(path) => path,
+                other => panic!("{other:?}"),
+            };
+            let all = enumerate_within(&dag, &v, best.cost + 1, 10_000);
+            assert!(!all.truncated, "{value}");
+            assert!(all.paths.contains(&best), "{value}");
+            assert_eq!(
+                all.paths.iter().map(|p| p.cost).min(),
+                Some(best.cost),
+                "{value}"
+            );
+            for path in &all.paths {
+                assert_eq!(
+                    path.cost,
+                    path.steps.iter().map(ProductStep::cost).sum::<usize>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_truncates_at_the_path_cap() {
+        let p = Pattern::plus(Pattern::Class(CharClass::Digit));
+        let v: MaskedString = "12".into();
+        let dag = dag_for(&p, v.len());
+        let capped = enumerate_within(&dag, &v, 3, 2);
+        assert!(capped.truncated);
+        assert_eq!(capped.paths.len(), 2);
+    }
+
+    #[test]
+    fn unacceptable_language_is_distance_exceeded() {
+        // A DAG with no accepting node (empty language): nothing to find
+        // at any distance.
+        let dag = Dag {
+            n_nodes: 1,
+            start: 0,
+            accepts: vec![false],
+            edges: vec![],
+            in_edges: vec![vec![]],
+            topo: vec![0],
+            disjs: vec![],
+        };
+        let v: MaskedString = "ab".into();
+        let (outcome, _) = intersect_minimal(&dag, &v, &ProductConfig::default());
+        assert_eq!(outcome, ProductOutcome::DistanceExceeded);
+        assert!(enumerate_within(&dag, &v, 8, 64).paths.is_empty());
+    }
+}

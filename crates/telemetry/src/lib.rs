@@ -228,17 +228,22 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_are_bucket_bounds_clamped_to_range() {
+    fn histogram_quantiles_are_bucket_midpoints_clamped_to_range() {
         let mut h = Histogram::new();
         for ns in [100u64, 200, 400, 800, 100_000] {
             h.observe_ns(ns);
         }
         assert_eq!(h.count(), 5);
         assert_eq!(h.mean_ns(), (100 + 200 + 400 + 800 + 100_000) / 5);
-        let p50 = h.quantile_ns(0.5);
-        assert!((100..=800).contains(&p50), "p50 = {p50}");
-        assert_eq!(h.quantile_ns(1.0), 100_000);
-        assert!(h.quantile_ns(0.01) >= 100);
+        // Rank 3 (400 ns) lands in bucket [256, 512): midpoint 383 — inside
+        // the bucket, not its upper edge 511.
+        assert_eq!(h.quantile_ns(0.5), 383);
+        // 100 000 ns lands in bucket [65 536, 131 072): midpoint 98 303,
+        // already within [min, max] so the clamp leaves it alone.
+        assert_eq!(h.quantile_ns(1.0), 98_303);
+        // Rank 1 (100 ns) is in bucket [64, 128): midpoint 95, clamped up
+        // to the observed minimum.
+        assert_eq!(h.quantile_ns(0.01), 100);
     }
 
     #[test]

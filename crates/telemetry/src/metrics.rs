@@ -19,8 +19,9 @@ pub const HIST_BUCKETS: usize = 48;
 ///
 /// Fixed bucket boundaries make merging two histograms a per-bucket add, so
 /// per-task histograms combine deterministically regardless of thread
-/// interleaving. Quantiles are bucket-upper-bound estimates clamped into
-/// the observed `[min, max]` range.
+/// interleaving. Quantiles are bucket-midpoint estimates clamped into the
+/// observed `[min, max]` range (the upper edge of a log₂ bucket overstates
+/// a typical member by up to ~2×; the midpoint bounds the error at ±50%).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     count: u64,
@@ -106,8 +107,8 @@ impl Histogram {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
 
-    /// Estimated `q`-quantile (0 < q ≤ 1) in nanoseconds: the upper bound
-    /// of the bucket holding the rank-⌈q·count⌉ observation, clamped into
+    /// Estimated `q`-quantile (0 < q ≤ 1) in nanoseconds: the midpoint of
+    /// the bucket holding the rank-⌈q·count⌉ observation, clamped into
     /// `[min, max]`. Returns 0 when empty.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -118,8 +119,16 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             cum += b;
             if cum >= rank {
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                return upper.clamp(self.min_ns, self.max_ns);
+                // Bucket i > 0 spans [2^(i−1), 2^i): report its midpoint
+                // rather than the upper edge, which overstates by ~2×.
+                let estimate = if i == 0 {
+                    0
+                } else {
+                    let lower = 1u64 << (i - 1);
+                    let upper = (1u64 << i) - 1;
+                    lower.midpoint(upper)
+                };
+                return estimate.clamp(self.min_ns, self.max_ns);
             }
         }
         self.max_ns

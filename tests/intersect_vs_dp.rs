@@ -1,0 +1,363 @@
+//! Differential suite: the intersection repair strategy must be
+//! byte-identical to the repair-DP planner, and the product construction
+//! must be *complete* — every repair within the distance cap is
+//! enumerated, so the DP can never find a repair the product misses.
+//!
+//! `RepairStrategy::Intersect` routes each distinct error value's minimal
+//! edit search through the pattern × edit-automaton product
+//! (`datavinci::regex::intersect`) with iterative deepening and a DP
+//! fallback; `RepairStrategy::Planner` is the unbounded-DP reference it
+//! must reproduce exactly. Every comparison formats both
+//! [`datavinci::core::TableReport`]s (patterns, detections, repairs, every
+//! ranked candidate with its score) and requires exact equality — across
+//! the corpus benchmarks, edge columns, every ablation (including starved
+//! product budgets that force the fallback), and a large generated sweep.
+//! Well over 1 000 column comparisons run per invocation.
+//!
+//! The proptest block checks the two automaton-level guarantees the report
+//! identity rests on: the product's minimal program *is* the DP's program
+//! (equal distance, identical actions), and enumeration within distance
+//! *k* contains every repair — in particular the DP's.
+
+use datavinci::core::{
+    minimal_edit_program, minimal_edit_program_product, program_from_path, DataVinci,
+    DataVinciConfig, IntersectConfig, RepairStrategy,
+};
+use datavinci::corpus::{
+    duplicate_rows, excel_like, synthetic_errors, wikipedia_like, Flavor, NoiseModel, Scale,
+    TableSpec,
+};
+use datavinci::regex::{
+    enumerate_within, intersect_minimal, CharClass, CompiledPattern, MaskedString, Pattern,
+    ProductConfig, ProductOutcome,
+};
+use datavinci::table::{Column, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Compares intersect vs DP-planner cleans of `table` under `cfg`,
+/// returning the number of cleaned columns (comparison cases).
+fn assert_identical(table: &Table, cfg: &DataVinciConfig, context: &str) -> usize {
+    let planner = DataVinci::with_config(DataVinciConfig {
+        repair_strategy: RepairStrategy::Planner,
+        ..cfg.clone()
+    });
+    let intersect = DataVinci::with_config(DataVinciConfig {
+        repair_strategy: RepairStrategy::Intersect,
+        ..cfg.clone()
+    });
+    let a = planner.clean_table(table);
+    let b = intersect.clean_table(table);
+    assert_eq!(
+        format!("{a:#?}"),
+        format!("{b:#?}"),
+        "intersect strategy diverged from the DP planner: {context}"
+    );
+    a.columns.len()
+}
+
+#[test]
+fn corpus_benchmarks_are_identical() {
+    let scale = Scale::smoke();
+    let mut cases = 0usize;
+    for (name, bench) in [
+        ("wikipedia", wikipedia_like(71, scale)),
+        ("excel", excel_like(72, scale)),
+        ("synthetic", synthetic_errors(73, scale)),
+    ] {
+        for (i, t) in bench.tables.iter().enumerate() {
+            cases += assert_identical(
+                &t.dirty,
+                &DataVinciConfig::default(),
+                &format!("{name} table {i}"),
+            );
+        }
+    }
+    assert!(cases >= 60, "expected a broad corpus sweep, got {cases}");
+}
+
+#[test]
+fn edge_columns_are_identical() {
+    let columns: Vec<(&str, Vec<String>)> = vec![
+        ("empty", Vec::new()),
+        ("blank rows", vec![String::new(); 6]),
+        ("single row", vec!["a-1".into()]),
+        (
+            "all duplicate",
+            std::iter::repeat_n("Q3-2001".to_string(), 24).collect(),
+        ),
+        (
+            "all duplicate errors",
+            (0..20)
+                .map(|i| {
+                    if i < 16 {
+                        format!("a-{i}")
+                    } else {
+                        "X9".into()
+                    }
+                })
+                .collect(),
+        ),
+        (
+            "all distinct",
+            (0..24).map(|i| format!("id-{i:03}")).collect(),
+        ),
+        (
+            "semantic duplicates",
+            [
+                "US-1", "US-1", "FR-2", "usa_3", "usa_3", "US-1", "DE-4", "usa_3",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ),
+        (
+            "mixed kinds",
+            ["1", "2", "x-1", "x-2", "x9", "x9", "", "TRUE"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+    ];
+    for (name, values) in columns {
+        let table = Table::new(vec![Column::parse(
+            "c",
+            &values.iter().map(String::as_str).collect::<Vec<_>>(),
+        )]);
+        assert_identical(&table, &DataVinciConfig::default(), name);
+    }
+}
+
+#[test]
+fn ablation_and_starved_budget_configs_are_identical() {
+    // Every ablation runs both strategies over the same duplicate-heavy
+    // table — including product configurations starved enough to force the
+    // fallback on every value, which must change nothing.
+    let mut rng = StdRng::seed_from_u64(99);
+    let spec = TableSpec::new(80, vec![Flavor::PlayerWithCategory, Flavor::Quarter]);
+    let clean = spec.generate(&mut rng);
+    let noise = NoiseModel { cell_prob: 0.2 };
+    let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
+    let table = duplicate_rows(&mut rng, &dirty, 0.8);
+    for (name, cfg) in [
+        ("default", DataVinciConfig::default()),
+        ("no semantics", DataVinciConfig::ablation_no_semantics()),
+        (
+            "limited semantics",
+            DataVinciConfig::ablation_limited_semantics(),
+        ),
+        (
+            "enumerated concretization",
+            DataVinciConfig::ablation_no_learned_concretization(),
+        ),
+        (
+            "edit distance ranking",
+            DataVinciConfig::ablation_edit_distance_ranking(),
+        ),
+        (
+            "starved delta",
+            DataVinciConfig {
+                delta: 0.95,
+                ..DataVinciConfig::default()
+            },
+        ),
+        (
+            "starved state budget (all fallback)",
+            DataVinciConfig {
+                intersect: IntersectConfig {
+                    state_budget: 1,
+                    ..IntersectConfig::default()
+                },
+                ..DataVinciConfig::default()
+            },
+        ),
+        (
+            "tiny distance ceiling",
+            DataVinciConfig {
+                intersect: IntersectConfig {
+                    max_distance: 1,
+                    ..IntersectConfig::default()
+                },
+                ..DataVinciConfig::default()
+            },
+        ),
+    ] {
+        assert_identical(&table, &cfg, name);
+    }
+}
+
+#[test]
+fn generated_duplicate_sweep_is_identical() {
+    // The bulk of the >1k cases: many small single-flavor tables across
+    // duplication and noise regimes, seeded deterministically (the same
+    // sweep shape `repair_plan_vs_rowwise` uses, different seed).
+    let flavor_pool = [
+        Flavor::Quarter,
+        Flavor::PrefixedId,
+        Flavor::City,
+        Flavor::CountryCode,
+        Flavor::Color,
+        Flavor::ProductCode,
+        Flavor::PlayerWithCategory,
+        Flavor::Rating,
+    ];
+    let mut rng = StdRng::seed_from_u64(2525);
+    let mut cases = 0usize;
+    for i in 0..900 {
+        let flavor = flavor_pool[i % flavor_pool.len()];
+        let rows = 8 + (i % 5) * 4;
+        let duplication = [0.0, 0.5, 0.9][i % 3];
+        let spec = TableSpec::new(rows, vec![flavor]);
+        let clean = spec.generate(&mut rng);
+        let noise = NoiseModel {
+            cell_prob: [0.05, 0.2, 0.45][(i / 3) % 3],
+        };
+        let (dirty, _) = noise.corrupt_table(&mut rng, &clean);
+        let table = if duplication > 0.0 {
+            duplicate_rows(&mut rng, &dirty, duplication)
+        } else {
+            dirty
+        };
+        cases += assert_identical(
+            &table,
+            &DataVinciConfig::default(),
+            &format!("sweep case {i} ({flavor:?}, dup {duplication})"),
+        );
+    }
+    assert!(
+        cases >= 900,
+        "expected at least 900 sweep column comparisons, got {cases}"
+    );
+}
+
+#[test]
+fn total_case_volume_exceeds_one_thousand() {
+    // Recounts the cheap-to-count portion of the suites above so a future
+    // downsizing fails loudly instead of silently shrinking coverage.
+    let scale = Scale::smoke();
+    let min_text = DataVinciConfig::default().min_text_fraction;
+    let mut columns = 0usize;
+    for bench in [
+        wikipedia_like(71, scale),
+        excel_like(72, scale),
+        synthetic_errors(73, scale),
+    ] {
+        for t in &bench.tables {
+            columns += (0..t.dirty.n_cols())
+                .filter(|&c| {
+                    t.dirty
+                        .column(c)
+                        .is_some_and(|col| col.text_fraction() >= min_text)
+                })
+                .count();
+        }
+    }
+    let sweep_min = 900;
+    assert!(
+        columns + sweep_min >= 1000,
+        "differential volume dropped below 1k cases: {columns} corpus + {sweep_min} sweep"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Automaton-level properties: minimality identity and completeness.
+// ---------------------------------------------------------------------------
+
+/// A small pool of patterns exercising every DAG label kind (literals,
+/// classes, quantifiers, disjunctions).
+fn pattern_pool() -> Vec<Pattern> {
+    vec![
+        Pattern::lit("Q3-2001"),
+        Pattern::concat([
+            Pattern::lit("Q"),
+            Pattern::Class(CharClass::Digit),
+            Pattern::lit("-"),
+            Pattern::class_n(CharClass::Digit, 4),
+        ]),
+        Pattern::concat([
+            Pattern::class_plus(CharClass::Upper),
+            Pattern::lit("-"),
+            Pattern::class_plus(CharClass::Digit),
+            Pattern::lit("-"),
+            Pattern::disj(["PRO", "QUA", "CAT"]),
+        ]),
+        Pattern::concat([
+            Pattern::disj(["ON", "OFF", "AUTO"]),
+            Pattern::opt(Pattern::lit("!")),
+        ]),
+        Pattern::plus(Pattern::Class(CharClass::Lower)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The product's minimal program equals the DP's — same minimal
+    /// distance, identical ranked actions — and capping the distance just
+    /// below it must reject.
+    #[test]
+    fn product_minimal_program_equals_dp(
+        pi in 0usize..5,
+        value in "[a-zA-Z0-9.\\- ]{0,10}",
+    ) {
+        let p = &pattern_pool()[pi];
+        let compiled = CompiledPattern::compile(p.clone());
+        let v: MaskedString = MaskedString::from_plain(&value);
+        let dag = compiled.dag_for_len(v.len());
+        let dp = minimal_edit_program(&dag, &v);
+        let (product, stats) = minimal_edit_program_product(&dag, &v, &IntersectConfig::default());
+        prop_assert_eq!(format!("{dp:?}"), format!("{product:?}"));
+        prop_assert!(!stats.fell_back, "default budgets must not fall back on small values");
+        if let Some(program) = &product {
+            if program.cost > 0 {
+                let tight = ProductConfig {
+                    max_distance: program.cost - 1,
+                    ..ProductConfig::default()
+                };
+                prop_assert_eq!(
+                    intersect_minimal(&dag, &v, &tight).0,
+                    ProductOutcome::DistanceExceeded
+                );
+            }
+        }
+    }
+
+    /// Completeness: enumeration within k = minimal + 1 is exhaustive —
+    /// it contains the DP's program, its cheapest path costs exactly the
+    /// minimal distance, and no path exceeds the cap. The DP cannot find
+    /// a repair the product misses.
+    #[test]
+    fn enumeration_within_k_contains_every_repair(
+        pi in 0usize..5,
+        value in "[a-zA-Z0-9.\\- ]{0,6}",
+    ) {
+        let p = &pattern_pool()[pi];
+        let compiled = CompiledPattern::compile(p.clone());
+        let v: MaskedString = MaskedString::from_plain(&value);
+        let dag = compiled.dag_for_len(v.len());
+        let Some(dp) = minimal_edit_program(&dag, &v) else {
+            // No accepting path at all: the product must agree at any cap.
+            prop_assert!(enumerate_within(&dag, &v, 16, 100_000).paths.is_empty());
+            return Ok(());
+        };
+        let k = dp.cost + 1;
+        let all = enumerate_within(&dag, &v, k, 200_000);
+        prop_assert!(!all.truncated, "exhaustive enumeration expected at these sizes");
+        prop_assert!(!all.paths.is_empty());
+        prop_assert_eq!(
+            all.paths.iter().map(|path| path.cost).min(),
+            Some(dp.cost),
+            "cheapest enumerated repair must be the minimal distance"
+        );
+        prop_assert!(all.paths.iter().all(|path| path.cost <= k));
+        // The DP's exact program appears among the enumerated repairs.
+        let dp_fmt = format!("{dp:?}");
+        prop_assert!(
+            all.paths
+                .iter()
+                .any(|path| format!("{:?}", program_from_path(&dag, path)) == dp_fmt),
+            "DP found a repair the product did not enumerate"
+        );
+    }
+}

@@ -144,6 +144,36 @@ proptest! {
         }
     }
 
+    /// Band-edge differential: the banded variant must agree with the
+    /// exact distance when the bound sits just below, exactly at, and just
+    /// above the true distance — the off-by-one regime a too-narrow band
+    /// would corrupt — including multibyte UTF-8 and empty strings.
+    #[test]
+    fn banded_levenshtein_is_exact_at_the_band_edge(
+        a in "[abé漢]{0,8}",
+        b in "[abé漢]{0,8}",
+    ) {
+        let exact = levenshtein(&a, &b);
+        for bound in [exact.saturating_sub(1), exact, exact + 1] {
+            match levenshtein_within(&a, &b, bound) {
+                Some(d) => {
+                    prop_assert!(d <= bound, "reported {d} above bound {bound}");
+                    prop_assert_eq!(d, exact);
+                }
+                None => prop_assert!(exact > bound, "rejected in-band distance {exact} at bound {bound}"),
+            }
+        }
+        // A pure length gap is the band's worst case: the distance equals
+        // the gap, so bound == gap must find it and bound == gap − 1 must
+        // refuse.
+        let gap = a.chars().count();
+        prop_assert_eq!(levenshtein_within(&a, "", gap), Some(gap));
+        prop_assert_eq!(levenshtein_within("", &a, gap), Some(gap));
+        if gap > 0 {
+            prop_assert_eq!(levenshtein_within(&a, "", gap - 1), None);
+        }
+    }
+
     /// The profiler's learned patterns jointly cover every input value.
     #[test]
     fn profiler_covers_all_values(values in prop::collection::vec("[a-zA-Z0-9.\\-_ ]{1,10}", 1..24)) {
