@@ -1,14 +1,18 @@
-//! A peak-tracking global allocator for the Table-10 memory column.
+//! A peak-tracking, allocation-counting global allocator.
 //!
 //! The paper reports RAM (+VRAM) per system; our stand-in is live-heap peak
-//! during a run, measured by wrapping the system allocator. Binaries opt in
-//! with `#[global_allocator]`.
+//! during a run, measured by wrapping the system allocator. The wrapper also
+//! keeps a monotonic count of allocation calls, which the hot-path bench
+//! and the allocs/row regression gate read before/after a run to compute
+//! allocations per row. Binaries and test targets opt in with
+//! `#[global_allocator]`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 /// The metering allocator.
 pub struct MeteredAlloc;
@@ -18,6 +22,7 @@ unsafe impl GlobalAlloc for MeteredAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(cur, Ordering::Relaxed);
         }
@@ -43,4 +48,12 @@ pub fn peak_bytes() -> usize {
 /// Current live heap, in bytes.
 pub fn current_bytes() -> usize {
     CURRENT.load(Ordering::Relaxed)
+}
+
+/// Monotonic count of allocation calls since process start.
+///
+/// Subtract two readings to count the allocations a region performed:
+/// `let before = alloc_count(); work(); let n = alloc_count() - before;`
+pub fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
 }

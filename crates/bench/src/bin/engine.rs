@@ -8,7 +8,9 @@
 //!
 //! Flags: the shared `--smoke`/`--full`/`--seed N` sizing plus
 //! `--workers N` (default 4, the acceptance-criteria width; `0` = one per
-//! hardware thread) and `--out PATH` (default `BENCH_engine.json`).
+//! hardware thread), `--scaling` (additionally record a cold-path
+//! per-worker-count curve at 1/2/4/8 workers), and `--out PATH` (default
+//! `BENCH_engine.json`).
 
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -99,6 +101,44 @@ fn main() {
         .unwrap_or(1);
     let cold_speedup = sequential_ms / cold_ms.max(1e-9);
     let warm_speedup = sequential_ms / warm_ms.max(1e-9);
+
+    // `--scaling`: re-run the cold path at 1/2/4/8 workers (fresh engine
+    // each time, so nothing is cached) and record the per-core curve. On a
+    // single-hardware-thread machine the curve documents scheduling
+    // overhead rather than speedup — that's the point of recording it.
+    let scaling = std::env::args().any(|a| a == "--scaling");
+    let mut scaling_points = Vec::new();
+    if scaling {
+        let mut one_worker_ms = None;
+        for workers in [1usize, 2, 4, 8] {
+            let engine = Engine::with_config(EngineConfig {
+                workers,
+                cache: true,
+                ..EngineConfig::default()
+            });
+            let started = Instant::now();
+            let run = engine.clean_batch(&tables);
+            let ms = started.elapsed().as_secs_f64() * 1000.0;
+            let identical = run
+                .tables
+                .iter()
+                .zip(&sequential)
+                .all(|(engine_report, seq)| canon(&engine_report.table_report()) == canon(seq));
+            assert!(identical, "scaling run at {workers} workers diverged");
+            let base = *one_worker_ms.get_or_insert(ms);
+            eprintln!(
+                "  scaling {workers} workers  {ms:9.1} ms   ×{:.2} vs 1 worker",
+                base / ms.max(1e-9)
+            );
+            scaling_points.push(
+                Json::obj()
+                    .field("workers", Json::Int(run.workers as i64))
+                    .field("cold_ms", Json::Num(ms))
+                    .field("speedup_vs_1_worker", Json::Num(base / ms.max(1e-9))),
+            );
+        }
+    }
+
     let json = Json::obj()
         .field("benchmark", Json::str("engine_end_to_end"))
         .field("seed", Json::Int(cli.seed as i64))
@@ -113,6 +153,11 @@ fn main() {
         .field("warm_speedup", Json::Num(warm_speedup))
         .field("byte_identical", Json::Bool(byte_identical))
         .field("cache", stats.to_json());
+    let json = if scaling {
+        json.field("scaling", Json::Arr(scaling_points))
+    } else {
+        json
+    };
     std::fs::write(&out_path, json.render_pretty()).expect("write benchmark JSON");
     println!("{}", json.render_pretty());
     eprintln!(

@@ -215,15 +215,21 @@ impl RenderedTable {
     /// identically on every predicate (see `kind_tag`), so they can share
     /// one feature vector.
     pub fn row_key(&self, row: usize) -> String {
-        let rr = &self.rows[row];
         let mut key = String::new();
+        self.write_row_key(row, &mut key);
+        key
+    }
+
+    /// [`RenderedTable::row_key`] into a caller-provided buffer, so the
+    /// row-interning loop can reuse one allocation across all rows.
+    pub fn write_row_key(&self, row: usize, key: &mut String) {
+        use std::fmt::Write;
+        let rr = &self.rows[row];
         for (kind, rendered) in rr.kinds.iter().zip(&rr.rendered) {
             key.push(*kind as char);
-            key.push_str(&rendered.len().to_string());
-            key.push(':');
+            write!(key, "{}:", rendered.len()).expect("String write is infallible");
             key.push_str(rendered);
         }
-        key
     }
 }
 

@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::features::{FeatureSet, RenderedTable};
 use datavinci_semantic::{ColumnTypeMemo, Gazetteer, MaskCache, TypeDetection};
-use datavinci_table::{CellValue, Table, ValuePool};
+use datavinci_table::{ArenaInterner, CellValue, Table, ValuePool};
 
 /// A snapshot of one session's reuse counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -138,9 +138,15 @@ struct Counters {
 /// can be interned incrementally: existing rows keep their distinct index,
 /// which is what keeps the session's per-distinct-row feature memo valid
 /// across [`AnalysisSession::resume`].
+///
+/// Keys live in an [`ArenaInterner`], and the interning loop renders each
+/// key into one reused buffer — interning N rows costs O(distinct) string
+/// storage instead of one `String` per row. Ids come out in
+/// first-occurrence order, exactly as the former `HashMap` + `or_insert`
+/// numbering did.
 #[derive(Debug, Default)]
 struct RowPool {
-    index: HashMap<String, usize>,
+    index: ArenaInterner,
     row_to_distinct: Vec<usize>,
 }
 
@@ -155,10 +161,11 @@ impl RowPool {
     fn extend(&mut self, rendered: &RenderedTable, from_row: usize) {
         debug_assert_eq!(from_row, self.row_to_distinct.len());
         self.row_to_distinct.reserve(rendered.n_rows() - from_row);
+        let mut key = String::new();
         for row in from_row..rendered.n_rows() {
-            let next = self.index.len();
-            let di = *self.index.entry(rendered.row_key(row)).or_insert(next);
-            self.row_to_distinct.push(di);
+            key.clear();
+            rendered.write_row_key(row, &mut key);
+            self.row_to_distinct.push(self.index.intern(&key) as usize);
         }
     }
 
@@ -367,7 +374,7 @@ impl<'t> AnalysisSession<'t> {
     ) -> Option<TypeDetection> {
         let pool = self.value_pool(col);
         self.types
-            .detect(col, pool.distinct(), pool.counts(), gaz, min_confidence)
+            .detect(col, &pool.distinct(), pool.counts(), gaz, min_confidence)
     }
 
     /// Records a repair plan's sharing outcome (called by

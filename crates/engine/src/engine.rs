@@ -296,7 +296,10 @@ impl Engine {
         // profiles come back with the outcomes and are grafted under this
         // batch's root span at join (no locks on the cleaning hot path).
         let enabled = self.registry.enabled();
-        let outcomes = self.pool.map(&units, |_, &(ti, col)| {
+        // Largest columns are claimed first so one huge table enqueued late
+        // can't serialize the batch's tail behind a single worker.
+        let sizes: Vec<usize> = units.iter().map(|&(ti, _)| tables[ti].n_rows()).collect();
+        let outcomes = self.pool.map_sized(&units, &sizes, |_, &(ti, col)| {
             telemetry::collect(enabled, || {
                 self.clean_unit(&sessions[session_of[ti]], &tables[ti], prints[ti], col)
             })

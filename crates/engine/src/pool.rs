@@ -2,12 +2,12 @@
 //!
 //! The engine's unit of work (one column of one table) is embarrassingly
 //! parallel, so the pool is deliberately simple: N scoped workers pull task
-//! indices from a shared atomic counter and write results into per-slot
-//! cells. No channels, no external crates, no unsafe.
+//! indices from a shared atomic counter and push `(index, result)` pairs
+//! into a private per-worker buffer; the buffers are merged back into input
+//! order after the scope joins. No channels, no per-item mutexes, no unsafe.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// A fixed-width worker pool over borrowed data (scoped threads).
 #[derive(Debug, Clone, Copy)]
@@ -45,32 +45,92 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_in_order(items, None, f)
+    }
+
+    /// Like [`WorkerPool::map`], but claims tasks largest-first according to
+    /// `sizes` (one hint per item, same length as `items`). Output order is
+    /// still input order; only the claim schedule changes, so one huge item
+    /// enqueued last can no longer serialize the batch's tail.
+    ///
+    /// Ties claim in input order, and a 1-worker pool runs sequentially in
+    /// input order, so results are identical to `map` for any pure `f`.
+    pub fn map_sized<T, R, F>(&self, items: &[T], sizes: &[usize], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        assert_eq!(items.len(), sizes.len(), "one size hint per item");
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return self.map_in_order(items, None, f);
+        }
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(sizes[i]));
+        self.map_in_order(items, Some(&order), f)
+    }
+
+    /// Shared driver: workers claim positions from an atomic counter
+    /// (optionally indirected through a claim `order`), buffer
+    /// `(index, result)` pairs privately, and the buffers are merged into an
+    /// input-ordered output after join. The first panic payload is re-raised
+    /// once every worker has finished.
+    fn map_in_order<T, R, F>(&self, items: &[T], order: Option<&[usize]>, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let workers = self.workers.min(items.len());
         if workers <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
 
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let result = f(i, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
-                });
-            }
+        let f = &f;
+        let joined: Vec<std::thread::Result<Vec<(usize, R)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let pos = next.fetch_add(1, Ordering::Relaxed);
+                            if pos >= items.len() {
+                                break;
+                            }
+                            let i = order.map_or(pos, |o| o[pos]);
+                            out.push((i, f(i, &items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
         });
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        let mut panic_payload = None;
+        for result in joined {
+            match result {
+                Ok(buf) => {
+                    for (i, r) in buf {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every task index was claimed exactly once")
-            })
+            .map(|slot| slot.expect("every task index was claimed exactly once"))
             .collect()
     }
 }
@@ -111,5 +171,83 @@ mod tests {
             let par = WorkerPool::new(workers).map(&items, |i, s| format!("{i}:{s}"));
             assert_eq!(par, seq, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn map_sized_matches_map_for_any_size_hints() {
+        let items: Vec<usize> = (0..53).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            // Ascending, descending, constant, and "one huge item last" hints
+            // must all produce input-ordered output.
+            let hint_sets: Vec<Vec<usize>> = vec![
+                items.clone(),
+                items.iter().rev().cloned().collect(),
+                vec![7; items.len()],
+                {
+                    let mut h = vec![1; items.len()];
+                    *h.last_mut().unwrap() = 1_000_000;
+                    h
+                },
+            ];
+            for sizes in &hint_sets {
+                let out = pool.map_sized(&items, sizes, |_, &x| x * 3 + 1);
+                assert_eq!(out, expected, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_sized_claims_largest_first() {
+        use std::sync::Mutex;
+        // With one worker forced through the parallel path being impossible
+        // (workers<=1 short-circuits), use 2 workers and record claim order;
+        // the first two claims must be the two largest items.
+        let claimed = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..16).collect();
+        let sizes: Vec<usize> = items.iter().map(|&x| x * 10).collect();
+        WorkerPool::new(2).map_sized(&items, &sizes, |i, _| {
+            claimed.lock().unwrap().push(i);
+        });
+        let claimed = claimed.lock().unwrap();
+        assert_eq!(claimed.len(), items.len());
+        assert!(
+            claimed[0] == 15 || claimed[1] == 15,
+            "largest item claimed in the first wave: {claimed:?}"
+        );
+    }
+
+    #[test]
+    fn panic_mid_batch_propagates_after_workers_finish() {
+        use std::sync::atomic::AtomicUsize;
+        let completed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..40).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            WorkerPool::new(4).map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 13"), "payload preserved: {msg}");
+        // Every non-panicking task still ran: the pool drains the batch
+        // before re-raising.
+        assert_eq!(completed.load(Ordering::Relaxed), items.len() - 1);
+    }
+
+    #[test]
+    fn map_sized_rejects_mismatched_hints() {
+        let result = std::panic::catch_unwind(|| {
+            WorkerPool::new(2).map_sized(&[1u32, 2], &[5usize], |_, &x| x)
+        });
+        assert!(result.is_err());
     }
 }

@@ -12,10 +12,10 @@
 
 use std::collections::HashMap;
 
-use crate::atom::{signature, smallest_period, tokenize, AtomKind};
+use crate::atom::{signature, smallest_period, tokenize, Atom, AtomKind};
 use crate::generalize::{try_merge, MergeConfig};
 use crate::stats::{BuildConfig, GroupProfile};
-use datavinci_regex::{CompiledPattern, MaskedString, Pattern};
+use datavinci_regex::{AsciiBatch, CompiledPattern, MaskedString, Pattern};
 use datavinci_telemetry as telemetry;
 
 /// Which matcher scores candidate patterns against the column.
@@ -122,38 +122,55 @@ pub fn profile_column_pooled(
     // repeated vocabulary is best described by one disjunction over its
     // values — this is what lets concretization pick the right alternative
     // from row features (paper Figure 2's (CAT|PRO) at column scale).
+    //
+    // Evaluated over the pool, O(distinct): a mask-free masked string and
+    // its plain rendering are in bijection, so the pool's distinct count
+    // and multiplicities equal the old per-row tally (and `Pattern::disj`
+    // sorts its alternatives, so insertion order is irrelevant). Any mask
+    // token makes `to_plain` return `None`, disqualifying the column on
+    // both the old and new path.
     let mut categorical: Option<Pattern> = None;
     {
-        let plain: Vec<Option<String>> = values.iter().map(|v| v.to_plain()).collect();
-        if plain
-            .iter()
-            .all(|p| p.as_ref().is_some_and(|s| !s.is_empty()))
-        {
-            let mut counts: HashMap<&str, usize> = HashMap::new();
-            for p in plain.iter().flatten() {
-                *counts.entry(p.as_str()).or_insert(0) += 1;
+        let mut plain: Vec<String> = Vec::with_capacity(dedup.n_distinct());
+        let all_plain = dedup.distinct.iter().all(|v| match v.to_plain() {
+            Some(s) if !s.is_empty() => {
+                plain.push(s);
+                true
             }
-            let distinct = counts.len();
+            _ => false,
+        });
+        if all_plain {
+            let distinct = plain.len();
             if (2..=cfg.build.disj_max_alts).contains(&distinct)
                 && n >= 2 * distinct
-                && counts.values().filter(|&&c| c >= 2).count() * 10 >= distinct * 8
+                && dedup.counts.iter().filter(|&&c| c >= 2).count() * 10 >= distinct * 8
             {
-                categorical = Some(Pattern::disj(counts.keys().map(|s| s.to_string())));
+                categorical = Some(Pattern::disj(plain));
             }
         }
     }
 
-    // 1. Tokenize + period-collapse + group by unit signature.
+    // 1. Tokenize + period-collapse once per *distinct* value; rows are
+    // still grouped (and group stats absorbed) in row order, so the result
+    // is byte-identical to tokenizing every row — duplicates just reuse
+    // their distinct value's atoms.
+    let mut shapes: Vec<Option<DistinctShape>> = (0..dedup.n_distinct()).map(|_| None).collect();
     let mut groups: HashMap<Vec<AtomKind>, GroupProfile> = HashMap::new();
     for (row, value) in values.iter().enumerate() {
-        let atoms = tokenize(value);
-        let sig = signature(&atoms);
-        let (p, k) = smallest_period(&sig);
-        let key: Vec<AtomKind> = sig[..p].to_vec();
-        match groups.get_mut(&key) {
-            Some(g) => g.absorb_value(&atoms, p, k, row),
+        let shape = shapes[dedup.row_to_distinct[row]].get_or_insert_with(|| {
+            let atoms = tokenize(value);
+            let sig = signature(&atoms);
+            let (p, k) = smallest_period(&sig);
+            let key: Vec<AtomKind> = sig[..p].to_vec();
+            DistinctShape { atoms, key, p, k }
+        });
+        match groups.get_mut(&shape.key) {
+            Some(g) => g.absorb_value(&shape.atoms, shape.p, shape.k, row),
             None => {
-                groups.insert(key, GroupProfile::seed(&atoms, p, k, row));
+                groups.insert(
+                    shape.key.clone(),
+                    GroupProfile::seed(&shape.atoms, shape.p, shape.k, row),
+                );
             }
         }
     }
@@ -256,6 +273,15 @@ fn record_profile_telemetry(profile: &ColumnProfile, dedup: &MaskedPool, event: 
     }
 }
 
+/// One distinct value's tokenization, computed once and shared by every
+/// row carrying the value.
+struct DistinctShape {
+    atoms: Vec<Atom>,
+    key: Vec<AtomKind>,
+    p: usize,
+    k: usize,
+}
+
 /// Distinct masked values plus the row → distinct map: membership is a pure
 /// function of the value, so the coverage scorer evaluates each *distinct*
 /// value once and expands hits back to rows (weighted by multiplicity, i.e.
@@ -268,6 +294,11 @@ fn record_profile_telemetry(profile: &ColumnProfile, dedup: &MaskedPool, event: 
 pub struct MaskedPool {
     distinct: Vec<MaskedString>,
     row_to_distinct: Vec<usize>,
+    /// Rows carrying each distinct value (multiplicity).
+    counts: Vec<usize>,
+    /// The distinct set packed into one contiguous byte buffer, when every
+    /// value is pure mask-free ASCII — the batched DFA fast path's input.
+    ascii: Option<AsciiBatch>,
 }
 
 impl MaskedPool {
@@ -275,17 +306,23 @@ impl MaskedPool {
     pub fn new(values: &[MaskedString]) -> MaskedPool {
         let mut index: HashMap<&MaskedString, usize> = HashMap::new();
         let mut distinct: Vec<MaskedString> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
         let mut row_to_distinct: Vec<usize> = Vec::with_capacity(values.len());
         for v in values {
             let di = *index.entry(v).or_insert_with(|| {
                 distinct.push(v.clone());
+                counts.push(0);
                 distinct.len() - 1
             });
+            counts[di] += 1;
             row_to_distinct.push(di);
         }
+        let ascii = AsciiBatch::from_values(&distinct);
         MaskedPool {
             distinct,
             row_to_distinct,
+            counts,
+            ascii,
         }
     }
 
@@ -299,11 +336,19 @@ impl MaskedPool {
         self.distinct.len()
     }
 
+    /// Did the distinct set pack into the contiguous ASCII fast-path
+    /// buffer? (False whenever any value carries a mask token or a
+    /// non-ASCII character.)
+    pub fn ascii_packed(&self) -> bool {
+        self.ascii.is_some()
+    }
+
     /// Row indices the pattern accepts, via the configured matcher.
     ///
-    /// The DFA fast path batches one membership test per distinct value;
-    /// the NFA oracle deliberately stays per-row, so the engines'
-    /// differential comparison also covers the dedup-and-expand step.
+    /// The DFA fast path batches one membership test per distinct value —
+    /// stepping raw bytes when the distinct set packed as ASCII; the NFA
+    /// oracle deliberately stays per-row, so the engines' differential
+    /// comparison also covers the dedup-and-expand and ASCII-packing steps.
     fn member_rows(
         &self,
         compiled: &CompiledPattern,
@@ -312,7 +357,13 @@ impl MaskedPool {
     ) -> Vec<usize> {
         match engine {
             MatchEngine::Dfa => {
-                let hits = compiled.matches_many(&self.distinct);
+                let hits = match &self.ascii {
+                    Some(batch) => {
+                        telemetry::counter("profile.ascii_batch_values", batch.len() as u64);
+                        compiled.matches_many_ascii(batch)
+                    }
+                    None => compiled.matches_many(&self.distinct),
+                };
                 self.row_to_distinct
                     .iter()
                     .enumerate()

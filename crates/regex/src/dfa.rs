@@ -38,6 +38,67 @@ use crate::ast::{TNode, TaggedPattern};
 use crate::nfa::{Nfa, NfaLabel};
 use crate::token::{MaskId, MaskedString, Tok};
 
+/// A column of pure-ASCII, mask-free values packed into one contiguous byte
+/// buffer plus offsets — the input of the batched DFA fast path.
+///
+/// Packing succeeds only when *every* token of every value is an ASCII
+/// `Tok::Char`; any mask token or non-ASCII character makes
+/// [`AsciiBatch::from_values`] return `None` and the caller falls back to
+/// the per-value token path. For ASCII values byte count = token count, so
+/// min-length prefilters behave identically on both paths.
+#[derive(Debug, Clone, Default)]
+pub struct AsciiBatch {
+    /// Every value's bytes, back to back.
+    bytes: Vec<u8>,
+    /// Exclusive end offset of value `i`; its start is `ends[i-1]` (or 0).
+    ends: Vec<u32>,
+}
+
+impl AsciiBatch {
+    /// Packs a column of masked strings, or `None` if any value contains a
+    /// mask token or a non-ASCII character.
+    pub fn from_values(values: &[MaskedString]) -> Option<AsciiBatch> {
+        let total: usize = values.iter().map(MaskedString::len).sum();
+        if total > u32::MAX as usize {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(total);
+        let mut ends = Vec::with_capacity(values.len());
+        for v in values {
+            for &tok in v.toks() {
+                match tok {
+                    Tok::Char(c) if c.is_ascii() => bytes.push(c as u8),
+                    _ => return None,
+                }
+            }
+            ends.push(bytes.len() as u32);
+        }
+        Some(AsciiBatch { bytes, ends })
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True when no values are packed.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Total packed bytes (telemetry).
+    pub fn n_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The byte slice of value `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.bytes[start..self.ends[i] as usize]
+    }
+}
+
 /// Default cap on discovered DFA states before falling back to the NFA.
 ///
 /// Learned profiles are small (tens of NFA states), so real patterns
@@ -338,6 +399,53 @@ impl Dfa {
         out
     }
 
+    /// Batch membership over a packed ASCII column: one memo-table lock for
+    /// the whole batch, dense rows stepped directly over `u8` class codes —
+    /// no per-value token materialization. Exact: same answers as
+    /// [`Dfa::matches_many`] on the equivalent `MaskedString`s (ASCII bytes
+    /// hit the same `alphabet.ascii` classes the token path resolves
+    /// per-char), which the differential suite proves on >10k cases.
+    pub fn matches_ascii(&self, batch: &AsciiBatch, min_len: usize) -> Vec<bool> {
+        let mut guard = if self.overflowed.load(Ordering::Relaxed) {
+            None
+        } else {
+            Some(self.tables.lock().expect("dfa tables poisoned"))
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        // Token scratch for the (rare) NFA fallback: reused across values.
+        let mut toks: Vec<Tok> = Vec::new();
+        for i in 0..batch.len() {
+            let bytes = batch.value(i);
+            if bytes.len() < min_len {
+                out.push(false);
+                continue;
+            }
+            let outcome = match guard.as_mut() {
+                Some(tables) => self.run_ascii(tables, bytes),
+                None => Some(self.nfa_ascii(bytes, &mut toks)),
+            };
+            match outcome {
+                Some(accepted) => out.push(accepted),
+                None => {
+                    // Overflow mid-batch: release the lock and finish the
+                    // remaining values on the NFA.
+                    self.overflowed.store(true, Ordering::Relaxed);
+                    guard = None;
+                    out.push(self.nfa_ascii(bytes, &mut toks));
+                }
+            }
+        }
+        out
+    }
+
+    /// NFA fallback for one packed ASCII value (rebuilds tokens into the
+    /// shared scratch buffer).
+    fn nfa_ascii(&self, bytes: &[u8], toks: &mut Vec<Tok>) -> bool {
+        toks.clear();
+        toks.extend(bytes.iter().map(|&b| Tok::Char(b as char)));
+        self.flat.matches(toks)
+    }
+
     /// Has the state budget been exceeded (all queries now NFA-backed)?
     pub fn overflowed(&self) -> bool {
         self.overflowed.load(Ordering::Relaxed)
@@ -365,6 +473,27 @@ impl Dfa {
             if next == UNEXPLORED {
                 next = self.explore(tables, state, cls)?;
                 tables.trans[state as usize * n_classes + cls as usize] = next;
+            }
+            if next == DEAD {
+                return Some(false);
+            }
+            state = next;
+        }
+        Some(tables.accept[state as usize])
+    }
+
+    /// [`Dfa::run`] over raw ASCII bytes: class lookup is one array index
+    /// per byte instead of a `Tok` match + hash-map fallback.
+    fn run_ascii(&self, tables: &mut Tables, bytes: &[u8]) -> Option<bool> {
+        let n_classes = self.alphabet.n_classes();
+        let mut state = START;
+        for &b in bytes {
+            let cls = self.alphabet.ascii[b as usize];
+            let slot = state as usize * n_classes + cls as usize;
+            let mut next = tables.trans[slot];
+            if next == UNEXPLORED {
+                next = self.explore(tables, state, cls)?;
+                tables.trans[slot] = next;
             }
             if next == DEAD {
                 return Some(false);

@@ -33,6 +33,7 @@ mod unroll;
 pub use ast::{AtomId, AtomKey, Pattern};
 pub use class::CharClass;
 pub use dag::{Dag, DagEdge, DagLabel};
+pub use dfa::AsciiBatch;
 pub use display::render;
 pub use edit_distance::{levenshtein, levenshtein_toks, levenshtein_within};
 pub use intersect::{

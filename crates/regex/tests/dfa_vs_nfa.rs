@@ -11,16 +11,21 @@
 //! 2. the same comparison against a tiny-budget compile, so the overflow
 //!    fallback path answers a large share of the queries;
 //! 3. an exhaustive sweep of hand-picked corner patterns against *all*
-//!    strings up to length 6 over a small alphabet.
+//!    strings up to length 6 over a small alphabet;
+//! 4. the packed-byte ASCII batch path (`matches_many_ascii`) against both
+//!    the per-value token path and the NFA oracle, again under roomy and
+//!    starved budgets, plus deterministic checks that masks and non-ASCII
+//!    characters refuse to pack.
 //!
 //! Together these run well over 10 000 membership comparisons per suite
-//! execution (see `case_volume_is_at_least_10k`, which counts them).
+//! execution (see `case_volume_is_at_least_10k` and
+//! `ascii_case_volume_is_at_least_10k`, which count them).
 
 use std::cell::Cell;
 
 use proptest::prelude::*;
 
-use datavinci_regex::{CharClass, CompiledPattern, MaskId, MaskedString, Pattern, Tok};
+use datavinci_regex::{AsciiBatch, CharClass, CompiledPattern, MaskId, MaskedString, Pattern, Tok};
 
 thread_local! {
     /// Comparisons executed by the helper below (per test thread).
@@ -41,6 +46,41 @@ fn assert_agree(compiled: &CompiledPattern, value: &MaskedString) -> Result<bool
         compiled.dfa_overflowed()
     );
     Ok(dfa)
+}
+
+/// True iff every token is a plain ASCII character — the precondition for
+/// `AsciiBatch::from_values` to pack the column.
+fn is_ascii_chars(v: &MaskedString) -> bool {
+    v.toks()
+        .iter()
+        .all(|t| matches!(t, Tok::Char(c) if c.is_ascii()))
+}
+
+/// Packs `values`, then asserts the byte path, the token path, and the NFA
+/// oracle all return the same verdict vector.
+fn assert_batch_agrees(
+    compiled: &CompiledPattern,
+    values: &[MaskedString],
+) -> Result<(), TestCaseError> {
+    let batch = AsciiBatch::from_values(values).expect("ASCII char-only values must pack");
+    let fast = compiled.matches_many_ascii(&batch);
+    let token = compiled.matches_many(values);
+    let oracle: Vec<bool> = values.iter().map(|v| compiled.matches_nfa(v)).collect();
+    COMPARISONS.with(|c| c.set(c.get() + values.len() as u64));
+    prop_assert_eq!(
+        &fast,
+        &token,
+        "byte path vs token path for pattern {}",
+        compiled.pattern()
+    );
+    prop_assert_eq!(
+        &fast,
+        &oracle,
+        "byte path vs NFA oracle for pattern {} (overflowed: {})",
+        compiled.pattern(),
+        compiled.dfa_overflowed()
+    );
+    Ok(())
 }
 
 /// Pattern generator: literals, classes, masks, disjunctions, concats,
@@ -86,6 +126,17 @@ fn arb_value() -> impl Strategy<Value = MaskedString> {
         "[A-D0-3]".prop_map(|s| Tok::Char(s.chars().next().expect("one char"))),
         "[-. oxOX]".prop_map(|s| Tok::Char(s.chars().next().expect("one char"))),
         (0u16..3).prop_map(|m| Tok::Mask(MaskId(m))),
+    ];
+    prop::collection::vec(tok, 0..14).prop_map(MaskedString::from_toks)
+}
+
+/// Like `arb_value`, but mask-free: every token is an ASCII char, so the
+/// vector always packs into an `AsciiBatch`.
+fn arb_ascii_value() -> impl Strategy<Value = MaskedString> {
+    let tok = prop_oneof![
+        "[a-d]".prop_map(|s| Tok::Char(s.chars().next().expect("one char"))),
+        "[A-D0-3]".prop_map(|s| Tok::Char(s.chars().next().expect("one char"))),
+        "[-. oxOX]".prop_map(|s| Tok::Char(s.chars().next().expect("one char"))),
     ];
     prop::collection::vec(tok, 0..14).prop_map(MaskedString::from_toks)
 }
@@ -239,6 +290,40 @@ proptest! {
             assert_agree(&compiled, v)?;
         }
     }
+
+    /// Random patterns × packed ASCII columns: the byte path must answer
+    /// exactly like the token path and the NFA oracle.
+    #[test]
+    fn ascii_batch_agrees_on_random_values(
+        pattern in arb_pattern(),
+        values in prop::collection::vec(arb_ascii_value(), 16),
+    ) {
+        let compiled = CompiledPattern::compile(pattern);
+        assert_batch_agrees(&compiled, &values)?;
+    }
+
+    /// A budget of 2 overflows mid-batch, so most of each batch runs on the
+    /// byte-level NFA fallback — which must still agree. Members and their
+    /// ASCII mutants ride along when the sampled member is mask-free.
+    #[test]
+    fn ascii_batch_overbudget_fallback_agrees(
+        pattern in arb_pattern(),
+        values in prop::collection::vec(arb_ascii_value(), 12),
+        picks in prop::collection::vec(0usize..97, 24),
+    ) {
+        let compiled = CompiledPattern::compile_with_dfa_budget(pattern, 2);
+        let member = sample_member(compiled.pattern(), &picks);
+        let mut batch_values = values;
+        if member.len() <= 40 && is_ascii_chars(&member) {
+            batch_values.extend(
+                mutants(&member, &picks[..6])
+                    .into_iter()
+                    .filter(is_ascii_chars),
+            );
+            batch_values.push(member);
+        }
+        assert_batch_agrees(&compiled, &batch_values)?;
+    }
 }
 
 /// Corner patterns (epsilon-heavy, overlapping disjunctions, masks) swept
@@ -327,5 +412,61 @@ fn case_volume_is_at_least_10k() {
     assert!(
         total >= 10_000,
         "differential property tests ran only {total} comparisons"
+    );
+}
+
+/// Mask tokens and non-ASCII characters must refuse to pack — one offending
+/// value anywhere poisons the whole column, forcing the per-value token
+/// path the profiler falls back to.
+#[test]
+fn ascii_batch_rejects_masks_and_non_ascii() {
+    let masked = MaskedString::from_toks(vec![Tok::Char('a'), Tok::Mask(MaskId(0))]);
+    assert!(AsciiBatch::from_values(std::slice::from_ref(&masked)).is_none());
+
+    let naive = MaskedString::from_toks("naïve".chars().map(Tok::Char).collect::<Vec<_>>());
+    assert!(AsciiBatch::from_values(std::slice::from_ref(&naive)).is_none());
+
+    let plain = MaskedString::from_toks(vec![Tok::Char('x'), Tok::Char('7')]);
+    assert!(AsciiBatch::from_values(&[plain.clone(), masked]).is_none());
+    assert!(AsciiBatch::from_values(&[plain.clone(), naive]).is_none());
+    assert!(AsciiBatch::from_values(std::slice::from_ref(&plain)).is_some());
+}
+
+/// Empty batches, empty values, and the min-length prefilter all behave
+/// identically to the token path.
+#[test]
+fn ascii_batch_handles_empty_values_and_min_len() {
+    let compiled = CompiledPattern::compile(Pattern::lit("abc"));
+
+    let empty = AsciiBatch::from_values(&[]).expect("empty slice packs");
+    assert_eq!(compiled.matches_many_ascii(&empty), Vec::<bool>::new());
+
+    let values: Vec<MaskedString> = ["", "ab", "abc", "abcd", ""]
+        .iter()
+        .map(|s| MaskedString::from_toks(s.chars().map(Tok::Char).collect::<Vec<_>>()))
+        .collect();
+    let batch = AsciiBatch::from_values(&values).expect("ASCII values pack");
+    assert_eq!(batch.len(), values.len());
+    assert_eq!(
+        compiled.matches_many_ascii(&batch),
+        compiled.matches_many(&values)
+    );
+    assert_eq!(
+        compiled.matches_many_ascii(&batch),
+        vec![false, false, true, false, false]
+    );
+}
+
+/// The ASCII-batch property tests must clear 10k comparisons on their own —
+/// the fast path's evidence can't silently shrink either.
+#[test]
+fn ascii_case_volume_is_at_least_10k() {
+    COMPARISONS.with(|c| c.set(0));
+    ascii_batch_agrees_on_random_values();
+    ascii_batch_overbudget_fallback_agrees();
+    let total = COMPARISONS.with(Cell::get);
+    assert!(
+        total >= 10_000,
+        "ASCII batch property tests ran only {total} comparisons"
     );
 }

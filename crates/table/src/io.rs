@@ -20,6 +20,7 @@
 //! Malformed input produces a positioned [`CsvError`] (1-based line number
 //! of the offending record) instead of an opaque `None`.
 
+use std::borrow::Cow;
 use std::ops::Range;
 
 use datavinci_telemetry as telemetry;
@@ -152,6 +153,19 @@ impl CsvChunkReader {
     /// ended inside it. A multi-byte UTF-8 code point split across the
     /// chunk boundary is reassembled internally.
     pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<Vec<String>>, CsvError> {
+        Ok(own_rows(self.push_cow(chunk)?))
+    }
+
+    /// [`CsvChunkReader::push`] for text chunks.
+    pub fn push_str(&mut self, chunk: &str) -> Result<Vec<Vec<String>>, CsvError> {
+        Ok(own_rows(self.push_str_cow(chunk)?))
+    }
+
+    /// Zero-copy variant of [`CsvChunkReader::push`]: fields of records
+    /// fully contained in `chunk` that needed no quote/CRLF rewrite come
+    /// back as `Cow::Borrowed` slices of `chunk`; only quoted fields and
+    /// records spanning a chunk boundary are materialized.
+    pub fn push_cow<'a>(&mut self, chunk: &'a [u8]) -> Result<Vec<Vec<Cow<'a, str>>>, CsvError> {
         // Re-join a code point split across the previous boundary: move
         // bytes from the chunk onto the carry until it decodes or is
         // provably invalid.
@@ -164,7 +178,14 @@ impl CsvChunkReader {
                 Ok(s) => {
                     let s = s.to_owned();
                     self.utf8_carry.clear();
-                    rows.extend(self.push_str(&s)?);
+                    // A multi-byte code point is never a record terminator,
+                    // so this yields no rows; own any that do appear for
+                    // lifetime independence from the local buffer.
+                    rows.extend(own_rows(self.push_str_cow(&s)?).into_iter().map(|row| {
+                        row.into_iter()
+                            .map(Cow::Owned)
+                            .collect::<Vec<Cow<'a, str>>>()
+                    }));
                     break;
                 }
                 Err(e) if e.error_len().is_none() => continue, // still incomplete
@@ -174,7 +195,7 @@ impl CsvChunkReader {
             }
         }
         match std::str::from_utf8(rest) {
-            Ok(s) => rows.extend(self.push_str(s)?),
+            Ok(s) => rows.extend(self.push_str_cow(s)?),
             Err(e) => {
                 let (valid, tail) = rest.split_at(e.valid_up_to());
                 if e.error_len().is_some() || tail.len() >= 4 {
@@ -183,45 +204,88 @@ impl CsvChunkReader {
                 // An incomplete trailing code point: carry it to the next
                 // chunk.
                 let valid = std::str::from_utf8(valid).expect("valid prefix");
-                rows.extend(self.push_str(valid)?);
+                rows.extend(self.push_str_cow(valid)?);
                 self.utf8_carry.extend_from_slice(tail);
             }
         }
         Ok(rows)
     }
 
-    /// [`CsvChunkReader::push`] for text chunks.
-    pub fn push_str(&mut self, chunk: &str) -> Result<Vec<Vec<String>>, CsvError> {
-        // `push` funnels its decoded bytes through here, so this is the one
-        // choke point for ingest volume telemetry.
+    /// [`CsvChunkReader::push_cow`] for text chunks: one pass over the raw
+    /// bytes. Only the four structural bytes (`"`, `,`, `\n`, `\r`) steer
+    /// the scan — all are ASCII, so slicing at their positions is always
+    /// char-boundary-safe — and everything between terminators stays in
+    /// place until a record completes.
+    pub fn push_str_cow<'a>(&mut self, chunk: &'a str) -> Result<Vec<Vec<Cow<'a, str>>>, CsvError> {
+        // `push_cow` funnels its decoded bytes through here, so this is the
+        // one choke point for ingest volume telemetry.
         telemetry::counter("ingest.bytes", chunk.len() as u64);
+        let bytes = chunk.as_bytes();
         let mut rows = Vec::new();
-        for ch in chunk.chars() {
-            if self.pending_cr {
-                self.pending_cr = false;
-                if ch == '\n' {
-                    // CRLF line ending: the \r was a terminator, not data.
-                    self.end_record(&mut rows)?;
-                    continue;
-                }
-                // A bare \r is data; keep it and fall through to `ch`.
+        let mut i = 0;
+        if self.pending_cr && !bytes.is_empty() {
+            self.pending_cr = false;
+            if bytes[0] == b'\n' {
+                // CRLF split across the chunk boundary: the \r was a
+                // terminator, not data.
+                i = 1;
+                self.emit("", &mut rows)?;
+            } else {
+                // A bare \r is data.
                 self.cur.push('\r');
             }
-            match ch {
-                '"' => {
-                    self.in_quotes = !self.in_quotes;
-                    self.cur.push(ch);
-                }
-                '\n' if !self.in_quotes => self.end_record(&mut rows)?,
-                '\r' if !self.in_quotes => self.pending_cr = true,
-                '\n' => {
+        }
+        let mut rec_start = i;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if self.in_quotes {
+                match b {
+                    b'"' => self.in_quotes = false,
                     // Quoted newline: part of the value, but still a
                     // physical line for diagnostics.
-                    self.line += 1;
-                    self.cur.push(ch);
+                    b'\n' => self.line += 1,
+                    _ => {}
                 }
-                _ => self.cur.push(ch),
+                i += 1;
+            } else {
+                match b {
+                    b'"' => {
+                        self.in_quotes = true;
+                        i += 1;
+                    }
+                    b'\n' => {
+                        self.emit(&chunk[rec_start..i], &mut rows)?;
+                        i += 1;
+                        rec_start = i;
+                    }
+                    b'\r' => {
+                        if i + 1 < bytes.len() {
+                            if bytes[i + 1] == b'\n' {
+                                // CRLF line ending: neither byte is data.
+                                self.emit(&chunk[rec_start..i], &mut rows)?;
+                                i += 2;
+                                rec_start = i;
+                            } else {
+                                // A bare \r is data; it stays in the slice.
+                                i += 1;
+                            }
+                        } else {
+                            // Chunk ends in \r: it may pair with a \n in
+                            // the next chunk, so carry the partial record
+                            // and remember the \r as a flag, not data.
+                            self.cur.push_str(&chunk[rec_start..i]);
+                            self.pending_cr = true;
+                            i += 1;
+                            rec_start = i;
+                        }
+                    }
+                    _ => i += 1,
+                }
             }
+        }
+        if rec_start < bytes.len() {
+            // Unterminated tail: buffer it for the next chunk.
+            self.cur.push_str(&chunk[rec_start..]);
         }
         if !rows.is_empty() {
             telemetry::counter("ingest.rows", rows.len() as u64);
@@ -247,24 +311,36 @@ impl CsvChunkReader {
         }
         let mut rows = Vec::new();
         if !self.cur.is_empty() {
-            self.end_record(&mut rows)?;
+            self.emit("", &mut rows)?;
         }
         if !rows.is_empty() {
             telemetry::counter("ingest.rows", rows.len() as u64);
         }
-        Ok(rows)
+        Ok(own_rows(rows))
     }
 
-    /// Completes the current record: the first becomes the header, the rest
-    /// are validated against it and returned as rows.
-    fn end_record(&mut self, rows: &mut Vec<Vec<String>>) -> Result<(), CsvError> {
-        let record = std::mem::take(&mut self.cur);
+    /// Completes the record whose final (possibly empty) segment within the
+    /// current chunk is `tail`: the first record becomes the header, the
+    /// rest are validated against it and returned as rows. A record with no
+    /// carried prefix splits straight off the chunk (borrowing unquoted
+    /// fields); one that spans chunks goes through the owned buffer.
+    fn emit<'a>(
+        &mut self,
+        tail: &'a str,
+        rows: &mut Vec<Vec<Cow<'a, str>>>,
+    ) -> Result<(), CsvError> {
         let at_line = self.record_line;
         self.line += 1;
         self.record_line = self.line;
-        let fields = split_fields(&record);
+        let fields: Vec<Cow<'a, str>> = if self.cur.is_empty() {
+            split_fields_cow(tail)
+        } else {
+            self.cur.push_str(tail);
+            let record = std::mem::take(&mut self.cur);
+            split_fields(&record).into_iter().map(Cow::Owned).collect()
+        };
         match &self.header {
-            None => self.header = Some(fields),
+            None => self.header = Some(fields.into_iter().map(Cow::into_owned).collect()),
             Some(header) => {
                 if fields.len() != header.len() {
                     return Err(CsvError {
@@ -290,14 +366,20 @@ impl CsvChunkReader {
     }
 }
 
+fn own_rows(rows: Vec<Vec<Cow<'_, str>>>) -> Vec<Vec<String>> {
+    rows.into_iter()
+        .map(|row| row.into_iter().map(Cow::into_owned).collect())
+        .collect()
+}
+
 /// Builds a [`Table`] from a header and field rows (each row must have one
 /// field per header entry — [`CsvChunkReader`] guarantees this). Cells are
 /// parsed spreadsheet-style (see [`CellValue::parse`]).
-pub fn rows_to_table(header: &[String], rows: &[Vec<String>]) -> Table {
+pub fn rows_to_table<S: AsRef<str>>(header: &[String], rows: &[Vec<S>]) -> Table {
     let mut cols: Vec<Vec<CellValue>> = vec![Vec::with_capacity(rows.len()); header.len()];
     for row in rows {
         for (c, field) in row.iter().enumerate() {
-            cols[c].push(CellValue::parse(field));
+            cols[c].push(CellValue::parse(field.as_ref()));
         }
     }
     Table::new(
@@ -314,16 +396,38 @@ pub fn rows_to_table(header: &[String], rows: &[Vec<String>]) -> Table {
 /// All cells are parsed spreadsheet-style (see [`CellValue::parse`]).
 /// Ragged rows, unclosed quotes, and missing headers yield a positioned
 /// [`CsvError`] naming the offending line.
+///
+/// The whole text is one chunk, so every unquoted field is borrowed
+/// straight from `text` and cells are parsed into their columns without an
+/// intermediate per-record `Vec<String>`.
 pub fn parse_csv(text: &str) -> Result<Table, CsvError> {
     let _span = telemetry::span("ingest.parse_csv");
     let mut reader = CsvChunkReader::new();
-    let mut rows = reader.push_str(text)?;
-    rows.extend(reader.finish()?);
-    let header = reader.header.ok_or(CsvError {
+    let rows = reader.push_str_cow(text)?;
+    let tail = reader.finish()?;
+    let header = reader.header.take().ok_or(CsvError {
         line: 1,
         kind: CsvErrorKind::MissingHeader,
     })?;
-    Ok(rows_to_table(&header, &rows))
+    let n_rows = rows.len() + tail.len();
+    let mut cols: Vec<Vec<CellValue>> = vec![Vec::with_capacity(n_rows); header.len()];
+    for row in &rows {
+        for (c, field) in row.iter().enumerate() {
+            cols[c].push(CellValue::parse(field));
+        }
+    }
+    for row in &tail {
+        for (c, field) in row.iter().enumerate() {
+            cols[c].push(CellValue::parse(field));
+        }
+    }
+    Ok(Table::new(
+        header
+            .into_iter()
+            .zip(cols)
+            .map(|(name, values)| Column::new(name, values))
+            .collect(),
+    ))
 }
 
 /// Renders a table to CSV text with a header row.
@@ -389,6 +493,237 @@ fn split_fields(record: &str) -> Vec<String> {
     }
     fields.push(cur);
     fields
+}
+
+/// [`split_fields`] for the zero-copy path: fields without a quote are
+/// returned as borrowed slices of `record`; quoted fields get the same
+/// per-field unquoting as the owned splitter (each field's quote state
+/// starts closed, because commas only split outside quotes).
+fn split_fields_cow(record: &str) -> Vec<Cow<'_, str>> {
+    let bytes = record.as_bytes();
+    let mut fields = Vec::new();
+    let mut start = 0;
+    let mut has_quote = false;
+    let mut in_quotes = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => {
+                in_quotes = !in_quotes;
+                has_quote = true;
+            }
+            b',' if !in_quotes => {
+                fields.push(finish_field(&record[start..i], has_quote));
+                has_quote = false;
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    fields.push(finish_field(&record[start..], has_quote));
+    fields
+}
+
+fn finish_field(raw: &str, has_quote: bool) -> Cow<'_, str> {
+    if has_quote {
+        Cow::Owned(unquote_field(raw))
+    } else {
+        Cow::Borrowed(raw)
+    }
+}
+
+/// Strips the quoting from one raw field, collapsing doubled quotes —
+/// byte-for-byte the treatment a single field receives inside
+/// [`split_fields`].
+fn unquote_field(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if ch == '"' {
+            if in_quotes {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    out.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                in_quotes = true;
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// The pre-zero-copy char-at-a-time reader, retained verbatim as the
+/// differential oracle: `tests/csv_roundtrip.rs` and the `hotpath` bench
+/// prove the borrowing scanner byte-identical to it on every input they
+/// generate. Not instrumented — telemetry counts only the live path.
+pub mod reference {
+    use super::{split_fields, CsvError, CsvErrorKind, Table};
+
+    /// The old resumable chunk reader (owned `String` fields throughout).
+    #[derive(Debug, Default)]
+    pub struct CsvChunkReader {
+        cur: String,
+        in_quotes: bool,
+        pending_cr: bool,
+        utf8_carry: Vec<u8>,
+        line: usize,
+        record_line: usize,
+        header: Option<Vec<String>>,
+        n_rows: usize,
+    }
+
+    impl CsvChunkReader {
+        /// A fresh oracle reader.
+        pub fn new() -> CsvChunkReader {
+            CsvChunkReader {
+                line: 1,
+                record_line: 1,
+                ..CsvChunkReader::default()
+            }
+        }
+
+        /// The header record, if one complete record has been read.
+        pub fn header(&self) -> Option<&[String]> {
+            self.header.as_deref()
+        }
+
+        /// Number of complete data rows yielded so far.
+        pub fn n_rows(&self) -> usize {
+            self.n_rows
+        }
+
+        /// Consumes one byte chunk (see the live reader's `push`).
+        pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<Vec<String>>, CsvError> {
+            let mut rows = Vec::new();
+            let mut rest = chunk;
+            while !self.utf8_carry.is_empty() && !rest.is_empty() {
+                self.utf8_carry.push(rest[0]);
+                rest = &rest[1..];
+                match std::str::from_utf8(&self.utf8_carry) {
+                    Ok(s) => {
+                        let s = s.to_owned();
+                        self.utf8_carry.clear();
+                        rows.extend(self.push_str(&s)?);
+                        break;
+                    }
+                    Err(e) if e.error_len().is_none() => continue,
+                    Err(_) => {
+                        return Err(self.error(CsvErrorKind::InvalidUtf8));
+                    }
+                }
+            }
+            match std::str::from_utf8(rest) {
+                Ok(s) => rows.extend(self.push_str(s)?),
+                Err(e) => {
+                    let (valid, tail) = rest.split_at(e.valid_up_to());
+                    if e.error_len().is_some() || tail.len() >= 4 {
+                        return Err(self.error(CsvErrorKind::InvalidUtf8));
+                    }
+                    let valid = std::str::from_utf8(valid).expect("valid prefix");
+                    rows.extend(self.push_str(valid)?);
+                    self.utf8_carry.extend_from_slice(tail);
+                }
+            }
+            Ok(rows)
+        }
+
+        /// Consumes one text chunk (see the live reader's `push_str`).
+        pub fn push_str(&mut self, chunk: &str) -> Result<Vec<Vec<String>>, CsvError> {
+            let mut rows = Vec::new();
+            for ch in chunk.chars() {
+                if self.pending_cr {
+                    self.pending_cr = false;
+                    if ch == '\n' {
+                        self.end_record(&mut rows)?;
+                        continue;
+                    }
+                    self.cur.push('\r');
+                }
+                match ch {
+                    '"' => {
+                        self.in_quotes = !self.in_quotes;
+                        self.cur.push(ch);
+                    }
+                    '\n' if !self.in_quotes => self.end_record(&mut rows)?,
+                    '\r' if !self.in_quotes => self.pending_cr = true,
+                    '\n' => {
+                        self.line += 1;
+                        self.cur.push(ch);
+                    }
+                    _ => self.cur.push(ch),
+                }
+            }
+            Ok(rows)
+        }
+
+        /// Flushes end-of-input state (see the live reader's `finish`).
+        pub fn finish(&mut self) -> Result<Vec<Vec<String>>, CsvError> {
+            if !self.utf8_carry.is_empty() {
+                return Err(self.error(CsvErrorKind::InvalidUtf8));
+            }
+            if self.in_quotes {
+                return Err(self.error(CsvErrorKind::UnclosedQuote));
+            }
+            if self.pending_cr {
+                self.pending_cr = false;
+                self.cur.push('\r');
+            }
+            let mut rows = Vec::new();
+            if !self.cur.is_empty() {
+                self.end_record(&mut rows)?;
+            }
+            Ok(rows)
+        }
+
+        fn end_record(&mut self, rows: &mut Vec<Vec<String>>) -> Result<(), CsvError> {
+            let record = std::mem::take(&mut self.cur);
+            let at_line = self.record_line;
+            self.line += 1;
+            self.record_line = self.line;
+            let fields = split_fields(&record);
+            match &self.header {
+                None => self.header = Some(fields),
+                Some(header) => {
+                    if fields.len() != header.len() {
+                        return Err(CsvError {
+                            line: at_line,
+                            kind: CsvErrorKind::Ragged {
+                                expected: header.len(),
+                                got: fields.len(),
+                            },
+                        });
+                    }
+                    self.n_rows += 1;
+                    rows.push(fields);
+                }
+            }
+            Ok(())
+        }
+
+        fn error(&self, kind: CsvErrorKind) -> CsvError {
+            CsvError {
+                line: self.record_line,
+                kind,
+            }
+        }
+    }
+
+    /// Whole-text parse through the oracle reader.
+    pub fn parse_csv(text: &str) -> Result<Table, CsvError> {
+        let mut reader = CsvChunkReader::new();
+        let mut rows = reader.push_str(text)?;
+        rows.extend(reader.finish()?);
+        let header = reader.header.ok_or(CsvError {
+            line: 1,
+            kind: CsvErrorKind::MissingHeader,
+        })?;
+        Ok(super::rows_to_table(&header, &rows))
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,9 @@
 //! * [`ValuePool`] — distinct-value interning (values, multiplicities, and
 //!   the row → distinct map) behind the repair planner's dedup-and-share
 //!   execution strategy,
+//! * [`StrArena`]/[`ArenaInterner`] — bump-style string storage and exact
+//!   interning, keeping the hot paths at O(distinct) *allocations* rather
+//!   than O(distinct) `String`s,
 //! * a lossless CSV reader/writer in [`io`], built on a resumable
 //!   [`CsvChunkReader`] so files and streams can be ingested chunk by chunk
 //!   with positioned [`CsvError`] diagnostics.
@@ -22,6 +25,7 @@
 //! values such as `#VALUE!` to signal failing executions.
 
 pub mod addr;
+pub mod arena;
 pub mod column;
 pub mod io;
 pub mod pool;
@@ -29,6 +33,7 @@ pub mod table;
 pub mod value;
 
 pub use addr::{CellRef, ColRef};
+pub use arena::{ArenaInterner, ArenaRef, StrArena};
 pub use column::Column;
 pub use io::{CsvChunkReader, CsvError, CsvErrorKind};
 pub use pool::ValuePool;

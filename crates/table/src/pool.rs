@@ -7,24 +7,40 @@
 //! values once so every later stage can compute per *distinct* value and
 //! expand to rows, instead of recomputing per row.
 
+use crate::arena::{ArenaRef, StrArena};
 use crate::column::Column;
 
 /// A column's distinct rendered values, their multiplicities, and the
 /// row → distinct-index map.
 ///
 /// Distinct values are stored sorted ascending, so `distinct_index` lookups
-/// are a binary search and two pools over equal content are structurally
-/// equal. Multiplicities let weighted aggregates (type support, coverage)
-/// reproduce the per-row numbers exactly.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// are a binary search and two pools over equal content compare equal.
+/// Multiplicities let weighted aggregates (type support, coverage)
+/// reproduce the per-row numbers exactly. Distinct text lives in a
+/// [`StrArena`], so interning a column costs O(segments) heap allocations,
+/// not one `String` per distinct value.
+#[derive(Debug, Clone, Default)]
 pub struct ValuePool {
-    /// Sorted distinct values.
-    distinct: Vec<String>,
+    /// Backing storage for the distinct values.
+    arena: StrArena,
+    /// Sorted distinct values (handles into `arena`).
+    distinct: Vec<ArenaRef>,
     /// Multiplicity of each distinct value (aligned with `distinct`).
     counts: Vec<usize>,
     /// For every row, the index of its value in `distinct`.
     row_to_distinct: Vec<usize>,
 }
+
+impl PartialEq for ValuePool {
+    fn eq(&self, other: &ValuePool) -> bool {
+        // Content equality: arena segmentation is an implementation detail.
+        self.counts == other.counts
+            && self.row_to_distinct == other.row_to_distinct
+            && self.iter_distinct().eq(other.iter_distinct())
+    }
+}
+
+impl Eq for ValuePool {}
 
 impl ValuePool {
     /// Interns a slice of rendered values (one per row).
@@ -32,13 +48,14 @@ impl ValuePool {
         // Sort row indices by value, then walk runs of equal values.
         let mut order: Vec<usize> = (0..values.len()).collect();
         order.sort_by(|&a, &b| values[a].as_ref().cmp(values[b].as_ref()));
-        let mut distinct: Vec<String> = Vec::new();
+        let mut arena = StrArena::new();
+        let mut distinct: Vec<ArenaRef> = Vec::new();
         let mut counts: Vec<usize> = Vec::new();
         let mut row_to_distinct = vec![0usize; values.len()];
         for &row in &order {
             let v = values[row].as_ref();
-            if distinct.last().map(String::as_str) != Some(v) {
-                distinct.push(v.to_string());
+            if distinct.last().map(|&r| arena.get(r)) != Some(v) {
+                distinct.push(arena.push(v));
                 counts.push(0);
             }
             let di = distinct.len() - 1;
@@ -46,6 +63,7 @@ impl ValuePool {
             row_to_distinct[row] = di;
         }
         ValuePool {
+            arena,
             distinct,
             counts,
             row_to_distinct,
@@ -67,9 +85,14 @@ impl ValuePool {
         self.row_to_distinct.is_empty()
     }
 
-    /// The sorted distinct values.
-    pub fn distinct(&self) -> &[String] {
-        &self.distinct
+    /// The sorted distinct values, as slices into the pool's arena.
+    pub fn distinct(&self) -> Vec<&str> {
+        self.iter_distinct().collect()
+    }
+
+    /// Iterates the sorted distinct values without collecting them.
+    pub fn iter_distinct(&self) -> impl Iterator<Item = &str> {
+        self.distinct.iter().map(|&r| self.arena.get(r))
     }
 
     /// Multiplicities, aligned with [`ValuePool::distinct`].
@@ -79,7 +102,7 @@ impl ValuePool {
 
     /// The distinct value at `di`.
     pub fn value(&self, di: usize) -> &str {
-        &self.distinct[di]
+        self.arena.get(self.distinct[di])
     }
 
     /// Multiplicity of distinct value `di`.
@@ -100,7 +123,7 @@ impl ValuePool {
     /// The distinct index holding `value`, if present (binary search).
     pub fn index_of(&self, value: &str) -> Option<usize> {
         self.distinct
-            .binary_search_by(|d| d.as_str().cmp(value))
+            .binary_search_by(|&d| self.arena.get(d).cmp(value))
             .ok()
     }
 
@@ -149,24 +172,27 @@ impl ValuePool {
             return self.clone();
         }
         // Intern the appended rows on their own, then merge the two sorted
-        // distinct lists and remap both row maps.
+        // distinct lists into a fresh arena and remap both row maps.
         let tail = ValuePool::from_values(appended);
-        let mut distinct: Vec<String> =
+        let mut arena = StrArena::new();
+        let mut distinct: Vec<ArenaRef> =
             Vec::with_capacity(self.distinct.len() + tail.distinct.len());
         let mut counts: Vec<usize> = Vec::with_capacity(distinct.capacity());
         let mut old_map = vec![0usize; self.distinct.len()];
         let mut new_map = vec![0usize; tail.distinct.len()];
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.distinct.len() || j < tail.distinct.len() {
-            let take_old = match (self.distinct.get(i), tail.distinct.get(j)) {
+            let old_val = (i < self.distinct.len()).then(|| self.value(i));
+            let new_val = (j < tail.distinct.len()).then(|| tail.value(j));
+            let take_old = match (old_val, new_val) {
                 (Some(a), Some(b)) => a <= b,
                 (Some(_), None) => true,
                 (None, _) => false,
             };
             if take_old {
-                let equal = tail.distinct.get(j) == self.distinct.get(i);
+                let equal = new_val == old_val;
                 old_map[i] = distinct.len();
-                distinct.push(self.distinct[i].clone());
+                distinct.push(arena.push(self.value(i)));
                 counts.push(self.counts[i]);
                 if equal {
                     new_map[j] = distinct.len() - 1;
@@ -176,7 +202,7 @@ impl ValuePool {
                 i += 1;
             } else {
                 new_map[j] = distinct.len();
-                distinct.push(tail.distinct[j].clone());
+                distinct.push(arena.push(tail.value(j)));
                 counts.push(tail.counts[j]);
                 j += 1;
             }
@@ -188,6 +214,7 @@ impl ValuePool {
             .chain(tail.row_to_distinct.iter().map(|&di| new_map[di]))
             .collect();
         ValuePool {
+            arena,
             distinct,
             counts,
             row_to_distinct,
@@ -225,8 +252,21 @@ mod tests {
     fn expand_round_trips_values() {
         let values = ["x-1", "y-2", "x-1", "x-1"];
         let pool = ValuePool::from_values(&values);
-        let expanded = pool.expand(pool.distinct());
+        let expanded = pool.expand(&pool.distinct());
         assert_eq!(expanded, values);
+    }
+
+    #[test]
+    fn distinct_text_shares_few_arena_segments() {
+        let values: Vec<String> = (0..500).map(|i| format!("v{:03}", i % 311)).collect();
+        let pool = ValuePool::from_values(&values);
+        assert_eq!(pool.n_distinct(), 311);
+        // All 311 distinct strings fit in one bump segment: O(1) string
+        // allocations for the whole pool, not one per distinct value.
+        assert_eq!(pool.arena.n_segments(), 1);
+        for di in 0..pool.n_distinct() {
+            assert_eq!(pool.index_of(pool.value(di)), Some(di));
+        }
     }
 
     #[test]
