@@ -1,0 +1,214 @@
+//! Warm-start benchmark: cold clean vs warm-from-disk restart vs daemon
+//! round-trip → `BENCH_store.json`.
+//!
+//! The durable artifact store's promise is that a *process restart* costs
+//! almost nothing: the next `datavinci-clean --store DIR` (or the next
+//! daemon boot) reloads fingerprint-keyed artifacts and serves the clean
+//! from cache. This benchmark drives the 120-row end-to-end workload
+//! (`sample_noisy_table(42, 120)`, the same table the hot-path and alloc
+//! budgets measure) through three arms on identical inputs:
+//!
+//! 1. **cold** — a fresh engine per iteration, no store: full pipeline.
+//! 2. **warm** — a fresh engine per iteration that attaches a pre-seeded
+//!    store: load-from-disk + cache-served clean (the restart path).
+//! 3. **serve** — a round-trip through a live `datavinci-serve` daemon
+//!    (in-process, TCP on an ephemeral port) with a warm tenant cache:
+//!    socket + JSON framing + cache-served clean.
+//!
+//! Every A/B pair is identity-asserted (byte-identical reports and
+//! repaired CSV; non-zero exit on divergence), including four concurrent
+//! daemon clients. The ≥×5 warm-vs-cold acceptance target is recorded as
+//! a boolean, not asserted, so a loaded CI machine cannot flake the build.
+//!
+//! Flags: the shared `--smoke`/`--full`/`--seed N` sizing plus
+//! `--out PATH` (default `BENCH_store.json`).
+
+use std::time::Instant;
+
+use datavinci_bench::{arg_after, sample_noisy_table, Cli};
+use datavinci_engine::json::Json;
+use datavinci_engine::serve::roundtrip;
+use datavinci_engine::{ArtifactStore, Engine, EngineConfig, Server, ServerConfig};
+use datavinci_table::{io, Table};
+
+/// Wall-clock of `iters` runs of `f`, in microseconds per iteration.
+fn time_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    started.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn fresh_engine() -> Engine {
+    Engine::with_config(EngineConfig {
+        workers: 1,
+        cache: true,
+        ..EngineConfig::default()
+    })
+}
+
+/// One cold clean: fresh engine, no store.
+fn clean_cold(table: &Table) -> (String, String) {
+    let engine = fresh_engine();
+    let report = engine.clean_table(table);
+    let table_report = report.table_report();
+    (
+        format!("{table_report:#?}"),
+        io::to_csv(&Engine::apply(table, &table_report)),
+    )
+}
+
+/// One restart-warm clean: fresh engine, artifacts loaded from disk.
+/// Returns the canon report, repaired CSV, and the cache hit count.
+fn clean_warm(dir: &std::path::Path, table: &Table) -> (String, String, usize) {
+    let mut engine = fresh_engine();
+    let store = ArtifactStore::open(dir, "default").expect("open store");
+    engine.attach_store(store).expect("attach store");
+    let report = engine.clean_table(table);
+    let table_report = report.table_report();
+    (
+        format!("{table_report:#?}"),
+        io::to_csv(&Engine::apply(table, &table_report)),
+        report.cache_hits(),
+    )
+}
+
+fn clean_request(csv: &str) -> Json {
+    Json::obj()
+        .field("op", Json::str("clean"))
+        .field("csv", Json::str(csv))
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_store.json".to_string());
+    let iters = if cli.full {
+        30
+    } else if cli.smoke {
+        5
+    } else {
+        15
+    };
+
+    // The canonical 120-row e2e workload (seed overridable for soak runs).
+    let table = sample_noisy_table(cli.seed.wrapping_add(40), 120);
+    let csv_in = io::to_csv(&table);
+    // Round-trip through CSV so every arm (the daemon parses CSV text)
+    // sees byte-identical input.
+    let table = io::parse_csv(&csv_in).expect("canonical csv parses");
+
+    // --- Identity gates -------------------------------------------------
+    let (cold_canon, cold_csv) = clean_cold(&table);
+
+    // Seed the store once (a prior process's flush), then restart-warm.
+    let store_dir = std::env::temp_dir().join(format!("dv-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    {
+        let mut seeder = fresh_engine();
+        let store = ArtifactStore::open(&store_dir, "default").expect("open store");
+        seeder.attach_store(store).expect("attach store");
+        seeder.clean_table(&table);
+        seeder.flush_store().expect("flush store");
+    }
+    let (warm_canon, warm_csv, warm_hits) = clean_warm(&store_dir, &table);
+    assert_eq!(
+        warm_canon, cold_canon,
+        "warm-from-disk report diverged from cold"
+    );
+    assert_eq!(warm_csv, cold_csv, "warm-from-disk CSV diverged from cold");
+    let n_cols_cleaned = warm_hits;
+    assert!(
+        n_cols_cleaned > 0,
+        "warm restart must serve at least one column from the store"
+    );
+
+    // Daemon arm: in-process server, warm tenant cache.
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let address = server.address();
+    let server_thread = std::thread::spawn(move || server.run().expect("serve"));
+    let warmup = roundtrip(&address, &clean_request(&csv_in)).expect("daemon warmup");
+    assert_eq!(warmup.get("ok"), Some(&Json::Bool(true)), "{warmup:?}");
+    let serve_csv = warmup
+        .get("csv")
+        .and_then(Json::as_str)
+        .expect("csv in response")
+        .to_string();
+    assert_eq!(serve_csv, cold_csv, "daemon CSV diverged from batch CSV");
+
+    // Concurrent clients: byte-identity must hold under contention.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let address = address.clone();
+            let csv_in = csv_in.clone();
+            std::thread::spawn(move || {
+                roundtrip(&address, &clean_request(&csv_in))
+                    .expect("concurrent clean")
+                    .get("csv")
+                    .and_then(Json::as_str)
+                    .expect("csv in response")
+                    .to_string()
+            })
+        })
+        .collect();
+    for (i, client) in clients.into_iter().enumerate() {
+        assert_eq!(
+            client.join().expect("client thread"),
+            cold_csv,
+            "concurrent client {i} diverged"
+        );
+    }
+
+    // --- Timings --------------------------------------------------------
+    let cold_us = time_us(iters, || clean_cold(&table).0.len());
+    let warm_us = time_us(iters, || clean_warm(&store_dir, &table).0.len());
+    let serve_us = time_us(iters, || {
+        roundtrip(&address, &clean_request(&csv_in))
+            .expect("timed clean")
+            .get("n_repairs")
+            .and_then(Json::as_i64)
+    });
+    let warm_speedup = cold_us / warm_us.max(1e-9);
+    let serve_speedup = cold_us / serve_us.max(1e-9);
+
+    let shutdown = roundtrip(&address, &Json::obj().field("op", Json::str("shutdown")));
+    assert!(shutdown.is_ok(), "daemon shutdown failed: {shutdown:?}");
+    server_thread.join().expect("daemon exits");
+
+    let blob_bytes =
+        std::fs::metadata(std::path::Path::new(&store_dir).join("tenants/default/artifacts.dvs"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    eprintln!(
+        "store bench: {} rows, {n_cols_cleaned} cached columns, {blob_bytes} blob bytes\n  \
+         cold {cold_us:9.1} µs   warm-from-disk {warm_us:9.1} µs   ×{warm_speedup:.2}\n  \
+         cold {cold_us:9.1} µs   daemon         {serve_us:9.1} µs   ×{serve_speedup:.2}",
+        table.n_rows(),
+    );
+
+    let json = Json::obj()
+        .field("benchmark", Json::str("store_warm_start_vs_cold"))
+        .field("seed", Json::Int(cli.seed as i64))
+        .field(
+            "baseline_context",
+            Json::str("fresh-engine cold clean of the 120-row e2e table on identical inputs"),
+        )
+        .field("n_rows", Json::Int(table.n_rows() as i64))
+        .field("n_cols", Json::Int(table.n_cols() as i64))
+        .field("n_cached_columns", Json::Int(n_cols_cleaned as i64))
+        .field("store_blob_bytes", Json::Int(blob_bytes as i64))
+        .field("iters", Json::Int(iters as i64))
+        .field("cold_us", Json::Num(cold_us))
+        .field("warm_from_disk_us", Json::Num(warm_us))
+        .field("serve_roundtrip_us", Json::Num(serve_us))
+        .field("warm_speedup", Json::Num(warm_speedup))
+        .field("serve_speedup", Json::Num(serve_speedup))
+        .field("warm_speedup_target_5_met", Json::Bool(warm_speedup >= 5.0))
+        .field("identical", Json::Bool(true))
+        .field("concurrent_clients_identical", Json::Bool(true));
+    std::fs::write(&out_path, json.render_pretty()).expect("write benchmark JSON");
+    println!("{}", json.render_pretty());
+    eprintln!("warm-from-disk ×{warm_speedup:.2}, daemon ×{serve_speedup:.2}; wrote {out_path}");
+}

@@ -292,6 +292,17 @@ fn lowered_constant(p: &Predicate) -> String {
 }
 
 impl FeatureSet {
+    /// Rebuilds a feature set from its predicates alone, recomputing the
+    /// lowered-constant cache. Used when loading a persisted artifact: the
+    /// predicates are the durable part; `lowered` is derived.
+    pub fn from_predicates(predicates: Vec<Predicate>) -> FeatureSet {
+        let lowered = predicates.iter().map(lowered_constant).collect();
+        FeatureSet {
+            predicates,
+            lowered,
+        }
+    }
+
     /// Generates features over every column of the table.
     ///
     /// Convenience for [`FeatureSet::generate_rendered`] with a freshly

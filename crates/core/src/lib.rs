@@ -37,6 +37,7 @@ pub mod dtree;
 pub mod edit;
 pub mod exec_guided;
 pub mod features;
+pub mod persist;
 pub mod pipeline;
 pub mod ranker;
 pub mod repair_dp;
@@ -51,6 +52,7 @@ pub use dtree::{learn, learn_weighted, DecisionTree, DtreeConfig};
 pub use edit::{AbstractRepair, EditAction, EditProgram, Emit, Slot};
 pub use exec_guided::ExecGuidedReport;
 pub use features::{FeatureSet, Predicate, RenderedTable};
+pub use persist::PersistError;
 pub use pipeline::{ColumnAnalysis, ColumnReport, DataVinci, TableReport};
 pub use ranker::{CandidateProperties, RankerWeights};
 pub use repair_dp::minimal_edit_program;
@@ -60,4 +62,4 @@ pub use session::{AnalysisSession, SessionResumeError, SessionSnapshot, SessionS
 pub use system::{CleaningSystem, Detection, RepairCandidate, RepairSuggestion};
 // The session's column-type detections surface semantic-crate types;
 // re-exported so engine-layer consumers need not depend on it directly.
-pub use datavinci_semantic::{SemanticType, TypeDetection};
+pub use datavinci_semantic::{MaskCache, SemanticType, TypeDetection};

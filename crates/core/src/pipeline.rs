@@ -207,6 +207,14 @@ impl DataVinci {
         &self.abstractor
     }
 
+    /// The system's shared semantic mask-cache handle — the cache sessions
+    /// opened via [`DataVinci::session`] share. Exposed so callers
+    /// reconstructing a [`crate::SessionSnapshot`] from persisted parts can
+    /// wire it to the same cache a live session would use.
+    pub fn mask_cache(&self) -> Arc<datavinci_semantic::MaskCache> {
+        self.abstractor.model().mask_cache_handle()
+    }
+
     /// Opens a table-scoped [`AnalysisSession`] wired to this system's
     /// shared semantic caches. Create one per table clean and pass it to
     /// the `*_in` entry points; every column then shares one rendered

@@ -555,6 +555,55 @@ pub struct SessionSnapshot {
 }
 
 impl SessionSnapshot {
+    /// Rebuilds a snapshot from its persistable parts (headers, row count,
+    /// column fingerprints, and the learned feature set).
+    ///
+    /// The derived state a live session also carries — rendered matrix, row
+    /// interner, value vectors, pools — is intentionally absent: it is a
+    /// pure function of the table and is rebuilt lazily on first use after
+    /// [`AnalysisSession::resume`], exactly like a session that never
+    /// touched it. This is what the engine's durable artifact store writes
+    /// to disk: the part that is *learned* (features) plus the part that
+    /// *validates* resumption (shape + fingerprints).
+    pub fn from_parts(
+        headers: Vec<String>,
+        n_rows: usize,
+        column_prints: Vec<u64>,
+        features: Option<Arc<FeatureSet>>,
+        mask_cache: Arc<MaskCache>,
+    ) -> SessionSnapshot {
+        let mask_base = mask_cache.stats();
+        SessionSnapshot {
+            headers,
+            n_rows,
+            column_prints,
+            rendered: None,
+            features,
+            row_pool: None,
+            row_features: HashMap::new(),
+            values: HashMap::new(),
+            pools: HashMap::new(),
+            mask_cache,
+            mask_base,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Header names of the snapshot's table, in column order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Per-column content fingerprints over the snapshot's `n_rows` rows.
+    pub fn column_prints(&self) -> &[u64] {
+        &self.column_prints
+    }
+
+    /// The feature set carried by the snapshot, if one was generated.
+    pub fn features(&self) -> Option<&Arc<FeatureSet>> {
+        self.features.as_ref()
+    }
+
     /// Rows the snapshot's table had when it was taken.
     pub fn n_rows(&self) -> usize {
         self.n_rows

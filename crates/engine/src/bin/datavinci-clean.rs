@@ -39,8 +39,8 @@ use std::process::ExitCode;
 use datavinci_core::{DataVinci, DataVinciConfig, RepairStrategy, SemanticMode, TypeDetection};
 use datavinci_engine::json::Json;
 use datavinci_engine::{
-    session_stats_json, telemetry_json, Engine, EngineConfig, EngineReport, StreamCleaner,
-    StreamConfig,
+    serve, session_stats_json, telemetry_json, ArtifactStore, Engine, EngineConfig, EngineReport,
+    StreamCleaner, StreamConfig,
 };
 use datavinci_table::{io, CsvChunkReader, Table};
 use datavinci_telemetry::{self as telemetry, merge_span_lists, render_spans, TaskProfile};
@@ -60,6 +60,10 @@ struct Args {
     follow: bool,
     chunk_rows: usize,
     window_rows: usize,
+    store: Option<String>,
+    store_budget: u64,
+    tenant: String,
+    connect: Option<String>,
 }
 
 impl Args {
@@ -72,10 +76,12 @@ impl Args {
 const USAGE: &str = "usage: datavinci-clean INPUT.csv [-o OUT.csv] [--report REPORT.json] \
                      [--metrics METRICS.json] [--trace] \
                      [--workers N] [--semantics full|limited|none] \
-                     [--strategy planner|rowwise|intersect] [--types] [--no-cache] [--quiet]\n\
+                     [--strategy planner|rowwise|intersect] [--types] [--no-cache] [--quiet] \
+                     [--store DIR] [--store-budget BYTES] [--tenant NAME]\n\
        datavinci-clean --follow [INPUT.csv|-] [--chunk-rows N] [--window-rows N] \
                      [-o OUT.csv] [--metrics METRICS.json] [--trace] [--workers N] \
-                     [--semantics ...] [--strategy ...] [--quiet]";
+                     [--semantics ...] [--strategy ...] [--quiet]\n\
+       datavinci-clean --connect ADDR INPUT.csv [-o OUT.csv] [--tenant NAME] [--quiet]";
 
 /// `Ok(None)` means help was requested (print usage, exit 0).
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -94,6 +100,10 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         follow: false,
         chunk_rows: 256,
         window_rows: 0,
+        store: None,
+        store_budget: datavinci_engine::DEFAULT_STORE_BUDGET,
+        tenant: "default".to_string(),
+        connect: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -144,6 +154,14 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|_| "--window-rows needs an integer".to_string())?
             }
+            "--store" => args.store = Some(value(arg)?),
+            "--store-budget" => {
+                args.store_budget = value(arg)?
+                    .parse()
+                    .map_err(|_| "--store-budget needs a byte count".to_string())?
+            }
+            "--tenant" => args.tenant = value(arg)?,
+            "--connect" => args.connect = Some(value(arg)?),
             "--help" | "-h" => return Ok(None),
             "-" if args.input.is_empty() => args.input = "-".to_string(),
             other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
@@ -160,6 +178,26 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     }
     if args.input == "-" && !args.follow {
         return Err("stdin input requires --follow".to_string());
+    }
+    if args.store.is_some() {
+        if !args.cache {
+            return Err("--store requires the cache (drop --no-cache)".to_string());
+        }
+        if args.follow {
+            return Err("--store is not supported with --follow".to_string());
+        }
+    }
+    if args.connect.is_some() {
+        // The daemon owns the engine; local-engine flags have no meaning.
+        if args.follow
+            || args.store.is_some()
+            || args.report.is_some()
+            || args.metrics.is_some()
+            || args.trace
+            || args.types
+        {
+            return Err("--connect supports only INPUT.csv, -o, --tenant, and --quiet".to_string());
+        }
     }
     Ok(Some(args))
 }
@@ -449,6 +487,55 @@ fn run_follow(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Client mode: ship the CSV to a running `datavinci-serve` daemon and
+/// write back the repaired CSV it returns. Output is byte-identical to
+/// local batch mode on the same input — the daemon runs the same engine.
+fn run_connect(args: &Args, address: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let started = std::time::Instant::now();
+    let request = Json::obj()
+        .field("op", Json::str("clean"))
+        .field("tenant", Json::str(&args.tenant))
+        .field("csv", Json::str(text));
+    let response = serve::roundtrip(address, &request)?;
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        let error = response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown server error");
+        return Err(format!("{address}: {error}"));
+    }
+    let csv = response
+        .get("csv")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{address}: response has no csv field"))?;
+    let out_path = args
+        .output
+        .clone()
+        .unwrap_or_else(|| match args.input.strip_suffix(".csv") {
+            Some(stem) => format!("{stem}.cleaned.csv"),
+            None => format!("{}.cleaned.csv", args.input),
+        });
+    std::fs::write(&out_path, csv).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    if !args.quiet {
+        let count = |key: &str| response.get(key).and_then(Json::as_i64).unwrap_or(0);
+        println!(
+            "{} via {address}: {} rows × {} cols · {} detections · {} repairs · \
+             {} cache hit(s) · {:.1} ms",
+            args.input,
+            count("n_rows"),
+            count("n_cols"),
+            count("n_detections"),
+            count("n_repairs"),
+            count("cache_hits"),
+            started.elapsed().as_secs_f64() * 1000.0,
+        );
+        println!("wrote {out_path}");
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     let telemetry_on = args.telemetry();
     let text = std::fs::read_to_string(&args.input)
@@ -463,7 +550,7 @@ fn run(args: &Args) -> Result<(), String> {
         repair_strategy: args.strategy,
         ..DataVinciConfig::default()
     });
-    let engine = Engine::with_system(
+    let mut engine = Engine::with_system(
         dv,
         EngineConfig {
             workers: args.workers,
@@ -472,9 +559,19 @@ fn run(args: &Args) -> Result<(), String> {
             ..EngineConfig::default()
         },
     );
+    // A failing store is a hard error, not a silent cold start: the caller
+    // asked for durability and must find out when they aren't getting it.
+    let mut loaded = None;
+    if let Some(dir) = &args.store {
+        let store = ArtifactStore::open_with_budget(dir, &args.tenant, args.store_budget)
+            .map_err(|e| e.to_string())?;
+        loaded = Some(engine.attach_store(store).map_err(|e| e.to_string())?);
+    }
+    let engine = engine;
     let started = std::time::Instant::now();
     let report = engine.clean_table(&table);
     let wall = started.elapsed();
+    let flushed = engine.flush_store().map_err(|e| e.to_string())?;
     let repaired = Engine::apply(&table, &report.table_report());
 
     let profile = telemetry_on.then(|| {
@@ -587,6 +684,18 @@ fn run(args: &Args) -> Result<(), String> {
                 .collect();
             println!("slowest columns: {}", ranked.join(" · "));
         }
+        if let (Some(loaded), Some(flushed)) = (&loaded, &flushed) {
+            println!(
+                "store[{}]: warmed {} artifact(s) ({} skipped) · \
+                 flushed {} record(s), {} bytes ({} evicted)",
+                args.tenant,
+                loaded.total(),
+                loaded.skipped,
+                flushed.records,
+                flushed.bytes,
+                flushed.evicted,
+            );
+        }
         println!("wrote {out_path}");
         if let Some(report_path) = &args.report {
             println!("wrote {report_path}");
@@ -612,7 +721,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = if args.follow {
+    let result = if let Some(address) = args.connect.clone() {
+        run_connect(&args, &address)
+    } else if args.follow {
         run_follow(&args)
     } else {
         run(&args)

@@ -29,21 +29,19 @@
 //! substrate of streaming cleaning.
 
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
-use datavinci_core::{ColumnAnalysis, ColumnReport, FeatureSet, SessionSnapshot};
+use datavinci_core::{persist, ColumnAnalysis, ColumnReport, FeatureSet, SessionSnapshot};
 use datavinci_table::{Column, Table};
 
-/// The snapshot-layer key: a hash of the table's header names in order.
-/// Appending rows never changes it, so a growing table keeps finding its
-/// own prior snapshot.
+/// The snapshot-layer key: a fingerprint of the table's header names in
+/// order. Appending rows never changes it, so a growing table keeps finding
+/// its own prior snapshot. Computed with the toolchain-stable
+/// [`datavinci_table::Fingerprinter`] (not `DefaultHasher`) because the
+/// durable artifact store persists these keys: a store written by one build
+/// must resolve them in another.
 pub fn header_key(table: &Table) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    for name in table.headers() {
-        name.hash(&mut hasher);
-    }
-    hasher.finish()
+    table.header_fingerprint()
 }
 
 /// Default bound on distinct cached column contents (least-recently-used
@@ -76,6 +74,16 @@ pub struct CacheStats {
     /// session's state (rendered matrix, row interner, pools) instead of
     /// rebuilding it.
     pub session_resumes: u64,
+    /// Report-tier entries evicted by the capacity bound.
+    pub report_evictions: u64,
+    /// Session-tier (feature set) entries evicted by the capacity bound.
+    pub session_evictions: u64,
+    /// Snapshot-tier entries evicted by the capacity bound.
+    pub snapshot_evictions: u64,
+    /// Current cache occupancy in serialized bytes, summed across all
+    /// tiers (a gauge: what flushing the cache to the artifact store would
+    /// write, and the basis for the store's size budget).
+    pub bytes: u64,
 }
 
 impl CacheStats {
@@ -100,12 +108,25 @@ impl CacheStats {
             .field("misses", Json::Int(self.misses as i64))
             .field("session_hits", Json::Int(self.session_hits as i64))
             .field("session_resumes", Json::Int(self.session_resumes as i64))
+            .field("report_evictions", Json::Int(self.report_evictions as i64))
+            .field(
+                "session_evictions",
+                Json::Int(self.session_evictions as i64),
+            )
+            .field(
+                "snapshot_evictions",
+                Json::Int(self.snapshot_evictions as i64),
+            )
+            .field("bytes", Json::Int(self.bytes as i64))
     }
 }
 
 /// One cached column: the artifacts plus the identity they were learned on.
 #[derive(Debug)]
 pub struct CachedColumn {
+    /// Column name at learn time (keys the append-probing name index, and
+    /// persists so a reloaded store can rebuild that index).
+    pub name: String,
     /// Column content fingerprint at learn time.
     pub fingerprint: u64,
     /// Whole-table fingerprint at learn time (gates report reuse).
@@ -151,7 +172,48 @@ struct Inner {
     snapshots: HashMap<u64, SessionSnapshot>,
     /// Recency order of `snapshots` keys (LRU at the front).
     snapshot_order: VecDeque<u64>,
+    /// Serialized payload size per report-tier fingerprint, session-tier
+    /// table fingerprint, and snapshot-tier header key — kept so evictions
+    /// can debit the running total exactly.
+    col_bytes: HashMap<u64, u64>,
+    session_bytes: HashMap<u64, u64>,
+    snapshot_bytes: HashMap<u64, u64>,
+    /// Running occupancy across all tiers, in serialized bytes.
+    bytes: u64,
     stats: CacheStats,
+}
+
+impl Inner {
+    fn set_tier_bytes(tier: &mut HashMap<u64, u64>, total: &mut u64, key: u64, size: u64) {
+        if let Some(old) = tier.insert(key, size) {
+            *total -= old;
+        }
+        *total += size;
+    }
+
+    fn drop_tier_bytes(tier: &mut HashMap<u64, u64>, total: &mut u64, key: u64) {
+        if let Some(old) = tier.remove(&key) {
+            *total -= old;
+        }
+    }
+}
+
+/// Fixed per-record framing cost the byte accounting adds on top of the
+/// serialized payload (kind tag + key + length + checksum in the store's
+/// on-disk record format), so `cache.bytes` tracks what a flush writes.
+const TIER_RECORD_OVERHEAD: u64 = 25;
+
+/// Serialized size of one report-tier entry: identity fields + analysis +
+/// report payloads, plus record framing. This is exactly what the artifact
+/// store writes for the entry, so summing these sizes prices the cache for
+/// the store's disk budget.
+fn column_entry_bytes(entry: &CachedColumn) -> u64 {
+    let mut buf = Vec::new();
+    persist::encode_column_analysis(&entry.analysis, &mut buf);
+    persist::encode_column_report(&entry.report, &mut buf);
+    // Identity: name (length-prefixed) + fingerprint + table fingerprint +
+    // col + n_rows.
+    (buf.len() + 4 + entry.name.len() + 8 + 8 + 8 + 8) as u64 + TIER_RECORD_OVERHEAD
 }
 
 /// Move `key` to the most-recently-used (back) position of a recency queue.
@@ -235,15 +297,30 @@ impl ProfileCache {
         analysis: Arc<ColumnAnalysis>,
         report: ColumnReport,
     ) {
-        let entry = Arc::new(CachedColumn {
+        self.insert_entry(Arc::new(CachedColumn {
+            name: column.name().to_string(),
             fingerprint: column.fingerprint(),
             table_fingerprint,
             col,
             n_rows: column.len(),
             analysis,
             report,
-        });
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        }));
+    }
+
+    /// Stores a prebuilt entry — [`ProfileCache::insert`] and the artifact
+    /// store's load path share this (the store carries the identity fields
+    /// explicitly, with no `Column` to recompute them from).
+    pub fn insert_entry(&self, entry: Arc<CachedColumn>) {
+        let size = column_entry_bytes(&entry);
+        let mut guard = self.inner.lock().expect("cache poisoned");
+        let inner = &mut *guard;
+        Inner::set_tier_bytes(
+            &mut inner.col_bytes,
+            &mut inner.bytes,
+            entry.fingerprint,
+            size,
+        );
         if inner
             .by_fingerprint
             .insert(entry.fingerprint, Arc::clone(&entry))
@@ -253,7 +330,7 @@ impl ProfileCache {
         } else {
             touch(&mut inner.order, entry.fingerprint);
         }
-        inner.by_name.insert(column.name().to_string(), entry);
+        inner.by_name.insert(entry.name.clone(), entry);
         while inner.by_fingerprint.len() > self.capacity {
             let Some(oldest) = inner.order.pop_front() else {
                 break;
@@ -261,6 +338,8 @@ impl ProfileCache {
             if let Some(evicted) = inner.by_fingerprint.remove(&oldest) {
                 // Drop the name index too if it still points at this entry.
                 inner.by_name.retain(|_, kept| !Arc::ptr_eq(kept, &evicted));
+                Inner::drop_tier_bytes(&mut inner.col_bytes, &mut inner.bytes, oldest);
+                inner.stats.report_evictions += 1;
             }
         }
     }
@@ -282,7 +361,19 @@ impl ProfileCache {
     /// Stores a session's generated `FeatureSet` under its table
     /// fingerprint (LRU-bounded like the column layers).
     pub fn insert_session(&self, table_fingerprint: u64, features: Arc<FeatureSet>) {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let size = {
+            let mut buf = Vec::new();
+            persist::encode_feature_set(&features, &mut buf);
+            buf.len() as u64 + TIER_RECORD_OVERHEAD
+        };
+        let mut guard = self.inner.lock().expect("cache poisoned");
+        let inner = &mut *guard;
+        Inner::set_tier_bytes(
+            &mut inner.session_bytes,
+            &mut inner.bytes,
+            table_fingerprint,
+            size,
+        );
         if inner.by_table.insert(table_fingerprint, features).is_none() {
             inner.table_order.push_back(table_fingerprint);
         } else {
@@ -292,7 +383,10 @@ impl ProfileCache {
             let Some(oldest) = inner.table_order.pop_front() else {
                 break;
             };
-            inner.by_table.remove(&oldest);
+            if inner.by_table.remove(&oldest).is_some() {
+                Inner::drop_tier_bytes(&mut inner.session_bytes, &mut inner.bytes, oldest);
+                inner.stats.session_evictions += 1;
+            }
         }
     }
 
@@ -307,7 +401,8 @@ impl ProfileCache {
     /// take, so a returned snapshot is guaranteed to resume. Non-resumable
     /// snapshots stay put — the stream they belong to may still come back.
     pub fn take_resumable_snapshot(&self, key: u64, table: &Table) -> Option<SessionSnapshot> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut guard = self.inner.lock().expect("cache poisoned");
+        let inner = &mut *guard;
         if !inner
             .snapshots
             .get(&key)
@@ -317,6 +412,7 @@ impl ProfileCache {
         }
         inner.stats.session_resumes += 1;
         inner.snapshot_order.retain(|&k| k != key);
+        Inner::drop_tier_bytes(&mut inner.snapshot_bytes, &mut inner.bytes, key);
         inner.snapshots.remove(&key)
     }
 
@@ -324,7 +420,14 @@ impl ProfileCache {
     /// any prior snapshot for that shape (LRU-bounded across shapes: a
     /// stream that stores on every chunk keeps refreshing its slot).
     pub fn insert_snapshot(&self, key: u64, snapshot: SessionSnapshot) {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let size = {
+            let mut buf = Vec::new();
+            persist::encode_snapshot(&snapshot, &mut buf);
+            buf.len() as u64 + TIER_RECORD_OVERHEAD
+        };
+        let mut guard = self.inner.lock().expect("cache poisoned");
+        let inner = &mut *guard;
+        Inner::set_tier_bytes(&mut inner.snapshot_bytes, &mut inner.bytes, key, size);
         if inner.snapshots.insert(key, snapshot).is_none() {
             inner.snapshot_order.push_back(key);
         } else {
@@ -334,7 +437,10 @@ impl ProfileCache {
             let Some(oldest) = inner.snapshot_order.pop_front() else {
                 break;
             };
-            inner.snapshots.remove(&oldest);
+            if inner.snapshots.remove(&oldest).is_some() {
+                Inner::drop_tier_bytes(&mut inner.snapshot_bytes, &mut inner.bytes, oldest);
+                inner.stats.snapshot_evictions += 1;
+            }
         }
     }
 
@@ -352,9 +458,13 @@ impl ProfileCache {
         inner.stats.misses += 1;
     }
 
-    /// Cumulative telemetry.
+    /// Cumulative telemetry. The `bytes` field is a point-in-time gauge of
+    /// current occupancy, not a counter.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache poisoned").stats
+        let inner = self.inner.lock().expect("cache poisoned");
+        let mut stats = inner.stats;
+        stats.bytes = inner.bytes;
+        stats
     }
 
     /// Number of distinct cached column contents.
@@ -375,6 +485,53 @@ impl ProfileCache {
     pub fn clear(&self) {
         *self.inner.lock().expect("cache poisoned") = Inner::default();
     }
+
+    /// Walks every cached artifact in least-recently-used-first order (per
+    /// tier: columns, then sessions, then snapshots) under the cache lock.
+    /// The artifact store's flush path writes records in this order, so a
+    /// reloaded store reproduces the same recency order through plain
+    /// re-insertion (each insert pushes to the most-recent end).
+    pub fn export(&self, mut f: impl FnMut(Artifact<'_>)) {
+        let inner = self.inner.lock().expect("cache poisoned");
+        for key in &inner.order {
+            if let Some(entry) = inner.by_fingerprint.get(key) {
+                f(Artifact::Column(entry));
+            }
+        }
+        for key in &inner.table_order {
+            if let Some(features) = inner.by_table.get(key) {
+                f(Artifact::Session {
+                    table_fingerprint: *key,
+                    features,
+                });
+            }
+        }
+        for key in &inner.snapshot_order {
+            if let Some(snapshot) = inner.snapshots.get(key) {
+                f(Artifact::Snapshot {
+                    header_key: *key,
+                    snapshot,
+                });
+            }
+        }
+    }
+}
+
+/// One cached artifact, borrowed out of the cache for export (the durable
+/// store serializes these into its on-disk records).
+pub enum Artifact<'a> {
+    /// Report-tier entry: identity fields plus analysis and report.
+    Column(&'a CachedColumn),
+    /// Session-tier entry: a table's generated feature set.
+    Session {
+        table_fingerprint: u64,
+        features: &'a FeatureSet,
+    },
+    /// Snapshot-tier entry: the latest detached session for a header shape.
+    Snapshot {
+        header_key: u64,
+        snapshot: &'a SessionSnapshot,
+    },
 }
 
 #[cfg(test)]
@@ -586,6 +743,95 @@ mod tests {
         assert_eq!(cache.n_snapshots(), 2);
         assert!(cache.take_resumable_snapshot(2, &t).is_none());
         assert!(cache.take_resumable_snapshot(1, &t).is_some());
+    }
+
+    #[test]
+    fn byte_gauge_tracks_inserts_and_evictions_per_tier() {
+        let cache = ProfileCache::with_capacity(2);
+        assert_eq!(cache.stats().bytes, 0);
+        let tables: Vec<Table> = (0..3)
+            .map(|i| table(&[&format!("a-{i}1"), &format!("a-{i}2")]))
+            .collect();
+        let mut after_first = 0;
+        for (i, t) in tables.iter().enumerate() {
+            let (analysis, report) = analyze(t, 0);
+            cache.insert(t.column(0).unwrap(), 0, t.fingerprint(), analysis, report);
+            let bytes = cache.stats().bytes;
+            assert!(bytes > 0, "gauge empty after insert {i}");
+            if i == 0 {
+                after_first = bytes;
+            }
+        }
+        // Third insert evicted the first entry: occupancy stays at two
+        // entries' worth, and the eviction counter records it.
+        let stats = cache.stats();
+        assert_eq!(stats.report_evictions, 1);
+        assert_eq!(stats.session_evictions, 0);
+        assert_eq!(stats.snapshot_evictions, 0);
+        assert!(stats.bytes < 3 * after_first);
+
+        // Session tier: two inserts fit, the third evicts, and dropping all
+        // report-tier state is not involved.
+        let features = Arc::new(datavinci_core::FeatureSet::generate(&tables[0]));
+        for key in [10, 11, 12] {
+            cache.insert_session(key, Arc::clone(&features));
+        }
+        assert_eq!(cache.stats().session_evictions, 1);
+
+        // Snapshot tier: taking a snapshot back out debits the gauge.
+        let dv = DataVinci::new();
+        let before_snapshot = cache.stats().bytes;
+        cache.insert_snapshot(77, dv.session(&tables[0]).into_snapshot());
+        assert!(cache.stats().bytes > before_snapshot);
+        assert!(cache.take_resumable_snapshot(77, &tables[0]).is_some());
+        assert_eq!(cache.stats().bytes, before_snapshot);
+    }
+
+    #[test]
+    fn export_walks_all_tiers_lru_first() {
+        let cache = ProfileCache::new();
+        let t1 = table(&["a-1", "a-2"]);
+        let t2 = table(&["b-1", "b-2"]);
+        for t in [&t1, &t2] {
+            let (analysis, report) = analyze(t, 0);
+            cache.insert(t.column(0).unwrap(), 0, t.fingerprint(), analysis, report);
+        }
+        // Touch t1 so it becomes most-recent: export must yield t2 first.
+        assert!(matches!(
+            cache.lookup(t1.column(0).unwrap(), 0, t1.fingerprint()),
+            CacheLookup::Report(_)
+        ));
+        let features = Arc::new(datavinci_core::FeatureSet::generate(&t1));
+        cache.insert_session(5, Arc::clone(&features));
+        let dv = DataVinci::new();
+        cache.insert_snapshot(9, dv.session(&t1).into_snapshot());
+
+        let mut kinds = Vec::new();
+        let mut column_prints = Vec::new();
+        cache.export(|artifact| match artifact {
+            Artifact::Column(entry) => {
+                kinds.push("column");
+                column_prints.push(entry.fingerprint);
+            }
+            Artifact::Session {
+                table_fingerprint, ..
+            } => {
+                kinds.push("session");
+                assert_eq!(table_fingerprint, 5);
+            }
+            Artifact::Snapshot { header_key, .. } => {
+                kinds.push("snapshot");
+                assert_eq!(header_key, 9);
+            }
+        });
+        assert_eq!(kinds, ["column", "column", "session", "snapshot"]);
+        assert_eq!(
+            column_prints,
+            [
+                t2.column(0).unwrap().fingerprint(),
+                t1.column(0).unwrap().fingerprint()
+            ]
+        );
     }
 
     #[test]

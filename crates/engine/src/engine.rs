@@ -10,6 +10,7 @@ use crate::pool::WorkerPool;
 use crate::report::{
     cache_stats_into, session_stats_into, BatchReport, CacheOutcome, ColumnOutcome, EngineReport,
 };
+use crate::store::{ArtifactStore, FlushStats, LoadStats, StoreError};
 use datavinci_core::{AnalysisSession, DataVinci, RepairStrategy, TableReport};
 use datavinci_table::{CellRef, CellValue, Table};
 use datavinci_telemetry::{self as telemetry, MetricsFrame, MetricsRegistry, TaskProfile};
@@ -70,6 +71,7 @@ pub struct Engine {
     pool: WorkerPool,
     cache: Option<ProfileCache>,
     registry: MetricsRegistry,
+    store: Option<ArtifactStore>,
 }
 
 impl Default for Engine {
@@ -107,7 +109,35 @@ impl Engine {
                 .cache
                 .then(|| ProfileCache::with_capacity(cfg.cache_capacity)),
             registry: MetricsRegistry::new(cfg.telemetry),
+            store: None,
         }
+    }
+
+    /// Attaches a durable artifact store and warms the cache from it: every
+    /// intact record the store holds becomes a live cache entry, so the
+    /// first clean after a restart hits like the thousandth. Subsequent
+    /// [`Engine::flush_store`] calls persist back to the same store.
+    /// Requires caching ([`StoreError::CacheDisabled`] otherwise).
+    pub fn attach_store(&mut self, store: ArtifactStore) -> Result<LoadStats, StoreError> {
+        let cache = self.cache.as_ref().ok_or(StoreError::CacheDisabled)?;
+        let stats = store.load_into(cache, self.dv.mask_cache())?;
+        self.store = Some(store);
+        Ok(stats)
+    }
+
+    /// Flushes the cache to the attached store, if any (atomic
+    /// write-then-rename; `Ok(None)` when no store is attached).
+    pub fn flush_store(&self) -> Result<Option<FlushStats>, StoreError> {
+        match (&self.store, &self.cache) {
+            (Some(store), Some(cache)) => store.flush_from(cache).map(Some),
+            (Some(_), None) => Err(StoreError::CacheDisabled),
+            (None, _) => Ok(None),
+        }
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
     }
 
     /// The engine's metrics registry: the cumulative sink every clean's

@@ -1,9 +1,12 @@
-//! A minimal JSON value + renderer.
+//! A minimal JSON value, renderer, and parser.
 //!
 //! The workspace's vendored `serde` is a derive-only marker shim (no
 //! serializer backend), so the engine renders its reports with this tiny
 //! tree builder instead. Output is deterministic: object keys keep
 //! insertion order, floats render with enough precision to round-trip.
+//! [`Json::parse`] is the inverse, used by the `datavinci-serve` wire
+//! protocol (newline-delimited JSON requests); it is bounds-checked,
+//! depth-limited, and reports positioned errors instead of panicking.
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +48,46 @@ impl Json {
             }
             _ => panic!("Json::field on a non-object"),
         }
+    }
+
+    /// Looks up a field on an object (None on non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is an integer (or an integral float).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document. Trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
     }
 
     /// Renders compact JSON.
@@ -122,6 +165,238 @@ fn write_seq<T>(
     out.push(close);
 }
 
+/// Where and why a [`Json::parse`] call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What was expected or wrong.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Nesting deeper than this is rejected (protects the daemon's stack from
+/// adversarial `[[[[…` requests).
+const MAX_JSON_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &'static str) -> JsonParseError {
+        JsonParseError { at: self.pos, what }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, JsonParseError> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':', "expected ':' after object key")?;
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: require a low surrogate.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u', "expected low surrogate")?;
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let scalar = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| self.err("unpaired surrogate"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("unescaped control character")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input was a str");
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().ok_or_else(|| self.err("unterminated \\u"))?;
+            let digit = match d {
+                b'0'..=b'9' => (d - b'0') as u32,
+                b'a'..=b'f' => (d - b'a') as u32 + 10,
+                b'A'..=b'F' => (d - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex digit")),
+            };
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonParseError {
+                at: start,
+                what: "invalid number",
+            })
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -170,5 +445,64 @@ mod tests {
     #[test]
     fn control_chars_are_escaped() {
         assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_documents() {
+        let v = Json::obj()
+            .field("op", Json::str("clean"))
+            .field("rows", Json::Arr(vec![Json::Int(1), Json::Int(-2)]))
+            .field("ratio", Json::Num(2.5))
+            .field("ok", Json::Bool(true))
+            .field("none", Json::Null)
+            .field("text", Json::str("a\"b\\c\nd\té \u{1F600}"));
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        assert_eq!(Json::parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9\ud83d\ude00""#).unwrap(),
+            Json::str("Aé\u{1F600}")
+        );
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::obj());
+        assert_eq!(Json::parse(" 12 ").unwrap(), Json::Int(12));
+        assert_eq!(Json::parse("-0.5").unwrap(), Json::Num(-0.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "nul",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1 2]",
+            "1x",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "\"\u{1}\"",
+            "01a",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Deep nesting is bounded, not a stack overflow.
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = Json::parse(r#"{"op":"clean","n":3}"#).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("clean"));
+        assert_eq!(v.get("n").and_then(Json::as_i64), Some(3));
+        assert!(v.get("missing").is_none());
+        assert!(Json::Int(1).get("x").is_none());
     }
 }

@@ -41,14 +41,22 @@ mod engine;
 pub mod json;
 pub mod pool;
 pub mod report;
+pub mod serve;
+pub mod store;
 pub mod stream;
 
-pub use cache::{CacheLookup, CacheStats, CachedColumn, ProfileCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{
+    Artifact, CacheLookup, CacheStats, CachedColumn, ProfileCache, DEFAULT_CACHE_CAPACITY,
+};
 pub use engine::{Engine, EngineConfig};
 pub use pool::WorkerPool;
 pub use report::{
     cache_stats_into, cache_stats_json, histogram_json, metrics_frame_json, session_stats_into,
     session_stats_json, span_node_json, telemetry_json, BatchReport, CacheOutcome, ColumnOutcome,
     EngineReport,
+};
+pub use serve::{Server, ServerConfig};
+pub use store::{
+    ArtifactStore, FlushStats, LoadStats, StoreError, DEFAULT_STORE_BUDGET, FORMAT_MARKER,
 };
 pub use stream::{ChunkOutcome, StreamCleaner, StreamConfig, StreamRepair};

@@ -201,6 +201,10 @@ pub fn cache_stats_into(frame: &mut MetricsFrame, stats: &CacheStats) {
     frame.set_counter("engine.cache.misses", stats.misses);
     frame.set_counter("engine.cache.session_hits", stats.session_hits);
     frame.set_counter("engine.cache.session_resumes", stats.session_resumes);
+    frame.set_counter("engine.cache.evictions.report", stats.report_evictions);
+    frame.set_counter("engine.cache.evictions.session", stats.session_evictions);
+    frame.set_counter("engine.cache.evictions.snapshot", stats.snapshot_evictions);
+    frame.set_gauge("engine.cache.bytes", stats.bytes as f64);
 }
 
 /// The legacy JSON rendering of cumulative cache statistics — a deprecated

@@ -34,7 +34,7 @@ pub mod value;
 
 pub use addr::{CellRef, ColRef};
 pub use arena::{ArenaInterner, ArenaRef, StrArena};
-pub use column::Column;
+pub use column::{Column, Fingerprinter};
 pub use io::{CsvChunkReader, CsvError, CsvErrorKind};
 pub use pool::ValuePool;
 pub use table::Table;

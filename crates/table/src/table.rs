@@ -45,6 +45,20 @@ impl Table {
         fp.finish()
     }
 
+    /// A 64-bit fingerprint over the header names alone (order-sensitive).
+    ///
+    /// Uses the same toolchain-stable [`Fingerprinter`](crate::Fingerprinter)
+    /// as [`Table::fingerprint`], so the value is safe to persist: session
+    /// artifacts keyed by header shape survive a store written by a binary
+    /// from a different compiler.
+    pub fn header_fingerprint(&self) -> u64 {
+        let mut fp = crate::column::Fingerprinter::new();
+        for col in &self.columns {
+            fp.add_bytes(col.name().as_bytes());
+        }
+        fp.finish()
+    }
+
     /// Number of columns.
     pub fn n_cols(&self) -> usize {
         self.columns.len()
@@ -147,6 +161,33 @@ mod tests {
             t().column(0).unwrap().fingerprint(),
             wider.column(0).unwrap().fingerprint()
         );
+    }
+
+    /// Pins the table-level digests (see the column-level pin test): these
+    /// are persisted by the engine's artifact store and must not drift.
+    #[test]
+    fn table_fingerprints_are_pinned_across_toolchains() {
+        let t = Table::new(vec![
+            Column::from_texts("a", &["x"]),
+            Column::from_texts("b", &["1"]),
+        ]);
+        assert_eq!(t.fingerprint(), 0xb413_d550_9b7f_b978);
+        assert_eq!(t.header_fingerprint(), 0x04f6_d150_0b56_0ee7);
+    }
+
+    #[test]
+    fn header_fingerprint_ignores_values_tracks_headers() {
+        let mut same_shape = t();
+        same_shape.set_cell(CellRef::new(0, 0), CellValue::text("zz"));
+        assert_eq!(t().header_fingerprint(), same_shape.header_fingerprint());
+        let mut wider = t();
+        wider.push_column(Column::from_texts("c", &["7", "8"]));
+        assert_ne!(t().header_fingerprint(), wider.header_fingerprint());
+        let renamed = Table::new(vec![
+            Column::from_texts("a", &["x", "y"]),
+            Column::from_texts("B", &["1", "2"]),
+        ]);
+        assert_ne!(t().header_fingerprint(), renamed.header_fingerprint());
     }
 
     #[test]
